@@ -1,0 +1,35 @@
+//! Criterion benches for Figure 2 (top left): Phase II runtime of every
+//! variant on the four Figure 2 benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deadlock_fuzzer::{Config, DeadlockFuzzer, Variant};
+use df_bench::figure2_benchmarks;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_runtime");
+    group.sample_size(10);
+    for bench in figure2_benchmarks() {
+        for variant in Variant::ALL {
+            let config = Config::default().with_variant(variant);
+            let fuzzer = DeadlockFuzzer::from_ref(bench.program.clone(), config);
+            let phase1 = fuzzer.phase1();
+            let Some(cycle) = phase1.abstract_cycles.first().cloned() else {
+                continue;
+            };
+            group.bench_function(
+                format!("{}/{}", bench.name, variant.label().replace(' ', "_")),
+                |b| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        fuzzer.phase2(&cycle, seed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

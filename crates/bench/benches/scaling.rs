@@ -1,0 +1,50 @@
+//! Scalability: Phase I and Phase II cost as program size grows
+//! (synthetic workloads; the paper ran 600 KLoC of Java and reports the
+//! active checker stays "within a factor of six").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deadlock_fuzzer::{Config, DeadlockFuzzer};
+use df_benchmarks::synthetic::{program, SyntheticSpec};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("small", SyntheticSpec::small()),
+        ("medium", SyntheticSpec::medium()),
+        ("large", SyntheticSpec::large()),
+    ] {
+        let fuzzer = DeadlockFuzzer::from_ref(program(spec), Config::default());
+        group.bench_with_input(BenchmarkId::new("phase1", name), &fuzzer, |b, f| {
+            b.iter(|| f.phase1());
+        });
+        let phase1 = fuzzer.phase1();
+        if let Some(cycle) = phase1.abstract_cycles.first().cloned() {
+            group.bench_with_input(
+                BenchmarkId::new("phase2", name),
+                &(fuzzer, cycle),
+                |b, (f, cycle)| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        f.phase2(cycle, seed)
+                    });
+                },
+            );
+        } else {
+            // Deadlock-free spec: measure the uninstrumented-equivalent
+            // baseline instead.
+            group.bench_with_input(
+                BenchmarkId::new("baseline", name),
+                &fuzzer,
+                |b, f| {
+                    b.iter(|| f.baseline(1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

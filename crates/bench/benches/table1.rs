@@ -1,0 +1,44 @@
+//! Criterion benches for Table 1's runtime columns: for every benchmark,
+//! the uninstrumented (plain random) run, Phase I (iGoodlock) and one
+//! Phase II (DeadlockFuzzer) run.
+//!
+//! The paper's claim to check: "the overhead of our active checker is
+//! within a factor of six, even for large programs" (Table 1 columns
+//! 3–5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deadlock_fuzzer::{Config, DeadlockFuzzer};
+use df_benchmarks::table1_suite;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_runtimes");
+    group.sample_size(10);
+    for bench in table1_suite() {
+        let fuzzer = DeadlockFuzzer::from_ref(bench.program.clone(), Config::default());
+        group.bench_function(format!("normal/{}", bench.name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                fuzzer.baseline(1)
+            });
+        });
+        group.bench_function(format!("igoodlock/{}", bench.name), |b| {
+            b.iter(|| fuzzer.phase1());
+        });
+        let phase1 = fuzzer.phase1();
+        if let Some(cycle) = phase1.abstract_cycles.first() {
+            let cycle = cycle.clone();
+            group.bench_function(format!("deadlockfuzzer/{}", bench.name), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    fuzzer.phase2(&cycle, seed)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "logging".into());
+    let program = match name.as_str() {
+        "logging" => df_benchmarks::logging::program(),
+        "dbcp" => df_benchmarks::dbcp::program(),
+        "lists" => df_benchmarks::lists::program(),
+        "maps" => df_benchmarks::maps::program(),
+        "section4" => df_benchmarks::section4::program(),
+        "jigsaw" => df_benchmarks::jigsaw::program(),
+        other => panic!("unknown {other}"),
+    };
+    let fuzzer = DeadlockFuzzer::from_ref(program, Config::default());
+    let p1 = fuzzer.phase1();
+    println!("phase1 outcome: {:?}", p1.run_outcome);
+    println!("cycles: {} (relation {})", p1.cycle_count(), p1.relation_size);
+    for (i, c) in p1.abstract_cycles.iter().enumerate() {
+        println!("  cycle {i}: {c}");
+    }
+    for (i, c) in p1.abstract_cycles.iter().enumerate() {
+        let pr = fuzzer.estimate_probability(c, 5);
+        println!("cycle {i}: deadlocks={} matched={} thrash={:.1}", pr.deadlocks, pr.matched, pr.avg_thrashes);
+    }
+}

@@ -1,0 +1,240 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin repro -- table1
+//! cargo run --release -p df-bench --bin repro -- fig2-runtime
+//! cargo run --release -p df-bench --bin repro -- fig2-probability
+//! cargo run --release -p df-bench --bin repro -- fig2-thrashing
+//! cargo run --release -p df-bench --bin repro -- fig2-correlation
+//! cargo run --release -p df-bench --bin repro -- all [--trials N] [--json]
+//! ```
+//!
+//! The paper uses 100 trials per cycle; the default here is 20 to keep a
+//! full regeneration fast — pass `--trials 100` for the paper's setting.
+
+use df_bench::{
+    fig2_correlation, figure2, motivation, pearson, table1, Fig2Cell, MotivationRow, Table1Row,
+};
+
+struct Args {
+    experiment: String,
+    trials: u32,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut experiment = String::from("all");
+    let mut trials = 20u32;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trials" => {
+                trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trials needs a number");
+            }
+            "--json" => json = true,
+            other if !other.starts_with('-') => experiment = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args {
+        experiment,
+        trials,
+        json,
+    }
+}
+
+fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+fn print_table1(rows: &[Table1Row], json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(rows).expect("serialize"));
+        return;
+    }
+    println!("== Table 1: DeadlockFuzzer results (ours vs paper) ==");
+    println!(
+        "{:<20} {:>9} | {:>9} {:>9} {:>9} | {:>6} {:>6} {:>6} {:>6} | paper: cycles real repro prob thrash",
+        "Program", "paperLoC", "norm(ms)", "iGL(ms)", "DF(ms)", "cycles", "repro", "prob", "thrash"
+    );
+    for r in rows {
+        println!(
+            "{:<20} {:>9} | {:>9} {:>9} {:>9} | {:>6} {:>6} {:>6} {:>6} | {:>10} {:>5} {:>6} {:>5} {:>6}",
+            r.name,
+            r.paper_loc,
+            ms(r.normal),
+            ms(r.igoodlock),
+            ms(r.df),
+            r.cycles,
+            r.reproduced,
+            r.probability
+                .map(|p| format!("{p:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            r.avg_thrashes
+                .map(|t| format!("{t:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            r.paper_cycles,
+            r.paper_real,
+            r.paper_reproduced,
+            r.paper_probability,
+            r.paper_thrashes,
+        );
+    }
+    println!(
+        "(baseline control: {} plain runs deadlocked across all benchmarks — paper reports 0/100)",
+        rows.iter().map(|r| r.baseline_deadlocks).sum::<u32>()
+    );
+}
+
+fn print_fig2(cells: &[Fig2Cell], metric: &str, json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(cells).expect("serialize"));
+        return;
+    }
+    let benchmarks: Vec<String> = {
+        let mut v: Vec<String> = cells.iter().map(|c| c.benchmark.clone()).collect();
+        v.dedup();
+        v
+    };
+    let variants: Vec<String> = {
+        let mut v = Vec::new();
+        for c in cells {
+            if !v.contains(&c.variant) {
+                v.push(c.variant.clone());
+            }
+        }
+        v
+    };
+    let title = match metric {
+        "runtime" => "Figure 2 (top left): Phase II runtime, normalized to uninstrumented run",
+        "probability" => "Figure 2 (top right): probability of reproducing the deadlock",
+        "thrashing" => "Figure 2 (bottom left): average thrashings per run",
+        _ => "Figure 2",
+    };
+    println!("== {title} ==");
+    print!("{:<28}", "Variant");
+    for b in &benchmarks {
+        print!(" {b:>18}");
+    }
+    println!();
+    for v in &variants {
+        print!("{v:<28}");
+        for b in &benchmarks {
+            let cell = cells
+                .iter()
+                .find(|c| &c.variant == v && &c.benchmark == b)
+                .expect("cell measured");
+            let value = match metric {
+                "runtime" => cell.runtime_normalized,
+                "probability" => cell.probability,
+                "thrashing" => cell.avg_thrashes,
+                _ => 0.0,
+            };
+            print!(" {value:>18.3}");
+        }
+        println!();
+    }
+}
+
+fn print_correlation(points: &[(f64, f64)], json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(points).expect("serialize"));
+        return;
+    }
+    println!("== Figure 2 (bottom right): thrashings vs reproduction probability ==");
+    println!("{:>12} {:>12}", "thrashes", "probability");
+    let mut sorted = points.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for (t, p) in &sorted {
+        println!("{t:>12.2} {p:>12.2}");
+    }
+    println!(
+        "Pearson correlation: {:.3} (paper: probability decreases as thrashing increases)",
+        pearson(points)
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let known = matches!(
+        args.experiment.as_str(),
+        "table1"
+            | "all"
+            | "fig2-runtime"
+            | "fig2-probability"
+            | "fig2-thrashing"
+            | "fig2-correlation"
+            | "motivation"
+    );
+    if !known {
+        eprintln!(
+            "unknown experiment '{}'; expected table1 | fig2-runtime | fig2-probability | fig2-thrashing | fig2-correlation | all",
+            args.experiment
+        );
+        std::process::exit(2);
+    }
+    let run_t1 = matches!(args.experiment.as_str(), "table1" | "all");
+    let fig2_metrics: Vec<&str> = match args.experiment.as_str() {
+        "fig2-runtime" => vec!["runtime"],
+        "fig2-probability" => vec!["probability"],
+        "fig2-thrashing" => vec!["thrashing"],
+        "all" => vec!["runtime", "probability", "thrashing"],
+        _ => vec![],
+    };
+    let run_corr = matches!(args.experiment.as_str(), "fig2-correlation" | "all");
+
+    if run_t1 {
+        let rows = table1(args.trials, args.trials.min(20));
+        print_table1(&rows, args.json);
+        println!();
+    }
+    if !fig2_metrics.is_empty() {
+        let cells = figure2(args.trials);
+        for m in fig2_metrics {
+            print_fig2(&cells, m, args.json);
+            println!();
+        }
+    }
+    if run_corr {
+        let points = fig2_correlation(args.trials);
+        print_correlation(&points, args.json);
+    }
+    if matches!(args.experiment.as_str(), "motivation" | "all") {
+        let rows = motivation(&[0, 2, 4, 6, 8], 30_000);
+        print_motivation(&rows, args.json);
+    }
+}
+
+fn print_motivation(rows: &[MotivationRow], json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(rows).expect("serialize"));
+        return;
+    }
+    println!("== Motivation (paper §1): cost of finding Figure 1's deadlock ==");
+    println!(
+        "{:>8} {:>18} {:>15} {:>18}",
+        "prefix", "schedule tree", "random runs", "DeadlockFuzzer runs"
+    );
+    for r in rows {
+        let fmt = |v: Option<u64>| v.map(|v| v.to_string()).unwrap_or_else(|| ">cap".into());
+        println!(
+            "{:>8} {:>18} {:>15} {:>18}",
+            r.prefix,
+            fmt(r.exhaustive_runs),
+            fmt(r.random_runs),
+            r.deadlockfuzzer_runs
+        );
+    }
+    println!(
+        "(exhaustive = systematic schedule exploration; DeadlockFuzzer = 1 observation \
+         run + biased runs; the paper's point: schedules explode with execution length)"
+    );
+}

@@ -1,0 +1,70 @@
+//! A bank account with a data race — the demo workload for the
+//! RaceFuzzer sibling checker (`df_fuzzer::race`).
+//!
+//! The audited path takes the account lock; a "fast deposit" path forgot
+//! it. The lockset analysis predicts the read/write conflict, and the
+//! active race scheduler confirms it by pausing one access until the
+//! other arrives. The account also has *no* lock-order cycles, so the
+//! deadlock checker stays silent — each checker of the framework sees
+//! only its own bug class.
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::TCtx;
+
+fn label(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// Builds the racy-account program.
+pub fn program() -> ProgramRef {
+    Arc::new(Named::new("racy-account", |ctx: &TCtx| {
+        let balance = ctx.new_var(label("Account.balance"));
+        let lock = ctx.new_lock(label("Account.lock"));
+        let auditor = ctx.spawn(label("Bank.startAuditor"), "auditor", move |ctx| {
+            ctx.work(2);
+            let g = ctx.lock(&lock, label("Auditor.audit: lock"));
+            ctx.read(&balance, label("Auditor.audit: read balance"));
+            drop(g);
+        });
+        let depositor = ctx.spawn(label("Bank.startDepositor"), "depositor", move |ctx| {
+            // BUG: the fast path skips the lock.
+            ctx.read(&balance, label("Account.fastDeposit: read balance"));
+            ctx.work(1);
+            ctx.write(&balance, label("Account.fastDeposit: write balance"));
+        });
+        ctx.join(&auditor, label("Bank.join"));
+        ctx.join(&depositor, label("Bank.join"));
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer};
+    use df_fuzzer::{predict_races, RaceStrategy, SimpleRandomChecker};
+    use df_runtime::{RunConfig, VirtualRuntime};
+
+    #[test]
+    fn no_deadlocks_one_race() {
+        // Deadlock checker: silent.
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        assert_eq!(fuzzer.phase1().cycle_count(), 0);
+        // Race checker: one candidate, confirmed.
+        let rt = VirtualRuntime::new(RunConfig::default());
+        let p = program();
+        let p2 = p.clone();
+        let observed = rt.run(
+            Box::new(SimpleRandomChecker::with_seed(1)),
+            move |ctx| p2.run(ctx),
+        );
+        let races = predict_races(&observed.trace);
+        assert_eq!(races.len(), 1, "{races:?}");
+        let (strategy, witness) = RaceStrategy::new(races[0].clone(), 0);
+        let p3 = p.clone();
+        let _ = rt.run(Box::new(strategy), move |ctx| p3.run(ctx));
+        assert!(witness.lock().is_some(), "race confirmed");
+    }
+}

@@ -1,0 +1,129 @@
+//! A bounded buffer with monitor wait/notify — and a resource deadlock
+//! hiding behind the condition-variable protocol.
+//!
+//! The paper's scope note ("We only consider resource deadlocks in this
+//! paper") is exercised directly: the producer/consumer handshake can
+//! stall only by lost signals (a communication deadlock, which the
+//! runtime classifies but the fuzzer does not target), while the flush
+//! and stats paths take the buffer monitor and the metrics lock in
+//! opposite orders — a resource deadlock DeadlockFuzzer confirms.
+//!
+//! Interesting detail: the consumer's metrics acquisition happens both on
+//! the plain path *and* after resuming from `wait()` — iGoodlock
+//! distinguishes the two by context (the resumed hold carries the wait
+//! site), so this model yields **two** cycles on one lock pair.
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::{Shared, TCtx};
+
+fn label(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// Buffer capacity.
+pub const CAPACITY: usize = 2;
+/// Items produced.
+pub const ITEMS: usize = 4;
+
+/// Builds the bounded-buffer model.
+pub fn program() -> ProgramRef {
+    Arc::new(Named::new("bounded-buffer", |ctx: &TCtx| {
+        let monitor = ctx.new_lock(label("Buffer.<init>: monitor"));
+        let metrics = ctx.new_lock(label("Metrics.<init>: lock"));
+        let queue = Shared::new(Vec::<usize>::new());
+
+        let qp = queue.clone();
+        let producer = ctx.spawn(label("App.startProducer"), "producer", move |ctx| {
+            for item in 0..ITEMS {
+                ctx.acquire(&monitor, label("Buffer.put: lock"));
+                while qp.with(|q| q.len() >= CAPACITY) {
+                    ctx.wait(&monitor, label("Buffer.put: wait-for-space"));
+                }
+                qp.with(|q| q.push(item));
+                ctx.notify_all(&monitor, label("Buffer.put: notify"));
+                ctx.release(&monitor, label("Buffer.put: unlock"));
+                ctx.work(1);
+            }
+        });
+
+        let qc = queue.clone();
+        let consumer = ctx.spawn(label("App.startConsumer"), "consumer", move |ctx| {
+            for _ in 0..ITEMS {
+                ctx.acquire(&monitor, label("Buffer.take: lock"));
+                while qc.with(|q| q.is_empty()) {
+                    ctx.wait(&monitor, label("Buffer.take: wait-for-item"));
+                }
+                qc.with(|q| {
+                    q.remove(0);
+                });
+                // Record throughput: buffer monitor → metrics lock.
+                ctx.acquire(&metrics, label("Metrics.record: lock"));
+                ctx.release(&metrics, label("Metrics.record: unlock"));
+                ctx.notify_all(&monitor, label("Buffer.take: notify"));
+                ctx.release(&monitor, label("Buffer.take: unlock"));
+                ctx.work(1);
+            }
+        });
+
+        // Stats reporter: metrics lock → buffer monitor (opposite order!).
+        let qs = queue.clone();
+        let reporter = ctx.spawn(label("App.startReporter"), "reporter", move |ctx| {
+            ctx.work(30); // report after the batch has mostly drained
+            ctx.acquire(&metrics, label("Metrics.snapshot: lock"));
+            ctx.acquire(&monitor, label("Buffer.size: lock"));
+            let _depth = qs.with(|q| q.len());
+            ctx.release(&monitor, label("Buffer.size: unlock"));
+            ctx.release(&metrics, label("Metrics.snapshot: unlock"));
+        });
+
+        ctx.join(&producer, label("App.join"));
+        ctx.join(&consumer, label("App.join"));
+        ctx.join(&reporter, label("App.join"));
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+    #[test]
+    fn two_cycles_one_distinguished_by_wait_context() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        let p1 = fuzzer.phase1();
+        assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
+        assert_eq!(p1.cycle_count(), 2, "plain take + resumed-from-wait take");
+        let texts: Vec<String> =
+            p1.abstract_cycles.iter().map(|c| c.to_string()).collect();
+        assert!(
+            texts.iter().any(|t| t.contains("Buffer.take: lock")),
+            "{texts:?}"
+        );
+        assert!(
+            texts
+                .iter()
+                .any(|t| t.contains("Buffer.take: wait-for-item")),
+            "the resumed hold carries the wait site: {texts:?}"
+        );
+    }
+
+    #[test]
+    fn the_plain_cycle_confirms_reliably() {
+        let fuzzer = DeadlockFuzzer::from_ref(
+            program(),
+            Config::default().with_confirm_trials(10),
+        );
+        let report = fuzzer.run();
+        assert!(report.confirmed_count() >= 1);
+        let best = report
+            .confirmations
+            .iter()
+            .map(|c| c.probability.matched)
+            .max()
+            .unwrap();
+        assert_eq!(best, 10, "the plain-path cycle is deterministic");
+    }
+}

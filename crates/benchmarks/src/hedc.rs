@@ -1,0 +1,95 @@
+//! Model of **hedc** — the ETH web-crawler application (paper §5.1;
+//! 25,024 LoC, 0 deadlock cycles).
+//!
+//! hedc dispatches meta-search tasks through a thread pool; workers take
+//! a task under the pool lock and then touch per-host state under host
+//! locks, always `pool → task → host` — a consistent partial order with
+//! no cycles. The model mirrors that three-level nesting.
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::{Shared, TCtx};
+
+fn label(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// Crawler worker threads.
+pub const WORKERS: usize = 3;
+/// Tasks each worker processes.
+pub const TASKS: usize = 3;
+
+/// Builds the hedc model.
+pub fn program() -> ProgramRef {
+    Arc::new(Named::new("hedc", |ctx: &TCtx| {
+        let pool = ctx.new_lock(label("MetaSearchImpl.<init>:102"));
+        let hosts: Vec<_> = (0..2)
+            .map(|_| ctx.new_lock(label("HostManager.register:44")))
+            .collect();
+        let completed = Shared::new(0u32);
+        let mut workers = Vec::new();
+        for w in 0..WORKERS {
+            let hosts = hosts.clone();
+            let completed = completed.clone();
+            workers.push(ctx.spawn(
+                label("PooledExecutor.addThread:733"),
+                &format!("crawler-{w}"),
+                move |ctx| {
+                    for t in 0..TASKS {
+                        // Dequeue under the pool lock.
+                        let gp = ctx.lock(&pool, label("PooledExecutor.getTask:819"));
+                        ctx.work(1);
+                        // Touch per-host state while holding the pool
+                        // lock (consistent order pool → host).
+                        let host = &hosts[(w + t) % hosts.len()];
+                        let gh = ctx.lock(host, label("HostManager.fetch:67"));
+                        drop(gh);
+                        drop(gp);
+                        // Fetch outside any lock.
+                        ctx.work(2);
+                        completed.with(|c| *c += 1);
+                    }
+                },
+            ));
+        }
+        for wk in &workers {
+            ctx.join(wk, label("MetaSearchImpl.main: join"));
+        }
+        assert_eq!(completed.get(), (WORKERS * TASKS) as u32);
+    }))
+}
+
+/// The Table 1 registry entry.
+pub fn benchmark() -> crate::suite::Benchmark {
+    crate::suite::Benchmark {
+        name: "hedc",
+        paper_loc: 25_024,
+        expected_cycles: Some(0),
+        expected_real: Some(0),
+        paper_row: crate::suite::PaperRow {
+            cycles: "0",
+            real: "0",
+            reproduced: "-",
+            probability: "-",
+            thrashes: "-",
+        },
+        program: program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+    #[test]
+    fn pool_host_order_has_no_cycles() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        let p1 = fuzzer.phase1();
+        assert!(p1.run_outcome.is_completed());
+        assert_eq!(p1.cycle_count(), 0);
+        assert!(p1.relation_size > 0);
+    }
+}

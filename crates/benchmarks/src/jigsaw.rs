@@ -1,0 +1,188 @@
+//! Model of **Jigsaw** — W3C's web server platform (paper §5.1/§5.3/§5.4;
+//! 160,388 LoC; 283 potential cycles, ≥ 29 real, reproduced at
+//! probability 0.214 with ~19 thrashes/run; ≥ 18 iGoodlock false
+//! positives).
+//!
+//! Two things make Jigsaw the hardest benchmark and both are modeled:
+//!
+//! 1. **The real deadlocks** (Figure 3): on shutdown, `httpd.cleanup()`
+//!    calls `SocketClientFactory.killClients()` which holds the factory
+//!    monitor (`:867`) and takes `csList` (`:872`); concurrently each
+//!    `SocketClient` finishing a connection takes `csList` (`:623`) and
+//!    then the factory (`decrIdleCount:574`). A second variant kills idle
+//!    connections through the same locks at different sites. With several
+//!    client threads this yields many concrete cycles on one lock pair,
+//!    and their interference makes reproduction probabilistic and
+//!    thrash-prone.
+//! 2. **The false positives** (§5.4): `CachedThread.waitForRunner()`
+//!    style cycles that iGoodlock reports but that cannot happen, because
+//!    the opposite-order thread is only *started* after the first thread
+//!    has released its locks (a happens-before edge iGoodlock ignores).
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::TCtx;
+
+fn label(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// Concurrent socket-client threads.
+pub const CLIENTS: usize = 3;
+
+/// Builds the Jigsaw model.
+pub fn program() -> ProgramRef {
+    Arc::new(Named::new("jigsaw", |ctx: &TCtx| {
+        let factory = ctx.new_lock(label("SocketClientFactory.<init>:130"));
+        let cs_list = ctx.new_lock(label("SocketClientFactory.initClientList:139"));
+
+        // --- §5.4 false positives -------------------------------------
+        // The main thread acquires (cachedThread → waiterLock) and fully
+        // releases *before* starting the CachedThread that acquires them
+        // in the opposite order. iGoodlock (no happens-before) reports a
+        // cycle; it can never manifest.
+        let cached_thread = ctx.new_lock(label("CachedThread.<init>:51"));
+        let waiter = ctx.new_lock(label("CachedThread.newWaiterLock:58"));
+        {
+            let g1 = ctx.lock(&cached_thread, label("ThreadCache.allocateThread:203"));
+            let g2 = ctx.lock(&waiter, label("ThreadCache.initWaiter:208"));
+            drop(g2);
+            drop(g1);
+        }
+        let fp_runner = ctx.spawn(
+            label("ThreadCache.startCachedThread:214"),
+            "cached-thread",
+            move |ctx| {
+                // waitForRunner(): waiter → cachedThread, opposite order —
+                // but only ever runs after main released both above.
+                let g1 = ctx.lock(&waiter, label("CachedThread.waitForRunner:74"));
+                let g2 = ctx.lock(&cached_thread, label("CachedThread.getRunner:81"));
+                ctx.work(1);
+                drop(g2);
+                drop(g1);
+            },
+        );
+
+        // --- Figure 3 real deadlocks ----------------------------------
+        let mut clients = Vec::new();
+        for i in 0..CLIENTS {
+            clients.push(ctx.spawn(
+                label("SocketClientFactory.createClient:311"),
+                &format!("SocketClient-{i}"),
+                move |ctx| {
+                    // Serve a request; clients come in staggered, so the
+                    // connection-teardown windows rarely line up with the
+                    // shutdown path under plain testing.
+                    ctx.work(3 + 4 * i as u32);
+                    // clientConnectionFinished(): csList → factory.
+                    let g1 = ctx.lock(&cs_list, label("SocketClientFactory.clientConnectionFinished:623"));
+                    let g2 = ctx.lock(&factory, label("SocketClientFactory.decrIdleCount:574"));
+                    ctx.work(1);
+                    drop(g2);
+                    drop(g1);
+                    ctx.work(4);
+                    // killIdleConnection(): same locks, different sites.
+                    let g1 = ctx.lock(&cs_list, label("SocketClient.killIdleConnection:188"));
+                    let g2 = ctx.lock(&factory, label("SocketClientFactory.incrFreeCount:581"));
+                    ctx.work(1);
+                    drop(g2);
+                    drop(g1);
+                },
+            ));
+        }
+
+        // The shutdown thread: after the server has run a while, cleanup
+        // kills all clients — factory → csList.
+        let shutdown = ctx.spawn(label("httpd.run:1711"), "shutdown", move |ctx| {
+            ctx.work(34); // the server runs a while before cleanup
+            let g1 = ctx.lock(&factory, label("SocketClientFactory.killClients:867"));
+            let g2 = ctx.lock(&cs_list, label("SocketClientFactory.killClients:872"));
+            ctx.work(1);
+            drop(g2);
+            drop(g1);
+        });
+
+        for c in &clients {
+            ctx.join(c, label("httpd.cleanup:1455 join"));
+        }
+        ctx.join(&shutdown, label("httpd.cleanup:1455 join"));
+        ctx.join(&fp_runner, label("ThreadCache.shutdown:230 join"));
+    }))
+}
+
+/// The Table 1 registry entry.
+pub fn benchmark() -> crate::suite::Benchmark {
+    crate::suite::Benchmark {
+        name: "Jigsaw",
+        paper_loc: 160_388,
+        // 3 clients × 2 contexts against the shutdown thread + 1 false
+        // positive = 7, but Phase I's random schedule may observe fewer.
+        expected_cycles: None,
+        expected_real: None,
+        paper_row: crate::suite::PaperRow {
+            cycles: "283",
+            real: ">= 29",
+            reproduced: "29",
+            probability: "0.214",
+            thrashes: "18.97",
+        },
+        program: program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+    #[test]
+    fn phase1_reports_real_cycles_and_false_positives() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        let p1 = fuzzer.phase1();
+        // The false-positive cycle is present...
+        let fp = p1
+            .abstract_cycles
+            .iter()
+            .filter(|c| c.to_string().contains("waitForRunner"))
+            .count();
+        assert_eq!(fp, 1, "the §5.4 happens-before-guarded cycle is reported");
+        // ...alongside several real factory/csList cycles.
+        let real = p1
+            .abstract_cycles
+            .iter()
+            .filter(|c| c.to_string().contains("killClients"))
+            .count();
+        assert!(real >= 3, "one cycle per client at least, got {real}");
+    }
+
+    #[test]
+    fn false_positive_is_never_confirmed_and_real_cycles_are() {
+        let fuzzer = DeadlockFuzzer::from_ref(
+            program(),
+            Config::default().with_confirm_trials(6),
+        );
+        let report = fuzzer.run();
+        let mut fp_confirmed = 0;
+        let mut real_confirmed = 0;
+        for conf in &report.confirmations {
+            if conf.cycle.to_string().contains("waitForRunner") {
+                if conf.confirmed {
+                    fp_confirmed += 1;
+                }
+            } else if conf.confirmed {
+                real_confirmed += 1;
+            }
+        }
+        assert_eq!(
+            fp_confirmed, 0,
+            "the happens-before-guarded cycle cannot be created"
+        );
+        assert!(real_confirmed >= 1, "some Figure 3 deadlock is confirmed");
+        assert!(
+            report.confirmed_count() < report.potential_count(),
+            "Jigsaw has unconfirmable reports, like the paper's 283 vs 29"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Model of **jspider** — "a highly configurable and customizable Web
+//! Spider engine" (paper §5.1; 10,252 LoC, 0 deadlock cycles).
+//!
+//! jSpider coordinates fetch workers through a scheduler monitor and
+//! per-site rule sets; the scheduler lock is always taken before the rule
+//! lock. The model: a dispatcher feeding a queue and workers draining it,
+//! all under the consistent `scheduler → rules` order.
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::{Shared, TCtx};
+
+fn label(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// Fetch worker threads.
+pub const WORKERS: usize = 2;
+/// URLs seeded by the dispatcher.
+pub const URLS: usize = 6;
+
+/// Builds the jspider model.
+pub fn program() -> ProgramRef {
+    Arc::new(Named::new("jspider", |ctx: &TCtx| {
+        let scheduler = ctx.new_lock(label("SchedulerImpl.<init>:31"));
+        let rules = ctx.new_lock(label("RuleSet.<init>:19"));
+        let queue = Shared::new(Vec::<usize>::new());
+        let fetched = Shared::new(0usize);
+
+        let dispatcher = {
+            let queue = queue.clone();
+            ctx.spawn(label("SpiderImpl.startDispatcher:77"), "dispatcher", move |ctx| {
+                for u in 0..URLS {
+                    let g = ctx.lock(&scheduler, label("SchedulerImpl.schedule:58"));
+                    // Rule evaluation nested under the scheduler lock.
+                    let gr = ctx.lock(&rules, label("RuleSet.applyRules:41"));
+                    queue.with(|q| q.push(u));
+                    drop(gr);
+                    drop(g);
+                    ctx.yield_now();
+                }
+            })
+        };
+        let mut workers = Vec::new();
+        for w in 0..WORKERS {
+            let queue = queue.clone();
+            let fetched = fetched.clone();
+            workers.push(ctx.spawn(
+                label("WorkerThreadPool.newThread:104"),
+                &format!("fetch-{w}"),
+                move |ctx| {
+                    loop {
+                        let g = ctx.lock(&scheduler, label("SchedulerImpl.getScheduledSpiderTask:71"));
+                        let item = queue.with(|q| q.pop());
+                        drop(g);
+                        match item {
+                            Some(_) => {
+                                ctx.work(1); // fetch
+                                let gr = ctx.lock(&rules, label("RuleSet.recordVisit:52"));
+                                fetched.with(|f| *f += 1);
+                                drop(gr);
+                            }
+                            None => {
+                                let done = fetched.with(|f| *f >= URLS);
+                                if done {
+                                    break;
+                                }
+                                ctx.yield_now();
+                            }
+                        }
+                    }
+                },
+            ));
+        }
+        ctx.join(&dispatcher, label("SpiderImpl.main: join"));
+        for wk in &workers {
+            ctx.join(wk, label("SpiderImpl.main: join"));
+        }
+        assert_eq!(fetched.get(), URLS);
+    }))
+}
+
+/// The Table 1 registry entry.
+pub fn benchmark() -> crate::suite::Benchmark {
+    crate::suite::Benchmark {
+        name: "jspider",
+        paper_loc: 10_252,
+        expected_cycles: Some(0),
+        expected_real: Some(0),
+        paper_row: crate::suite::PaperRow {
+            cycles: "0",
+            real: "0",
+            reproduced: "-",
+            probability: "-",
+            thrashes: "-",
+        },
+        program: program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+    #[test]
+    fn scheduler_rules_order_has_no_cycles() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        let p1 = fuzzer.phase1();
+        assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
+        assert_eq!(p1.cycle_count(), 0);
+    }
+
+    #[test]
+    fn workers_drain_the_whole_queue_under_many_seeds() {
+        for seed in [1, 9, 23] {
+            let fuzzer =
+                DeadlockFuzzer::from_ref(program(), Config::default().with_phase1_seed(seed));
+            let p1 = fuzzer.phase1();
+            assert!(p1.run_outcome.is_completed(), "seed {seed}: {:?}", p1.run_outcome);
+        }
+    }
+}

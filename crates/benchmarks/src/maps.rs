@@ -1,0 +1,169 @@
+//! Model of **Synchronized Maps** (paper §5.1/§5.3; 18,911 LoC;
+//! 4 cycles each for `HashMap`, `TreeMap`, `WeakHashMap`,
+//! `LinkedHashMap`, `IdentityHashMap`; all real; probability 0.52;
+//! 0.04 thrashes).
+//!
+//! `m1.equals(m2)` on synchronized maps locks `m1` and then, while
+//! comparing, calls into `m2` (`get`, `size`) which locks `m2`. Two
+//! threads running `m1.equals(m2)` and `m2.equals(m1)` can deadlock at
+//! any of the 2 × 2 inner-call combinations — 4 cycles per map class.
+//!
+//! The paper observed probability ≈ 0.5 here because the *two inner
+//! acquires are adjacent*: while steering toward one combination the
+//! threads frequently close one of the *other* combinations first — a
+//! real deadlock, but not the requested cycle. The model reproduces that
+//! mechanism exactly.
+//!
+//! One of the four combinations per class — `(size, size)` — is predicted
+//! by iGoodlock but *unrealizable*: for both threads to pass their `get`
+//! calls each would have to observe the other's receiver unlocked before
+//! the other's `equals` begins, an ordering contradiction. DeadlockFuzzer
+//! correctly never confirms it (the paper's §5.4 point: unconfirmed
+//! cycles cannot be dismissed, but confirmed ones are never false).
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::{LockRef, TCtx};
+
+/// The five synchronized map classes of Table 1.
+pub const CLASSES: [&str; 5] = [
+    "HashMap",
+    "TreeMap",
+    "WeakHashMap",
+    "LinkedHashMap",
+    "IdentityHashMap",
+];
+/// Setup work of worker B before its `equals` call.
+pub const SETUP: u32 = 22;
+
+/// `self.equals(other)`: lock the receiver, then call `other.get(...)`
+/// and `other.size()` — two separate inner acquires of the argument's
+/// monitor.
+fn equals(ctx: &TCtx, class: &str, recv: LockRef, arg: LockRef) {
+    let outer = Label::new(&format!("Synchronized{class}.equals: lock self"));
+    let via_get = Label::new(&format!("Synchronized{class}.get: lock argument"));
+    let via_size = Label::new(&format!("Synchronized{class}.size: lock argument"));
+    let g1 = ctx.lock(&recv, outer);
+    let g2 = ctx.lock(&arg, via_get);
+    drop(g2);
+    let g2 = ctx.lock(&arg, via_size);
+    drop(g2);
+    drop(g1);
+}
+
+/// Builds the synchronized-maps model: one class tested at a time (like
+/// the paper's harness), each with a fresh map pair. One worker calls
+/// `m1.equals(m2)` right away, the other calls `m2.equals(m1)` after a
+/// long setup — and *which* worker is the delayed one alternates from run
+/// to run, modeling the arrival-order randomness real OS scheduling gives
+/// the paper's harness. (The delay length is invisible to the
+/// abstractions, so Phase I cycles stay valid across runs either way.)
+pub fn program() -> ProgramRef {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static RUN: AtomicU32 = AtomicU32::new(0);
+    Arc::new(Named::new("synchronized-maps", |ctx: &TCtx| {
+        let delay_a = RUN.fetch_add(1, Ordering::Relaxed) % 2 == 1;
+        for class in CLASSES {
+            let m1 =
+                ctx.new_lock(Label::new(&format!("Collections.synchronizedMap({class}) #1")));
+            let m2 =
+                ctx.new_lock(Label::new(&format!("Collections.synchronizedMap({class}) #2")));
+            let ta = ctx.spawn(
+                Label::new(&format!("MapTest.start{class}A")),
+                &format!("{class}-A"),
+                move |ctx| {
+                    if delay_a {
+                        ctx.work(SETUP); // populate the maps first
+                    }
+                    equals(ctx, class, m1, m2);
+                },
+            );
+            let tb = ctx.spawn(
+                Label::new(&format!("MapTest.start{class}B")),
+                &format!("{class}-B"),
+                move |ctx| {
+                    if !delay_a {
+                        ctx.work(SETUP);
+                    }
+                    equals(ctx, class, m2, m1);
+                },
+            );
+            ctx.join(&ta, Label::new("MapTest.main: join"));
+            ctx.join(&tb, Label::new("MapTest.main: join"));
+        }
+    }))
+}
+
+/// The Table 1 registry entry.
+pub fn benchmark() -> crate::suite::Benchmark {
+    crate::suite::Benchmark {
+        name: "Synchronized Maps",
+        paper_loc: 18_911,
+        expected_cycles: Some(20),
+        expected_real: Some(20),
+        paper_row: crate::suite::PaperRow {
+            cycles: "4+4+4+4+4",
+            real: "4+4+4+4+4",
+            reproduced: "4+4+4+4+4",
+            probability: "0.52",
+            thrashes: "0.04",
+        },
+        program: program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+    #[test]
+    fn phase1_reports_four_cycles_per_class() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        let p1 = fuzzer.phase1();
+        assert!(
+            p1.run_outcome.is_completed(),
+            "phase 1 outcome: {:?}",
+            p1.run_outcome
+        );
+        assert_eq!(p1.cycle_count(), 20, "4 per class, 5 classes");
+        for class in CLASSES {
+            let n = p1
+                .abstract_cycles
+                .iter()
+                .filter(|c| c.to_string().contains(&format!("Synchronized{class}.")))
+                .count();
+            assert_eq!(n, 4, "class {class}");
+        }
+    }
+
+    #[test]
+    fn deadlocks_always_but_target_matching_is_partial() {
+        // The paper's signature result on maps: DeadlockFuzzer virtually
+        // always creates *a* deadlock, but often a different combination
+        // than the one requested — probability of reproducing the exact
+        // cycle ≈ 0.5.
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        let p1 = fuzzer.phase1();
+        let trials = 4;
+        let mut any = 0u32;
+        let mut matched = 0u32;
+        let mut total = 0u32;
+        // Cover all four combinations of the first two classes (the
+        // combination mix is what produces the partial matching).
+        for cycle in p1.abstract_cycles.iter().take(8) {
+            let prob = fuzzer.estimate_probability(cycle, trials);
+            any += prob.deadlocks;
+            matched += prob.matched;
+            total += trials;
+        }
+        assert_eq!(any, total, "every biased run deadlocks somewhere");
+        let ratio = f64::from(matched) / f64::from(any);
+        assert!(
+            (0.2..0.95).contains(&ratio),
+            "some, but not all, trials match the exact target: {matched}/{any}"
+        );
+    }
+}

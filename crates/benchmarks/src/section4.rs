@@ -1,0 +1,89 @@
+//! The §4 example: the thrashing pattern the yield optimization fixes.
+//!
+//! ```text
+//! thread1 {                    thread2 {
+//!   synchronized(l1) {           synchronized(l1) { }
+//!     synchronized(l2) { }       synchronized(l2) {
+//!   }                              synchronized(l1) { }
+//! }                              }
+//!                              }
+//! ```
+//!
+//! If `thread1` is paused before its inner `l2` acquire while `thread2`
+//! has not yet passed its *leading* `synchronized(l1)`, `thread2` blocks
+//! on `l1` (held by the paused `thread1`) — a thrash, and the deadlock is
+//! missed. The §4 optimization makes `thread1` yield before the
+//! *outermost* acquire of its cycle context, giving `thread2` time to pass
+//! the leading block.
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::TCtx;
+
+fn label(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// The §4 two-thread program.
+pub fn program() -> ProgramRef {
+    Arc::new(Named::new("section4", |ctx: &TCtx| {
+        let l1 = ctx.new_lock(label("section4.main: new l1"));
+        let l2 = ctx.new_lock(label("section4.main: new l2"));
+        let t1 = ctx.spawn(label("section4.main: start t1"), "thread1", move |ctx| {
+            ctx.acquire(&l1, label("thread1:2"));
+            ctx.acquire(&l2, label("thread1:3"));
+            ctx.release(&l2, label("thread1:4"));
+            ctx.release(&l1, label("thread1:5"));
+        });
+        let t2 = ctx.spawn(label("section4.main: start t2"), "thread2", move |ctx| {
+            ctx.acquire(&l1, label("thread2:9"));
+            ctx.release(&l1, label("thread2:11"));
+            ctx.acquire(&l2, label("thread2:12"));
+            ctx.acquire(&l1, label("thread2:13"));
+            ctx.release(&l1, label("thread2:14"));
+            ctx.release(&l2, label("thread2:15"));
+        });
+        ctx.join(&t1, label("section4.main: join"));
+        ctx.join(&t2, label("section4.main: join"));
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+    #[test]
+    fn phase1_finds_the_cycle() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        let p1 = fuzzer.phase1();
+        assert_eq!(p1.cycle_count(), 1, "one (l1,l2) cycle");
+    }
+
+    #[test]
+    fn yields_give_higher_probability_than_no_yields() {
+        let trials = 30;
+        let with_yields = DeadlockFuzzer::from_ref(
+            program(),
+            Config::default().with_confirm_trials(trials),
+        )
+        .run();
+        let without_yields = DeadlockFuzzer::from_ref(
+            program(),
+            Config::default().with_yields(false).with_confirm_trials(trials),
+        )
+        .run();
+        let py = &with_yields.confirmations[0].probability;
+        let pn = &without_yields.confirmations[0].probability;
+        assert_eq!(
+            py.deadlocks, trials,
+            "with yields the deadlock is created every time: {py:?}"
+        );
+        assert!(
+            pn.deadlocks < trials || pn.avg_thrashes > py.avg_thrashes,
+            "without yields the §4 pattern must miss or thrash: yields={py:?} noyields={pn:?}"
+        );
+    }
+}

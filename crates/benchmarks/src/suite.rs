@@ -1,0 +1,93 @@
+//! The benchmark registry used by the Table 1 / Figure 2 harnesses.
+
+use deadlock_fuzzer::ProgramRef;
+
+/// A benchmark entry: the program model plus the metadata the experiment
+/// harness reports alongside it.
+pub struct Benchmark {
+    /// Benchmark name (matches Table 1's "Program name" column).
+    pub name: &'static str,
+    /// Lines of code of the *original* Java benchmark (Table 1 column 2;
+    /// reported for reference — our models are far smaller).
+    pub paper_loc: usize,
+    /// Number of potential deadlock cycles our model is designed to
+    /// produce under iGoodlock (`None` when the count is schedule- or
+    /// parameter-dependent, e.g. Jigsaw).
+    pub expected_cycles: Option<usize>,
+    /// Number of cycles in the model that are *real* (reproducible)
+    /// deadlocks (`None` when schedule-dependent).
+    pub expected_real: Option<usize>,
+    /// The paper's Table 1 values for this benchmark, for side-by-side
+    /// reporting: (cycles, real, reproduced, probability, thrashes), each
+    /// as printed (strings because the paper uses entries like "9+9+9").
+    pub paper_row: PaperRow,
+    /// The program model.
+    pub program: ProgramRef,
+}
+
+/// The published Table 1 row (verbatim strings from the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    /// iGoodlock cycle count.
+    pub cycles: &'static str,
+    /// Real deadlocks after manual inspection.
+    pub real: &'static str,
+    /// Cycles reproduced by DeadlockFuzzer.
+    pub reproduced: &'static str,
+    /// Probability of reproduction (100 runs/cycle).
+    pub probability: &'static str,
+    /// Average thrashings per run.
+    pub thrashes: &'static str,
+}
+
+/// All ten Table 1 benchmarks, in the paper's row order.
+pub fn table1_suite() -> Vec<Benchmark> {
+    vec![
+        crate::cache4j::benchmark(),
+        crate::sor::benchmark(),
+        crate::hedc::benchmark(),
+        crate::jspider::benchmark(),
+        crate::jigsaw::benchmark(),
+        crate::logging::benchmark(),
+        crate::swing::benchmark(),
+        crate::dbcp::benchmark(),
+        crate::lists::benchmark(),
+        crate::maps::benchmark(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_rows_in_paper_order() {
+        let suite = table1_suite();
+        let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cache4j",
+                "sor",
+                "hedc",
+                "jspider",
+                "Jigsaw",
+                "Java Logging",
+                "Java Swing",
+                "DBCP",
+                "Synchronized Lists",
+                "Synchronized Maps",
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_loc_matches_table1() {
+        let suite = table1_suite();
+        let loc: Vec<usize> = suite.iter().map(|b| b.paper_loc).collect();
+        assert_eq!(
+            loc,
+            vec![3_897, 17_718, 25_024, 10_252, 160_388, 4_248, 337_291, 27_194, 17_633, 18_911]
+        );
+    }
+}

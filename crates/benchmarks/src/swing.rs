@@ -1,0 +1,152 @@
+//! Model of **Java Swing** (paper §5.1; 337,291 LoC, 1 cycle, real,
+//! reproduced with probability 1.00 at ~4.8 thrashes/run — Sun bug
+//! 4839713).
+//!
+//! The deadlock: the main thread synchronizes on a `JFrame` and calls
+//! `setCaretPosition()`, which needs the `BasicTextUI$BasicCaret` monitor
+//! (`DefaultCaret.java:1244`); concurrently the `EventQueue` thread holds
+//! the caret monitor (`DefaultCaret.java:1304`) and calls back into
+//! `RepaintManager.addDirtyRegion` which synchronizes on the frame
+//! (`RepaintManager.java:407`).
+//!
+//! The model captures what makes Swing hard for coarse variants: the
+//! EventQueue thread acquires *the same locks many times at many program
+//! locations* (paint/layout churn), so ignoring contexts pauses it all
+//! over the place and thrashes (Figure 2, bottom-left).
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::TCtx;
+
+fn label(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// Paint-loop iterations of the EventQueue thread before the deadlocking
+/// dispatch.
+pub const PAINT_ROUNDS: usize = 4;
+
+/// Builds the swing model.
+pub fn program() -> ProgramRef {
+    Arc::new(Named::new("swing", |ctx: &TCtx| {
+        let frame = ctx.new_lock(label("JFrame.<init>:180"));
+        let caret = ctx.new_lock(label("BasicTextUI.createCaret:88"));
+        let repaint_queue = ctx.new_lock(label("RepaintManager.<init>:132"));
+
+        let event_queue = ctx.spawn(
+            label("EventQueue.initDispatchThread:70"),
+            "EventQueue",
+            move |ctx| {
+                // Paint churn: the caret monitor is taken over and over
+                // at unrelated sites (this is what makes the context-free
+                // variants pause the EventQueue in the wrong places).
+                for _ in 0..PAINT_ROUNDS {
+                    let g = ctx.lock(&caret, label("DefaultCaret.paint:601"));
+                    ctx.work(1);
+                    drop(g);
+                    let g = ctx.lock(&repaint_queue, label("RepaintManager.paintDirtyRegions:712"));
+                    ctx.work(1);
+                    drop(g);
+                    let g = ctx.lock(&caret, label("DefaultCaret.setVisible:955"));
+                    drop(g);
+                    ctx.yield_now();
+                }
+                // The deadlocking dispatch: caret blink holds the caret
+                // monitor, then repaints — which needs the frame monitor.
+                let gc = ctx.lock(&caret, label("DefaultCaret.setDot:1304"));
+                let gf = ctx.lock(&frame, label("RepaintManager.addDirtyRegion:407"));
+                ctx.work(1);
+                drop(gf);
+                drop(gc);
+            },
+        );
+
+        // The main/application thread: long setup, then synchronizes on
+        // the frame and moves the caret.
+        ctx.work(6);
+        let gf = ctx.lock(&frame, label("AppCode.syncOnFrame:33"));
+        let gc = ctx.lock(&caret, label("DefaultCaret.setCaretPosition:1244"));
+        ctx.work(1);
+        drop(gc);
+        drop(gf);
+
+        ctx.join(&event_queue, label("AppCode.main: join"));
+    }))
+}
+
+/// The Table 1 registry entry.
+pub fn benchmark() -> crate::suite::Benchmark {
+    crate::suite::Benchmark {
+        name: "Java Swing",
+        paper_loc: 337_291,
+        expected_cycles: Some(1),
+        expected_real: Some(1),
+        paper_row: crate::suite::PaperRow {
+            cycles: "1",
+            real: "1",
+            reproduced: "1",
+            probability: "1.00",
+            thrashes: "4.83",
+        },
+        program: program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer, Variant};
+
+    #[test]
+    fn phase1_reports_exactly_one_cycle() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        let p1 = fuzzer.phase1();
+        assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
+        assert_eq!(p1.cycle_count(), 1);
+        let text = p1.abstract_cycles[0].to_string();
+        assert!(text.contains("1244") && text.contains("407"), "cycle: {text}");
+    }
+
+    #[test]
+    fn cycle_reproduced_reliably() {
+        let fuzzer = DeadlockFuzzer::from_ref(
+            program(),
+            Config::default().with_confirm_trials(10),
+        );
+        let report = fuzzer.run();
+        assert_eq!(report.confirmed_count(), 1);
+        let p = &report.confirmations[0].probability;
+        assert!(
+            p.matched >= 9,
+            "swing deadlock reproduces almost always: {p:?}"
+        );
+    }
+
+    #[test]
+    fn ignoring_context_hurts_on_swing() {
+        // Figure 2: "Ignoring context information increased the thrashing
+        // ... for the Swing benchmark" — the same locks are taken at many
+        // sites, so context-free matching pauses the EventQueue during
+        // paint churn.
+        let base = DeadlockFuzzer::from_ref(
+            program(),
+            Config::default().with_confirm_trials(12),
+        )
+        .run();
+        let noctx = DeadlockFuzzer::from_ref(
+            program(),
+            Config::default()
+                .with_variant(Variant::IgnoreContext)
+                .with_confirm_trials(12),
+        )
+        .run();
+        let pb = &base.confirmations[0].probability;
+        let pn = &noctx.confirmations[0].probability;
+        assert!(
+            pn.avg_thrashes >= pb.avg_thrashes,
+            "no-context must thrash at least as much: base={pb:?} noctx={pn:?}"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Synthetic workload generator for scalability experiments.
+//!
+//! The paper's benchmarks total 600 KLoC of Java; our models reproduce
+//! their *structure* but not their *bulk*. This generator produces
+//! parameterized programs — `threads` workers, a pool of `locks`, a
+//! stream of mostly-ordered nested acquisitions with a controlled number
+//! of deliberate order inversions (`cycle_pairs`) — so Phase I and
+//! Phase II cost can be measured as program size grows
+//! (`cargo bench -p df-bench --bench scaling`).
+//!
+//! Generation is deterministic in `seed` (a small LCG — no external RNG
+//! so the crate stays dependency-light and the generated *program text*
+//! is a pure function of the spec).
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::TCtx;
+
+/// Parameters of a generated workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticSpec {
+    /// Worker threads.
+    pub threads: usize,
+    /// Lock pool size.
+    pub locks: usize,
+    /// Nested acquisition pairs per worker.
+    pub ops_per_thread: usize,
+    /// Deliberate lock-order inversions (each contributes one potential
+    /// 2-cycle between consecutive workers).
+    pub cycle_pairs: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// A small deadlock-free workload.
+    pub fn small() -> Self {
+        SyntheticSpec {
+            threads: 4,
+            locks: 8,
+            ops_per_thread: 6,
+            cycle_pairs: 0,
+            seed: 1,
+        }
+    }
+
+    /// A medium workload with a couple of seeded cycles.
+    pub fn medium() -> Self {
+        SyntheticSpec {
+            threads: 8,
+            locks: 16,
+            ops_per_thread: 12,
+            cycle_pairs: 2,
+            seed: 2,
+        }
+    }
+
+    /// A large workload (hundreds of acquisitions per run).
+    pub fn large() -> Self {
+        SyntheticSpec {
+            threads: 16,
+            locks: 32,
+            ops_per_thread: 24,
+            cycle_pairs: 4,
+            seed: 3,
+        }
+    }
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Builds a synthetic program from `spec`.
+///
+/// Ordinary operations acquire `(lo, hi)` in ascending lock order (never
+/// a cycle); workers `2i` and `2i+1` of the first `cycle_pairs` pairs
+/// additionally acquire one dedicated lock pair in opposite orders, at
+/// pair-specific sites, with the even worker delayed — Figure 1's shape,
+/// repeated.
+pub fn program(spec: SyntheticSpec) -> ProgramRef {
+    Arc::new(Named::new("synthetic", move |ctx: &TCtx| {
+        let pool: Vec<_> = (0..spec.locks)
+            .map(|_| ctx.new_lock(Label::new("Synth.newLock")))
+            .collect();
+        let pairs: Vec<_> = (0..spec.cycle_pairs)
+            .map(|_| {
+                (
+                    ctx.new_lock(Label::new("Synth.newCycleLockA")),
+                    ctx.new_lock(Label::new("Synth.newCycleLockB")),
+                )
+            })
+            .collect();
+        let mut workers = Vec::new();
+        for t in 0..spec.threads {
+            let pool = pool.clone();
+            let pairs = pairs.clone();
+            workers.push(ctx.spawn(
+                Label::new("Synth.spawnWorker"),
+                &format!("synth-{t}"),
+                move |ctx| {
+                    let mut rng = spec.seed ^ (t as u64).wrapping_mul(0x9E37_79B9);
+                    // Deliberate inversion first (if this worker belongs
+                    // to a cycle pair).
+                    if t / 2 < pairs.len() {
+                        let (a, b) = pairs[t / 2];
+                        let (first, second, slow) = if t % 2 == 0 {
+                            (a, b, true)
+                        } else {
+                            (b, a, false)
+                        };
+                        if slow {
+                            ctx.work(10);
+                        }
+                        let g1 = ctx.lock(
+                            &first,
+                            Label::new(&format!("Synth.pair{}.first", t / 2)),
+                        );
+                        let g2 = ctx.lock(
+                            &second,
+                            Label::new(&format!("Synth.pair{}.second", t / 2)),
+                        );
+                        drop(g2);
+                        drop(g1);
+                        ctx.work(3);
+                    }
+                    // Ordered bulk work: never cyclic.
+                    for op in 0..spec.ops_per_thread {
+                        let x = (lcg(&mut rng) as usize) % pool.len();
+                        let y = (lcg(&mut rng) as usize) % pool.len();
+                        if x == y {
+                            ctx.yield_now();
+                            continue;
+                        }
+                        let (lo, hi) = (x.min(y), x.max(y));
+                        let g1 = ctx.lock(
+                            &pool[lo],
+                            Label::new(&format!("Synth.bulk{op}.outer")),
+                        );
+                        let g2 = ctx.lock(
+                            &pool[hi],
+                            Label::new(&format!("Synth.bulk{op}.inner")),
+                        );
+                        drop(g2);
+                        drop(g1);
+                        if op % 4 == 0 {
+                            ctx.work(1);
+                        }
+                    }
+                },
+            ));
+        }
+        for w in &workers {
+            ctx.join(w, Label::new("Synth.join"));
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+    #[test]
+    fn deadlock_free_spec_reports_nothing() {
+        let fuzzer = DeadlockFuzzer::from_ref(
+            program(SyntheticSpec::small()),
+            Config::default(),
+        );
+        let p1 = fuzzer.phase1();
+        assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
+        assert_eq!(p1.cycle_count(), 0);
+        assert!(p1.acquires_observed > 10, "bulk work happened");
+    }
+
+    #[test]
+    fn seeded_cycles_are_found_and_confirmed() {
+        let spec = SyntheticSpec::medium();
+        let fuzzer = DeadlockFuzzer::from_ref(
+            program(spec),
+            Config::default().with_confirm_trials(4),
+        );
+        let p1 = fuzzer.phase1();
+        assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
+        assert_eq!(
+            p1.cycle_count(),
+            spec.cycle_pairs,
+            "one 2-cycle per seeded pair"
+        );
+        let report = fuzzer.run();
+        assert_eq!(report.confirmed_count(), spec.cycle_pairs);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SyntheticSpec::medium();
+        let a = DeadlockFuzzer::from_ref(program(spec), Config::default()).phase1();
+        let b = DeadlockFuzzer::from_ref(program(spec), Config::default()).phase1();
+        assert_eq!(a.relation_size, b.relation_size);
+        assert_eq!(a.cycle_count(), b.cycle_count());
+    }
+
+    #[test]
+    fn large_spec_completes_within_budget() {
+        let fuzzer = DeadlockFuzzer::from_ref(
+            program(SyntheticSpec::large()),
+            Config::default(),
+        );
+        let p1 = fuzzer.phase1();
+        assert!(
+            p1.run_outcome.is_completed() || p1.run_outcome.is_deadlock(),
+            "{:?}",
+            p1.run_outcome
+        );
+        assert!(p1.acquires_observed > 100);
+    }
+}

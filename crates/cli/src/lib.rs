@@ -1,0 +1,377 @@
+//! Library backing the `dfz` command-line tool.
+//!
+//! Everything the binary does is exposed as functions here so it can be
+//! tested without spawning processes:
+//!
+//! * resolve a benchmark by name ([`resolve_program`]);
+//! * run Phase I and render/serialize its cycles ([`cmd_phase1`]);
+//! * dump a trace as JSON and analyze a dumped trace offline
+//!   ([`cmd_trace`], [`analyze_trace_json`]);
+//! * confirm cycles with Phase II trials ([`cmd_confirm`]);
+//! * run the full pipeline ([`cmd_run`]).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use deadlock_fuzzer::{Config, DeadlockFuzzer, ProgramRef, Variant};
+use df_abstraction::Abstractor;
+use df_events::Trace;
+use df_igoodlock::{igoodlock_filtered, HbFilter, IGoodlockOptions, LockDependencyRelation};
+
+/// Names accepted by [`resolve_program`].
+pub const BENCHMARKS: [&str; 15] = [
+    "figure1",
+    "figure1-three-threads",
+    "section4",
+    "cache4j",
+    "sor",
+    "hedc",
+    "jspider",
+    "jigsaw",
+    "logging",
+    "swing",
+    "dbcp",
+    "lists",
+    "maps",
+    "buffer",
+    "account",
+];
+
+/// Resolves a benchmark/program model by name.
+///
+/// # Errors
+///
+/// Returns the list of valid names if `name` is unknown.
+pub fn resolve_program(name: &str) -> Result<ProgramRef, String> {
+    Ok(match name {
+        "figure1" => df_benchmarks::figure1::program(false),
+        "figure1-three-threads" => df_benchmarks::figure1::program(true),
+        "section4" => df_benchmarks::section4::program(),
+        "cache4j" => df_benchmarks::cache4j::program(),
+        "sor" => df_benchmarks::sor::program(),
+        "hedc" => df_benchmarks::hedc::program(),
+        "jspider" => df_benchmarks::jspider::program(),
+        "jigsaw" => df_benchmarks::jigsaw::program(),
+        "logging" => df_benchmarks::logging::program(),
+        "swing" => df_benchmarks::swing::program(),
+        "dbcp" => df_benchmarks::dbcp::program(),
+        "lists" => df_benchmarks::lists::program(),
+        "maps" => df_benchmarks::maps::program(),
+        "buffer" => df_benchmarks::buffer::program(),
+        "account" => df_benchmarks::account::program(),
+        other => {
+            return Err(format!(
+                "unknown benchmark '{other}'; expected one of: {}",
+                BENCHMARKS.join(", ")
+            ))
+        }
+    })
+}
+
+/// Resolves a Figure 2 variant by a short name.
+///
+/// # Errors
+///
+/// Returns the valid names if `name` is unknown.
+pub fn resolve_variant(name: &str) -> Result<Variant, String> {
+    Ok(match name {
+        "kobject" => Variant::ContextKObject,
+        "execindex" | "default" => Variant::ContextExecIndex,
+        "trivial" => Variant::IgnoreAbstraction,
+        "nocontext" => Variant::IgnoreContext,
+        "noyields" => Variant::NoYields,
+        other => {
+            return Err(format!(
+                "unknown variant '{other}'; expected kobject | execindex | trivial | nocontext | noyields"
+            ))
+        }
+    })
+}
+
+/// Options shared by the commands.
+#[derive(Clone, Debug)]
+pub struct CliOptions {
+    /// Phase I seed.
+    pub seed: u64,
+    /// Phase II trials per cycle.
+    pub trials: u32,
+    /// Figure 2 variant.
+    pub variant: Variant,
+    /// Enable the happens-before false-positive filter.
+    pub hb: bool,
+    /// Emit JSON instead of text.
+    pub json: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            seed: 0,
+            trials: 10,
+            variant: Variant::ContextExecIndex,
+            hb: false,
+            json: false,
+        }
+    }
+}
+
+fn config_of(opts: &CliOptions) -> Config {
+    Config::default()
+        .with_variant(opts.variant)
+        .with_phase1_seed(opts.seed)
+        .with_confirm_trials(opts.trials)
+        .with_hb_filter(opts.hb)
+}
+
+/// `dfz phase1 <benchmark>` — predict potential deadlock cycles.
+pub fn cmd_phase1(name: &str, opts: &CliOptions) -> Result<String, String> {
+    let program = resolve_program(name)?;
+    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
+    let report = fuzzer.phase1();
+    if opts.json {
+        return serde_json::to_string_pretty(&report.abstract_cycles)
+            .map_err(|e| e.to_string());
+    }
+    Ok(format!("{report}"))
+}
+
+/// `dfz trace <benchmark>` — run Phase I and dump the trace as JSON.
+pub fn cmd_trace(name: &str, opts: &CliOptions) -> Result<String, String> {
+    let program = resolve_program(name)?;
+    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
+    // An observation run under the plain random scheduler.
+    let report = fuzzer.phase2(
+        &df_igoodlock::AbstractCycle::new(vec![]),
+        opts.seed,
+    );
+    serde_json::to_string(&report.trace).map_err(|e| e.to_string())
+}
+
+/// `dfz analyze <trace.json>` — offline iGoodlock over a dumped trace.
+///
+/// # Errors
+///
+/// Returns a message if the JSON is not a valid trace.
+pub fn analyze_trace_json(json: &str, opts: &CliOptions) -> Result<String, String> {
+    let trace: Trace =
+        serde_json::from_str(json).map_err(|e| format!("not a trace: {e}"))?;
+    let relation = LockDependencyRelation::from_trace(&trace);
+    let hb = opts.hb.then(|| HbFilter::from_trace(&trace));
+    let (cycles, stats) =
+        igoodlock_filtered(&relation, hb.as_ref(), &IGoodlockOptions::default());
+    let mode = match opts.variant {
+        Variant::ContextKObject => df_abstraction::AbstractionMode::KObject(10),
+        Variant::IgnoreAbstraction => df_abstraction::AbstractionMode::Trivial,
+        _ => df_abstraction::AbstractionMode::ExecIndex(10),
+    };
+    let abstractor = Abstractor::new(mode);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "offline analysis: {} dependency tuple(s), {} potential cycle(s){}",
+        relation.len(),
+        cycles.len(),
+        if stats.pruned_by_hb > 0 {
+            format!(" ({} pruned by happens-before)", stats.pruned_by_hb)
+        } else {
+            String::new()
+        }
+    );
+    for (i, c) in cycles.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  cycle {}: {}",
+            i + 1,
+            c.abstract_with(trace.objects(), &abstractor)
+        );
+    }
+    Ok(out)
+}
+
+/// `dfz confirm <benchmark>` — Phase II confirmation of one or all cycles.
+pub fn cmd_confirm(
+    name: &str,
+    cycle_index: Option<usize>,
+    opts: &CliOptions,
+) -> Result<String, String> {
+    let program = resolve_program(name)?;
+    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
+    let phase1 = fuzzer.phase1();
+    if phase1.abstract_cycles.is_empty() {
+        return Ok("no potential deadlock cycles to confirm\n".to_string());
+    }
+    let indices: Vec<usize> = match cycle_index {
+        Some(i) if i < phase1.abstract_cycles.len() => vec![i],
+        Some(i) => {
+            return Err(format!(
+                "cycle {i} out of range (0..{})",
+                phase1.abstract_cycles.len()
+            ))
+        }
+        None => (0..phase1.abstract_cycles.len()).collect(),
+    };
+    let mut out = String::new();
+    for i in indices {
+        let prob = fuzzer.estimate_probability(&phase1.abstract_cycles[i], opts.trials);
+        let _ = writeln!(
+            out,
+            "cycle {:>2}: {} — {}",
+            i + 1,
+            if prob.matched > 0 {
+                "CONFIRMED"
+            } else {
+                "not reproduced"
+            },
+            prob
+        );
+    }
+    Ok(out)
+}
+
+/// `dfz run <benchmark>` — the full two-phase pipeline.
+pub fn cmd_run(name: &str, opts: &CliOptions) -> Result<String, String> {
+    let program = resolve_program(name)?;
+    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
+    let report = fuzzer.run();
+    Ok(format!("{report}"))
+}
+
+/// `dfz races <benchmark>` — the RaceFuzzer sibling: predict data races
+/// by lockset analysis, then confirm each with the active race
+/// scheduler.
+pub fn cmd_races(name: &str, opts: &CliOptions) -> Result<String, String> {
+    use df_fuzzer::{predict_races, RaceStrategy, SimpleRandomChecker};
+    use df_runtime::{RunConfig, VirtualRuntime};
+
+    let program = resolve_program(name)?;
+    let rt = VirtualRuntime::new(RunConfig::default());
+    let p = program.clone();
+    let observed = rt.run(
+        Box::new(SimpleRandomChecker::with_seed(opts.seed)),
+        move |ctx| p.run(ctx),
+    );
+    let candidates = predict_races(&observed.trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "lockset analysis predicts {} potential race(s)",
+        candidates.len()
+    );
+    for (i, c) in candidates.iter().enumerate() {
+        let mut hits = 0;
+        for seed in 0..opts.trials as u64 {
+            let (strategy, witness) = RaceStrategy::new(c.clone(), seed);
+            let p = program.clone();
+            let _ = rt.run(Box::new(strategy), move |ctx| p.run(ctx));
+            let got = witness.lock().take();
+            if got.is_some() {
+                hits += 1;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  race {}: {} — {c} ({hits}/{} biased runs)",
+            i + 1,
+            if hits > 0 { "CONFIRMED" } else { "not reproduced" },
+            opts.trials
+        );
+    }
+    Ok(out)
+}
+
+/// `dfz list` — the benchmark names.
+pub fn cmd_list() -> String {
+    let mut out = String::from("available benchmarks:\n");
+    for b in BENCHMARKS {
+        let _ = writeln!(out, "  {b}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_rejects_unknown_names() {
+        assert!(resolve_program("figure1").is_ok());
+        let err = match resolve_program("nope") {
+            Err(e) => e,
+            Ok(_) => panic!("'nope' must not resolve"),
+        };
+        assert!(err.contains("figure1"));
+        assert!(resolve_variant("trivial").is_ok());
+        assert!(resolve_variant("bogus").is_err());
+    }
+
+    #[test]
+    fn phase1_command_renders_cycles() {
+        let out = cmd_phase1("figure1", &CliOptions::default()).unwrap();
+        assert!(out.contains("1 potential deadlock cycle"), "{out}");
+        assert!(out.contains("MyThread.run:16"), "{out}");
+    }
+
+    #[test]
+    fn phase1_json_is_parseable() {
+        let opts = CliOptions {
+            json: true,
+            ..CliOptions::default()
+        };
+        let out = cmd_phase1("figure1", &opts).unwrap();
+        let cycles: Vec<df_igoodlock::AbstractCycle> =
+            serde_json::from_str(&out).unwrap();
+        assert_eq!(cycles.len(), 1);
+    }
+
+    #[test]
+    fn trace_dump_round_trips_through_offline_analysis() {
+        let opts = CliOptions::default();
+        let json = cmd_trace("figure1", &opts).unwrap();
+        let out = analyze_trace_json(&json, &opts).unwrap();
+        assert!(out.contains("1 potential cycle"), "{out}");
+    }
+
+    #[test]
+    fn analyze_rejects_garbage() {
+        assert!(analyze_trace_json("{not json", &CliOptions::default()).is_err());
+    }
+
+    #[test]
+    fn confirm_reports_verdicts() {
+        let opts = CliOptions {
+            trials: 4,
+            ..CliOptions::default()
+        };
+        let out = cmd_confirm("figure1", None, &opts).unwrap();
+        assert!(out.contains("CONFIRMED"), "{out}");
+        let err = cmd_confirm("figure1", Some(7), &opts).unwrap_err();
+        assert!(err.contains("out of range"));
+        let none = cmd_confirm("sor", None, &opts).unwrap();
+        assert!(none.contains("no potential"), "{none}");
+    }
+
+    #[test]
+    fn hb_flag_prunes_in_offline_analysis() {
+        let opts = CliOptions::default();
+        let json = cmd_trace("jigsaw", &opts).unwrap();
+        let plain = analyze_trace_json(&json, &opts).unwrap();
+        let hb_opts = CliOptions {
+            hb: true,
+            ..CliOptions::default()
+        };
+        let filtered = analyze_trace_json(&json, &hb_opts).unwrap();
+        assert!(filtered.contains("pruned by happens-before"), "{filtered}");
+        assert!(plain.contains("waitForRunner"));
+        assert!(!filtered.contains("waitForRunner"));
+    }
+
+    #[test]
+    fn list_names_everything() {
+        let out = cmd_list();
+        for b in BENCHMARKS {
+            assert!(out.contains(b));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! `dfz` — DeadlockFuzzer command line.
+//!
+//! ```text
+//! dfz list
+//! dfz phase1  <benchmark> [--seed N] [--hb] [--json] [--variant V]
+//! dfz trace   <benchmark> [--seed N]            # dump a trace as JSON to stdout
+//! dfz analyze <trace.json> [--hb] [--variant V] # offline iGoodlock
+//! dfz confirm <benchmark> [--cycle I] [--trials N] [--variant V]
+//! dfz run     <benchmark> [--trials N] [--variant V] [--hb]
+//! dfz races   <benchmark> [--trials N] [--seed N]  # the RaceFuzzer checker
+//! ```
+
+use df_cli::{
+    analyze_trace_json, cmd_confirm, cmd_list, cmd_phase1, cmd_races, cmd_run, cmd_trace,
+    resolve_variant, CliOptions,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dfz <list | phase1 | trace | analyze | confirm | run | races> [args]\n\
+         run `dfz list` for benchmark names"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { usage() };
+    let mut positional: Vec<String> = Vec::new();
+    let mut opts = CliOptions::default();
+    let mut cycle: Option<usize> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--trials" => {
+                opts.trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--cycle" => {
+                cycle = args.next().and_then(|v| v.parse().ok());
+                if cycle.is_none() {
+                    usage();
+                }
+            }
+            "--variant" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                match resolve_variant(&name) {
+                    Ok(v) => opts.variant = v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--hb" => opts.hb = true,
+            "--json" => opts.json = true,
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+
+    let result = match command.as_str() {
+        "list" => Ok(cmd_list()),
+        "phase1" => match positional.first() {
+            Some(name) => cmd_phase1(name, &opts),
+            None => usage(),
+        },
+        "trace" => match positional.first() {
+            Some(name) => cmd_trace(name, &opts),
+            None => usage(),
+        },
+        "analyze" => match positional.first() {
+            Some(path) => std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))
+                .and_then(|json| analyze_trace_json(&json, &opts)),
+            None => usage(),
+        },
+        "confirm" => match positional.first() {
+            Some(name) => cmd_confirm(name, cycle.map(|c| c.saturating_sub(1)), &opts),
+            None => usage(),
+        },
+        "run" => match positional.first() {
+            Some(name) => cmd_run(name, &opts),
+            None => usage(),
+        },
+        "races" => match positional.first() {
+            Some(name) => cmd_races(name, &opts),
+            None => usage(),
+        },
+        _ => usage(),
+    };
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

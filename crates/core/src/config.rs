@@ -1,0 +1,244 @@
+//! Pipeline configuration and the paper's experimental variants.
+
+use df_abstraction::AbstractionMode;
+use df_igoodlock::IGoodlockOptions;
+use df_runtime::RunConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five DeadlockFuzzer variants evaluated in Figure 2 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Variant {
+    /// Variant 1: context information + k-object-sensitive abstraction.
+    ContextKObject,
+    /// Variant 2 (the default / best performer): context information +
+    /// light-weight execution-indexing abstraction.
+    ContextExecIndex,
+    /// Variant 3: trivial abstraction ("ignore abstraction").
+    IgnoreAbstraction,
+    /// Variant 4: abstraction without acquisition contexts
+    /// ("ignore context").
+    IgnoreContext,
+    /// Variant 5: the §4 yield optimization disabled ("no yields").
+    NoYields,
+}
+
+impl Variant {
+    /// All five variants, in the paper's order.
+    pub const ALL: [Variant; 5] = [
+        Variant::ContextKObject,
+        Variant::ContextExecIndex,
+        Variant::IgnoreAbstraction,
+        Variant::IgnoreContext,
+        Variant::NoYields,
+    ];
+
+    /// The paper's legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::ContextKObject => "Context + 1st Abstraction",
+            Variant::ContextExecIndex => "Context + 2nd Abstraction",
+            Variant::IgnoreAbstraction => "Ignore Abstraction",
+            Variant::IgnoreContext => "Ignore Context",
+            Variant::NoYields => "No Yields",
+        }
+    }
+
+    /// Applies the variant's knobs to a configuration.
+    pub fn apply(&self, mut config: Config) -> Config {
+        match self {
+            Variant::ContextKObject => {
+                config.mode = AbstractionMode::KObject(10);
+                config.use_context = true;
+                config.yield_optimization = true;
+            }
+            Variant::ContextExecIndex => {
+                config.mode = AbstractionMode::ExecIndex(10);
+                config.use_context = true;
+                config.yield_optimization = true;
+            }
+            Variant::IgnoreAbstraction => {
+                config.mode = AbstractionMode::Trivial;
+                config.use_context = true;
+                config.yield_optimization = true;
+            }
+            Variant::IgnoreContext => {
+                config.mode = AbstractionMode::ExecIndex(10);
+                config.use_context = false;
+                config.yield_optimization = true;
+            }
+            Variant::NoYields => {
+                config.mode = AbstractionMode::ExecIndex(10);
+                config.use_context = true;
+                config.yield_optimization = false;
+            }
+        }
+        config
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of the full two-phase pipeline.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Object abstraction used to report and match cycles.
+    pub mode: AbstractionMode,
+    /// Honor acquisition contexts when matching cycle components.
+    pub use_context: bool,
+    /// Enable the §4 yield optimization.
+    pub yield_optimization: bool,
+    /// Seed of the Phase I (simple random) execution.
+    pub phase1_seed: u64,
+    /// Base seed of Phase II executions (trial `i` uses
+    /// `phase2_seed_base + i`).
+    pub phase2_seed_base: u64,
+    /// iGoodlock bounds.
+    pub igoodlock: IGoodlockOptions,
+    /// Prune Phase I cycles whose hold windows are ordered by fork/join
+    /// happens-before (they can never manifest — e.g. the paper's §5.4
+    /// Jigsaw false positives). Off by default: the paper's iGoodlock
+    /// deliberately ignores happens-before to keep its predictive power;
+    /// this is the extension explored by the generalized-Goodlock line of
+    /// work.
+    pub hb_filter: bool,
+    /// Virtual-runtime bounds for each execution.
+    pub run: RunConfig,
+    /// Livelock-monitor budget for paused threads (§5).
+    pub pause_budget: u64,
+    /// §4 yield gate: maximum scheduling decisions a gated thread is
+    /// deferred per site.
+    pub yield_budget: u32,
+    /// Trials per cycle used by [`crate::DeadlockFuzzer::run`] to confirm
+    /// cycles (the paper uses 100 for Table 1's probability column).
+    pub confirm_trials: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            mode: AbstractionMode::default(),
+            use_context: true,
+            yield_optimization: true,
+            phase1_seed: 0,
+            phase2_seed_base: 1_000,
+            igoodlock: IGoodlockOptions::default(),
+            hb_filter: false,
+            run: RunConfig::default(),
+            pause_budget: 5_000,
+            yield_budget: 8,
+            confirm_trials: 20,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration (variant 2 of the paper).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a Figure 2 variant.
+    pub fn with_variant(self, variant: Variant) -> Self {
+        variant.apply(self)
+    }
+
+    /// Sets the abstraction mode.
+    pub fn with_mode(mut self, mode: AbstractionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the Phase I seed.
+    pub fn with_phase1_seed(mut self, seed: u64) -> Self {
+        self.phase1_seed = seed;
+        self
+    }
+
+    /// Sets the Phase II base seed.
+    pub fn with_phase2_seed_base(mut self, seed: u64) -> Self {
+        self.phase2_seed_base = seed;
+        self
+    }
+
+    /// Sets the number of confirmation trials per cycle.
+    pub fn with_confirm_trials(mut self, trials: u32) -> Self {
+        self.confirm_trials = trials;
+        self
+    }
+
+    /// Sets context matching.
+    pub fn with_context(mut self, use_context: bool) -> Self {
+        self.use_context = use_context;
+        self
+    }
+
+    /// Sets the yield optimization.
+    pub fn with_yields(mut self, yields: bool) -> Self {
+        self.yield_optimization = yields;
+        self
+    }
+
+    /// Enables/disables the happens-before false-positive filter.
+    pub fn with_hb_filter(mut self, on: bool) -> Self {
+        self.hb_filter = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_variant_two() {
+        let c = Config::default();
+        assert_eq!(c.mode, AbstractionMode::ExecIndex(10));
+        assert!(c.use_context);
+        assert!(c.yield_optimization);
+    }
+
+    #[test]
+    fn variants_toggle_the_right_knobs() {
+        let base = Config::default();
+        let v1 = base.clone().with_variant(Variant::ContextKObject);
+        assert_eq!(v1.mode, AbstractionMode::KObject(10));
+        let v3 = base.clone().with_variant(Variant::IgnoreAbstraction);
+        assert_eq!(v3.mode, AbstractionMode::Trivial);
+        assert!(v3.use_context);
+        let v4 = base.clone().with_variant(Variant::IgnoreContext);
+        assert!(!v4.use_context);
+        assert_eq!(v4.mode, AbstractionMode::ExecIndex(10));
+        let v5 = base.clone().with_variant(Variant::NoYields);
+        assert!(!v5.yield_optimization);
+        assert!(v5.use_context);
+    }
+
+    #[test]
+    fn labels_match_figure_2_legend() {
+        assert_eq!(Variant::ContextExecIndex.label(), "Context + 2nd Abstraction");
+        assert_eq!(Variant::ALL.len(), 5);
+        assert_eq!(Variant::NoYields.to_string(), "No Yields");
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = Config::new()
+            .with_phase1_seed(5)
+            .with_phase2_seed_base(77)
+            .with_confirm_trials(3)
+            .with_context(false)
+            .with_yields(false)
+            .with_mode(AbstractionMode::Site);
+        assert_eq!(c.phase1_seed, 5);
+        assert_eq!(c.phase2_seed_base, 77);
+        assert_eq!(c.confirm_trials, 3);
+        assert!(!c.use_context);
+        assert!(!c.yield_optimization);
+        assert_eq!(c.mode, AbstractionMode::Site);
+    }
+}

@@ -1,0 +1,364 @@
+//! The two-phase DeadlockFuzzer pipeline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use df_abstraction::Abstractor;
+use df_fuzzer::{ActiveConfig, ActiveStrategy, SimpleRandomChecker};
+use df_igoodlock::{
+    igoodlock_filtered, AbstractComponent, AbstractCycle, HbFilter, LockDependencyRelation,
+};
+use df_runtime::{Outcome, RunResult, VirtualRuntime};
+
+use crate::config::Config;
+use crate::program::{Program, ProgramRef};
+use crate::report::{CycleConfirmation, Phase1Report, Phase2Report, ProbabilityReport, Report};
+
+/// The DeadlockFuzzer tool: Phase I prediction + Phase II active random
+/// confirmation for one program.
+///
+/// # Example
+///
+/// ```
+/// use deadlock_fuzzer::{Config, DeadlockFuzzer};
+/// use df_events::site;
+/// use df_runtime::TCtx;
+///
+/// // A program with a consistent lock order: no deadlock predicted.
+/// let fuzzer = DeadlockFuzzer::with_config(
+///     |ctx: &TCtx| {
+///         let a = ctx.new_lock(site!());
+///         let _g = ctx.lock(&a, site!());
+///     },
+///     Config::default(),
+/// );
+/// let report = fuzzer.run();
+/// assert_eq!(report.potential_count(), 0);
+/// ```
+pub struct DeadlockFuzzer {
+    program: ProgramRef,
+    config: Config,
+}
+
+impl DeadlockFuzzer {
+    /// Creates a fuzzer with the default configuration (the paper's best
+    /// variant: execution indexing + context + yields).
+    pub fn new(program: impl Program) -> Self {
+        Self::with_config(program, Config::default())
+    }
+
+    /// Creates a fuzzer with an explicit configuration.
+    pub fn with_config(program: impl Program, config: Config) -> Self {
+        DeadlockFuzzer {
+            program: Arc::new(program),
+            config,
+        }
+    }
+
+    /// Creates a fuzzer from an already-shared program handle.
+    pub fn from_ref(program: ProgramRef, config: Config) -> Self {
+        DeadlockFuzzer { program, config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    fn execute(&self, strategy: Box<dyn df_runtime::Strategy>) -> RunResult {
+        let program = Arc::clone(&self.program);
+        VirtualRuntime::new(self.config.run.clone()).run(strategy, move |ctx| program.run(ctx))
+    }
+
+    /// Phase I: observe one execution under the simple random scheduler
+    /// (Algorithm 2), compute the lock dependency relation, and run
+    /// iGoodlock (Algorithm 1).
+    pub fn phase1(&self) -> Phase1Report {
+        let start = Instant::now();
+        let result = self.execute(Box::new(SimpleRandomChecker::with_seed(
+            self.config.phase1_seed,
+        )));
+        let relation = LockDependencyRelation::from_trace(&result.trace);
+        let hb = self
+            .config
+            .hb_filter
+            .then(|| HbFilter::from_trace(&result.trace));
+        let (cycles, stats) =
+            igoodlock_filtered(&relation, hb.as_ref(), &self.config.igoodlock);
+        let abstractor = Abstractor::new(self.config.mode);
+        let abstract_cycles = cycles
+            .iter()
+            .map(|c| c.abstract_with(result.trace.objects(), &abstractor))
+            .collect();
+        Phase1Report {
+            cycles,
+            abstract_cycles,
+            stats,
+            relation_size: relation.len(),
+            acquires_observed: relation.raw_count,
+            duration: start.elapsed(),
+            run_outcome: result.outcome,
+            trace: result.trace,
+        }
+    }
+
+    /// Phase II: one active-random execution biased toward `cycle`
+    /// (Algorithm 3) with the given seed.
+    pub fn phase2(&self, cycle: &AbstractCycle, seed: u64) -> Phase2Report {
+        let start = Instant::now();
+        let active = ActiveConfig {
+            cycle: cycle.clone(),
+            mode: self.config.mode,
+            seed,
+            use_context: self.config.use_context,
+            yield_optimization: self.config.yield_optimization,
+            pause_budget: self.config.pause_budget,
+            yield_budget: self.config.yield_budget,
+        };
+        let result = self.execute(Box::new(ActiveStrategy::new(active)));
+        let witness = result.outcome.deadlock().cloned();
+        let matched_target = witness
+            .as_ref()
+            .map(|w| {
+                let abstractor = Abstractor::new(self.config.mode);
+                let witness_cycle = AbstractCycle::new(
+                    w.components
+                        .iter()
+                        .map(|c| AbstractComponent {
+                            thread: abstractor.abs(result.trace.objects(), c.thread_obj),
+                            lock: abstractor.abs(result.trace.objects(), c.waiting_for),
+                            context: c.context.clone(),
+                        })
+                        .collect(),
+                );
+                cycle.matches(&witness_cycle)
+            })
+            .unwrap_or(false);
+        Phase2Report {
+            outcome: result.outcome,
+            witness,
+            matched_target,
+            thrashes: result.stats.thrashes,
+            pauses: result.stats.pauses,
+            yields: result.stats.yields,
+            steps: result.steps,
+            duration: start.elapsed(),
+            trace: result.trace,
+        }
+    }
+
+    /// Runs `trials` Phase II executions for `cycle` (seeds
+    /// `phase2_seed_base..phase2_seed_base + trials`) and aggregates the
+    /// empirical reproduction probability — Table 1 columns 8–10.
+    pub fn estimate_probability(&self, cycle: &AbstractCycle, trials: u32) -> ProbabilityReport {
+        assert!(trials > 0, "at least one trial required");
+        let mut deadlocks = 0u32;
+        let mut matched = 0u32;
+        let mut thrashes = 0u64;
+        let mut steps = 0u64;
+        let mut total_duration = std::time::Duration::ZERO;
+        for i in 0..trials {
+            let r = self.phase2(cycle, self.config.phase2_seed_base + u64::from(i));
+            if r.deadlocked() {
+                deadlocks += 1;
+            }
+            if r.matched_target {
+                matched += 1;
+            }
+            thrashes += r.thrashes;
+            steps += r.steps;
+            total_duration += r.duration;
+        }
+        ProbabilityReport {
+            trials,
+            deadlocks,
+            matched,
+            probability: f64::from(deadlocks) / f64::from(trials),
+            avg_thrashes: thrashes as f64 / f64::from(trials),
+            avg_steps: steps as f64 / f64::from(trials),
+            avg_duration: total_duration / trials,
+        }
+    }
+
+    /// The full tool: Phase I, then Phase II confirmation of every
+    /// reported cycle with [`Config::confirm_trials`] trials each.
+    pub fn run(&self) -> Report {
+        let phase1 = self.phase1();
+        let confirmations = phase1
+            .abstract_cycles
+            .iter()
+            .enumerate()
+            .map(|(i, cycle)| {
+                let probability = self.estimate_probability(cycle, self.config.confirm_trials);
+                CycleConfirmation {
+                    cycle_index: i,
+                    cycle: cycle.clone(),
+                    confirmed: probability.matched > 0,
+                    probability,
+                }
+            })
+            .collect();
+        Report {
+            program: self.program.name().to_string(),
+            phase1,
+            confirmations,
+        }
+    }
+
+    /// Replays a recorded schedule (e.g. the trace of a Phase II run
+    /// that deadlocked) deterministically — the debugging workflow for a
+    /// confirmed witness.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use deadlock_fuzzer::{Config, DeadlockFuzzer};
+    /// # use df_events::site;
+    /// # use df_runtime::TCtx;
+    /// # let fuzzer = DeadlockFuzzer::with_config(
+    /// #     |ctx: &TCtx| { let a = ctx.new_lock(site!()); let _g = ctx.lock(&a, site!()); },
+    /// #     Config::default(),
+    /// # );
+    /// let phase1 = fuzzer.phase1();
+    /// // ... after a deadlocking phase2 run r: fuzzer.replay(&r_trace)
+    /// ```
+    pub fn replay(&self, trace: &df_events::Trace) -> RunResult {
+        self.execute(Box::new(df_runtime::strategy::ReplayStrategy::from_trace(
+            trace,
+        )))
+    }
+
+    /// Baseline: `trials` uninstrumented-equivalent runs under the plain
+    /// random scheduler, counting how many deadlock (the paper's "ran each
+    /// program normally 100 times" control) and measuring their mean
+    /// duration for the overhead columns of Table 1.
+    pub fn baseline(&self, trials: u32) -> (u32, std::time::Duration) {
+        assert!(trials > 0, "at least one trial required");
+        let mut deadlocks = 0;
+        let mut total = std::time::Duration::ZERO;
+        for i in 0..trials {
+            let start = Instant::now();
+            let r = self.execute(Box::new(SimpleRandomChecker::with_seed(
+                self.config.phase2_seed_base + u64::from(i),
+            )));
+            total += start.elapsed();
+            if matches!(r.outcome, Outcome::Deadlock(_)) {
+                deadlocks += 1;
+            }
+        }
+        (deadlocks, total / trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Named;
+    use df_events::site;
+    use df_runtime::{LockRef, TCtx};
+
+    /// Figure 1 of the paper as a reusable program.
+    fn figure1() -> Named<impl Program> {
+        Named::new("figure1", |ctx: &TCtx| {
+            let o1 = ctx.new_lock(site!("fig1 main:22"));
+            let o2 = ctx.new_lock(site!("fig1 main:23"));
+            let body = |l1: LockRef, l2: LockRef, slow: bool| {
+                move |ctx: &TCtx| {
+                    if slow {
+                        ctx.work(8);
+                    }
+                    ctx.acquire(&l1, site!("fig1 run:15"));
+                    ctx.acquire(&l2, site!("fig1 run:16"));
+                    ctx.release(&l2, site!("fig1 run:17"));
+                    ctx.release(&l1, site!("fig1 run:18"));
+                }
+            };
+            let t1 = ctx.spawn(site!("fig1 main:25"), "t1", body(o1, o2, true));
+            let t2 = ctx.spawn(site!("fig1 main:26"), "t2", body(o2, o1, false));
+            ctx.join(&t1, site!());
+            ctx.join(&t2, site!());
+        })
+    }
+
+    #[test]
+    fn full_pipeline_confirms_figure1() {
+        let fuzzer = DeadlockFuzzer::with_config(
+            figure1(),
+            Config::default().with_confirm_trials(10),
+        );
+        let report = fuzzer.run();
+        assert_eq!(report.program, "figure1");
+        assert_eq!(report.potential_count(), 1);
+        assert_eq!(report.confirmed_count(), 1);
+        let conf = &report.confirmations[0];
+        assert!((conf.probability.probability - 1.0).abs() < f64::EPSILON);
+        assert_eq!(conf.probability.matched, 10);
+        let text = report.to_string();
+        assert!(text.contains("CONFIRMED"), "report text: {text}");
+    }
+
+    #[test]
+    fn baseline_rarely_deadlocks_on_figure1() {
+        let fuzzer = DeadlockFuzzer::new(figure1());
+        let (deadlocks, _avg) = fuzzer.baseline(20);
+        assert!(deadlocks <= 6, "baseline should rarely deadlock: {deadlocks}/20");
+    }
+
+    #[test]
+    fn phase2_reports_match_flag() {
+        let fuzzer = DeadlockFuzzer::new(figure1());
+        let p1 = fuzzer.phase1();
+        assert_eq!(p1.cycle_count(), 1);
+        assert!(p1.run_outcome.is_completed() || p1.run_outcome.is_deadlock());
+        let r = fuzzer.phase2(&p1.abstract_cycles[0], 42);
+        assert!(r.deadlocked());
+        assert!(r.matched_target);
+        assert!(r.steps > 0);
+    }
+
+    #[test]
+    fn replay_of_a_deadlocking_phase2_run_reproduces_it() {
+        let fuzzer = DeadlockFuzzer::new(figure1());
+        let p1 = fuzzer.phase1();
+        let r = fuzzer.phase2(&p1.abstract_cycles[0], 3);
+        let w1 = r.witness.clone().expect("phase 2 deadlocks");
+        let replayed = fuzzer.replay(&r.trace);
+        let w2 = replayed.deadlock().expect("replay lands in the same deadlock");
+        assert_eq!(w1.threads(), w2.threads());
+        assert_eq!(w1.locks(), w2.locks());
+    }
+
+    #[test]
+    fn no_lock_program_yields_empty_report() {
+        let fuzzer = DeadlockFuzzer::new(Named::new("lockless", |ctx: &TCtx| {
+            ctx.work(3);
+        }));
+        let report = fuzzer.run();
+        assert_eq!(report.potential_count(), 0);
+        assert!(report.confirmations.is_empty());
+        assert_eq!(report.phase1.relation_size, 0);
+    }
+
+    #[test]
+    fn estimate_probability_counts_trials() {
+        let fuzzer = DeadlockFuzzer::new(figure1());
+        let p1 = fuzzer.phase1();
+        let prob = fuzzer.estimate_probability(&p1.abstract_cycles[0], 5);
+        assert_eq!(prob.trials, 5);
+        assert_eq!(prob.deadlocks, 5);
+        assert!(prob.avg_steps > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn estimate_probability_rejects_zero_trials() {
+        let fuzzer = DeadlockFuzzer::new(figure1());
+        let p1 = fuzzer.phase1();
+        let cycle = p1
+            .abstract_cycles
+            .first()
+            .cloned()
+            .unwrap_or_else(|| AbstractCycle::new(vec![]));
+        fuzzer.estimate_probability(&cycle, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! The program-under-test abstraction.
+
+use std::sync::Arc;
+
+use df_runtime::TCtx;
+
+/// A multi-threaded program under test.
+///
+/// DeadlockFuzzer executes the same program many times (once for Phase I,
+/// many times for Phase II probability estimation), so unlike a plain
+/// `FnOnce` closure a `Program` must be re-runnable (`&self`) and shareable
+/// across runs (`Send + Sync`).
+///
+/// Any `Fn(&TCtx) + Send + Sync + 'static` closure is a `Program`.
+///
+/// # Example
+///
+/// ```
+/// use deadlock_fuzzer::Program;
+/// use df_runtime::TCtx;
+///
+/// fn takes_program(_p: impl Program) {}
+/// takes_program(|ctx: &TCtx| ctx.yield_now());
+/// ```
+pub trait Program: Send + Sync + 'static {
+    /// Runs the program's main thread.
+    fn run(&self, ctx: &TCtx);
+
+    /// A human-readable name (used in reports).
+    fn name(&self) -> &str {
+        "program"
+    }
+}
+
+impl<F> Program for F
+where
+    F: Fn(&TCtx) + Send + Sync + 'static,
+{
+    fn run(&self, ctx: &TCtx) {
+        self(ctx)
+    }
+}
+
+/// A named wrapper around any program.
+///
+/// # Example
+///
+/// ```
+/// use deadlock_fuzzer::{Named, Program};
+/// use df_runtime::TCtx;
+///
+/// let p = Named::new("idle", |ctx: &TCtx| ctx.yield_now());
+/// assert_eq!(p.name(), "idle");
+/// ```
+pub struct Named<P> {
+    name: String,
+    inner: P,
+}
+
+impl<P: Program> Named<P> {
+    /// Wraps `inner` with `name`.
+    pub fn new(name: impl Into<String>, inner: P) -> Self {
+        Named {
+            name: name.into(),
+            inner,
+        }
+    }
+}
+
+impl<P: Program> Program for Named<P> {
+    fn run(&self, ctx: &TCtx) {
+        self.inner.run(ctx)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Type-erased shareable program handle.
+pub type ProgramRef = Arc<dyn Program>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_events::site;
+    use df_runtime::{strategy::FifoStrategy, RunConfig, VirtualRuntime};
+
+    #[test]
+    fn closures_are_programs() {
+        let p: ProgramRef = Arc::new(|ctx: &TCtx| {
+            ctx.work(1);
+        });
+        assert_eq!(p.name(), "program");
+        let p2 = Arc::clone(&p);
+        let r = VirtualRuntime::new(RunConfig::default())
+            .run(Box::new(FifoStrategy::new()), move |ctx| p2.run(ctx));
+        assert!(r.outcome.is_completed());
+    }
+
+    #[test]
+    fn named_programs_report_their_name() {
+        let p = Named::new("figure1", |ctx: &TCtx| {
+            let _l = ctx.new_lock(site!());
+        });
+        assert_eq!(p.name(), "figure1");
+    }
+}

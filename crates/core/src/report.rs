@@ -1,0 +1,219 @@
+//! Reports produced by the pipeline.
+
+use std::fmt;
+use std::time::Duration;
+
+use df_igoodlock::{AbstractCycle, Cycle, IGoodlockStats};
+use df_runtime::{DeadlockWitness, Outcome};
+use serde::{Deserialize, Serialize};
+
+/// Result of Phase I: one observed execution + iGoodlock.
+#[derive(Clone, Debug)]
+pub struct Phase1Report {
+    /// Potential deadlock cycles with concrete ids (Phase I execution).
+    pub cycles: Vec<Cycle>,
+    /// The same cycles in abstract, execution-independent form.
+    pub abstract_cycles: Vec<AbstractCycle>,
+    /// iGoodlock search statistics.
+    pub stats: IGoodlockStats,
+    /// Size of the (deduplicated) lock dependency relation.
+    pub relation_size: usize,
+    /// Number of first-acquisition events observed.
+    pub acquires_observed: usize,
+    /// Wall-clock time of the instrumented execution + analysis.
+    pub duration: Duration,
+    /// Outcome of the observation run (usually `Completed`; the paper
+    /// notes Phase I may itself stumble into a deadlock).
+    pub run_outcome: Outcome,
+    /// The observed trace — owns the object table that the concrete
+    /// [`Cycle`]s reference, so callers can re-abstract cycles under
+    /// other [`df_abstraction::AbstractionMode`]s.
+    pub trace: df_events::Trace,
+}
+
+impl Phase1Report {
+    /// Number of potential deadlock cycles reported.
+    pub fn cycle_count(&self) -> usize {
+        self.cycles.len()
+    }
+}
+
+impl fmt::Display for Phase1Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "iGoodlock: {} potential deadlock cycle(s) from {} dependency tuple(s) in {:?}",
+            self.cycles.len(),
+            self.relation_size,
+            self.duration
+        )?;
+        for (i, c) in self.abstract_cycles.iter().enumerate() {
+            writeln!(f, "  cycle {}: {}", i + 1, c)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a single Phase II execution against one target cycle.
+#[derive(Clone, Debug)]
+pub struct Phase2Report {
+    /// The run's outcome.
+    pub outcome: Outcome,
+    /// The witnessed deadlock, if any.
+    pub witness: Option<DeadlockWitness>,
+    /// Whether the witnessed deadlock matches the target cycle (up to
+    /// rotation) under the configured abstraction. A deadlock that does
+    /// not match is still a real deadlock — the paper observed this on the
+    /// Collections benchmarks ("created a deadlock which was different
+    /// from the potential deadlock cycle provided as input").
+    pub matched_target: bool,
+    /// Thrashings during the run (Table 1, column 10).
+    pub thrashes: u64,
+    /// Threads paused at least once.
+    pub pauses: u64,
+    /// §4 yields injected.
+    pub yields: u64,
+    /// Schedule points executed.
+    pub steps: u64,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// The run's trace — feed it to
+    /// [`crate::DeadlockFuzzer::replay`] to re-execute this exact
+    /// schedule (e.g. to step through a witnessed deadlock).
+    pub trace: df_events::Trace,
+}
+
+impl Phase2Report {
+    /// Whether a real deadlock (any) was created.
+    pub fn deadlocked(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+/// Aggregate of repeated Phase II trials for one cycle — one row of the
+/// paper's probability experiments.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProbabilityReport {
+    /// Trials run.
+    pub trials: u32,
+    /// Trials that created any real deadlock.
+    pub deadlocks: u32,
+    /// Trials whose deadlock matched the target cycle.
+    pub matched: u32,
+    /// Empirical probability of creating a deadlock
+    /// (`deadlocks / trials`; Table 1 column 9).
+    pub probability: f64,
+    /// Mean thrashings per run (Table 1 column 10).
+    pub avg_thrashes: f64,
+    /// Mean schedule points per run.
+    pub avg_steps: f64,
+    /// Mean wall-clock duration per run.
+    pub avg_duration: Duration,
+}
+
+impl fmt::Display for ProbabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deadlock probability {:.2} ({} of {} runs, {} matching target), avg thrashes {:.2}",
+            self.probability, self.deadlocks, self.trials, self.matched, self.avg_thrashes
+        )
+    }
+}
+
+/// One confirmed (or unconfirmed) cycle in a full pipeline run.
+#[derive(Clone, Debug)]
+pub struct CycleConfirmation {
+    /// Index into [`Phase1Report::abstract_cycles`].
+    pub cycle_index: usize,
+    /// The target cycle.
+    pub cycle: AbstractCycle,
+    /// Trial aggregate.
+    pub probability: ProbabilityReport,
+    /// Whether at least one trial reproduced this cycle (DeadlockFuzzer's
+    /// "confirmed real deadlock" verdict — never a false positive).
+    pub confirmed: bool,
+}
+
+/// Result of the full two-phase pipeline on one program.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Program name.
+    pub program: String,
+    /// Phase I results.
+    pub phase1: Phase1Report,
+    /// Per-cycle Phase II confirmations.
+    pub confirmations: Vec<CycleConfirmation>,
+}
+
+impl Report {
+    /// Number of cycles confirmed as real deadlocks.
+    pub fn confirmed_count(&self) -> usize {
+        self.confirmations.iter().filter(|c| c.confirmed).count()
+    }
+
+    /// Cycles reported by iGoodlock.
+    pub fn potential_count(&self) -> usize {
+        self.phase1.cycle_count()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== DeadlockFuzzer report: {} ===", self.program)?;
+        write!(f, "{}", self.phase1)?;
+        for c in &self.confirmations {
+            writeln!(
+                f,
+                "  cycle {}: {} — {}",
+                c.cycle_index + 1,
+                if c.confirmed { "CONFIRMED" } else { "not reproduced" },
+                c.probability
+            )?;
+        }
+        writeln!(
+            f,
+            "confirmed {} of {} potential cycles",
+            self.confirmed_count(),
+            self.potential_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_report_display() {
+        let p = ProbabilityReport {
+            trials: 100,
+            deadlocks: 99,
+            matched: 98,
+            probability: 0.99,
+            avg_thrashes: 0.0,
+            avg_steps: 120.0,
+            avg_duration: Duration::from_millis(3),
+        };
+        let s = p.to_string();
+        assert!(s.contains("0.99"));
+        assert!(s.contains("99 of 100"));
+    }
+
+    #[test]
+    fn probability_serde_round_trip() {
+        let p = ProbabilityReport {
+            trials: 10,
+            deadlocks: 5,
+            matched: 5,
+            probability: 0.5,
+            avg_thrashes: 1.5,
+            avg_steps: 10.0,
+            avg_duration: Duration::from_micros(17),
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProbabilityReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trials, 10);
+        assert_eq!(back.avg_duration, Duration::from_micros(17));
+    }
+}

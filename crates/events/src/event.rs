@@ -1,0 +1,368 @@
+//! Dynamic instances of labeled statements (paper §2.1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Label, ObjId, ThreadId};
+
+/// One observed dynamic statement instance.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Event {
+    /// Global sequence number of this event in the execution.
+    pub seq: u64,
+    /// The thread that executed the statement.
+    pub thread: ThreadId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(seq: u64, thread: ThreadId, kind: EventKind) -> Self {
+        Event { seq, thread, kind }
+    }
+}
+
+/// The kinds of dynamic statement instances of §2.1 of the paper, plus a few
+/// bookkeeping events the substrates emit (`Blocked`, `Spawn`, …) that the
+/// analyses use for debugging output and happens-before experiments.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EventKind {
+    /// `c: Acquire(l)` — the thread acquired lock `lock` at site `site`
+    /// while already holding `held` (innermost last). `context` are the
+    /// labels of the acquire statements for `held ∪ {lock}`, i.e. the
+    /// paper's `C` with `context.len() == held.len() + 1` and the current
+    /// site as the last element.
+    ///
+    /// Per §2.1 (footnote 2), only 0→1 acquisitions are recorded.
+    Acquire {
+        /// The acquired lock.
+        lock: ObjId,
+        /// Acquisition site.
+        site: Label,
+        /// Locks already held, outermost first.
+        held: Vec<ObjId>,
+        /// Acquisition sites of `held` followed by `site`.
+        context: Vec<Label>,
+    },
+    /// `c: Release(l)` — usage count dropped 1→0.
+    Release {
+        /// The released lock.
+        lock: ObjId,
+        /// Release site.
+        site: Label,
+    },
+    /// A re-entrant acquisition (usage count ≥ 1 → ≥ 2); ignored by the
+    /// analyses but kept for debugging.
+    Reacquire {
+        /// The re-acquired lock.
+        lock: ObjId,
+        /// Acquisition site.
+        site: Label,
+    },
+    /// A re-entrant release (usage count stays ≥ 1).
+    Rerelease {
+        /// The released lock.
+        lock: ObjId,
+        /// Release site.
+        site: Label,
+    },
+    /// `c: Call(m)` — method entry for execution indexing.
+    Call {
+        /// Call-site label.
+        site: Label,
+    },
+    /// `c: Return(m)` — method exit.
+    Return,
+    /// `c: o = new (o', T)` — object allocation; metadata lives in the
+    /// trace's [`crate::ObjectTable`].
+    New {
+        /// The created object.
+        obj: ObjId,
+    },
+    /// The thread spawned a child thread.
+    Spawn {
+        /// Id of the spawned thread.
+        child: ThreadId,
+        /// The thread object representing the child.
+        child_obj: ObjId,
+    },
+    /// The thread began executing.
+    ThreadStart,
+    /// The thread finished executing.
+    ThreadExit,
+    /// The thread joined on another thread.
+    Join {
+        /// The joined thread.
+        target: ThreadId,
+    },
+    /// The thread started waiting for a lock held by another thread.
+    Blocked {
+        /// The contended lock.
+        lock: ObjId,
+    },
+    /// The thread stopped waiting and acquired the contended lock.
+    Unblocked {
+        /// The formerly contended lock.
+        lock: ObjId,
+    },
+    /// An explicit scheduling point with no other effect.
+    Yield,
+    /// Simulated computation (a schedule point with a cost attached).
+    Work {
+        /// Abstract cost units.
+        units: u32,
+    },
+    /// A shared-variable access (for the race-detection checker): `var`
+    /// was read or written at `site` while holding `held`.
+    Access {
+        /// The accessed variable.
+        var: ObjId,
+        /// Access site.
+        site: Label,
+        /// `true` for a write.
+        write: bool,
+        /// Locks held at the access, outermost first.
+        held: Vec<ObjId>,
+    },
+    /// Entry into a block the programmer intends to be atomic (for the
+    /// atomicity-violation checker).
+    AtomicBegin {
+        /// Block label.
+        site: Label,
+    },
+    /// Exit from an atomic block.
+    AtomicEnd,
+    /// The thread began waiting on a monitor (releasing it), Java
+    /// `Object.wait()` style.
+    Wait {
+        /// The monitor.
+        lock: ObjId,
+        /// Wait site.
+        site: Label,
+    },
+    /// The thread notified one or all waiters of a monitor.
+    Notify {
+        /// The monitor.
+        lock: ObjId,
+        /// Notify site.
+        site: Label,
+        /// `true` for `notifyAll`.
+        all: bool,
+    },
+}
+
+impl EventKind {
+    /// Returns the lock involved, if this is a lock operation.
+    pub fn lock(&self) -> Option<ObjId> {
+        match self {
+            EventKind::Acquire { lock, .. }
+            | EventKind::Release { lock, .. }
+            | EventKind::Reacquire { lock, .. }
+            | EventKind::Rerelease { lock, .. }
+            | EventKind::Blocked { lock }
+            | EventKind::Unblocked { lock }
+            | EventKind::Wait { lock, .. }
+            | EventKind::Notify { lock, .. } => Some(*lock),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a first (0→1) acquisition event.
+    pub fn is_acquire(&self) -> bool {
+        matches!(self, EventKind::Acquire { .. })
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} ", self.seq, self.thread)?;
+        match &self.kind {
+            EventKind::Acquire {
+                lock, site, held, ..
+            } => {
+                write!(f, "acquire {lock} at {site} holding {held:?}")
+            }
+            EventKind::Release { lock, site } => write!(f, "release {lock} at {site}"),
+            EventKind::Reacquire { lock, site } => write!(f, "reacquire {lock} at {site}"),
+            EventKind::Rerelease { lock, site } => write!(f, "rerelease {lock} at {site}"),
+            EventKind::Call { site } => write!(f, "call at {site}"),
+            EventKind::Return => write!(f, "return"),
+            EventKind::New { obj } => write!(f, "new {obj}"),
+            EventKind::Spawn { child, child_obj } => write!(f, "spawn {child} ({child_obj})"),
+            EventKind::ThreadStart => write!(f, "start"),
+            EventKind::ThreadExit => write!(f, "exit"),
+            EventKind::Join { target } => write!(f, "join {target}"),
+            EventKind::Blocked { lock } => write!(f, "blocked on {lock}"),
+            EventKind::Unblocked { lock } => write!(f, "unblocked from {lock}"),
+            EventKind::Yield => write!(f, "yield"),
+            EventKind::Work { units } => write!(f, "work {units}"),
+            EventKind::Access {
+                var,
+                site,
+                write,
+                held,
+            } => write!(
+                f,
+                "{} {var} at {site} holding {held:?}",
+                if *write { "write" } else { "read" }
+            ),
+            EventKind::AtomicBegin { site } => write!(f, "atomic-begin at {site}"),
+            EventKind::AtomicEnd => write!(f, "atomic-end"),
+            EventKind::Wait { lock, site } => write!(f, "wait on {lock} at {site}"),
+            EventKind::Notify { lock, site, all } => {
+                write!(
+                    f,
+                    "{} {lock} at {site}",
+                    if *all { "notify-all" } else { "notify" }
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn lock_accessor_covers_lock_ops() {
+        let lk = ObjId::new(1);
+        let acq = EventKind::Acquire {
+            lock: lk,
+            site: l("a:1"),
+            held: vec![],
+            context: vec![l("a:1")],
+        };
+        assert_eq!(acq.lock(), Some(lk));
+        assert!(acq.is_acquire());
+        assert_eq!(
+            EventKind::Release {
+                lock: lk,
+                site: l("a:2")
+            }
+            .lock(),
+            Some(lk)
+        );
+        assert_eq!(EventKind::Yield.lock(), None);
+        assert!(!EventKind::Return.is_acquire());
+        assert_eq!(
+            EventKind::Wait {
+                lock: lk,
+                site: l("w:1")
+            }
+            .lock(),
+            Some(lk)
+        );
+        assert_eq!(
+            EventKind::Notify {
+                lock: lk,
+                site: l("n:1"),
+                all: true
+            }
+            .lock(),
+            Some(lk)
+        );
+    }
+
+    #[test]
+    fn wait_notify_serde_round_trip() {
+        for kind in [
+            EventKind::Wait {
+                lock: ObjId::new(2),
+                site: l("ws:1"),
+            },
+            EventKind::Notify {
+                lock: ObjId::new(2),
+                site: l("ws:2"),
+                all: true,
+            },
+        ] {
+            let e = Event::new(1, ThreadId::new(0), kind);
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(e, back);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_kinds() {
+        let lk = ObjId::new(0);
+        let kinds = vec![
+            EventKind::Acquire {
+                lock: lk,
+                site: l("d:1"),
+                held: vec![],
+                context: vec![l("d:1")],
+            },
+            EventKind::Release {
+                lock: lk,
+                site: l("d:2"),
+            },
+            EventKind::Reacquire {
+                lock: lk,
+                site: l("d:3"),
+            },
+            EventKind::Rerelease {
+                lock: lk,
+                site: l("d:4"),
+            },
+            EventKind::Call { site: l("d:5") },
+            EventKind::Return,
+            EventKind::New { obj: lk },
+            EventKind::Spawn {
+                child: ThreadId::new(1),
+                child_obj: lk,
+            },
+            EventKind::ThreadStart,
+            EventKind::ThreadExit,
+            EventKind::Join {
+                target: ThreadId::new(1),
+            },
+            EventKind::Blocked { lock: lk },
+            EventKind::Unblocked { lock: lk },
+            EventKind::Yield,
+            EventKind::Work { units: 3 },
+            EventKind::Wait {
+                lock: lk,
+                site: l("d:6"),
+            },
+            EventKind::Notify {
+                lock: lk,
+                site: l("d:7"),
+                all: false,
+            },
+            EventKind::Notify {
+                lock: lk,
+                site: l("d:8"),
+                all: true,
+            },
+        ];
+        for (i, k) in kinds.into_iter().enumerate() {
+            let e = Event::new(i as u64, ThreadId::new(0), k);
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Event::new(
+            7,
+            ThreadId::new(2),
+            EventKind::Acquire {
+                lock: ObjId::new(3),
+                site: l("sr:1"),
+                held: vec![ObjId::new(1)],
+                context: vec![l("sr:0"), l("sr:1")],
+            },
+        );
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

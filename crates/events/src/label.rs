@@ -1,0 +1,190 @@
+//! Interned program-location labels.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// An interned program location — the paper's statement label `c`.
+///
+/// Labels identify the source locations of lock acquisitions, method calls
+/// and allocations. They are interned process-wide, so a `Label` is a `u32`
+/// that is `Copy`, `Eq`, `Hash` and cheap to store in contexts and traces.
+/// Two labels constructed from the same string are identical.
+///
+/// The paper relies on labels being stable *across executions* of the same
+/// program; interning per process preserves that (the mapping
+/// string ↔ label may differ between processes, but equality of labels
+/// within a process exactly mirrors equality of location strings).
+///
+/// # Example
+///
+/// ```
+/// use df_events::Label;
+/// let a = Label::new("Factory.killClients:872");
+/// let b = Label::new("Factory.killClients:872");
+/// assert_eq!(a, b);
+/// assert_eq!(&*a.as_str(), "Factory.killClients:872");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(u32);
+
+struct Interner {
+    strings: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            strings: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
+impl Label {
+    /// Interns `location` and returns its label.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let l = df_events::Label::new("main:22");
+    /// assert_eq!(l.to_string(), "main:22");
+    /// ```
+    pub fn new(location: &str) -> Self {
+        let int = interner();
+        if let Some(&id) = int.read().ids.get(location) {
+            return Label(id);
+        }
+        let mut w = int.write();
+        if let Some(&id) = w.ids.get(location) {
+            return Label(id);
+        }
+        let id = u32::try_from(w.strings.len()).expect("label interner overflow");
+        let s: Arc<str> = Arc::from(location);
+        w.strings.push(Arc::clone(&s));
+        w.ids.insert(s, id);
+        Label(id)
+    }
+
+    /// Returns the interned location string.
+    pub fn as_str(&self) -> Arc<str> {
+        Arc::clone(&interner().read().strings[self.0 as usize])
+    }
+
+    /// Returns the raw interner index (useful for compact serialization
+    /// within one process; not stable across processes).
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_str())
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({})", self.as_str())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl Serialize for Label {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for Label {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        if s.is_empty() {
+            return Err(D::Error::custom("label must not be empty"));
+        }
+        Ok(Label::new(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Label::new("x:1");
+        let b = Label::new("x:1");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_labels() {
+        let a = Label::new("y:1");
+        let b = Label::new("y:2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let a = Label::new("Widget.frob:42");
+        assert_eq!(a.to_string(), "Widget.frob:42");
+        assert_eq!(format!("{a:?}"), "Label(Widget.frob:42)");
+    }
+
+    #[test]
+    fn serde_round_trips_by_string() {
+        let a = Label::new("serde:1");
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(json, "\"serde:1\"");
+        let b: Label = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_rejects_empty() {
+        assert!(serde_json::from_str::<Label>("\"\"").is_err());
+    }
+
+    #[test]
+    fn from_str_impl() {
+        let a: Label = "conv:1".into();
+        assert_eq!(a, Label::new("conv:1"));
+    }
+
+    #[test]
+    fn site_macro_produces_location() {
+        let l = crate::site!();
+        assert!(l.as_str().contains("label.rs"));
+        let named = crate::site!("acquire l1");
+        assert!(named.as_str().starts_with("acquire l1"));
+    }
+
+    #[test]
+    fn labels_are_hashable_keys() {
+        use std::collections::HashSet;
+        let set: HashSet<Label> = ["a", "b", "a"].iter().map(|s| Label::new(s)).collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Label::new("concurrent:1").index()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared event vocabulary for the `deadlock-fuzzer` toolchain.
+//!
+//! This crate defines the data that flows between the execution substrates
+//! (`df-runtime`'s virtual threads and `df-realthread`'s instrumented real
+//! threads) and the analyses (`df-igoodlock`, `df-abstraction`, `df-fuzzer`):
+//!
+//! * [`Label`] — an interned program location (the paper's statement label
+//!   `c`), cheap to copy, compare and hash;
+//! * [`ThreadId`] / [`ObjId`] — dynamic identities of threads and objects
+//!   within *one* execution (the paper's "unique id");
+//! * [`ObjectMeta`] / [`ObjectTable`] — per-object creation metadata captured
+//!   at allocation time, from which every abstraction of Section 2.4 of the
+//!   paper can be derived after the fact;
+//! * [`Event`] / [`Trace`] — the dynamic instances of labeled statements from
+//!   Section 2.1 (`Acquire`, `Release`, `Call`, `Return`, `new`, …) observed
+//!   during an execution.
+//!
+//! # Example
+//!
+//! ```
+//! use df_events::{Label, Trace, EventKind};
+//!
+//! let site = Label::new("MyThread.run:15");
+//! assert_eq!(&*site.as_str(), "MyThread.run:15");
+//! let trace = Trace::default();
+//! assert_eq!(trace.events().len(), 0);
+//! let _ = EventKind::Yield;
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod event;
+mod ids;
+mod label;
+mod object;
+mod trace;
+
+pub use event::{Event, EventKind};
+pub use ids::{ObjId, ObjKind, ThreadId};
+pub use label::Label;
+pub use object::{IndexFrame, ObjectMeta, ObjectTable};
+pub use trace::Trace;
+
+/// Constructs a [`Label`] from the current source location.
+///
+/// This is the Rust stand-in for the paper's statement labels: a stable
+/// identifier for "the program location of this operation" that does not
+/// change across executions.
+///
+/// # Example
+///
+/// ```
+/// let l = df_events::site!();
+/// assert!(l.as_str().contains("lib.rs") || l.as_str().contains("site"));
+/// ```
+#[macro_export]
+macro_rules! site {
+    () => {
+        $crate::Label::new(concat!(file!(), ":", line!(), ":", column!()))
+    };
+    ($name:expr) => {
+        $crate::Label::new(concat!($name, " (", file!(), ":", line!(), ")"))
+    };
+}

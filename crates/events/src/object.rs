@@ -1,0 +1,248 @@
+//! Per-object creation metadata captured at allocation time.
+//!
+//! The paper's abstractions (Section 2.4) need information recorded when an
+//! object is created:
+//!
+//! * the allocation site (for the site abstraction and as the first element
+//!   of both `absO_k` and `absI_k`);
+//! * the *owner* object — the `this` of the method executing the allocation
+//!   (for k-object-sensitivity, §2.4.1);
+//! * a snapshot of the light-weight execution-indexing call stack
+//!   (for `absI_k`, §2.4.2).
+//!
+//! The substrates capture an [`ObjectMeta`] for every created object and the
+//! analyses derive abstractions from the resulting [`ObjectTable`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Label, ObjId, ObjKind};
+
+/// One frame of the light-weight execution-indexing call stack: the label of
+/// a call (or allocation) statement and the number of times that statement
+/// had executed at its depth in the current calling context.
+///
+/// This is the `[c, q]` pair of Section 2.4.2 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct IndexFrame {
+    /// Label of the call/allocation statement.
+    pub site: Label,
+    /// Occurrence count of `site` at its depth within the enclosing context.
+    pub count: u32,
+}
+
+impl IndexFrame {
+    /// Creates a frame.
+    pub fn new(site: Label, count: u32) -> Self {
+        IndexFrame { site, count }
+    }
+}
+
+/// Creation metadata of a single dynamic object.
+///
+/// Captured once, at allocation time, by the execution substrate. All object
+/// abstractions of the paper (trivial, allocation site, `absO_k`, `absI_k`)
+/// are pure functions of the `ObjectMeta`s in an [`ObjectTable`].
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ObjectMeta {
+    /// The object's dynamic identity in this execution.
+    pub id: ObjId,
+    /// Whether the object is a lock, a thread object, or a plain object.
+    pub kind: ObjKind,
+    /// Allocation-site label (the paper's `c` in `c: o = new (o', T)`).
+    pub site: Label,
+    /// The `this` object of the method that allocated this object
+    /// (`o'` in the paper), if the allocation happened inside a method with
+    /// a receiver. `None` corresponds to allocation in a static method.
+    pub owner: Option<ObjId>,
+    /// Execution-indexing stack at creation, *outermost frame first*; the
+    /// final frame is the allocation statement itself with its occurrence
+    /// count. `absI_k` is the last `k` frames of this vector.
+    pub index: Vec<IndexFrame>,
+    /// Creation sequence number — a total order on allocations, used only
+    /// for debugging output.
+    pub seq: u64,
+}
+
+/// All objects created during one execution, indexed by [`ObjId`].
+///
+/// # Example
+///
+/// ```
+/// use df_events::{Label, ObjKind, ObjectTable};
+///
+/// let mut table = ObjectTable::new();
+/// let id = table.create(ObjKind::Lock, Label::new("main:22"), None, Vec::new());
+/// assert_eq!(table.get(id).site, Label::new("main:22"));
+/// assert_eq!(table.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct ObjectTable {
+    metas: Vec<ObjectMeta>,
+}
+
+impl ObjectTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new object and returns its id.
+    pub fn create(
+        &mut self,
+        kind: ObjKind,
+        site: Label,
+        owner: Option<ObjId>,
+        index: Vec<IndexFrame>,
+    ) -> ObjId {
+        let id = ObjId::new(u32::try_from(self.metas.len()).expect("object table overflow"));
+        let seq = self.metas.len() as u64;
+        self.metas.push(ObjectMeta {
+            id,
+            kind,
+            site,
+            owner,
+            index,
+            seq,
+        });
+        id
+    }
+
+    /// Returns the metadata of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this table.
+    pub fn get(&self, id: ObjId) -> &ObjectMeta {
+        &self.metas[id.as_usize()]
+    }
+
+    /// Returns the metadata of `id`, or `None` if unknown.
+    pub fn try_get(&self, id: ObjId) -> Option<&ObjectMeta> {
+        self.metas.get(id.as_usize())
+    }
+
+    /// Number of objects created.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Whether no objects have been created.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Iterates over all object metadata in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = &ObjectMeta> {
+        self.metas.iter()
+    }
+
+    /// Walks the owner chain `o, owner(o), owner(owner(o)), …` starting at
+    /// `id`, yielding at most `k` objects. This is the `o_1, …, o_k`
+    /// sequence of §2.4.1.
+    pub fn owner_chain(&self, id: ObjId, k: usize) -> Vec<&ObjectMeta> {
+        let mut chain = Vec::with_capacity(k);
+        let mut cur = Some(id);
+        while let Some(id) = cur {
+            if chain.len() == k {
+                break;
+            }
+            let meta = match self.try_get(id) {
+                Some(m) => m,
+                None => break,
+            };
+            chain.push(meta);
+            cur = meta.owner;
+        }
+        chain
+    }
+}
+
+impl<'a> IntoIterator for &'a ObjectTable {
+    type Item = &'a ObjectMeta;
+    type IntoIter = std::slice::Iter<'a, ObjectMeta>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.metas.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn create_assigns_sequential_ids() {
+        let mut t = ObjectTable::new();
+        let a = t.create(ObjKind::Lock, l("a:1"), None, vec![]);
+        let b = t.create(ObjKind::Thread, l("b:2"), None, vec![]);
+        assert_eq!(a.as_usize(), 0);
+        assert_eq!(b.as_usize(), 1);
+        assert_eq!(t.get(b).kind, ObjKind::Thread);
+        assert_eq!(t.get(a).seq, 0);
+        assert_eq!(t.get(b).seq, 1);
+    }
+
+    #[test]
+    fn owner_chain_walks_parents() {
+        let mut t = ObjectTable::new();
+        let grand = t.create(ObjKind::Plain, l("g:1"), None, vec![]);
+        let parent = t.create(ObjKind::Plain, l("p:1"), Some(grand), vec![]);
+        let child = t.create(ObjKind::Lock, l("c:1"), Some(parent), vec![]);
+        let chain = t.owner_chain(child, 3);
+        let sites: Vec<String> = chain.iter().map(|m| m.site.to_string()).collect();
+        assert_eq!(sites, vec!["c:1", "p:1", "g:1"]);
+    }
+
+    #[test]
+    fn owner_chain_truncates_at_k() {
+        let mut t = ObjectTable::new();
+        let a = t.create(ObjKind::Plain, l("k:1"), None, vec![]);
+        let b = t.create(ObjKind::Plain, l("k:2"), Some(a), vec![]);
+        assert_eq!(t.owner_chain(b, 1).len(), 1);
+        assert_eq!(t.owner_chain(b, 0).len(), 0);
+    }
+
+    #[test]
+    fn owner_chain_stops_at_root() {
+        let mut t = ObjectTable::new();
+        let a = t.create(ObjKind::Plain, l("r:1"), None, vec![]);
+        assert_eq!(t.owner_chain(a, 10).len(), 1);
+    }
+
+    #[test]
+    fn try_get_unknown_is_none() {
+        let t = ObjectTable::new();
+        assert!(t.try_get(ObjId::new(3)).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iterates_in_creation_order() {
+        let mut t = ObjectTable::new();
+        t.create(ObjKind::Plain, l("i:1"), None, vec![]);
+        t.create(ObjKind::Plain, l("i:2"), None, vec![]);
+        let sites: Vec<String> = t.iter().map(|m| m.site.to_string()).collect();
+        assert_eq!(sites, vec!["i:1", "i:2"]);
+    }
+
+    #[test]
+    fn index_frames_record_counts() {
+        let mut t = ObjectTable::new();
+        let idx = vec![IndexFrame::new(l("foo:6"), 1), IndexFrame::new(l("bar:11"), 3)];
+        let o = t.create(ObjKind::Lock, l("bar:11"), None, idx.clone());
+        assert_eq!(t.get(o).index, idx);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = ObjectTable::new();
+        t.create(ObjKind::Lock, l("s:1"), None, vec![IndexFrame::new(l("s:0"), 2)]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ObjectTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,105 @@
+//! Algorithm 4: `checkRealDeadlock`.
+
+use df_events::{ObjId, ThreadId};
+use df_runtime::{DeadlockWitness, Detector, PendingOp, StateView, WaitForGraph, WitnessComponent};
+
+/// Algorithm 4 of the paper, evaluated over the live execution state.
+///
+/// The paper's formulation looks for distinct threads `t_1 … t_m` and locks
+/// `l_1 … l_m` with `l_i` *before* `l_{i+1}` in `LockSet[t_i]` (cyclically)
+/// — where a thread *blocked in* an acquire keeps the target lock pushed on
+/// its lock set. In this runtime, blocked threads announce their pending
+/// acquire instead of pushing it, so the check is: build the wait-for
+/// graph of
+///
+/// * held locks (every thread's lock stack),
+/// * pending acquires of threads that are blocked (their lock is held by
+///   someone else), and
+/// * `candidate`'s pending acquire of `candidate_lock` (the acquire the
+///   scheduler is about to let happen — the "push" of Algorithm 3 line 9),
+///
+/// and report a cycle as a real deadlock. Intended acquires of *paused*
+/// threads count as edges too (even though Algorithm 3 as printed pops the
+/// lock when pausing): a paused thread is one schedule decision away from
+/// the acquire, and a cycle through it can always be driven to the actual
+/// blocked state by releasing the paused threads one by one — every lock
+/// in the cycle is held by a cycle member, so no one can escape. This is
+/// what lets DeadlockFuzzer confirm a deadlock with *zero* thrashes
+/// (Table 1 reports 0.00 average thrashes for Logging and DBCP at
+/// probability 1.00, which is impossible if paused intents are invisible
+/// to the check).
+///
+/// Returns the witness if the acquire closes a cycle.
+pub fn check_real_deadlock(
+    view: &StateView<'_>,
+    candidate: ThreadId,
+    candidate_lock: ObjId,
+) -> Option<DeadlockWitness> {
+    let threads = view.threads();
+    let mut graph = WaitForGraph::new();
+    for t in &threads {
+        for &held in t.lock_stack {
+            graph.add_holds(t.id, held);
+        }
+        if t.id == candidate {
+            graph.add_waits(t.id, candidate_lock);
+            continue;
+        }
+        // Any announced acquire whose lock is currently held by another
+        // thread is a wait-for edge — whether the thread is blocked in the
+        // acquire or paused just before it. (An acquire of a *free* lock
+        // can never be part of a cycle: a cycle needs the lock to be held
+        // by a cycle member.)
+        let wanted = match t.pending {
+            Some(PendingOp::Acquire { lock, .. })
+            | Some(PendingOp::WaitReacquire { lock, .. }) => Some(*lock),
+            _ => None,
+        };
+        if let Some(lock) = wanted {
+            let held_by_other = view
+                .lock_owner(lock)
+                .map(|o| o != t.id)
+                .unwrap_or(false);
+            if held_by_other {
+                graph.add_waits(t.id, lock);
+            }
+        }
+    }
+    let cycle = graph.find_cycle()?;
+    let components = cycle
+        .iter()
+        .map(|&tid| {
+            let t = threads
+                .iter()
+                .find(|t| t.id == tid)
+                .expect("cycle thread exists");
+            let waiting_for = graph
+                .waiting_for(tid)
+                .expect("cycle thread waits for a lock");
+            let site = match t.pending {
+                Some(PendingOp::Acquire { site, .. })
+                | Some(PendingOp::WaitReacquire { site, .. }) => Some(*site),
+                _ => None,
+            };
+            let mut context = t.context_stack.to_vec();
+            if let Some(site) = site {
+                context.push(site);
+            }
+            WitnessComponent {
+                thread: tid,
+                thread_obj: t.obj,
+                holding: t.lock_stack.to_vec(),
+                waiting_for,
+                context,
+            }
+        })
+        .collect();
+    Some(DeadlockWitness {
+        components,
+        detected_by: Detector::Strategy,
+    })
+}
+
+// Unit coverage for `check_real_deadlock` requires a live `StateView`; it
+// is exercised end-to-end in `active.rs` tests and in the integration
+// suite (a strategy that feeds known states through the runtime).

@@ -1,0 +1,330 @@
+//! Systematic (bounded) schedule exploration — the model-checking
+//! baseline of the paper's introduction.
+//!
+//! §1 of the paper motivates active random testing by the failure mode of
+//! model checking: "systematically exploring all thread schedules …
+//! fails to scale for large multi-threaded programs due to the
+//! exponential increase in the number of thread schedules with execution
+//! length." This module implements that baseline — stateless,
+//! Verisoft-style exploration of the schedule tree — so the claim can be
+//! *measured*: [`explore`] counts how many runs exhaustive search needs
+//! to hit a deadlock that DeadlockFuzzer creates in one biased run.
+//!
+//! The exploration is stateless: each schedule is executed from scratch
+//! under a [`DirectedStrategy`] that follows a prescribed prefix of
+//! choice *indices* (into the sorted enabled set) and defaults to index 0
+//! afterwards, recording the branching factor of every decision. New
+//! prefixes are enqueued for every unexplored alternative, depth-first.
+
+use std::sync::Arc;
+
+use df_events::ThreadId;
+use parking_lot::Mutex;
+
+use df_runtime::{
+    DeadlockWitness, Directive, RunConfig, StateView, Strategy, StrategyStats, TCtx,
+    VirtualRuntime,
+};
+
+/// The per-decision record of one directed run.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleRecord {
+    /// Choice index taken at each decision.
+    pub choices: Vec<usize>,
+    /// Number of enabled threads at each decision.
+    pub branching: Vec<usize>,
+}
+
+/// Follows a prescribed choice prefix, then picks the first enabled
+/// thread, recording branching factors throughout.
+pub struct DirectedStrategy {
+    prefix: Vec<usize>,
+    record: Arc<Mutex<ScheduleRecord>>,
+    picks: u64,
+}
+
+impl DirectedStrategy {
+    /// Creates the strategy and a handle to its (post-run) record.
+    pub fn new(prefix: Vec<usize>) -> (Self, Arc<Mutex<ScheduleRecord>>) {
+        let record = Arc::new(Mutex::new(ScheduleRecord::default()));
+        (
+            DirectedStrategy {
+                prefix,
+                record: Arc::clone(&record),
+                picks: 0,
+            },
+            record,
+        )
+    }
+}
+
+impl Strategy for DirectedStrategy {
+    fn pick(&mut self, _view: &StateView<'_>, enabled: &[ThreadId]) -> Directive {
+        let i = self.picks as usize;
+        self.picks += 1;
+        let choice = self
+            .prefix
+            .get(i)
+            .copied()
+            .unwrap_or(0)
+            .min(enabled.len() - 1);
+        let mut rec = self.record.lock();
+        rec.choices.push(choice);
+        rec.branching.push(enabled.len());
+        Directive::Run(enabled[choice])
+    }
+
+    fn finish(&mut self) -> StrategyStats {
+        StrategyStats {
+            picks: self.picks,
+            ..StrategyStats::default()
+        }
+    }
+}
+
+/// Bounds for [`explore`].
+#[derive(Clone, Debug)]
+pub struct ExploreOptions {
+    /// Stop after this many executed schedules.
+    pub max_runs: usize,
+    /// Branch exhaustively only over the first `max_depth` decisions
+    /// (later decisions follow the default choice). `None` = unbounded.
+    pub max_depth: Option<usize>,
+    /// Stop at the first deadlock found.
+    pub stop_at_first_deadlock: bool,
+    /// Runtime configuration for each execution.
+    pub run: RunConfig,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_runs: 10_000,
+            max_depth: None,
+            stop_at_first_deadlock: true,
+            run: RunConfig::default().with_record_trace(false),
+        }
+    }
+}
+
+/// What the exploration found.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// Schedules executed.
+    pub runs: usize,
+    /// Runs that ended in a deadlock, with the run index (0-based) of the
+    /// first one.
+    pub deadlocks: Vec<(usize, DeadlockWitness)>,
+    /// Whether the whole (depth-bounded) schedule tree was covered.
+    pub exhausted: bool,
+}
+
+impl ExploreResult {
+    /// The run index of the first deadlock, if any.
+    pub fn first_deadlock_run(&self) -> Option<usize> {
+        self.deadlocks.first().map(|&(i, _)| i)
+    }
+}
+
+/// Systematically explores the schedule tree of `program`, depth-first.
+///
+/// # Example
+///
+/// ```
+/// use df_fuzzer::{explore, ExploreOptions};
+/// use df_events::site;
+///
+/// // A single-threaded program has exactly one schedule.
+/// let result = explore(
+///     move || {
+///         move |ctx: &df_runtime::TCtx| {
+///             ctx.work(2);
+///         }
+///     },
+///     &ExploreOptions::default(),
+/// );
+/// assert_eq!(result.runs, 1);
+/// assert!(result.exhausted);
+/// assert!(result.deadlocks.is_empty());
+/// ```
+pub fn explore<F, P>(program: F, options: &ExploreOptions) -> ExploreResult
+where
+    F: Fn() -> P,
+    P: FnOnce(&TCtx) + Send + 'static,
+{
+    let runtime = VirtualRuntime::new(options.run.clone());
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut runs = 0usize;
+    let mut deadlocks = Vec::new();
+    let mut exhausted = true;
+    while let Some(prefix) = stack.pop() {
+        if runs >= options.max_runs {
+            exhausted = false;
+            break;
+        }
+        let (strategy, record) = DirectedStrategy::new(prefix.clone());
+        let result = runtime.run(Box::new(strategy), program());
+        runs += 1;
+        if let Some(w) = result.outcome.deadlock() {
+            deadlocks.push((runs - 1, w.clone()));
+            if options.stop_at_first_deadlock {
+                exhausted = false;
+                break;
+            }
+        }
+        // Enqueue unexplored siblings: alternatives at decisions past the
+        // prescribed prefix (the prefix itself was already branched by
+        // whoever enqueued it).
+        let rec = record.lock();
+        let limit = options
+            .max_depth
+            .unwrap_or(rec.branching.len())
+            .min(rec.branching.len());
+        // Depth-first: push deeper branch points last so they pop first.
+        for i in (prefix.len()..limit).rev() {
+            for alt in 1..rec.branching[i] {
+                let mut next = rec.choices[..i].to_vec();
+                next.push(alt);
+                stack.push(next);
+            }
+        }
+        if options.max_depth.is_some() && rec.branching.len() > limit {
+            // Decisions beyond the depth bound were not branched.
+            exhausted = false;
+        }
+    }
+    if !stack.is_empty() {
+        exhausted = false;
+    }
+    ExploreResult {
+        runs,
+        deadlocks,
+        exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_events::site;
+    use df_runtime::LockRef;
+
+    /// Two threads, opposite lock order, `prefix_work` units of work
+    /// before the first thread's acquisitions (Figure 1's shape, scaled).
+    fn opposite_order(prefix_work: u32) -> impl Fn() -> Box<dyn FnOnce(&TCtx) + Send> {
+        move || {
+            Box::new(move |ctx: &TCtx| {
+                let a = ctx.new_lock(site!("ex a"));
+                let b = ctx.new_lock(site!("ex b"));
+                let body = |l1: LockRef, l2: LockRef, work: u32| {
+                    move |ctx: &TCtx| {
+                        ctx.work(work);
+                        let g1 = ctx.lock(&l1, site!("ex first"));
+                        let g2 = ctx.lock(&l2, site!("ex second"));
+                        drop(g2);
+                        drop(g1);
+                    }
+                };
+                let t1 = ctx.spawn(site!("ex s1"), "t1", body(a, b, prefix_work));
+                let t2 = ctx.spawn(site!("ex s2"), "t2", body(b, a, 0));
+                ctx.join(&t1, site!());
+                ctx.join(&t2, site!());
+            }) as Box<dyn FnOnce(&TCtx) + Send>
+        }
+    }
+
+    #[test]
+    fn finds_the_deadlock_eventually() {
+        let result = explore(opposite_order(0), &ExploreOptions::default());
+        assert!(
+            !result.deadlocks.is_empty(),
+            "exhaustive search must find the deadlock ({} runs)",
+            result.runs
+        );
+    }
+
+    #[test]
+    fn run_count_grows_with_execution_length() {
+        // The paper's motivation: schedules explode with execution
+        // length. Measure runs-to-first-deadlock as the benign prefix
+        // grows.
+        let mut counts = Vec::new();
+        for work in [0u32, 2, 4] {
+            let result = explore(
+                opposite_order(work),
+                &ExploreOptions {
+                    max_runs: 100_000,
+                    ..ExploreOptions::default()
+                },
+            );
+            let first = result
+                .first_deadlock_run()
+                .expect("deadlock reachable") as u64;
+            counts.push(first);
+        }
+        assert!(
+            counts[0] < counts[1] && counts[1] < counts[2],
+            "schedules to first deadlock must grow with prefix length: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn exhausts_small_trees() {
+        // No locks: the tree is still branchy (interleavings of work),
+        // but finite and deadlock-free.
+        let result = explore(
+            || {
+                |ctx: &TCtx| {
+                    let t = ctx.spawn(site!("eh s"), "w", |ctx| ctx.work(2));
+                    ctx.work(1);
+                    ctx.join(&t, site!());
+                }
+            },
+            &ExploreOptions {
+                max_runs: 100_000,
+                stop_at_first_deadlock: false,
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(result.exhausted, "covered in {} runs", result.runs);
+        assert!(result.deadlocks.is_empty());
+        assert!(result.runs > 1, "interleavings exist");
+    }
+
+    #[test]
+    fn depth_bound_limits_work() {
+        let bounded = explore(
+            opposite_order(4),
+            &ExploreOptions {
+                max_depth: Some(3),
+                stop_at_first_deadlock: false,
+                max_runs: 100_000,
+                ..ExploreOptions::default()
+            },
+        );
+        let unbounded = explore(
+            opposite_order(4),
+            &ExploreOptions {
+                stop_at_first_deadlock: false,
+                max_runs: 100_000,
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(bounded.runs < unbounded.runs);
+        assert!(!bounded.exhausted);
+    }
+
+    #[test]
+    fn max_runs_cap_is_respected() {
+        let result = explore(
+            opposite_order(6),
+            &ExploreOptions {
+                max_runs: 10,
+                stop_at_first_deadlock: false,
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(result.runs, 10);
+        assert!(!result.exhausted);
+    }
+}

@@ -1,0 +1,599 @@
+//! Algorithm 1: iterative computation of potential deadlock cycles.
+
+use std::collections::HashSet;
+
+use df_events::ObjId;
+use serde::{Deserialize, Serialize};
+
+use crate::cycle::{Cycle, CycleComponent};
+use crate::relation::{LockDep, LockDependencyRelation};
+
+/// Options bounding the iGoodlock computation.
+///
+/// The paper notes iGoodlock is iterative — all cycles of length `k` are
+/// found before any of length `k + 1` — so with a limited budget it can be
+/// stopped after the first iteration (cycles of length 2). All real
+/// deadlocks in the paper's benchmarks have length 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IGoodlockOptions {
+    /// Maximum cycle length to search for (`None` = unbounded, i.e. run
+    /// until no chains remain).
+    pub max_cycle_length: Option<usize>,
+    /// Stop after reporting this many cycles.
+    pub max_cycles: usize,
+    /// Abandon the search if an iteration would hold more than this many
+    /// open chains (guards against pathological relations).
+    pub max_open_chains: usize,
+}
+
+impl Default for IGoodlockOptions {
+    fn default() -> Self {
+        IGoodlockOptions {
+            max_cycle_length: None,
+            max_cycles: 10_000,
+            max_open_chains: 1_000_000,
+        }
+    }
+}
+
+impl IGoodlockOptions {
+    /// Convenience: the "limited time budget" configuration of the paper
+    /// (one iteration, cycles of length 2 only).
+    pub fn length_two_only() -> Self {
+        IGoodlockOptions {
+            max_cycle_length: Some(2),
+            ..IGoodlockOptions::default()
+        }
+    }
+}
+
+/// Statistics of an iGoodlock run (exposed for the bench harness).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IGoodlockStats {
+    /// Number of iterations executed (max chain length examined).
+    pub iterations: usize,
+    /// Total chains ever constructed.
+    pub chains_built: u64,
+    /// Whether the search was truncated by a limit.
+    pub truncated: bool,
+    /// Cycles suppressed by the happens-before filter (0 when the filter
+    /// is off).
+    pub pruned_by_hb: u64,
+}
+
+/// An open (not yet cyclic) dependency chain: indices into the relation
+/// plus memoized thread/lock sets for O(1)-ish extension checks.
+struct Chain {
+    deps: Vec<usize>,
+    threads: Vec<df_events::ThreadId>,
+    locks: Vec<ObjId>,
+    /// Union of all component locksets (Definition 2(4)).
+    lockset_union: Vec<ObjId>,
+}
+
+impl Chain {
+    fn single(idx: usize, dep: &LockDep) -> Self {
+        Chain {
+            deps: vec![idx],
+            threads: vec![dep.thread],
+            locks: vec![dep.lock],
+            lockset_union: dep.lockset.clone(),
+        }
+    }
+
+    /// Checks Definition 2 for appending `dep`, plus the §2.2.3
+    /// duplicate-suppression rule (first thread has minimum id).
+    fn can_extend(&self, first: &LockDep, dep: &LockDep) -> bool {
+        // §2.2.3: report each cycle once, rooted at its minimum thread id.
+        if dep.thread <= first.thread {
+            return false;
+        }
+        // 2(1): threads pairwise distinct.
+        if self.threads.contains(&dep.thread) {
+            return false;
+        }
+        // 2(2): acquired locks pairwise distinct.
+        if self.locks.contains(&dep.lock) {
+            return false;
+        }
+        // 2(3): the previous lock is held by the new component.
+        let last_lock = *self.locks.last().expect("chains are non-empty");
+        if !dep.lockset.contains(&last_lock) {
+            return false;
+        }
+        // 2(4): locksets pairwise disjoint.
+        if dep
+            .lockset
+            .iter()
+            .any(|l| self.lockset_union.contains(l))
+        {
+            return false;
+        }
+        true
+    }
+
+    fn extended(&self, idx: usize, dep: &LockDep) -> Chain {
+        let mut threads = self.threads.clone();
+        threads.push(dep.thread);
+        let mut locks = self.locks.clone();
+        locks.push(dep.lock);
+        let mut lockset_union = self.lockset_union.clone();
+        lockset_union.extend_from_slice(&dep.lockset);
+        let mut deps = self.deps.clone();
+        deps.push(idx);
+        Chain {
+            deps,
+            threads,
+            locks,
+            lockset_union,
+        }
+    }
+
+    /// Definition 3: the chain is a potential deadlock cycle if the last
+    /// acquired lock is held by the first component.
+    fn closes(&self, relation: &[LockDep]) -> bool {
+        let first = &relation[self.deps[0]];
+        let last_lock = *self.locks.last().expect("non-empty");
+        first.lockset.contains(&last_lock)
+    }
+}
+
+/// Runs Algorithm 1 on `relation` and returns the potential deadlock
+/// cycles, each reported exactly once (§2.2.3), shortest first.
+///
+/// # Example
+///
+/// ```
+/// use df_igoodlock::{igoodlock, IGoodlockOptions, LockDep, LockDependencyRelation};
+/// use df_events::{Label, ObjId, ThreadId};
+///
+/// let dep = |t: u32, held: u32, lock: u32| LockDep {
+///     thread: ThreadId::new(t),
+///     thread_obj: ObjId::new(t),
+///     lockset: vec![ObjId::new(held)],
+///     lock: ObjId::new(lock),
+///     contexts: vec![Label::new("a:1"), Label::new("a:2")],
+/// };
+/// let rel = LockDependencyRelation::from_deps(vec![dep(1, 10, 11), dep(2, 11, 10)]);
+/// let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+/// assert_eq!(cycles.len(), 1);
+/// assert_eq!(cycles[0].len(), 2);
+/// ```
+pub fn igoodlock(relation: &LockDependencyRelation, options: &IGoodlockOptions) -> Vec<Cycle> {
+    igoodlock_with_stats(relation, options).0
+}
+
+/// Like [`igoodlock`] but also returns run statistics.
+pub fn igoodlock_with_stats(
+    relation: &LockDependencyRelation,
+    options: &IGoodlockOptions,
+) -> (Vec<Cycle>, IGoodlockStats) {
+    igoodlock_filtered(relation, None, options)
+}
+
+/// [`igoodlock`] with an optional happens-before filter: cycles whose
+/// hold windows are ordered by fork/join happens-before (and therefore
+/// can never overlap in any execution) are suppressed and counted in
+/// [`IGoodlockStats::pruned_by_hb`]. Tuples without timing information
+/// (relations built with
+/// [`LockDependencyRelation::from_deps`]) are conservatively kept.
+///
+/// # Example
+///
+/// ```
+/// use df_igoodlock::{igoodlock_filtered, HbFilter, IGoodlockOptions, LockDependencyRelation};
+/// use df_events::Trace;
+///
+/// let trace = Trace::default();
+/// let relation = LockDependencyRelation::from_trace(&trace);
+/// let hb = HbFilter::from_trace(&trace);
+/// let (cycles, stats) =
+///     igoodlock_filtered(&relation, Some(&hb), &IGoodlockOptions::default());
+/// assert!(cycles.is_empty());
+/// assert_eq!(stats.pruned_by_hb, 0);
+/// ```
+pub fn igoodlock_filtered(
+    relation: &LockDependencyRelation,
+    hb: Option<&crate::hb::HbFilter>,
+    options: &IGoodlockOptions,
+) -> (Vec<Cycle>, IGoodlockStats) {
+    let deps = relation.deps();
+    let mut stats = IGoodlockStats::default();
+    let mut cycles: Vec<Cycle> = Vec::new();
+    // Dedup key: the (thread, lock, context) projection of the chain.
+    // Distinct chains can differ only in their locksets; their projections
+    // — all that the report and Phase II consume — are then identical, so
+    // reporting both would only duplicate work downstream.
+    type CycleKey = Vec<(df_events::ThreadId, ObjId, Vec<df_events::Label>)>;
+    let mut reported: HashSet<CycleKey> = HashSet::new();
+
+    // D_1 = D.
+    let mut current: Vec<Chain> = deps
+        .iter()
+        .enumerate()
+        .map(|(i, d)| Chain::single(i, d))
+        .collect();
+    stats.chains_built += current.len() as u64;
+    let mut length = 1usize;
+
+    while !current.is_empty() {
+        if let Some(max) = options.max_cycle_length {
+            if length + 1 > max {
+                stats.truncated = true;
+                break;
+            }
+        }
+        stats.iterations += 1;
+        let mut next: Vec<Chain> = Vec::new();
+        for chain in &current {
+            let first = &deps[chain.deps[0]];
+            for (idx, dep) in deps.iter().enumerate() {
+                if !chain.can_extend(first, dep) {
+                    continue;
+                }
+                let ext = chain.extended(idx, dep);
+                stats.chains_built += 1;
+                if ext.closes(deps) {
+                    let key: CycleKey = ext
+                        .deps
+                        .iter()
+                        .map(|&i| (deps[i].thread, deps[i].lock, deps[i].contexts.clone()))
+                        .collect();
+                    if reported.insert(key) {
+                        let cycle = Cycle::new(
+                            ext.deps
+                                .iter()
+                                .map(|&i| CycleComponent::from(&deps[i]))
+                                .collect(),
+                        );
+                        if let Some(hb) = hb {
+                            let timings: Option<Vec<_>> =
+                                ext.deps.iter().map(|&i| relation.timing(i)).collect();
+                            if let Some(timings) = timings {
+                                if !hb.cycle_feasible(&cycle, &timings) {
+                                    stats.pruned_by_hb += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                        cycles.push(cycle);
+                        if cycles.len() >= options.max_cycles {
+                            stats.truncated = true;
+                            return (cycles, stats);
+                        }
+                    }
+                } else {
+                    next.push(ext);
+                    if next.len() > options.max_open_chains {
+                        stats.truncated = true;
+                        return (cycles, stats);
+                    }
+                }
+            }
+        }
+        current = next;
+        length += 1;
+    }
+    (cycles, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_events::{Label, ThreadId};
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    /// `(t, L, l)` with canned contexts; lock ids are offset by 100 to
+    /// keep them distinct from thread ids.
+    fn dep(t: u32, held: &[u32], lock: u32) -> LockDep {
+        LockDep {
+            thread: ThreadId::new(t),
+            thread_obj: ObjId::new(t),
+            lockset: held.iter().map(|&h| ObjId::new(100 + h)).collect(),
+            lock: ObjId::new(100 + lock),
+            contexts: (0..=held.len())
+                .map(|i| l(&format!("c:{i}")))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn simple_two_cycle() {
+        let rel = LockDependencyRelation::from_deps(vec![dep(1, &[1], 2), dep(2, &[2], 1)]);
+        let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 2);
+        assert_eq!(
+            cycles[0].threads(),
+            vec![ThreadId::new(1), ThreadId::new(2)]
+        );
+    }
+
+    #[test]
+    fn cycle_reported_once_not_k_times() {
+        // Without §2.2.3 this 3-cycle would be reported 3 times (one per
+        // rotation).
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep(1, &[1], 2),
+            dep(2, &[2], 3),
+            dep(3, &[3], 1),
+        ]);
+        let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 3);
+        // Rooted at the minimum thread id.
+        assert_eq!(cycles[0].threads()[0], ThreadId::new(1));
+    }
+
+    #[test]
+    fn no_cycle_same_order() {
+        let rel = LockDependencyRelation::from_deps(vec![dep(1, &[1], 2), dep(2, &[1], 2)]);
+        assert!(igoodlock(&rel, &IGoodlockOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn gate_lock_prevents_cycle() {
+        // Both threads hold a common gate lock G(=9) while acquiring:
+        // Definition 2(4) (disjoint locksets) rules the cycle out — this is
+        // exactly why Goodlock-style analyses do not flag gate-protected
+        // nesting.
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep(1, &[9, 1], 2),
+            dep(2, &[9, 2], 1),
+        ]);
+        assert!(igoodlock(&rel, &IGoodlockOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn distinct_threads_required() {
+        // One thread acquiring in both orders cannot deadlock with itself.
+        let rel = LockDependencyRelation::from_deps(vec![dep(1, &[1], 2), dep(1, &[2], 1)]);
+        assert!(igoodlock(&rel, &IGoodlockOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn complex_cycles_not_reported() {
+        // Two independent 2-cycles exist between (t1,t2) via locks 1,2 and
+        // (t1,t2) via locks 3,4. The "complex" 4-component combination
+        // must not be reported because cycles are not extended
+        // (Algorithm 1 line 9) and threads must be distinct.
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep(1, &[1], 2),
+            dep(2, &[2], 1),
+            dep(1, &[3], 4),
+            dep(2, &[4], 3),
+        ]);
+        let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+        assert_eq!(cycles.len(), 2);
+        assert!(cycles.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn three_cycle_with_two_cycle_subsumed_separately() {
+        // A 2-cycle and a 3-cycle share a dependency; both are reported.
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep(1, &[1], 2),
+            dep(2, &[2], 1),
+            dep(2, &[2], 3),
+            dep(3, &[3], 1),
+        ]);
+        let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+        let lengths: Vec<usize> = cycles.iter().map(|c| c.len()).collect();
+        assert!(lengths.contains(&2));
+        assert!(lengths.contains(&3));
+        assert_eq!(cycles.len(), 2);
+    }
+
+    #[test]
+    fn max_cycle_length_limits_iterations() {
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep(1, &[1], 2),
+            dep(2, &[2], 3),
+            dep(3, &[3], 1),
+        ]);
+        let (cycles, stats) =
+            igoodlock_with_stats(&rel, &IGoodlockOptions::length_two_only());
+        assert!(cycles.is_empty());
+        assert!(stats.truncated);
+        let (cycles, stats) = igoodlock_with_stats(
+            &rel,
+            &IGoodlockOptions {
+                max_cycle_length: Some(3),
+                ..IGoodlockOptions::default()
+            },
+        );
+        assert_eq!(cycles.len(), 1);
+        assert!(!stats.truncated || stats.iterations >= 2);
+    }
+
+    #[test]
+    fn max_cycles_cap_respected() {
+        // 9 combinations à la Collections: 3 methods × 3 methods.
+        let mut deps = Vec::new();
+        for m in 0..3u32 {
+            deps.push(dep_ctx(1, 1, 2, m));
+            deps.push(dep_ctx(2, 2, 1, m));
+        }
+        let rel = LockDependencyRelation::from_deps(deps);
+        let all = igoodlock(&rel, &IGoodlockOptions::default());
+        assert_eq!(all.len(), 9);
+        let capped = igoodlock(
+            &rel,
+            &IGoodlockOptions {
+                max_cycles: 4,
+                ..IGoodlockOptions::default()
+            },
+        );
+        assert_eq!(capped.len(), 4);
+    }
+
+    /// Like `dep` but with a context distinguished by `m` (different call
+    /// sites for the same lock pair → distinct relation tuples).
+    fn dep_ctx(t: u32, held: u32, lock: u32, m: u32) -> LockDep {
+        LockDep {
+            thread: ThreadId::new(t),
+            thread_obj: ObjId::new(t),
+            lockset: vec![ObjId::new(100 + held)],
+            lock: ObjId::new(100 + lock),
+            contexts: vec![l(&format!("m{m}:outer")), l(&format!("m{m}:inner"))],
+        }
+    }
+
+    #[test]
+    fn contexts_distinguish_cycles() {
+        // Same lock pair, two different program contexts → two distinct
+        // potential deadlock reports (the paper's Jigsaw example: "same
+        // locks, acquired at different program locations").
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep_ctx(1, 1, 2, 0),
+            dep_ctx(1, 1, 2, 1),
+            dep_ctx(2, 2, 1, 0),
+        ]);
+        let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+        assert_eq!(cycles.len(), 2);
+    }
+
+    #[test]
+    fn empty_relation_no_cycles() {
+        let rel = LockDependencyRelation::default();
+        let (cycles, stats) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+        assert!(cycles.is_empty());
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn figure1_example_produces_expected_cycle() {
+        // Figure 1 of the paper: t1 acquires o1 then o2 at sites 15/16;
+        // t2 acquires o2 then o1 at the same sites.
+        let rel = LockDependencyRelation::from_deps(vec![
+            LockDep {
+                thread: ThreadId::new(1),
+                thread_obj: ObjId::new(25),
+                lockset: vec![ObjId::new(122)],
+                lock: ObjId::new(123),
+                contexts: vec![l("run:15"), l("run:16")],
+            },
+            LockDep {
+                thread: ThreadId::new(2),
+                thread_obj: ObjId::new(26),
+                lockset: vec![ObjId::new(123)],
+                lock: ObjId::new(122),
+                contexts: vec![l("run:15"), l("run:16")],
+            },
+        ]);
+        let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+        assert_eq!(cycles.len(), 1);
+        let c = &cycles[0];
+        assert_eq!(c.components()[0].contexts, vec![l("run:15"), l("run:16")]);
+        assert_eq!(c.locks(), vec![ObjId::new(123), ObjId::new(122)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use df_events::{Label, ThreadId};
+    use proptest::prelude::*;
+
+    fn arb_relation() -> impl Strategy<Value = LockDependencyRelation> {
+        prop::collection::vec(
+            (
+                1..5u32,                                // thread
+                prop::collection::vec(0..6u32, 1..3),   // held
+                0..6u32,                                // lock
+            ),
+            0..14,
+        )
+        .prop_map(|tuples| {
+            let deps = tuples
+                .into_iter()
+                .filter(|(_, held, lock)| !held.contains(lock))
+                .map(|(t, held, lock)| {
+                    let mut held: Vec<_> = held;
+                    held.sort();
+                    held.dedup();
+                    LockDep {
+                        thread: ThreadId::new(t),
+                        thread_obj: df_events::ObjId::new(t),
+                        lockset: held.iter().map(|&h| df_events::ObjId::new(100 + h)).collect(),
+                        lock: df_events::ObjId::new(100 + lock),
+                        contexts: (0..=held.len())
+                            .map(|i| Label::new(&format!("p:{i}")))
+                            .collect(),
+                    }
+                })
+                .collect();
+            LockDependencyRelation::from_deps(deps)
+        })
+    }
+
+    proptest! {
+        /// Every reported cycle satisfies Definitions 2 and 3.
+        #[test]
+        fn cycles_satisfy_definitions(rel in arb_relation()) {
+            let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+            for cycle in &cycles {
+                let comps = cycle.components();
+                let n = comps.len();
+                prop_assert!(n >= 2);
+                // distinct threads and locks
+                let mut ts: Vec<_> = comps.iter().map(|c| c.thread).collect();
+                ts.sort(); ts.dedup();
+                prop_assert_eq!(ts.len(), n);
+                let mut ls: Vec<_> = comps.iter().map(|c| c.lock).collect();
+                ls.sort(); ls.dedup();
+                prop_assert_eq!(ls.len(), n);
+                // chain + closing conditions
+                for i in 0..n {
+                    let next = &comps[(i + 1) % n];
+                    prop_assert!(next.lockset.contains(&comps[i].lock));
+                }
+                // pairwise disjoint locksets
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        prop_assert!(comps[i]
+                            .lockset
+                            .iter()
+                            .all(|l| !comps[j].lockset.contains(l)));
+                    }
+                }
+                // duplicate suppression: rooted at minimal thread
+                prop_assert!(comps.iter().all(|c| c.thread >= comps[0].thread));
+            }
+        }
+
+        /// No cycle is reported twice (up to rotation).
+        #[test]
+        fn no_duplicate_cycles(rel in arb_relation()) {
+            let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+            for i in 0..cycles.len() {
+                for j in (i + 1)..cycles.len() {
+                    let a: std::collections::BTreeSet<_> = cycles[i]
+                        .components()
+                        .iter()
+                        .map(|c| (c.thread, c.lock, c.contexts.clone()))
+                        .collect();
+                    let b: std::collections::BTreeSet<_> = cycles[j]
+                        .components()
+                        .iter()
+                        .map(|c| (c.thread, c.lock, c.contexts.clone()))
+                        .collect();
+                    prop_assert_ne!(a, b);
+                }
+            }
+        }
+
+        /// Length-2 truncation reports exactly the length-2 subset.
+        #[test]
+        fn truncation_is_a_prefix(rel in arb_relation()) {
+            let all = igoodlock(&rel, &IGoodlockOptions::default());
+            let short = igoodlock(&rel, &IGoodlockOptions::length_two_only());
+            let all2 = all.iter().filter(|c| c.len() == 2).count();
+            prop_assert_eq!(short.len(), all2);
+            prop_assert!(short.iter().all(|c| c.len() == 2));
+        }
+    }
+}

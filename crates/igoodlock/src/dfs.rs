@@ -1,0 +1,327 @@
+//! The generalized-Goodlock **DFS baseline** (Havelund; Bensalem–Havelund;
+//! Agarwal–Wang–Stoller).
+//!
+//! The paper's first contribution is iGoodlock, which "does not use lock
+//! graphs or depth-first search, but reports the same deadlocks as the
+//! existing algorithms … it uses more memory, but reduces runtime
+//! complexity". To *evaluate* that claim (and to cross-check Algorithm 1)
+//! this module implements the classical approach: a depth-first search
+//! that extends one dependency chain at a time, keeping only the current
+//! path in memory.
+//!
+//! Both algorithms enumerate exactly the chains admitted by Definition 2
+//! and report the cycles of Definition 3 with the §2.2.3 duplicate
+//! suppression, so their outputs are permutations of each other — a
+//! property test enforces set equality. The difference is the search
+//! order and the memory/runtime trade-off:
+//!
+//! * `goodlock_dfs`: memory `O(longest chain)`, but every chain prefix is
+//!   re-validated along each branch of the search tree;
+//! * `igoodlock`: memory `O(|D_k|)` for the whole level `k`, amortizing
+//!   prefix work across all extensions — and it yields cycles shortest
+//!   first, which enables the paper's "one iteration under a time budget"
+//!   mode.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::chains::IGoodlockOptions;
+use crate::cycle::{Cycle, CycleComponent};
+use crate::relation::{LockDep, LockDependencyRelation};
+
+/// Statistics of a DFS run, for the comparison bench.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoodlockDfsStats {
+    /// Chain extensions attempted.
+    pub extensions: u64,
+    /// Maximum search depth reached (= peak chain memory).
+    pub max_depth: usize,
+    /// Whether limits truncated the search.
+    pub truncated: bool,
+}
+
+struct Dfs<'a> {
+    deps: &'a [LockDep],
+    options: &'a IGoodlockOptions,
+    cycles: Vec<Cycle>,
+    reported: HashSet<Vec<(df_events::ThreadId, df_events::ObjId, Vec<df_events::Label>)>>,
+    stats: GoodlockDfsStats,
+}
+
+impl Dfs<'_> {
+    /// Extends `chain` (indices into `deps`) depth-first. Returns `false`
+    /// if a limit stopped the search.
+    fn explore(&mut self, chain: &mut Vec<usize>) -> bool {
+        self.stats.max_depth = self.stats.max_depth.max(chain.len());
+        if let Some(max) = self.options.max_cycle_length {
+            if chain.len() >= max {
+                self.stats.truncated = true;
+                return true; // prune this branch, keep searching others
+            }
+        }
+        let first = &self.deps[chain[0]];
+        let last_lock = self.deps[*chain.last().expect("non-empty")].lock;
+        for (idx, dep) in self.deps.iter().enumerate() {
+            // Definition 2, incrementally (same predicates as
+            // `Chain::can_extend`, but recomputed along the path — the
+            // DFS trade-off).
+            if dep.thread <= first.thread {
+                continue; // §2.2.3 rooting
+            }
+            if chain.iter().any(|&i| self.deps[i].thread == dep.thread) {
+                continue;
+            }
+            if chain.iter().any(|&i| self.deps[i].lock == dep.lock) {
+                continue;
+            }
+            if !dep.lockset.contains(&last_lock) {
+                continue;
+            }
+            if chain.iter().any(|&i| {
+                self.deps[i]
+                    .lockset
+                    .iter()
+                    .any(|l| dep.lockset.contains(l))
+            }) {
+                continue;
+            }
+            self.stats.extensions += 1;
+            chain.push(idx);
+            // Definition 3: closed?
+            if first.lockset.contains(&dep.lock) {
+                let key: Vec<_> = chain
+                    .iter()
+                    .map(|&i| {
+                        (
+                            self.deps[i].thread,
+                            self.deps[i].lock,
+                            self.deps[i].contexts.clone(),
+                        )
+                    })
+                    .collect();
+                if self.reported.insert(key) {
+                    self.cycles.push(Cycle::new(
+                        chain
+                            .iter()
+                            .map(|&i| CycleComponent::from(&self.deps[i]))
+                            .collect(),
+                    ));
+                    if self.cycles.len() >= self.options.max_cycles {
+                        self.stats.truncated = true;
+                        chain.pop();
+                        return false;
+                    }
+                }
+                // Do not extend closed cycles (no complex cycles).
+            } else if !self.explore(chain) {
+                chain.pop();
+                return false;
+            }
+            chain.pop();
+        }
+        true
+    }
+}
+
+/// Runs the DFS Goodlock baseline on `relation`; reports the same cycle
+/// set as [`crate::igoodlock`] (in DFS discovery order, not
+/// shortest-first).
+///
+/// # Example
+///
+/// ```
+/// use df_igoodlock::{goodlock_dfs, IGoodlockOptions, LockDep, LockDependencyRelation};
+/// use df_events::{Label, ObjId, ThreadId};
+///
+/// let dep = |t: u32, held: u32, lock: u32| LockDep {
+///     thread: ThreadId::new(t),
+///     thread_obj: ObjId::new(t),
+///     lockset: vec![ObjId::new(held)],
+///     lock: ObjId::new(lock),
+///     contexts: vec![Label::new("g:1"), Label::new("g:2")],
+/// };
+/// let rel = LockDependencyRelation::from_deps(vec![dep(1, 10, 11), dep(2, 11, 10)]);
+/// let (cycles, _stats) = goodlock_dfs(&rel, &IGoodlockOptions::default());
+/// assert_eq!(cycles.len(), 1);
+/// ```
+pub fn goodlock_dfs(
+    relation: &LockDependencyRelation,
+    options: &IGoodlockOptions,
+) -> (Vec<Cycle>, GoodlockDfsStats) {
+    let deps = relation.deps();
+    let mut dfs = Dfs {
+        deps,
+        options,
+        cycles: Vec::new(),
+        reported: HashSet::new(),
+        stats: GoodlockDfsStats::default(),
+    };
+    for start in 0..deps.len() {
+        let mut chain = vec![start];
+        if !dfs.explore(&mut chain) {
+            break;
+        }
+    }
+    (dfs.cycles, dfs.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chains::igoodlock;
+    use df_events::{Label, ObjId, ThreadId};
+
+    fn dep(t: u32, held: &[u32], lock: u32) -> LockDep {
+        LockDep {
+            thread: ThreadId::new(t),
+            thread_obj: ObjId::new(t),
+            lockset: held.iter().map(|&h| ObjId::new(100 + h)).collect(),
+            lock: ObjId::new(100 + lock),
+            contexts: (0..=held.len())
+                .map(|i| Label::new(&format!("dfs:{i}")))
+                .collect(),
+        }
+    }
+
+    fn cycle_keys(cycles: &[Cycle]) -> std::collections::BTreeSet<String> {
+        cycles.iter().map(|c| c.to_string()).collect()
+    }
+
+    #[test]
+    fn agrees_with_igoodlock_on_simple_cases() {
+        for rel in [
+            LockDependencyRelation::from_deps(vec![dep(1, &[1], 2), dep(2, &[2], 1)]),
+            LockDependencyRelation::from_deps(vec![
+                dep(1, &[1], 2),
+                dep(2, &[2], 3),
+                dep(3, &[3], 1),
+            ]),
+            LockDependencyRelation::from_deps(vec![
+                dep(1, &[1], 2),
+                dep(2, &[1], 2), // same order: no cycle
+            ]),
+        ] {
+            let (dfs_cycles, _) = goodlock_dfs(&rel, &IGoodlockOptions::default());
+            let it_cycles = igoodlock(&rel, &IGoodlockOptions::default());
+            assert_eq!(cycle_keys(&dfs_cycles), cycle_keys(&it_cycles));
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded_by_cycle_length() {
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep(1, &[1], 2),
+            dep(2, &[2], 3),
+            dep(3, &[3], 4),
+            dep(4, &[4], 1),
+        ]);
+        let (cycles, stats) = goodlock_dfs(&rel, &IGoodlockOptions::default());
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 4);
+        assert!(stats.max_depth <= 4);
+        assert!(stats.extensions >= 3);
+    }
+
+    #[test]
+    fn max_cycle_length_prunes() {
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep(1, &[1], 2),
+            dep(2, &[2], 3),
+            dep(3, &[3], 1),
+        ]);
+        let (cycles, stats) =
+            goodlock_dfs(&rel, &IGoodlockOptions::length_two_only());
+        assert!(cycles.is_empty());
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn max_cycles_caps_output() {
+        let mut deps = Vec::new();
+        for m in 0..3u32 {
+            deps.push(LockDep {
+                contexts: vec![
+                    Label::new(&format!("cap{m}:o")),
+                    Label::new(&format!("cap{m}:i")),
+                ],
+                ..dep(1, &[1], 2)
+            });
+            deps.push(LockDep {
+                contexts: vec![
+                    Label::new(&format!("cap{m}:o2")),
+                    Label::new(&format!("cap{m}:i2")),
+                ],
+                ..dep(2, &[2], 1)
+            });
+        }
+        let rel = LockDependencyRelation::from_deps(deps);
+        let all = goodlock_dfs(&rel, &IGoodlockOptions::default()).0;
+        assert_eq!(all.len(), 9);
+        let capped = goodlock_dfs(
+            &rel,
+            &IGoodlockOptions {
+                max_cycles: 4,
+                ..IGoodlockOptions::default()
+            },
+        )
+        .0;
+        assert_eq!(capped.len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::chains::igoodlock;
+    use df_events::{Label, ThreadId};
+    use proptest::prelude::*;
+
+    fn arb_relation() -> impl Strategy<Value = LockDependencyRelation> {
+        prop::collection::vec(
+            (
+                1..5u32,
+                prop::collection::vec(0..6u32, 1..3),
+                0..6u32,
+                0..3u32,
+            ),
+            0..12,
+        )
+        .prop_map(|tuples| {
+            let deps = tuples
+                .into_iter()
+                .filter(|(_, held, lock, _)| !held.contains(lock))
+                .map(|(t, mut held, lock, ctx)| {
+                    held.sort();
+                    held.dedup();
+                    LockDep {
+                        thread: ThreadId::new(t),
+                        thread_obj: df_events::ObjId::new(t),
+                        lockset: held
+                            .iter()
+                            .map(|&h| df_events::ObjId::new(100 + h))
+                            .collect(),
+                        lock: df_events::ObjId::new(100 + lock),
+                        contexts: (0..=held.len())
+                            .map(|i| Label::new(&format!("pd:{ctx}:{i}")))
+                            .collect(),
+                    }
+                })
+                .collect();
+            LockDependencyRelation::from_deps(deps)
+        })
+    }
+
+    proptest! {
+        /// The DFS baseline and Algorithm 1 report identical cycle sets.
+        #[test]
+        fn dfs_and_iterative_join_agree(rel in arb_relation()) {
+            let (dfs_cycles, _) = goodlock_dfs(&rel, &IGoodlockOptions::default());
+            let it_cycles = igoodlock(&rel, &IGoodlockOptions::default());
+            let key = |cs: &[Cycle]| -> std::collections::BTreeSet<String> {
+                cs.iter().map(|c| c.to_string()).collect()
+            };
+            prop_assert_eq!(key(&dfs_cycles), key(&it_cycles));
+        }
+    }
+}

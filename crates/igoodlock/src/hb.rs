@@ -1,0 +1,319 @@
+//! Happens-before filtering of potential deadlock cycles.
+//!
+//! iGoodlock deliberately ignores the happens-before relation — that is
+//! what gives it predictive power (§1 of the paper) — but it is also the
+//! sole source of its false positives (§5.4: the Jigsaw `CachedThread`
+//! cycles "can occur only if a CachedThread invokes its waitForRunner()
+//! method before that CachedThread has been started", which thread-start
+//! ordering forbids).
+//!
+//! This module implements the improvement explored by the generalized
+//! Goodlock line of work (Agarwal–Wang–Stoller; Bensalem–Havelund): a
+//! *conservative* happens-before filter over the **fork/join order only**.
+//! Lock-release→acquire edges are intentionally *not* included — ordering
+//! every critical section by the observed schedule would collapse the
+//! analysis onto the single observed interleaving and destroy its
+//! predictive power; fork/join edges, in contrast, hold in *every*
+//! execution.
+//!
+//! A cycle is pruned when two of its components' *hold windows* — the
+//! span from the innermost held-lock acquisition to the blocked
+//! acquisition — are ordered by fork/join happens-before: such windows
+//! can never overlap in any execution, so the deadlock state is
+//! unreachable.
+
+use std::collections::HashMap;
+
+use df_events::{EventKind, ThreadId, Trace};
+
+use crate::cycle::Cycle;
+use crate::relation::DepTiming;
+
+/// A vector clock: one logical-time component per thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    fn new(n: usize) -> Self {
+        VectorClock {
+            entries: vec![0; n],
+        }
+    }
+
+    fn tick(&mut self, t: usize) {
+        if self.entries.len() <= t {
+            self.entries.resize(t + 1, 0);
+        }
+        self.entries[t] += 1;
+    }
+
+    fn join(&mut self, other: &VectorClock) {
+        if self.entries.len() < other.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (i, &v) in other.entries.iter().enumerate() {
+            if self.entries[i] < v {
+                self.entries[i] = v;
+            }
+        }
+    }
+
+    /// Whether `self ≤ other` componentwise (self happens-before-or-equal
+    /// other).
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.entries.iter().enumerate().all(|(i, &v)| {
+            v <= other.entries.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+/// Precomputed fork/join happens-before clocks for every event of a
+/// trace.
+///
+/// # Example
+///
+/// ```
+/// use df_events::Trace;
+/// use df_igoodlock::HbFilter;
+///
+/// let trace = Trace::default();
+/// let filter = HbFilter::from_trace(&trace);
+/// assert_eq!(filter.len(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HbFilter {
+    /// Clock of each event, indexed by event sequence number.
+    clocks: Vec<VectorClock>,
+}
+
+impl HbFilter {
+    /// Computes fork/join vector clocks for `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let threads = trace.threads();
+        let n = threads
+            .iter()
+            .map(|t| t.as_usize() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut current: HashMap<ThreadId, VectorClock> = HashMap::new();
+        // Clock transferred from a spawn event to the child's start.
+        let mut pending_start: HashMap<ThreadId, VectorClock> = HashMap::new();
+        // Clock at each thread's exit, consumed by joiners.
+        let mut at_exit: HashMap<ThreadId, VectorClock> = HashMap::new();
+        let mut clocks = Vec::with_capacity(trace.events().len());
+        for event in trace.events() {
+            let t = event.thread;
+            let entry = current
+                .entry(t)
+                .or_insert_with(|| VectorClock::new(n));
+            entry.tick(t.as_usize());
+            match &event.kind {
+                EventKind::Spawn { child, .. } => {
+                    pending_start.insert(*child, entry.clone());
+                }
+                EventKind::ThreadStart => {
+                    if let Some(parent_clock) = pending_start.remove(&t) {
+                        entry.join(&parent_clock);
+                    }
+                }
+                EventKind::ThreadExit => {
+                    at_exit.insert(t, entry.clone());
+                }
+                EventKind::Join { target } => {
+                    if let Some(exit_clock) = at_exit.get(target) {
+                        let exit_clock = exit_clock.clone();
+                        entry.join(&exit_clock);
+                    }
+                }
+                _ => {}
+            }
+            clocks.push(current[&t].clone());
+        }
+        HbFilter { clocks }
+    }
+
+    /// Number of events covered.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Whether the filter covers no events.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// Clock of event `seq`.
+    fn clock(&self, seq: u64) -> Option<&VectorClock> {
+        self.clocks.get(usize::try_from(seq).ok()?)
+    }
+
+    /// Whether event `a` happens-before event `b` under fork/join order
+    /// (strictly: `a`'s clock ≤ `b`'s and they are distinct events).
+    pub fn happens_before(&self, a: u64, b: u64) -> bool {
+        match (self.clock(a), self.clock(b)) {
+            (Some(ca), Some(cb)) => a != b && ca.leq(cb),
+            _ => false,
+        }
+    }
+
+    /// Whether two hold windows may overlap in *some* execution
+    /// consistent with fork/join order: neither window ends
+    /// happens-before the other begins.
+    pub fn windows_may_overlap(&self, a: &DepTiming, b: &DepTiming) -> bool {
+        !(self.happens_before(a.acquire_seq, b.window_start_seq)
+            || self.happens_before(b.acquire_seq, a.window_start_seq))
+    }
+
+    /// Whether a cycle is feasible: every pair of component hold windows
+    /// may overlap. Requires the timings recorded with the relation the
+    /// cycle came from.
+    pub fn cycle_feasible(&self, cycle: &Cycle, timings: &[DepTiming]) -> bool {
+        debug_assert_eq!(cycle.components().len(), timings.len());
+        for i in 0..timings.len() {
+            for j in (i + 1)..timings.len() {
+                if !self.windows_may_overlap(&timings[i], &timings[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_events::{Label, ObjKind};
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    /// main spawns A; A exits; main joins A; main spawns B.
+    /// Events of A happen-before events of B.
+    fn forked_trace() -> Trace {
+        let mut trace = Trace::new();
+        let main = ThreadId::new(0);
+        let a = ThreadId::new(1);
+        let b = ThreadId::new(2);
+        for (t, site) in [(main, "<main>"), (a, "spawn:a"), (b, "spawn:b")] {
+            let obj = trace
+                .objects_mut()
+                .create(ObjKind::Thread, l(site), None, vec![]);
+            trace.bind_thread(t, obj);
+        }
+        trace.push(main, EventKind::ThreadStart); // 0
+        trace.push(
+            main,
+            EventKind::Spawn {
+                child: a,
+                child_obj: trace.thread_obj(a).unwrap(),
+            },
+        ); // 1
+        trace.push(a, EventKind::ThreadStart); // 2
+        trace.push(a, EventKind::Yield); // 3
+        trace.push(a, EventKind::ThreadExit); // 4
+        trace.push(main, EventKind::Join { target: a }); // 5
+        trace.push(
+            main,
+            EventKind::Spawn {
+                child: b,
+                child_obj: trace.thread_obj(b).unwrap(),
+            },
+        ); // 6
+        trace.push(b, EventKind::ThreadStart); // 7
+        trace.push(b, EventKind::Yield); // 8
+        trace.push(b, EventKind::ThreadExit); // 9
+        trace
+    }
+
+    #[test]
+    fn fork_edge_orders_parent_before_child() {
+        let trace = forked_trace();
+        let hb = HbFilter::from_trace(&trace);
+        assert!(hb.happens_before(1, 2), "spawn before child's start");
+        assert!(hb.happens_before(0, 3), "parent prefix before child event");
+        assert!(!hb.happens_before(3, 0), "no reverse edge");
+    }
+
+    #[test]
+    fn join_edge_orders_child_before_joiner_suffix() {
+        let trace = forked_trace();
+        let hb = HbFilter::from_trace(&trace);
+        assert!(hb.happens_before(3, 5), "A's events before the join");
+        assert!(hb.happens_before(3, 8), "A's events before B's (join+spawn)");
+        assert!(!hb.happens_before(5, 3));
+    }
+
+    #[test]
+    fn concurrent_threads_are_unordered() {
+        // main spawns A and B without joining in between.
+        let mut trace = Trace::new();
+        let main = ThreadId::new(0);
+        let a = ThreadId::new(1);
+        let b = ThreadId::new(2);
+        for (t, site) in [(main, "<main>"), (a, "s:a"), (b, "s:b")] {
+            let obj = trace
+                .objects_mut()
+                .create(ObjKind::Thread, l(site), None, vec![]);
+            trace.bind_thread(t, obj);
+        }
+        trace.push(main, EventKind::ThreadStart); // 0
+        trace.push(
+            main,
+            EventKind::Spawn {
+                child: a,
+                child_obj: trace.thread_obj(a).unwrap(),
+            },
+        ); // 1
+        trace.push(
+            main,
+            EventKind::Spawn {
+                child: b,
+                child_obj: trace.thread_obj(b).unwrap(),
+            },
+        ); // 2
+        trace.push(a, EventKind::ThreadStart); // 3
+        trace.push(b, EventKind::ThreadStart); // 4
+        trace.push(a, EventKind::Yield); // 5
+        trace.push(b, EventKind::Yield); // 6
+        let hb = HbFilter::from_trace(&trace);
+        assert!(!hb.happens_before(5, 6));
+        assert!(!hb.happens_before(6, 5));
+        assert!(hb.happens_before(1, 5));
+        assert!(hb.happens_before(2, 6));
+    }
+
+    #[test]
+    fn window_overlap_respects_ordering() {
+        let trace = forked_trace();
+        let hb = HbFilter::from_trace(&trace);
+        // A's window (events 2..4) vs B's window (events 7..9): ordered.
+        let wa = DepTiming {
+            window_start_seq: 2,
+            acquire_seq: 4,
+        };
+        let wb = DepTiming {
+            window_start_seq: 7,
+            acquire_seq: 9,
+        };
+        assert!(!hb.windows_may_overlap(&wa, &wb));
+        // A window vs main's own early window: main 0..1 precedes A.
+        let wmain = DepTiming {
+            window_start_seq: 0,
+            acquire_seq: 1,
+        };
+        assert!(!hb.windows_may_overlap(&wmain, &wa));
+        // Identical windows trivially may overlap.
+        assert!(hb.windows_may_overlap(&wa, &wa));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let hb = HbFilter::from_trace(&Trace::default());
+        assert!(hb.is_empty());
+        assert!(!hb.happens_before(0, 1));
+    }
+}

@@ -1,0 +1,50 @@
+//! iGoodlock — informative Goodlock (paper §2.2): predicting potential
+//! deadlock cycles from a single execution trace.
+//!
+//! The analysis runs in two steps:
+//!
+//! 1. [`LockDependencyRelation::from_trace`] extracts the *lock dependency
+//!    relation* `D ⊆ T × 2^L × L × C*` of Definition 1: every tuple
+//!    `(t, L, l, C)` records that thread `t` acquired lock `l` while
+//!    holding the locks `L`, with `C` the acquisition-site labels of
+//!    `L ∪ {l}`.
+//! 2. [`igoodlock`] computes potential deadlock cycles by the iterative
+//!    relational join of Algorithm 1 — no lock graph, no DFS: `D_{k+1}` is
+//!    built by extending every chain in `D_k` with every compatible tuple
+//!    of `D` (Definition 2), reporting chains that close (Definition 3)
+//!    and never extending a closed cycle (so no "complex" cycles are
+//!    reported). The duplicate-suppression rule of §2.2.3 (the first
+//!    thread has the minimum id) makes each cycle appear exactly once.
+//!
+//! The reported [`Cycle`]s carry full context information; pair them with
+//! an [`df_abstraction::Abstractor`] via [`Cycle::abstract_with`] to
+//! produce the [`AbstractCycle`]s that Phase II consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use df_igoodlock::{igoodlock, IGoodlockOptions, LockDependencyRelation};
+//! use df_events::Trace;
+//!
+//! let trace = Trace::default(); // an empty execution
+//! let relation = LockDependencyRelation::from_trace(&trace);
+//! let cycles = igoodlock(&relation, &IGoodlockOptions::default());
+//! assert!(cycles.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod chains;
+mod cycle;
+mod dfs;
+mod hb;
+mod relation;
+
+pub use chains::{
+    igoodlock, igoodlock_filtered, igoodlock_with_stats, IGoodlockOptions, IGoodlockStats,
+};
+pub use cycle::{AbstractComponent, AbstractCycle, Cycle, CycleComponent};
+pub use dfs::{goodlock_dfs, GoodlockDfsStats};
+pub use hb::{HbFilter, VectorClock};
+pub use relation::{DepTiming, LockDep, LockDependencyRelation};

@@ -1,0 +1,331 @@
+//! The lock dependency relation (Definition 1).
+
+use std::collections::HashSet;
+
+use df_events::{EventKind, Label, ObjId, ThreadId, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Trace positions of a dependency tuple's *hold window*: the span during
+/// which the thread holds its lockset while performing the acquisition.
+/// Used by the happens-before filter ([`crate::HbFilter`]) to prune
+/// cycles whose windows can never overlap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct DepTiming {
+    /// Sequence number of the innermost held lock's acquisition (window
+    /// start).
+    pub window_start_seq: u64,
+    /// Sequence number of the acquisition event itself (window end).
+    pub acquire_seq: u64,
+}
+
+/// One tuple `(t, L, l, C)` of the lock dependency relation: in some state
+/// of the observed execution, thread `t` acquired lock `l` while holding
+/// the locks `L`, where `C` are the labels of the acquire statements for
+/// `L ∪ {l}` (outermost lock's site first, `l`'s site last).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct LockDep {
+    /// The acquiring thread.
+    pub thread: ThreadId,
+    /// The object representing the thread (for abstraction).
+    pub thread_obj: ObjId,
+    /// Locks held at the acquisition, outermost first (the paper's `L`;
+    /// we keep stack order because it is free and helps debugging).
+    pub lockset: Vec<ObjId>,
+    /// The acquired lock (the paper's `l`).
+    pub lock: ObjId,
+    /// Acquisition sites of `lockset` followed by the site of `lock`
+    /// (the paper's `C`, `contexts.len() == lockset.len() + 1`).
+    pub contexts: Vec<Label>,
+}
+
+impl LockDep {
+    /// The site at which `lock` was acquired (the last context label).
+    pub fn acquire_site(&self) -> Label {
+        *self
+            .contexts
+            .last()
+            .expect("contexts always include the acquire site")
+    }
+
+    /// Whether `other_lock` is held in this dependency's lockset.
+    pub fn holds(&self, other_lock: ObjId) -> bool {
+        self.lockset.contains(&other_lock)
+    }
+}
+
+/// The deduplicated lock dependency relation of one execution, plus the
+/// bookkeeping [`igoodlock`](crate::igoodlock) needs.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LockDependencyRelation {
+    deps: Vec<LockDep>,
+    /// Hold-window positions of each (deduplicated) tuple's *first*
+    /// occurrence, parallel to `deps`. Empty when the relation was built
+    /// from bare tuples ([`Self::from_deps`]).
+    timings: Vec<DepTiming>,
+    /// Number of raw (non-deduplicated) dependency tuples observed.
+    pub raw_count: usize,
+}
+
+impl LockDependencyRelation {
+    /// Extracts the relation from a trace, following the runtime algorithm
+    /// of §2.2.1: every first (0→1) acquisition event contributes one
+    /// tuple. Tuples are deduplicated — repeated executions of the same
+    /// acquisition with the same held set and contexts add nothing to
+    /// Algorithm 1.
+    ///
+    /// Tuples with an empty lockset are dropped: Definition 2(3) requires
+    /// `l_i ∈ L_{i+1}` and Definition 3 requires `l_m ∈ L_1`, so a tuple
+    /// with `L = ∅` can participate in no cycle.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut seen: HashSet<LockDep> = HashSet::new();
+        let mut deps = Vec::new();
+        let mut timings = Vec::new();
+        let mut raw_count = 0;
+        // Per-thread stack of (lock, acquire seq) mirroring `held`, for
+        // hold-window starts.
+        let mut stacks: std::collections::HashMap<
+            df_events::ThreadId,
+            Vec<(ObjId, u64)>,
+        > = std::collections::HashMap::new();
+        for event in trace.events() {
+            match &event.kind {
+                EventKind::Acquire {
+                    lock,
+                    held,
+                    context,
+                    ..
+                } => {
+                    raw_count += 1;
+                    let stack = stacks.entry(event.thread).or_default();
+                    if !held.is_empty() {
+                        let dep = LockDep {
+                            thread: event.thread,
+                            thread_obj: trace
+                                .thread_obj(event.thread)
+                                .expect("trace binds every thread to its object"),
+                            lockset: held.clone(),
+                            lock: *lock,
+                            contexts: context.clone(),
+                        };
+                        if seen.insert(dep.clone()) {
+                            deps.push(dep);
+                            timings.push(DepTiming {
+                                window_start_seq: stack
+                                    .last()
+                                    .map(|&(_, s)| s)
+                                    .unwrap_or(event.seq),
+                                acquire_seq: event.seq,
+                            });
+                        }
+                    }
+                    stack.push((*lock, event.seq));
+                }
+                EventKind::Release { lock, .. } => {
+                    let stack = stacks.entry(event.thread).or_default();
+                    if let Some(pos) = stack.iter().rposition(|&(l, _)| l == *lock) {
+                        stack.remove(pos);
+                    }
+                }
+                _ => {}
+            }
+        }
+        LockDependencyRelation {
+            deps,
+            timings,
+            raw_count,
+        }
+    }
+
+    /// Builds a relation directly from tuples (used in tests and by the
+    /// real-thread substrate).
+    pub fn from_deps(deps: Vec<LockDep>) -> Self {
+        let raw_count = deps.len();
+        let mut seen = HashSet::new();
+        let deps: Vec<LockDep> = deps
+            .into_iter()
+            .filter(|d| !d.lockset.is_empty() && seen.insert(d.clone()))
+            .collect();
+        LockDependencyRelation {
+            deps,
+            timings: Vec::new(),
+            raw_count,
+        }
+    }
+
+    /// The deduplicated tuples.
+    pub fn deps(&self) -> &[LockDep] {
+        &self.deps
+    }
+
+    /// Hold-window timing of tuple `i`, if the relation came from a trace.
+    pub fn timing(&self, i: usize) -> Option<DepTiming> {
+        self.timings.get(i).copied()
+    }
+
+    /// Number of deduplicated tuples.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Distinct threads appearing in the relation.
+    pub fn threads(&self) -> Vec<ThreadId> {
+        let mut ts: Vec<ThreadId> = self.deps.iter().map(|d| d.thread).collect();
+        ts.sort();
+        ts.dedup();
+        ts
+    }
+
+    /// Distinct locks appearing in the relation (acquired or held).
+    pub fn locks(&self) -> Vec<ObjId> {
+        let mut ls: Vec<ObjId> = self
+            .deps
+            .iter()
+            .flat_map(|d| d.lockset.iter().copied().chain(std::iter::once(d.lock)))
+            .collect();
+        ls.sort();
+        ls.dedup();
+        ls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_events::{Label, ObjKind};
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    /// A trace where T1 acquires (A then B) and T2 acquires (B then A).
+    fn opposite_order_trace() -> Trace {
+        let mut trace = Trace::new();
+        let t1 = ThreadId::new(1);
+        let t2 = ThreadId::new(2);
+        let o1 = trace
+            .objects_mut()
+            .create(ObjKind::Thread, l("spawn:1"), None, vec![]);
+        let o2 = trace
+            .objects_mut()
+            .create(ObjKind::Thread, l("spawn:2"), None, vec![]);
+        trace.bind_thread(t1, o1);
+        trace.bind_thread(t2, o2);
+        let a = trace
+            .objects_mut()
+            .create(ObjKind::Lock, l("main:22"), None, vec![]);
+        let b = trace
+            .objects_mut()
+            .create(ObjKind::Lock, l("main:23"), None, vec![]);
+        trace.push(
+            t1,
+            EventKind::Acquire {
+                lock: a,
+                site: l("run:15"),
+                held: vec![],
+                context: vec![l("run:15")],
+            },
+        );
+        trace.push(
+            t1,
+            EventKind::Acquire {
+                lock: b,
+                site: l("run:16"),
+                held: vec![a],
+                context: vec![l("run:15"), l("run:16")],
+            },
+        );
+        trace.push(
+            t1,
+            EventKind::Release {
+                lock: b,
+                site: l("run:17"),
+            },
+        );
+        trace.push(
+            t1,
+            EventKind::Release {
+                lock: a,
+                site: l("run:18"),
+            },
+        );
+        trace.push(
+            t2,
+            EventKind::Acquire {
+                lock: b,
+                site: l("run:15"),
+                held: vec![],
+                context: vec![l("run:15")],
+            },
+        );
+        trace.push(
+            t2,
+            EventKind::Acquire {
+                lock: a,
+                site: l("run:16"),
+                held: vec![b],
+                context: vec![l("run:15"), l("run:16")],
+            },
+        );
+        trace
+    }
+
+    #[test]
+    fn extracts_nested_acquisitions_only() {
+        let trace = opposite_order_trace();
+        let rel = LockDependencyRelation::from_trace(&trace);
+        // 4 acquires observed, 2 with non-empty locksets.
+        assert_eq!(rel.raw_count, 4);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.threads().len(), 2);
+        assert_eq!(rel.locks().len(), 2);
+        for dep in rel.deps() {
+            assert_eq!(dep.lockset.len(), 1);
+            assert_eq!(dep.contexts.len(), 2);
+            assert_eq!(dep.acquire_site(), l("run:16"));
+            assert!(dep.holds(dep.lockset[0]));
+            assert!(!dep.holds(dep.lock));
+        }
+    }
+
+    #[test]
+    fn duplicate_tuples_are_removed() {
+        let trace = opposite_order_trace();
+        let rel1 = LockDependencyRelation::from_trace(&trace);
+        // Duplicate every event.
+        let mut trace2 = opposite_order_trace();
+        let events: Vec<_> = trace2.events().to_vec();
+        for e in events {
+            trace2.push(e.thread, e.kind.clone());
+        }
+        let rel2 = LockDependencyRelation::from_trace(&trace2);
+        assert_eq!(rel1.len(), rel2.len());
+        assert_eq!(rel2.raw_count, 8);
+    }
+
+    #[test]
+    fn from_deps_filters_empty_locksets() {
+        let dep = LockDep {
+            thread: ThreadId::new(1),
+            thread_obj: ObjId::new(0),
+            lockset: vec![],
+            lock: ObjId::new(5),
+            contexts: vec![l("x:1")],
+        };
+        let rel = LockDependencyRelation::from_deps(vec![dep]);
+        assert!(rel.is_empty());
+        assert_eq!(rel.raw_count, 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let rel = LockDependencyRelation::from_trace(&opposite_order_trace());
+        let json = serde_json::to_string(&rel).unwrap();
+        let back: LockDependencyRelation = serde_json::from_str(&json).unwrap();
+        assert_eq!(rel, back);
+    }
+}

@@ -1,0 +1,62 @@
+//! DeadlockFuzzer for **real** `std::thread` programs, via instrumented
+//! lock wrappers.
+//!
+//! The virtual-thread runtime (`df-runtime`) gives the analyses total
+//! schedule control, but requires programs to be written against its
+//! `TCtx` API. This crate is the complementary substrate the paper's
+//! Java implementation corresponds to more directly: ordinary OS threads
+//! and a lock type ([`DfMutex`]) that *intercepts* acquisitions — the Rust
+//! equivalent of CalFuzzer's bytecode instrumentation, since
+//! `std::sync::Mutex` itself cannot be intercepted.
+//!
+//! A [`Session`] runs in one of two modes:
+//!
+//! * [`Session::record`] — Phase I: every acquisition is logged with its
+//!   held-lock set and context; [`Session::analyze`] runs iGoodlock on the
+//!   observed trace and returns abstract potential deadlock cycles.
+//! * [`Session::fuzz`] — Phase II: a thread about to perform an
+//!   acquisition matching a component of the target cycle is *paused* (on
+//!   a condvar, like CalFuzzer's parked threads); `checkRealDeadlock`
+//!   fires when the cycle closes. A watchdog thread implements thrashing
+//!   (un-pausing a random thread when nothing can run) and the §5 pause
+//!   monitor. When a deadlock is detected the session *aborts*: blocked
+//!   and paused acquisitions unwind their threads instead of deadlocking
+//!   the host process, so the program's threads remain joinable.
+//!
+//! # Example
+//!
+//! ```
+//! use df_events::site;
+//! use df_igoodlock::IGoodlockOptions;
+//! use df_realthread::{DfMutex, Session};
+//! use std::sync::Arc;
+//!
+//! // Phase I: record an execution of a two-lock program.
+//! let session = Session::record();
+//! let a = Arc::new(DfMutex::new(&session, 0u32, site!("new a")));
+//! let b = Arc::new(DfMutex::new(&session, 0u32, site!("new b")));
+//! let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+//! let h = session.spawn(site!("spawn t"), "t", move || {
+//!     let ga = a2.lock(site!("t locks a"));
+//!     let gb = b2.lock(site!("t locks b"));
+//!     drop((gb, ga));
+//! });
+//! h.join();
+//! let gb = b.lock(site!("main locks b"));
+//! let ga = a.lock(site!("main locks a"));
+//! drop((ga, gb));
+//! let report = session.analyze(&IGoodlockOptions::default());
+//! assert_eq!(report.cycles.len(), 1); // opposite lock orders
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod mutex;
+mod session;
+mod tls;
+
+pub use mutex::{DfMutex, DfMutexGuard};
+pub use session::{
+    FuzzConfig, FuzzOutcome, JoinHandle, NoiseConfig, RecordReport, Session, SessionMode,
+};

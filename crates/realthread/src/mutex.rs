@@ -1,0 +1,203 @@
+//! The instrumented mutex.
+
+use std::sync::Arc;
+
+use df_events::{Label, ObjId};
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::session::{self, Inner, Session};
+
+/// An instrumented mutex — the interception point DeadlockFuzzer needs,
+/// since `std::sync::Mutex` cannot be hooked.
+///
+/// Semantics: a non-re-entrant mutual-exclusion lock protecting `T`.
+/// Every acquisition reports to the owning [`Session`]: in record mode it
+/// is logged for iGoodlock; in fuzz mode the acquiring thread may be
+/// paused (to steer the program into a target deadlock cycle), and
+/// acquisitions that would close a lock cycle are detected and reported
+/// instead of wedging the process.
+///
+/// # Panics
+///
+/// Re-acquiring a `DfMutex` the current thread already holds panics with
+/// a diagnostic (with `std::sync::Mutex` this would be an undetected
+/// self-deadlock).
+///
+/// # Example
+///
+/// ```
+/// use df_events::site;
+/// use df_realthread::{DfMutex, Session};
+///
+/// let session = Session::record();
+/// let m = DfMutex::new(&session, 41, site!());
+/// *m.lock(site!()) += 1;
+/// assert_eq!(*m.lock(site!()), 42);
+/// ```
+pub struct DfMutex<T> {
+    session: Arc<Inner>,
+    id: ObjId,
+    data: Mutex<T>,
+}
+
+impl<T> DfMutex<T> {
+    /// Creates an instrumented mutex owned by `session`, allocated at
+    /// `site` (the abstraction's allocation site).
+    pub fn new(session: &Session, data: T, site: Label) -> Self {
+        let inner = Arc::clone(session.inner());
+        let id = session::register_lock(&inner, site);
+        DfMutex {
+            session: inner,
+            id,
+            data: Mutex::new(data),
+        }
+    }
+
+    /// The lock's dynamic object id within its session.
+    pub fn id(&self) -> ObjId {
+        self.id
+    }
+
+    /// Acquires the lock at `site`, blocking while another thread holds
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// * if the current thread already holds the lock (non-re-entrant);
+    /// * with an internal abort payload if the session detected a
+    ///   deadlock or timed out while this thread was blocked or paused —
+    ///   the session's thread wrapper catches that payload.
+    pub fn lock(&self, site: Label) -> DfMutexGuard<'_, T> {
+        session::acquire(&self.session, self.id, site);
+        let data = self
+            .data
+            .try_lock()
+            .expect("session granted ownership, data lock must be free");
+        DfMutexGuard {
+            mutex: self,
+            site,
+            data: Some(data),
+            defused: false,
+        }
+    }
+
+    /// Wakes one thread parked in this monitor's wait set (FIFO), like
+    /// `Object.notify()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (as a program error) if this thread does not hold the lock.
+    pub fn notify(&self, site: Label) {
+        session::monitor_notify(&self.session, self.id, site, false);
+    }
+
+    /// Wakes every thread parked in this monitor's wait set, like
+    /// `Object.notifyAll()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (as a program error) if this thread does not hold the lock.
+    pub fn notify_all(&self, site: Label) {
+        session::monitor_notify(&self.session, self.id, site, true);
+    }
+}
+
+/// RAII guard for [`DfMutex`]; releases the lock (and reports the release
+/// to the session) on drop.
+pub struct DfMutexGuard<'a, T> {
+    mutex: &'a DfMutex<T>,
+    site: Label,
+    data: Option<MutexGuard<'a, T>>,
+    /// Set when ownership was handed off (e.g. into a `wait`): drop must
+    /// not release again.
+    defused: bool,
+}
+
+impl<'a, T> DfMutexGuard<'a, T> {
+    /// Java-style `Object.wait()`: releases the monitor entirely, parks
+    /// this thread in its wait set until [`DfMutex::notify`] /
+    /// [`DfMutex::notify_all`], re-acquires it, and returns a fresh
+    /// guard. Use in a predicate loop:
+    ///
+    /// ```
+    /// # use df_events::site;
+    /// # use df_realthread::{DfMutex, Session};
+    /// # let session = Session::record();
+    /// # let m = DfMutex::new(&session, 1u32, site!());
+    /// let mut g = m.lock(site!());
+    /// while *g == 0 {
+    ///     g = g.wait(site!());
+    /// }
+    /// # drop(g);
+    /// ```
+    pub fn wait(mut self, site: Label) -> DfMutexGuard<'a, T> {
+        let mutex = self.mutex;
+        // Hand the monitor to the session's wait protocol; this guard
+        // must not release on drop.
+        self.data.take();
+        self.defused = true;
+        session::monitor_wait(&mutex.session, mutex.id, site);
+        let data = mutex
+            .data
+            .try_lock()
+            .expect("monitor reacquired, data lock must be free");
+        DfMutexGuard {
+            mutex,
+            site,
+            data: Some(data),
+            defused: false,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for DfMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.data.as_ref().expect("guard live")
+    }
+}
+
+impl<T> std::ops::DerefMut for DfMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.data.as_mut().expect("guard live")
+    }
+}
+
+impl<T> Drop for DfMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.defused {
+            return;
+        }
+        // Release the data lock first so the next owner can take it.
+        self.data.take();
+        session::release(&self.mutex.session, self.mutex.id, self.site);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_events::site;
+
+    #[test]
+    fn lock_guards_data() {
+        let session = Session::record();
+        let m = DfMutex::new(&session, vec![1, 2], site!());
+        m.lock(site!()).push(3);
+        assert_eq!(*m.lock(site!()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reentry_panics_with_diagnostic() {
+        let session = Session::record();
+        let m = DfMutex::new(&session, (), site!());
+        let _g = m.lock(site!());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g2 = m.lock(site!());
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("not re-entrant"), "got: {msg}");
+    }
+}

@@ -1,0 +1,872 @@
+//! The real-thread DeadlockFuzzer session: shared state, pausing,
+//! thrashing and deadlock detection for OS threads.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use df_abstraction::{AbstractionMode, Abstractor};
+use df_events::{EventKind, Label, ObjId, ObjKind, ThreadId, Trace};
+use df_igoodlock::{igoodlock, AbstractCycle, Cycle, IGoodlockOptions, LockDependencyRelation};
+use df_runtime::{DeadlockWitness, Detector, WaitForGraph, WitnessComponent};
+use parking_lot::{Condvar, Mutex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::tls;
+
+/// Panic payload used to unwind program threads when the session aborts
+/// (deadlock found or timeout).
+struct RtAbort;
+
+/// What a session does with the acquisitions it intercepts.
+#[derive(Clone, Debug)]
+pub enum SessionMode {
+    /// Phase I: record the trace for iGoodlock.
+    Record,
+    /// Phase II: bias the schedule toward a target cycle.
+    Fuzz(FuzzConfig),
+    /// ConTest-style noise injection (the paper's §6 related work):
+    /// random short sleeps before acquisitions, hoping to shake a
+    /// deadlock loose. Unlike the active scheduler it "cannot pause a
+    /// thread as long as required", so it serves as the baseline the
+    /// paper argues against.
+    Noise(NoiseConfig),
+}
+
+/// Configuration of the noise-injection baseline.
+#[derive(Clone, Debug)]
+pub struct NoiseConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability of injecting a sleep before an acquisition.
+    pub probability: f64,
+    /// Maximum injected sleep.
+    pub max_sleep: Duration,
+    /// Abort the session after this long without progress (a noise run
+    /// that deadlocks for real must still terminate).
+    pub hang_timeout: Duration,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            seed: 0,
+            probability: 0.3,
+            max_sleep: Duration::from_millis(8),
+            hang_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Phase II configuration for real threads.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// The target cycle (from a recorded session's [`RecordReport`]).
+    pub cycle: AbstractCycle,
+    /// Abstraction mode the cycle was abstracted with.
+    pub mode: AbstractionMode,
+    /// RNG seed for thrash victim selection.
+    pub seed: u64,
+    /// Honor acquisition contexts in the membership test.
+    pub use_context: bool,
+    /// §5 monitor: un-pause a thread paused longer than this.
+    pub pause_timeout: Duration,
+    /// Abort the whole session after this long without progress.
+    pub hang_timeout: Duration,
+}
+
+impl FuzzConfig {
+    /// Default knobs for a target cycle (exec-indexing abstraction,
+    /// contexts honored).
+    pub fn new(cycle: AbstractCycle) -> Self {
+        FuzzConfig {
+            cycle,
+            mode: AbstractionMode::default(),
+            seed: 0,
+            use_context: true,
+            pause_timeout: Duration::from_millis(500),
+            hang_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the abstraction mode.
+    pub fn with_mode(mut self, mode: AbstractionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Terminal outcome of a fuzzing session.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FuzzOutcome {
+    /// Program finished without creating the deadlock.
+    Completed,
+    /// A real deadlock was created and witnessed; the program's threads
+    /// were unwound instead of leaving the process stuck.
+    Deadlock(DeadlockWitness),
+    /// The watchdog aborted the session (no progress).
+    Timeout,
+}
+
+impl FuzzOutcome {
+    /// The witness, if a deadlock was created.
+    pub fn deadlock(&self) -> Option<&DeadlockWitness> {
+        match self {
+            FuzzOutcome::Deadlock(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Result of analyzing a recorded session.
+#[derive(Clone, Debug)]
+pub struct RecordReport {
+    /// The recorded trace (owning the object table).
+    pub trace: Trace,
+    /// Size of the deduplicated lock dependency relation.
+    pub relation_size: usize,
+    /// Potential deadlock cycles.
+    pub cycles: Vec<Cycle>,
+}
+
+impl RecordReport {
+    /// The cycles in abstract, execution-independent form under `mode`.
+    pub fn abstract_cycles(&self, mode: AbstractionMode) -> Vec<AbstractCycle> {
+        let abstractor = Abstractor::new(mode);
+        self.cycles
+            .iter()
+            .map(|c| c.abstract_with(self.trace.objects(), &abstractor))
+            .collect()
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ThreadStatus {
+    Running,
+    /// Blocked inside an acquisition of a lock held by another thread.
+    Blocked(ObjId, Label),
+    /// Paused by the fuzzer just before an acquisition.
+    Paused(ObjId, Label),
+    Finished,
+}
+
+struct ThreadState {
+    obj: ObjId,
+    status: ThreadStatus,
+    lock_stack: Vec<ObjId>,
+    context_stack: Vec<Label>,
+    /// Light-weight execution indexing (§2.4.2).
+    call_stack: Vec<df_events::IndexFrame>,
+    counters: Vec<HashMap<Label, u32>>,
+    /// Pause-exemption after a thrash/monitor release.
+    released: bool,
+}
+
+impl ThreadState {
+    fn new(obj: ObjId) -> Self {
+        ThreadState {
+            obj,
+            status: ThreadStatus::Running,
+            lock_stack: Vec::new(),
+            context_stack: Vec::new(),
+            call_stack: Vec::new(),
+            counters: vec![HashMap::new()],
+            released: false,
+        }
+    }
+
+    fn bump_counter(&mut self, site: Label) -> u32 {
+        let d = self.call_stack.len();
+        if self.counters.len() <= d {
+            self.counters.resize_with(d + 1, HashMap::new);
+        }
+        let c = self.counters[d].entry(site).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    fn alloc_index(&mut self, site: Label) -> Vec<df_events::IndexFrame> {
+        let q = self.bump_counter(site);
+        let mut index = self.call_stack.clone();
+        index.push(df_events::IndexFrame::new(site, q));
+        index
+    }
+
+    fn enter_call(&mut self, site: Label) {
+        let q = self.bump_counter(site);
+        self.call_stack.push(df_events::IndexFrame::new(site, q));
+        let d = self.call_stack.len();
+        if self.counters.len() <= d {
+            self.counters.resize_with(d + 1, HashMap::new);
+        }
+        self.counters[d].clear();
+    }
+
+    fn exit_call(&mut self) {
+        self.call_stack.pop();
+    }
+}
+
+#[derive(Default)]
+struct LockCore {
+    owner: Option<ThreadId>,
+    /// Threads parked in `wait()` on this monitor, FIFO.
+    wait_set: Vec<ThreadId>,
+}
+
+pub(crate) struct State {
+    trace: Trace,
+    threads: HashMap<ThreadId, ThreadState>,
+    locks: HashMap<ObjId, LockCore>,
+    next_thread: u32,
+    aborting: bool,
+    timed_out: bool,
+    witness: Option<DeadlockWitness>,
+    progress: u64,
+    paused_since: HashMap<ThreadId, Instant>,
+    thrashes: u64,
+    pauses: u64,
+    monitor_releases: u64,
+    rng: ChaCha8Rng,
+}
+
+/// Session internals shared with lock wrappers and the watchdog.
+pub(crate) struct Inner {
+    pub(crate) state: Mutex<State>,
+    pub(crate) cond: Condvar,
+    mode: SessionMode,
+}
+
+/// A DeadlockFuzzer session over real OS threads.
+///
+/// See the [crate docs](crate) for the two-phase workflow.
+pub struct Session {
+    inner: Arc<Inner>,
+}
+
+/// Join handle for a thread spawned through [`Session::spawn`].
+///
+/// Unlike `std::thread::JoinHandle`, joining a thread that was unwound by
+/// a session abort succeeds (the abort is control flow, not a failure);
+/// genuine program panics are propagated.
+pub struct JoinHandle {
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl JoinHandle {
+    /// Waits for the thread to finish.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the thread's panic if it panicked for a reason other
+    /// than the session abort.
+    pub fn join(self) {
+        if let Err(payload) = self.handle.join() {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Session {
+    fn new(mode: SessionMode) -> Self {
+        let seed = match &mode {
+            SessionMode::Fuzz(cfg) => cfg.seed,
+            SessionMode::Noise(cfg) => cfg.seed,
+            SessionMode::Record => 0,
+        };
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                trace: Trace::new(),
+                threads: HashMap::new(),
+                locks: HashMap::new(),
+                next_thread: 0,
+                aborting: false,
+                timed_out: false,
+                witness: None,
+                progress: 0,
+                paused_since: HashMap::new(),
+                thrashes: 0,
+                pauses: 0,
+                monitor_releases: 0,
+                rng: ChaCha8Rng::seed_from_u64(seed),
+            }),
+            cond: Condvar::new(),
+            mode,
+        });
+        let session = Session { inner };
+        session.register_current("main", Label::new("<main>"), Vec::new());
+        if matches!(
+            session.inner.mode,
+            SessionMode::Fuzz(_) | SessionMode::Noise(_)
+        ) {
+            session.start_watchdog();
+        }
+        install_quiet_hook();
+        session
+    }
+
+    /// Starts a Phase I (recording) session and registers the calling
+    /// thread as `main`.
+    pub fn record() -> Self {
+        Session::new(SessionMode::Record)
+    }
+
+    /// Starts a Phase II (fuzzing) session targeting `config.cycle`.
+    pub fn fuzz(config: FuzzConfig) -> Self {
+        Session::new(SessionMode::Fuzz(config))
+    }
+
+    /// Starts a ConTest-style noise-injection session (the related-work
+    /// baseline): no steering, just random sleeps before acquisitions.
+    pub fn noise(config: NoiseConfig) -> Self {
+        Session::new(SessionMode::Noise(config))
+    }
+
+    fn register_current(&self, name: &str, site: Label, index: Vec<df_events::IndexFrame>) {
+        let mut st = self.inner.state.lock();
+        let id = ThreadId::new(st.next_thread);
+        st.next_thread += 1;
+        let obj = st
+            .trace
+            .objects_mut()
+            .create(ObjKind::Thread, site, None, index);
+        st.threads.insert(id, ThreadState::new(obj));
+        st.trace.bind_thread(id, obj);
+        let _ = name;
+        drop(st);
+        tls::bind(Arc::downgrade(&self.inner), id);
+    }
+
+    /// Spawns a program thread registered with this session.
+    ///
+    /// `site` is the spawn statement's label — the allocation site of the
+    /// thread object, used by the abstractions.
+    pub fn spawn<F>(&self, site: Label, name: &str, f: F) -> JoinHandle
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let inner = Arc::clone(&self.inner);
+        let (child, child_obj) = {
+            let me = tls::current(&Arc::downgrade(&self.inner));
+            let mut st = self.inner.state.lock();
+            let id = ThreadId::new(st.next_thread);
+            st.next_thread += 1;
+            let index = st
+                .threads
+                .get_mut(&me)
+                .expect("registered")
+                .alloc_index(site);
+            let obj = st
+                .trace
+                .objects_mut()
+                .create(ObjKind::Thread, site, None, index);
+            st.threads.insert(id, ThreadState::new(obj));
+            st.trace.bind_thread(id, obj);
+            st.trace.push(me, EventKind::Spawn { child: id, child_obj: obj });
+            st.progress += 1;
+            (id, obj)
+        };
+        let _ = child_obj;
+        let handle = std::thread::Builder::new()
+            .name(format!("df-{name}"))
+            .spawn(move || {
+                tls::bind(Arc::downgrade(&inner), child);
+                {
+                    let mut st = inner.state.lock();
+                    st.trace.push(child, EventKind::ThreadStart);
+                }
+                let result = panic::catch_unwind(AssertUnwindSafe(f));
+                {
+                    let mut st = inner.state.lock();
+                    if let Some(ts) = st.threads.get_mut(&child) {
+                        ts.status = ThreadStatus::Finished;
+                    }
+                    st.trace.push(child, EventKind::ThreadExit);
+                    st.progress += 1;
+                    inner.cond.notify_all();
+                }
+                if let Err(payload) = result {
+                    if payload.downcast_ref::<RtAbort>().is_none() {
+                        panic::resume_unwind(payload);
+                    }
+                }
+            })
+            .expect("failed to spawn thread");
+        JoinHandle { handle }
+    }
+
+    /// Finishes a recording session and runs iGoodlock on the trace.
+    ///
+    /// Call after joining all program threads.
+    pub fn analyze(&self, options: &IGoodlockOptions) -> RecordReport {
+        let st = self.inner.state.lock();
+        let relation = LockDependencyRelation::from_trace(&st.trace);
+        let cycles = igoodlock(&relation, options);
+        RecordReport {
+            trace: st.trace.clone(),
+            relation_size: relation.len(),
+            cycles,
+        }
+    }
+
+    /// Finishes a fuzzing session and returns its outcome. Call after
+    /// joining all program threads.
+    pub fn finish(&self) -> FuzzOutcome {
+        let mut st = self.inner.state.lock();
+        st.aborting = true; // stop the watchdog
+        self.inner.cond.notify_all();
+        match st.witness.take() {
+            Some(w) => FuzzOutcome::Deadlock(w),
+            None if st.timed_out => FuzzOutcome::Timeout,
+            None => FuzzOutcome::Completed,
+        }
+    }
+
+    /// Enters a method scope at call site `site` for §2.4.2 execution
+    /// indexing: allocations inside `f` (locks via [`crate::DfMutex::new`],
+    /// threads via [`Session::spawn`]) carry the call frame in their
+    /// index, so loop iterations and distinct call paths stay
+    /// distinguishable in abstractions.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use df_events::site;
+    /// use df_realthread::{DfMutex, Session};
+    ///
+    /// let session = Session::record();
+    /// let m = session.scope(site!("Service.init"), || {
+    ///     DfMutex::new(&session, 0u32, site!("Service.newLock"))
+    /// });
+    /// drop(m);
+    /// ```
+    pub fn scope<R>(&self, site: Label, f: impl FnOnce() -> R) -> R {
+        let me = tls::current(&Arc::downgrade(&self.inner));
+        {
+            let mut st = self.inner.state.lock();
+            st.trace.push(me, EventKind::Call { site });
+            if let Some(ts) = st.threads.get_mut(&me) {
+                ts.enter_call(site);
+            }
+        }
+        let r = f();
+        {
+            let mut st = self.inner.state.lock();
+            st.trace.push(me, EventKind::Return);
+            if let Some(ts) = st.threads.get_mut(&me) {
+                ts.exit_call();
+            }
+        }
+        r
+    }
+
+    /// Statistics: (pauses, thrashes, monitor releases).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let st = self.inner.state.lock();
+        (st.pauses, st.thrashes, st.monitor_releases)
+    }
+
+    /// The trace recorded so far (both modes record).
+    pub fn trace(&self) -> Trace {
+        self.inner.state.lock().trace.clone()
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<Inner> {
+        &self.inner
+    }
+
+    /// The watchdog implements thrashing and the §5 monitor with real
+    /// time instead of schedule points: if every live thread is blocked
+    /// or paused, un-pause a random one; if a thread has been paused too
+    /// long, release it; if nothing progresses for `hang_timeout`, abort.
+    fn start_watchdog(&self) {
+        let weak: Weak<Inner> = Arc::downgrade(&self.inner);
+        let (pause_timeout, hang_timeout) = match &self.inner.mode {
+            SessionMode::Fuzz(cfg) => (cfg.pause_timeout, cfg.hang_timeout),
+            SessionMode::Noise(cfg) => (cfg.hang_timeout, cfg.hang_timeout),
+            SessionMode::Record => unreachable!("watchdog only in fuzz/noise mode"),
+        };
+        std::thread::Builder::new()
+            .name("df-watchdog".into())
+            .spawn(move || {
+                let mut last_progress = 0u64;
+                let mut last_change = Instant::now();
+                loop {
+                    std::thread::sleep(Duration::from_millis(5));
+                    let Some(inner) = weak.upgrade() else { return };
+                    let mut st = inner.state.lock();
+                    if st.aborting {
+                        return;
+                    }
+                    if st.progress != last_progress {
+                        last_progress = st.progress;
+                        last_change = Instant::now();
+                    } else if last_change.elapsed() > hang_timeout {
+                        st.aborting = true;
+                        st.timed_out = true;
+                        inner.cond.notify_all();
+                        return;
+                    }
+                    // §5 monitor: pause timeout.
+                    let expired: Vec<ThreadId> = st
+                        .paused_since
+                        .iter()
+                        .filter(|&(_, at)| at.elapsed() > pause_timeout)
+                        .map(|(&t, _)| t)
+                        .collect();
+                    for t in expired {
+                        st.paused_since.remove(&t);
+                        if let Some(ts) = st.threads.get_mut(&t) {
+                            ts.released = true;
+                        }
+                        st.monitor_releases += 1;
+                        st.progress += 1;
+                        inner.cond.notify_all();
+                    }
+                    // Thrashing: every live thread blocked or paused.
+                    let live: Vec<ThreadId> = st
+                        .threads
+                        .iter()
+                        .filter(|(_, ts)| ts.status != ThreadStatus::Finished)
+                        .map(|(&t, _)| t)
+                        .collect();
+                    let all_stuck = !live.is_empty()
+                        && live.iter().all(|t| {
+                            matches!(
+                                st.threads[t].status,
+                                ThreadStatus::Blocked(..) | ThreadStatus::Paused(..)
+                            )
+                        });
+                    let mut paused: Vec<ThreadId> =
+                        st.paused_since.keys().copied().collect();
+                    paused.sort();
+                    if all_stuck && !paused.is_empty() {
+                        let victim = paused[st.rng.gen_range(0..paused.len())];
+                        st.paused_since.remove(&victim);
+                        if let Some(ts) = st.threads.get_mut(&victim) {
+                            ts.released = true;
+                        }
+                        st.thrashes += 1;
+                        st.progress += 1;
+                        inner.cond.notify_all();
+                    }
+                }
+            })
+            .expect("failed to spawn watchdog");
+    }
+}
+
+/// Builds the wait-for graph over the current state (held locks + blocked
+/// and paused intents + optionally the candidate's intent) and extracts a
+/// witness if there is a cycle — Algorithm 4 over real threads.
+fn check_cycle(st: &State, candidate: ThreadId, lock: ObjId, site: Label) -> Option<DeadlockWitness> {
+    let mut graph = WaitForGraph::new();
+    for (&t, ts) in &st.threads {
+        for &held in &ts.lock_stack {
+            graph.add_holds(t, held);
+        }
+        if t == candidate {
+            graph.add_waits(t, lock);
+            continue;
+        }
+        match ts.status {
+            ThreadStatus::Blocked(l, _) | ThreadStatus::Paused(l, _) => {
+                let held_by_other = st
+                    .locks
+                    .get(&l)
+                    .and_then(|c| c.owner)
+                    .map(|o| o != t)
+                    .unwrap_or(false);
+                if held_by_other {
+                    graph.add_waits(t, l);
+                }
+            }
+            _ => {}
+        }
+    }
+    let cycle = graph.find_cycle()?;
+    let components = cycle
+        .iter()
+        .map(|&t| {
+            let ts = &st.threads[&t];
+            let waiting_for = graph.waiting_for(t).expect("cycle thread waits");
+            let blocked_site = if t == candidate {
+                Some(site)
+            } else {
+                match ts.status {
+                    ThreadStatus::Blocked(_, s) | ThreadStatus::Paused(_, s) => Some(s),
+                    _ => None,
+                }
+            };
+            let mut context = ts.context_stack.clone();
+            if let Some(s) = blocked_site {
+                context.push(s);
+            }
+            WitnessComponent {
+                thread: t,
+                thread_obj: ts.obj,
+                holding: ts.lock_stack.clone(),
+                waiting_for,
+                context,
+            }
+        })
+        .collect();
+    Some(DeadlockWitness {
+        components,
+        detected_by: Detector::Strategy,
+    })
+}
+
+/// Lock acquisition: the interception point (what CalFuzzer instruments
+/// at the bytecode level). Called by [`crate::DfMutex::lock`].
+pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
+    let me = tls::current(&Arc::downgrade(inner));
+    // Noise baseline: maybe sleep before the acquisition (outside the
+    // state mutex).
+    if let SessionMode::Noise(cfg) = &inner.mode {
+        let sleep = {
+            let mut st = inner.state.lock();
+            if st.rng.gen_bool(cfg.probability.clamp(0.0, 1.0)) {
+                let max = cfg.max_sleep.as_millis().max(1) as u64;
+                Some(Duration::from_millis(st.rng.gen_range(0..max)))
+            } else {
+                None
+            }
+        };
+        if let Some(d) = sleep {
+            std::thread::sleep(d);
+        }
+    }
+    let mut st = inner.state.lock();
+    st.progress += 1;
+    // Phase II: pause if this acquisition matches a target component.
+    if let SessionMode::Fuzz(cfg) = &inner.mode {
+        let released = st.threads[&me].released;
+        if !released {
+            let abstractor = Abstractor::new(cfg.mode);
+            let thread_abs = abstractor.abs(st.trace.objects(), st.threads[&me].obj);
+            let lock_abs = abstractor.abs(st.trace.objects(), lock);
+            let matches = if cfg.use_context {
+                let mut context = st.threads[&me].context_stack.clone();
+                context.push(site);
+                cfg.cycle
+                    .find_component(&thread_abs, &lock_abs, &context)
+                    .is_some()
+            } else {
+                cfg.cycle
+                    .components()
+                    .iter()
+                    .any(|c| c.thread == thread_abs && c.lock == lock_abs)
+            };
+            if matches {
+                // checkRealDeadlock before pausing (Algorithm 3 line 11).
+                if let Some(w) = check_cycle(&st, me, lock, site) {
+                    st.witness = Some(w);
+                    st.aborting = true;
+                    inner.cond.notify_all();
+                    drop(st);
+                    panic::panic_any(RtAbort);
+                }
+                st.threads.get_mut(&me).unwrap().status = ThreadStatus::Paused(lock, site);
+                st.paused_since.insert(me, Instant::now());
+                st.pauses += 1;
+                inner.cond.notify_all();
+                while st.paused_since.contains_key(&me) && !st.aborting {
+                    inner.cond.wait(&mut st);
+                }
+                st.threads.get_mut(&me).unwrap().status = ThreadStatus::Running;
+                if st.aborting {
+                    drop(st);
+                    panic::panic_any(RtAbort);
+                }
+            }
+        }
+    }
+    // The acquisition proper: block (abortably) while held by another.
+    loop {
+        if st.aborting {
+            drop(st);
+            panic::panic_any(RtAbort);
+        }
+        let owner = st.locks.entry(lock).or_default().owner;
+        match owner {
+            None => break,
+            Some(o) if o == me => {
+                panic!("DfMutex is not re-entrant: thread already holds this lock (acquired at {site})")
+            }
+            Some(_) => {
+                // About to block: run checkRealDeadlock (the cycle may
+                // close right here).
+                if let Some(w) = check_cycle(&st, me, lock, site) {
+                    st.witness = Some(w);
+                    st.aborting = true;
+                    inner.cond.notify_all();
+                    drop(st);
+                    panic::panic_any(RtAbort);
+                }
+                st.threads.get_mut(&me).unwrap().status = ThreadStatus::Blocked(lock, site);
+                st.trace.push(me, EventKind::Blocked { lock });
+                inner.cond.wait(&mut st);
+                st.threads.get_mut(&me).unwrap().status = ThreadStatus::Running;
+                st.trace.push(me, EventKind::Unblocked { lock });
+            }
+        }
+    }
+    st.locks.get_mut(&lock).unwrap().owner = Some(me);
+    let ts = st.threads.get_mut(&me).unwrap();
+    ts.released = false; // exemption consumed by the actual acquisition
+    let held = ts.lock_stack.clone();
+    let mut context = ts.context_stack.clone();
+    context.push(site);
+    ts.lock_stack.push(lock);
+    ts.context_stack.push(site);
+    st.trace.push(
+        me,
+        EventKind::Acquire {
+            lock,
+            site,
+            held,
+            context,
+        },
+    );
+    st.progress += 1;
+}
+
+/// Lock release (from guard drop). Never panics: it may run during an
+/// abort unwind.
+pub(crate) fn release(inner: &Arc<Inner>, lock: ObjId, site: Label) {
+    let me = tls::current(&Arc::downgrade(inner));
+    let mut st = inner.state.lock();
+    if let Some(core) = st.locks.get_mut(&lock) {
+        if core.owner == Some(me) {
+            core.owner = None;
+        }
+    }
+    if let Some(ts) = st.threads.get_mut(&me) {
+        if let Some(pos) = ts.lock_stack.iter().rposition(|&l| l == lock) {
+            ts.lock_stack.remove(pos);
+            ts.context_stack.remove(pos);
+        }
+    }
+    st.trace.push(me, EventKind::Release { lock, site });
+    st.progress += 1;
+    inner.cond.notify_all();
+}
+
+/// Java-style `Object.wait()` on a held monitor: release it, park in the
+/// wait set until notified, then re-acquire (blocking plainly; the
+/// re-acquisition is not a fuzz pause point). Unwinds on session abort.
+pub(crate) fn monitor_wait(inner: &Arc<Inner>, lock: ObjId, site: Label) {
+    let me = tls::current(&Arc::downgrade(inner));
+    let mut st = inner.state.lock();
+    match st.locks.get_mut(&lock) {
+        Some(core) if core.owner == Some(me) => {
+            core.owner = None;
+            core.wait_set.push(me);
+        }
+        _ => panic!("wait() on a DfMutex this thread does not hold (at {site})"),
+    }
+    if let Some(ts) = st.threads.get_mut(&me) {
+        if let Some(pos) = ts.lock_stack.iter().rposition(|&l| l == lock) {
+            ts.lock_stack.remove(pos);
+            ts.context_stack.remove(pos);
+        }
+        ts.status = ThreadStatus::Blocked(lock, site);
+    }
+    st.trace.push(me, EventKind::Wait { lock, site });
+    st.progress += 1;
+    inner.cond.notify_all();
+    // Park until a notify removes us from the wait set.
+    loop {
+        if st.aborting {
+            drop(st);
+            panic::panic_any(RtAbort);
+        }
+        let parked = st
+            .locks
+            .get(&lock)
+            .map(|c| c.wait_set.contains(&me))
+            .unwrap_or(false);
+        if !parked {
+            break;
+        }
+        inner.cond.wait(&mut st);
+    }
+    // Re-acquire the monitor (plain blocking).
+    loop {
+        if st.aborting {
+            drop(st);
+            panic::panic_any(RtAbort);
+        }
+        let owner = st.locks.entry(lock).or_default().owner;
+        match owner {
+            None => break,
+            Some(o) if o == me => break,
+            Some(_) => inner.cond.wait(&mut st),
+        }
+    }
+    st.locks.get_mut(&lock).unwrap().owner = Some(me);
+    if let Some(ts) = st.threads.get_mut(&me) {
+        ts.status = ThreadStatus::Running;
+        ts.lock_stack.push(lock);
+        ts.context_stack.push(site);
+    }
+    st.progress += 1;
+    inner.cond.notify_all();
+}
+
+/// `Object.notify()`/`notifyAll()` on a held monitor.
+pub(crate) fn monitor_notify(inner: &Arc<Inner>, lock: ObjId, site: Label, all: bool) {
+    let me = tls::current(&Arc::downgrade(inner));
+    let mut st = inner.state.lock();
+    match st.locks.get_mut(&lock) {
+        Some(core) if core.owner == Some(me) => {
+            if all {
+                core.wait_set.clear();
+            } else if !core.wait_set.is_empty() {
+                core.wait_set.remove(0);
+            }
+        }
+        _ => panic!("notify() on a DfMutex this thread does not hold (at {site})"),
+    }
+    st.trace.push(me, EventKind::Notify { lock, site, all });
+    st.progress += 1;
+    inner.cond.notify_all();
+}
+
+/// Registers a new lock object (from [`crate::DfMutex::new`]).
+pub(crate) fn register_lock(inner: &Arc<Inner>, site: Label) -> ObjId {
+    let me = tls::current(&Arc::downgrade(inner));
+    let mut st = inner.state.lock();
+    let index = st
+        .threads
+        .get_mut(&me)
+        .expect("registered thread")
+        .alloc_index(site);
+    let obj = st.trace.objects_mut().create(ObjKind::Lock, site, None, index);
+    st.trace.push(me, EventKind::New { obj });
+    st.progress += 1;
+    obj
+}
+
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<RtAbort>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

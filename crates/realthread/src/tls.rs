@@ -1,0 +1,38 @@
+//! Per-OS-thread registration.
+
+use std::cell::RefCell;
+use std::sync::Weak;
+
+use df_events::ThreadId;
+
+use crate::session::Inner;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Weak<Inner>, ThreadId)>> = const { RefCell::new(None) };
+}
+
+/// Binds the current OS thread to `session` as virtual thread `id`,
+/// replacing any previous binding (sessions are used one at a time per
+/// thread).
+pub(crate) fn bind(session: Weak<Inner>, id: ThreadId) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((session, id)));
+}
+
+/// The current thread's id within `session`.
+///
+/// # Panics
+///
+/// Panics if the thread was not registered with this session (spawn
+/// threads through [`crate::Session::spawn`]).
+pub(crate) fn current(session: &Weak<Inner>) -> ThreadId {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        match borrow.as_ref() {
+            Some((bound, id)) if Weak::ptr_eq(bound, session) => *id,
+            _ => panic!(
+                "this thread is not registered with the DeadlockFuzzer session; \
+                 spawn program threads via Session::spawn"
+            ),
+        }
+    })
+}

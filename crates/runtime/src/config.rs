@@ -1,0 +1,90 @@
+//! Run configuration.
+
+use std::time::Duration;
+
+/// Configuration for one execution of a program under the virtual runtime.
+///
+/// Construct with [`RunConfig::default`] and adjust with the builder-style
+/// setters.
+///
+/// # Example
+///
+/// ```
+/// use df_runtime::RunConfig;
+/// let cfg = RunConfig::default().with_max_steps(10_000).with_record_trace(false);
+/// assert_eq!(cfg.max_steps, 10_000);
+/// assert!(!cfg.record_trace);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Maximum number of schedule points before the run is aborted with
+    /// [`crate::Outcome::StepLimit`]. Guards against livelocks in program
+    /// models.
+    pub max_steps: u64,
+    /// Wall-clock watchdog: if no schedule point occurs for this long the
+    /// run is aborted with [`crate::Outcome::Hang`]. Guards against program
+    /// closures that spin without instrumented operations.
+    pub hang_timeout: Duration,
+    /// Whether to record the full event trace. Phase I needs it; Phase II
+    /// probability estimation can turn it off for speed.
+    pub record_trace: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_steps: 1_000_000,
+            hang_timeout: Duration::from_secs(10),
+            record_trace: true,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Creates the default configuration (same as [`Default::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the schedule-point budget.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the wall-clock watchdog timeout.
+    pub fn with_hang_timeout(mut self, timeout: Duration) -> Self {
+        self.hang_timeout = timeout;
+        self
+    }
+
+    /// Enables or disables trace recording.
+    pub fn with_record_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = RunConfig::default();
+        assert!(c.max_steps > 0);
+        assert!(c.record_trace);
+        assert!(c.hang_timeout > Duration::from_millis(1));
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = RunConfig::new()
+            .with_max_steps(5)
+            .with_hang_timeout(Duration::from_millis(7))
+            .with_record_trace(false);
+        assert_eq!(c.max_steps, 5);
+        assert_eq!(c.hang_timeout, Duration::from_millis(7));
+        assert!(!c.record_trace);
+    }
+}

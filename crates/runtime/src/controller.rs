@@ -1,0 +1,559 @@
+//! The token-passing controller: serializes virtual threads and consults
+//! the strategy at every schedule point.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use df_events::{EventKind, Label, ObjId, ObjKind, ThreadId};
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::RunConfig;
+use crate::ctx::TCtx;
+use crate::pending::PendingOp;
+use crate::result::{DeadlockWitness, Detector, Outcome, WitnessComponent};
+use crate::state::{Global, ThreadState, ThreadStatus};
+use crate::strategy::{Directive, Strategy};
+use crate::view::StateView;
+use crate::waitfor::WaitForGraph;
+
+/// Panic payload used to unwind a virtual thread when the run is aborted.
+pub(crate) struct AbortToken;
+
+/// Error returned by controller operations once the run is shutting down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Aborted;
+
+/// Result of executing a pending operation.
+pub(crate) enum OpOutcome {
+    Unit,
+    Created(ObjId),
+    /// Saved monitor recursion count (from `WaitRelease`).
+    Count(u32),
+}
+
+pub(crate) struct Inner {
+    pub(crate) g: Global,
+    pub(crate) strategy: Option<Box<dyn Strategy>>,
+    pub(crate) handles: Vec<JoinHandle<()>>,
+    /// Set when the run has fully terminated (normally or by abort).
+    pub(crate) done: bool,
+}
+
+/// Shared controller for one run.
+pub(crate) struct Controller {
+    pub(crate) inner: Mutex<Inner>,
+    pub(crate) cond: Condvar,
+    pub(crate) config: RunConfig,
+}
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// "thread panicked" report for the runtime's internal [`AbortToken`]
+/// unwinds, which are control flow rather than errors.
+pub(crate) fn install_quiet_abort_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortToken>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl Controller {
+    pub(crate) fn new(config: RunConfig, strategy: Box<dyn Strategy>) -> Arc<Self> {
+        Arc::new(Controller {
+            inner: Mutex::new(Inner {
+                g: Global::new(config.record_trace),
+                strategy: Some(strategy),
+                handles: Vec::new(),
+                done: false,
+            }),
+            cond: Condvar::new(),
+            config,
+        })
+    }
+
+    /// Records an event: appends to the trace (if recording) and informs
+    /// the strategy.
+    fn record(&self, inner: &mut Inner, thread: ThreadId, kind: EventKind) {
+        if inner.g.aborting {
+            return;
+        }
+        let seq = if inner.g.record_trace {
+            inner.g.trace.push(thread, kind.clone())
+        } else {
+            inner.g.steps
+        };
+        if let Some(mut strat) = inner.strategy.take() {
+            let event = df_events::Event::new(seq, thread, kind);
+            strat.on_event(&event, &StateView { g: &inner.g });
+            inner.strategy = Some(strat);
+        }
+    }
+
+    /// Ends the run with `outcome` (first writer wins) and wakes everyone.
+    fn abort(&self, inner: &mut Inner, outcome: Outcome) {
+        if inner.g.final_outcome.is_none() {
+            inner.g.final_outcome = Some(outcome);
+        }
+        inner.g.aborting = true;
+        inner.done = true;
+        self.cond.notify_all();
+    }
+
+    /// Picks the next thread to run. Called whenever the token is free
+    /// (`current == None`). On success `current` is set and sleepers are
+    /// woken. Returns `Err(Aborted)` if the run ended instead.
+    fn reschedule(&self, inner: &mut Inner) -> Result<(), Aborted> {
+        if inner.g.aborting {
+            return Err(Aborted);
+        }
+        let enabled = inner.g.enabled();
+        if enabled.is_empty() {
+            let alive = inner.g.alive();
+            if alive.is_empty() {
+                self.abort(inner, Outcome::Completed);
+            } else {
+                let outcome = self.diagnose_stall(&inner.g, alive);
+                self.abort(inner, outcome);
+            }
+            return Err(Aborted);
+        }
+        let mut strat = inner.strategy.take().expect("strategy present");
+        let directive = strat.pick(&StateView { g: &inner.g }, &enabled);
+        inner.strategy = Some(strat);
+        match directive {
+            Directive::Run(t) if enabled.contains(&t) => {
+                inner.g.current = Some(t);
+                self.cond.notify_all();
+                Ok(())
+            }
+            Directive::Run(t) => {
+                self.abort(
+                    inner,
+                    Outcome::StrategyAbort(format!("strategy picked disabled thread {t}")),
+                );
+                Err(Aborted)
+            }
+            Directive::Deadlock(w) => {
+                self.abort(inner, Outcome::Deadlock(w));
+                Err(Aborted)
+            }
+            Directive::Abort(msg) => {
+                self.abort(inner, Outcome::StrategyAbort(msg));
+                Err(Aborted)
+            }
+        }
+    }
+
+    /// Classifies a state with no enabled threads: a lock cycle is a real
+    /// deadlock; anything else is a stall.
+    fn diagnose_stall(&self, g: &Global, alive: Vec<ThreadId>) -> Outcome {
+        let mut wf = WaitForGraph::new();
+        for ts in &g.threads {
+            for &l in &ts.lock_stack {
+                wf.add_holds(ts.id, l);
+            }
+            match &ts.status {
+                ThreadStatus::Announced(PendingOp::Acquire { lock, .. })
+                | ThreadStatus::Announced(PendingOp::WaitReacquire { lock, .. }) => {
+                    wf.add_waits(ts.id, *lock);
+                }
+                _ => {}
+            }
+        }
+        match wf.find_cycle() {
+            Some(cycle) => {
+                let components = cycle
+                    .iter()
+                    .map(|&t| {
+                        let ts = g.thread(t);
+                        let (lock, site) = match &ts.status {
+                            ThreadStatus::Announced(PendingOp::Acquire { lock, site })
+                            | ThreadStatus::Announced(PendingOp::WaitReacquire {
+                                lock,
+                                site,
+                                ..
+                            }) => (*lock, *site),
+                            _ => unreachable!("cycle thread must wait on a lock"),
+                        };
+                        let mut context = ts.context_stack.clone();
+                        context.push(site);
+                        WitnessComponent {
+                            thread: t,
+                            thread_obj: ts.obj,
+                            holding: ts.lock_stack.clone(),
+                            waiting_for: lock,
+                            context,
+                        }
+                    })
+                    .collect();
+                Outcome::Deadlock(DeadlockWitness {
+                    components,
+                    detected_by: Detector::WaitForGraph,
+                })
+            }
+            None => {
+                // No lock cycle: if threads are parked in monitor wait
+                // sets this is a communication deadlock (lost signal),
+                // otherwise a plain stall (e.g. a join cycle).
+                let waiting: Vec<ThreadId> = g
+                    .threads
+                    .iter()
+                    .filter(|ts| {
+                        matches!(
+                            &ts.status,
+                            ThreadStatus::Announced(PendingOp::AwaitNotify { .. })
+                        )
+                    })
+                    .map(|ts| ts.id)
+                    .collect();
+                if waiting.is_empty() {
+                    Outcome::Stall { stuck: alive }
+                } else {
+                    Outcome::CommunicationStall {
+                        stuck: alive,
+                        waiting,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Announces `op` for `me`, releases the token, and waits until the
+    /// strategy picks `me` again.
+    fn announce_and_wait(
+        &self,
+        inner: &mut parking_lot::MutexGuard<'_, Inner>,
+        me: ThreadId,
+        op: PendingOp,
+    ) -> Result<(), Aborted> {
+        inner.g.thread_mut(me).status = ThreadStatus::Announced(op);
+        inner.g.steps += 1;
+        inner.g.progress += 1;
+        if inner.g.steps > self.config.max_steps {
+            self.abort(inner, Outcome::StepLimit);
+            return Err(Aborted);
+        }
+        // We hold the token (we were running user code): give it up so the
+        // strategy takes a fresh decision for this schedule point.
+        debug_assert_eq!(inner.g.current, Some(me), "announcing thread holds the token");
+        inner.g.current = None;
+        self.reschedule(inner)?;
+        self.wait_until_picked(inner, me)
+    }
+
+    /// Blocks until the strategy makes `me` current, then marks it running.
+    fn wait_until_picked(
+        &self,
+        inner: &mut parking_lot::MutexGuard<'_, Inner>,
+        me: ThreadId,
+    ) -> Result<(), Aborted> {
+        loop {
+            if inner.g.aborting {
+                return Err(Aborted);
+            }
+            if inner.g.current == Some(me) {
+                break;
+            }
+            self.cond.wait(inner);
+        }
+        inner.g.thread_mut(me).status = ThreadStatus::Running;
+        Ok(())
+    }
+
+    /// First schedule point of a thread. Unlike [`Self::op`], the thread
+    /// does *not* hold the token here: it was registered as
+    /// `Announced(Start)` by its spawner and may even have been picked
+    /// already (OS startup races the strategy's decision). Consume an
+    /// existing pick if there is one; otherwise wait for one. Kicking the
+    /// scheduler is only needed for the main thread, which starts with a
+    /// free token.
+    pub(crate) fn start_point(&self, me: ThreadId) -> Result<(), Aborted> {
+        let mut inner = self.inner.lock();
+        inner.g.steps += 1;
+        inner.g.progress += 1;
+        if inner.g.current.is_none() && !inner.g.aborting {
+            self.reschedule(&mut inner)?;
+        }
+        self.wait_until_picked(&mut inner, me)?;
+        self.record(&mut inner, me, EventKind::ThreadStart);
+        Ok(())
+    }
+
+    /// Executes one instrumented operation for `me`: schedule point, then
+    /// the operation's semantics.
+    pub(crate) fn op(&self, me: ThreadId, op: PendingOp) -> Result<OpOutcome, Aborted> {
+        let mut inner = self.inner.lock();
+        if inner.g.aborting {
+            // The run is over (deadlock found, limits, …). Threads still
+            // executing user code — e.g. guards releasing during an
+            // unwind — must not touch the schedule.
+            return Err(Aborted);
+        }
+        self.announce_and_wait(&mut inner, me, op.clone())?;
+        self.execute(&mut inner, me, op)
+    }
+
+    fn execute(&self, inner: &mut Inner, me: ThreadId, op: PendingOp) -> Result<OpOutcome, Aborted> {
+        match op {
+            PendingOp::Start => {
+                self.record(inner, me, EventKind::ThreadStart);
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::Acquire { lock, site } => {
+                let state = inner.g.locks.entry(lock).or_default();
+                if state.owner == Some(me) {
+                    state.count += 1;
+                    self.record(inner, me, EventKind::Reacquire { lock, site });
+                } else {
+                    debug_assert!(state.owner.is_none(), "picked thread must not block");
+                    state.owner = Some(me);
+                    state.count = 1;
+                    let ts = inner.g.thread_mut(me);
+                    let held = ts.lock_stack.clone();
+                    let mut context = ts.context_stack.clone();
+                    context.push(site);
+                    ts.lock_stack.push(lock);
+                    ts.context_stack.push(site);
+                    self.record(
+                        inner,
+                        me,
+                        EventKind::Acquire {
+                            lock,
+                            site,
+                            held,
+                            context,
+                        },
+                    );
+                }
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::Release { lock, site } => {
+                let state = match inner.g.locks.get_mut(&lock) {
+                    Some(s) if s.owner == Some(me) => s,
+                    _ => panic!("thread {me} released lock {lock} it does not hold"),
+                };
+                if state.count > 1 {
+                    state.count -= 1;
+                    self.record(inner, me, EventKind::Rerelease { lock, site });
+                } else {
+                    state.count = 0;
+                    state.owner = None;
+                    let ts = inner.g.thread_mut(me);
+                    if let Some(pos) = ts.lock_stack.iter().rposition(|&l| l == lock) {
+                        ts.lock_stack.remove(pos);
+                        ts.context_stack.remove(pos);
+                    }
+                    self.record(inner, me, EventKind::Release { lock, site });
+                }
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::Call { site, receiver } => {
+                inner.g.thread_mut(me).enter_call(site, receiver);
+                self.record(inner, me, EventKind::Call { site });
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::Return => {
+                inner.g.thread_mut(me).exit_call();
+                self.record(inner, me, EventKind::Return);
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::New { site, kind } => {
+                let owner = inner.g.thread(me).current_receiver();
+                let index = inner.g.thread_mut(me).alloc_index(site);
+                let obj = inner.g.trace.objects_mut().create(kind, site, owner, index);
+                self.record(inner, me, EventKind::New { obj });
+                Ok(OpOutcome::Created(obj))
+            }
+            PendingOp::Join { target } => {
+                self.record(inner, me, EventKind::Join { target });
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::Yield => {
+                self.record(inner, me, EventKind::Yield);
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::Work { units } => {
+                self.record(inner, me, EventKind::Work { units });
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::WaitRelease { lock, site } => {
+                let state = match inner.g.locks.get_mut(&lock) {
+                    Some(s) if s.owner == Some(me) => s,
+                    _ => panic!("thread {me} called wait on monitor {lock} it does not hold"),
+                };
+                let count = state.count;
+                state.count = 0;
+                state.owner = None;
+                state.wait_set.push(me);
+                let ts = inner.g.thread_mut(me);
+                if let Some(pos) = ts.lock_stack.iter().rposition(|&l| l == lock) {
+                    ts.lock_stack.remove(pos);
+                    ts.context_stack.remove(pos);
+                }
+                self.record(inner, me, EventKind::Wait { lock, site });
+                Ok(OpOutcome::Count(count))
+            }
+            PendingOp::AwaitNotify { .. } => {
+                // Enabled-ness already required the notify to have
+                // happened; nothing to execute.
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::WaitReacquire { lock, count, site } => {
+                let state = inner.g.locks.entry(lock).or_default();
+                debug_assert!(state.owner.is_none(), "picked thread must not block");
+                state.owner = Some(me);
+                state.count = count;
+                // Reacquisition restores the monitor silently (Java wait
+                // semantics); the original Acquire event already carries
+                // the lock dependency. The held stack is restored with
+                // the wait site as context.
+                let ts = inner.g.thread_mut(me);
+                ts.lock_stack.push(lock);
+                ts.context_stack.push(site);
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::AtomicBegin { site } => {
+                self.record(inner, me, EventKind::AtomicBegin { site });
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::AtomicEnd => {
+                self.record(inner, me, EventKind::AtomicEnd);
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::Access { var, site, write } => {
+                let held = inner.g.thread(me).lock_stack.clone();
+                self.record(
+                    inner,
+                    me,
+                    EventKind::Access {
+                        var,
+                        site,
+                        write,
+                        held,
+                    },
+                );
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::Notify { lock, site, all } => {
+                let state = inner.g.locks.entry(lock).or_default();
+                if state.owner != Some(me) {
+                    panic!("thread {me} called notify on monitor {lock} it does not hold");
+                }
+                if all {
+                    state.wait_set.clear();
+                } else if !state.wait_set.is_empty() {
+                    state.wait_set.remove(0);
+                }
+                self.record(inner, me, EventKind::Notify { lock, site, all });
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::Spawn { .. } | PendingOp::Exit => {
+                unreachable!("spawn/exit use dedicated entry points")
+            }
+        }
+    }
+
+    /// Spawn entry point: registers the child under the schedule point of
+    /// the parent and launches its OS thread.
+    pub(crate) fn spawn<F>(
+        self: &Arc<Self>,
+        me: ThreadId,
+        site: Label,
+        name: String,
+        f: F,
+    ) -> Result<(ThreadId, ObjId), Aborted>
+    where
+        F: FnOnce(&TCtx) + Send + 'static,
+    {
+        let mut inner = self.inner.lock();
+        if inner.g.aborting {
+            return Err(Aborted);
+        }
+        self.announce_and_wait(&mut inner, me, PendingOp::Spawn { site })?;
+        // Create the thread object (threads are objects, §2.2) in the
+        // parent's allocation context.
+        let owner = inner.g.thread(me).current_receiver();
+        let index = inner.g.thread_mut(me).alloc_index(site);
+        let child_obj = inner
+            .g
+            .trace
+            .objects_mut()
+            .create(ObjKind::Thread, site, owner, index);
+        let child = ThreadId::new(u32::try_from(inner.g.threads.len()).expect("thread overflow"));
+        inner.g.threads.push(ThreadState::new(child, name, child_obj));
+        inner.g.trace.bind_thread(child, child_obj);
+        self.record(
+            &mut inner,
+            me,
+            EventKind::Spawn {
+                child,
+                child_obj,
+            },
+        );
+        // The child is now Announced(Start); the strategy may pick it at
+        // any later schedule point. Launch the OS thread that will carry
+        // it.
+        let ctl = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("vthread-{child}"))
+            .spawn(move || ctl.thread_main(child, f))
+            .expect("failed to spawn OS thread");
+        inner.handles.push(handle);
+        Ok((child, child_obj))
+    }
+
+    /// Body of every virtual thread's OS thread.
+    pub(crate) fn thread_main<F>(self: Arc<Self>, me: ThreadId, f: F)
+    where
+        F: FnOnce(&TCtx),
+    {
+        let ctx = TCtx::new(Arc::clone(&self), me);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            // First schedule point: wait to be picked before running any
+            // program code.
+            if self.start_point(me).is_err() {
+                return;
+            }
+            f(&ctx);
+        }));
+        match result {
+            Ok(()) => {}
+            Err(payload) => {
+                if payload.downcast_ref::<AbortToken>().is_none() {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_string());
+                    let mut inner = self.inner.lock();
+                    self.abort(&mut inner, Outcome::ProgramPanic(msg));
+                }
+            }
+        }
+        self.thread_exit(me);
+    }
+
+    /// Marks `me` finished and hands the token onward.
+    fn thread_exit(&self, me: ThreadId) {
+        let mut inner = self.inner.lock();
+        if !matches!(inner.g.thread(me).status, ThreadStatus::Finished) {
+            self.record(&mut inner, me, EventKind::ThreadExit);
+            inner.g.thread_mut(me).status = ThreadStatus::Finished;
+            inner.g.progress += 1;
+        }
+        if inner.g.current == Some(me) {
+            inner.g.current = None;
+        }
+        if !inner.g.aborting {
+            let _ = self.reschedule(&mut inner);
+        }
+        self.cond.notify_all();
+    }
+}

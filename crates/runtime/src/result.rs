@@ -1,0 +1,276 @@
+//! Results of a virtual-runtime execution.
+
+use std::fmt;
+
+use df_events::{Label, ObjId, ThreadId, Trace};
+use serde::{Deserialize, Serialize};
+
+use crate::strategy::StrategyStats;
+
+/// How a deadlock was detected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Detector {
+    /// `checkRealDeadlock` (Algorithm 4) fired inside the scheduling
+    /// strategy: a cycle among held lock stacks plus pending acquisitions.
+    Strategy,
+    /// The runtime's stall detector found a cycle in the wait-for graph
+    /// after every alive thread became disabled.
+    WaitForGraph,
+}
+
+impl fmt::Display for Detector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Detector::Strategy => f.write_str("checkRealDeadlock"),
+            Detector::WaitForGraph => f.write_str("wait-for graph"),
+        }
+    }
+}
+
+/// One thread's part in a deadlock: what it holds and what it waits for.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct WitnessComponent {
+    /// The deadlocked thread.
+    pub thread: ThreadId,
+    /// The object representing the thread.
+    pub thread_obj: ObjId,
+    /// Locks the thread holds, outermost first.
+    pub holding: Vec<ObjId>,
+    /// The lock the thread is waiting to acquire.
+    pub waiting_for: ObjId,
+    /// Acquisition-site labels: sites of `holding` followed by the site of
+    /// the blocked acquisition (the paper's context `C`).
+    pub context: Vec<Label>,
+}
+
+/// A concrete, observed deadlock: the set of threads that mutually block.
+///
+/// This is DeadlockFuzzer's *output artifact* — unlike an iGoodlock cycle it
+/// is not a prediction but a witnessed program state, so it is never a false
+/// positive.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DeadlockWitness {
+    /// One component per deadlocked thread, in cycle order: component `i`
+    /// waits for a lock held by component `i+1` (mod n).
+    pub components: Vec<WitnessComponent>,
+    /// How the deadlock was detected.
+    pub detected_by: Detector,
+}
+
+impl DeadlockWitness {
+    /// The deadlocked threads in cycle order.
+    pub fn threads(&self) -> Vec<ThreadId> {
+        self.components.iter().map(|c| c.thread).collect()
+    }
+
+    /// The locks involved in the cycle (the `waiting_for` of each
+    /// component).
+    pub fn locks(&self) -> Vec<ObjId> {
+        self.components.iter().map(|c| c.waiting_for).collect()
+    }
+
+    /// Cycle length (number of threads = number of locks).
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the witness has no components (never produced by the
+    /// runtime; exists for `len`/`is_empty` symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl fmt::Display for DeadlockWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "real deadlock among {} threads (detected by {}):",
+            self.components.len(),
+            self.detected_by
+        )?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "  {} holds {:?}, waits for {} at {}",
+                c.thread,
+                c.holding,
+                c.waiting_for,
+                c.context
+                    .last()
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "<unknown>".to_string()),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Terminal outcome of a run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Every thread finished; no stall.
+    Completed,
+    /// A real deadlock was created and witnessed.
+    Deadlock(DeadlockWitness),
+    /// Every alive thread was disabled but no lock cycle exists (e.g. a
+    /// join cycle); the paper calls this a "system stall" and we keep the
+    /// distinction.
+    Stall {
+        /// Threads that were alive but disabled.
+        stuck: Vec<ThreadId>,
+    },
+    /// A stall in which some thread waits in a monitor's wait set with no
+    /// one left to notify it — the paper's *communication deadlock*
+    /// ("a deadlock that happens when each thread is waiting for a signal
+    /// from some other thread"), which DeadlockFuzzer observes but does
+    /// not target ("We only consider resource deadlocks in this paper").
+    CommunicationStall {
+        /// Threads that were alive but disabled.
+        stuck: Vec<ThreadId>,
+        /// The subset parked in monitor wait sets.
+        waiting: Vec<ThreadId>,
+    },
+    /// The schedule-point budget was exhausted.
+    StepLimit,
+    /// The wall-clock watchdog fired.
+    Hang,
+    /// A program closure panicked (a bug in the program model, not a
+    /// deadlock).
+    ProgramPanic(String),
+    /// The strategy requested an abort with a message.
+    StrategyAbort(String),
+}
+
+impl Outcome {
+    /// Whether the run completed normally.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed)
+    }
+
+    /// Whether a real deadlock was witnessed.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, Outcome::Deadlock(_))
+    }
+
+    /// The witness, if a deadlock was found.
+    pub fn deadlock(&self) -> Option<&DeadlockWitness> {
+        match self {
+            Outcome::Deadlock(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Completed => f.write_str("completed"),
+            Outcome::Deadlock(w) => write!(f, "deadlock: {w}"),
+            Outcome::Stall { stuck } => write!(f, "system stall ({} threads stuck)", stuck.len()),
+            Outcome::CommunicationStall { stuck, waiting } => write!(
+                f,
+                "communication deadlock ({} threads stuck, {} in wait sets)",
+                stuck.len(),
+                waiting.len()
+            ),
+            Outcome::StepLimit => f.write_str("step limit exceeded"),
+            Outcome::Hang => f.write_str("hang watchdog fired"),
+            Outcome::ProgramPanic(m) => write!(f, "program panic: {m}"),
+            Outcome::StrategyAbort(m) => write!(f, "strategy abort: {m}"),
+        }
+    }
+}
+
+/// Everything a run produced.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Terminal outcome.
+    pub outcome: Outcome,
+    /// The recorded trace (empty if `record_trace` was off).
+    pub trace: Trace,
+    /// Number of schedule points executed.
+    pub steps: u64,
+    /// Statistics reported by the strategy (thrashes, picks, pauses).
+    pub stats: StrategyStats,
+}
+
+impl RunResult {
+    /// The witness, if the run deadlocked.
+    pub fn deadlock(&self) -> Option<&DeadlockWitness> {
+        self.outcome.deadlock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn witness() -> DeadlockWitness {
+        DeadlockWitness {
+            components: vec![
+                WitnessComponent {
+                    thread: ThreadId::new(1),
+                    thread_obj: ObjId::new(10),
+                    holding: vec![ObjId::new(3)],
+                    waiting_for: ObjId::new(4),
+                    context: vec![Label::new("w:15"), Label::new("w:16")],
+                },
+                WitnessComponent {
+                    thread: ThreadId::new(2),
+                    thread_obj: ObjId::new(11),
+                    holding: vec![ObjId::new(4)],
+                    waiting_for: ObjId::new(3),
+                    context: vec![Label::new("w:15"), Label::new("w:16")],
+                },
+            ],
+            detected_by: Detector::Strategy,
+        }
+    }
+
+    #[test]
+    fn witness_accessors() {
+        let w = witness();
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.threads(), vec![ThreadId::new(1), ThreadId::new(2)]);
+        assert_eq!(w.locks(), vec![ObjId::new(4), ObjId::new(3)]);
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(Outcome::Completed.is_completed());
+        assert!(!Outcome::Completed.is_deadlock());
+        let d = Outcome::Deadlock(witness());
+        assert!(d.is_deadlock());
+        assert_eq!(d.deadlock().unwrap().len(), 2);
+        assert!(Outcome::StepLimit.deadlock().is_none());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        for o in [
+            Outcome::Completed,
+            Outcome::Deadlock(witness()),
+            Outcome::Stall {
+                stuck: vec![ThreadId::new(0)],
+            },
+            Outcome::StepLimit,
+            Outcome::Hang,
+            Outcome::ProgramPanic("boom".into()),
+            Outcome::StrategyAbort("stop".into()),
+        ] {
+            assert!(!o.to_string().is_empty());
+        }
+        assert_eq!(Detector::Strategy.to_string(), "checkRealDeadlock");
+        assert_eq!(Detector::WaitForGraph.to_string(), "wait-for graph");
+    }
+
+    #[test]
+    fn witness_serde_round_trip() {
+        let w = witness();
+        let json = serde_json::to_string(&w).unwrap();
+        let back: DeadlockWitness = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

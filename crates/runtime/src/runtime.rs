@@ -1,0 +1,476 @@
+//! Entry point: running a program under a strategy.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use df_events::{Label, ObjKind, ThreadId, Trace};
+
+use crate::config::RunConfig;
+use crate::controller::Controller;
+use crate::ctx::TCtx;
+use crate::result::{Outcome, RunResult};
+use crate::state::ThreadState;
+use crate::strategy::Strategy;
+
+/// The virtual-thread runtime.
+///
+/// A `VirtualRuntime` is a reusable factory: every [`VirtualRuntime::run`]
+/// call executes the given program from scratch under a fresh controller
+/// with the given strategy.
+///
+/// # Example
+///
+/// ```
+/// use df_runtime::{RunConfig, VirtualRuntime, strategy::RoundRobinStrategy};
+/// use df_events::site;
+///
+/// let rt = VirtualRuntime::new(RunConfig::default());
+/// let r = rt.run(Box::new(RoundRobinStrategy::new()), |ctx| {
+///     let child = ctx.spawn(site!(), "worker", |ctx| ctx.work(3));
+///     ctx.join(&child, site!());
+/// });
+/// assert!(r.outcome.is_completed());
+/// ```
+#[derive(Clone, Debug)]
+pub struct VirtualRuntime {
+    config: RunConfig,
+}
+
+impl VirtualRuntime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: RunConfig) -> Self {
+        VirtualRuntime { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Executes `main` as the program's main thread under `strategy` and
+    /// returns the run's result once every thread finished or the run was
+    /// stopped (deadlock, stall, limits).
+    pub fn run<F>(&self, strategy: Box<dyn Strategy>, main: F) -> RunResult
+    where
+        F: FnOnce(&TCtx) + Send + 'static,
+    {
+        crate::controller::install_quiet_abort_hook();
+        let ctl = Controller::new(self.config.clone(), strategy);
+        let main_id = ThreadId::new(0);
+        {
+            let mut inner = ctl.inner.lock();
+            let main_obj = inner.g.trace.objects_mut().create(
+                ObjKind::Thread,
+                Label::new("<main>"),
+                None,
+                Vec::new(),
+            );
+            inner
+                .g
+                .threads
+                .push(ThreadState::new(main_id, "main".to_string(), main_obj));
+            inner.g.trace.bind_thread(main_id, main_obj);
+            let c2 = Arc::clone(&ctl);
+            let handle = std::thread::Builder::new()
+                .name("vthread-main".to_string())
+                .spawn(move || c2.thread_main(main_id, main))
+                .expect("failed to spawn main OS thread");
+            inner.handles.push(handle);
+        }
+
+        // Supervise: wait for completion, watching for hangs (program code
+        // spinning without schedule points).
+        let mut last_progress = 0u64;
+        let mut last_change = Instant::now();
+        let hung = loop {
+            let mut inner = ctl.inner.lock();
+            if inner.done {
+                break false;
+            }
+            if inner.g.progress != last_progress {
+                last_progress = inner.g.progress;
+                last_change = Instant::now();
+            } else if last_change.elapsed() >= self.config.hang_timeout {
+                inner.g.aborting = true;
+                inner.done = true;
+                if inner.g.final_outcome.is_none() {
+                    inner.g.final_outcome = Some(Outcome::Hang);
+                }
+                ctl.cond.notify_all();
+                break true;
+            }
+            let wait = self
+                .config
+                .hang_timeout
+                .checked_div(4)
+                .unwrap_or(self.config.hang_timeout)
+                .max(std::time::Duration::from_millis(10));
+            ctl.cond.wait_for(&mut inner, wait);
+        };
+
+        // Collect results. On a hang we cannot join threads stuck in user
+        // code; detach them instead.
+        let (outcome, trace, steps, mut strategy, handles) = {
+            let mut inner = ctl.inner.lock();
+            let outcome = inner
+                .g
+                .final_outcome
+                .take()
+                .unwrap_or(Outcome::Completed);
+            let trace = std::mem::replace(&mut inner.g.trace, Trace::new());
+            let steps = inner.g.steps;
+            let strategy = inner.strategy.take().expect("strategy present at end");
+            let handles = std::mem::take(&mut inner.handles);
+            (outcome, trace, steps, strategy, handles)
+        };
+        if !hung {
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        let stats = strategy.finish();
+        RunResult {
+            outcome,
+            trace,
+            steps,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{FifoStrategy, RoundRobinStrategy};
+    use df_events::{site, EventKind};
+    use std::time::Duration;
+
+    fn cfg() -> RunConfig {
+        RunConfig::default().with_hang_timeout(Duration::from_secs(5))
+    }
+
+    #[test]
+    fn empty_program_completes() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(FifoStrategy::new()), |_ctx| {});
+        assert!(r.outcome.is_completed());
+        assert!(r.steps >= 1);
+    }
+
+    #[test]
+    fn trace_records_lock_events() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(FifoStrategy::new()), |ctx| {
+            let l = ctx.new_lock(site!("alloc"));
+            ctx.acquire(&l, site!("acq"));
+            ctx.release(&l, site!("rel"));
+        });
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.trace.acquire_count(), 1);
+        let kinds: Vec<&EventKind> = r.trace.events().iter().map(|e| &e.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(k, EventKind::New { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, EventKind::Release { .. })));
+    }
+
+    #[test]
+    fn reentrant_lock_records_single_acquire() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(FifoStrategy::new()), |ctx| {
+            let l = ctx.new_lock(site!());
+            ctx.acquire(&l, site!());
+            ctx.acquire(&l, site!());
+            ctx.release(&l, site!());
+            ctx.release(&l, site!());
+        });
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.trace.acquire_count(), 1);
+        let reacquires = r
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Reacquire { .. }))
+            .count();
+        assert_eq!(reacquires, 1);
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(FifoStrategy::new()), |ctx| {
+            let l = ctx.new_lock(site!());
+            {
+                let _g = ctx.lock(&l, site!());
+            }
+            // Lock must be free again: re-acquire explicitly.
+            ctx.acquire(&l, site!());
+            ctx.release(&l, site!());
+        });
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.trace.acquire_count(), 2);
+    }
+
+    #[test]
+    fn spawn_and_join_complete() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(RoundRobinStrategy::new()), |ctx| {
+            let l = ctx.new_lock(site!());
+            let child = ctx.spawn(site!(), "child", move |ctx| {
+                let _g = ctx.lock(&l, site!());
+                ctx.work(2);
+            });
+            ctx.work(2);
+            ctx.join(&child, site!());
+        });
+        assert!(r.outcome.is_completed());
+        // main + child started and exited
+        let starts = r
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ThreadStart))
+            .count();
+        assert_eq!(starts, 2);
+    }
+
+    #[test]
+    fn contended_lock_serializes() {
+        // Two threads increment a shared counter under the same lock; the
+        // result must be exact.
+        let r = VirtualRuntime::new(cfg()).run(Box::new(RoundRobinStrategy::new()), |ctx| {
+            let l = ctx.new_lock(site!());
+            let counter = crate::ctx::Shared::new(0u32);
+            let mut children = Vec::new();
+            for i in 0..4 {
+                let c = counter.clone();
+                children.push(ctx.spawn(site!(), &format!("w{i}"), move |ctx| {
+                    for _ in 0..5 {
+                        let g = ctx.lock(&l, site!("w acquire"));
+                        c.with(|v| *v += 1);
+                        drop(g);
+                        ctx.yield_now();
+                    }
+                }));
+            }
+            for ch in &children {
+                ctx.join(ch, site!());
+            }
+            assert_eq!(counter.get(), 20);
+        });
+        assert!(r.outcome.is_completed(), "outcome: {:?}", r.outcome);
+    }
+
+    #[test]
+    fn classic_deadlock_detected_by_waitfor_graph() {
+        // Opposite lock orders forced by a round-robin schedule.
+        let r = VirtualRuntime::new(cfg()).run(Box::new(RoundRobinStrategy::new()), |ctx| {
+            let l1 = ctx.new_lock(site!("lock l1"));
+            let l2 = ctx.new_lock(site!("lock l2"));
+            let t1 = ctx.spawn(site!(), "t1", move |ctx| {
+                ctx.acquire(&l1, site!("t1 acq l1"));
+                ctx.yield_now();
+                ctx.acquire(&l2, site!("t1 acq l2"));
+                ctx.release(&l2, site!());
+                ctx.release(&l1, site!());
+            });
+            let t2 = ctx.spawn(site!(), "t2", move |ctx| {
+                ctx.acquire(&l2, site!("t2 acq l2"));
+                ctx.yield_now();
+                ctx.acquire(&l1, site!("t2 acq l1"));
+                ctx.release(&l1, site!());
+                ctx.release(&l2, site!());
+            });
+            ctx.join(&t1, site!());
+            ctx.join(&t2, site!());
+        });
+        let w = r.outcome.deadlock().expect("round robin forces the deadlock");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.detected_by, crate::result::Detector::WaitForGraph);
+    }
+
+    #[test]
+    fn program_panic_is_reported() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(FifoStrategy::new()), |ctx| {
+            ctx.yield_now();
+            panic!("model bug");
+        });
+        match r.outcome {
+            Outcome::ProgramPanic(ref m) => assert!(m.contains("model bug")),
+            ref o => panic!("unexpected outcome {o:?}"),
+        }
+    }
+
+    #[test]
+    fn release_of_unheld_lock_is_program_error() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(FifoStrategy::new()), |ctx| {
+            let l = ctx.new_lock(site!());
+            ctx.release(&l, site!());
+        });
+        assert!(matches!(r.outcome, Outcome::ProgramPanic(_)));
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let cfg = RunConfig::default()
+            .with_max_steps(50)
+            .with_hang_timeout(Duration::from_secs(5));
+        let r = VirtualRuntime::new(cfg).run(Box::new(FifoStrategy::new()), |ctx| loop {
+            ctx.yield_now();
+        });
+        assert_eq!(r.outcome, Outcome::StepLimit);
+    }
+
+    #[test]
+    fn hang_watchdog_fires_on_spin_loop() {
+        let cfg = RunConfig::default().with_hang_timeout(Duration::from_millis(200));
+        let r = VirtualRuntime::new(cfg).run(Box::new(FifoStrategy::new()), |ctx| {
+            ctx.yield_now();
+            #[allow(clippy::empty_loop)]
+            loop {
+                // no schedule points: the watchdog must fire
+                std::hint::black_box(0u8);
+            }
+        });
+        assert_eq!(r.outcome, Outcome::Hang);
+    }
+
+    #[test]
+    fn join_on_unfinished_thread_waits() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(RoundRobinStrategy::new()), |ctx| {
+            let child = ctx.spawn(site!(), "slow", |ctx| ctx.work(10));
+            ctx.join(&child, site!());
+            // join returned → child must have exited; work events precede
+        });
+        assert!(r.outcome.is_completed());
+        let exit_pos = r
+            .trace
+            .events()
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::ThreadExit) && e.thread == ThreadId::new(1))
+            .expect("child exit");
+        let join_pos = r
+            .trace
+            .events()
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::Join { .. }))
+            .expect("join event");
+        assert!(exit_pos < join_pos);
+    }
+
+    #[test]
+    fn record_trace_off_still_tracks_objects() {
+        let cfg = RunConfig::default()
+            .with_record_trace(false)
+            .with_hang_timeout(Duration::from_secs(5));
+        let r = VirtualRuntime::new(cfg).run(Box::new(FifoStrategy::new()), |ctx| {
+            let l = ctx.new_lock(site!());
+            ctx.acquire(&l, site!());
+            ctx.release(&l, site!());
+        });
+        assert!(r.outcome.is_completed());
+        assert!(r.trace.events().is_empty());
+        // main thread object + lock object
+        assert_eq!(r.trace.objects().len(), 2);
+    }
+
+    #[test]
+    fn nested_scopes_track_execution_index() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(FifoStrategy::new()), |ctx| {
+            for _ in 0..2 {
+                ctx.scope(site!("call foo"), || {
+                    let _l = ctx.new_lock(site!("alloc in foo"));
+                });
+            }
+        });
+        assert!(r.outcome.is_completed());
+        // objects: main thread, two locks
+        let locks: Vec<_> = r
+            .trace
+            .objects()
+            .iter()
+            .filter(|m| m.kind == df_events::ObjKind::Lock)
+            .collect();
+        assert_eq!(locks.len(), 2);
+        // Same allocation site, different execution indices (call counts 1
+        // and 2).
+        assert_eq!(locks[0].site, locks[1].site);
+        assert_ne!(locks[0].index, locks[1].index);
+        assert_eq!(locks[0].index.len(), 2); // call frame + alloc frame
+        assert_eq!(locks[0].index[0].count, 1);
+        assert_eq!(locks[1].index[0].count, 2);
+    }
+
+    #[test]
+    fn receiver_scopes_set_object_owner() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(FifoStrategy::new()), |ctx| {
+            let recv = ctx.new_object(site!("alloc receiver"));
+            ctx.scope_on(&recv, site!("call method"), || {
+                let _l = ctx.new_lock(site!("alloc lock in method"));
+            });
+        });
+        assert!(r.outcome.is_completed());
+        let lock = r
+            .trace
+            .objects()
+            .iter()
+            .find(|m| m.kind == df_events::ObjKind::Lock)
+            .expect("lock created");
+        let owner = lock.owner.expect("lock has owner");
+        assert_eq!(r.trace.objects().get(owner).kind, df_events::ObjKind::Plain);
+    }
+
+    #[test]
+    fn spawned_thread_objects_have_spawn_site() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(RoundRobinStrategy::new()), |ctx| {
+            let t = ctx.spawn(site!("spawn worker"), "w", |ctx| ctx.yield_now());
+            ctx.join(&t, site!());
+        });
+        assert!(r.outcome.is_completed());
+        let child_obj = r.trace.thread_obj(ThreadId::new(1)).expect("bound");
+        let meta = r.trace.objects().get(child_obj);
+        assert_eq!(meta.kind, df_events::ObjKind::Thread);
+        assert!(meta.site.as_str().contains("spawn worker"));
+    }
+
+    #[test]
+    fn three_thread_cycle_detected() {
+        let r = VirtualRuntime::new(cfg()).run(Box::new(RoundRobinStrategy::new()), |ctx| {
+            let locks: Vec<_> = (0..3).map(|_| ctx.new_lock(site!("locks"))).collect();
+            let mut children = Vec::new();
+            for i in 0..3 {
+                let a = locks[i];
+                let b = locks[(i + 1) % 3];
+                children.push(ctx.spawn(site!(), &format!("t{i}"), move |ctx| {
+                    ctx.acquire(&a, site!("first"));
+                    ctx.yield_now();
+                    ctx.acquire(&b, site!("second"));
+                    ctx.release(&b, site!());
+                    ctx.release(&a, site!());
+                }));
+            }
+            for c in &children {
+                ctx.join(c, site!());
+            }
+        });
+        let w = r.outcome.deadlock().expect("3-cycle deadlock");
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn runs_are_reusable_and_deterministic() {
+        let rt = VirtualRuntime::new(cfg());
+        let run = || {
+            rt.run(Box::new(RoundRobinStrategy::new()), |ctx| {
+                let l = ctx.new_lock(site!());
+                let t = ctx.spawn(site!(), "w", move |ctx| {
+                    let _g = ctx.lock(&l, site!());
+                });
+                let _g = ctx.lock(&l, site!());
+                drop(_g);
+                ctx.join(&t, site!());
+            })
+        };
+        let a = run();
+        let b = run();
+        assert!(a.outcome.is_completed());
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.trace.events().len(), b.trace.events().len());
+        for (x, y) in a.trace.events().iter().zip(b.trace.events()) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Scheduling strategies: the pluggable brains of the runtime.
+//!
+//! The runtime pauses the whole system at every schedule point and asks the
+//! installed [`Strategy`] what to do next. `df-fuzzer` implements the
+//! paper's Algorithm 2 (`simpleRandomChecker`) and Algorithm 3
+//! (`DEADLOCKFUZZER`) as strategies; this module additionally provides two
+//! deterministic strategies ([`FifoStrategy`], [`RoundRobinStrategy`]) that
+//! are useful for tests and for recording reproducible Phase I traces.
+
+use std::collections::BTreeMap;
+
+use df_events::{Event, ThreadId};
+use serde::{Deserialize, Serialize};
+
+use crate::result::DeadlockWitness;
+use crate::view::StateView;
+
+/// What the strategy wants the runtime to do at a schedule point.
+#[derive(Clone, Debug)]
+pub enum Directive {
+    /// Run thread `t` (must be enabled).
+    Run(ThreadId),
+    /// Stop the run: a real deadlock has been created (Algorithm 4 fired).
+    Deadlock(DeadlockWitness),
+    /// Stop the run for another reason (e.g. exceeded an internal budget).
+    Abort(String),
+}
+
+/// Statistics a strategy reports at the end of a run.
+///
+/// `thrashes` is the count the paper reports in Table 1 column 10 and
+/// correlates against reproduction probability in Figure 2 (bottom right).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StrategyStats {
+    /// Scheduling decisions taken.
+    pub picks: u64,
+    /// Times the strategy paused a thread before an acquire.
+    pub pauses: u64,
+    /// Thrashings: every enabled thread was paused and one had to be
+    /// released at random (paper §2.3).
+    pub thrashes: u64,
+    /// Yields injected by the §4 optimization.
+    pub yields: u64,
+    /// Free-form extra counters (e.g. per-variant diagnostics).
+    pub extra: BTreeMap<String, f64>,
+}
+
+/// A scheduling strategy consulted at every schedule point.
+///
+/// Implementations receive a [`StateView`] of the entire system — pending
+/// operations, lock sets, contexts, object metadata — and return a
+/// [`Directive`]. The runtime guarantees `enabled` is non-empty and sorted
+/// by thread id.
+pub trait Strategy: Send {
+    /// Picks the next thread to run (or stops the run).
+    fn pick(&mut self, view: &StateView<'_>, enabled: &[ThreadId]) -> Directive;
+
+    /// Observes every recorded event (after it happened). Default: ignore.
+    fn on_event(&mut self, _event: &Event, _view: &StateView<'_>) {}
+
+    /// Called once when the run ends; returns the strategy's statistics.
+    fn finish(&mut self) -> StrategyStats {
+        StrategyStats::default()
+    }
+}
+
+/// Runs the lowest-id enabled thread until it blocks or finishes.
+///
+/// Deterministic and extremely simple; mainly for unit tests. Note that a
+/// FIFO schedule can mask deadlocks (it never preempts at lock boundaries),
+/// which is precisely the paper's motivation for randomized scheduling.
+///
+/// # Example
+///
+/// ```
+/// use df_runtime::strategy::FifoStrategy;
+/// let _s = FifoStrategy::new();
+/// ```
+#[derive(Debug, Default)]
+pub struct FifoStrategy {
+    picks: u64,
+}
+
+impl FifoStrategy {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Strategy for FifoStrategy {
+    fn pick(&mut self, _view: &StateView<'_>, enabled: &[ThreadId]) -> Directive {
+        self.picks += 1;
+        Directive::Run(enabled[0])
+    }
+
+    fn finish(&mut self) -> StrategyStats {
+        StrategyStats {
+            picks: self.picks,
+            ..StrategyStats::default()
+        }
+    }
+}
+
+/// Rotates through enabled threads, switching at every schedule point.
+///
+/// Deterministic; exercises interleavings more aggressively than
+/// [`FifoStrategy`] and is useful to make Phase I observe lock acquisitions
+/// from many threads.
+#[derive(Debug, Default)]
+pub struct RoundRobinStrategy {
+    last: Option<ThreadId>,
+    picks: u64,
+}
+
+impl RoundRobinStrategy {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Strategy for RoundRobinStrategy {
+    fn pick(&mut self, _view: &StateView<'_>, enabled: &[ThreadId]) -> Directive {
+        self.picks += 1;
+        let next = match self.last {
+            None => enabled[0],
+            Some(prev) => *enabled
+                .iter()
+                .find(|&&t| t > prev)
+                .unwrap_or(&enabled[0]),
+        };
+        self.last = Some(next);
+        Directive::Run(next)
+    }
+
+    fn finish(&mut self) -> StrategyStats {
+        StrategyStats {
+            picks: self.picks,
+            ..StrategyStats::default()
+        }
+    }
+}
+
+/// Replays a recorded schedule: at each decision, runs the thread that
+/// executed the next event of the recorded trace.
+///
+/// This is the debugging workflow for a confirmed deadlock: take the
+/// trace of the run that deadlocked ([`crate::RunResult::trace`]), build
+/// a `ReplayStrategy` from it, and re-execute the program to land in the
+/// *same* deadlock state deterministically (virtual-thread programs are
+/// deterministic given the schedule).
+///
+/// If the recorded thread is not currently enabled (the program changed,
+/// or the recording ended), the strategy falls back to the lowest-id
+/// enabled thread and counts the divergence in
+/// [`StrategyStats::extra`]`["divergences"]`.
+///
+/// # Example
+///
+/// ```
+/// use df_runtime::strategy::ReplayStrategy;
+/// use df_events::ThreadId;
+///
+/// let schedule = vec![ThreadId::new(0), ThreadId::new(0)];
+/// let _s = ReplayStrategy::new(schedule);
+/// ```
+#[derive(Debug)]
+pub struct ReplayStrategy {
+    schedule: Vec<ThreadId>,
+    next: usize,
+    picks: u64,
+    divergences: u64,
+}
+
+impl ReplayStrategy {
+    /// Creates a replayer from an explicit pick sequence.
+    pub fn new(schedule: Vec<ThreadId>) -> Self {
+        ReplayStrategy {
+            schedule,
+            next: 0,
+            picks: 0,
+            divergences: 0,
+        }
+    }
+
+    /// Creates a replayer from a recorded trace: the per-event thread
+    /// sequence is the schedule.
+    pub fn from_trace(trace: &df_events::Trace) -> Self {
+        Self::new(trace.events().iter().map(|e| e.thread).collect())
+    }
+}
+
+impl Strategy for ReplayStrategy {
+    fn pick(&mut self, _view: &StateView<'_>, enabled: &[ThreadId]) -> Directive {
+        self.picks += 1;
+        // Skip over recorded entries for threads that need no decision
+        // anymore; pick the next entry that is currently enabled.
+        while let Some(&want) = self.schedule.get(self.next) {
+            self.next += 1;
+            if enabled.contains(&want) {
+                return Directive::Run(want);
+            }
+        }
+        self.divergences += 1;
+        Directive::Run(enabled[0])
+    }
+
+    fn finish(&mut self) -> StrategyStats {
+        let mut stats = StrategyStats {
+            picks: self.picks,
+            ..StrategyStats::default()
+        };
+        stats
+            .extra
+            .insert("divergences".to_string(), self.divergences as f64);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = StrategyStats::default();
+        assert_eq!(s.picks, 0);
+        assert_eq!(s.thrashes, 0);
+        assert!(s.extra.is_empty());
+    }
+
+    #[test]
+    fn stats_serde_round_trip() {
+        let mut s = StrategyStats {
+            picks: 3,
+            ..StrategyStats::default()
+        };
+        s.extra.insert("k".into(), 1.5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StrategyStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

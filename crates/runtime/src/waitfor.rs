@@ -1,0 +1,253 @@
+//! Wait-for graphs and deadlock-cycle extraction.
+//!
+//! Used in two places:
+//!
+//! * the runtime's stall detector — when no thread is enabled, the cycle in
+//!   the wait-for graph *is* the deadlock witness;
+//! * `checkRealDeadlock` (Algorithm 4) — the fuzzer adds *intended*
+//!   acquisitions of paused threads as wait-for edges and asks for a cycle.
+
+use std::collections::HashMap;
+
+use df_events::{ObjId, ThreadId};
+
+/// A thread→lock wait-for graph with lock→thread ownership edges.
+///
+/// Nodes are threads; thread `t` has an edge to thread `u` if `t` waits for
+/// (or intends to acquire) a lock currently held by `u`.
+///
+/// # Example
+///
+/// ```
+/// use df_runtime::WaitForGraph;
+/// use df_events::{ObjId, ThreadId};
+///
+/// let mut g = WaitForGraph::new();
+/// let (t1, t2) = (ThreadId::new(1), ThreadId::new(2));
+/// let (l1, l2) = (ObjId::new(1), ObjId::new(2));
+/// g.add_holds(t1, l1);
+/// g.add_holds(t2, l2);
+/// g.add_waits(t1, l2);
+/// g.add_waits(t2, l1);
+/// let cycle = g.find_cycle().expect("deadlock");
+/// assert_eq!(cycle.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct WaitForGraph {
+    holder: HashMap<ObjId, ThreadId>,
+    waits: HashMap<ThreadId, ObjId>,
+}
+
+impl WaitForGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `t` holds `lock`.
+    pub fn add_holds(&mut self, t: ThreadId, lock: ObjId) {
+        self.holder.insert(lock, t);
+    }
+
+    /// Records that `t` waits for (or intends to acquire) `lock`.
+    pub fn add_waits(&mut self, t: ThreadId, lock: ObjId) {
+        self.waits.insert(t, lock);
+    }
+
+    /// The lock `t` waits for, if any.
+    pub fn waiting_for(&self, t: ThreadId) -> Option<ObjId> {
+        self.waits.get(&t).copied()
+    }
+
+    /// The holder of `lock`, if recorded.
+    pub fn holder_of(&self, lock: ObjId) -> Option<ThreadId> {
+        self.holder.get(&lock).copied()
+    }
+
+    /// Finds a cycle of threads `t_1 → t_2 → … → t_m → t_1` where each
+    /// `t_i` waits for a lock held by `t_{i+1}`. Returns the threads in
+    /// cycle order, or `None` if the graph is acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<ThreadId>> {
+        // The out-degree of every node is ≤ 1 (a thread waits for at most
+        // one lock), so cycle detection is pointer chasing with a visited
+        // set.
+        let mut global_seen: std::collections::HashSet<ThreadId> = Default::default();
+        let mut starts: Vec<ThreadId> = self.waits.keys().copied().collect();
+        starts.sort();
+        for &start in &starts {
+            if global_seen.contains(&start) {
+                continue;
+            }
+            let mut path: Vec<ThreadId> = Vec::new();
+            let mut pos: HashMap<ThreadId, usize> = HashMap::new();
+            let mut cur = start;
+            loop {
+                if let Some(&i) = pos.get(&cur) {
+                    return Some(path[i..].to_vec());
+                }
+                if global_seen.contains(&cur) {
+                    break; // joins a previously explored acyclic tail
+                }
+                pos.insert(cur, path.len());
+                path.push(cur);
+                let next = self
+                    .waits
+                    .get(&cur)
+                    .and_then(|l| self.holder.get(l))
+                    .copied();
+                match next {
+                    Some(n) if n != cur => cur = n,
+                    // Self-loop (re-entrant acquire) cannot deadlock; a
+                    // missing edge ends the walk.
+                    _ => break,
+                }
+            }
+            global_seen.extend(path);
+        }
+        None
+    }
+}
+
+/// Algorithm 4 of the paper, generalized: given each thread's held-lock
+/// stack *including a pending/intended lock on top*, find distinct threads
+/// `t_1 … t_m` and locks `l_1 … l_m` such that `t_i` holds `l_i` and wants
+/// (holds later in stack order) `l_{i+1}`, cyclically.
+///
+/// `stacks` maps each thread to `(held locks outermost-first, intended
+/// lock)`. `contexts` provides the matching site labels for witness
+/// construction. Returns the threads in cycle order.
+///
+/// # Example
+///
+/// ```
+/// use df_runtime::find_lock_stack_cycle;
+/// use df_events::{ObjId, ThreadId};
+///
+/// let (t1, t2) = (ThreadId::new(1), ThreadId::new(2));
+/// let (l1, l2) = (ObjId::new(1), ObjId::new(2));
+/// let stacks = vec![(t1, vec![l1], l2), (t2, vec![l2], l1)];
+/// let cycle = find_lock_stack_cycle(&stacks).expect("cycle");
+/// assert_eq!(cycle, vec![t1, t2]);
+/// ```
+pub fn find_lock_stack_cycle(stacks: &[(ThreadId, Vec<ObjId>, ObjId)]) -> Option<Vec<ThreadId>> {
+    let mut g = WaitForGraph::new();
+    for (t, held, intended) in stacks {
+        for &l in held {
+            g.add_holds(*t, l);
+        }
+        g.add_waits(*t, *intended);
+    }
+    g.find_cycle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn o(i: u32) -> ObjId {
+        ObjId::new(i)
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = WaitForGraph::new();
+        g.add_holds(t(1), o(1));
+        g.add_holds(t(2), o(2));
+        g.add_waits(t(1), o(2));
+        g.add_waits(t(2), o(1));
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&t(1)) && c.contains(&t(2)));
+    }
+
+    #[test]
+    fn three_cycle_detected_in_order() {
+        let mut g = WaitForGraph::new();
+        for i in 1..=3 {
+            g.add_holds(t(i), o(i));
+            g.add_waits(t(i), o(i % 3 + 1));
+        }
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.len(), 3);
+        // cycle order: each waits for the next's lock
+        for w in 0..3 {
+            let cur = c[w];
+            let nxt = c[(w + 1) % 3];
+            let lock = g.waiting_for(cur).unwrap();
+            assert_eq!(g.holder_of(lock), Some(nxt));
+        }
+    }
+
+    #[test]
+    fn chain_without_cycle_is_none() {
+        let mut g = WaitForGraph::new();
+        g.add_holds(t(1), o(1));
+        g.add_holds(t(2), o(2));
+        g.add_waits(t(3), o(1));
+        g.add_waits(t(1), o(2));
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn self_wait_is_not_a_deadlock() {
+        // Re-entrant acquisition: t holds l and "waits" for l.
+        let mut g = WaitForGraph::new();
+        g.add_holds(t(1), o(1));
+        g.add_waits(t(1), o(1));
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn disjoint_cycles_returns_one() {
+        let mut g = WaitForGraph::new();
+        for (a, b, la, lb) in [(1, 2, 1, 2), (3, 4, 3, 4)] {
+            g.add_holds(t(a), o(la));
+            g.add_holds(t(b), o(lb));
+            g.add_waits(t(a), o(lb));
+            g.add_waits(t(b), o(la));
+        }
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn tail_leading_into_cycle_excluded() {
+        // t3 waits into the {t1,t2} cycle but is not part of it.
+        let mut g = WaitForGraph::new();
+        g.add_holds(t(1), o(1));
+        g.add_holds(t(2), o(2));
+        g.add_waits(t(1), o(2));
+        g.add_waits(t(2), o(1));
+        g.add_waits(t(3), o(1));
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(&t(3)));
+    }
+
+    #[test]
+    fn lock_stack_cycle_matches_algorithm_4() {
+        // t1 holds l1 wants l2; t2 holds l2 wants l3; t3 holds l3 wants l1.
+        let stacks = vec![
+            (t(1), vec![o(1)], o(2)),
+            (t(2), vec![o(2)], o(3)),
+            (t(3), vec![o(3)], o(1)),
+        ];
+        let c = find_lock_stack_cycle(&stacks).unwrap();
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn lock_stack_no_cycle() {
+        let stacks = vec![(t(1), vec![o(1)], o(2)), (t(2), vec![], o(2))];
+        assert!(find_lock_stack_cycle(&stacks).is_none());
+    }
+
+    #[test]
+    fn empty_graph_has_no_cycle() {
+        assert!(WaitForGraph::new().find_cycle().is_none());
+        assert!(find_lock_stack_cycle(&[]).is_none());
+    }
+}

@@ -1,0 +1,225 @@
+//! Monitor wait/notify semantics (Java `Object.wait`/`notify` model).
+
+use df_events::site;
+use df_runtime::{
+    strategy::RoundRobinStrategy, Outcome, RunConfig, Shared, VirtualRuntime,
+};
+
+fn rt() -> VirtualRuntime {
+    VirtualRuntime::new(RunConfig::default())
+}
+
+#[test]
+fn producer_consumer_handshake_completes() {
+    let r = rt().run(Box::new(RoundRobinStrategy::new()), |ctx| {
+        let monitor = ctx.new_lock(site!("queue monitor"));
+        let queue = Shared::new(Vec::<u32>::new());
+        let q2 = queue.clone();
+        let consumer = ctx.spawn(site!("spawn consumer"), "consumer", move |ctx| {
+            ctx.acquire(&monitor, site!("consumer lock"));
+            while q2.with(|q| q.is_empty()) {
+                ctx.wait(&monitor, site!("consumer wait"));
+            }
+            let v = q2.with(|q| q.pop().unwrap());
+            assert_eq!(v, 42);
+            ctx.release(&monitor, site!("consumer unlock"));
+        });
+        let q3 = queue.clone();
+        let producer = ctx.spawn(site!("spawn producer"), "producer", move |ctx| {
+            ctx.work(3);
+            ctx.acquire(&monitor, site!("producer lock"));
+            q3.with(|q| q.push(42));
+            ctx.notify(&monitor, site!("producer notify"));
+            ctx.release(&monitor, site!("producer unlock"));
+        });
+        ctx.join(&consumer, site!());
+        ctx.join(&producer, site!());
+    });
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+}
+
+#[test]
+fn lost_signal_is_a_communication_stall() {
+    // The consumer waits forever: the producer already notified before
+    // the consumer started waiting (a classic lost-wakeup bug).
+    let r = rt().run(Box::new(RoundRobinStrategy::new()), |ctx| {
+        let monitor = ctx.new_lock(site!("ls monitor"));
+        let producer = ctx.spawn(site!("ls spawn p"), "producer", move |ctx| {
+            ctx.acquire(&monitor, site!("p lock"));
+            ctx.notify(&monitor, site!("p notify (too early)"));
+            ctx.release(&monitor, site!("p unlock"));
+        });
+        ctx.join(&producer, site!());
+        let consumer = ctx.spawn(site!("ls spawn c"), "consumer", move |ctx| {
+            ctx.acquire(&monitor, site!("c lock"));
+            ctx.wait(&monitor, site!("c wait (never notified)"));
+            ctx.release(&monitor, site!("c unlock"));
+        });
+        ctx.join(&consumer, site!());
+    });
+    match r.outcome {
+        Outcome::CommunicationStall { ref waiting, .. } => {
+            assert_eq!(waiting.len(), 1);
+        }
+        ref other => panic!("expected communication stall, got {other:?}"),
+    }
+}
+
+#[test]
+fn wait_releases_reentrant_monitor_fully_and_restores_count() {
+    let r = rt().run(Box::new(RoundRobinStrategy::new()), |ctx| {
+        let monitor = ctx.new_lock(site!("re monitor"));
+        let flag = Shared::new(false);
+        let f2 = flag.clone();
+        let waiter = ctx.spawn(site!("re spawn w"), "waiter", move |ctx| {
+            // Acquire twice (re-entrant), then wait: the monitor must be
+            // fully released so the signaler can enter.
+            ctx.acquire(&monitor, site!("w outer"));
+            ctx.acquire(&monitor, site!("w inner"));
+            while !f2.get() {
+                ctx.wait(&monitor, site!("w wait"));
+            }
+            // Count restored: two releases must balance.
+            ctx.release(&monitor, site!("w rel inner"));
+            ctx.release(&monitor, site!("w rel outer"));
+        });
+        let f3 = flag.clone();
+        let signaler = ctx.spawn(site!("re spawn s"), "signaler", move |ctx| {
+            ctx.work(3);
+            ctx.acquire(&monitor, site!("s lock"));
+            f3.with(|f| *f = true);
+            ctx.notify_all(&monitor, site!("s notify"));
+            ctx.release(&monitor, site!("s unlock"));
+        });
+        ctx.join(&waiter, site!());
+        ctx.join(&signaler, site!());
+    });
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+}
+
+#[test]
+fn notify_all_wakes_every_waiter() {
+    let r = rt().run(Box::new(RoundRobinStrategy::new()), |ctx| {
+        let monitor = ctx.new_lock(site!("na monitor"));
+        let released = Shared::new(false);
+        let mut waiters = Vec::new();
+        for i in 0..3 {
+            let released = released.clone();
+            waiters.push(ctx.spawn(site!("na spawn w"), &format!("w{i}"), move |ctx| {
+                ctx.acquire(&monitor, site!("na w lock"));
+                while !released.get() {
+                    ctx.wait(&monitor, site!("na w wait"));
+                }
+                ctx.release(&monitor, site!("na w unlock"));
+            }));
+        }
+        let released2 = released.clone();
+        let broadcaster = ctx.spawn(site!("na spawn b"), "broadcast", move |ctx| {
+            ctx.work(5);
+            ctx.acquire(&monitor, site!("na b lock"));
+            released2.with(|r| *r = true);
+            ctx.notify_all(&monitor, site!("na b notify all"));
+            ctx.release(&monitor, site!("na b unlock"));
+        });
+        for w in &waiters {
+            ctx.join(w, site!());
+        }
+        ctx.join(&broadcaster, site!());
+    });
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+}
+
+#[test]
+fn single_notify_wakes_exactly_one() {
+    // Two waiters, one notify, then a second notify: both complete; with
+    // only one notify the run would stall.
+    let r = rt().run(Box::new(RoundRobinStrategy::new()), |ctx| {
+        let monitor = ctx.new_lock(site!("one monitor"));
+        let tokens = Shared::new(0u32);
+        let mut waiters = Vec::new();
+        for i in 0..2 {
+            let tokens = tokens.clone();
+            waiters.push(ctx.spawn(site!("one spawn w"), &format!("w{i}"), move |ctx| {
+                ctx.acquire(&monitor, site!("one w lock"));
+                while tokens.with(|t| {
+                    if *t > 0 {
+                        *t -= 1;
+                        false
+                    } else {
+                        true
+                    }
+                }) {
+                    ctx.wait(&monitor, site!("one w wait"));
+                }
+                ctx.release(&monitor, site!("one w unlock"));
+            }));
+        }
+        let tokens2 = tokens.clone();
+        let signaler = ctx.spawn(site!("one spawn s"), "signaler", move |ctx| {
+            for _ in 0..2 {
+                ctx.work(4);
+                ctx.acquire(&monitor, site!("one s lock"));
+                tokens2.with(|t| *t += 1);
+                ctx.notify(&monitor, site!("one s notify"));
+                ctx.release(&monitor, site!("one s unlock"));
+            }
+        });
+        for w in &waiters {
+            ctx.join(w, site!());
+        }
+        ctx.join(&signaler, site!());
+    });
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+}
+
+#[test]
+fn wait_without_monitor_is_a_program_error() {
+    let r = rt().run(Box::new(RoundRobinStrategy::new()), |ctx| {
+        let monitor = ctx.new_lock(site!("err monitor"));
+        ctx.wait(&monitor, site!("err wait"));
+    });
+    assert!(matches!(r.outcome, Outcome::ProgramPanic(_)), "{:?}", r.outcome);
+}
+
+#[test]
+fn notify_without_monitor_is_a_program_error() {
+    let r = rt().run(Box::new(RoundRobinStrategy::new()), |ctx| {
+        let monitor = ctx.new_lock(site!("err2 monitor"));
+        ctx.notify(&monitor, site!("err2 notify"));
+    });
+    assert!(matches!(r.outcome, Outcome::ProgramPanic(_)), "{:?}", r.outcome);
+}
+
+#[test]
+fn resource_deadlock_detection_unaffected_by_waiters() {
+    // A waiting bystander must not confuse the lock-cycle detector.
+    let r = rt().run(Box::new(RoundRobinStrategy::new()), |ctx| {
+        let m = ctx.new_lock(site!("by monitor"));
+        let a = ctx.new_lock(site!("by a"));
+        let b = ctx.new_lock(site!("by b"));
+        let bystander = ctx.spawn(site!("by spawn w"), "bystander", move |ctx| {
+            ctx.acquire(&m, site!("by w lock"));
+            ctx.wait(&m, site!("by w wait")); // never notified
+            ctx.release(&m, site!("by w unlock"));
+        });
+        let t1 = ctx.spawn(site!("by spawn 1"), "t1", move |ctx| {
+            ctx.acquire(&a, site!("by t1 a"));
+            ctx.yield_now();
+            ctx.acquire(&b, site!("by t1 b"));
+            ctx.release(&b, site!());
+            ctx.release(&a, site!());
+        });
+        let t2 = ctx.spawn(site!("by spawn 2"), "t2", move |ctx| {
+            ctx.acquire(&b, site!("by t2 b"));
+            ctx.yield_now();
+            ctx.acquire(&a, site!("by t2 a"));
+            ctx.release(&a, site!());
+            ctx.release(&b, site!());
+        });
+        ctx.join(&t1, site!());
+        ctx.join(&t2, site!());
+        ctx.join(&bystander, site!());
+    });
+    let w = r.outcome.deadlock().expect("lock cycle found");
+    assert_eq!(w.len(), 2, "cycle excludes the waiting bystander");
+}

@@ -1,0 +1,78 @@
+//! The third checker of the active-testing framework: **atomicity
+//! violations** (AtomFuzzer; paper §6 — "Randomized active atomicity
+//! violation detection in concurrent programs").
+//!
+//! A withdrawal checks the balance, releases the lock to compute fees,
+//! then debits — the classic check-then-act bug. Each access is locked,
+//! so there is no data race and no deadlock; the bug is that the *pair*
+//! of accesses was meant to be atomic. Phase I finds the unserializable
+//! pattern; Phase II pauses the withdrawer mid-block until a deposit
+//! slips in.
+//!
+//! ```text
+//! cargo run --example atomicity_violation
+//! ```
+
+use df_events::site;
+use df_fuzzer::{predict_atomicity_violations, AtomStrategy, SimpleRandomChecker};
+use df_runtime::{RunConfig, TCtx, VirtualRuntime};
+
+fn banking(ctx: &TCtx) {
+    let balance = ctx.new_var(site!("Account.balance"));
+    let lock = ctx.new_lock(site!("Account.lock"));
+    let withdrawer = ctx.spawn(site!("spawn withdrawer"), "withdraw", move |ctx| {
+        // Intended to be atomic — but the lock is dropped in the middle.
+        ctx.atomic(site!("Account.withdraw"), || {
+            let g = ctx.lock(&lock, site!("withdraw: check lock"));
+            ctx.read(&balance, site!("withdraw: check balance"));
+            drop(g);
+            ctx.work(1); // compute fees, write audit log, …
+            let g = ctx.lock(&lock, site!("withdraw: debit lock"));
+            ctx.write(&balance, site!("withdraw: debit balance"));
+            drop(g);
+        });
+    });
+    let depositor = ctx.spawn(site!("spawn depositor"), "deposit", move |ctx| {
+        ctx.work(2);
+        let g = ctx.lock(&lock, site!("deposit: lock"));
+        ctx.write(&balance, site!("deposit: write balance"));
+        drop(g);
+    });
+    ctx.join(&withdrawer, site!());
+    ctx.join(&depositor, site!());
+}
+
+fn main() {
+    let rt = VirtualRuntime::new(RunConfig::default());
+
+    // Phase I: observe one run, scan for unserializable patterns.
+    let observed = rt.run(Box::new(SimpleRandomChecker::with_seed(5)), banking);
+    let candidates = predict_atomicity_violations(&observed.trace);
+    println!("{} unserializable pattern(s) predicted:", candidates.len());
+    for c in &candidates {
+        println!("  {c}");
+    }
+
+    // Phase II: create each violation.
+    for (i, candidate) in candidates.iter().enumerate() {
+        let mut hits = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            let (strategy, witness) = AtomStrategy::new(candidate.clone(), seed);
+            let _ = rt.run(Box::new(strategy), banking);
+            let got = witness.lock().take();
+            if let Some(w) = got {
+                hits += 1;
+                if seed == 0 {
+                    println!(
+                        "\npattern {} created: {} slipped a write into {}'s atomic block",
+                        i + 1,
+                        w.interloper,
+                        w.owner
+                    );
+                }
+            }
+        }
+        println!("pattern {}: created in {hits}/{trials} biased runs", i + 1);
+    }
+}

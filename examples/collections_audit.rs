@@ -1,0 +1,56 @@
+//! Auditing the synchronized collections (Table 1's last two rows).
+//!
+//! Reproduces the paper's most interesting probabilistic result: on the
+//! synchronized *lists*, every method-pair deadlock is created almost
+//! every time; on the synchronized *maps*, only about half the biased
+//! runs create the *requested* cycle — the others deadlock at a
+//! neighbouring inner call first (still a real deadlock, just a different
+//! one).
+//!
+//! ```text
+//! cargo run --release --example collections_audit
+//! ```
+
+use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+fn audit(name: &str, program: deadlock_fuzzer::ProgramRef, trials: u32) {
+    let fuzzer =
+        DeadlockFuzzer::from_ref(program, Config::default().with_confirm_trials(trials));
+    let report = fuzzer.run();
+    println!("=== {name} ===");
+    println!(
+        "iGoodlock: {} potential cycles; DeadlockFuzzer confirmed {}",
+        report.potential_count(),
+        report.confirmed_count()
+    );
+    let mut any = 0u32;
+    let mut matched = 0u32;
+    for conf in &report.confirmations {
+        any += conf.probability.deadlocks;
+        matched += conf.probability.matched;
+    }
+    let total = trials * report.potential_count() as u32;
+    println!(
+        "biased runs that deadlocked (anywhere): {any}/{total}; that created the \
+         requested cycle: {matched}/{total} (= {:.2})\n",
+        f64::from(matched) / f64::from(total.max(1))
+    );
+}
+
+fn main() {
+    let trials = 10;
+    audit(
+        "Synchronized Lists (ArrayList, Stack, LinkedList)",
+        df_benchmarks::lists::program(),
+        trials,
+    );
+    audit(
+        "Synchronized Maps (HashMap, TreeMap, WeakHashMap, LinkedHashMap, IdentityHashMap)",
+        df_benchmarks::maps::program(),
+        trials,
+    );
+    println!(
+        "Paper's Table 1: lists reproduce at 0.99; maps at 0.52 — when a map run \
+         misses, it deadlocked at a different equals/get combination instead."
+    );
+}

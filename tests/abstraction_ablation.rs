@@ -1,0 +1,149 @@
+//! Ablation: what each abstraction can and cannot distinguish.
+//!
+//! The paper's §2.4 argues allocation sites are "too coarse-grained to
+//! distinctly identify many objects" (the factory pattern) and motivates
+//! `absO_k` and `absI_k`. Loop-allocated locks are the crispest case:
+//! every fork of a dining-philosophers table comes from *one* `new`
+//! statement, so the site abstraction (and `absO_k`, whose chain elements
+//! are sites) collapses them all, while execution indexing separates them
+//! by the statement's per-context occurrence counter.
+
+use deadlock_fuzzer::abstraction::{AbstractionMode, Abstractor};
+use deadlock_fuzzer::{Config, DeadlockFuzzer, Named};
+use df_events::Label;
+use df_runtime::TCtx;
+
+const N: usize = 4;
+
+fn philosophers() -> Named<impl deadlock_fuzzer::Program> {
+    Named::new("philosophers", |ctx: &TCtx| {
+        let forks: Vec<_> = (0..N)
+            .map(|_| ctx.new_lock(Label::new("Table.layFork")))
+            .collect();
+        let mut seats = Vec::new();
+        for p in 0..N {
+            let left = forks[p];
+            let right = forks[(p + 1) % N];
+            seats.push(ctx.spawn(
+                Label::new("Table.seat"),
+                &format!("p{p}"),
+                move |ctx| {
+                    ctx.work(2);
+                    let l = ctx.lock(&left, Label::new("Philosopher.left"));
+                    let r = ctx.lock(&right, Label::new("Philosopher.right"));
+                    ctx.work(1);
+                    drop(r);
+                    drop(l);
+                },
+            ));
+        }
+        for s in &seats {
+            ctx.join(s, Label::new("Table.join"));
+        }
+    })
+}
+
+#[test]
+fn exec_indexing_separates_loop_allocations_kobject_does_not() {
+    let fuzzer = DeadlockFuzzer::from_ref(
+        std::sync::Arc::new(philosophers()),
+        Config::default(),
+    );
+    let p1 = fuzzer.phase1();
+    assert_eq!(p1.cycle_count(), 1, "the full ring");
+    let objects = p1.cycles[0].components();
+
+    let exec = Abstractor::new(AbstractionMode::ExecIndex(10));
+    let kobj = Abstractor::new(AbstractionMode::KObject(10));
+    let site = Abstractor::new(AbstractionMode::Site);
+
+    // Abstract the same concrete cycle under the three schemes: under
+    // exec-indexing all N lock abstractions are distinct; under
+    // k-object/site they collapse.
+    let objects_table = p1.trace.objects();
+    let exec_cycle = p1.cycles[0].abstract_with(objects_table, &exec);
+    let kobj_cycle = p1.cycles[0].abstract_with(objects_table, &kobj);
+    let site_cycle = p1.cycles[0].abstract_with(objects_table, &site);
+
+    let distinct = |cycle: &deadlock_fuzzer::igoodlock::AbstractCycle| {
+        let set: std::collections::HashSet<String> = cycle
+            .components()
+            .iter()
+            .map(|c| c.lock.to_string())
+            .collect();
+        set.len()
+    };
+    assert_eq!(distinct(&exec_cycle), N, "execution indexing separates forks");
+    assert_eq!(distinct(&kobj_cycle), 1, "k-object collapses loop allocations");
+    assert_eq!(distinct(&site_cycle), 1, "site abstraction collapses too");
+    let _ = objects;
+    let _ = fuzzer;
+}
+
+/// The §3 three-thread example, but with locks allocated in a loop and
+/// threads spawned in a loop — so `absO_k` (whose chain elements are
+/// allocation *sites*, no occurrence counters) collapses all of them,
+/// while `absI_k` keeps them apart via the counters.
+fn section3_loop_allocated() -> Named<impl deadlock_fuzzer::Program> {
+    Named::new("section3-loop", |ctx: &TCtx| {
+        let locks: Vec<_> = (0..3)
+            .map(|_| ctx.new_lock(Label::new("Loop.newLock")))
+            .collect();
+        // (left, right, slow): t0 = (l0, l1) slow; t1 = (l1, l0);
+        // t2 = (l1, l2) — the interloper sharing l1.
+        let specs = [(0usize, 1usize, true), (1, 0, false), (1, 2, false)];
+        let mut threads = Vec::new();
+        for (i, &(a, b, slow)) in specs.iter().enumerate() {
+            let left = locks[a];
+            let right = locks[b];
+            threads.push(ctx.spawn(
+                Label::new("Loop.spawnWorker"),
+                &format!("w{i}"),
+                move |ctx| {
+                    if slow {
+                        ctx.work(8);
+                    }
+                    let l = ctx.lock(&left, Label::new("Worker.first"));
+                    let r = ctx.lock(&right, Label::new("Worker.second"));
+                    ctx.work(1);
+                    drop(r);
+                    drop(l);
+                },
+            ));
+        }
+        for t in &threads {
+            ctx.join(t, Label::new("Loop.join"));
+        }
+    })
+}
+
+#[test]
+fn exec_indexing_reproduces_section3_loop_kobject_degrades() {
+    let trials = 20;
+    let exact = DeadlockFuzzer::from_ref(
+        std::sync::Arc::new(section3_loop_allocated()),
+        Config::default().with_confirm_trials(trials),
+    )
+    .run();
+    assert_eq!(exact.potential_count(), 1, "one (l0,l1) cycle");
+    let pe = &exact.confirmations[0].probability;
+    assert_eq!(pe.matched, trials, "exec indexing is exact: {pe:?}");
+    assert_eq!(pe.avg_thrashes, 0.0);
+
+    let coarse = DeadlockFuzzer::from_ref(
+        std::sync::Arc::new(section3_loop_allocated()),
+        Config::default()
+            .with_mode(AbstractionMode::KObject(10))
+            .with_confirm_trials(trials),
+    )
+    .run();
+    let pc = &coarse.confirmations[0].probability;
+    // With threads and locks collapsed, the interloper w2 gets paused at
+    // `Worker.second` holding l1, starving w1 — thrashing and misses,
+    // the §3 story.
+    assert!(
+        pc.matched < trials || pc.avg_thrashes > 0.0,
+        "k-object must degrade when loop allocation erases identity: \
+         exact={pe:?} coarse={pc:?}"
+    );
+}

@@ -1,0 +1,89 @@
+//! Integration test for the happens-before extension: fork/join-guarded
+//! false positives are pruned while real cycles survive.
+
+use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+#[test]
+fn hb_filter_prunes_jigsaw_false_positive() {
+    let plain = DeadlockFuzzer::from_ref(
+        df_benchmarks::jigsaw::program(),
+        Config::default(),
+    )
+    .phase1();
+    let filtered = DeadlockFuzzer::from_ref(
+        df_benchmarks::jigsaw::program(),
+        Config::default().with_hb_filter(true),
+    )
+    .phase1();
+
+    // The §5.4 CachedThread cycle is guarded by a spawn edge: the
+    // opposite-order thread starts only after the first released its
+    // locks.
+    let has_fp = |cycles: &[deadlock_fuzzer::igoodlock::AbstractCycle]| {
+        cycles.iter().any(|c| c.to_string().contains("waitForRunner"))
+    };
+    assert!(has_fp(&plain.abstract_cycles), "unfiltered reports the FP");
+    assert!(
+        !has_fp(&filtered.abstract_cycles),
+        "HB filter must prune the fork-guarded cycle"
+    );
+    assert!(filtered.stats.pruned_by_hb >= 1);
+
+    // The real Figure 3 cycles survive (their threads are concurrent).
+    let reals = |cycles: &[deadlock_fuzzer::igoodlock::AbstractCycle]| {
+        cycles
+            .iter()
+            .filter(|c| c.to_string().contains("killClients"))
+            .count()
+    };
+    assert_eq!(reals(&filtered.abstract_cycles), reals(&plain.abstract_cycles));
+}
+
+#[test]
+fn hb_filter_keeps_every_reproducible_cycle() {
+    // Soundness of the filter on benchmarks where all cycles are real:
+    // it must prune nothing.
+    for program in [
+        df_benchmarks::logging::program(),
+        df_benchmarks::dbcp::program(),
+        df_benchmarks::figure1::program(false),
+    ] {
+        let plain = DeadlockFuzzer::from_ref(program.clone(), Config::default()).phase1();
+        let filtered = DeadlockFuzzer::from_ref(
+            program,
+            Config::default().with_hb_filter(true),
+        )
+        .phase1();
+        assert_eq!(plain.cycle_count(), filtered.cycle_count());
+        assert_eq!(filtered.stats.pruned_by_hb, 0);
+    }
+}
+
+#[test]
+fn filtered_cycles_are_a_subset() {
+    for program in [
+        df_benchmarks::jigsaw::program(),
+        df_benchmarks::maps::program(),
+        df_benchmarks::lists::program(),
+    ] {
+        let plain = DeadlockFuzzer::from_ref(program.clone(), Config::default()).phase1();
+        let filtered = DeadlockFuzzer::from_ref(
+            program,
+            Config::default().with_hb_filter(true),
+        )
+        .phase1();
+        let plain_set: Vec<String> =
+            plain.abstract_cycles.iter().map(|c| c.to_string()).collect();
+        for c in &filtered.abstract_cycles {
+            assert!(
+                plain_set.contains(&c.to_string()),
+                "filtered output must be a subset"
+            );
+        }
+        assert_eq!(
+            filtered.cycle_count() + filtered.stats.pruned_by_hb as usize,
+            plain.cycle_count(),
+            "pruned + kept = total"
+        );
+    }
+}

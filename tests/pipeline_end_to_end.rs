@@ -1,0 +1,124 @@
+//! End-to-end sweep over the whole Table 1 suite: cycle counts, clean
+//! completions and confirmations match the models' designs.
+
+use deadlock_fuzzer::{Config, DeadlockFuzzer, Variant};
+use df_benchmarks::table1_suite;
+
+#[test]
+fn table1_cycle_counts_match_designs() {
+    for bench in table1_suite() {
+        let fuzzer = DeadlockFuzzer::from_ref(bench.program.clone(), Config::default());
+        let p1 = fuzzer.phase1();
+        if let Some(expected) = bench.expected_cycles {
+            assert_eq!(
+                p1.cycle_count(),
+                expected,
+                "benchmark {}: {:?}",
+                bench.name,
+                p1.run_outcome
+            );
+        } else {
+            // Schedule-dependent count (Jigsaw): at least the Figure 3
+            // cycles plus the §5.4 false positive.
+            assert!(p1.cycle_count() >= 4, "benchmark {}", bench.name);
+        }
+    }
+}
+
+#[test]
+fn deadlock_free_benchmarks_stay_clean_under_more_seeds() {
+    for bench in table1_suite() {
+        if bench.expected_cycles != Some(0) {
+            continue;
+        }
+        for seed in [0, 11, 42] {
+            let fuzzer = DeadlockFuzzer::from_ref(
+                bench.program.clone(),
+                Config::default().with_phase1_seed(seed),
+            );
+            let p1 = fuzzer.phase1();
+            assert!(
+                p1.run_outcome.is_completed(),
+                "{} seed {seed}: {:?}",
+                bench.name,
+                p1.run_outcome
+            );
+            assert_eq!(p1.cycle_count(), 0, "{} seed {seed}", bench.name);
+        }
+    }
+}
+
+#[test]
+fn library_benchmarks_confirm_all_real_cycles() {
+    // Logging and DBCP: every reported cycle is real and reproduced with
+    // probability 1 (Table 1).
+    for bench in [
+        df_benchmarks::logging::benchmark(),
+        df_benchmarks::dbcp::benchmark(),
+    ] {
+        let fuzzer = DeadlockFuzzer::from_ref(
+            bench.program.clone(),
+            Config::default().with_confirm_trials(6),
+        );
+        let report = fuzzer.run();
+        assert_eq!(
+            report.confirmed_count(),
+            bench.expected_real.unwrap(),
+            "{}",
+            bench.name
+        );
+        for conf in &report.confirmations {
+            assert_eq!(
+                conf.probability.matched, 6,
+                "{} cycle {}: {:?}",
+                bench.name, conf.cycle_index, conf.probability
+            );
+        }
+    }
+}
+
+#[test]
+fn all_variants_run_on_swing() {
+    // Every Figure 2 variant must at least execute without wedging, and
+    // the default variant must confirm the caret deadlock.
+    for variant in Variant::ALL {
+        let fuzzer = DeadlockFuzzer::from_ref(
+            df_benchmarks::swing::program(),
+            Config::default().with_variant(variant).with_confirm_trials(5),
+        );
+        let report = fuzzer.run();
+        assert_eq!(report.potential_count(), 1, "{variant}");
+        if variant == Variant::ContextExecIndex {
+            assert_eq!(report.confirmed_count(), 1, "{variant}");
+        }
+    }
+}
+
+#[test]
+fn phase2_overhead_is_bounded() {
+    // Table 1: "the overhead of our active checker is within a factor of
+    // six". Check a loose bound on schedule points (steps), which is
+    // stable across machines, for the logging benchmark.
+    let fuzzer = DeadlockFuzzer::from_ref(
+        df_benchmarks::logging::program(),
+        Config::default(),
+    );
+    let p1 = fuzzer.phase1();
+    let baseline = {
+        // A plain run's steps.
+        let r = fuzzer.phase2(
+            &deadlock_fuzzer::igoodlock::AbstractCycle::new(vec![]),
+            0,
+        );
+        r.steps
+    };
+    let active = fuzzer.phase2(&p1.abstract_cycles[0], 0);
+    assert!(active.deadlocked());
+    // The biased run stops at the deadlock so it can even be shorter;
+    // either way it must stay within a small factor.
+    assert!(
+        active.steps <= baseline * 6 + 100,
+        "active {} vs baseline {baseline}",
+        active.steps
+    );
+}

@@ -1,0 +1,139 @@
+//! Property-based integration tests: random lock-order programs through
+//! the whole pipeline.
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Config, DeadlockFuzzer, Named};
+use df_events::Label;
+use df_runtime::TCtx;
+use proptest::prelude::*;
+
+/// A random program spec: `threads[t]` is a list of (outer, inner) lock
+/// index pairs that thread `t` acquires in nested fashion, with work
+/// gaps.
+#[derive(Clone, Debug)]
+struct Spec {
+    locks: usize,
+    threads: Vec<Vec<(usize, usize)>>,
+}
+
+fn arb_spec(ordered: bool) -> impl Strategy<Value = Spec> {
+    (2usize..5)
+        .prop_flat_map(move |locks| {
+            let pair = (0..locks, 0..locks).prop_filter_map("distinct", move |(a, b)| {
+                if a == b {
+                    None
+                } else if ordered {
+                    Some((a.min(b), a.max(b)))
+                } else {
+                    Some((a, b))
+                }
+            });
+            let thread = prop::collection::vec(pair, 1..3);
+            (Just(locks), prop::collection::vec(thread, 1..4))
+        })
+        .prop_map(|(locks, threads)| Spec { locks, threads })
+}
+
+fn build(spec: Spec) -> deadlock_fuzzer::ProgramRef {
+    Arc::new(Named::new("random", move |ctx: &TCtx| {
+        let locks: Vec<_> = (0..spec.locks)
+            .map(|_| ctx.new_lock(Label::new("random.newLock")))
+            .collect();
+        let mut handles = Vec::new();
+        for (t, pairs) in spec.threads.iter().enumerate() {
+            let locks = locks.clone();
+            let pairs = pairs.clone();
+            handles.push(ctx.spawn(
+                Label::new("random.spawn"),
+                &format!("w{t}"),
+                move |ctx| {
+                    for (i, &(outer, inner)) in pairs.iter().enumerate() {
+                        let go = ctx.lock(
+                            &locks[outer],
+                            Label::new(&format!("random.outer:{i}:{outer}")),
+                        );
+                        let gi = ctx.lock(
+                            &locks[inner],
+                            Label::new(&format!("random.inner:{i}:{inner}")),
+                        );
+                        ctx.work(1);
+                        drop(gi);
+                        drop(go);
+                        ctx.work(2);
+                    }
+                },
+            ));
+        }
+        for h in &handles {
+            ctx.join(h, Label::new("random.join"));
+        }
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Programs whose every nested acquisition respects the global lock
+    /// order (low index before high index) can never deadlock: iGoodlock
+    /// must report nothing and runs complete under several seeds.
+    #[test]
+    fn ordered_programs_are_deadlock_free(spec in arb_spec(true)) {
+        let program = build(spec);
+        for seed in [0u64, 9] {
+            let fuzzer = DeadlockFuzzer::from_ref(
+                program.clone(),
+                Config::default().with_phase1_seed(seed),
+            );
+            let p1 = fuzzer.phase1();
+            prop_assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
+            prop_assert_eq!(p1.cycle_count(), 0);
+        }
+    }
+
+    /// For arbitrary programs: every confirmed cycle comes with a valid
+    /// witness — its components form a true hold/wait cycle. This is the
+    /// "no false positives" half of the paper's claim, checked
+    /// structurally.
+    #[test]
+    fn confirmed_cycles_have_valid_witnesses(spec in arb_spec(false)) {
+        let program = build(spec);
+        let fuzzer = DeadlockFuzzer::from_ref(
+            program,
+            Config::default().with_confirm_trials(3),
+        );
+        let p1 = fuzzer.phase1();
+        for cycle in &p1.abstract_cycles {
+            let r = fuzzer.phase2(cycle, 17);
+            if let Some(w) = &r.witness {
+                let n = w.components.len();
+                prop_assert!(n >= 2);
+                for i in 0..n {
+                    let next = &w.components[(i + 1) % n];
+                    prop_assert!(
+                        next.holding.contains(&w.components[i].waiting_for),
+                        "component {i} waits for a lock the next one holds"
+                    );
+                }
+                // Threads and locks pairwise distinct.
+                let mut ts: Vec<_> = w.components.iter().map(|c| c.thread).collect();
+                ts.sort();
+                ts.dedup();
+                prop_assert_eq!(ts.len(), n);
+            }
+        }
+    }
+
+    /// Phase I itself never wedges on arbitrary programs: it either
+    /// completes or stops at a detected deadlock/stall.
+    #[test]
+    fn phase1_always_terminates(spec in arb_spec(false)) {
+        let program = build(spec);
+        let fuzzer = DeadlockFuzzer::from_ref(program, Config::default());
+        let p1 = fuzzer.phase1();
+        let ok = p1.run_outcome.is_completed()
+            || p1.run_outcome.is_deadlock()
+            || matches!(p1.run_outcome, deadlock_fuzzer::runtime::Outcome::Stall { .. });
+        prop_assert!(ok, "unexpected outcome {:?}", p1.run_outcome);
+    }
+}

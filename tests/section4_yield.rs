@@ -1,0 +1,46 @@
+//! Integration test for §4: the yield optimization removes a whole class
+//! of thrashings.
+
+use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+#[test]
+fn yield_optimization_beats_no_yields() {
+    let trials = 25;
+    let with_yields = DeadlockFuzzer::from_ref(
+        df_benchmarks::section4::program(),
+        Config::default().with_confirm_trials(trials),
+    )
+    .run();
+    let without = DeadlockFuzzer::from_ref(
+        df_benchmarks::section4::program(),
+        Config::default().with_yields(false).with_confirm_trials(trials),
+    )
+    .run();
+    assert_eq!(with_yields.potential_count(), 1);
+    let py = &with_yields.confirmations[0].probability;
+    let pn = &without.confirmations[0].probability;
+    // With yields: the deadlock is certain (paper: "the real deadlock
+    // will get created with probability 1").
+    assert_eq!(py.deadlocks, trials, "{py:?}");
+    // Without: the leading synchronized(l1) block of thread2 blocks
+    // against the paused thread1 — thrash, and often a miss.
+    assert!(
+        pn.deadlocks < trials || pn.avg_thrashes > py.avg_thrashes,
+        "no-yields must degrade: yields={py:?} noyields={pn:?}"
+    );
+}
+
+#[test]
+fn yield_stats_are_reported() {
+    let fuzzer = DeadlockFuzzer::from_ref(
+        df_benchmarks::section4::program(),
+        Config::default(),
+    );
+    let p1 = fuzzer.phase1();
+    let r = fuzzer.phase2(&p1.abstract_cycles[0], 7);
+    assert!(r.deadlocked());
+    assert!(
+        r.yields > 0,
+        "the §4 gate should fire on this program: {r:?}"
+    );
+}
