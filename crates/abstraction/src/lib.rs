@@ -283,7 +283,12 @@ mod tests {
     fn kobject_follows_owner_chain() {
         let mut table = ObjectTable::new();
         let factory = table.create(ObjKind::Plain, l("Main.make:5"), None, vec![]);
-        let pool = table.create(ObjKind::Plain, l("Factory.newPool:9"), Some(factory), vec![]);
+        let pool = table.create(
+            ObjKind::Plain,
+            l("Factory.newPool:9"),
+            Some(factory),
+            vec![],
+        );
         let lock = table.create(ObjKind::Lock, l("Pool.newLock:3"), Some(pool), vec![]);
         let k1 = Abstractor::new(AbstractionMode::KObject(1)).abs(&table, lock);
         assert_eq!(k1, Abstraction::KObject(vec![l("Pool.newLock:3")]));

@@ -6,9 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use df_events::{Label, ObjId, ThreadId};
-use df_igoodlock::{
-    goodlock_dfs, igoodlock, IGoodlockOptions, LockDep, LockDependencyRelation,
-};
+use df_igoodlock::{goodlock_dfs, igoodlock, IGoodlockOptions, LockDep, LockDependencyRelation};
 
 /// Builds a relation with `pairs` two-cycles plus `noise` acyclic tuples.
 fn synthetic_relation(pairs: u32, noise: u32) -> LockDependencyRelation {

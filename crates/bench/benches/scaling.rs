@@ -34,13 +34,9 @@ fn bench_scaling(c: &mut Criterion) {
         } else {
             // Deadlock-free spec: measure the uninstrumented-equivalent
             // baseline instead.
-            group.bench_with_input(
-                BenchmarkId::new("baseline", name),
-                &fuzzer,
-                |b, f| {
-                    b.iter(|| f.baseline(1));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("baseline", name), &fuzzer, |b, f| {
+                b.iter(|| f.baseline(1));
+            });
         }
     }
     group.finish();

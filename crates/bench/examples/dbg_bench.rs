@@ -14,12 +14,19 @@ fn main() {
     let fuzzer = DeadlockFuzzer::from_ref(program, Config::default());
     let p1 = fuzzer.phase1();
     println!("phase1 outcome: {:?}", p1.run_outcome);
-    println!("cycles: {} (relation {})", p1.cycle_count(), p1.relation_size);
+    println!(
+        "cycles: {} (relation {})",
+        p1.cycle_count(),
+        p1.relation_size
+    );
     for (i, c) in p1.abstract_cycles.iter().enumerate() {
         println!("  cycle {i}: {c}");
     }
     for (i, c) in p1.abstract_cycles.iter().enumerate() {
-        let pr = fuzzer.estimate_probability(c, 5);
-        println!("cycle {i}: deadlocks={} matched={} thrash={:.1}", pr.deadlocks, pr.matched, pr.avg_thrashes);
+        let pr = fuzzer.estimate_probability(c, 5).expect("trials > 0");
+        println!(
+            "cycle {i}: deadlocks={} matched={} thrash={:.1}",
+            pr.deadlocks, pr.matched, pr.avg_thrashes
+        );
     }
 }

@@ -96,7 +96,10 @@ fn print_table1(rows: &[Table1Row], json: bool) {
 
 fn print_fig2(cells: &[Fig2Cell], metric: &str, json: bool) {
     if json {
-        println!("{}", serde_json::to_string_pretty(cells).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(cells).expect("serialize")
+        );
         return;
     }
     let benchmarks: Vec<String> = {
@@ -146,7 +149,10 @@ fn print_fig2(cells: &[Fig2Cell], metric: &str, json: bool) {
 
 fn print_correlation(points: &[(f64, f64)], json: bool) {
     if json {
-        println!("{}", serde_json::to_string_pretty(points).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(points).expect("serialize")
+        );
         return;
     }
     println!("== Figure 2 (bottom right): thrashings vs reproduction probability ==");

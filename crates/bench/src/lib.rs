@@ -54,7 +54,7 @@ pub struct Table1Row {
 pub fn table1_row(bench: &Benchmark, trials: u32, baseline_runs: u32) -> Table1Row {
     let config = Config::default().with_confirm_trials(trials);
     let fuzzer = DeadlockFuzzer::from_ref(bench.program.clone(), config);
-    let (baseline_deadlocks, normal) = fuzzer.baseline(baseline_runs);
+    let (baseline_deadlocks, normal) = fuzzer.baseline(baseline_runs).expect("baseline_runs > 0");
     let phase1 = fuzzer.phase1();
     let report = fuzzer.run();
     let n = report.confirmations.len();
@@ -142,7 +142,7 @@ pub fn fig2_cell(bench: &Benchmark, variant: Variant, trials: u32) -> Fig2Cell {
         .with_variant(variant)
         .with_confirm_trials(trials);
     let fuzzer = DeadlockFuzzer::from_ref(bench.program.clone(), config);
-    let (_, normal) = fuzzer.baseline(3);
+    let (_, normal) = fuzzer.baseline(3).expect("trials > 0");
     let report = fuzzer.run();
     let n = report.confirmations.len().max(1) as f64;
     let probability = report
@@ -291,10 +291,7 @@ pub fn motivation(prefixes: &[u32], cap: u64) -> Vec<MotivationRow> {
             );
             let mut random_runs = None;
             for i in 0..cap {
-                let r = fuzzer.phase2(
-                    &deadlock_fuzzer::igoodlock::AbstractCycle::new(vec![]),
-                    i,
-                );
+                let r = fuzzer.phase2(&deadlock_fuzzer::igoodlock::AbstractCycle::new(vec![]), i);
                 if r.deadlocked() {
                     random_runs = Some(i + 1);
                     break;
@@ -334,13 +331,18 @@ pub fn pearson(points: &[(f64, f64)]) -> f64 {
         points.iter().map(|p| p.0).sum::<f64>() / n,
         points.iter().map(|p| p.1).sum::<f64>() / n,
     );
-    let cov = points
-        .iter()
-        .map(|p| (p.0 - mx) * (p.1 - my))
-        .sum::<f64>();
+    let cov = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>();
     let (sx, sy) = (
-        points.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>().sqrt(),
-        points.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>().sqrt(),
+        points
+            .iter()
+            .map(|p| (p.0 - mx).powi(2))
+            .sum::<f64>()
+            .sqrt(),
+        points
+            .iter()
+            .map(|p| (p.1 - my).powi(2))
+            .sum::<f64>()
+            .sqrt(),
     );
     if sx == 0.0 || sy == 0.0 {
         0.0

@@ -56,10 +56,9 @@ mod tests {
         let rt = VirtualRuntime::new(RunConfig::default());
         let p = program();
         let p2 = p.clone();
-        let observed = rt.run(
-            Box::new(SimpleRandomChecker::with_seed(1)),
-            move |ctx| p2.run(ctx),
-        );
+        let observed = rt.run(Box::new(SimpleRandomChecker::with_seed(1)), move |ctx| {
+            p2.run(ctx)
+        });
         let races = predict_races(&observed.trace);
         assert_eq!(races.len(), 1, "{races:?}");
         let (strategy, witness) = RaceStrategy::new(races[0].clone(), 0);

@@ -92,12 +92,15 @@ mod tests {
 
     #[test]
     fn two_cycles_one_distinguished_by_wait_context() {
-        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        // Whether one random execution exercises both the plain take path
+        // and the resumed-from-wait take path depends on the Phase I
+        // schedule; this seed is one that does.
+        let config = Config::default().with_phase1_seed(2);
+        let fuzzer = DeadlockFuzzer::from_ref(program(), config);
         let p1 = fuzzer.phase1();
         assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
         assert_eq!(p1.cycle_count(), 2, "plain take + resumed-from-wait take");
-        let texts: Vec<String> =
-            p1.abstract_cycles.iter().map(|c| c.to_string()).collect();
+        let texts: Vec<String> = p1.abstract_cycles.iter().map(|c| c.to_string()).collect();
         assert!(
             texts.iter().any(|t| t.contains("Buffer.take: lock")),
             "{texts:?}"
@@ -112,10 +115,7 @@ mod tests {
 
     #[test]
     fn the_plain_cycle_confirms_reliably() {
-        let fuzzer = DeadlockFuzzer::from_ref(
-            program(),
-            Config::default().with_confirm_trials(10),
-        );
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default().with_confirm_trials(10));
         let report = fuzzer.run();
         assert!(report.confirmed_count() >= 1);
         let best = report

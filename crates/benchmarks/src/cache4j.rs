@@ -114,10 +114,8 @@ mod tests {
     #[test]
     fn completes_under_many_seeds() {
         for seed in 0..5 {
-            let fuzzer = DeadlockFuzzer::from_ref(
-                program(),
-                Config::default().with_phase1_seed(seed),
-            );
+            let fuzzer =
+                DeadlockFuzzer::from_ref(program(), Config::default().with_phase1_seed(seed));
             assert!(fuzzer.phase1().run_outcome.is_completed());
         }
     }

@@ -103,21 +103,14 @@ mod tests {
         assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
         // 2 preparer contexts × 1 closer context on the same lock pair.
         assert_eq!(p1.cycle_count(), 2);
-        let text: String = p1
-            .abstract_cycles
-            .iter()
-            .map(|c| c.to_string())
-            .collect();
+        let text: String = p1.abstract_cycles.iter().map(|c| c.to_string()).collect();
         assert!(text.contains("DelegatingConnection.prepareStatement:185"));
         assert!(text.contains("PoolablePreparedStatement.close:78"));
     }
 
     #[test]
     fn cycles_reproduced_with_high_probability() {
-        let fuzzer = DeadlockFuzzer::from_ref(
-            program(),
-            Config::default().with_confirm_trials(8),
-        );
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default().with_confirm_trials(8));
         let report = fuzzer.run();
         assert_eq!(report.potential_count(), 2);
         assert_eq!(report.confirmed_count(), 2);

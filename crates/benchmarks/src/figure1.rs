@@ -98,10 +98,8 @@ mod tests {
     fn section3_trivial_abstraction_reduces_probability_or_thrashes() {
         // §3: on the 3-thread variant, trivial abstraction pauses the
         // wrong thread and either thrashes or misses.
-        let exact = DeadlockFuzzer::from_ref(
-            program(true),
-            Config::default().with_confirm_trials(15),
-        );
+        let exact =
+            DeadlockFuzzer::from_ref(program(true), Config::default().with_confirm_trials(15));
         let exact_report = exact.run();
         assert_eq!(exact_report.potential_count(), 1);
         let exact_prob = &exact_report.confirmations[0].probability;

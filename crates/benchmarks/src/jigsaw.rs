@@ -77,7 +77,10 @@ pub fn program() -> ProgramRef {
                     // shutdown path under plain testing.
                     ctx.work(3 + 4 * i as u32);
                     // clientConnectionFinished(): csList → factory.
-                    let g1 = ctx.lock(&cs_list, label("SocketClientFactory.clientConnectionFinished:623"));
+                    let g1 = ctx.lock(
+                        &cs_list,
+                        label("SocketClientFactory.clientConnectionFinished:623"),
+                    );
                     let g2 = ctx.lock(&factory, label("SocketClientFactory.decrIdleCount:574"));
                     ctx.work(1);
                     drop(g2);
@@ -159,10 +162,7 @@ mod tests {
 
     #[test]
     fn false_positive_is_never_confirmed_and_real_cycles_are() {
-        let fuzzer = DeadlockFuzzer::from_ref(
-            program(),
-            Config::default().with_confirm_trials(6),
-        );
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default().with_confirm_trials(6));
         let report = fuzzer.run();
         let mut fp_confirmed = 0;
         let mut real_confirmed = 0;

@@ -31,17 +31,21 @@ pub fn program() -> ProgramRef {
 
         let dispatcher = {
             let queue = queue.clone();
-            ctx.spawn(label("SpiderImpl.startDispatcher:77"), "dispatcher", move |ctx| {
-                for u in 0..URLS {
-                    let g = ctx.lock(&scheduler, label("SchedulerImpl.schedule:58"));
-                    // Rule evaluation nested under the scheduler lock.
-                    let gr = ctx.lock(&rules, label("RuleSet.applyRules:41"));
-                    queue.with(|q| q.push(u));
-                    drop(gr);
-                    drop(g);
-                    ctx.yield_now();
-                }
-            })
+            ctx.spawn(
+                label("SpiderImpl.startDispatcher:77"),
+                "dispatcher",
+                move |ctx| {
+                    for u in 0..URLS {
+                        let g = ctx.lock(&scheduler, label("SchedulerImpl.schedule:58"));
+                        // Rule evaluation nested under the scheduler lock.
+                        let gr = ctx.lock(&rules, label("RuleSet.applyRules:41"));
+                        queue.with(|q| q.push(u));
+                        drop(gr);
+                        drop(g);
+                        ctx.yield_now();
+                    }
+                },
+            )
         };
         let mut workers = Vec::new();
         for w in 0..WORKERS {
@@ -52,7 +56,8 @@ pub fn program() -> ProgramRef {
                 &format!("fetch-{w}"),
                 move |ctx| {
                     loop {
-                        let g = ctx.lock(&scheduler, label("SchedulerImpl.getScheduledSpiderTask:71"));
+                        let g =
+                            ctx.lock(&scheduler, label("SchedulerImpl.getScheduledSpiderTask:71"));
                         let item = queue.with(|q| q.pop());
                         drop(g);
                         match item {
@@ -119,7 +124,11 @@ mod tests {
             let fuzzer =
                 DeadlockFuzzer::from_ref(program(), Config::default().with_phase1_seed(seed));
             let p1 = fuzzer.phase1();
-            assert!(p1.run_outcome.is_completed(), "seed {seed}: {:?}", p1.run_outcome);
+            assert!(
+                p1.run_outcome.is_completed(),
+                "seed {seed}: {:?}",
+                p1.run_outcome
+            );
         }
     }
 }

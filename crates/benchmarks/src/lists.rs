@@ -68,10 +68,8 @@ pub fn program() -> ProgramRef {
             for ma in METHODS {
                 for mb in METHODS {
                     // A fresh pair of synchronized lists per combination.
-                    let l1 = ctx
-                        .new_lock(Label::new(&format!("ListTest.newList({class}) #1")));
-                    let l2 = ctx
-                        .new_lock(Label::new(&format!("ListTest.newList({class}) #2")));
+                    let l1 = ctx.new_lock(Label::new(&format!("ListTest.newList({class}) #1")));
+                    let l2 = ctx.new_lock(Label::new(&format!("ListTest.newList({class}) #2")));
                     let d1 = Shared::new(vec![1i64, 2, 3]);
                     let d2 = Shared::new(vec![3i64, 4]);
                     let (da, db) = (d1.clone(), d2.clone());
@@ -170,8 +168,15 @@ mod tests {
         let mut matched = 0;
         let trials = 5;
         let sampled = 4;
-        for cycle in p1.abstract_cycles.iter().step_by(27 / sampled) .take(sampled) {
-            let prob = fuzzer.estimate_probability(cycle, trials);
+        for cycle in p1
+            .abstract_cycles
+            .iter()
+            .step_by(27 / sampled)
+            .take(sampled)
+        {
+            let prob = fuzzer
+                .estimate_probability(cycle, trials)
+                .expect("trials > 0");
             matched += prob.matched;
         }
         assert!(

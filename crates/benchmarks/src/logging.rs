@@ -126,10 +126,7 @@ mod tests {
 
     #[test]
     fn all_three_cycles_reproduced_with_probability_one() {
-        let fuzzer = DeadlockFuzzer::from_ref(
-            program(),
-            Config::default().with_confirm_trials(8),
-        );
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default().with_confirm_trials(8));
         let report = fuzzer.run();
         assert_eq!(report.potential_count(), 3);
         assert_eq!(report.confirmed_count(), 3);

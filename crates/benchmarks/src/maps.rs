@@ -66,10 +66,12 @@ pub fn program() -> ProgramRef {
     Arc::new(Named::new("synchronized-maps", |ctx: &TCtx| {
         let delay_a = RUN.fetch_add(1, Ordering::Relaxed) % 2 == 1;
         for class in CLASSES {
-            let m1 =
-                ctx.new_lock(Label::new(&format!("Collections.synchronizedMap({class}) #1")));
-            let m2 =
-                ctx.new_lock(Label::new(&format!("Collections.synchronizedMap({class}) #2")));
+            let m1 = ctx.new_lock(Label::new(&format!(
+                "Collections.synchronizedMap({class}) #1"
+            )));
+            let m2 = ctx.new_lock(Label::new(&format!(
+                "Collections.synchronizedMap({class}) #2"
+            )));
             let ta = ctx.spawn(
                 Label::new(&format!("MapTest.start{class}A")),
                 &format!("{class}-A"),
@@ -154,7 +156,9 @@ mod tests {
         // Cover all four combinations of the first two classes (the
         // combination mix is what produces the partial matching).
         for cycle in p1.abstract_cycles.iter().take(8) {
-            let prob = fuzzer.estimate_probability(cycle, trials);
+            let prob = fuzzer
+                .estimate_probability(cycle, trials)
+                .expect("trials > 0");
             any += prob.deadlocks;
             matched += prob.matched;
             total += trials;

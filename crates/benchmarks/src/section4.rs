@@ -65,14 +65,14 @@ mod tests {
     #[test]
     fn yields_give_higher_probability_than_no_yields() {
         let trials = 30;
-        let with_yields = DeadlockFuzzer::from_ref(
-            program(),
-            Config::default().with_confirm_trials(trials),
-        )
-        .run();
+        let with_yields =
+            DeadlockFuzzer::from_ref(program(), Config::default().with_confirm_trials(trials))
+                .run();
         let without_yields = DeadlockFuzzer::from_ref(
             program(),
-            Config::default().with_yields(false).with_confirm_trials(trials),
+            Config::default()
+                .with_yields(false)
+                .with_confirm_trials(trials),
         )
         .run();
         let py = &with_yields.confirmations[0].probability;

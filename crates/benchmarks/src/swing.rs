@@ -46,7 +46,10 @@ pub fn program() -> ProgramRef {
                     let g = ctx.lock(&caret, label("DefaultCaret.paint:601"));
                     ctx.work(1);
                     drop(g);
-                    let g = ctx.lock(&repaint_queue, label("RepaintManager.paintDirtyRegions:712"));
+                    let g = ctx.lock(
+                        &repaint_queue,
+                        label("RepaintManager.paintDirtyRegions:712"),
+                    );
                     ctx.work(1);
                     drop(g);
                     let g = ctx.lock(&caret, label("DefaultCaret.setVisible:955"));
@@ -106,15 +109,15 @@ mod tests {
         assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
         assert_eq!(p1.cycle_count(), 1);
         let text = p1.abstract_cycles[0].to_string();
-        assert!(text.contains("1244") && text.contains("407"), "cycle: {text}");
+        assert!(
+            text.contains("1244") && text.contains("407"),
+            "cycle: {text}"
+        );
     }
 
     #[test]
     fn cycle_reproduced_reliably() {
-        let fuzzer = DeadlockFuzzer::from_ref(
-            program(),
-            Config::default().with_confirm_trials(10),
-        );
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default().with_confirm_trials(10));
         let report = fuzzer.run();
         assert_eq!(report.confirmed_count(), 1);
         let p = &report.confirmations[0].probability;
@@ -130,11 +133,8 @@ mod tests {
         // ... for the Swing benchmark" — the same locks are taken at many
         // sites, so context-free matching pauses the EventQueue during
         // paint churn.
-        let base = DeadlockFuzzer::from_ref(
-            program(),
-            Config::default().with_confirm_trials(12),
-        )
-        .run();
+        let base =
+            DeadlockFuzzer::from_ref(program(), Config::default().with_confirm_trials(12)).run();
         let noctx = DeadlockFuzzer::from_ref(
             program(),
             Config::default()

@@ -117,14 +117,10 @@ pub fn program(spec: SyntheticSpec) -> ProgramRef {
                         if slow {
                             ctx.work(10);
                         }
-                        let g1 = ctx.lock(
-                            &first,
-                            Label::new(&format!("Synth.pair{}.first", t / 2)),
-                        );
-                        let g2 = ctx.lock(
-                            &second,
-                            Label::new(&format!("Synth.pair{}.second", t / 2)),
-                        );
+                        let g1 =
+                            ctx.lock(&first, Label::new(&format!("Synth.pair{}.first", t / 2)));
+                        let g2 =
+                            ctx.lock(&second, Label::new(&format!("Synth.pair{}.second", t / 2)));
                         drop(g2);
                         drop(g1);
                         ctx.work(3);
@@ -138,14 +134,8 @@ pub fn program(spec: SyntheticSpec) -> ProgramRef {
                             continue;
                         }
                         let (lo, hi) = (x.min(y), x.max(y));
-                        let g1 = ctx.lock(
-                            &pool[lo],
-                            Label::new(&format!("Synth.bulk{op}.outer")),
-                        );
-                        let g2 = ctx.lock(
-                            &pool[hi],
-                            Label::new(&format!("Synth.bulk{op}.inner")),
-                        );
+                        let g1 = ctx.lock(&pool[lo], Label::new(&format!("Synth.bulk{op}.outer")));
+                        let g2 = ctx.lock(&pool[hi], Label::new(&format!("Synth.bulk{op}.inner")));
                         drop(g2);
                         drop(g1);
                         if op % 4 == 0 {
@@ -168,10 +158,7 @@ mod tests {
 
     #[test]
     fn deadlock_free_spec_reports_nothing() {
-        let fuzzer = DeadlockFuzzer::from_ref(
-            program(SyntheticSpec::small()),
-            Config::default(),
-        );
+        let fuzzer = DeadlockFuzzer::from_ref(program(SyntheticSpec::small()), Config::default());
         let p1 = fuzzer.phase1();
         assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
         assert_eq!(p1.cycle_count(), 0);
@@ -181,10 +168,8 @@ mod tests {
     #[test]
     fn seeded_cycles_are_found_and_confirmed() {
         let spec = SyntheticSpec::medium();
-        let fuzzer = DeadlockFuzzer::from_ref(
-            program(spec),
-            Config::default().with_confirm_trials(4),
-        );
+        let fuzzer =
+            DeadlockFuzzer::from_ref(program(spec), Config::default().with_confirm_trials(4));
         let p1 = fuzzer.phase1();
         assert!(p1.run_outcome.is_completed(), "{:?}", p1.run_outcome);
         assert_eq!(
@@ -207,10 +192,7 @@ mod tests {
 
     #[test]
     fn large_spec_completes_within_budget() {
-        let fuzzer = DeadlockFuzzer::from_ref(
-            program(SyntheticSpec::large()),
-            Config::default(),
-        );
+        let fuzzer = DeadlockFuzzer::from_ref(program(SyntheticSpec::large()), Config::default());
         let p1 = fuzzer.phase1();
         assert!(
             p1.run_outcome.is_completed() || p1.run_outcome.is_deadlock(),

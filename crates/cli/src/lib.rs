@@ -15,10 +15,67 @@
 
 use std::fmt::Write as _;
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer, ProgramRef, Variant};
+use deadlock_fuzzer::{Config, DeadlockFuzzer, ProgramRef, Report, Variant};
 use df_abstraction::Abstractor;
 use df_events::Trace;
 use df_igoodlock::{igoodlock_filtered, HbFilter, IGoodlockOptions, LockDependencyRelation};
+
+/// Documented process exit codes for the verdict commands (`confirm`,
+/// `run`). See README "Failure taxonomy & exit codes".
+pub mod exit_code {
+    /// A deadlock cycle was confirmed by a real witness.
+    pub const CYCLE_CONFIRMED: i32 = 0;
+    /// No cycle was predicted, or no prediction could be reproduced.
+    pub const NO_CYCLE_FOUND: i32 = 1;
+    /// Bad command line (unknown command, flag, or value).
+    pub const USAGE: i32 = 2;
+    /// The program under test panicked during trials (a bug in the
+    /// program, not a deadlock and not a harness failure).
+    pub const PROGRAM_PANIC: i32 = 3;
+    /// The harness itself failed (invalid config, confirmation error,
+    /// unreadable input).
+    pub const INTERNAL_ERROR: i32 = 4;
+}
+
+/// Rendered output of a command plus the process exit code `main` should
+/// use.
+#[derive(Clone, Debug)]
+pub struct CmdOutput {
+    /// Text for stdout.
+    pub text: String,
+    /// One of the [`exit_code`] constants.
+    pub code: i32,
+}
+
+impl CmdOutput {
+    /// Plain success output (informational commands).
+    pub fn ok(text: String) -> Self {
+        CmdOutput {
+            text,
+            code: exit_code::CYCLE_CONFIRMED,
+        }
+    }
+}
+
+/// Maps a pipeline [`Report`] to its documented exit code: a confirmed
+/// cycle wins, then a program panic seen in any trial, then a harness
+/// failure, then "nothing found".
+pub fn report_exit_code(report: &Report) -> i32 {
+    if report.confirmations.iter().any(|c| c.confirmed) {
+        return exit_code::CYCLE_CONFIRMED;
+    }
+    let phase1_panicked = matches!(
+        report.phase1.run_outcome,
+        deadlock_fuzzer::runtime::Outcome::ProgramPanic(_)
+    );
+    if phase1_panicked || report.trial_outcome_totals().panics > 0 {
+        return exit_code::PROGRAM_PANIC;
+    }
+    if report.failed_count() > 0 {
+        return exit_code::INTERNAL_ERROR;
+    }
+    exit_code::NO_CYCLE_FOUND
+}
 
 /// Names accepted by [`resolve_program`].
 pub const BENCHMARKS: [&str; 15] = [
@@ -131,8 +188,7 @@ pub fn cmd_phase1(name: &str, opts: &CliOptions) -> Result<String, String> {
     let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
     let report = fuzzer.phase1();
     if opts.json {
-        return serde_json::to_string_pretty(&report.abstract_cycles)
-            .map_err(|e| e.to_string());
+        return serde_json::to_string_pretty(&report.abstract_cycles).map_err(|e| e.to_string());
     }
     Ok(format!("{report}"))
 }
@@ -142,10 +198,7 @@ pub fn cmd_trace(name: &str, opts: &CliOptions) -> Result<String, String> {
     let program = resolve_program(name)?;
     let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
     // An observation run under the plain random scheduler.
-    let report = fuzzer.phase2(
-        &df_igoodlock::AbstractCycle::new(vec![]),
-        opts.seed,
-    );
+    let report = fuzzer.phase2(&df_igoodlock::AbstractCycle::new(vec![]), opts.seed);
     serde_json::to_string(&report.trace).map_err(|e| e.to_string())
 }
 
@@ -155,12 +208,10 @@ pub fn cmd_trace(name: &str, opts: &CliOptions) -> Result<String, String> {
 ///
 /// Returns a message if the JSON is not a valid trace.
 pub fn analyze_trace_json(json: &str, opts: &CliOptions) -> Result<String, String> {
-    let trace: Trace =
-        serde_json::from_str(json).map_err(|e| format!("not a trace: {e}"))?;
+    let trace: Trace = serde_json::from_str(json).map_err(|e| format!("not a trace: {e}"))?;
     let relation = LockDependencyRelation::from_trace(&trace);
     let hb = opts.hb.then(|| HbFilter::from_trace(&trace));
-    let (cycles, stats) =
-        igoodlock_filtered(&relation, hb.as_ref(), &IGoodlockOptions::default());
+    let (cycles, stats) = igoodlock_filtered(&relation, hb.as_ref(), &IGoodlockOptions::default());
     let mode = match opts.variant {
         Variant::ContextKObject => df_abstraction::AbstractionMode::KObject(10),
         Variant::IgnoreAbstraction => df_abstraction::AbstractionMode::Trivial,
@@ -191,16 +242,22 @@ pub fn analyze_trace_json(json: &str, opts: &CliOptions) -> Result<String, Strin
 }
 
 /// `dfz confirm <benchmark>` — Phase II confirmation of one or all cycles.
+///
+/// The returned [`CmdOutput::code`] follows the [`exit_code`] taxonomy:
+/// confirmed beats program-panic beats no-cycle-found.
 pub fn cmd_confirm(
     name: &str,
     cycle_index: Option<usize>,
     opts: &CliOptions,
-) -> Result<String, String> {
+) -> Result<CmdOutput, String> {
     let program = resolve_program(name)?;
     let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
     let phase1 = fuzzer.phase1();
     if phase1.abstract_cycles.is_empty() {
-        return Ok("no potential deadlock cycles to confirm\n".to_string());
+        return Ok(CmdOutput {
+            text: "no potential deadlock cycles to confirm\n".to_string(),
+            code: exit_code::NO_CYCLE_FOUND,
+        });
     }
     let indices: Vec<usize> = match cycle_index {
         Some(i) if i < phase1.abstract_cycles.len() => vec![i],
@@ -213,8 +270,14 @@ pub fn cmd_confirm(
         None => (0..phase1.abstract_cycles.len()).collect(),
     };
     let mut out = String::new();
+    let mut confirmed = false;
+    let mut panicked = false;
     for i in indices {
-        let prob = fuzzer.estimate_probability(&phase1.abstract_cycles[i], opts.trials);
+        let prob = fuzzer
+            .estimate_probability(&phase1.abstract_cycles[i], opts.trials)
+            .map_err(|e| e.to_string())?;
+        confirmed |= prob.matched > 0;
+        panicked |= prob.outcomes.panics > 0;
         let _ = writeln!(
             out,
             "cycle {:>2}: {} — {}",
@@ -227,15 +290,28 @@ pub fn cmd_confirm(
             prob
         );
     }
-    Ok(out)
+    let code = if confirmed {
+        exit_code::CYCLE_CONFIRMED
+    } else if panicked {
+        exit_code::PROGRAM_PANIC
+    } else {
+        exit_code::NO_CYCLE_FOUND
+    };
+    Ok(CmdOutput { text: out, code })
 }
 
 /// `dfz run <benchmark>` — the full two-phase pipeline.
-pub fn cmd_run(name: &str, opts: &CliOptions) -> Result<String, String> {
+///
+/// The returned [`CmdOutput::code`] is [`report_exit_code`] of the
+/// pipeline report.
+pub fn cmd_run(name: &str, opts: &CliOptions) -> Result<CmdOutput, String> {
     let program = resolve_program(name)?;
     let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
     let report = fuzzer.run();
-    Ok(format!("{report}"))
+    Ok(CmdOutput {
+        code: report_exit_code(&report),
+        text: format!("{report}"),
+    })
 }
 
 /// `dfz races <benchmark>` — the RaceFuzzer sibling: predict data races
@@ -274,7 +350,11 @@ pub fn cmd_races(name: &str, opts: &CliOptions) -> Result<String, String> {
             out,
             "  race {}: {} — {c} ({hits}/{} biased runs)",
             i + 1,
-            if hits > 0 { "CONFIRMED" } else { "not reproduced" },
+            if hits > 0 {
+                "CONFIRMED"
+            } else {
+                "not reproduced"
+            },
             opts.trials
         );
     }
@@ -320,8 +400,7 @@ mod tests {
             ..CliOptions::default()
         };
         let out = cmd_phase1("figure1", &opts).unwrap();
-        let cycles: Vec<df_igoodlock::AbstractCycle> =
-            serde_json::from_str(&out).unwrap();
+        let cycles: Vec<df_igoodlock::AbstractCycle> = serde_json::from_str(&out).unwrap();
         assert_eq!(cycles.len(), 1);
     }
 
@@ -345,11 +424,57 @@ mod tests {
             ..CliOptions::default()
         };
         let out = cmd_confirm("figure1", None, &opts).unwrap();
-        assert!(out.contains("CONFIRMED"), "{out}");
+        assert!(out.text.contains("CONFIRMED"), "{}", out.text);
+        assert_eq!(out.code, exit_code::CYCLE_CONFIRMED);
         let err = cmd_confirm("figure1", Some(7), &opts).unwrap_err();
         assert!(err.contains("out of range"));
         let none = cmd_confirm("sor", None, &opts).unwrap();
-        assert!(none.contains("no potential"), "{none}");
+        assert!(none.text.contains("no potential"), "{}", none.text);
+        assert_eq!(none.code, exit_code::NO_CYCLE_FOUND);
+    }
+
+    #[test]
+    fn run_exit_codes_distinguish_found_from_not_found() {
+        let opts = CliOptions {
+            trials: 3,
+            ..CliOptions::default()
+        };
+        let hit = cmd_run("figure1", &opts).unwrap();
+        assert_eq!(hit.code, exit_code::CYCLE_CONFIRMED, "{}", hit.text);
+        let miss = cmd_run("sor", &opts).unwrap();
+        assert_eq!(miss.code, exit_code::NO_CYCLE_FOUND, "{}", miss.text);
+    }
+
+    #[test]
+    fn program_panic_maps_to_its_own_exit_code() {
+        // Inject unconditional acquire panics so every trial dies in
+        // program code; the report must map to PROGRAM_PANIC, not
+        // CONFIRMED or INTERNAL_ERROR.
+        use deadlock_fuzzer::runtime::FaultPlan;
+        let program = resolve_program("figure1").unwrap();
+        let mut cfg = Config::default()
+            .with_confirm_trials(2)
+            .with_trial_retries(0);
+        cfg.run.fault_plan = Some(FaultPlan::new(7).with_panic_on_acquire(1.0));
+        let fuzzer = DeadlockFuzzer::from_ref(program, cfg);
+        let report = fuzzer.run();
+        assert_eq!(report_exit_code(&report), exit_code::PROGRAM_PANIC);
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        let codes = [
+            exit_code::CYCLE_CONFIRMED,
+            exit_code::NO_CYCLE_FOUND,
+            exit_code::USAGE,
+            exit_code::PROGRAM_PANIC,
+            exit_code::INTERNAL_ERROR,
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

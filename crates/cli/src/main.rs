@@ -12,15 +12,17 @@
 
 use df_cli::{
     analyze_trace_json, cmd_confirm, cmd_list, cmd_phase1, cmd_races, cmd_run, cmd_trace,
-    resolve_variant, CliOptions,
+    exit_code, resolve_variant, CliOptions, CmdOutput,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: dfz <list | phase1 | trace | analyze | confirm | run | races> [args]\n\
-         run `dfz list` for benchmark names"
+         run `dfz list` for benchmark names\n\
+         exit codes: 0 cycle confirmed / success, 1 no cycle found,\n\
+         2 usage, 3 program under test panicked, 4 internal error"
     );
-    std::process::exit(2);
+    std::process::exit(exit_code::USAGE);
 }
 
 fn main() {
@@ -55,7 +57,7 @@ fn main() {
                     Ok(v) => opts.variant = v,
                     Err(e) => {
                         eprintln!("{e}");
-                        std::process::exit(2);
+                        std::process::exit(exit_code::USAGE);
                     }
                 }
             }
@@ -66,20 +68,21 @@ fn main() {
         }
     }
 
-    let result = match command.as_str() {
-        "list" => Ok(cmd_list()),
+    let result: Result<CmdOutput, String> = match command.as_str() {
+        "list" => Ok(CmdOutput::ok(cmd_list())),
         "phase1" => match positional.first() {
-            Some(name) => cmd_phase1(name, &opts),
+            Some(name) => cmd_phase1(name, &opts).map(CmdOutput::ok),
             None => usage(),
         },
         "trace" => match positional.first() {
-            Some(name) => cmd_trace(name, &opts),
+            Some(name) => cmd_trace(name, &opts).map(CmdOutput::ok),
             None => usage(),
         },
         "analyze" => match positional.first() {
             Some(path) => std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read {path}: {e}"))
-                .and_then(|json| analyze_trace_json(&json, &opts)),
+                .and_then(|json| analyze_trace_json(&json, &opts))
+                .map(CmdOutput::ok),
             None => usage(),
         },
         "confirm" => match positional.first() {
@@ -91,16 +94,19 @@ fn main() {
             None => usage(),
         },
         "races" => match positional.first() {
-            Some(name) => cmd_races(name, &opts),
+            Some(name) => cmd_races(name, &opts).map(CmdOutput::ok),
             None => usage(),
         },
         _ => usage(),
     };
     match result {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            print!("{}", out.text);
+            std::process::exit(out.code);
+        }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code::INTERNAL_ERROR);
         }
     }
 }

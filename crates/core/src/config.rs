@@ -5,6 +5,7 @@ use df_igoodlock::IGoodlockOptions;
 use df_runtime::RunConfig;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::time::Duration;
 
 /// The five DeadlockFuzzer variants evaluated in Figure 2 of the paper.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -116,6 +117,16 @@ pub struct Config {
     /// Trials per cycle used by [`crate::DeadlockFuzzer::run`] to confirm
     /// cycles (the paper uses 100 for Table 1's probability column).
     pub confirm_trials: u32,
+    /// Per-trial wall-clock deadline, applied on top of the step budget:
+    /// each Phase II (and baseline) execution is bounded by this much real
+    /// time even while it makes steady progress. Copied into
+    /// [`RunConfig::deadline`] unless that is already set. `None` disables
+    /// the deadline.
+    pub trial_deadline: Option<Duration>,
+    /// How many times a retryable trial (program panic, timeout, internal
+    /// error — see [`crate::TrialOutcome::is_retryable`]) is re-run with a
+    /// rotated seed before its outcome is accepted. `0` disables retries.
+    pub trial_retries: u32,
 }
 
 impl Default for Config {
@@ -132,6 +143,8 @@ impl Default for Config {
             pause_budget: 5_000,
             yield_budget: 8,
             confirm_trials: 20,
+            trial_deadline: Some(Duration::from_secs(30)),
+            trial_retries: 2,
         }
     }
 }
@@ -188,6 +201,18 @@ impl Config {
         self.hb_filter = on;
         self
     }
+
+    /// Sets the per-trial wall-clock deadline (`None` disables it).
+    pub fn with_trial_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.trial_deadline = deadline;
+        self
+    }
+
+    /// Sets the retry budget for retryable trial outcomes.
+    pub fn with_trial_retries(mut self, retries: u32) -> Self {
+        self.trial_retries = retries;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +245,10 @@ mod tests {
 
     #[test]
     fn labels_match_figure_2_legend() {
-        assert_eq!(Variant::ContextExecIndex.label(), "Context + 2nd Abstraction");
+        assert_eq!(
+            Variant::ContextExecIndex.label(),
+            "Context + 2nd Abstraction"
+        );
         assert_eq!(Variant::ALL.len(), 5);
         assert_eq!(Variant::NoYields.to_string(), "No Yields");
     }
@@ -233,12 +261,23 @@ mod tests {
             .with_confirm_trials(3)
             .with_context(false)
             .with_yields(false)
-            .with_mode(AbstractionMode::Site);
+            .with_mode(AbstractionMode::Site)
+            .with_trial_deadline(Some(Duration::from_secs(5)))
+            .with_trial_retries(1);
         assert_eq!(c.phase1_seed, 5);
         assert_eq!(c.phase2_seed_base, 77);
         assert_eq!(c.confirm_trials, 3);
         assert!(!c.use_context);
         assert!(!c.yield_optimization);
         assert_eq!(c.mode, AbstractionMode::Site);
+        assert_eq!(c.trial_deadline, Some(Duration::from_secs(5)));
+        assert_eq!(c.trial_retries, 1);
+    }
+
+    #[test]
+    fn default_campaign_is_bounded() {
+        let c = Config::default();
+        assert!(c.trial_deadline.is_some(), "trials must be time-bounded");
+        assert!(c.trial_retries > 0);
     }
 }

@@ -1,0 +1,60 @@
+//! Structured errors for the pipeline's library entry points.
+
+use std::fmt;
+
+/// An error from a `deadlock-fuzzer` entry point.
+///
+/// Library entry points return `DfError` instead of panicking, so a single
+/// bad input or failed confirmation degrades gracefully inside
+/// [`crate::DeadlockFuzzer::run`] rather than aborting the whole campaign.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DfError {
+    /// A configuration value makes the requested operation meaningless
+    /// (e.g. zero trials).
+    InvalidConfig(String),
+    /// Confirming one cycle failed internally; the message carries the
+    /// panic or error text.
+    Confirmation {
+        /// Index of the cycle whose confirmation failed.
+        cycle_index: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            DfError::Confirmation {
+                cycle_index,
+                message,
+            } => write!(f, "confirmation of cycle {cycle_index} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DfError::InvalidConfig("at least one trial required".into());
+        assert!(e.to_string().contains("at least one trial"));
+        let e = DfError::Confirmation {
+            cycle_index: 3,
+            message: "strategy panicked".into(),
+        };
+        assert!(e.to_string().contains("cycle 3"));
+        assert!(e.to_string().contains("strategy panicked"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&DfError::InvalidConfig("x".into()));
+    }
+}

@@ -60,14 +60,19 @@
 #![deny(unsafe_code)]
 
 mod config;
+mod error;
 mod pipeline;
 mod program;
 mod report;
 
 pub use config::{Config, Variant};
+pub use error::DfError;
 pub use pipeline::DeadlockFuzzer;
 pub use program::{Named, Program, ProgramRef};
-pub use report::{CycleConfirmation, Phase1Report, Phase2Report, ProbabilityReport, Report};
+pub use report::{
+    CycleConfirmation, Phase1Report, Phase2Report, ProbabilityReport, Report, TrialOutcome,
+    TrialOutcomes,
+};
 
 // Re-export the sub-crates so downstream users need only one dependency.
 pub use df_abstraction as abstraction;

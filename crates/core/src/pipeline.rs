@@ -1,5 +1,6 @@
 //! The two-phase DeadlockFuzzer pipeline.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -11,8 +12,16 @@ use df_igoodlock::{
 use df_runtime::{Outcome, RunResult, VirtualRuntime};
 
 use crate::config::Config;
+use crate::error::DfError;
 use crate::program::{Program, ProgramRef};
-use crate::report::{CycleConfirmation, Phase1Report, Phase2Report, ProbabilityReport, Report};
+use crate::report::{
+    CycleConfirmation, Phase1Report, Phase2Report, ProbabilityReport, Report, TrialOutcomes,
+};
+
+/// Offset between the seeds of successive retry attempts of one trial.
+/// Chosen large and odd so rotated seeds never collide with the dense
+/// `phase2_seed_base + trial` sequence of first attempts.
+const RETRY_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The DeadlockFuzzer tool: Phase I prediction + Phase II active random
 /// confirmation for one program.
@@ -67,7 +76,11 @@ impl DeadlockFuzzer {
 
     fn execute(&self, strategy: Box<dyn df_runtime::Strategy>) -> RunResult {
         let program = Arc::clone(&self.program);
-        VirtualRuntime::new(self.config.run.clone()).run(strategy, move |ctx| program.run(ctx))
+        let mut run = self.config.run.clone();
+        if run.deadline.is_none() {
+            run.deadline = self.config.trial_deadline;
+        }
+        VirtualRuntime::new(run).run(strategy, move |ctx| program.run(ctx))
     }
 
     /// Phase I: observe one execution under the simple random scheduler
@@ -83,8 +96,7 @@ impl DeadlockFuzzer {
             .config
             .hb_filter
             .then(|| HbFilter::from_trace(&result.trace));
-        let (cycles, stats) =
-            igoodlock_filtered(&relation, hb.as_ref(), &self.config.igoodlock);
+        let (cycles, stats) = igoodlock_filtered(&relation, hb.as_ref(), &self.config.igoodlock);
         let abstractor = Abstractor::new(self.config.mode);
         let abstract_cycles = cycles
             .iter()
@@ -150,15 +162,47 @@ impl DeadlockFuzzer {
     /// Runs `trials` Phase II executions for `cycle` (seeds
     /// `phase2_seed_base..phase2_seed_base + trials`) and aggregates the
     /// empirical reproduction probability — Table 1 columns 8–10.
-    pub fn estimate_probability(&self, cycle: &AbstractCycle, trials: u32) -> ProbabilityReport {
-        assert!(trials > 0, "at least one trial required");
+    ///
+    /// Each trial is classified into a [`crate::TrialOutcome`]; trials that
+    /// end without a verdict (program panic, timeout, internal error) are
+    /// retried up to [`Config::trial_retries`] times with a rotated seed,
+    /// and the final attempt's outcome is what counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfError::InvalidConfig`] when `trials` is zero.
+    pub fn estimate_probability(
+        &self,
+        cycle: &AbstractCycle,
+        trials: u32,
+    ) -> Result<ProbabilityReport, DfError> {
+        if trials == 0 {
+            return Err(DfError::InvalidConfig(
+                "at least one trial required".to_string(),
+            ));
+        }
         let mut deadlocks = 0u32;
         let mut matched = 0u32;
         let mut thrashes = 0u64;
         let mut steps = 0u64;
         let mut total_duration = std::time::Duration::ZERO;
+        let mut outcomes = TrialOutcomes::default();
+        let mut retries = 0u32;
         for i in 0..trials {
-            let r = self.phase2(cycle, self.config.phase2_seed_base + u64::from(i));
+            let base_seed = self.config.phase2_seed_base + u64::from(i);
+            let mut attempt = 0u32;
+            let r = loop {
+                let seed =
+                    base_seed.wrapping_add(u64::from(attempt).wrapping_mul(RETRY_SEED_STRIDE));
+                let r = self.phase2(cycle, seed);
+                if r.trial_outcome().is_retryable() && attempt < self.config.trial_retries {
+                    attempt += 1;
+                    retries += 1;
+                    continue;
+                }
+                break r;
+            };
+            outcomes.record(r.trial_outcome());
             if r.deadlocked() {
                 deadlocks += 1;
             }
@@ -169,7 +213,7 @@ impl DeadlockFuzzer {
             steps += r.steps;
             total_duration += r.duration;
         }
-        ProbabilityReport {
+        Ok(ProbabilityReport {
             trials,
             deadlocks,
             matched,
@@ -177,31 +221,68 @@ impl DeadlockFuzzer {
             avg_thrashes: thrashes as f64 / f64::from(trials),
             avg_steps: steps as f64 / f64::from(trials),
             avg_duration: total_duration / trials,
-        }
+            outcomes,
+            retries,
+        })
     }
 
     /// The full tool: Phase I, then Phase II confirmation of every
     /// reported cycle with [`Config::confirm_trials`] trials each.
+    ///
+    /// `run` never panics on a failed confirmation: each cycle's campaign
+    /// is isolated, and an error or panic while confirming one cycle is
+    /// recorded in that cycle's [`CycleConfirmation::error`] while the
+    /// remaining cycles are still confirmed.
     pub fn run(&self) -> Report {
         let phase1 = self.phase1();
         let confirmations = phase1
             .abstract_cycles
             .iter()
             .enumerate()
-            .map(|(i, cycle)| {
-                let probability = self.estimate_probability(cycle, self.config.confirm_trials);
-                CycleConfirmation {
-                    cycle_index: i,
-                    cycle: cycle.clone(),
-                    confirmed: probability.matched > 0,
-                    probability,
-                }
-            })
+            .map(|(i, cycle)| self.confirm_cycle(i, cycle))
             .collect();
         Report {
             program: self.program.name().to_string(),
             phase1,
             confirmations,
+        }
+    }
+
+    /// Confirms one cycle, converting any error or panic into a recorded
+    /// [`CycleConfirmation::error`] instead of aborting the campaign.
+    fn confirm_cycle(&self, index: usize, cycle: &AbstractCycle) -> CycleConfirmation {
+        let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+            self.estimate_probability(cycle, self.config.confirm_trials)
+        }));
+        let outcome: Result<ProbabilityReport, DfError> = match attempt {
+            Ok(result) => result,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "confirmation panicked".to_string());
+                Err(DfError::Confirmation {
+                    cycle_index: index,
+                    message,
+                })
+            }
+        };
+        match outcome {
+            Ok(probability) => CycleConfirmation {
+                cycle_index: index,
+                cycle: cycle.clone(),
+                confirmed: probability.matched > 0,
+                probability,
+                error: None,
+            },
+            Err(e) => CycleConfirmation {
+                cycle_index: index,
+                cycle: cycle.clone(),
+                confirmed: false,
+                probability: ProbabilityReport::default(),
+                error: Some(e.to_string()),
+            },
         }
     }
 
@@ -232,8 +313,16 @@ impl DeadlockFuzzer {
     /// random scheduler, counting how many deadlock (the paper's "ran each
     /// program normally 100 times" control) and measuring their mean
     /// duration for the overhead columns of Table 1.
-    pub fn baseline(&self, trials: u32) -> (u32, std::time::Duration) {
-        assert!(trials > 0, "at least one trial required");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfError::InvalidConfig`] when `trials` is zero.
+    pub fn baseline(&self, trials: u32) -> Result<(u32, std::time::Duration), DfError> {
+        if trials == 0 {
+            return Err(DfError::InvalidConfig(
+                "at least one trial required".to_string(),
+            ));
+        }
         let mut deadlocks = 0;
         let mut total = std::time::Duration::ZERO;
         for i in 0..trials {
@@ -246,7 +335,7 @@ impl DeadlockFuzzer {
                 deadlocks += 1;
             }
         }
-        (deadlocks, total / trials)
+        Ok((deadlocks, total / trials))
     }
 }
 
@@ -282,10 +371,8 @@ mod tests {
 
     #[test]
     fn full_pipeline_confirms_figure1() {
-        let fuzzer = DeadlockFuzzer::with_config(
-            figure1(),
-            Config::default().with_confirm_trials(10),
-        );
+        let fuzzer =
+            DeadlockFuzzer::with_config(figure1(), Config::default().with_confirm_trials(10));
         let report = fuzzer.run();
         assert_eq!(report.program, "figure1");
         assert_eq!(report.potential_count(), 1);
@@ -300,8 +387,11 @@ mod tests {
     #[test]
     fn baseline_rarely_deadlocks_on_figure1() {
         let fuzzer = DeadlockFuzzer::new(figure1());
-        let (deadlocks, _avg) = fuzzer.baseline(20);
-        assert!(deadlocks <= 6, "baseline should rarely deadlock: {deadlocks}/20");
+        let (deadlocks, _avg) = fuzzer.baseline(20).expect("trials > 0");
+        assert!(
+            deadlocks <= 6,
+            "baseline should rarely deadlock: {deadlocks}/20"
+        );
     }
 
     #[test]
@@ -323,7 +413,9 @@ mod tests {
         let r = fuzzer.phase2(&p1.abstract_cycles[0], 3);
         let w1 = r.witness.clone().expect("phase 2 deadlocks");
         let replayed = fuzzer.replay(&r.trace);
-        let w2 = replayed.deadlock().expect("replay lands in the same deadlock");
+        let w2 = replayed
+            .deadlock()
+            .expect("replay lands in the same deadlock");
         assert_eq!(w1.threads(), w2.threads());
         assert_eq!(w1.locks(), w2.locks());
     }
@@ -343,14 +435,18 @@ mod tests {
     fn estimate_probability_counts_trials() {
         let fuzzer = DeadlockFuzzer::new(figure1());
         let p1 = fuzzer.phase1();
-        let prob = fuzzer.estimate_probability(&p1.abstract_cycles[0], 5);
+        let prob = fuzzer
+            .estimate_probability(&p1.abstract_cycles[0], 5)
+            .expect("trials > 0");
         assert_eq!(prob.trials, 5);
         assert_eq!(prob.deadlocks, 5);
         assert!(prob.avg_steps > 0.0);
+        assert_eq!(prob.outcomes.deadlocks, 5);
+        assert_eq!(prob.outcomes.total(), 5);
+        assert_eq!(prob.retries, 0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one trial")]
     fn estimate_probability_rejects_zero_trials() {
         let fuzzer = DeadlockFuzzer::new(figure1());
         let p1 = fuzzer.phase1();
@@ -359,6 +455,107 @@ mod tests {
             .first()
             .cloned()
             .unwrap_or_else(|| AbstractCycle::new(vec![]));
-        fuzzer.estimate_probability(&cycle, 0);
+        let result = fuzzer.estimate_probability(&cycle, 0);
+        assert!(
+            matches!(result, Err(DfError::InvalidConfig(_))),
+            "{result:?}"
+        );
+        assert!(matches!(fuzzer.baseline(0), Err(DfError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn injected_panics_are_classified_and_retried_not_fatal() {
+        use df_runtime::FaultPlan;
+        // Predict the cycle with a clean fuzzer, then confirm it under a
+        // plan that panics on every first acquire.
+        let clean = DeadlockFuzzer::new(figure1());
+        let cycle = clean.phase1().abstract_cycles[0].clone();
+        let mut config = Config::default().with_trial_retries(1);
+        config.run = config
+            .run
+            .with_fault_plan(FaultPlan::new(7).with_panic_on_acquire(1.0));
+        let faulty = DeadlockFuzzer::with_config(figure1(), config);
+        let prob = faulty.estimate_probability(&cycle, 4).expect("trials > 0");
+        assert_eq!(prob.trials, 4);
+        assert_eq!(prob.deadlocks, 0);
+        assert_eq!(prob.outcomes.panics, 4, "{:?}", prob.outcomes);
+        assert_eq!(prob.retries, 4, "each trial retried once");
+        let s = prob.to_string();
+        assert!(s.contains("4 panic"), "{s}");
+    }
+
+    #[test]
+    fn campaign_failure_is_recorded_not_fatal() {
+        // confirm_trials = 0 makes every confirmation campaign fail with
+        // InvalidConfig; run() must record it and finish, not panic.
+        let fuzzer =
+            DeadlockFuzzer::with_config(figure1(), Config::default().with_confirm_trials(0));
+        let report = fuzzer.run();
+        assert_eq!(report.potential_count(), 1);
+        assert_eq!(report.confirmed_count(), 0);
+        assert_eq!(report.failed_count(), 1);
+        let conf = &report.confirmations[0];
+        assert!(!conf.confirmed);
+        assert!(
+            conf.error
+                .as_deref()
+                .unwrap_or("")
+                .contains("at least one trial"),
+            "{:?}",
+            conf.error
+        );
+        assert_eq!(conf.probability.trials, 0);
+        let text = report.to_string();
+        assert!(text.contains("FAILED"), "{text}");
+    }
+
+    #[test]
+    fn trial_deadline_bounds_programs_that_spin_forever() {
+        use std::time::Duration;
+        let mut config = Config::default().with_trial_deadline(Some(Duration::from_millis(200)));
+        config.run = config
+            .run
+            .with_max_steps(u64::MAX)
+            .with_hang_timeout(Duration::from_secs(60));
+        let fuzzer = DeadlockFuzzer::with_config(
+            Named::new("spinner", |ctx: &TCtx| loop {
+                ctx.yield_now();
+            }),
+            config,
+        );
+        let start = Instant::now();
+        let report = fuzzer.run();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "deadline must bound the campaign"
+        );
+        assert_eq!(report.phase1.run_outcome, Outcome::DeadlineExceeded);
+    }
+
+    #[test]
+    fn chaos_campaign_still_terminates_with_a_report() {
+        use df_runtime::FaultPlan;
+        use std::time::Duration;
+        let mut config = Config::default()
+            .with_confirm_trials(3)
+            .with_trial_retries(1)
+            .with_trial_deadline(Some(Duration::from_secs(5)));
+        config.run = config.run.with_max_steps(20_000).with_fault_plan(
+            FaultPlan::new(11)
+                .with_panic_on_acquire(0.05)
+                .with_leak_release(0.05)
+                .with_spurious_wakeup(0.1)
+                .with_runaway_spawn(0.2),
+        );
+        let fuzzer = DeadlockFuzzer::with_config(figure1(), config);
+        let report = fuzzer.run();
+        // Whatever the faults did, every campaign finished with every
+        // trial classified.
+        for conf in &report.confirmations {
+            if conf.error.is_none() {
+                assert_eq!(conf.probability.outcomes.total(), 3);
+            }
+        }
+        let _ = report.to_string();
     }
 }

@@ -7,6 +7,134 @@ use df_igoodlock::{AbstractCycle, Cycle, IGoodlockStats};
 use df_runtime::{DeadlockWitness, Outcome};
 use serde::{Deserialize, Serialize};
 
+/// Coarse classification of one Phase II trial — the campaign-level
+/// failure taxonomy.
+///
+/// A [`df_runtime::Outcome`] carries run-internal detail (witnesses,
+/// messages); `TrialOutcome` collapses it to the classes the campaign
+/// runner makes decisions on: panicked and timed-out trials are retried
+/// with a rotated seed, and every class is counted in
+/// [`TrialOutcomes`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TrialOutcome {
+    /// The program ran to completion without deadlocking.
+    Completed,
+    /// A real deadlock was witnessed (matching the target or not).
+    Deadlock,
+    /// The run stalled without a lock cycle (join cycle, lost signal).
+    Stall,
+    /// The program under test panicked.
+    ProgramPanic,
+    /// The trial exhausted its step budget, hang watchdog, or wall-clock
+    /// deadline.
+    Timeout,
+    /// The harness itself failed (e.g. a strategy abort).
+    InternalError,
+}
+
+impl TrialOutcome {
+    /// Classifies a runtime outcome.
+    pub fn classify(outcome: &Outcome) -> Self {
+        match outcome {
+            Outcome::Completed => TrialOutcome::Completed,
+            Outcome::Deadlock(_) => TrialOutcome::Deadlock,
+            Outcome::Stall { .. } | Outcome::CommunicationStall { .. } => TrialOutcome::Stall,
+            Outcome::ProgramPanic(_) => TrialOutcome::ProgramPanic,
+            Outcome::StepLimit | Outcome::Hang | Outcome::DeadlineExceeded => TrialOutcome::Timeout,
+            Outcome::StrategyAbort(_) => TrialOutcome::InternalError,
+        }
+    }
+
+    /// Whether the campaign runner should retry this trial with a rotated
+    /// seed: panics, timeouts and internal errors say nothing about the
+    /// cycle under test, while completed/deadlock/stall are real verdicts.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TrialOutcome::ProgramPanic | TrialOutcome::Timeout | TrialOutcome::InternalError
+        )
+    }
+}
+
+impl fmt::Display for TrialOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrialOutcome::Completed => "completed",
+            TrialOutcome::Deadlock => "deadlock",
+            TrialOutcome::Stall => "stall",
+            TrialOutcome::ProgramPanic => "program-panic",
+            TrialOutcome::Timeout => "timeout",
+            TrialOutcome::InternalError => "internal-error",
+        })
+    }
+}
+
+/// Per-class trial counts for one confirmation campaign.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TrialOutcomes {
+    /// Trials that completed without deadlock.
+    pub completed: u32,
+    /// Trials that witnessed a real deadlock.
+    pub deadlocks: u32,
+    /// Trials that stalled without a lock cycle.
+    pub stalls: u32,
+    /// Trials whose final attempt panicked in program code.
+    pub panics: u32,
+    /// Trials whose final attempt timed out (steps, hang, or deadline).
+    pub timeouts: u32,
+    /// Trials whose final attempt failed inside the harness.
+    pub internal_errors: u32,
+}
+
+impl TrialOutcomes {
+    /// Counts one (final-attempt) trial outcome.
+    pub fn record(&mut self, outcome: TrialOutcome) {
+        match outcome {
+            TrialOutcome::Completed => self.completed += 1,
+            TrialOutcome::Deadlock => self.deadlocks += 1,
+            TrialOutcome::Stall => self.stalls += 1,
+            TrialOutcome::ProgramPanic => self.panics += 1,
+            TrialOutcome::Timeout => self.timeouts += 1,
+            TrialOutcome::InternalError => self.internal_errors += 1,
+        }
+    }
+
+    /// Total trials counted.
+    pub fn total(&self) -> u32 {
+        self.completed
+            + self.deadlocks
+            + self.stalls
+            + self.panics
+            + self.timeouts
+            + self.internal_errors
+    }
+
+    /// Merges another count set into this one.
+    pub fn merge(&mut self, other: &TrialOutcomes) {
+        self.completed += other.completed;
+        self.deadlocks += other.deadlocks;
+        self.stalls += other.stalls;
+        self.panics += other.panics;
+        self.timeouts += other.timeouts;
+        self.internal_errors += other.internal_errors;
+    }
+}
+
+impl fmt::Display for TrialOutcomes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} completed, {} deadlock, {} stall, {} panic, {} timeout, {} internal",
+            self.completed,
+            self.deadlocks,
+            self.stalls,
+            self.panics,
+            self.timeouts,
+            self.internal_errors
+        )
+    }
+}
+
 /// Result of Phase I: one observed execution + iGoodlock.
 #[derive(Clone, Debug)]
 pub struct Phase1Report {
@@ -88,6 +216,11 @@ impl Phase2Report {
     pub fn deadlocked(&self) -> bool {
         self.witness.is_some()
     }
+
+    /// The trial-level classification of this run's outcome.
+    pub fn trial_outcome(&self) -> TrialOutcome {
+        TrialOutcome::classify(&self.outcome)
+    }
 }
 
 /// Aggregate of repeated Phase II trials for one cycle — one row of the
@@ -109,6 +242,29 @@ pub struct ProbabilityReport {
     pub avg_steps: f64,
     /// Mean wall-clock duration per run.
     pub avg_duration: Duration,
+    /// Per-class counts of the final attempt of every trial.
+    pub outcomes: TrialOutcomes,
+    /// Retries spent on panicked/timed-out attempts (each trial retries at
+    /// most [`crate::Config::trial_retries`] times with a rotated seed).
+    pub retries: u32,
+}
+
+impl Default for ProbabilityReport {
+    /// A zero-trial placeholder, used when a confirmation campaign failed
+    /// before producing any trials.
+    fn default() -> Self {
+        ProbabilityReport {
+            trials: 0,
+            deadlocks: 0,
+            matched: 0,
+            probability: 0.0,
+            avg_thrashes: 0.0,
+            avg_steps: 0.0,
+            avg_duration: Duration::ZERO,
+            outcomes: TrialOutcomes::default(),
+            retries: 0,
+        }
+    }
 }
 
 impl fmt::Display for ProbabilityReport {
@@ -117,7 +273,17 @@ impl fmt::Display for ProbabilityReport {
             f,
             "deadlock probability {:.2} ({} of {} runs, {} matching target), avg thrashes {:.2}",
             self.probability, self.deadlocks, self.trials, self.matched, self.avg_thrashes
-        )
+        )?;
+        if self.outcomes.panics + self.outcomes.timeouts + self.outcomes.internal_errors > 0
+            || self.retries > 0
+        {
+            write!(
+                f,
+                " [outcomes: {}; retries {}]",
+                self.outcomes, self.retries
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -133,6 +299,10 @@ pub struct CycleConfirmation {
     /// Whether at least one trial reproduced this cycle (DeadlockFuzzer's
     /// "confirmed real deadlock" verdict — never a false positive).
     pub confirmed: bool,
+    /// Why confirmation could not run (invalid config or an internal
+    /// panic), if it failed; the campaign records the error and moves on
+    /// to the next cycle instead of aborting.
+    pub error: Option<String>,
 }
 
 /// Result of the full two-phase pipeline on one program.
@@ -156,6 +326,23 @@ impl Report {
     pub fn potential_count(&self) -> usize {
         self.phase1.cycle_count()
     }
+
+    /// Confirmation campaigns that failed to run (recorded, not fatal).
+    pub fn failed_count(&self) -> usize {
+        self.confirmations
+            .iter()
+            .filter(|c| c.error.is_some())
+            .count()
+    }
+
+    /// Aggregate trial-outcome counts over every confirmation campaign.
+    pub fn trial_outcome_totals(&self) -> TrialOutcomes {
+        let mut totals = TrialOutcomes::default();
+        for c in &self.confirmations {
+            totals.merge(&c.probability.outcomes);
+        }
+        totals
+    }
 }
 
 impl fmt::Display for Report {
@@ -163,13 +350,28 @@ impl fmt::Display for Report {
         writeln!(f, "=== DeadlockFuzzer report: {} ===", self.program)?;
         write!(f, "{}", self.phase1)?;
         for c in &self.confirmations {
-            writeln!(
-                f,
-                "  cycle {}: {} — {}",
-                c.cycle_index + 1,
-                if c.confirmed { "CONFIRMED" } else { "not reproduced" },
-                c.probability
-            )?;
+            match &c.error {
+                Some(e) => writeln!(
+                    f,
+                    "  cycle {}: confirmation FAILED — {e}",
+                    c.cycle_index + 1
+                )?,
+                None => writeln!(
+                    f,
+                    "  cycle {}: {} — {}",
+                    c.cycle_index + 1,
+                    if c.confirmed {
+                        "CONFIRMED"
+                    } else {
+                        "not reproduced"
+                    },
+                    c.probability
+                )?,
+            }
+        }
+        let totals = self.trial_outcome_totals();
+        if totals.total() > 0 {
+            writeln!(f, "trial outcomes: {totals}")?;
         }
         writeln!(
             f,
@@ -194,10 +396,31 @@ mod tests {
             avg_thrashes: 0.0,
             avg_steps: 120.0,
             avg_duration: Duration::from_millis(3),
+            ..ProbabilityReport::default()
         };
         let s = p.to_string();
         assert!(s.contains("0.99"));
         assert!(s.contains("99 of 100"));
+        // Clean campaigns do not clutter the row with the taxonomy.
+        assert!(!s.contains("retries"));
+    }
+
+    #[test]
+    fn probability_report_display_surfaces_degradation() {
+        let mut p = ProbabilityReport {
+            trials: 10,
+            deadlocks: 4,
+            matched: 4,
+            probability: 0.4,
+            retries: 3,
+            ..ProbabilityReport::default()
+        };
+        p.outcomes.deadlocks = 4;
+        p.outcomes.timeouts = 5;
+        p.outcomes.panics = 1;
+        let s = p.to_string();
+        assert!(s.contains("5 timeout"), "{s}");
+        assert!(s.contains("retries 3"), "{s}");
     }
 
     #[test]
@@ -210,10 +433,71 @@ mod tests {
             avg_thrashes: 1.5,
             avg_steps: 10.0,
             avg_duration: Duration::from_micros(17),
+            ..ProbabilityReport::default()
         };
         let json = serde_json::to_string(&p).unwrap();
         let back: ProbabilityReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.trials, 10);
         assert_eq!(back.avg_duration, Duration::from_micros(17));
+        assert_eq!(back.outcomes, TrialOutcomes::default());
+    }
+
+    #[test]
+    fn trial_outcome_classification_covers_every_runtime_outcome() {
+        use df_events::ThreadId;
+        let cases = [
+            (Outcome::Completed, TrialOutcome::Completed),
+            (Outcome::StepLimit, TrialOutcome::Timeout),
+            (Outcome::Hang, TrialOutcome::Timeout),
+            (Outcome::DeadlineExceeded, TrialOutcome::Timeout),
+            (
+                Outcome::ProgramPanic("boom".into()),
+                TrialOutcome::ProgramPanic,
+            ),
+            (
+                Outcome::StrategyAbort("bug".into()),
+                TrialOutcome::InternalError,
+            ),
+            (
+                Outcome::Stall {
+                    stuck: vec![ThreadId::new(1)],
+                },
+                TrialOutcome::Stall,
+            ),
+            (
+                Outcome::CommunicationStall {
+                    stuck: vec![ThreadId::new(1)],
+                    waiting: vec![ThreadId::new(1)],
+                },
+                TrialOutcome::Stall,
+            ),
+        ];
+        for (outcome, expected) in cases {
+            assert_eq!(TrialOutcome::classify(&outcome), expected, "{outcome}");
+        }
+    }
+
+    #[test]
+    fn retryable_classes_are_the_non_verdicts() {
+        assert!(TrialOutcome::ProgramPanic.is_retryable());
+        assert!(TrialOutcome::Timeout.is_retryable());
+        assert!(TrialOutcome::InternalError.is_retryable());
+        assert!(!TrialOutcome::Completed.is_retryable());
+        assert!(!TrialOutcome::Deadlock.is_retryable());
+        assert!(!TrialOutcome::Stall.is_retryable());
+    }
+
+    #[test]
+    fn trial_outcome_counters_record_and_merge() {
+        let mut a = TrialOutcomes::default();
+        a.record(TrialOutcome::Deadlock);
+        a.record(TrialOutcome::Timeout);
+        let mut b = TrialOutcomes::default();
+        b.record(TrialOutcome::Deadlock);
+        b.merge(&a);
+        assert_eq!(b.deadlocks, 2);
+        assert_eq!(b.timeouts, 1);
+        assert_eq!(b.total(), 3);
+        assert!(b.to_string().contains("2 deadlock"));
     }
 }

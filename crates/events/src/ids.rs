@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(main.as_usize(), 0);
 /// assert!(main < ThreadId::new(1));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ThreadId(u32);
 
 impl ThreadId {
@@ -66,9 +64,7 @@ impl fmt::Debug for ThreadId {
 /// let o = ObjId::new(7);
 /// assert_eq!(o.as_usize(), 7);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ObjId(u32);
 
 impl ObjId {

@@ -61,6 +61,10 @@ pub struct ObjectMeta {
     /// Creation sequence number — a total order on allocations, used only
     /// for debugging output.
     pub seq: u64,
+    /// Human-readable name, when the substrate knows one (thread objects
+    /// carry their spawn name). Used only for reporting — witnesses print
+    /// it next to the thread id — never by the abstractions.
+    pub name: Option<String>,
 }
 
 /// All objects created during one execution, indexed by [`ObjId`].
@@ -94,6 +98,19 @@ impl ObjectTable {
         owner: Option<ObjId>,
         index: Vec<IndexFrame>,
     ) -> ObjId {
+        self.create_named(kind, site, owner, index, None)
+    }
+
+    /// Registers a new object with a human-readable name (e.g. a thread's
+    /// spawn name) and returns its id.
+    pub fn create_named(
+        &mut self,
+        kind: ObjKind,
+        site: Label,
+        owner: Option<ObjId>,
+        index: Vec<IndexFrame>,
+        name: Option<String>,
+    ) -> ObjId {
         let id = ObjId::new(u32::try_from(self.metas.len()).expect("object table overflow"));
         let seq = self.metas.len() as u64;
         self.metas.push(ObjectMeta {
@@ -103,6 +120,7 @@ impl ObjectTable {
             owner,
             index,
             seq,
+            name,
         });
         id
     }
@@ -232,7 +250,10 @@ mod tests {
     #[test]
     fn index_frames_record_counts() {
         let mut t = ObjectTable::new();
-        let idx = vec![IndexFrame::new(l("foo:6"), 1), IndexFrame::new(l("bar:11"), 3)];
+        let idx = vec![
+            IndexFrame::new(l("foo:6"), 1),
+            IndexFrame::new(l("bar:11"), 3),
+        ];
         let o = t.create(ObjKind::Lock, l("bar:11"), None, idx.clone());
         assert_eq!(t.get(o).index, idx);
     }
@@ -240,9 +261,30 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let mut t = ObjectTable::new();
-        t.create(ObjKind::Lock, l("s:1"), None, vec![IndexFrame::new(l("s:0"), 2)]);
+        t.create(
+            ObjKind::Lock,
+            l("s:1"),
+            None,
+            vec![IndexFrame::new(l("s:0"), 2)],
+        );
+        t.create_named(
+            ObjKind::Thread,
+            l("s:2"),
+            None,
+            vec![],
+            Some("worker".into()),
+        );
         let json = serde_json::to_string(&t).unwrap();
         let back: ObjectTable = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn named_objects_keep_their_name() {
+        let mut t = ObjectTable::new();
+        let anon = t.create(ObjKind::Lock, l("n:1"), None, vec![]);
+        let named = t.create_named(ObjKind::Thread, l("n:2"), None, vec![], Some("t1".into()));
+        assert_eq!(t.get(anon).name, None);
+        assert_eq!(t.get(named).name.as_deref(), Some("t1"));
     }
 }

@@ -326,8 +326,7 @@ mod tests {
             };
             let t1 = ctx.spawn(site!("main:25 start"), "t1", run_body(o1, o2, true));
             let t2 = ctx.spawn(site!("main:26 start"), "t2", run_body(o2, o1, false));
-            let t3 =
-                o3.map(|o3| ctx.spawn(site!("main:27 start"), "t3", run_body(o2, o3, false)));
+            let t3 = o3.map(|o3| ctx.spawn(site!("main:27 start"), "t3", run_body(o2, o3, false)));
             ctx.join(&t1, site!());
             ctx.join(&t2, site!());
             if let Some(t3) = t3 {
@@ -343,11 +342,13 @@ mod tests {
         mode: AbstractionMode,
         seed: u64,
     ) -> Vec<AbstractCycle> {
-        let r = VirtualRuntime::new(RunConfig::default())
-            .run(Box::new(SimpleRandomChecker::with_seed(seed)), {
+        let r = VirtualRuntime::new(RunConfig::default()).run(
+            Box::new(SimpleRandomChecker::with_seed(seed)),
+            {
                 let p = program.clone();
                 move |ctx| p(ctx)
-            });
+            },
+        );
         let rel = LockDependencyRelation::from_trace(&r.trace);
         let abstractor = Abstractor::new(mode);
         igoodlock(&rel, &IGoodlockOptions::default())
@@ -356,10 +357,7 @@ mod tests {
             .collect()
     }
 
-    fn phase2(
-        program: impl Fn(&TCtx) + Send + Clone + 'static,
-        config: ActiveConfig,
-    ) -> RunResult {
+    fn phase2(program: impl Fn(&TCtx) + Send + Clone + 'static, config: ActiveConfig) -> RunResult {
         VirtualRuntime::new(RunConfig::default()).run(Box::new(ActiveStrategy::new(config)), {
             move |ctx| program(ctx)
         })
@@ -406,7 +404,9 @@ mod tests {
         for seed in 0..20 {
             let r = phase2(
                 figure1(false),
-                ActiveConfig::new(cycle.clone()).with_seed(seed).with_mode(mode),
+                ActiveConfig::new(cycle.clone())
+                    .with_seed(seed)
+                    .with_mode(mode),
             );
             assert!(
                 r.outcome.is_deadlock(),
@@ -422,7 +422,9 @@ mod tests {
         let cycle = phase1(figure1(false), mode, 3).remove(0);
         let r = phase2(
             figure1(false),
-            ActiveConfig::new(cycle.clone()).with_seed(1).with_mode(mode),
+            ActiveConfig::new(cycle.clone())
+                .with_seed(1)
+                .with_mode(mode),
         );
         let w = r.deadlock().expect("deadlock created");
         assert_eq!(w.len(), 2);
@@ -455,13 +457,11 @@ mod tests {
         for seed in 0..15 {
             let r = phase2(
                 figure1(true),
-                ActiveConfig::new(cycle.clone()).with_seed(seed).with_mode(mode),
+                ActiveConfig::new(cycle.clone())
+                    .with_seed(seed)
+                    .with_mode(mode),
             );
-            assert!(
-                r.outcome.is_deadlock(),
-                "seed {seed}: {:?}",
-                r.outcome
-            );
+            assert!(r.outcome.is_deadlock(), "seed {seed}: {:?}", r.outcome);
             assert_eq!(r.stats.thrashes, 0, "exact abstraction must not thrash");
         }
     }
@@ -471,8 +471,7 @@ mod tests {
         // §3: without abstractions (trivial mode) the third thread gets
         // paused at the same context, causing thrashing and occasional
         // misses (paper: miss probability ≈ 0.25).
-        let exact = phase1(figure1(true), AbstractionMode::default(), 3)
-            .remove(0);
+        let exact = phase1(figure1(true), AbstractionMode::default(), 3).remove(0);
         let _ = exact; // the trivial run re-abstracts its own cycle:
         let trivial_cycle = phase1(figure1(true), AbstractionMode::Trivial, 3).remove(0);
         let mut misses = 0;

@@ -239,19 +239,12 @@ impl Strategy for AtomStrategy {
                 self.owner_paused.map(|(p, _)| p == *t).unwrap_or(false)
                     || self.interloper_paused == Some(*t)
             };
-            let candidates: Vec<ThreadId> = enabled
-                .iter()
-                .copied()
-                .filter(|t| !is_paused(t))
-                .collect();
+            let candidates: Vec<ThreadId> =
+                enabled.iter().copied().filter(|t| !is_paused(t)).collect();
             if candidates.is_empty() {
                 // Everyone runnable is paused: thrash-release one; it
                 // runs *through* the pause point and is not re-caught.
-                let mut paused: Vec<ThreadId> = enabled
-                    .iter()
-                    .copied()
-                    .filter(is_paused)
-                    .collect();
+                let mut paused: Vec<ThreadId> = enabled.iter().copied().filter(is_paused).collect();
                 paused.sort();
                 if paused.is_empty() {
                     return Directive::Run(enabled[0]);
@@ -439,8 +432,8 @@ mod tests {
         let trials = 20;
         for seed in 0..trials {
             let (strategy, witness) = AtomStrategy::new(candidate.clone(), seed);
-            let r = VirtualRuntime::new(RunConfig::default())
-                .run(Box::new(strategy), banking_program);
+            let r =
+                VirtualRuntime::new(RunConfig::default()).run(Box::new(strategy), banking_program);
             assert!(r.outcome.is_completed(), "{:?}", r.outcome);
             let got = witness.lock().take();
             if let Some(w) = got {
@@ -484,8 +477,7 @@ mod tests {
             .clone();
         for seed in 0..10 {
             let (strategy, witness) = AtomStrategy::new(rwr.clone(), seed);
-            let out = VirtualRuntime::new(RunConfig::default())
-                .run(Box::new(strategy), program);
+            let out = VirtualRuntime::new(RunConfig::default()).run(Box::new(strategy), program);
             assert!(out.outcome.is_completed(), "{:?}", out.outcome);
             let got = witness.lock().take();
             assert!(got.is_some(), "seed {seed} must create the R-W-R violation");

@@ -51,15 +51,13 @@ pub fn check_real_deadlock(
         // can never be part of a cycle: a cycle needs the lock to be held
         // by a cycle member.)
         let wanted = match t.pending {
-            Some(PendingOp::Acquire { lock, .. })
-            | Some(PendingOp::WaitReacquire { lock, .. }) => Some(*lock),
+            Some(PendingOp::Acquire { lock, .. }) | Some(PendingOp::WaitReacquire { lock, .. }) => {
+                Some(*lock)
+            }
             _ => None,
         };
         if let Some(lock) = wanted {
-            let held_by_other = view
-                .lock_owner(lock)
-                .map(|o| o != t.id)
-                .unwrap_or(false);
+            let held_by_other = view.lock_owner(lock).map(|o| o != t.id).unwrap_or(false);
             if held_by_other {
                 graph.add_waits(t.id, lock);
             }
@@ -88,6 +86,7 @@ pub fn check_real_deadlock(
             WitnessComponent {
                 thread: tid,
                 thread_obj: t.obj,
+                thread_name: Some(t.name.to_string()),
                 holding: t.lock_stack.to_vec(),
                 waiting_for,
                 context,

@@ -22,8 +22,7 @@ use df_events::ThreadId;
 use parking_lot::Mutex;
 
 use df_runtime::{
-    DeadlockWitness, Directive, RunConfig, StateView, Strategy, StrategyStats, TCtx,
-    VirtualRuntime,
+    DeadlockWitness, Directive, RunConfig, StateView, Strategy, StrategyStats, TCtx, VirtualRuntime,
 };
 
 /// The per-decision record of one directed run.
@@ -257,9 +256,7 @@ mod tests {
                     ..ExploreOptions::default()
                 },
             );
-            let first = result
-                .first_deadlock_run()
-                .expect("deadlock reachable") as u64;
+            let first = result.first_deadlock_run().expect("deadlock reachable") as u64;
             counts.push(first);
         }
         assert!(

@@ -340,7 +340,8 @@ mod tests {
         }
         let text: Vec<String> = races.iter().map(|c| c.to_string()).collect();
         assert!(
-            text.iter().any(|t| t.contains("t1 write") && t.contains("t2 write")),
+            text.iter()
+                .any(|t| t.contains("t1 write") && t.contains("t2 write")),
             "the write-write race is predicted: {text:?}"
         );
     }
@@ -363,8 +364,7 @@ mod tests {
             .clone();
         for seed in 0..10 {
             let (strategy, witness) = RaceStrategy::new(target.clone(), seed);
-            let r = VirtualRuntime::new(RunConfig::default())
-                .run(Box::new(strategy), racy_program);
+            let r = VirtualRuntime::new(RunConfig::default()).run(Box::new(strategy), racy_program);
             let w = witness.lock().clone();
             let w = w.unwrap_or_else(|| panic!("seed {seed}: no witness ({:?})", r.outcome));
             assert_ne!(w.first.0, w.second.0, "distinct threads");
@@ -381,8 +381,7 @@ mod tests {
             write_b: true,
         };
         let (strategy, witness) = RaceStrategy::new(bogus, 1);
-        let r = VirtualRuntime::new(RunConfig::default())
-            .run(Box::new(strategy), racy_program);
+        let r = VirtualRuntime::new(RunConfig::default()).run(Box::new(strategy), racy_program);
         assert!(r.outcome.is_completed(), "{:?}", r.outcome);
         assert!(witness.lock().is_none());
     }

@@ -96,10 +96,10 @@ mod tests {
 
     #[test]
     fn stats_count_picks() {
-        let r = VirtualRuntime::new(RunConfig::default()).run(
-            Box::new(SimpleRandomChecker::with_seed(1)),
-            |ctx| ctx.work(5),
-        );
+        let r = VirtualRuntime::new(RunConfig::default())
+            .run(Box::new(SimpleRandomChecker::with_seed(1)), |ctx| {
+                ctx.work(5)
+            });
         assert!(r.outcome.is_completed());
         assert!(r.stats.picks >= 5);
         assert_eq!(r.stats.thrashes, 0);

@@ -102,11 +102,7 @@ impl Chain {
             return false;
         }
         // 2(4): locksets pairwise disjoint.
-        if dep
-            .lockset
-            .iter()
-            .any(|l| self.lockset_union.contains(l))
-        {
+        if dep.lockset.iter().any(|l| self.lockset_union.contains(l)) {
             return false;
         }
         true
@@ -294,9 +290,7 @@ mod tests {
             thread_obj: ObjId::new(t),
             lockset: held.iter().map(|&h| ObjId::new(100 + h)).collect(),
             lock: ObjId::new(100 + lock),
-            contexts: (0..=held.len())
-                .map(|i| l(&format!("c:{i}")))
-                .collect(),
+            contexts: (0..=held.len()).map(|i| l(&format!("c:{i}"))).collect(),
         }
     }
 
@@ -340,10 +334,7 @@ mod tests {
         // Definition 2(4) (disjoint locksets) rules the cycle out — this is
         // exactly why Goodlock-style analyses do not flag gate-protected
         // nesting.
-        let rel = LockDependencyRelation::from_deps(vec![
-            dep(1, &[9, 1], 2),
-            dep(2, &[9, 2], 1),
-        ]);
+        let rel = LockDependencyRelation::from_deps(vec![dep(1, &[9, 1], 2), dep(2, &[9, 2], 1)]);
         assert!(igoodlock(&rel, &IGoodlockOptions::default()).is_empty());
     }
 
@@ -394,8 +385,7 @@ mod tests {
             dep(2, &[2], 3),
             dep(3, &[3], 1),
         ]);
-        let (cycles, stats) =
-            igoodlock_with_stats(&rel, &IGoodlockOptions::length_two_only());
+        let (cycles, stats) = igoodlock_with_stats(&rel, &IGoodlockOptions::length_two_only());
         assert!(cycles.is_empty());
         assert!(stats.truncated);
         let (cycles, stats) = igoodlock_with_stats(
@@ -501,9 +491,9 @@ mod proptests {
     fn arb_relation() -> impl Strategy<Value = LockDependencyRelation> {
         prop::collection::vec(
             (
-                1..5u32,                                // thread
-                prop::collection::vec(0..6u32, 1..3),   // held
-                0..6u32,                                // lock
+                1..5u32,                              // thread
+                prop::collection::vec(0..6u32, 1..3), // held
+                0..6u32,                              // lock
             ),
             0..14,
         )
@@ -518,7 +508,10 @@ mod proptests {
                     LockDep {
                         thread: ThreadId::new(t),
                         thread_obj: df_events::ObjId::new(t),
-                        lockset: held.iter().map(|&h| df_events::ObjId::new(100 + h)).collect(),
+                        lockset: held
+                            .iter()
+                            .map(|&h| df_events::ObjId::new(100 + h))
+                            .collect(),
                         lock: df_events::ObjId::new(100 + lock),
                         contexts: (0..=held.len())
                             .map(|i| Label::new(&format!("p:{i}")))

@@ -214,9 +214,7 @@ impl AbstractCycle {
         if n == 0 {
             return true;
         }
-        (0..n).any(|shift| {
-            (0..n).all(|i| self.components[i] == other.components[(i + shift) % n])
-        })
+        (0..n).any(|shift| (0..n).all(|i| self.components[i] == other.components[(i + shift) % n]))
     }
 }
 

@@ -78,12 +78,10 @@ impl Dfs<'_> {
             if !dep.lockset.contains(&last_lock) {
                 continue;
             }
-            if chain.iter().any(|&i| {
-                self.deps[i]
-                    .lockset
-                    .iter()
-                    .any(|l| dep.lockset.contains(l))
-            }) {
+            if chain
+                .iter()
+                .any(|&i| self.deps[i].lockset.iter().any(|l| dep.lockset.contains(l)))
+            {
                 continue;
             }
             self.stats.extensions += 1;
@@ -230,8 +228,7 @@ mod tests {
             dep(2, &[2], 3),
             dep(3, &[3], 1),
         ]);
-        let (cycles, stats) =
-            goodlock_dfs(&rel, &IGoodlockOptions::length_two_only());
+        let (cycles, stats) = goodlock_dfs(&rel, &IGoodlockOptions::length_two_only());
         assert!(cycles.is_empty());
         assert!(stats.truncated);
     }

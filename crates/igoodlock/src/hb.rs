@@ -63,9 +63,10 @@ impl VectorClock {
     /// Whether `self ≤ other` componentwise (self happens-before-or-equal
     /// other).
     pub fn leq(&self, other: &VectorClock) -> bool {
-        self.entries.iter().enumerate().all(|(i, &v)| {
-            v <= other.entries.get(i).copied().unwrap_or(0)
-        })
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.entries.get(i).copied().unwrap_or(0))
     }
 }
 
@@ -92,11 +93,7 @@ impl HbFilter {
     /// Computes fork/join vector clocks for `trace`.
     pub fn from_trace(trace: &Trace) -> Self {
         let threads = trace.threads();
-        let n = threads
-            .iter()
-            .map(|t| t.as_usize() + 1)
-            .max()
-            .unwrap_or(0);
+        let n = threads.iter().map(|t| t.as_usize() + 1).max().unwrap_or(0);
         let mut current: HashMap<ThreadId, VectorClock> = HashMap::new();
         // Clock transferred from a spawn event to the child's start.
         let mut pending_start: HashMap<ThreadId, VectorClock> = HashMap::new();
@@ -105,9 +102,7 @@ impl HbFilter {
         let mut clocks = Vec::with_capacity(trace.events().len());
         for event in trace.events() {
             let t = event.thread;
-            let entry = current
-                .entry(t)
-                .or_insert_with(|| VectorClock::new(n));
+            let entry = current.entry(t).or_insert_with(|| VectorClock::new(n));
             entry.tick(t.as_usize());
             match &event.kind {
                 EventKind::Spawn { child, .. } => {
@@ -243,7 +238,10 @@ mod tests {
         let trace = forked_trace();
         let hb = HbFilter::from_trace(&trace);
         assert!(hb.happens_before(3, 5), "A's events before the join");
-        assert!(hb.happens_before(3, 8), "A's events before B's (join+spawn)");
+        assert!(
+            hb.happens_before(3, 8),
+            "A's events before B's (join+spawn)"
+        );
         assert!(!hb.happens_before(5, 3));
     }
 

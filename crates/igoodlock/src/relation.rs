@@ -83,10 +83,8 @@ impl LockDependencyRelation {
         let mut raw_count = 0;
         // Per-thread stack of (lock, acquire seq) mirroring `held`, for
         // hold-window starts.
-        let mut stacks: std::collections::HashMap<
-            df_events::ThreadId,
-            Vec<(ObjId, u64)>,
-        > = std::collections::HashMap::new();
+        let mut stacks: std::collections::HashMap<df_events::ThreadId, Vec<(ObjId, u64)>> =
+            std::collections::HashMap::new();
         for event in trace.events() {
             match &event.kind {
                 EventKind::Acquire {

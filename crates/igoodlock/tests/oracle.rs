@@ -18,22 +18,16 @@ fn brute_force_cycles(rel: &LockDependencyRelation) -> BTreeSet<Vec<String>> {
     let mut found = BTreeSet::new();
     // Enumerate sequences (permutations of subsets) up to length 4 via
     // DFS over indices.
-    fn dfs(
-        deps: &[LockDep],
-        chain: &mut Vec<usize>,
-        found: &mut BTreeSet<Vec<String>>,
-    ) {
+    fn dfs(deps: &[LockDep], chain: &mut Vec<usize>, found: &mut BTreeSet<Vec<String>>) {
         let m = chain.len();
         if m >= 2 {
             // Check Definition 2 on the whole chain.
             let ok = {
                 let threads: Vec<_> = chain.iter().map(|&i| deps[i].thread).collect();
                 let locks: Vec<_> = chain.iter().map(|&i| deps[i].lock).collect();
-                let distinct_threads =
-                    threads.iter().collect::<BTreeSet<_>>().len() == m;
+                let distinct_threads = threads.iter().collect::<BTreeSet<_>>().len() == m;
                 let distinct_locks = locks.iter().collect::<BTreeSet<_>>().len() == m;
-                let chained = (0..m - 1)
-                    .all(|i| deps[chain[i + 1]].lockset.contains(&locks[i]));
+                let chained = (0..m - 1).all(|i| deps[chain[i + 1]].lockset.contains(&locks[i]));
                 let disjoint = (0..m).all(|i| {
                     (i + 1..m).all(|j| {
                         deps[chain[i]]
@@ -49,9 +43,7 @@ fn brute_force_cycles(rel: &LockDependencyRelation) -> BTreeSet<Vec<String>> {
                 let last_lock = deps[*chain.last().unwrap()].lock;
                 if deps[chain[0]].lockset.contains(&last_lock) {
                     // Canonicalize: rotate so the minimum thread id leads.
-                    let min_pos = (0..m)
-                        .min_by_key(|&i| deps[chain[i]].thread)
-                        .unwrap();
+                    let min_pos = (0..m).min_by_key(|&i| deps[chain[i]].thread).unwrap();
                     let key: Vec<String> = (0..m)
                         .map(|i| {
                             let d = &deps[chain[(min_pos + i) % m]];
@@ -59,10 +51,7 @@ fn brute_force_cycles(rel: &LockDependencyRelation) -> BTreeSet<Vec<String>> {
                                 "{}|{}|{:?}",
                                 d.thread,
                                 d.lock,
-                                d.contexts
-                                    .iter()
-                                    .map(|l| l.to_string())
-                                    .collect::<Vec<_>>()
+                                d.contexts.iter().map(|l| l.to_string()).collect::<Vec<_>>()
                             )
                         })
                         .collect();
@@ -121,7 +110,12 @@ fn igoodlock_cycle_keys(rel: &LockDependencyRelation) -> BTreeSet<Vec<String>> {
 
 fn arb_relation() -> impl Strategy<Value = LockDependencyRelation> {
     prop::collection::vec(
-        (1..4u32, prop::collection::vec(0..5u32, 1..3), 0..5u32, 0..3u32),
+        (
+            1..4u32,
+            prop::collection::vec(0..5u32, 1..3),
+            0..5u32,
+            0..3u32,
+        ),
         0..7,
     )
     .prop_map(|tuples| {

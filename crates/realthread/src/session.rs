@@ -75,6 +75,12 @@ pub struct FuzzConfig {
     pub pause_timeout: Duration,
     /// Abort the whole session after this long without progress.
     pub hang_timeout: Duration,
+    /// Hard wall-clock deadline for the whole session, enforced even
+    /// while the program makes steady progress (unlike `hang_timeout`,
+    /// which only fires when progress stops). `None` (the default) means
+    /// unbounded. Exceeding it unwinds the program threads and
+    /// [`Session::finish`] reports [`FuzzOutcome::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
 }
 
 impl FuzzConfig {
@@ -88,6 +94,7 @@ impl FuzzConfig {
             use_context: true,
             pause_timeout: Duration::from_millis(500),
             hang_timeout: Duration::from_secs(5),
+            deadline: None,
         }
     }
 
@@ -102,6 +109,12 @@ impl FuzzConfig {
         self.mode = mode;
         self
     }
+
+    /// Sets the hard session deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// Terminal outcome of a fuzzing session.
@@ -114,6 +127,14 @@ pub enum FuzzOutcome {
     Deadlock(DeadlockWitness),
     /// The watchdog aborted the session (no progress).
     Timeout,
+    /// The session's hard wall-clock deadline
+    /// ([`FuzzConfig::deadline`]) elapsed while the program was still
+    /// making progress.
+    DeadlineExceeded,
+    /// A program thread panicked for a reason other than the session
+    /// abort — a bug in the program under test, not a deadlock. Carries
+    /// the panic message.
+    ProgramPanic(String),
 }
 
 impl FuzzOutcome {
@@ -123,6 +144,16 @@ impl FuzzOutcome {
             FuzzOutcome::Deadlock(w) => Some(w),
             _ => None,
         }
+    }
+
+    /// Whether the session ended without a verdict about the target
+    /// cycle (timed out, hit the deadline, or the program broke) — the
+    /// caller may want to retry with a different seed.
+    pub fn is_degraded(&self) -> bool {
+        matches!(
+            self,
+            FuzzOutcome::Timeout | FuzzOutcome::DeadlineExceeded | FuzzOutcome::ProgramPanic(_)
+        )
     }
 }
 
@@ -160,6 +191,8 @@ enum ThreadStatus {
 
 struct ThreadState {
     obj: ObjId,
+    /// The spawn name, for human-readable witnesses.
+    name: String,
     status: ThreadStatus,
     lock_stack: Vec<ObjId>,
     context_stack: Vec<Label>,
@@ -171,9 +204,10 @@ struct ThreadState {
 }
 
 impl ThreadState {
-    fn new(obj: ObjId) -> Self {
+    fn new(obj: ObjId, name: String) -> Self {
         ThreadState {
             obj,
+            name,
             status: ThreadStatus::Running,
             lock_stack: Vec::new(),
             context_stack: Vec::new(),
@@ -229,6 +263,8 @@ pub(crate) struct State {
     next_thread: u32,
     aborting: bool,
     timed_out: bool,
+    deadline_hit: bool,
+    program_panic: Option<String>,
     witness: Option<DeadlockWitness>,
     progress: u64,
     paused_since: HashMap<ThreadId, Instant>,
@@ -273,6 +309,29 @@ impl JoinHandle {
             panic::resume_unwind(payload);
         }
     }
+
+    /// Waits for the thread to finish without ever panicking.
+    ///
+    /// A session abort counts as success (the abort is control flow, not
+    /// a failure); a genuine program panic is returned as `Err` with the
+    /// panic message. Harness code that must stay alive under injected
+    /// faults should prefer this over [`JoinHandle::join`].
+    pub fn try_join(self) -> Result<(), String> {
+        match self.handle.join() {
+            Ok(()) => Ok(()),
+            Err(payload) if payload.downcast_ref::<RtAbort>().is_some() => Ok(()),
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "program thread panicked".to_string())
 }
 
 impl Session {
@@ -290,6 +349,8 @@ impl Session {
                 next_thread: 0,
                 aborting: false,
                 timed_out: false,
+                deadline_hit: false,
+                program_panic: None,
                 witness: None,
                 progress: 0,
                 paused_since: HashMap::new(),
@@ -334,13 +395,16 @@ impl Session {
         let mut st = self.inner.state.lock();
         let id = ThreadId::new(st.next_thread);
         st.next_thread += 1;
-        let obj = st
-            .trace
-            .objects_mut()
-            .create(ObjKind::Thread, site, None, index);
-        st.threads.insert(id, ThreadState::new(obj));
+        let obj = st.trace.objects_mut().create_named(
+            ObjKind::Thread,
+            site,
+            None,
+            index,
+            Some(name.to_string()),
+        );
+        st.threads
+            .insert(id, ThreadState::new(obj, name.to_string()));
         st.trace.bind_thread(id, obj);
-        let _ = name;
         drop(st);
         tls::bind(Arc::downgrade(&self.inner), id);
     }
@@ -364,13 +428,23 @@ impl Session {
                 .get_mut(&me)
                 .expect("registered")
                 .alloc_index(site);
-            let obj = st
-                .trace
-                .objects_mut()
-                .create(ObjKind::Thread, site, None, index);
-            st.threads.insert(id, ThreadState::new(obj));
+            let obj = st.trace.objects_mut().create_named(
+                ObjKind::Thread,
+                site,
+                None,
+                index,
+                Some(name.to_string()),
+            );
+            st.threads
+                .insert(id, ThreadState::new(obj, name.to_string()));
             st.trace.bind_thread(id, obj);
-            st.trace.push(me, EventKind::Spawn { child: id, child_obj: obj });
+            st.trace.push(
+                me,
+                EventKind::Spawn {
+                    child: id,
+                    child_obj: obj,
+                },
+            );
             st.progress += 1;
             (id, obj)
         };
@@ -388,6 +462,15 @@ impl Session {
                     let mut st = inner.state.lock();
                     if let Some(ts) = st.threads.get_mut(&child) {
                         ts.status = ThreadStatus::Finished;
+                    }
+                    if let Err(payload) = &result {
+                        // Record genuine program panics (not the session
+                        // abort) so `finish()` can classify the session
+                        // even if the caller used `try_join`.
+                        if payload.downcast_ref::<RtAbort>().is_none() && st.program_panic.is_none()
+                        {
+                            st.program_panic = Some(panic_message(payload.as_ref()));
+                        }
                     }
                     st.trace.push(child, EventKind::ThreadExit);
                     st.progress += 1;
@@ -419,14 +502,22 @@ impl Session {
 
     /// Finishes a fuzzing session and returns its outcome. Call after
     /// joining all program threads.
+    ///
+    /// Classification precedence: a witnessed deadlock beats everything
+    /// (it is the verdict Phase II exists to produce), then a program
+    /// panic, then the deadline, then the progress watchdog.
     pub fn finish(&self) -> FuzzOutcome {
         let mut st = self.inner.state.lock();
         st.aborting = true; // stop the watchdog
         self.inner.cond.notify_all();
         match st.witness.take() {
             Some(w) => FuzzOutcome::Deadlock(w),
-            None if st.timed_out => FuzzOutcome::Timeout,
-            None => FuzzOutcome::Completed,
+            None => match st.program_panic.take() {
+                Some(m) => FuzzOutcome::ProgramPanic(m),
+                None if st.deadline_hit => FuzzOutcome::DeadlineExceeded,
+                None if st.timed_out => FuzzOutcome::Timeout,
+                None => FuzzOutcome::Completed,
+            },
         }
     }
 
@@ -489,21 +580,35 @@ impl Session {
     /// long, release it; if nothing progresses for `hang_timeout`, abort.
     fn start_watchdog(&self) {
         let weak: Weak<Inner> = Arc::downgrade(&self.inner);
-        let (pause_timeout, hang_timeout) = match &self.inner.mode {
-            SessionMode::Fuzz(cfg) => (cfg.pause_timeout, cfg.hang_timeout),
-            SessionMode::Noise(cfg) => (cfg.hang_timeout, cfg.hang_timeout),
+        let (pause_timeout, hang_timeout, deadline) = match &self.inner.mode {
+            SessionMode::Fuzz(cfg) => (cfg.pause_timeout, cfg.hang_timeout, cfg.deadline),
+            SessionMode::Noise(cfg) => (cfg.hang_timeout, cfg.hang_timeout, None),
             SessionMode::Record => unreachable!("watchdog only in fuzz/noise mode"),
         };
+        // Adaptive backoff: pause timeouts and thrash detection need the
+        // fine 5ms resolution, but only while some thread is actually
+        // paused; otherwise the hang/deadline checks tolerate a coarser
+        // poll, keeping the watchdog off the scheduler's back.
+        let fine = Duration::from_millis(5);
+        let coarse = (hang_timeout / 10).clamp(fine, Duration::from_millis(50));
         std::thread::Builder::new()
             .name("df-watchdog".into())
             .spawn(move || {
+                let started = Instant::now();
                 let mut last_progress = 0u64;
                 let mut last_change = Instant::now();
+                let mut poll = fine;
                 loop {
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(poll);
                     let Some(inner) = weak.upgrade() else { return };
                     let mut st = inner.state.lock();
                     if st.aborting {
+                        return;
+                    }
+                    if deadline.is_some_and(|d| started.elapsed() > d) {
+                        st.aborting = true;
+                        st.deadline_hit = true;
+                        inner.cond.notify_all();
                         return;
                     }
                     if st.progress != last_progress {
@@ -545,8 +650,7 @@ impl Session {
                                 ThreadStatus::Blocked(..) | ThreadStatus::Paused(..)
                             )
                         });
-                    let mut paused: Vec<ThreadId> =
-                        st.paused_since.keys().copied().collect();
+                    let mut paused: Vec<ThreadId> = st.paused_since.keys().copied().collect();
                     paused.sort();
                     if all_stuck && !paused.is_empty() {
                         let victim = paused[st.rng.gen_range(0..paused.len())];
@@ -558,6 +662,11 @@ impl Session {
                         st.progress += 1;
                         inner.cond.notify_all();
                     }
+                    poll = if st.paused_since.is_empty() {
+                        coarse
+                    } else {
+                        fine
+                    };
                 }
             })
             .expect("failed to spawn watchdog");
@@ -567,7 +676,12 @@ impl Session {
 /// Builds the wait-for graph over the current state (held locks + blocked
 /// and paused intents + optionally the candidate's intent) and extracts a
 /// witness if there is a cycle — Algorithm 4 over real threads.
-fn check_cycle(st: &State, candidate: ThreadId, lock: ObjId, site: Label) -> Option<DeadlockWitness> {
+fn check_cycle(
+    st: &State,
+    candidate: ThreadId,
+    lock: ObjId,
+    site: Label,
+) -> Option<DeadlockWitness> {
     let mut graph = WaitForGraph::new();
     for (&t, ts) in &st.threads {
         for &held in &ts.lock_stack {
@@ -613,6 +727,7 @@ fn check_cycle(st: &State, candidate: ThreadId, lock: ObjId, site: Label) -> Opt
             WitnessComponent {
                 thread: t,
                 thread_obj: ts.obj,
+                thread_name: Some(ts.name.clone()),
                 holding: ts.lock_stack.clone(),
                 waiting_for,
                 context,
@@ -675,14 +790,20 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
                     drop(st);
                     panic::panic_any(RtAbort);
                 }
-                st.threads.get_mut(&me).unwrap().status = ThreadStatus::Paused(lock, site);
+                st.threads
+                    .get_mut(&me)
+                    .expect("acquiring thread is registered with the session")
+                    .status = ThreadStatus::Paused(lock, site);
                 st.paused_since.insert(me, Instant::now());
                 st.pauses += 1;
                 inner.cond.notify_all();
                 while st.paused_since.contains_key(&me) && !st.aborting {
                     inner.cond.wait(&mut st);
                 }
-                st.threads.get_mut(&me).unwrap().status = ThreadStatus::Running;
+                st.threads
+                    .get_mut(&me)
+                    .expect("paused thread stays registered while parked")
+                    .status = ThreadStatus::Running;
                 if st.aborting {
                     drop(st);
                     panic::panic_any(RtAbort);
@@ -712,16 +833,28 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
                     drop(st);
                     panic::panic_any(RtAbort);
                 }
-                st.threads.get_mut(&me).unwrap().status = ThreadStatus::Blocked(lock, site);
+                st.threads
+                    .get_mut(&me)
+                    .expect("blocking thread is registered with the session")
+                    .status = ThreadStatus::Blocked(lock, site);
                 st.trace.push(me, EventKind::Blocked { lock });
                 inner.cond.wait(&mut st);
-                st.threads.get_mut(&me).unwrap().status = ThreadStatus::Running;
+                st.threads
+                    .get_mut(&me)
+                    .expect("blocked thread stays registered while parked")
+                    .status = ThreadStatus::Running;
                 st.trace.push(me, EventKind::Unblocked { lock });
             }
         }
     }
-    st.locks.get_mut(&lock).unwrap().owner = Some(me);
-    let ts = st.threads.get_mut(&me).unwrap();
+    st.locks
+        .get_mut(&lock)
+        .expect("lock core created by the entry() above")
+        .owner = Some(me);
+    let ts = st
+        .threads
+        .get_mut(&me)
+        .expect("acquiring thread is registered with the session");
     ts.released = false; // exemption consumed by the actual acquisition
     let held = ts.lock_stack.clone();
     let mut context = ts.context_stack.clone();
@@ -813,7 +946,10 @@ pub(crate) fn monitor_wait(inner: &Arc<Inner>, lock: ObjId, site: Label) {
             Some(_) => inner.cond.wait(&mut st),
         }
     }
-    st.locks.get_mut(&lock).unwrap().owner = Some(me);
+    st.locks
+        .get_mut(&lock)
+        .expect("lock core created by the entry() above")
+        .owner = Some(me);
     if let Some(ts) = st.threads.get_mut(&me) {
         ts.status = ThreadStatus::Running;
         ts.lock_stack.push(lock);
@@ -851,7 +987,10 @@ pub(crate) fn register_lock(inner: &Arc<Inner>, site: Label) -> ObjId {
         .get_mut(&me)
         .expect("registered thread")
         .alloc_index(site);
-    let obj = st.trace.objects_mut().create(ObjKind::Lock, site, None, index);
+    let obj = st
+        .trace
+        .objects_mut()
+        .create(ObjKind::Lock, site, None, index);
     st.trace.push(me, EventKind::New { obj });
     st.progress += 1;
     obj

@@ -300,3 +300,87 @@ fn never_notified_wait_times_out_instead_of_hanging() {
     waiter.join();
     assert_eq!(session.finish(), FuzzOutcome::Timeout);
 }
+
+#[test]
+fn deadlock_witness_names_the_threads() {
+    // Witnesses print spawn names, not just numeric thread ids.
+    let cycle = record_figure1();
+    let session = Session::fuzz(FuzzConfig::new(cycle));
+    figure1(&session);
+    let outcome = session.finish();
+    let text = outcome.deadlock().expect("deadlock").to_string();
+    assert!(text.contains("\"t1\""), "witness: {text}");
+    assert!(text.contains("\"t2\""), "witness: {text}");
+}
+
+#[test]
+fn program_panic_is_classified_not_swallowed() {
+    // A thread that dies for a reason other than the session abort is a
+    // program bug, not a deadlock: try_join reports it without panicking
+    // the harness, and finish() classifies the session.
+    let session = Session::fuzz(FuzzConfig::new(AbstractCycle::new(vec![])));
+    let h = session.spawn(site!("pp spawn"), "worker", || {
+        panic!("injected program bug");
+    });
+    let err = h.try_join().expect_err("panic surfaces as Err");
+    assert!(err.contains("injected program bug"), "{err}");
+    match session.finish() {
+        FuzzOutcome::ProgramPanic(m) => assert!(m.contains("injected program bug"), "{m}"),
+        other => panic!("expected ProgramPanic, got {other:?}"),
+    }
+}
+
+#[test]
+fn session_deadline_bounds_a_busy_program() {
+    // The spinner makes steady progress forever, so the progress-based
+    // hang watchdog never fires; the hard wall-clock deadline must end
+    // the session anyway, and try_join must treat the abort as success.
+    use std::time::{Duration, Instant};
+    let cfg = FuzzConfig::new(AbstractCycle::new(vec![])).with_deadline(Duration::from_millis(150));
+    let session = Session::fuzz(cfg);
+    let m = Arc::new(DfMutex::new(&session, (), site!("dl lock")));
+    let m2 = Arc::clone(&m);
+    let started = Instant::now();
+    let spinner = session.spawn(site!("dl spawn"), "spinner", move || loop {
+        let g = m2.lock(site!("dl acquire"));
+        drop(g);
+    });
+    spinner.try_join().expect("session abort is not a failure");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "deadline must cut the spinner short"
+    );
+    assert_eq!(session.finish(), FuzzOutcome::DeadlineExceeded);
+}
+
+#[test]
+fn over_matching_abstraction_forces_thrashing() {
+    // Under the trivial ("ignore") abstraction every acquisition matches
+    // the target cycle, so the fuzzer pauses threads that can never
+    // deadlock. Once every live thread sits paused, the watchdog must
+    // thrash — un-pause a random victim — instead of waiting out the
+    // pause timeout (the paper's motivation for counting thrashes).
+    let cycle = {
+        let session = Session::record();
+        figure1(&session);
+        let report = session.analyze(&IGoodlockOptions::default());
+        report.abstract_cycles(AbstractionMode::Trivial).remove(0)
+    };
+    let mut cfg = FuzzConfig::new(cycle).with_mode(AbstractionMode::Trivial);
+    cfg.use_context = false;
+    cfg.pause_timeout = std::time::Duration::from_millis(400);
+    let session = Session::fuzz(cfg);
+    let a = Arc::new(DfMutex::new(&session, (), site!("th new a")));
+    let b = Arc::new(DfMutex::new(&session, (), site!("th new b")));
+    let b2 = Arc::clone(&b);
+    let child = session.spawn(site!("th spawn"), "child", move || {
+        let g = b2.lock(site!("th child b"));
+        drop(g);
+    });
+    let g = a.lock(site!("th main a")); // main pauses here as well
+    drop(g);
+    child.join();
+    let (_pauses, thrashes, _monitor) = session.stats();
+    assert!(thrashes >= 1, "all-paused state must trigger a thrash");
+    let _ = session.finish();
+}

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::fault::FaultPlan;
+
 /// Configuration for one execution of a program under the virtual runtime.
 ///
 /// Construct with [`RunConfig::default`] and adjust with the builder-style
@@ -28,6 +30,14 @@ pub struct RunConfig {
     /// Whether to record the full event trace. Phase I needs it; Phase II
     /// probability estimation can turn it off for speed.
     pub record_trace: bool,
+    /// Hard wall-clock deadline for the whole run, enforced even while the
+    /// program makes steady progress (unlike `hang_timeout`, which only
+    /// fires when progress stops). `None` (the default) means unbounded.
+    /// Exceeding it aborts with [`crate::Outcome::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Faults to inject into the run for adversarial self-testing; `None`
+    /// (the default) runs the program faithfully.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RunConfig {
@@ -36,6 +46,8 @@ impl Default for RunConfig {
             max_steps: 1_000_000,
             hang_timeout: Duration::from_secs(10),
             record_trace: true,
+            deadline: None,
+            fault_plan: None,
         }
     }
 }
@@ -63,6 +75,18 @@ impl RunConfig {
         self.record_trace = record;
         self
     }
+
+    /// Sets the hard wall-clock deadline for the run.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Injects the given fault plan into the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +110,14 @@ mod tests {
         assert_eq!(c.max_steps, 5);
         assert_eq!(c.hang_timeout, Duration::from_millis(7));
         assert!(!c.record_trace);
+        assert!(c.fault_plan.is_none());
+    }
+
+    #[test]
+    fn fault_plan_builder_applies() {
+        let c = RunConfig::new().with_fault_plan(FaultPlan::new(3).with_leak_release(0.5));
+        let plan = c.fault_plan.expect("plan set");
+        assert_eq!(plan.seed, 3);
+        assert!(!plan.is_noop());
     }
 }

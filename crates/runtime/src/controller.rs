@@ -10,6 +10,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::config::RunConfig;
 use crate::ctx::TCtx;
+use crate::fault::{FaultState, InjectedFault};
 use crate::pending::PendingOp;
 use crate::result::{DeadlockWitness, Detector, Outcome, WitnessComponent};
 use crate::state::{Global, ThreadState, ThreadStatus};
@@ -56,7 +57,12 @@ pub(crate) fn install_quiet_abort_hook() {
     HOOK.call_once(|| {
         let prev = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<AbortToken>().is_some() {
+            // AbortToken unwinds are control flow; InjectedFault panics are
+            // deliberate (reported via `Outcome::ProgramPanic`): neither is
+            // an error worth a stderr report.
+            if info.payload().downcast_ref::<AbortToken>().is_some()
+                || info.payload().downcast_ref::<InjectedFault>().is_some()
+            {
                 return;
             }
             prev(info);
@@ -66,9 +72,11 @@ pub(crate) fn install_quiet_abort_hook() {
 
 impl Controller {
     pub(crate) fn new(config: RunConfig, strategy: Box<dyn Strategy>) -> Arc<Self> {
+        let mut g = Global::new(config.record_trace);
+        g.faults = config.fault_plan.clone().map(FaultState::new);
         Arc::new(Controller {
             inner: Mutex::new(Inner {
-                g: Global::new(config.record_trace),
+                g,
                 strategy: Some(strategy),
                 handles: Vec::new(),
                 done: false,
@@ -113,6 +121,7 @@ impl Controller {
         if inner.g.aborting {
             return Err(Aborted);
         }
+        self.inject_spurious_wakeup(inner);
         let enabled = inner.g.enabled();
         if enabled.is_empty() {
             let alive = inner.g.alive();
@@ -151,6 +160,44 @@ impl Controller {
         }
     }
 
+    /// Fault injection: with the configured probability, wake one thread
+    /// parked in a monitor wait set without a notify (a spurious wakeup).
+    /// Candidate monitors are visited in id order so the decision stream is
+    /// deterministic despite `HashMap` iteration order.
+    fn inject_spurious_wakeup(&self, inner: &mut Inner) {
+        if inner.g.faults.is_none() {
+            return;
+        }
+        let mut candidates: Vec<ObjId> = inner
+            .g
+            .locks
+            .iter()
+            .filter(|(_, s)| !s.wait_set.is_empty())
+            .map(|(&l, _)| l)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        candidates.sort_unstable();
+        let fs = inner
+            .g
+            .faults
+            .as_mut()
+            .expect("fault state present: checked at function entry");
+        if !fs.fire_spurious_wakeup() {
+            return;
+        }
+        let lock = candidates[fs.pick_index(candidates.len())];
+        let state = inner
+            .g
+            .locks
+            .get_mut(&lock)
+            .expect("candidate monitor has a lock state: it had waiters");
+        // Waking = removing from the wait set; the thread's AwaitNotify op
+        // becomes enabled and it proceeds to re-acquire the monitor.
+        state.wait_set.remove(0);
+    }
+
     /// Classifies a state with no enabled threads: a lock cycle is a real
     /// deadlock; anything else is a stall.
     fn diagnose_stall(&self, g: &Global, alive: Vec<ThreadId>) -> Outcome {
@@ -187,6 +234,7 @@ impl Controller {
                         WitnessComponent {
                             thread: t,
                             thread_obj: ts.obj,
+                            thread_name: Some(ts.name.clone()),
                             holding: ts.lock_stack.clone(),
                             waiting_for: lock,
                             context,
@@ -242,7 +290,11 @@ impl Controller {
         }
         // We hold the token (we were running user code): give it up so the
         // strategy takes a fresh decision for this schedule point.
-        debug_assert_eq!(inner.g.current, Some(me), "announcing thread holds the token");
+        debug_assert_eq!(
+            inner.g.current,
+            Some(me),
+            "announcing thread holds the token"
+        );
         inner.g.current = None;
         self.reschedule(inner)?;
         self.wait_until_picked(inner, me)
@@ -297,10 +349,39 @@ impl Controller {
             return Err(Aborted);
         }
         self.announce_and_wait(&mut inner, me, op.clone())?;
+        // Fault injection: a first (non-re-entrant) acquisition may panic
+        // instead of acquiring, modeling an exception thrown on entry to a
+        // synchronized region. The panic unwinds the virtual thread outside
+        // the controller lock and surfaces as `Outcome::ProgramPanic`.
+        if let PendingOp::Acquire { lock, site } = &op {
+            let first = inner
+                .g
+                .locks
+                .get(lock)
+                .map(|s| s.owner != Some(me))
+                .unwrap_or(true);
+            if first
+                && inner
+                    .g
+                    .faults
+                    .as_mut()
+                    .map(|f| f.fire_panic_on_acquire())
+                    .unwrap_or(false)
+            {
+                let msg = format!("injected fault: panic on acquire at {site}");
+                drop(inner);
+                panic::panic_any(InjectedFault(msg));
+            }
+        }
         self.execute(&mut inner, me, op)
     }
 
-    fn execute(&self, inner: &mut Inner, me: ThreadId, op: PendingOp) -> Result<OpOutcome, Aborted> {
+    fn execute(
+        &self,
+        inner: &mut Inner,
+        me: ThreadId,
+        op: PendingOp,
+    ) -> Result<OpOutcome, Aborted> {
         match op {
             PendingOp::Start => {
                 self.record(inner, me, EventKind::ThreadStart);
@@ -342,7 +423,23 @@ impl Controller {
                 if state.count > 1 {
                     state.count -= 1;
                     self.record(inner, me, EventKind::Rerelease { lock, site });
+                } else if inner
+                    .g
+                    .faults
+                    .as_mut()
+                    .map(|f| f.fire_leak_release())
+                    .unwrap_or(false)
+                {
+                    // Fault injection: the outermost release is silently
+                    // dropped — the lock stays owned and the thread's lock
+                    // stack keeps the hold, so later contenders block
+                    // forever and the stall detector must classify it.
                 } else {
+                    let state = inner
+                        .g
+                        .locks
+                        .get_mut(&lock)
+                        .expect("lock state present: ownership was checked above");
                     state.count = 0;
                     state.owner = None;
                     let ts = inner.g.thread_mut(me);
@@ -481,22 +578,20 @@ impl Controller {
         // parent's allocation context.
         let owner = inner.g.thread(me).current_receiver();
         let index = inner.g.thread_mut(me).alloc_index(site);
-        let child_obj = inner
-            .g
-            .trace
-            .objects_mut()
-            .create(ObjKind::Thread, site, owner, index);
-        let child = ThreadId::new(u32::try_from(inner.g.threads.len()).expect("thread overflow"));
-        inner.g.threads.push(ThreadState::new(child, name, child_obj));
-        inner.g.trace.bind_thread(child, child_obj);
-        self.record(
-            &mut inner,
-            me,
-            EventKind::Spawn {
-                child,
-                child_obj,
-            },
+        let child_obj = inner.g.trace.objects_mut().create_named(
+            ObjKind::Thread,
+            site,
+            owner,
+            index,
+            Some(name.clone()),
         );
+        let child = ThreadId::new(u32::try_from(inner.g.threads.len()).expect("thread overflow"));
+        inner
+            .g
+            .threads
+            .push(ThreadState::new(child, name, child_obj));
+        inner.g.trace.bind_thread(child, child_obj);
+        self.record(&mut inner, me, EventKind::Spawn { child, child_obj });
         // The child is now Announced(Start); the strategy may pick it at
         // any later schedule point. Launch the OS thread that will carry
         // it.
@@ -506,7 +601,53 @@ impl Controller {
             .spawn(move || ctl.thread_main(child, f))
             .expect("failed to spawn OS thread");
         inner.handles.push(handle);
+        // Fault injection: a program spawn may fan out one extra busy
+        // thread the program never asked for (bounded by the plan's cap).
+        if inner
+            .g
+            .faults
+            .as_mut()
+            .map(|f| f.fire_runaway_spawn())
+            .unwrap_or(false)
+        {
+            self.spawn_runaway(&mut inner, me);
+        }
         Ok((child, child_obj))
+    }
+
+    /// Registers and launches one injected runaway thread: it burns a few
+    /// schedule points with yields and exits, competing with program
+    /// threads for the scheduler's attention.
+    fn spawn_runaway(self: &Arc<Self>, inner: &mut Inner, parent: ThreadId) {
+        let site = Label::new("<fault:runaway-spawn>");
+        let n = inner.g.fault_log().runaway_spawns;
+        let name = format!("fault-runaway-{n}");
+        let child_obj = inner.g.trace.objects_mut().create_named(
+            ObjKind::Thread,
+            site,
+            None,
+            Vec::new(),
+            Some(name.clone()),
+        );
+        let child = ThreadId::new(u32::try_from(inner.g.threads.len()).expect("thread overflow"));
+        inner
+            .g
+            .threads
+            .push(ThreadState::new(child, name, child_obj));
+        inner.g.trace.bind_thread(child, child_obj);
+        self.record(inner, parent, EventKind::Spawn { child, child_obj });
+        let ctl = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("vthread-{child}"))
+            .spawn(move || {
+                ctl.thread_main(child, |ctx: &TCtx| {
+                    for _ in 0..16 {
+                        ctx.yield_now();
+                    }
+                })
+            })
+            .expect("failed to spawn OS thread");
+        inner.handles.push(handle);
     }
 
     /// Body of every virtual thread's OS thread.
@@ -528,8 +669,9 @@ impl Controller {
             Err(payload) => {
                 if payload.downcast_ref::<AbortToken>().is_none() {
                     let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
+                        .downcast_ref::<InjectedFault>()
+                        .map(|f| f.0.clone())
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "opaque panic payload".to_string());
                     let mut inner = self.inner.lock();

@@ -313,12 +313,7 @@ impl TCtx {
     /// Blocks (in virtual time) until `target` finishes.
     pub fn join(&self, target: &ThreadRef, site: Label) {
         let _ = site;
-        unwrap_or_abort(self.ctl.op(
-            self.me,
-            PendingOp::Join {
-                target: target.id,
-            },
-        ));
+        unwrap_or_abort(self.ctl.op(self.me, PendingOp::Join { target: target.id }));
     }
 
     /// An explicit schedule point with no other effect.

@@ -1,0 +1,326 @@
+//! Seeded, deterministic fault injection for adversarial self-testing.
+//!
+//! A [`FaultPlan`] describes a set of faults the runtime injects into a run
+//! so the *tool itself* can be stress-tested with its own scheduler: does
+//! Phase II still terminate with a classified outcome when the program
+//! under test panics mid-acquire, leaks a lock, wakes spuriously from a
+//! monitor wait, or fans out more threads than expected?
+//!
+//! All decisions are driven by a self-contained splitmix64 stream keyed off
+//! [`FaultPlan::seed`], and every schedule decision happens under the
+//! controller's single mutex, so a run with a given `(strategy, FaultPlan)`
+//! pair is exactly as deterministic as the fault-free run.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Panic payload used when [`FaultPlan::panic_on_acquire`] fires: carries
+/// the message the runtime reports as
+/// [`crate::Outcome::ProgramPanic`] while letting the quiet panic hook
+/// suppress the default stderr report (the panic is injected, not a bug).
+pub(crate) struct InjectedFault(pub(crate) String);
+
+/// A deterministic plan of faults to inject into a run.
+///
+/// Probabilities are per-opportunity: `panic_on_acquire` is consulted at
+/// every first (non-re-entrant) lock acquisition, `leak_release` at every
+/// outermost release, `spurious_wakeup` at every schedule point where some
+/// monitor wait set is non-empty, and `runaway_spawn` at every program
+/// spawn (bounded by [`FaultPlan::with_max_runaway_spawns`]).
+///
+/// # Example
+///
+/// ```
+/// use df_runtime::{FaultPlan, RunConfig, VirtualRuntime, strategy::FifoStrategy};
+/// use df_events::site;
+///
+/// let plan = FaultPlan::new(7).with_panic_on_acquire(1.0);
+/// let cfg = RunConfig::default().with_fault_plan(plan);
+/// let r = VirtualRuntime::new(cfg).run(Box::new(FifoStrategy::new()), |ctx| {
+///     let l = ctx.new_lock(site!());
+///     ctx.acquire(&l, site!());
+///     ctx.release(&l, site!());
+/// });
+/// assert!(matches!(r.outcome, df_runtime::Outcome::ProgramPanic(_)));
+/// assert_eq!(r.faults.panics, 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault-decision stream (independent of the strategy's
+    /// scheduling seed).
+    pub seed: u64,
+    /// Probability that a first lock acquisition panics instead of
+    /// acquiring, modeling an exception thrown inside a `synchronized`
+    /// entry.
+    pub panic_on_acquire: f64,
+    /// Probability that an outermost release is silently dropped, leaving
+    /// the lock held forever — the limit case of an arbitrarily delayed
+    /// release.
+    pub leak_release: f64,
+    /// Probability (per schedule point with waiters) that one parked
+    /// thread is woken without a notify, like a JVM spurious wakeup.
+    pub spurious_wakeup: f64,
+    /// Probability that a program spawn fans out one extra busy thread the
+    /// program never asked for.
+    pub runaway_spawn: f64,
+    /// Upper bound on injected runaway threads per run.
+    pub max_runaway_spawns: u32,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_on_acquire: 0.0,
+            leak_release: 0.0,
+            spurious_wakeup: 0.0,
+            runaway_spawn: 0.0,
+            max_runaway_spawns: 4,
+        }
+    }
+
+    /// Sets the panic-on-acquire probability.
+    pub fn with_panic_on_acquire(mut self, p: f64) -> Self {
+        self.panic_on_acquire = p;
+        self
+    }
+
+    /// Sets the leaked-release probability.
+    pub fn with_leak_release(mut self, p: f64) -> Self {
+        self.leak_release = p;
+        self
+    }
+
+    /// Sets the spurious-wakeup probability.
+    pub fn with_spurious_wakeup(mut self, p: f64) -> Self {
+        self.spurious_wakeup = p;
+        self
+    }
+
+    /// Sets the runaway-spawn probability.
+    pub fn with_runaway_spawn(mut self, p: f64) -> Self {
+        self.runaway_spawn = p;
+        self
+    }
+
+    /// Caps the number of injected runaway threads.
+    pub fn with_max_runaway_spawns(mut self, n: u32) -> Self {
+        self.max_runaway_spawns = n;
+        self
+    }
+
+    /// Whether every fault probability is zero (the plan is a no-op).
+    pub fn is_noop(&self) -> bool {
+        self.panic_on_acquire <= 0.0
+            && self.leak_release <= 0.0
+            && self.spurious_wakeup <= 0.0
+            && self.runaway_spawn <= 0.0
+    }
+}
+
+/// Counts of faults actually injected during one run, reported in
+/// [`crate::RunResult::faults`] so harness tests can assert that an
+/// adversarial run really was adversarial.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FaultLog {
+    /// Injected acquire-site panics.
+    pub panics: u32,
+    /// Releases that were silently dropped.
+    pub leaked_releases: u32,
+    /// Threads woken from a wait set without a notify.
+    pub spurious_wakeups: u32,
+    /// Extra threads spawned beyond what the program asked for.
+    pub runaway_spawns: u32,
+}
+
+impl FaultLog {
+    /// Total number of injected faults.
+    pub fn total(&self) -> u32 {
+        self.panics + self.leaked_releases + self.spurious_wakeups + self.runaway_spawns
+    }
+
+    /// Whether no fault fired.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults (panics {}, leaked releases {}, spurious wakeups {}, runaway spawns {})",
+            self.total(),
+            self.panics,
+            self.leaked_releases,
+            self.spurious_wakeups,
+            self.runaway_spawns
+        )
+    }
+}
+
+/// Live per-run fault state: the plan, its decision stream, and the log.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: u64,
+    pub(crate) log: FaultLog,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            // Offset so seed 0 does not start the stream at state 0.
+            rng: plan.seed ^ 0x5851_f42d_4c95_7f2d,
+            plan,
+            log: FaultLog::default(),
+        }
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            // Still advance the stream so enabling a fault at 1.0 keeps the
+            // remaining decisions aligned with lower-probability plans.
+            let _ = splitmix64(&mut self.rng);
+            return true;
+        }
+        let bits = splitmix64(&mut self.rng) >> 11;
+        (bits as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform index in `0..n` (callers guarantee `n > 0`).
+    pub(crate) fn pick_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "pick_index needs a non-empty candidate set");
+        (splitmix64(&mut self.rng) % n as u64) as usize
+    }
+
+    pub(crate) fn fire_panic_on_acquire(&mut self) -> bool {
+        let p = self.plan.panic_on_acquire;
+        if self.chance(p) {
+            self.log.panics += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn fire_leak_release(&mut self) -> bool {
+        let p = self.plan.leak_release;
+        if self.chance(p) {
+            self.log.leaked_releases += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn fire_spurious_wakeup(&mut self) -> bool {
+        let p = self.plan.spurious_wakeup;
+        if self.chance(p) {
+            self.log.spurious_wakeups += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn fire_runaway_spawn(&mut self) -> bool {
+        if self.log.runaway_spawns >= self.plan.max_runaway_spawns {
+            return false;
+        }
+        let p = self.plan.runaway_spawn;
+        if self.chance(p) {
+            self.log.runaway_spawns += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_plan_never_fires() {
+        let mut fs = FaultState::new(FaultPlan::new(1));
+        for _ in 0..100 {
+            assert!(!fs.fire_panic_on_acquire());
+            assert!(!fs.fire_leak_release());
+            assert!(!fs.fire_spurious_wakeup());
+            assert!(!fs.fire_runaway_spawn());
+        }
+        assert!(fs.log.is_empty());
+        assert!(FaultPlan::new(1).is_noop());
+    }
+
+    #[test]
+    fn decision_stream_is_deterministic_per_seed() {
+        let plan = FaultPlan::new(42)
+            .with_panic_on_acquire(0.3)
+            .with_leak_release(0.3);
+        let draw = |plan: FaultPlan| {
+            let mut fs = FaultState::new(plan);
+            (0..64)
+                .map(|_| (fs.fire_panic_on_acquire(), fs.fire_leak_release()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(plan.clone()), draw(plan.clone()));
+        assert_ne!(draw(plan.clone()), draw(plan.with_panic_on_acquire(0.9)));
+    }
+
+    #[test]
+    fn probabilities_are_roughly_respected() {
+        let mut fs = FaultState::new(FaultPlan::new(9).with_leak_release(0.25));
+        let hits = (0..4000).filter(|_| fs.fire_leak_release()).count();
+        assert!((800..1200).contains(&hits), "hits {hits}");
+        assert_eq!(fs.log.leaked_releases as usize, hits);
+    }
+
+    #[test]
+    fn runaway_spawns_are_capped() {
+        let mut fs = FaultState::new(
+            FaultPlan::new(3)
+                .with_runaway_spawn(1.0)
+                .with_max_runaway_spawns(2),
+        );
+        let fired = (0..10).filter(|_| fs.fire_runaway_spawn()).count();
+        assert_eq!(fired, 2);
+        assert_eq!(fs.log.runaway_spawns, 2);
+    }
+
+    #[test]
+    fn log_totals_and_display() {
+        let log = FaultLog {
+            panics: 1,
+            leaked_releases: 2,
+            spurious_wakeups: 3,
+            runaway_spawns: 4,
+        };
+        assert_eq!(log.total(), 10);
+        assert!(!log.is_empty());
+        assert!(log.to_string().contains("10 faults"));
+    }
+
+    #[test]
+    fn plan_serde_round_trip() {
+        let plan = FaultPlan::new(5).with_spurious_wakeup(0.5);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

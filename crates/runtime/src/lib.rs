@@ -46,6 +46,7 @@
 mod config;
 mod controller;
 mod ctx;
+mod fault;
 mod pending;
 mod result;
 mod runtime;
@@ -56,6 +57,7 @@ mod waitfor;
 
 pub use config::RunConfig;
 pub use ctx::{LockGuard, LockRef, ObjRef, Shared, TCtx, ThreadRef, VarRef};
+pub use fault::{FaultLog, FaultPlan};
 pub use pending::PendingOp;
 pub use result::{DeadlockWitness, Detector, Outcome, RunResult, WitnessComponent};
 pub use strategy::{Directive, Strategy, StrategyStats};

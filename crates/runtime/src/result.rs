@@ -5,6 +5,7 @@ use std::fmt;
 use df_events::{Label, ObjId, ThreadId, Trace};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultLog;
 use crate::strategy::StrategyStats;
 
 /// How a deadlock was detected.
@@ -34,6 +35,8 @@ pub struct WitnessComponent {
     pub thread: ThreadId,
     /// The object representing the thread.
     pub thread_obj: ObjId,
+    /// Human-readable thread name (the spawn name), when recorded.
+    pub thread_name: Option<String>,
     /// Locks the thread holds, outermost first.
     pub holding: Vec<ObjId>,
     /// The lock the thread is waiting to acquire.
@@ -90,10 +93,13 @@ impl fmt::Display for DeadlockWitness {
             self.detected_by
         )?;
         for c in &self.components {
+            let who = match &c.thread_name {
+                Some(n) => format!("{} (\"{n}\")", c.thread),
+                None => c.thread.to_string(),
+            };
             writeln!(
                 f,
-                "  {} holds {:?}, waits for {} at {}",
-                c.thread,
+                "  {who} holds {:?}, waits for {} at {}",
                 c.holding,
                 c.waiting_for,
                 c.context
@@ -135,6 +141,10 @@ pub enum Outcome {
     StepLimit,
     /// The wall-clock watchdog fired.
     Hang,
+    /// The run's hard wall-clock deadline
+    /// ([`crate::RunConfig::deadline`]) elapsed while the program was
+    /// still making progress.
+    DeadlineExceeded,
     /// A program closure panicked (a bug in the program model, not a
     /// deadlock).
     ProgramPanic(String),
@@ -176,6 +186,7 @@ impl fmt::Display for Outcome {
             ),
             Outcome::StepLimit => f.write_str("step limit exceeded"),
             Outcome::Hang => f.write_str("hang watchdog fired"),
+            Outcome::DeadlineExceeded => f.write_str("wall-clock deadline exceeded"),
             Outcome::ProgramPanic(m) => write!(f, "program panic: {m}"),
             Outcome::StrategyAbort(m) => write!(f, "strategy abort: {m}"),
         }
@@ -193,6 +204,9 @@ pub struct RunResult {
     pub steps: u64,
     /// Statistics reported by the strategy (thrashes, picks, pauses).
     pub stats: StrategyStats,
+    /// Faults injected during the run (all zero without a
+    /// [`crate::FaultPlan`]).
+    pub faults: FaultLog,
 }
 
 impl RunResult {
@@ -212,6 +226,7 @@ mod tests {
                 WitnessComponent {
                     thread: ThreadId::new(1),
                     thread_obj: ObjId::new(10),
+                    thread_name: Some("t1".into()),
                     holding: vec![ObjId::new(3)],
                     waiting_for: ObjId::new(4),
                     context: vec![Label::new("w:15"), Label::new("w:16")],
@@ -219,6 +234,7 @@ mod tests {
                 WitnessComponent {
                     thread: ThreadId::new(2),
                     thread_obj: ObjId::new(11),
+                    thread_name: None,
                     holding: vec![ObjId::new(4)],
                     waiting_for: ObjId::new(3),
                     context: vec![Label::new("w:15"), Label::new("w:16")],
@@ -248,6 +264,12 @@ mod tests {
     }
 
     #[test]
+    fn witness_display_prints_thread_names() {
+        let s = witness().to_string();
+        assert!(s.contains("\"t1\""), "{s}");
+    }
+
+    #[test]
     fn displays_are_nonempty() {
         for o in [
             Outcome::Completed,
@@ -257,6 +279,7 @@ mod tests {
             },
             Outcome::StepLimit,
             Outcome::Hang,
+            Outcome::DeadlineExceeded,
             Outcome::ProgramPanic("boom".into()),
             Outcome::StrategyAbort("stop".into()),
         ] {

@@ -59,11 +59,12 @@ impl VirtualRuntime {
         let main_id = ThreadId::new(0);
         {
             let mut inner = ctl.inner.lock();
-            let main_obj = inner.g.trace.objects_mut().create(
+            let main_obj = inner.g.trace.objects_mut().create_named(
                 ObjKind::Thread,
                 Label::new("<main>"),
                 None,
                 Vec::new(),
+                Some("main".to_string()),
             );
             inner
                 .g
@@ -79,7 +80,9 @@ impl VirtualRuntime {
         }
 
         // Supervise: wait for completion, watching for hangs (program code
-        // spinning without schedule points).
+        // spinning without schedule points) and the hard wall-clock
+        // deadline (which fires even while progress is steady).
+        let started = Instant::now();
         let mut last_progress = 0u64;
         let mut last_change = Instant::now();
         let hung = loop {
@@ -87,41 +90,51 @@ impl VirtualRuntime {
             if inner.done {
                 break false;
             }
-            if inner.g.progress != last_progress {
+            let deadline_hit = self
+                .config
+                .deadline
+                .map(|d| started.elapsed() >= d)
+                .unwrap_or(false);
+            if inner.g.progress != last_progress && !deadline_hit {
                 last_progress = inner.g.progress;
                 last_change = Instant::now();
-            } else if last_change.elapsed() >= self.config.hang_timeout {
+            } else if deadline_hit || last_change.elapsed() >= self.config.hang_timeout {
                 inner.g.aborting = true;
                 inner.done = true;
                 if inner.g.final_outcome.is_none() {
-                    inner.g.final_outcome = Some(Outcome::Hang);
+                    inner.g.final_outcome = Some(if deadline_hit {
+                        Outcome::DeadlineExceeded
+                    } else {
+                        Outcome::Hang
+                    });
                 }
                 ctl.cond.notify_all();
                 break true;
             }
-            let wait = self
+            let mut wait = self
                 .config
                 .hang_timeout
                 .checked_div(4)
                 .unwrap_or(self.config.hang_timeout)
                 .max(std::time::Duration::from_millis(10));
+            if let Some(d) = self.config.deadline {
+                let remaining = d.saturating_sub(started.elapsed());
+                wait = wait.min(remaining.max(std::time::Duration::from_millis(1)));
+            }
             ctl.cond.wait_for(&mut inner, wait);
         };
 
         // Collect results. On a hang we cannot join threads stuck in user
         // code; detach them instead.
-        let (outcome, trace, steps, mut strategy, handles) = {
+        let (outcome, trace, steps, mut strategy, handles, faults) = {
             let mut inner = ctl.inner.lock();
-            let outcome = inner
-                .g
-                .final_outcome
-                .take()
-                .unwrap_or(Outcome::Completed);
+            let outcome = inner.g.final_outcome.take().unwrap_or(Outcome::Completed);
             let trace = std::mem::replace(&mut inner.g.trace, Trace::new());
             let steps = inner.g.steps;
             let strategy = inner.strategy.take().expect("strategy present at end");
             let handles = std::mem::take(&mut inner.handles);
-            (outcome, trace, steps, strategy, handles)
+            let faults = inner.g.fault_log();
+            (outcome, trace, steps, strategy, handles, faults)
         };
         if !hung {
             for h in handles {
@@ -134,6 +147,7 @@ impl VirtualRuntime {
             trace,
             steps,
             stats,
+            faults,
         }
     }
 }
@@ -277,7 +291,10 @@ mod tests {
             ctx.join(&t1, site!());
             ctx.join(&t2, site!());
         });
-        let w = r.outcome.deadlock().expect("round robin forces the deadlock");
+        let w = r
+            .outcome
+            .deadlock()
+            .expect("round robin forces the deadlock");
         assert_eq!(w.len(), 2);
         assert_eq!(w.detected_by, crate::result::Detector::WaitForGraph);
     }
@@ -312,6 +329,25 @@ mod tests {
             ctx.yield_now();
         });
         assert_eq!(r.outcome, Outcome::StepLimit);
+    }
+
+    #[test]
+    fn deadline_fires_even_while_progress_is_steady() {
+        // An endless yield loop keeps the progress counter moving, so the
+        // hang watchdog never fires — only the hard deadline bounds it.
+        let cfg = RunConfig::default()
+            .with_max_steps(u64::MAX)
+            .with_hang_timeout(Duration::from_secs(60))
+            .with_deadline(Duration::from_millis(150));
+        let start = std::time::Instant::now();
+        let r = VirtualRuntime::new(cfg).run(Box::new(FifoStrategy::new()), |ctx| loop {
+            ctx.yield_now();
+        });
+        assert_eq!(r.outcome, Outcome::DeadlineExceeded);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "bounded promptly"
+        );
     }
 
     #[test]
@@ -448,6 +484,205 @@ mod tests {
         });
         let w = r.outcome.deadlock().expect("3-cycle deadlock");
         assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn injected_acquire_panic_is_classified_not_hung() {
+        let plan = crate::FaultPlan::new(11).with_panic_on_acquire(1.0);
+        let r = VirtualRuntime::new(cfg().with_fault_plan(plan)).run(
+            Box::new(FifoStrategy::new()),
+            |ctx| {
+                let l = ctx.new_lock(site!());
+                ctx.acquire(&l, site!("doomed acquire"));
+                ctx.release(&l, site!());
+            },
+        );
+        match r.outcome {
+            Outcome::ProgramPanic(ref m) => assert!(m.contains("injected fault"), "{m}"),
+            ref o => panic!("unexpected outcome {o:?}"),
+        }
+        assert_eq!(r.faults.panics, 1);
+    }
+
+    #[test]
+    fn injected_acquire_panic_unwinds_held_guards() {
+        // The outer guard must release during the unwind without wedging
+        // the controller.
+        let plan = crate::FaultPlan::new(11).with_panic_on_acquire(1.0);
+        let r = VirtualRuntime::new(cfg().with_fault_plan(plan)).run(
+            Box::new(FifoStrategy::new()),
+            |ctx| {
+                let a = ctx.new_lock(site!("outer"));
+                let b = ctx.new_lock(site!("inner"));
+                let _g = ctx.lock(&a, site!("outer acquire"));
+                ctx.acquire(&b, site!("inner acquire"));
+                ctx.release(&b, site!());
+            },
+        );
+        assert!(
+            matches!(r.outcome, Outcome::ProgramPanic(_)),
+            "{:?}",
+            r.outcome
+        );
+        assert!(r.faults.panics >= 1);
+    }
+
+    #[test]
+    fn leaked_release_starves_contenders_into_a_stall() {
+        let plan = crate::FaultPlan::new(5).with_leak_release(1.0);
+        let r = VirtualRuntime::new(cfg().with_fault_plan(plan)).run(
+            Box::new(RoundRobinStrategy::new()),
+            |ctx| {
+                let l = ctx.new_lock(site!());
+                let t = ctx.spawn(site!(), "contender", move |ctx| {
+                    ctx.acquire(&l, site!("contender acquire"));
+                    ctx.release(&l, site!());
+                });
+                ctx.acquire(&l, site!("main acquire"));
+                ctx.release(&l, site!("leaked release"));
+                ctx.join(&t, site!());
+            },
+        );
+        // Main leaks the lock, so the contender can never acquire and the
+        // join can never complete: a classified stall, not a hang.
+        assert!(
+            matches!(r.outcome, Outcome::Stall { .. }),
+            "outcome: {:?}",
+            r.outcome
+        );
+        assert!(r.faults.leaked_releases >= 1, "{}", r.faults);
+    }
+
+    #[test]
+    fn spurious_wakeups_do_not_break_guarded_waits() {
+        let plan = crate::FaultPlan::new(7).with_spurious_wakeup(0.5);
+        let r = VirtualRuntime::new(cfg().with_fault_plan(plan)).run(
+            Box::new(RoundRobinStrategy::new()),
+            |ctx| {
+                let m = ctx.new_lock(site!("monitor"));
+                let flag = crate::ctx::Shared::new(false);
+                let f2 = flag.clone();
+                let waiter = ctx.spawn(site!(), "waiter", move |ctx| {
+                    ctx.acquire(&m, site!("waiter lock"));
+                    while !f2.get() {
+                        ctx.wait(&m, site!("waiter wait"));
+                    }
+                    ctx.release(&m, site!("waiter unlock"));
+                });
+                ctx.work(5);
+                ctx.acquire(&m, site!("main lock"));
+                flag.with(|f| *f = true);
+                ctx.notify_all(&m, site!("main notify"));
+                ctx.release(&m, site!("main unlock"));
+                ctx.join(&waiter, site!());
+            },
+        );
+        // A while-guarded wait absorbs spurious wakeups: the program still
+        // completes, and at least one wakeup was injected while the waiter
+        // sat in the wait set.
+        assert!(r.outcome.is_completed(), "outcome: {:?}", r.outcome);
+        assert!(r.faults.spurious_wakeups >= 1, "{}", r.faults);
+    }
+
+    #[test]
+    fn runaway_spawns_add_threads_but_run_completes() {
+        let plan = crate::FaultPlan::new(3)
+            .with_runaway_spawn(1.0)
+            .with_max_runaway_spawns(2);
+        let r = VirtualRuntime::new(cfg().with_fault_plan(plan)).run(
+            Box::new(RoundRobinStrategy::new()),
+            |ctx| {
+                let t = ctx.spawn(site!(), "real child", |ctx| ctx.work(3));
+                ctx.join(&t, site!());
+            },
+        );
+        assert!(r.outcome.is_completed(), "outcome: {:?}", r.outcome);
+        assert_eq!(r.faults.runaway_spawns, 1, "one program spawn, one fault");
+        let starts = r
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ThreadStart))
+            .count();
+        // main + real child + injected runaway
+        assert_eq!(starts, 3);
+    }
+
+    #[test]
+    fn chaos_runs_always_terminate_with_a_classified_outcome() {
+        // The acceptance gate for the fault harness: under a mix of every
+        // fault kind, a deadlock-prone program must still terminate quickly
+        // with some classified outcome — never a wall-clock hang.
+        for seed in 0..8u64 {
+            let plan = crate::FaultPlan::new(seed)
+                .with_panic_on_acquire(0.05)
+                .with_leak_release(0.1)
+                .with_spurious_wakeup(0.2)
+                .with_runaway_spawn(0.3)
+                .with_max_runaway_spawns(2);
+            let cfg = RunConfig::default()
+                .with_max_steps(5_000)
+                .with_hang_timeout(Duration::from_secs(5))
+                .with_fault_plan(plan);
+            let r = VirtualRuntime::new(cfg).run(Box::new(RoundRobinStrategy::new()), |ctx| {
+                let l1 = ctx.new_lock(site!("l1"));
+                let l2 = ctx.new_lock(site!("l2"));
+                let t1 = ctx.spawn(site!(), "t1", move |ctx| {
+                    ctx.acquire(&l1, site!());
+                    ctx.yield_now();
+                    ctx.acquire(&l2, site!());
+                    ctx.release(&l2, site!());
+                    ctx.release(&l1, site!());
+                });
+                let t2 = ctx.spawn(site!(), "t2", move |ctx| {
+                    ctx.acquire(&l2, site!());
+                    ctx.yield_now();
+                    ctx.acquire(&l1, site!());
+                    ctx.release(&l1, site!());
+                    ctx.release(&l2, site!());
+                });
+                ctx.join(&t1, site!());
+                ctx.join(&t2, site!());
+            });
+            assert!(
+                !matches!(r.outcome, Outcome::Hang),
+                "seed {seed} hung: {:?}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        let run = || {
+            let plan = crate::FaultPlan::new(21)
+                .with_leak_release(0.3)
+                .with_spurious_wakeup(0.3);
+            VirtualRuntime::new(cfg().with_fault_plan(plan)).run(
+                Box::new(RoundRobinStrategy::new()),
+                |ctx| {
+                    let l = ctx.new_lock(site!());
+                    let t = ctx.spawn(site!(), "w", move |ctx| {
+                        for _ in 0..4 {
+                            ctx.acquire(&l, site!());
+                            ctx.release(&l, site!());
+                            ctx.yield_now();
+                        }
+                    });
+                    for _ in 0..4 {
+                        ctx.acquire(&l, site!());
+                        ctx.release(&l, site!());
+                        ctx.yield_now();
+                    }
+                    ctx.join(&t, site!());
+                },
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(format!("{:?}", a.outcome), format!("{:?}", b.outcome));
     }
 
     #[test]

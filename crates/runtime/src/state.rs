@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use df_events::{IndexFrame, Label, ObjId, ThreadId, Trace};
 
+use crate::fault::{FaultLog, FaultState};
 use crate::pending::PendingOp;
 
 /// Lifecycle status of a virtual thread.
@@ -140,6 +141,8 @@ pub(crate) struct Global {
     pub(crate) final_outcome: Option<crate::Outcome>,
     /// Monotonic progress counter for the hang watchdog.
     pub(crate) progress: u64,
+    /// Live fault-injection state, if a plan was configured.
+    pub(crate) faults: Option<FaultState>,
 }
 
 impl Global {
@@ -154,7 +157,13 @@ impl Global {
             aborting: false,
             final_outcome: None,
             progress: 0,
+            faults: None,
         }
+    }
+
+    /// The log of faults injected so far (empty without a plan).
+    pub(crate) fn fault_log(&self) -> FaultLog {
+        self.faults.as_ref().map(|f| f.log).unwrap_or_default()
     }
 
     pub(crate) fn thread(&self, t: ThreadId) -> &ThreadState {
@@ -317,10 +326,16 @@ mod tests {
     #[test]
     fn enabled_excludes_blocked_and_finished() {
         let mut g = Global::new(true);
-        g.threads
-            .push(ThreadState::new(ThreadId::new(0), "a".into(), ObjId::new(0)));
-        g.threads
-            .push(ThreadState::new(ThreadId::new(1), "b".into(), ObjId::new(1)));
+        g.threads.push(ThreadState::new(
+            ThreadId::new(0),
+            "a".into(),
+            ObjId::new(0),
+        ));
+        g.threads.push(ThreadState::new(
+            ThreadId::new(1),
+            "b".into(),
+            ObjId::new(1),
+        ));
         let lock = ObjId::new(5);
         g.locks.insert(
             lock,
@@ -345,10 +360,16 @@ mod tests {
     #[test]
     fn join_enabled_only_after_target_finishes() {
         let mut g = Global::new(true);
-        g.threads
-            .push(ThreadState::new(ThreadId::new(0), "a".into(), ObjId::new(0)));
-        g.threads
-            .push(ThreadState::new(ThreadId::new(1), "b".into(), ObjId::new(1)));
+        g.threads.push(ThreadState::new(
+            ThreadId::new(0),
+            "a".into(),
+            ObjId::new(0),
+        ));
+        g.threads.push(ThreadState::new(
+            ThreadId::new(1),
+            "b".into(),
+            ObjId::new(1),
+        ));
         g.thread_mut(ThreadId::new(0)).status = ThreadStatus::Announced(PendingOp::Join {
             target: ThreadId::new(1),
         });

@@ -125,10 +125,7 @@ impl Strategy for RoundRobinStrategy {
         self.picks += 1;
         let next = match self.last {
             None => enabled[0],
-            Some(prev) => *enabled
-                .iter()
-                .find(|&&t| t > prev)
-                .unwrap_or(&enabled[0]),
+            Some(prev) => *enabled.iter().find(|&&t| t > prev).unwrap_or(&enabled[0]),
         };
         self.last = Some(next);
         Directive::Run(next)

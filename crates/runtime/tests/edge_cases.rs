@@ -33,9 +33,7 @@ fn non_lexical_release_order_is_supported() {
         .events()
         .iter()
         .find_map(|e| match &e.kind {
-            EventKind::Acquire { site, held, .. }
-                if site.as_str().contains("nl acq c") =>
-            {
+            EventKind::Acquire { site, held, .. } if site.as_str().contains("nl acq c") => {
                 Some(held.clone())
             }
             _ => None,
@@ -142,7 +140,12 @@ fn spawn_tree_exec_indices_nest() {
     assert!(r.outcome.is_completed());
     let b_obj = r.trace.thread_obj(ThreadId::new(2)).expect("B bound");
     let meta = r.trace.objects().get(b_obj);
-    assert_eq!(meta.index.len(), 2, "call frame + spawn frame: {:?}", meta.index);
+    assert_eq!(
+        meta.index.len(),
+        2,
+        "call frame + spawn frame: {:?}",
+        meta.index
+    );
     assert!(meta.index[0].site.as_str().contains("tree A.run"));
     assert!(meta.index[1].site.as_str().contains("tree spawn B"));
 }
@@ -156,18 +159,20 @@ fn many_threads_many_locks_scale_smoke() {
         let mut children = Vec::new();
         for i in 0..12 {
             let locks = locks.clone();
-            children.push(ctx.spawn(site!("scale spawn"), &format!("s{i}"), move |ctx| {
-                for round in 0..3 {
-                    let x = (i + round) % locks.len();
-                    let y = (x + 1) % locks.len();
-                    let (lo, hi) = if x < y { (x, y) } else { (y, x) };
-                    let g1 = ctx.lock(&locks[lo], site!("scale lo"));
-                    let g2 = ctx.lock(&locks[hi], site!("scale hi"));
-                    drop(g2);
-                    drop(g1);
-                    ctx.yield_now();
-                }
-            }));
+            children.push(
+                ctx.spawn(site!("scale spawn"), &format!("s{i}"), move |ctx| {
+                    for round in 0..3 {
+                        let x = (i + round) % locks.len();
+                        let y = (x + 1) % locks.len();
+                        let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+                        let g1 = ctx.lock(&locks[lo], site!("scale lo"));
+                        let g2 = ctx.lock(&locks[hi], site!("scale hi"));
+                        drop(g2);
+                        drop(g1);
+                        ctx.yield_now();
+                    }
+                }),
+            );
         }
         for c in &children {
             ctx.join(c, site!());

@@ -4,8 +4,8 @@
 use df_events::site;
 use df_events::ThreadId;
 use df_runtime::{
-    strategy::ReplayStrategy, Directive, Outcome, RunConfig, StateView, Strategy,
-    StrategyStats, TCtx, VirtualRuntime,
+    strategy::ReplayStrategy, Directive, Outcome, RunConfig, StateView, Strategy, StrategyStats,
+    TCtx, VirtualRuntime,
 };
 
 /// A tiny deterministic pseudo-random strategy (LCG), standing in for the
@@ -17,7 +17,9 @@ struct Lcg {
 impl Lcg {
     fn new(seed: u64) -> Self {
         Lcg {
-            state: seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493),
+            state: seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493),
         }
     }
 }
@@ -65,9 +67,7 @@ fn contended_program(ctx: &TCtx) {
 #[test]
 fn replay_reproduces_a_random_runs_trace_exactly() {
     let rt = VirtualRuntime::new(RunConfig::default());
-    let original = rt.run(simple_random(5), |ctx| {
-        contended_program(ctx)
-    });
+    let original = rt.run(simple_random(5), contended_program);
     let replay = rt.run(
         Box::new(ReplayStrategy::from_trace(&original.trace)),
         contended_program,
@@ -83,9 +83,7 @@ fn replay_reproduces_a_deadlock_witness() {
     let rt = VirtualRuntime::new(RunConfig::default());
     let mut deadlocked = None;
     for seed in 0..50 {
-        let r = rt.run(simple_random(seed), |ctx| {
-            contended_program(ctx)
-        });
+        let r = rt.run(simple_random(seed), contended_program);
         if r.outcome.is_deadlock() {
             deadlocked = Some(r);
             break;

@@ -1,9 +1,7 @@
 //! Monitor wait/notify semantics (Java `Object.wait`/`notify` model).
 
 use df_events::site;
-use df_runtime::{
-    strategy::RoundRobinStrategy, Outcome, RunConfig, Shared, VirtualRuntime,
-};
+use df_runtime::{strategy::RoundRobinStrategy, Outcome, RunConfig, Shared, VirtualRuntime};
 
 fn rt() -> VirtualRuntime {
     VirtualRuntime::new(RunConfig::default())
@@ -105,13 +103,15 @@ fn notify_all_wakes_every_waiter() {
         let mut waiters = Vec::new();
         for i in 0..3 {
             let released = released.clone();
-            waiters.push(ctx.spawn(site!("na spawn w"), &format!("w{i}"), move |ctx| {
-                ctx.acquire(&monitor, site!("na w lock"));
-                while !released.get() {
-                    ctx.wait(&monitor, site!("na w wait"));
-                }
-                ctx.release(&monitor, site!("na w unlock"));
-            }));
+            waiters.push(
+                ctx.spawn(site!("na spawn w"), &format!("w{i}"), move |ctx| {
+                    ctx.acquire(&monitor, site!("na w lock"));
+                    while !released.get() {
+                        ctx.wait(&monitor, site!("na w wait"));
+                    }
+                    ctx.release(&monitor, site!("na w unlock"));
+                }),
+            );
         }
         let released2 = released.clone();
         let broadcaster = ctx.spawn(site!("na spawn b"), "broadcast", move |ctx| {
@@ -139,20 +139,22 @@ fn single_notify_wakes_exactly_one() {
         let mut waiters = Vec::new();
         for i in 0..2 {
             let tokens = tokens.clone();
-            waiters.push(ctx.spawn(site!("one spawn w"), &format!("w{i}"), move |ctx| {
-                ctx.acquire(&monitor, site!("one w lock"));
-                while tokens.with(|t| {
-                    if *t > 0 {
-                        *t -= 1;
-                        false
-                    } else {
-                        true
+            waiters.push(
+                ctx.spawn(site!("one spawn w"), &format!("w{i}"), move |ctx| {
+                    ctx.acquire(&monitor, site!("one w lock"));
+                    while tokens.with(|t| {
+                        if *t > 0 {
+                            *t -= 1;
+                            false
+                        } else {
+                            true
+                        }
+                    }) {
+                        ctx.wait(&monitor, site!("one w wait"));
                     }
-                }) {
-                    ctx.wait(&monitor, site!("one w wait"));
-                }
-                ctx.release(&monitor, site!("one w unlock"));
-            }));
+                    ctx.release(&monitor, site!("one w unlock"));
+                }),
+            );
         }
         let tokens2 = tokens.clone();
         let signaler = ctx.spawn(site!("one spawn s"), "signaler", move |ctx| {
@@ -178,7 +180,11 @@ fn wait_without_monitor_is_a_program_error() {
         let monitor = ctx.new_lock(site!("err monitor"));
         ctx.wait(&monitor, site!("err wait"));
     });
-    assert!(matches!(r.outcome, Outcome::ProgramPanic(_)), "{:?}", r.outcome);
+    assert!(
+        matches!(r.outcome, Outcome::ProgramPanic(_)),
+        "{:?}",
+        r.outcome
+    );
 }
 
 #[test]
@@ -187,7 +193,11 @@ fn notify_without_monitor_is_a_program_error() {
         let monitor = ctx.new_lock(site!("err2 monitor"));
         ctx.notify(&monitor, site!("err2 notify"));
     });
-    assert!(matches!(r.outcome, Outcome::ProgramPanic(_)), "{:?}", r.outcome);
+    assert!(
+        matches!(r.outcome, Outcome::ProgramPanic(_)),
+        "{:?}",
+        r.outcome
+    );
 }
 
 #[test]

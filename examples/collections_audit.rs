@@ -14,8 +14,7 @@
 use deadlock_fuzzer::{Config, DeadlockFuzzer};
 
 fn audit(name: &str, program: deadlock_fuzzer::ProgramRef, trials: u32) {
-    let fuzzer =
-        DeadlockFuzzer::from_ref(program, Config::default().with_confirm_trials(trials));
+    let fuzzer = DeadlockFuzzer::from_ref(program, Config::default().with_confirm_trials(trials));
     let report = fuzzer.run();
     println!("=== {name} ===");
     println!(

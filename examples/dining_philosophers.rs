@@ -48,10 +48,7 @@ fn table() -> Named<impl deadlock_fuzzer::Program> {
 }
 
 fn main() {
-    let fuzzer = DeadlockFuzzer::with_config(
-        table(),
-        Config::default().with_confirm_trials(10),
-    );
+    let fuzzer = DeadlockFuzzer::with_config(table(), Config::default().with_confirm_trials(10));
 
     let phase1 = fuzzer.phase1();
     println!("--- Phase I ---\n{phase1}");

@@ -42,13 +42,10 @@ fn figure1() -> Named<impl deadlock_fuzzer::Program> {
 }
 
 fn main() {
-    let fuzzer = DeadlockFuzzer::with_config(
-        figure1(),
-        Config::default().with_confirm_trials(20),
-    );
+    let fuzzer = DeadlockFuzzer::with_config(figure1(), Config::default().with_confirm_trials(20));
 
     // Control: plain random testing does not find the deadlock.
-    let (baseline_deadlocks, _) = fuzzer.baseline(20);
+    let (baseline_deadlocks, _) = fuzzer.baseline(20).expect("trials > 0");
     println!("plain random testing: {baseline_deadlocks}/20 runs deadlocked");
 
     // Phase I: observe one execution, predict potential cycles.

@@ -37,7 +37,10 @@ fn main() {
     let rt = VirtualRuntime::new(RunConfig::default());
     let observed = rt.run(Box::new(SimpleRandomChecker::with_seed(1)), account_program);
     let candidates = predict_races(&observed.trace);
-    println!("lockset analysis predicts {} potential race(s):", candidates.len());
+    println!(
+        "lockset analysis predicts {} potential race(s):",
+        candidates.len()
+    );
     for c in &candidates {
         println!("  {c}");
     }
@@ -67,7 +70,13 @@ fn main() {
         if hits > 0 {
             confirmed += 1;
         }
-        println!("candidate {}: confirmed in {hits}/{trials} biased runs", i + 1);
+        println!(
+            "candidate {}: confirmed in {hits}/{trials} biased runs",
+            i + 1
+        );
     }
-    println!("\n{confirmed} of {} candidates are real races.", candidates.len());
+    println!(
+        "\n{confirmed} of {} candidates are real races.",
+        candidates.len()
+    );
 }

@@ -24,18 +24,16 @@ fn philosophers() -> Named<impl deadlock_fuzzer::Program> {
         for p in 0..N {
             let left = forks[p];
             let right = forks[(p + 1) % N];
-            seats.push(ctx.spawn(
-                Label::new("Table.seat"),
-                &format!("p{p}"),
-                move |ctx| {
+            seats.push(
+                ctx.spawn(Label::new("Table.seat"), &format!("p{p}"), move |ctx| {
                     ctx.work(2);
                     let l = ctx.lock(&left, Label::new("Philosopher.left"));
                     let r = ctx.lock(&right, Label::new("Philosopher.right"));
                     ctx.work(1);
                     drop(r);
                     drop(l);
-                },
-            ));
+                }),
+            );
         }
         for s in &seats {
             ctx.join(s, Label::new("Table.join"));
@@ -45,10 +43,7 @@ fn philosophers() -> Named<impl deadlock_fuzzer::Program> {
 
 #[test]
 fn exec_indexing_separates_loop_allocations_kobject_does_not() {
-    let fuzzer = DeadlockFuzzer::from_ref(
-        std::sync::Arc::new(philosophers()),
-        Config::default(),
-    );
+    let fuzzer = DeadlockFuzzer::from_ref(std::sync::Arc::new(philosophers()), Config::default());
     let p1 = fuzzer.phase1();
     assert_eq!(p1.cycle_count(), 1, "the full ring");
     let objects = p1.cycles[0].components();
@@ -73,8 +68,16 @@ fn exec_indexing_separates_loop_allocations_kobject_does_not() {
             .collect();
         set.len()
     };
-    assert_eq!(distinct(&exec_cycle), N, "execution indexing separates forks");
-    assert_eq!(distinct(&kobj_cycle), 1, "k-object collapses loop allocations");
+    assert_eq!(
+        distinct(&exec_cycle),
+        N,
+        "execution indexing separates forks"
+    );
+    assert_eq!(
+        distinct(&kobj_cycle),
+        1,
+        "k-object collapses loop allocations"
+    );
     assert_eq!(distinct(&site_cycle), 1, "site abstraction collapses too");
     let _ = objects;
     let _ = fuzzer;

@@ -26,7 +26,10 @@ fn buggy_service(ctx: &TCtx) {
         // submit(): queue → stats.
         let gq = ctx.lock(&queue_lock, label("Service.submit: queue"));
         let gs = ctx.lock(&stats_lock, label("Service.submit: stats"));
-        ctx.write(&processed, label("Service.submit: bump (unguarded by contract)"));
+        ctx.write(
+            &processed,
+            label("Service.submit: bump (unguarded by contract)"),
+        );
         drop(gs);
         drop(gq);
     });
@@ -87,9 +90,7 @@ fn the_two_checkers_report_disjoint_bugs() {
     for c in &races {
         let t = c.to_string();
         assert!(
-            t.contains("processedCount")
-                || t.contains("bump")
-                || t.contains("racy read"),
+            t.contains("processedCount") || t.contains("bump") || t.contains("racy read"),
             "race candidates only concern the counter: {t}"
         );
     }

@@ -21,15 +21,16 @@ fn phase1_is_deterministic_per_seed() {
         )
     };
     assert_eq!(run(3), run(3));
-    assert_eq!(run(0).0, run(7).0, "cycle count is schedule-independent here");
+    assert_eq!(
+        run(0).0,
+        run(7).0,
+        "cycle count is schedule-independent here"
+    );
 }
 
 #[test]
 fn phase2_is_deterministic_per_seed() {
-    let fuzzer = DeadlockFuzzer::from_ref(
-        df_benchmarks::dbcp::program(),
-        Config::default(),
-    );
+    let fuzzer = DeadlockFuzzer::from_ref(df_benchmarks::dbcp::program(), Config::default());
     let p1 = fuzzer.phase1();
     let cycle = &p1.abstract_cycles[0];
     let a = fuzzer.phase2(cycle, 99);
@@ -49,10 +50,7 @@ fn abstractions_are_stable_across_phases() {
     // The whole point of §2.4: the cycle computed in Phase I must be
     // recognizable in a Phase II execution with a different schedule. If
     // abstraction stability broke, no cycle would ever be matched.
-    let fuzzer = DeadlockFuzzer::from_ref(
-        df_benchmarks::lists::program(),
-        Config::default(),
-    );
+    let fuzzer = DeadlockFuzzer::from_ref(df_benchmarks::lists::program(), Config::default());
     let p1 = fuzzer.phase1();
     // Different phase-2 seeds → different schedules → same target still
     // matched.

@@ -12,8 +12,11 @@ fn two_thread_figure1_full_story() {
     );
     // Plain testing rarely finds it (the paper ran 100 normal executions
     // with zero deadlocks).
-    let (baseline, _) = fuzzer.baseline(15);
-    assert!(baseline <= 4, "baseline should rarely deadlock: {baseline}/15");
+    let (baseline, _) = fuzzer.baseline(15).expect("trials > 0");
+    assert!(
+        baseline <= 4,
+        "baseline should rarely deadlock: {baseline}/15"
+    );
     // DeadlockFuzzer confirms it every time.
     let report = fuzzer.run();
     assert_eq!(report.potential_count(), 1);
@@ -48,19 +51,14 @@ fn three_thread_variant_needs_abstractions() {
     .run();
     let pt = &trivial.confirmations[0].probability;
     let degraded = pt.matched < trials || pt.avg_thrashes > 0.0;
-    assert!(
-        degraded,
-        "trivial abstraction must thrash or miss: {pt:?}"
-    );
+    assert!(degraded, "trivial abstraction must thrash or miss: {pt:?}");
 }
 
 #[test]
 fn report_uses_paper_notation() {
     // iGoodlock's report format: ([thread abs], [lock abs], [contexts]).
-    let fuzzer = DeadlockFuzzer::from_ref(
-        df_benchmarks::figure1::program(false),
-        Config::default(),
-    );
+    let fuzzer =
+        DeadlockFuzzer::from_ref(df_benchmarks::figure1::program(false), Config::default());
     let p1 = fuzzer.phase1();
     let text = p1.abstract_cycles[0].to_string();
     // Thread abstractions carry the start sites (paper: [25,1], [26,1]),

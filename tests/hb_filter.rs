@@ -5,11 +5,8 @@ use deadlock_fuzzer::{Config, DeadlockFuzzer};
 
 #[test]
 fn hb_filter_prunes_jigsaw_false_positive() {
-    let plain = DeadlockFuzzer::from_ref(
-        df_benchmarks::jigsaw::program(),
-        Config::default(),
-    )
-    .phase1();
+    let plain =
+        DeadlockFuzzer::from_ref(df_benchmarks::jigsaw::program(), Config::default()).phase1();
     let filtered = DeadlockFuzzer::from_ref(
         df_benchmarks::jigsaw::program(),
         Config::default().with_hb_filter(true),
@@ -20,7 +17,9 @@ fn hb_filter_prunes_jigsaw_false_positive() {
     // opposite-order thread starts only after the first released its
     // locks.
     let has_fp = |cycles: &[deadlock_fuzzer::igoodlock::AbstractCycle]| {
-        cycles.iter().any(|c| c.to_string().contains("waitForRunner"))
+        cycles
+            .iter()
+            .any(|c| c.to_string().contains("waitForRunner"))
     };
     assert!(has_fp(&plain.abstract_cycles), "unfiltered reports the FP");
     assert!(
@@ -36,7 +35,10 @@ fn hb_filter_prunes_jigsaw_false_positive() {
             .filter(|c| c.to_string().contains("killClients"))
             .count()
     };
-    assert_eq!(reals(&filtered.abstract_cycles), reals(&plain.abstract_cycles));
+    assert_eq!(
+        reals(&filtered.abstract_cycles),
+        reals(&plain.abstract_cycles)
+    );
 }
 
 #[test]
@@ -49,11 +51,8 @@ fn hb_filter_keeps_every_reproducible_cycle() {
         df_benchmarks::figure1::program(false),
     ] {
         let plain = DeadlockFuzzer::from_ref(program.clone(), Config::default()).phase1();
-        let filtered = DeadlockFuzzer::from_ref(
-            program,
-            Config::default().with_hb_filter(true),
-        )
-        .phase1();
+        let filtered =
+            DeadlockFuzzer::from_ref(program, Config::default().with_hb_filter(true)).phase1();
         assert_eq!(plain.cycle_count(), filtered.cycle_count());
         assert_eq!(filtered.stats.pruned_by_hb, 0);
     }
@@ -67,13 +66,13 @@ fn filtered_cycles_are_a_subset() {
         df_benchmarks::lists::program(),
     ] {
         let plain = DeadlockFuzzer::from_ref(program.clone(), Config::default()).phase1();
-        let filtered = DeadlockFuzzer::from_ref(
-            program,
-            Config::default().with_hb_filter(true),
-        )
-        .phase1();
-        let plain_set: Vec<String> =
-            plain.abstract_cycles.iter().map(|c| c.to_string()).collect();
+        let filtered =
+            DeadlockFuzzer::from_ref(program, Config::default().with_hb_filter(true)).phase1();
+        let plain_set: Vec<String> = plain
+            .abstract_cycles
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         for c in &filtered.abstract_cycles {
             assert!(
                 plain_set.contains(&c.to_string()),

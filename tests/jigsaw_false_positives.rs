@@ -43,14 +43,13 @@ fn both_figure3_contexts_are_distinguished() {
     // are acquired at different program locations. iGoodlock provided
     // precise debugging information to distinguish between the two
     // contexts."
-    let fuzzer = DeadlockFuzzer::from_ref(
-        df_benchmarks::jigsaw::program(),
-        Config::default(),
-    );
+    let fuzzer = DeadlockFuzzer::from_ref(df_benchmarks::jigsaw::program(), Config::default());
     let p1 = fuzzer.phase1();
     let texts: Vec<String> = p1.abstract_cycles.iter().map(|c| c.to_string()).collect();
     assert!(
-        texts.iter().any(|t| t.contains("clientConnectionFinished:623")),
+        texts
+            .iter()
+            .any(|t| t.contains("clientConnectionFinished:623")),
         "connection-finished context reported"
     );
     assert!(

@@ -84,7 +84,9 @@ fn all_variants_run_on_swing() {
     for variant in Variant::ALL {
         let fuzzer = DeadlockFuzzer::from_ref(
             df_benchmarks::swing::program(),
-            Config::default().with_variant(variant).with_confirm_trials(5),
+            Config::default()
+                .with_variant(variant)
+                .with_confirm_trials(5),
         );
         let report = fuzzer.run();
         assert_eq!(report.potential_count(), 1, "{variant}");
@@ -99,17 +101,11 @@ fn phase2_overhead_is_bounded() {
     // Table 1: "the overhead of our active checker is within a factor of
     // six". Check a loose bound on schedule points (steps), which is
     // stable across machines, for the logging benchmark.
-    let fuzzer = DeadlockFuzzer::from_ref(
-        df_benchmarks::logging::program(),
-        Config::default(),
-    );
+    let fuzzer = DeadlockFuzzer::from_ref(df_benchmarks::logging::program(), Config::default());
     let p1 = fuzzer.phase1();
     let baseline = {
         // A plain run's steps.
-        let r = fuzzer.phase2(
-            &deadlock_fuzzer::igoodlock::AbstractCycle::new(vec![]),
-            0,
-        );
+        let r = fuzzer.phase2(&deadlock_fuzzer::igoodlock::AbstractCycle::new(vec![]), 0);
         r.steps
     };
     let active = fuzzer.phase2(&p1.abstract_cycles[0], 0);

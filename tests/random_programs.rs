@@ -44,10 +44,8 @@ fn build(spec: Spec) -> deadlock_fuzzer::ProgramRef {
         for (t, pairs) in spec.threads.iter().enumerate() {
             let locks = locks.clone();
             let pairs = pairs.clone();
-            handles.push(ctx.spawn(
-                Label::new("random.spawn"),
-                &format!("w{t}"),
-                move |ctx| {
+            handles.push(
+                ctx.spawn(Label::new("random.spawn"), &format!("w{t}"), move |ctx| {
                     for (i, &(outer, inner)) in pairs.iter().enumerate() {
                         let go = ctx.lock(
                             &locks[outer],
@@ -62,8 +60,8 @@ fn build(spec: Spec) -> deadlock_fuzzer::ProgramRef {
                         drop(go);
                         ctx.work(2);
                     }
-                },
-            ));
+                }),
+            );
         }
         for h in &handles {
             ctx.join(h, Label::new("random.join"));

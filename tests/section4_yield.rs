@@ -13,7 +13,9 @@ fn yield_optimization_beats_no_yields() {
     .run();
     let without = DeadlockFuzzer::from_ref(
         df_benchmarks::section4::program(),
-        Config::default().with_yields(false).with_confirm_trials(trials),
+        Config::default()
+            .with_yields(false)
+            .with_confirm_trials(trials),
     )
     .run();
     assert_eq!(with_yields.potential_count(), 1);
@@ -32,10 +34,7 @@ fn yield_optimization_beats_no_yields() {
 
 #[test]
 fn yield_stats_are_reported() {
-    let fuzzer = DeadlockFuzzer::from_ref(
-        df_benchmarks::section4::program(),
-        Config::default(),
-    );
+    let fuzzer = DeadlockFuzzer::from_ref(df_benchmarks::section4::program(), Config::default());
     let p1 = fuzzer.phase1();
     let r = fuzzer.phase2(&p1.abstract_cycles[0], 7);
     assert!(r.deadlocked());

@@ -1,0 +1,428 @@
+//! Internal value tree and helpers shared by the derive macros and
+//! `serde_json`. Not part of the public API contract.
+
+use crate::{de, ser, Deserializer, Serialize, Serializer};
+
+/// A JSON-shaped value tree. Object entries preserve insertion order so
+/// derived structs serialize their fields in declaration order, matching
+/// real serde_json's streaming behavior.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Num(Num),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (ordered key/value entries).
+    Obj(Vec<(String, Value)>),
+}
+
+/// Number representation preserving integer-ness.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Num {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Error used by the value-tree conversions.
+#[derive(Debug)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    /// Builds a "wanted X, got Y" error.
+    pub fn type_mismatch(wanted: &str, got: &Value) -> Self {
+        DeError(format!(
+            "invalid type: expected {wanted}, found {}",
+            got.kind()
+        ))
+    }
+}
+
+/// Converts a numeric (or numeric-string) value to a wide integer.
+///
+/// String coercion exists because JSON object keys are always strings:
+/// a `BTreeMap<ThreadId, _>` round-trips its `u32` keys through `"7"`.
+pub fn value_to_i128(v: &Value) -> Result<i128, DeError> {
+    match v {
+        Value::Num(Num::U(u)) => Ok(*u as i128),
+        Value::Num(Num::I(i)) => Ok(*i as i128),
+        Value::Str(s) => s
+            .parse::<i128>()
+            .map_err(|_| DeError::msg(format!("cannot parse `{s}` as an integer"))),
+        other => Err(DeError::type_mismatch("integer", other)),
+    }
+}
+
+/// Converts a numeric (or numeric-string) value to `f64`.
+pub fn value_to_f64(v: &Value) -> Result<f64, DeError> {
+    match v {
+        Value::Num(Num::U(u)) => Ok(*u as f64),
+        Value::Num(Num::I(i)) => Ok(*i as f64),
+        Value::Num(Num::F(f)) => Ok(*f),
+        Value::Str(s) => s
+            .parse::<f64>()
+            .map_err(|_| DeError::msg(format!("cannot parse `{s}` as a number"))),
+        other => Err(DeError::type_mismatch("number", other)),
+    }
+}
+
+/// Deserializes a `T` out of an owned value tree.
+pub fn from_value<T: de::DeserializeOwned>(v: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer(v))
+}
+
+/// Serializes a `T` into a value tree.
+pub fn to_value<T: ?Sized + Serialize>(v: &T) -> Result<Value, DeError> {
+    v.serialize(ValueSerializer)
+}
+
+/// Removes and deserializes the named field of a (partially consumed)
+/// object. A missing field reads as `Null`, so `Option` fields default to
+/// `None` and everything else reports a useful error.
+pub fn field<T: de::DeserializeOwned>(
+    entries: &mut Vec<(String, Value)>,
+    name: &'static str,
+) -> Result<T, DeError> {
+    let v = match entries.iter().position(|(k, _)| k == name) {
+        Some(i) => entries.remove(i).1,
+        None => Value::Null,
+    };
+    from_value(v).map_err(|e| DeError::msg(format!("field `{name}`: {e}", e = e.0)))
+}
+
+/// Expects an object, reporting `type_name` on mismatch.
+pub fn expect_obj(v: Value, type_name: &str) -> Result<Vec<(String, Value)>, DeError> {
+    match v {
+        Value::Obj(entries) => Ok(entries),
+        other => Err(DeError::msg(format!(
+            "invalid type for {type_name}: expected object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Expects an array of exactly `len` elements.
+pub fn expect_arr(v: Value, len: usize, type_name: &str) -> Result<Vec<Value>, DeError> {
+    match v {
+        Value::Arr(items) if items.len() == len => Ok(items),
+        Value::Arr(items) => Err(DeError::msg(format!(
+            "invalid length for {type_name}: expected {len}, found {}",
+            items.len()
+        ))),
+        other => Err(DeError::msg(format!(
+            "invalid type for {type_name}: expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Splits an externally-tagged enum value into `(variant, content)`.
+pub fn enum_tag(v: Value, type_name: &str) -> Result<(String, Option<Value>), DeError> {
+    match v {
+        Value::Str(s) => Ok((s, None)),
+        Value::Obj(mut entries) if entries.len() == 1 => {
+            let (tag, content) = entries.remove(0);
+            Ok((tag, Some(content)))
+        }
+        other => Err(DeError::msg(format!(
+            "invalid type for enum {type_name}: expected string or single-key \
+             object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Asserts a unit variant carried no content.
+pub fn expect_no_content(content: Option<Value>, variant: &str) -> Result<(), DeError> {
+    match content {
+        None | Some(Value::Null) => Ok(()),
+        Some(other) => Err(DeError::msg(format!(
+            "unit variant `{variant}` must not carry data, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Extracts the content of a data-carrying variant.
+pub fn expect_content(content: Option<Value>, variant: &str) -> Result<Value, DeError> {
+    content.ok_or_else(|| DeError::msg(format!("variant `{variant}` requires data")))
+}
+
+// ---------------------------------------------------------------------------
+// The one Serializer: builds a Value tree.
+// ---------------------------------------------------------------------------
+
+/// Serializer producing a [`Value`].
+pub struct ValueSerializer;
+
+/// Sequence/tuple-struct builder.
+pub struct SeqBuilder(Vec<Value>);
+
+/// Map/struct builder.
+pub struct MapBuilder(Vec<(String, Value)>);
+
+/// Tuple-variant builder.
+pub struct TupleVariantBuilder {
+    tag: &'static str,
+    items: Vec<Value>,
+}
+
+/// Struct-variant builder.
+pub struct StructVariantBuilder {
+    tag: &'static str,
+    entries: Vec<(String, Value)>,
+}
+
+fn key_string(v: Value) -> Result<String, DeError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::Num(Num::U(u)) => Ok(u.to_string()),
+        Value::Num(Num::I(i)) => Ok(i.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(DeError::msg(format!(
+            "map key must serialize as a string or integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = DeError;
+    type SerializeSeq = SeqBuilder;
+    type SerializeMap = MapBuilder;
+    type SerializeStruct = MapBuilder;
+    type SerializeTupleStruct = SeqBuilder;
+    type SerializeTupleVariant = TupleVariantBuilder;
+    type SerializeStructVariant = StructVariantBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, DeError> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, DeError> {
+        if v >= 0 {
+            Ok(Value::Num(Num::U(v as u64)))
+        } else {
+            Ok(Value::Num(Num::I(v)))
+        }
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, DeError> {
+        Ok(Value::Num(Num::U(v)))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, DeError> {
+        Ok(Value::Num(Num::F(v)))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, DeError> {
+        Ok(Value::Str(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Value, DeError> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value, DeError> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, DeError> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value, DeError> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, DeError> {
+        Ok(Value::Str(variant.to_string()))
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, DeError> {
+        Ok(Value::Obj(vec![(
+            variant.to_string(),
+            value.serialize(ValueSerializer)?,
+        )]))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, DeError> {
+        Ok(SeqBuilder(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<MapBuilder, DeError> {
+        Ok(MapBuilder(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<MapBuilder, DeError> {
+        Ok(MapBuilder(Vec::with_capacity(len)))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<SeqBuilder, DeError> {
+        Ok(SeqBuilder(Vec::with_capacity(len)))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<TupleVariantBuilder, DeError> {
+        Ok(TupleVariantBuilder {
+            tag: variant,
+            items: Vec::with_capacity(len),
+        })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<StructVariantBuilder, DeError> {
+        Ok(StructVariantBuilder {
+            tag: variant,
+            entries: Vec::with_capacity(len),
+        })
+    }
+}
+
+impl ser::SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = DeError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), DeError> {
+        self.0.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, DeError> {
+        Ok(Value::Arr(self.0))
+    }
+}
+
+impl ser::SerializeTupleStruct for SeqBuilder {
+    type Ok = Value;
+    type Error = DeError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), DeError> {
+        self.0.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, DeError> {
+        Ok(Value::Arr(self.0))
+    }
+}
+
+impl ser::SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = DeError;
+    fn serialize_entry<K: ?Sized + Serialize, V: ?Sized + Serialize>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), DeError> {
+        let key = key_string(key.serialize(ValueSerializer)?)?;
+        self.0.push((key, value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, DeError> {
+        Ok(Value::Obj(self.0))
+    }
+}
+
+impl ser::SerializeStruct for MapBuilder {
+    type Ok = Value;
+    type Error = DeError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), DeError> {
+        self.0
+            .push((key.to_string(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, DeError> {
+        Ok(Value::Obj(self.0))
+    }
+}
+
+impl ser::SerializeTupleVariant for TupleVariantBuilder {
+    type Ok = Value;
+    type Error = DeError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), DeError> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, DeError> {
+        Ok(Value::Obj(vec![(
+            self.tag.to_string(),
+            Value::Arr(self.items),
+        )]))
+    }
+}
+
+impl ser::SerializeStructVariant for StructVariantBuilder {
+    type Ok = Value;
+    type Error = DeError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), DeError> {
+        self.entries
+            .push((key.to_string(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, DeError> {
+        Ok(Value::Obj(vec![(
+            self.tag.to_string(),
+            Value::Obj(self.entries),
+        )]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The one Deserializer: surrenders a Value tree.
+// ---------------------------------------------------------------------------
+
+/// Deserializer over an owned [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+    fn __take_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}

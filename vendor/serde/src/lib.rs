@@ -1,0 +1,619 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The public trait surface (`Serialize`, `Serializer`, `Deserialize`,
+//! `Deserializer`, `ser::Error`, `de::Error`, the `Serialize*` builder
+//! traits) is shaped like real serde, so hand-written impls such as
+//! `df_events::Label`'s compile unchanged. Internally everything funnels
+//! through a JSON-like [`__private::Value`] tree instead of serde's
+//! visitor machinery: a `Serializer` builds a `Value`, a `Deserializer`
+//! surrenders one. `serde_json` (also vendored) is then a thin
+//! text ⇄ `Value` layer.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[doc(hidden)]
+pub mod __private;
+
+use __private::{DeError, Num, Value};
+
+pub mod ser {
+    //! Serialization half: error trait and compound builders.
+
+    use std::fmt;
+
+    use super::Serialize;
+
+    /// Error type produced while serializing.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Builder for sequences.
+    pub trait SerializeSeq {
+        /// Final output value.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Appends one element.
+        fn serialize_element<T: ?Sized + Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for maps.
+    pub trait SerializeMap {
+        /// Final output value.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Appends one key/value entry.
+        fn serialize_entry<K: ?Sized + Serialize, V: ?Sized + Serialize>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for structs with named fields.
+    pub trait SerializeStruct {
+        /// Final output value.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Appends one named field.
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for tuple structs.
+    pub trait SerializeTupleStruct {
+        /// Final output value.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Appends one positional field.
+        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the tuple struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for tuple enum variants.
+    pub trait SerializeTupleVariant {
+        /// Final output value.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Appends one positional field.
+        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for struct enum variants.
+    pub trait SerializeStructVariant {
+        /// Final output value.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Appends one named field.
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    //! Deserialization half: error trait and ownership marker.
+
+    use std::fmt;
+
+    use super::Deserialize;
+
+    /// Error type produced while deserializing.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A type deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format backend that consumes values.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Sequence builder.
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Map builder.
+    type SerializeMap: ser::SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Named-struct builder.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-struct builder.
+    type SerializeTupleStruct: ser::SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-variant builder.
+    type SerializeTupleVariant: ser::SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct-variant builder.
+    type SerializeStructVariant: ser::SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a floating-point number.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Some(value)`.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct transparently.
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype enum variant.
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Starts a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Starts a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Starts a named struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Starts a tuple struct.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Starts a tuple variant.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Starts a struct variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A format backend that produces values.
+///
+/// Unlike real serde's visitor-driven trait, this shim's deserializers
+/// simply surrender a parsed [`__private::Value`] tree; `Deserialize`
+/// impls convert out of it.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+    /// Yields the underlying value tree.
+    #[doc(hidden)]
+    fn __take_value(self) -> Result<Value, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(v) => serializer.serialize_some(v),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap;
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(2))?;
+        seq.serialize_element(&self.0)?;
+        seq.serialize_element(&self.1)?;
+        seq.end()
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(3))?;
+        seq.serialize_element(&self.0)?;
+        seq.serialize_element(&self.1)?;
+        seq.serialize_element(&self.2)?;
+        seq.end()
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("Duration", 2)?;
+        st.serialize_field("secs", &self.as_secs())?;
+        st.serialize_field("nanos", &self.subsec_nanos())?;
+        st.end()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn take<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Value, D::Error> {
+    deserializer.__take_value()
+}
+
+fn lift<'de, D: Deserializer<'de>, T>(r: Result<T, DeError>) -> Result<T, D::Error> {
+    r.map_err(<D::Error as de::Error>::custom)
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match take(deserializer)? {
+            Value::Bool(b) => Ok(b),
+            other => lift::<D, _>(Err(DeError::type_mismatch("bool", &other))),
+        }
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = take(deserializer)?;
+                lift::<D, _>(__private::value_to_i128(&v).and_then(|wide| {
+                    <$t>::try_from(wide).map_err(|_| {
+                        DeError::msg(format!(
+                            "integer {wide} out of range for {}",
+                            stringify!($t)
+                        ))
+                    })
+                }))
+            }
+        }
+    )*};
+}
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = take(deserializer)?;
+        lift::<D, _>(__private::value_to_f64(&v))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = take(deserializer)?;
+        lift::<D, _>(__private::value_to_f64(&v).map(|f| f as f32))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match take(deserializer)? {
+            Value::Str(s) => Ok(s),
+            other => lift::<D, _>(Err(DeError::type_mismatch("string", &other))),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match take(deserializer)? {
+            Value::Null => Ok(None),
+            other => lift::<D, _>(__private::from_value(other).map(Some)),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match take(deserializer)? {
+            Value::Arr(items) => {
+                lift::<D, _>(items.into_iter().map(__private::from_value).collect())
+            }
+            other => lift::<D, _>(Err(DeError::type_mismatch("array", &other))),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, K: de::DeserializeOwned + Ord, V: de::DeserializeOwned> Deserialize<'de>
+    for BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match take(deserializer)? {
+            Value::Obj(entries) => lift::<D, _>(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| {
+                        let key = __private::from_value(Value::Str(k))?;
+                        let value = __private::from_value(v)?;
+                        Ok((key, value))
+                    })
+                    .collect(),
+            ),
+            other => lift::<D, _>(Err(DeError::type_mismatch("object", &other))),
+        }
+    }
+}
+
+impl<'de, A: de::DeserializeOwned, B: de::DeserializeOwned> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match take(deserializer)? {
+            Value::Arr(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                lift::<D, _>((|| {
+                    Ok((
+                        __private::from_value(it.next().expect("len checked"))?,
+                        __private::from_value(it.next().expect("len checked"))?,
+                    ))
+                })())
+            }
+            other => lift::<D, _>(Err(DeError::type_mismatch("array of 2", &other))),
+        }
+    }
+}
+
+impl<'de, A: de::DeserializeOwned, B: de::DeserializeOwned, C: de::DeserializeOwned>
+    Deserialize<'de> for (A, B, C)
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match take(deserializer)? {
+            Value::Arr(items) if items.len() == 3 => {
+                let mut it = items.into_iter();
+                lift::<D, _>((|| {
+                    Ok((
+                        __private::from_value(it.next().expect("len checked"))?,
+                        __private::from_value(it.next().expect("len checked"))?,
+                        __private::from_value(it.next().expect("len checked"))?,
+                    ))
+                })())
+            }
+            other => lift::<D, _>(Err(DeError::type_mismatch("array of 3", &other))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match take(deserializer)? {
+            Value::Obj(mut entries) => lift::<D, _>((|| {
+                let secs: u64 = __private::field(&mut entries, "secs")?;
+                let nanos: u32 = __private::field(&mut entries, "nanos")?;
+                Ok(Duration::new(secs, nanos))
+            })()),
+            other => lift::<D, _>(Err(DeError::type_mismatch("Duration object", &other))),
+        }
+    }
+}
+
+// A `Value` knows how to re-serialize itself; useful for pass-through.
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::{SerializeMap, SerializeSeq};
+        match self {
+            Value::Null => serializer.serialize_none(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Num(Num::U(u)) => serializer.serialize_u64(*u),
+            Value::Num(Num::I(i)) => serializer.serialize_i64(*i),
+            Value::Num(Num::F(f)) => serializer.serialize_f64(*f),
+            Value::Str(s) => serializer.serialize_str(s),
+            Value::Arr(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Obj(entries) => {
+                let mut map = serializer.serialize_map(Some(entries.len()))?;
+                for (k, v) in entries {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        take(deserializer)
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl ser::Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl de::Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::error::Error for DeError {}

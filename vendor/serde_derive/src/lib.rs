@@ -1,0 +1,495 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-written `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! that walk the raw token stream (no `syn`/`quote` available offline) and
+//! emit impls targeting the vendored serde shim's trait surface.
+//!
+//! Supported shapes — exactly what this workspace contains:
+//! - structs with named fields,
+//! - tuple structs (newtype structs serialize transparently),
+//! - unit structs,
+//! - enums with unit / newtype / tuple / struct variants
+//!   (externally tagged, like real serde's default).
+//!
+//! Unsupported (produces a compile error rather than wrong code):
+//! generic types and `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen_serialize(&shape)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen_deserialize(&shape)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("literal parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip attributes (#[...], including expanded doc comments) and
+    // visibility, then land on the `struct`/`enum` keyword.
+    let keyword = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _bracket = toks.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    break s;
+                } else {
+                    return Err(format!("serde shim derive: unexpected token `{s}`"));
+                }
+            }
+            other => {
+                return Err(format!(
+                    "serde shim derive: unexpected input near {other:?}"
+                ))
+            }
+        }
+    };
+
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected type name, got {other:?}"
+            ))
+        }
+    };
+
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    if keyword == "struct" {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!(
+                "serde shim derive: malformed struct body near {other:?}"
+            )),
+        }
+    } else {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!(
+                "serde shim derive: malformed enum body near {other:?}"
+            )),
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, skipping attributes and
+/// visibility. Types are skipped with angle-bracket depth tracking (commas
+/// inside `BTreeMap<K, V>` do not end a field).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next(); // the [...] group
+            } else {
+                break;
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = toks.peek() {
+            if id.to_string() == "pub" {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+        }
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected field name, got {other:?}"
+                ))
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde shim derive: expected `:`, got {other:?}")),
+        }
+        // Skip the type.
+        let mut angle: i32 = 0;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts positional fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle: i32 = 0;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible `= discriminant`, then the separating comma.
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut b = format!(
+                "let mut state = serde::Serializer::serialize_struct(serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            b.push_str("serde::ser::SerializeStruct::end(state)\n");
+            (name, b)
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "serde::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)\n"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut b = format!(
+                "let mut state = serde::Serializer::serialize_tuple_struct(serializer, \"{name}\", {arity}usize)?;\n"
+            );
+            for i in 0..*arity {
+                b.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut state, &self.{i})?;\n"
+                ));
+            }
+            b.push_str("serde::ser::SerializeTupleStruct::end(state)\n");
+            (name, b)
+        }
+        Shape::UnitStruct { name } => (
+            name,
+            "serde::Serializer::serialize_unit(serializer)\n".to_string(),
+        ),
+        Shape::Enum { name, variants } => {
+            let mut b = String::from("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => b.push_str(&format!(
+                        "{name}::{vname} => serde::Serializer::serialize_unit_variant(serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Tuple(1) => b.push_str(&format!(
+                        "{name}::{vname}(field0) => serde::Serializer::serialize_newtype_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", field0),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|i| format!("field{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut state = serde::Serializer::serialize_tuple_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", {arity}usize)?;\n",
+                            binders.join(", ")
+                        );
+                        for bdr in &binders {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeTupleVariant::serialize_field(&mut state, {bdr})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeTupleVariant::end(state)\n}\n");
+                        b.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut state = serde::Serializer::serialize_struct_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeStructVariant::serialize_field(&mut state, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeStructVariant::end(state)\n}\n");
+                        b.push_str(&arm);
+                    }
+                }
+            }
+            b.push_str("}\n");
+            (name, b)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } if fields.is_empty() => {
+            (name, format!("let _ = value;\nOk({name} {{}})\n"))
+        }
+        Shape::NamedStruct { name, fields } => {
+            let mut b = format!(
+                "let mut entries = serde::__private::expect_obj(value, \"{name}\")?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "{f}: serde::__private::field(&mut entries, \"{f}\")?,\n"
+                ));
+            }
+            b.push_str("})\n");
+            (name, b)
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("serde::__private::from_value(value).map({name})\n"),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut b = format!(
+                "let items = serde::__private::expect_arr(value, {arity}usize, \"{name}\")?;\n\
+                 let mut items = items.into_iter();\n\
+                 Ok({name}(\n"
+            );
+            for _ in 0..*arity {
+                b.push_str(
+                    "serde::__private::from_value(items.next().expect(\"length checked\"))?,\n",
+                );
+            }
+            b.push_str("))\n");
+            (name, b)
+        }
+        Shape::UnitStruct { name } => (name, format!("let _ = value;\nOk({name})\n")),
+        Shape::Enum { name, variants } => {
+            let mut b = format!(
+                "let (tag, content) = serde::__private::enum_tag(value, \"{name}\")?;\n\
+                 match tag.as_str() {{\n"
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => b.push_str(&format!(
+                        "\"{vname}\" => {{\nserde::__private::expect_no_content(content, \"{vname}\")?;\nOk({name}::{vname})\n}}\n"
+                    )),
+                    VariantKind::Tuple(1) => b.push_str(&format!(
+                        "\"{vname}\" => {{\nlet content = serde::__private::expect_content(content, \"{vname}\")?;\nOk({name}::{vname}(serde::__private::from_value(content)?))\n}}\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let content = serde::__private::expect_content(content, \"{vname}\")?;\n\
+                             let items = serde::__private::expect_arr(content, {arity}usize, \"{name}::{vname}\")?;\n\
+                             let mut items = items.into_iter();\n\
+                             Ok({name}::{vname}(\n"
+                        );
+                        for _ in 0..*arity {
+                            arm.push_str("serde::__private::from_value(items.next().expect(\"length checked\"))?,\n");
+                        }
+                        arm.push_str("))\n}\n");
+                        b.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let content = serde::__private::expect_content(content, \"{vname}\")?;\n\
+                             let mut entries = serde::__private::expect_obj(content, \"{name}::{vname}\")?;\n\
+                             Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: serde::__private::field(&mut entries, \"{f}\")?,\n"
+                            ));
+                        }
+                        arm.push_str("})\n}\n");
+                        b.push_str(&arm);
+                    }
+                }
+            }
+            b.push_str(&format!(
+                "other => Err(serde::__private::DeError::msg(format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n"
+            ));
+            (name, b)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+         let value = serde::Deserializer::__take_value(deserializer)?;\n\
+         let result: Result<Self, serde::__private::DeError> = (move || {{\n\
+         {body}\
+         }})();\n\
+         result.map_err(<D::Error as serde::de::Error>::custom)\n\
+         }}\n\
+         }}\n"
+    )
+}
