@@ -62,12 +62,13 @@ fn print_table1(rows: &[Table1Row], json: bool) {
     }
     println!("== Table 1: DeadlockFuzzer results (ours vs paper) ==");
     println!(
-        "{:<20} {:>9} | {:>9} {:>9} {:>9} | {:>6} {:>6} {:>6} {:>6} | paper: cycles real repro prob thrash",
-        "Program", "paperLoC", "norm(ms)", "iGL(ms)", "DF(ms)", "cycles", "repro", "prob", "thrash"
+        "{:<20} {:>9} | {:>9} {:>9} {:>9} | {:>6} {:>6} {:>6} {:>6} {:>6} | paper: cycles real repro prob thrash",
+        "Program", "paperLoC", "norm(ms)", "iGL(ms)", "DF(ms)", "cycles", "repro", "prob", "thrash", "yield"
     );
+    let opt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into());
     for r in rows {
         println!(
-            "{:<20} {:>9} | {:>9} {:>9} {:>9} | {:>6} {:>6} {:>6} {:>6} | {:>10} {:>5} {:>6} {:>5} {:>6}",
+            "{:<20} {:>9} | {:>9} {:>9} {:>9} | {:>6} {:>6} {:>6} {:>6} {:>6} | {:>10} {:>5} {:>6} {:>5} {:>6}",
             r.name,
             r.paper_loc,
             ms(r.normal),
@@ -75,12 +76,9 @@ fn print_table1(rows: &[Table1Row], json: bool) {
             ms(r.df),
             r.cycles,
             r.reproduced,
-            r.probability
-                .map(|p| format!("{p:.2}"))
-                .unwrap_or_else(|| "-".into()),
-            r.avg_thrashes
-                .map(|t| format!("{t:.2}"))
-                .unwrap_or_else(|| "-".into()),
+            opt(r.probability),
+            opt(r.avg_thrashes),
+            opt(r.avg_yields),
             r.paper_cycles,
             r.paper_real,
             r.paper_reproduced,

@@ -36,6 +36,10 @@ pub struct Table1Row {
     pub probability: Option<f64>,
     /// Mean thrashings per Phase II run (column 10).
     pub avg_thrashes: Option<f64>,
+    /// Mean §4 yields injected per Phase II run.
+    pub avg_yields: Option<f64>,
+    /// Mean threads paused per Phase II run.
+    pub avg_pauses: Option<f64>,
     /// Deadlocks observed in the plain-run control (paper: 0 out of 100).
     pub baseline_deadlocks: u32,
     /// The paper's published row, for side-by-side comparison.
@@ -58,19 +62,21 @@ pub fn table1_row(bench: &Benchmark, trials: u32, baseline_runs: u32) -> Table1R
     let phase1 = fuzzer.phase1();
     let report = fuzzer.run();
     let n = report.confirmations.len();
-    let (probability, avg_thrashes, df) = if n == 0 {
-        (None, None, normal)
+    let (probability, avg_thrashes, avg_yields, avg_pauses, df) = if n == 0 {
+        (None, None, None, None, normal)
     } else {
+        let mean = |f: fn(&deadlock_fuzzer::ProbabilityReport) -> f64| {
+            report
+                .confirmations
+                .iter()
+                .map(|c| f(&c.probability))
+                .sum::<f64>()
+                / n as f64
+        };
         let prob = report
             .confirmations
             .iter()
             .map(|c| f64::from(c.probability.matched) / f64::from(c.probability.trials))
-            .sum::<f64>()
-            / n as f64;
-        let thr = report
-            .confirmations
-            .iter()
-            .map(|c| c.probability.avg_thrashes)
             .sum::<f64>()
             / n as f64;
         let df = report
@@ -79,7 +85,13 @@ pub fn table1_row(bench: &Benchmark, trials: u32, baseline_runs: u32) -> Table1R
             .map(|c| c.probability.avg_duration)
             .sum::<Duration>()
             / u32::try_from(n).expect("cycle count fits u32");
-        (Some(prob), Some(thr), df)
+        (
+            Some(prob),
+            Some(mean(|p| p.avg_thrashes)),
+            Some(mean(|p| p.avg_yields)),
+            Some(mean(|p| p.avg_pauses)),
+            df,
+        )
     };
     Table1Row {
         name: bench.name.to_string(),
@@ -91,6 +103,8 @@ pub fn table1_row(bench: &Benchmark, trials: u32, baseline_runs: u32) -> Table1R
         reproduced: report.confirmed_count(),
         probability,
         avg_thrashes,
+        avg_yields,
+        avg_pauses,
         baseline_deadlocks,
         paper_cycles: bench.paper_row.cycles,
         paper_real: bench.paper_row.real,
@@ -134,6 +148,8 @@ pub struct Fig2Cell {
     pub probability: f64,
     /// Average thrashings per run (bottom-left graph).
     pub avg_thrashes: f64,
+    /// Average §4 yields injected per run.
+    pub avg_yields: f64,
 }
 
 /// Measures one Figure 2 cell.
@@ -157,6 +173,12 @@ pub fn fig2_cell(bench: &Benchmark, variant: Variant, trials: u32) -> Fig2Cell {
         .map(|c| c.probability.avg_thrashes)
         .sum::<f64>()
         / n;
+    let avg_yields = report
+        .confirmations
+        .iter()
+        .map(|c| c.probability.avg_yields)
+        .sum::<f64>()
+        / n;
     let df: Duration = if report.confirmations.is_empty() {
         normal
     } else {
@@ -173,6 +195,7 @@ pub fn fig2_cell(bench: &Benchmark, variant: Variant, trials: u32) -> Fig2Cell {
         runtime_normalized: df.as_secs_f64() / normal.as_secs_f64().max(1e-9),
         probability,
         avg_thrashes,
+        avg_yields,
     }
 }
 

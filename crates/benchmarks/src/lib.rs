@@ -45,6 +45,7 @@ pub mod account;
 pub mod buffer;
 pub mod cache4j;
 pub mod dbcp;
+pub mod dining_philosophers;
 pub mod figure1;
 pub mod hedc;
 pub mod jigsaw;

@@ -78,9 +78,10 @@ pub fn report_exit_code(report: &Report) -> i32 {
 }
 
 /// Names accepted by [`resolve_program`].
-pub const BENCHMARKS: [&str; 15] = [
+pub const BENCHMARKS: [&str; 16] = [
     "figure1",
     "figure1-three-threads",
+    "dining-philosophers",
     "section4",
     "cache4j",
     "sor",
@@ -105,6 +106,7 @@ pub fn resolve_program(name: &str) -> Result<ProgramRef, String> {
     Ok(match name {
         "figure1" => df_benchmarks::figure1::program(false),
         "figure1-three-threads" => df_benchmarks::figure1::program(true),
+        "dining-philosophers" => df_benchmarks::dining_philosophers::program(3),
         "section4" => df_benchmarks::section4::program(),
         "cache4j" => df_benchmarks::cache4j::program(),
         "sor" => df_benchmarks::sor::program(),
@@ -160,6 +162,15 @@ pub struct CliOptions {
     pub hb: bool,
     /// Emit JSON instead of text.
     pub json: bool,
+    /// Write campaign metrics (the `df-metrics-v1` schema) to this file.
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Stream scheduler-decision trace events (JSONL) to this file.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Inject a panic with this probability at each first acquisition
+    /// (fault harness; drives the exit-code 3 path end to end).
+    pub fault_panic: Option<f64>,
+    /// Seed of the fault-injection RNG.
+    pub fault_seed: u64,
 }
 
 impl Default for CliOptions {
@@ -170,16 +181,53 @@ impl Default for CliOptions {
             variant: Variant::ContextExecIndex,
             hb: false,
             json: false,
+            metrics_out: None,
+            trace_out: None,
+            fault_panic: None,
+            fault_seed: 0,
         }
     }
 }
 
 fn config_of(opts: &CliOptions) -> Config {
-    Config::default()
+    let mut config = Config::default()
         .with_variant(opts.variant)
         .with_phase1_seed(opts.seed)
         .with_confirm_trials(opts.trials)
-        .with_hb_filter(opts.hb)
+        .with_hb_filter(opts.hb);
+    if let Some(p) = opts.fault_panic {
+        config.run = config.run.with_fault_plan(
+            deadlock_fuzzer::runtime::FaultPlan::new(opts.fault_seed).with_panic_on_acquire(p),
+        );
+    }
+    config
+}
+
+/// Builds the observability handle the options ask for: a file-backed
+/// trace sink when `--trace-out` was given, counters-only otherwise.
+///
+/// # Errors
+///
+/// Returns a message if the trace file cannot be created.
+pub fn obs_of(opts: &CliOptions) -> Result<df_obs::Obs, String> {
+    match &opts.trace_out {
+        Some(path) => df_obs::Obs::with_file_sink(path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display())),
+        None => Ok(df_obs::Obs::new()),
+    }
+}
+
+/// Writes the metrics file if `--metrics-out` was given.
+///
+/// # Errors
+///
+/// Returns a message if the file cannot be written.
+pub fn write_metrics(opts: &CliOptions, metrics: &df_obs::Metrics) -> Result<(), String> {
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, metrics.to_json_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(())
 }
 
 /// `dfz phase1 <benchmark>` — predict potential deadlock cycles.
@@ -306,8 +354,11 @@ pub fn cmd_confirm(
 /// pipeline report.
 pub fn cmd_run(name: &str, opts: &CliOptions) -> Result<CmdOutput, String> {
     let program = resolve_program(name)?;
-    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
+    let obs = obs_of(opts)?;
+    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts).with_obs(obs.clone()));
     let report = fuzzer.run();
+    obs.flush();
+    write_metrics(opts, &report.metrics(&obs))?;
     Ok(CmdOutput {
         code: report_exit_code(&report),
         text: format!("{report}"),

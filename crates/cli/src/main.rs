@@ -7,8 +7,13 @@
 //! dfz analyze <trace.json> [--hb] [--variant V] # offline iGoodlock
 //! dfz confirm <benchmark> [--cycle I] [--trials N] [--variant V]
 //! dfz run     <benchmark> [--trials N] [--variant V] [--hb]
+//!             [--metrics-out F] [--trace-out F] [--fault-panic P] [--fault-seed N]
 //! dfz races   <benchmark> [--trials N] [--seed N]  # the RaceFuzzer checker
 //! ```
+//!
+//! A leading flag implies `run`, so
+//! `dfz --benchmark figure1 --metrics-out m.json` is the observability
+//! one-liner.
 
 use df_cli::{
     analyze_trace_json, cmd_confirm, cmd_list, cmd_phase1, cmd_races, cmd_run, cmd_trace,
@@ -18,6 +23,9 @@ use df_cli::{
 fn usage() -> ! {
     eprintln!(
         "usage: dfz <list | phase1 | trace | analyze | confirm | run | races> [args]\n\
+         a leading flag implies `run` (e.g. dfz --benchmark figure1 --metrics-out m.json)\n\
+         observability: --metrics-out <file> --trace-out <file.jsonl>\n\
+         fault injection: --fault-panic <prob> --fault-seed <n>\n\
          run `dfz list` for benchmark names\n\
          exit codes: 0 cycle confirmed / success, 1 no cycle found,\n\
          2 usage, 3 program under test panicked, 4 internal error"
@@ -26,7 +34,15 @@ fn usage() -> ! {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+    }
+    // Flags-first invocation implies the full pipeline.
+    if raw[0].starts_with('-') {
+        raw.insert(0, "run".to_string());
+    }
+    let mut args = raw.into_iter();
     let Some(command) = args.next() else { usage() };
     let mut positional: Vec<String> = Vec::new();
     let mut opts = CliOptions::default();
@@ -60,6 +76,31 @@ fn main() {
                         std::process::exit(exit_code::USAGE);
                     }
                 }
+            }
+            "--benchmark" => {
+                positional.push(args.next().unwrap_or_else(|| usage()));
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--fault-panic" => {
+                let p: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if !(0.0..=1.0).contains(&p) {
+                    usage();
+                }
+                opts.fault_panic = Some(p);
+            }
+            "--fault-seed" => {
+                opts.fault_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--hb" => opts.hb = true,
             "--json" => opts.json = true,

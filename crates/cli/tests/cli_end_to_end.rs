@@ -1,0 +1,100 @@
+//! End-to-end tests of the `dfz` binary: the exit-code taxonomy and the
+//! observability flags, exercised through a real process spawn.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dfz(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dfz"))
+        .args(args)
+        .output()
+        .expect("dfz spawns")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dfz-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn confirmed_cycle_exits_zero_and_emits_schema_valid_metrics() {
+    let metrics = scratch("figure1-metrics.json");
+    let trace = scratch("figure1-trace.jsonl");
+    let out = dfz(&[
+        "--benchmark",
+        "figure1",
+        "--trials",
+        "3",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CONFIRMED"), "{stdout}");
+
+    let m = df_obs::Metrics::from_json(&std::fs::read_to_string(&metrics).expect("metrics file"))
+        .expect("schema-valid metrics");
+    assert_eq!(m.schema, df_obs::METRICS_SCHEMA);
+    assert!(m.counters.acquires_observed > 0);
+    assert!(m.counters.threads_paused > 0);
+    assert!(m.phases.iter().any(|p| p.name == "phase1"));
+    assert!(m.phases.iter().any(|p| p.name == "phase2"));
+
+    let t = std::fs::read_to_string(&trace).expect("trace file");
+    let first = t.lines().next().expect("nonempty trace");
+    assert!(first.contains("PhaseStart"), "{first}");
+    assert!(t.contains("CheckRealDeadlock"), "trace records verdicts");
+}
+
+#[test]
+fn deadlock_free_benchmark_exits_one() {
+    let out = dfz(&["run", "sor"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(dfz(&["frobnicate", "figure1"]).status.code(), Some(2));
+    assert_eq!(dfz(&[]).status.code(), Some(2));
+    // Out-of-range fault probability is a usage error, not a crash.
+    assert_eq!(
+        dfz(&["run", "figure1", "--fault-panic", "2.0"])
+            .status
+            .code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn injected_program_panic_exits_three() {
+    let out = dfz(&[
+        "--benchmark",
+        "figure1",
+        "--trials",
+        "2",
+        "--fault-panic",
+        "1.0",
+        "--fault-seed",
+        "7",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

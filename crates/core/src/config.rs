@@ -213,6 +213,18 @@ impl Config {
         self.trial_retries = retries;
         self
     }
+
+    /// Attaches an observability handle; counters, phase timings and the
+    /// optional trace sink are shared by every execution of the pipeline.
+    pub fn with_obs(mut self, obs: df_obs::Obs) -> Self {
+        self.run = self.run.with_obs(obs);
+        self
+    }
+
+    /// The observability handle carried by the runtime configuration.
+    pub fn obs(&self) -> &df_obs::Obs {
+        &self.run.obs
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,10 @@ impl DeadlockFuzzer {
     /// iGoodlock (Algorithm 1).
     pub fn phase1(&self) -> Phase1Report {
         let start = Instant::now();
+        let obs = self.config.obs().clone();
+        obs.emit(&df_obs::TraceEvent::PhaseStart {
+            phase: "phase1".to_string(),
+        });
         let result = self.execute(Box::new(SimpleRandomChecker::with_seed(
             self.config.phase1_seed,
         )));
@@ -102,6 +106,12 @@ impl DeadlockFuzzer {
             .iter()
             .map(|c| c.abstract_with(result.trace.objects(), &abstractor))
             .collect();
+        obs.counters().add_dependency_edges(relation.len() as u64);
+        obs.counters().add_cycles_found(cycles.len() as u64);
+        obs.timings().record("phase1", start.elapsed());
+        obs.emit(&df_obs::TraceEvent::PhaseEnd {
+            phase: "phase1".to_string(),
+        });
         Phase1Report {
             cycles,
             abstract_cycles,
@@ -126,6 +136,7 @@ impl DeadlockFuzzer {
             yield_optimization: self.config.yield_optimization,
             pause_budget: self.config.pause_budget,
             yield_budget: self.config.yield_budget,
+            obs: self.config.obs().clone(),
         };
         let result = self.execute(Box::new(ActiveStrategy::new(active)));
         let witness = result.outcome.deadlock().cloned();
@@ -146,6 +157,10 @@ impl DeadlockFuzzer {
                 cycle.matches(&witness_cycle)
             })
             .unwrap_or(false);
+        self.config
+            .obs()
+            .timings()
+            .record("phase2", start.elapsed());
         Phase2Report {
             outcome: result.outcome,
             witness,
@@ -181,9 +196,12 @@ impl DeadlockFuzzer {
                 "at least one trial required".to_string(),
             ));
         }
+        let obs = self.config.obs().clone();
         let mut deadlocks = 0u32;
         let mut matched = 0u32;
         let mut thrashes = 0u64;
+        let mut pauses = 0u64;
+        let mut yields = 0u64;
         let mut steps = 0u64;
         let mut total_duration = std::time::Duration::ZERO;
         let mut outcomes = TrialOutcomes::default();
@@ -196,6 +214,12 @@ impl DeadlockFuzzer {
                     base_seed.wrapping_add(u64::from(attempt).wrapping_mul(RETRY_SEED_STRIDE));
                 let r = self.phase2(cycle, seed);
                 if r.trial_outcome().is_retryable() && attempt < self.config.trial_retries {
+                    obs.counters().add_trial_retries(1);
+                    obs.emit(&df_obs::TraceEvent::TrialRetry {
+                        trial: i,
+                        attempt,
+                        outcome: r.trial_outcome().to_string(),
+                    });
                     attempt += 1;
                     retries += 1;
                     continue;
@@ -210,6 +234,8 @@ impl DeadlockFuzzer {
                 matched += 1;
             }
             thrashes += r.thrashes;
+            pauses += r.pauses;
+            yields += r.yields;
             steps += r.steps;
             total_duration += r.duration;
         }
@@ -219,6 +245,8 @@ impl DeadlockFuzzer {
             matched,
             probability: f64::from(deadlocks) / f64::from(trials),
             avg_thrashes: thrashes as f64 / f64::from(trials),
+            avg_pauses: pauses as f64 / f64::from(trials),
+            avg_yields: yields as f64 / f64::from(trials),
             avg_steps: steps as f64 / f64::from(trials),
             avg_duration: total_duration / trials,
             outcomes,

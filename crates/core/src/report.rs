@@ -238,6 +238,10 @@ pub struct ProbabilityReport {
     pub probability: f64,
     /// Mean thrashings per run (Table 1 column 10).
     pub avg_thrashes: f64,
+    /// Mean threads paused per run.
+    pub avg_pauses: f64,
+    /// Mean §4 yields injected per run.
+    pub avg_yields: f64,
     /// Mean schedule points per run.
     pub avg_steps: f64,
     /// Mean wall-clock duration per run.
@@ -259,6 +263,8 @@ impl Default for ProbabilityReport {
             matched: 0,
             probability: 0.0,
             avg_thrashes: 0.0,
+            avg_pauses: 0.0,
+            avg_yields: 0.0,
             avg_steps: 0.0,
             avg_duration: Duration::ZERO,
             outcomes: TrialOutcomes::default(),
@@ -342,6 +348,57 @@ impl Report {
             totals.merge(&c.probability.outcomes);
         }
         totals
+    }
+
+    /// Builds the campaign-level [`df_obs::Metrics`] document: the
+    /// observability handle's counters and phase timings, plus report-level
+    /// gauges (cycle counts, iGoodlock search effort, mean thrash/yield
+    /// rates) in `extra`. This is what `dfz --metrics-out` writes.
+    pub fn metrics(&self, obs: &df_obs::Obs) -> df_obs::Metrics {
+        let mut m = obs.metrics(&self.program);
+        let stats = &self.phase1.stats;
+        m.extra.insert(
+            "potential_cycles".to_string(),
+            self.potential_count() as f64,
+        );
+        m.extra.insert(
+            "confirmed_cycles".to_string(),
+            self.confirmed_count() as f64,
+        );
+        m.extra
+            .insert("failed_campaigns".to_string(), self.failed_count() as f64);
+        m.extra.insert(
+            "relation_size".to_string(),
+            self.phase1.relation_size as f64,
+        );
+        m.extra
+            .insert("igoodlock_iterations".to_string(), stats.iterations as f64);
+        m.extra.insert(
+            "igoodlock_chains_built".to_string(),
+            stats.chains_built as f64,
+        );
+        if let Some(widest) = stats.chains_per_iteration.iter().max() {
+            m.extra
+                .insert("igoodlock_widest_level".to_string(), *widest as f64);
+        }
+        let campaigns: Vec<&ProbabilityReport> = self
+            .confirmations
+            .iter()
+            .filter(|c| c.error.is_none())
+            .map(|c| &c.probability)
+            .collect();
+        if !campaigns.is_empty() {
+            let n = campaigns.len() as f64;
+            let mean =
+                |f: fn(&ProbabilityReport) -> f64| campaigns.iter().map(|p| f(p)).sum::<f64>() / n;
+            m.extra
+                .insert("avg_thrashes".to_string(), mean(|p| p.avg_thrashes));
+            m.extra
+                .insert("avg_pauses".to_string(), mean(|p| p.avg_pauses));
+            m.extra
+                .insert("avg_yields".to_string(), mean(|p| p.avg_yields));
+        }
+        m
     }
 }
 

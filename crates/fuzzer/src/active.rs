@@ -40,6 +40,12 @@ pub struct ActiveConfig {
     /// the yield span several of the partner's operations while never
     /// starving the gated thread.
     pub yield_budget: u32,
+    /// Observability handle: the strategy streams its scheduling
+    /// decisions (pause/unpause/thrash/yield and `checkRealDeadlock`
+    /// verdicts) to its trace sink. Counters are rolled up by the runtime
+    /// from [`StrategyStats`], so the default no-sink handle costs
+    /// nothing here.
+    pub obs: df_obs::Obs,
 }
 
 impl ActiveConfig {
@@ -54,6 +60,7 @@ impl ActiveConfig {
             yield_optimization: true,
             pause_budget: 5_000,
             yield_budget: 8,
+            obs: df_obs::Obs::default(),
         }
     }
 
@@ -78,6 +85,12 @@ impl ActiveConfig {
     /// Enables/disables the §4 yield optimization.
     pub fn with_yields(mut self, yields: bool) -> Self {
         self.yield_optimization = yields;
+        self
+    }
+
+    /// Attaches an observability handle.
+    pub fn with_obs(mut self, obs: df_obs::Obs) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -164,28 +177,39 @@ impl ActiveStrategy {
     }
 
     /// Un-pauses threads that exceeded the pause budget (the livelock
-    /// monitor of §5).
-    fn run_monitor(&mut self) {
+    /// monitor of §5), returning the released threads so the caller can
+    /// stream `Unpause` decisions with their names attached.
+    fn run_monitor(&mut self) -> Vec<ThreadId> {
         let now = self.stats.picks;
         let budget = self.config.pause_budget;
-        let expired: Vec<ThreadId> = self
+        let mut expired: Vec<ThreadId> = self
             .paused
             .iter()
             .filter(|&(_, &at)| now.saturating_sub(at) > budget)
             .map(|(&t, _)| t)
             .collect();
-        for t in expired {
+        expired.sort();
+        for &t in &expired {
             self.paused.remove(&t);
             self.released.insert(t);
             self.monitor_releases += 1;
         }
+        expired
     }
 }
 
 impl Strategy for ActiveStrategy {
     fn pick(&mut self, view: &StateView<'_>, enabled: &[ThreadId]) -> Directive {
         self.stats.picks += 1;
-        self.run_monitor();
+        for t in self.run_monitor() {
+            if self.config.obs.traces() {
+                self.config.obs.emit(&df_obs::TraceEvent::Unpause {
+                    step: view.steps(),
+                    thread: t,
+                    name: view.thread(t).name.to_string(),
+                });
+            }
+        }
         // Per-call yield memory: a thread deferred by the §4 gate is only
         // skipped within this decision, not paused.
         let mut deferred: HashSet<ThreadId> = HashSet::new();
@@ -227,6 +251,13 @@ impl Strategy for ActiveStrategy {
                 self.paused.remove(&victim);
                 self.released.insert(victim);
                 self.stats.thrashes += 1;
+                if self.config.obs.traces() {
+                    self.config.obs.emit(&df_obs::TraceEvent::Thrash {
+                        step: view.steps(),
+                        thread: victim,
+                        name: view.thread(victim).name.to_string(),
+                    });
+                }
                 continue;
             }
             let t_id = candidates[self.rng.gen_range(0..candidates.len())];
@@ -237,7 +268,17 @@ impl Strategy for ActiveStrategy {
             };
             // Algorithm 3 line 11: checkRealDeadlock with the candidate's
             // lock pushed.
-            if let Some(witness) = check_real_deadlock(view, t_id, lock) {
+            let verdict = check_real_deadlock(view, t_id, lock);
+            if self.config.obs.traces() {
+                self.config
+                    .obs
+                    .emit(&df_obs::TraceEvent::CheckRealDeadlock {
+                        step: view.steps(),
+                        verdict: verdict.is_some(),
+                        cycle_len: verdict.as_ref().map(|w| w.len()).unwrap_or(0),
+                    });
+            }
+            if let Some(witness) = verdict {
                 return Directive::Deadlock(witness);
             }
             if self.released.contains(&t_id) {
@@ -254,6 +295,14 @@ impl Strategy for ActiveStrategy {
                     if *count < self.config.yield_budget {
                         *count += 1;
                         self.stats.yields += 1;
+                        if self.config.obs.traces() {
+                            self.config.obs.emit(&df_obs::TraceEvent::Yield {
+                                step: view.steps(),
+                                thread: t_id,
+                                name: t.name.to_string(),
+                                site: site.to_string(),
+                            });
+                        }
                         deferred.insert(t_id);
                         continue;
                     }
@@ -264,6 +313,15 @@ impl Strategy for ActiveStrategy {
             if self.matches_component(view, &t, lock, site) {
                 self.paused.insert(t_id, self.stats.picks);
                 self.stats.pauses += 1;
+                if self.config.obs.traces() {
+                    self.config.obs.emit(&df_obs::TraceEvent::Pause {
+                        step: view.steps(),
+                        thread: t_id,
+                        name: t.name.to_string(),
+                        lock: self.abstractor.abs(view.objects(), lock).to_string(),
+                        site: site.to_string(),
+                    });
+                }
                 continue;
             }
             return Directive::Run(t_id);

@@ -164,6 +164,11 @@ where
         let (strategy, record) = DirectedStrategy::new(prefix.clone());
         let result = runtime.run(Box::new(strategy), program());
         runs += 1;
+        let deadlocked = result.outcome.deadlock().is_some();
+        options.run.obs.emit(&df_obs::TraceEvent::ExploreRun {
+            run: runs - 1,
+            deadlock: deadlocked,
+        });
         if let Some(w) = result.outcome.deadlock() {
             deadlocks.push((runs - 1, w.clone()));
             if options.stop_at_first_deadlock {
@@ -309,6 +314,56 @@ mod tests {
         );
         assert!(bounded.runs < unbounded.runs);
         assert!(!bounded.exhausted);
+    }
+
+    #[test]
+    fn first_deadlock_run_is_none_without_deadlocks() {
+        let r = ExploreResult {
+            runs: 5,
+            deadlocks: Vec::new(),
+            exhausted: true,
+        };
+        assert_eq!(r.first_deadlock_run(), None);
+    }
+
+    #[test]
+    fn first_deadlock_run_returns_the_earliest_index() {
+        let w = DeadlockWitness {
+            components: Vec::new(),
+            detected_by: df_runtime::Detector::Strategy,
+        };
+        let r = ExploreResult {
+            runs: 10,
+            deadlocks: vec![(3, w.clone()), (7, w)],
+            exhausted: false,
+        };
+        assert_eq!(r.first_deadlock_run(), Some(3));
+    }
+
+    #[test]
+    fn first_deadlock_run_matches_an_end_to_end_exploration() {
+        let result = explore(opposite_order(0), &ExploreOptions::default());
+        let first = result.first_deadlock_run().expect("deadlock reachable");
+        assert_eq!(first, result.deadlocks[0].0);
+        assert_eq!(first, result.runs - 1, "stop_at_first_deadlock stops there");
+    }
+
+    #[test]
+    fn explore_streams_one_trace_event_per_run() {
+        let obs = df_obs::Obs::with_memory_sink();
+        let result = explore(
+            opposite_order(0),
+            &ExploreOptions {
+                run: RunConfig::default()
+                    .with_record_trace(false)
+                    .with_obs(obs.clone()),
+                ..ExploreOptions::default()
+            },
+        );
+        let trace = obs.trace_contents().unwrap();
+        let lines: Vec<&str> = trace.lines().filter(|l| l.contains("ExploreRun")).collect();
+        assert_eq!(lines.len(), result.runs);
+        assert!(lines.last().unwrap().contains("\"deadlock\":true"));
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct IGoodlockStats {
     /// Cycles suppressed by the happens-before filter (0 when the filter
     /// is off).
     pub pruned_by_hb: u64,
+    /// Open chains alive at the start of each join iteration — the size
+    /// of `D_k` as Algorithm 1 iterates, exposed so the observability
+    /// layer can report how the join fans out per level.
+    pub chains_per_iteration: Vec<u64>,
 }
 
 /// An open (not yet cyclic) dependency chain: indices into the relation
@@ -220,6 +224,7 @@ pub fn igoodlock_filtered(
             }
         }
         stats.iterations += 1;
+        stats.chains_per_iteration.push(current.len() as u64);
         let mut next: Vec<Chain> = Vec::new();
         for chain in &current {
             let first = &deps[chain.deps[0]];
@@ -452,6 +457,26 @@ mod tests {
         let (cycles, stats) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
         assert!(cycles.is_empty());
         assert_eq!(stats.iterations, 0);
+        assert!(stats.chains_per_iteration.is_empty());
+    }
+
+    #[test]
+    fn chain_sizes_recorded_per_join_iteration() {
+        // A 3-cycle: the join runs for two levels, starting from the three
+        // length-1 chains of the relation.
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep(1, &[1], 2),
+            dep(2, &[2], 3),
+            dep(3, &[3], 1),
+        ]);
+        let (cycles, stats) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(stats.chains_per_iteration.len(), stats.iterations);
+        assert_eq!(stats.chains_per_iteration[0], rel.len() as u64);
+        assert!(
+            stats.chains_per_iteration.iter().sum::<u64>() <= stats.chains_built,
+            "open chains per level never exceed the chains ever built"
+        );
     }
 
     #[test]

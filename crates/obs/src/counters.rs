@@ -1,0 +1,144 @@
+//! Lock-free campaign counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// A lock-free registry of the campaign-wide counters the paper's
+/// evaluation (§5) reports: observed acquisitions, recorded dependency
+/// edges, cycles found, scheduler pauses/thrashes/yields, trial retries
+/// and injected faults.
+///
+/// Every field is a relaxed [`AtomicU64`]; incrementing from program
+/// threads, the controller, and the campaign driver concurrently is safe
+/// and never blocks. Read a consistent-enough view with
+/// [`Counters::snapshot`].
+#[derive(Debug, Default)]
+pub struct Counters {
+    acquires_observed: AtomicU64,
+    dependency_edges: AtomicU64,
+    cycles_found: AtomicU64,
+    threads_paused: AtomicU64,
+    thrash_events: AtomicU64,
+    yields_taken: AtomicU64,
+    trial_retries: AtomicU64,
+    faults_injected: AtomicU64,
+}
+
+/// A plain-data copy of [`Counters`] taken at one instant, the form that
+/// lands in `metrics.json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// First (non-re-entrant) lock acquisitions observed by any runtime.
+    pub acquires_observed: u64,
+    /// Lock dependency relation edges recorded for iGoodlock.
+    pub dependency_edges: u64,
+    /// Potential deadlock cycles reported by iGoodlock.
+    pub cycles_found: u64,
+    /// Times the active scheduler paused a thread before an acquire.
+    pub threads_paused: u64,
+    /// Thrashings: every enabled thread was paused and one was released
+    /// at random (paper §2.3).
+    pub thrash_events: u64,
+    /// Yields injected by the §4 optimization.
+    pub yields_taken: u64,
+    /// Phase II trials retried after a degraded outcome.
+    pub trial_retries: u64,
+    /// Faults injected by an active fault plan.
+    pub faults_injected: u64,
+}
+
+macro_rules! counter_methods {
+    ($($(#[$doc:meta])* $field:ident => $add:ident;)*) => {
+        $(
+            $(#[$doc])*
+            pub fn $add(&self, n: u64) {
+                self.$field.fetch_add(n, Ordering::Relaxed);
+            }
+        )*
+
+        /// Copies every counter into a serializable snapshot.
+        pub fn snapshot(&self) -> CounterSnapshot {
+            CounterSnapshot {
+                $($field: self.$field.load(Ordering::Relaxed),)*
+            }
+        }
+    };
+}
+
+impl Counters {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    counter_methods! {
+        /// Counts `n` observed first lock acquisitions.
+        acquires_observed => add_acquires_observed;
+        /// Counts `n` recorded lock dependency edges.
+        dependency_edges => add_dependency_edges;
+        /// Counts `n` potential cycles reported by iGoodlock.
+        cycles_found => add_cycles_found;
+        /// Counts `n` scheduler pauses.
+        threads_paused => add_threads_paused;
+        /// Counts `n` thrash events.
+        thrash_events => add_thrash_events;
+        /// Counts `n` injected yields.
+        yields_taken => add_yields_taken;
+        /// Counts `n` retried trials.
+        trial_retries => add_trial_retries;
+        /// Counts `n` injected faults.
+        faults_injected => add_faults_injected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        assert_eq!(Counters::new().snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn adds_accumulate() {
+        let c = Counters::new();
+        c.add_acquires_observed(2);
+        c.add_acquires_observed(3);
+        c.add_thrash_events(1);
+        let s = c.snapshot();
+        assert_eq!(s.acquires_observed, 5);
+        assert_eq!(s.thrash_events, 1);
+        assert_eq!(s.yields_taken, 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let c = std::sync::Arc::new(Counters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.add_threads_paused(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().threads_paused, 4000);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let c = Counters::new();
+        c.add_cycles_found(7);
+        let s = c.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CounterSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

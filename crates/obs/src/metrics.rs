@@ -1,0 +1,87 @@
+//! The `metrics.json` document.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::CounterSnapshot;
+use crate::timing::PhaseSpan;
+
+/// Schema identifier written into every metrics document, bumped on
+/// incompatible changes so downstream diff tooling can refuse mixed
+/// comparisons.
+pub const METRICS_SCHEMA: &str = "df-metrics-v1";
+
+/// The campaign metrics document (`dfz --metrics-out`, `BENCH_*.json`).
+///
+/// This is the machine-readable counterpart of the paper's Table 1 row:
+/// campaign counters, per-phase wall-clock spans, and free-form extra
+/// gauges (reproduction probability, iGoodlock join statistics, ...).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Schema identifier ([`METRICS_SCHEMA`]).
+    pub schema: String,
+    /// The program / benchmark the campaign ran on.
+    pub program: String,
+    /// Campaign counters.
+    pub counters: CounterSnapshot,
+    /// Aggregated wall-clock spans, sorted by name.
+    pub phases: Vec<PhaseSpan>,
+    /// Free-form extra gauges, sorted by name.
+    pub extra: BTreeMap<String, f64>,
+}
+
+impl Metrics {
+    /// Creates an empty document for `program` with the current schema.
+    pub fn new(program: &str) -> Self {
+        Metrics {
+            schema: METRICS_SCHEMA.to_string(),
+            program: program.to_string(),
+            ..Metrics::default()
+        }
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("Metrics serializes")
+    }
+
+    /// Parses a document, checking the schema identifier.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let m: Metrics = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if m.schema != METRICS_SCHEMA {
+            return Err(format!(
+                "schema mismatch: expected {METRICS_SCHEMA}, got {}",
+                m.schema
+            ));
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let mut m = Metrics::new("figure1");
+        m.counters.acquires_observed = 4;
+        m.phases.push(PhaseSpan {
+            name: "phase1".into(),
+            micros: 120,
+            count: 1,
+        });
+        m.extra.insert("probability".into(), 0.95);
+        let back = Metrics::from_json(&m.to_json_pretty()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut m = Metrics::new("figure1");
+        m.schema = "df-metrics-v0".into();
+        let err = Metrics::from_json(&serde_json::to_string(&m).unwrap()).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+}

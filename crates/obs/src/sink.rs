@@ -1,0 +1,236 @@
+//! Deterministic JSONL scheduler trace sink.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use df_events::ThreadId;
+use serde::{Deserialize, Serialize};
+
+/// One scheduler decision, streamed as a single JSONL line.
+///
+/// Records carry *logical* data only — step counters, thread ids and
+/// names, object abstractions — never wall-clock timestamps, so a trace
+/// of a seeded virtual-runtime run is byte-identical across repetitions
+/// (the golden-trace determinism guarantee; timings belong in
+/// [`crate::Metrics`] instead).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The active scheduler paused a thread before an acquire
+    /// (Algorithm 3 line 15).
+    Pause {
+        /// Schedule points executed so far.
+        step: u64,
+        /// The paused thread.
+        thread: ThreadId,
+        /// Its human-readable name.
+        name: String,
+        /// Abstraction of the lock it was about to acquire.
+        lock: String,
+        /// The acquisition site label.
+        site: String,
+    },
+    /// A paused thread was released back into the enabled set.
+    Unpause {
+        /// Schedule points executed so far.
+        step: u64,
+        /// The released thread.
+        thread: ThreadId,
+        /// Its human-readable name.
+        name: String,
+    },
+    /// Every enabled thread was paused; one was released at random
+    /// (paper §2.3).
+    Thrash {
+        /// Schedule points executed so far.
+        step: u64,
+        /// The randomly released thread.
+        thread: ThreadId,
+        /// Its human-readable name.
+        name: String,
+    },
+    /// The §4 optimization yielded a thread instead of pausing it.
+    Yield {
+        /// Schedule points executed so far.
+        step: u64,
+        /// The yielded thread.
+        thread: ThreadId,
+        /// Its human-readable name.
+        name: String,
+        /// The acquisition site that triggered the yield.
+        site: String,
+    },
+    /// `checkRealDeadlock` (Algorithm 4) ran over the paused threads.
+    CheckRealDeadlock {
+        /// Schedule points executed so far.
+        step: u64,
+        /// Whether a real hold/wait cycle was found among paused threads.
+        verdict: bool,
+        /// Length of the cycle found (0 when `verdict` is false).
+        cycle_len: usize,
+    },
+    /// A planned fault fired inside the runtime.
+    FaultInjected {
+        /// Schedule points executed so far.
+        step: u64,
+        /// Which fault (`panic_on_acquire`, `leak_release`,
+        /// `spurious_wakeup`, `runaway_spawn`).
+        kind: String,
+        /// The thread the fault hit.
+        thread: ThreadId,
+    },
+    /// One directed run of the systematic explorer finished.
+    ExploreRun {
+        /// Zero-based run number.
+        run: usize,
+        /// Whether this run ended in a deadlock.
+        deadlock: bool,
+    },
+    /// The campaign driver retried a degraded Phase II trial with a
+    /// rotated seed.
+    TrialRetry {
+        /// The trial's position in the campaign.
+        trial: u32,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// The degraded outcome that triggered the retry.
+        outcome: String,
+    },
+    /// A pipeline phase began (no wall-clock data on purpose).
+    PhaseStart {
+        /// Phase name (`phase1`, `phase2`, ...).
+        phase: String,
+    },
+    /// A pipeline phase ended.
+    PhaseEnd {
+        /// Phase name (`phase1`, `phase2`, ...).
+        phase: String,
+    },
+}
+
+enum Target {
+    Memory(Vec<u8>),
+    File(BufWriter<File>),
+}
+
+/// A JSONL sink for [`TraceEvent`] streams: one serialized event per
+/// line, written either to an in-memory buffer (tests, diffing) or
+/// streamed to a file (`dfz --trace-out`).
+pub struct JsonlSink {
+    target: Target,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.target {
+            Target::Memory(ref buf) => write!(f, "JsonlSink::Memory({} bytes)", buf.len()),
+            Target::File(_) => write!(f, "JsonlSink::File"),
+        }
+    }
+}
+
+impl JsonlSink {
+    /// A sink that accumulates lines in memory; read back with
+    /// [`JsonlSink::contents`].
+    pub fn memory() -> Self {
+        JsonlSink {
+            target: Target::Memory(Vec::new()),
+        }
+    }
+
+    /// A sink streaming to the file at `path` (truncating it).
+    pub fn file(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            target: Target::File(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Appends one event as a JSONL line. Serialization is infallible
+    /// for [`TraceEvent`]; file I/O errors are swallowed (observability
+    /// must never abort the run being observed).
+    pub fn emit(&mut self, event: &TraceEvent) {
+        let line = serde_json::to_string(event).expect("TraceEvent serializes");
+        match self.target {
+            Target::Memory(ref mut buf) => {
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+            }
+            Target::File(ref mut w) => {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    /// Flushes buffered lines to the underlying file (no-op in memory).
+    pub fn flush(&mut self) {
+        if let Target::File(ref mut w) = self.target {
+            let _ = w.flush();
+        }
+    }
+
+    /// The accumulated JSONL text of a memory sink (`None` for files).
+    pub fn contents(&self) -> Option<String> {
+        match self.target {
+            Target::Memory(ref buf) => Some(String::from_utf8_lossy(buf).into_owned()),
+            Target::File(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_accumulates_jsonl() {
+        let mut sink = JsonlSink::memory();
+        sink.emit(&TraceEvent::PhaseStart {
+            phase: "phase1".into(),
+        });
+        sink.emit(&TraceEvent::Thrash {
+            step: 9,
+            thread: ThreadId::new(2),
+            name: "t2".into(),
+        });
+        let text = sink.contents().unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(
+                matches!(v, serde_json::Value::Obj(_)),
+                "each line is one JSON object: {line}"
+            );
+        }
+        assert!(lines[1].contains("Thrash"));
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let e = TraceEvent::CheckRealDeadlock {
+            step: 41,
+            verdict: true,
+            cycle_len: 2,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn file_sink_streams_lines() {
+        let dir = std::env::temp_dir().join("df-obs-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let mut sink = JsonlSink::file(&path).unwrap();
+        sink.emit(&TraceEvent::ExploreRun {
+            run: 0,
+            deadlock: false,
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-phase wall-clock timing spans.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// One aggregated timing span, as it lands in `metrics.json`.
+///
+/// Repeated spans with the same name (e.g. `phase2` once per trial) are
+/// merged: `micros` accumulates and `count` records how many times the
+/// span ran.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Span name (`phase1`, `phase2`, `probability`, ...).
+    pub name: String,
+    /// Total wall-clock time spent in this span, in microseconds.
+    pub micros: u64,
+    /// Number of times the span was recorded.
+    pub count: u64,
+}
+
+/// Aggregates named wall-clock spans across a campaign.
+///
+/// Timings deliberately live *outside* the JSONL trace: traces must be
+/// byte-identical across seeded runs, wall clocks are not.
+#[derive(Debug, Default)]
+pub struct PhaseTimings {
+    spans: Mutex<BTreeMap<String, (u64, u64)>>,
+}
+
+impl PhaseTimings {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed span of `duration` under `name`.
+    pub fn record(&self, name: &str, duration: Duration) {
+        let mut spans = self.spans.lock().expect("timings lock");
+        let e = spans.entry(name.to_string()).or_insert((0, 0));
+        e.0 += duration.as_micros() as u64;
+        e.1 += 1;
+    }
+
+    /// Runs `f`, recording its wall-clock duration under `name`.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let r = f();
+        self.record(name, start.elapsed());
+        r
+    }
+
+    /// The recorded spans, sorted by name.
+    pub fn snapshot(&self) -> Vec<PhaseSpan> {
+        self.spans
+            .lock()
+            .expect("timings lock")
+            .iter()
+            .map(|(name, &(micros, count))| PhaseSpan {
+                name: name.clone(),
+                micros,
+                count,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge_by_name() {
+        let t = PhaseTimings::new();
+        t.record("phase2", Duration::from_micros(5));
+        t.record("phase2", Duration::from_micros(7));
+        t.record("phase1", Duration::from_micros(3));
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "phase1");
+        assert_eq!(spans[1].micros, 12);
+        assert_eq!(spans[1].count, 2);
+    }
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let t = PhaseTimings::new();
+        let v = t.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].count, 1);
+    }
+}

@@ -81,6 +81,9 @@ pub struct FuzzConfig {
     /// unbounded. Exceeding it unwinds the program threads and
     /// [`Session::finish`] reports [`FuzzOutcome::DeadlineExceeded`].
     pub deadline: Option<Duration>,
+    /// Observability handle: acquire/pause/thrash counters and the
+    /// optional scheduler-decision trace for this session.
+    pub obs: df_obs::Obs,
 }
 
 impl FuzzConfig {
@@ -95,6 +98,7 @@ impl FuzzConfig {
             pause_timeout: Duration::from_millis(500),
             hang_timeout: Duration::from_secs(5),
             deadline: None,
+            obs: df_obs::Obs::default(),
         }
     }
 
@@ -113,6 +117,12 @@ impl FuzzConfig {
     /// Sets the hard session deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches an observability handle.
+    pub fn with_obs(mut self, obs: df_obs::Obs) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -279,6 +289,9 @@ pub(crate) struct Inner {
     pub(crate) state: Mutex<State>,
     pub(crate) cond: Condvar,
     mode: SessionMode,
+    /// Observability handle (from [`FuzzConfig::obs`] in fuzz mode, a
+    /// no-op default otherwise).
+    obs: df_obs::Obs,
 }
 
 /// A DeadlockFuzzer session over real OS threads.
@@ -341,6 +354,10 @@ impl Session {
             SessionMode::Noise(cfg) => cfg.seed,
             SessionMode::Record => 0,
         };
+        let obs = match &mode {
+            SessionMode::Fuzz(cfg) => cfg.obs.clone(),
+            _ => df_obs::Obs::default(),
+        };
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 trace: Trace::new(),
@@ -361,6 +378,7 @@ impl Session {
             }),
             cond: Condvar::new(),
             mode,
+            obs,
         });
         let session = Session { inner };
         session.register_current("main", Label::new("<main>"), Vec::new());
@@ -621,12 +639,13 @@ impl Session {
                         return;
                     }
                     // §5 monitor: pause timeout.
-                    let expired: Vec<ThreadId> = st
+                    let mut expired: Vec<ThreadId> = st
                         .paused_since
                         .iter()
                         .filter(|&(_, at)| at.elapsed() > pause_timeout)
                         .map(|(&t, _)| t)
                         .collect();
+                    expired.sort();
                     for t in expired {
                         st.paused_since.remove(&t);
                         if let Some(ts) = st.threads.get_mut(&t) {
@@ -634,6 +653,17 @@ impl Session {
                         }
                         st.monitor_releases += 1;
                         st.progress += 1;
+                        if inner.obs.traces() {
+                            let name = st
+                                .threads
+                                .get(&t)
+                                .map_or_else(String::new, |ts| ts.name.clone());
+                            inner.obs.emit(&df_obs::TraceEvent::Unpause {
+                                step: st.progress,
+                                thread: t,
+                                name,
+                            });
+                        }
                         inner.cond.notify_all();
                     }
                     // Thrashing: every live thread blocked or paused.
@@ -659,7 +689,19 @@ impl Session {
                             ts.released = true;
                         }
                         st.thrashes += 1;
+                        inner.obs.counters().add_thrash_events(1);
                         st.progress += 1;
+                        if inner.obs.traces() {
+                            let name = st
+                                .threads
+                                .get(&victim)
+                                .map_or_else(String::new, |ts| ts.name.clone());
+                            inner.obs.emit(&df_obs::TraceEvent::Thrash {
+                                step: st.progress,
+                                thread: victim,
+                                name,
+                            });
+                        }
                         inner.cond.notify_all();
                     }
                     poll = if st.paused_since.is_empty() {
@@ -783,12 +825,29 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
             };
             if matches {
                 // checkRealDeadlock before pausing (Algorithm 3 line 11).
-                if let Some(w) = check_cycle(&st, me, lock, site) {
+                let verdict = check_cycle(&st, me, lock, site);
+                if inner.obs.traces() {
+                    inner.obs.emit(&df_obs::TraceEvent::CheckRealDeadlock {
+                        step: st.progress,
+                        verdict: verdict.is_some(),
+                        cycle_len: verdict.as_ref().map_or(0, |w| w.components.len()),
+                    });
+                }
+                if let Some(w) = verdict {
                     st.witness = Some(w);
                     st.aborting = true;
                     inner.cond.notify_all();
                     drop(st);
                     panic::panic_any(RtAbort);
+                }
+                if inner.obs.traces() {
+                    inner.obs.emit(&df_obs::TraceEvent::Pause {
+                        step: st.progress,
+                        thread: me,
+                        name: st.threads[&me].name.clone(),
+                        lock: lock_abs.to_string(),
+                        site: site.to_string(),
+                    });
                 }
                 st.threads
                     .get_mut(&me)
@@ -796,6 +855,7 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
                     .status = ThreadStatus::Paused(lock, site);
                 st.paused_since.insert(me, Instant::now());
                 st.pauses += 1;
+                inner.obs.counters().add_threads_paused(1);
                 inner.cond.notify_all();
                 while st.paused_since.contains_key(&me) && !st.aborting {
                     inner.cond.wait(&mut st);
@@ -827,6 +887,13 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
                 // About to block: run checkRealDeadlock (the cycle may
                 // close right here).
                 if let Some(w) = check_cycle(&st, me, lock, site) {
+                    if inner.obs.traces() {
+                        inner.obs.emit(&df_obs::TraceEvent::CheckRealDeadlock {
+                            step: st.progress,
+                            verdict: true,
+                            cycle_len: w.components.len(),
+                        });
+                    }
                     st.witness = Some(w);
                     st.aborting = true;
                     inner.cond.notify_all();
@@ -870,6 +937,7 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
             context,
         },
     );
+    inner.obs.counters().add_acquires_observed(1);
     st.progress += 1;
 }
 

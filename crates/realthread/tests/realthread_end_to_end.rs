@@ -384,3 +384,22 @@ fn over_matching_abstraction_forces_thrashing() {
     assert!(thrashes >= 1, "all-paused state must trigger a thrash");
     let _ = session.finish();
 }
+
+#[test]
+fn fuzz_session_reports_observability_counters_and_trace() {
+    let cycle = record_figure1();
+    let obs = df_obs::Obs::with_memory_sink();
+    let session = Session::fuzz(FuzzConfig::new(cycle).with_obs(obs.clone()));
+    figure1(&session);
+    let outcome = session.finish();
+    assert!(outcome.deadlock().is_some(), "got {outcome:?}");
+    let counters = obs.counters().snapshot();
+    assert!(counters.acquires_observed >= 1, "{counters:?}");
+    assert!(counters.threads_paused >= 1, "{counters:?}");
+    let trace = obs.trace_contents().expect("memory sink");
+    assert!(trace.contains("Pause"), "trace: {trace}");
+    assert!(
+        trace.contains("CheckRealDeadlock") && trace.contains("\"verdict\":true"),
+        "trace: {trace}"
+    );
+}

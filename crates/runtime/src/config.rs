@@ -38,6 +38,12 @@ pub struct RunConfig {
     /// Faults to inject into the run for adversarial self-testing; `None`
     /// (the default) runs the program faithfully.
     pub fault_plan: Option<FaultPlan>,
+    /// Observability handle: the runtime counts observed acquisitions and
+    /// rolls the strategy's pause/thrash/yield statistics and injected
+    /// faults into it, and streams fault-injection trace events to its
+    /// sink. The default handle counts into a private registry and traces
+    /// nothing.
+    pub obs: df_obs::Obs,
 }
 
 impl Default for RunConfig {
@@ -48,6 +54,7 @@ impl Default for RunConfig {
             record_trace: true,
             deadline: None,
             fault_plan: None,
+            obs: df_obs::Obs::default(),
         }
     }
 }
@@ -85,6 +92,12 @@ impl RunConfig {
     /// Injects the given fault plan into the run.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches an observability handle.
+    pub fn with_obs(mut self, obs: df_obs::Obs) -> Self {
+        self.obs = obs;
         self
     }
 }

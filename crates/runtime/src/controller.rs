@@ -195,7 +195,12 @@ impl Controller {
             .expect("candidate monitor has a lock state: it had waiters");
         // Waking = removing from the wait set; the thread's AwaitNotify op
         // becomes enabled and it proceeds to re-acquire the monitor.
-        state.wait_set.remove(0);
+        let woken = state.wait_set.remove(0);
+        self.config.obs.emit(&df_obs::TraceEvent::FaultInjected {
+            step: inner.g.steps,
+            kind: "spurious_wakeup".to_string(),
+            thread: woken,
+        });
     }
 
     /// Classifies a state with no enabled threads: a lock cycle is a real
@@ -326,10 +331,14 @@ impl Controller {
     /// existing pick if there is one; otherwise wait for one. Kicking the
     /// scheduler is only needed for the main thread, which starts with a
     /// free token.
+    ///
+    /// The start schedule point is accounted to `steps`/`progress` at
+    /// *registration* (by the spawn entry points and the main-thread
+    /// setup), not here: this function runs at OS-thread-startup time,
+    /// and bumping the counters here would let wall-clock timing shift
+    /// the step numbering of an otherwise deterministic schedule.
     pub(crate) fn start_point(&self, me: ThreadId) -> Result<(), Aborted> {
         let mut inner = self.inner.lock();
-        inner.g.steps += 1;
-        inner.g.progress += 1;
         if inner.g.current.is_none() && !inner.g.aborting {
             self.reschedule(&mut inner)?;
         }
@@ -369,6 +378,11 @@ impl Controller {
                     .unwrap_or(false)
             {
                 let msg = format!("injected fault: panic on acquire at {site}");
+                self.config.obs.emit(&df_obs::TraceEvent::FaultInjected {
+                    step: inner.g.steps,
+                    kind: "panic_on_acquire".to_string(),
+                    thread: me,
+                });
                 drop(inner);
                 panic::panic_any(InjectedFault(msg));
             }
@@ -412,6 +426,7 @@ impl Controller {
                             context,
                         },
                     );
+                    self.config.obs.counters().add_acquires_observed(1);
                 }
                 Ok(OpOutcome::Unit)
             }
@@ -434,6 +449,11 @@ impl Controller {
                     // dropped — the lock stays owned and the thread's lock
                     // stack keeps the hold, so later contenders block
                     // forever and the stall detector must classify it.
+                    self.config.obs.emit(&df_obs::TraceEvent::FaultInjected {
+                        step: inner.g.steps,
+                        kind: "leak_release".to_string(),
+                        thread: me,
+                    });
                 } else {
                     let state = inner
                         .g
@@ -591,6 +611,11 @@ impl Controller {
             .threads
             .push(ThreadState::new(child, name, child_obj));
         inner.g.trace.bind_thread(child, child_obj);
+        // Account the child's start schedule point now, while we hold the
+        // parent's critical section — not when the OS gets around to
+        // starting the thread (see `start_point`).
+        inner.g.steps += 1;
+        inner.g.progress += 1;
         self.record(&mut inner, me, EventKind::Spawn { child, child_obj });
         // The child is now Announced(Start); the strategy may pick it at
         // any later schedule point. Launch the OS thread that will carry
@@ -610,6 +635,11 @@ impl Controller {
             .map(|f| f.fire_runaway_spawn())
             .unwrap_or(false)
         {
+            self.config.obs.emit(&df_obs::TraceEvent::FaultInjected {
+                step: inner.g.steps,
+                kind: "runaway_spawn".to_string(),
+                thread: me,
+            });
             self.spawn_runaway(&mut inner, me);
         }
         Ok((child, child_obj))
@@ -635,6 +665,8 @@ impl Controller {
             .threads
             .push(ThreadState::new(child, name, child_obj));
         inner.g.trace.bind_thread(child, child_obj);
+        inner.g.steps += 1;
+        inner.g.progress += 1;
         self.record(inner, parent, EventKind::Spawn { child, child_obj });
         let ctl = Arc::clone(self);
         let handle = std::thread::Builder::new()

@@ -71,6 +71,10 @@ impl VirtualRuntime {
                 .threads
                 .push(ThreadState::new(main_id, "main".to_string(), main_obj));
             inner.g.trace.bind_thread(main_id, main_obj);
+            // The main thread's start schedule point, accounted here so
+            // step numbering never depends on OS thread-startup timing.
+            inner.g.steps += 1;
+            inner.g.progress += 1;
             let c2 = Arc::clone(&ctl);
             let handle = std::thread::Builder::new()
                 .name("vthread-main".to_string())
@@ -142,6 +146,14 @@ impl VirtualRuntime {
             }
         }
         let stats = strategy.finish();
+        // Roll the run's scheduling statistics and fault log into the
+        // shared observability registry (acquires are counted live by the
+        // controller).
+        let counters = self.config.obs.counters();
+        counters.add_threads_paused(stats.pauses);
+        counters.add_thrash_events(stats.thrashes);
+        counters.add_yields_taken(stats.yields);
+        counters.add_faults_injected(u64::from(faults.total()));
         RunResult {
             outcome,
             trace,
@@ -650,6 +662,27 @@ mod tests {
                 r.outcome
             );
         }
+    }
+
+    #[test]
+    fn obs_counters_track_acquires_and_faults() {
+        let obs = df_obs::Obs::with_memory_sink();
+        let plan = crate::FaultPlan::new(5).with_leak_release(1.0);
+        let r = VirtualRuntime::new(cfg().with_fault_plan(plan).with_obs(obs.clone())).run(
+            Box::new(RoundRobinStrategy::new()),
+            |ctx| {
+                let l = ctx.new_lock(site!());
+                ctx.acquire(&l, site!("acq"));
+                ctx.release(&l, site!("leaked release"));
+            },
+        );
+        let s = obs.counters().snapshot();
+        assert_eq!(s.acquires_observed, 1);
+        assert_eq!(s.faults_injected, u64::from(r.faults.total()));
+        assert!(s.faults_injected >= 1);
+        let trace = obs.trace_contents().unwrap();
+        assert!(trace.contains("FaultInjected"), "{trace}");
+        assert!(trace.contains("leak_release"), "{trace}");
     }
 
     #[test]

@@ -46,6 +46,38 @@ fn phase2_is_deterministic_per_seed() {
 }
 
 #[test]
+fn golden_trace_is_byte_identical_across_runs() {
+    // The observability layer must not perturb determinism: two full
+    // pipeline runs of Figure 1 under the virtual runtime with the same
+    // seeds produce byte-identical JSONL traces. Every event carries
+    // logical data only (step counters, thread ids, abstractions) —
+    // wall-clock time lives in the metrics file, never in the trace.
+    let run = || {
+        let obs = df_obs::Obs::with_memory_sink();
+        let fuzzer = DeadlockFuzzer::from_ref(
+            df_benchmarks::figure1::program(true),
+            Config::default()
+                .with_phase1_seed(0)
+                .with_phase2_seed_base(400)
+                .with_confirm_trials(4)
+                .with_obs(obs.clone()),
+        );
+        let report = fuzzer.run();
+        assert!(report.confirmed_count() >= 1, "{report}");
+        obs.flush();
+        obs.trace_contents().expect("memory sink present")
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.is_empty());
+    assert!(
+        first.contains("\"CheckRealDeadlock\""),
+        "trace records scheduler verdicts: {first}"
+    );
+    assert_eq!(first, second, "golden trace drifted between runs");
+}
+
+#[test]
 fn abstractions_are_stable_across_phases() {
     // The whole point of §2.4: the cycle computed in Phase I must be
     // recognizable in a Phase II execution with a different schedule. If

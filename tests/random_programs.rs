@@ -122,6 +122,58 @@ proptest! {
         }
     }
 
+    /// Fault injection never breaks the campaign: with a seeded
+    /// [`FaultPlan`] sampling panic-on-acquire and leaked-release faults,
+    /// the full pipeline still returns a report (it must not panic), every
+    /// error-free confirmation classifies all of its trials into a
+    /// [`deadlock_fuzzer::TrialOutcome`], and the observability counters
+    /// stay consistent with what was actually injected.
+    #[test]
+    fn faulty_campaigns_degrade_gracefully(
+        spec in arb_spec(false),
+        fault_seed in 0u64..512,
+        panic_p in (0usize..3).prop_map(|i| [0.0, 0.1, 1.0][i]),
+        leak_p in (0usize..2).prop_map(|i| [0.0, 0.25][i]),
+    ) {
+        use deadlock_fuzzer::runtime::FaultPlan;
+
+        let program = build(spec);
+        let plan = FaultPlan::new(fault_seed)
+            .with_panic_on_acquire(panic_p)
+            .with_leak_release(leak_p);
+        let obs = df_obs::Obs::new();
+        let mut config = Config::default()
+            .with_confirm_trials(2)
+            .with_trial_retries(1)
+            .with_obs(obs.clone());
+        config.run = config.run.with_fault_plan(plan.clone());
+        let fuzzer = DeadlockFuzzer::from_ref(program, config);
+        let report = fuzzer.run(); // must degrade, never panic
+        let mut retries = 0u64;
+        let mut panics = 0u64;
+        for c in &report.confirmations {
+            if c.error.is_none() {
+                // Every trial lands in exactly one outcome class.
+                prop_assert_eq!(c.probability.outcomes.total(), c.probability.trials);
+            }
+            retries += u64::from(c.probability.retries);
+            panics += u64::from(c.probability.outcomes.panics);
+        }
+        let s = obs.counters().snapshot();
+        prop_assert_eq!(s.trial_retries, retries);
+        if plan.is_noop() {
+            prop_assert_eq!(s.faults_injected, 0);
+        }
+        // The only panic source here is the plan, and a trial that ends
+        // in the panic class took at least one injected fault.
+        prop_assert!(s.faults_injected >= panics);
+        if panic_p == 1.0 {
+            // Every spec acquires at least one lock, so the very first
+            // acquisition attempt of the Phase I run already faults.
+            prop_assert!(s.faults_injected >= 1);
+        }
+    }
+
     /// Phase I itself never wedges on arbitrary programs: it either
     /// completes or stops at a detected deadlock/stall.
     #[test]
