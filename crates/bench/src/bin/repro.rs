@@ -7,25 +7,28 @@
 //! cargo run --release -p df-bench --bin repro -- fig2-probability
 //! cargo run --release -p df-bench --bin repro -- fig2-thrashing
 //! cargo run --release -p df-bench --bin repro -- fig2-correlation
-//! cargo run --release -p df-bench --bin repro -- all [--trials N] [--json]
+//! cargo run --release -p df-bench --bin repro -- all [--trials N] [--jobs N] [--json]
 //! ```
 //!
 //! The paper uses 100 trials per cycle; the default here is 20 to keep a
 //! full regeneration fast — pass `--trials 100` for the paper's setting.
 
 use df_bench::{
-    fig2_correlation, figure2, motivation, pearson, table1, Fig2Cell, MotivationRow, Table1Row,
+    fig2_correlation, figure2_with_jobs, motivation, pearson, table1_with_jobs, Fig2Cell,
+    MotivationRow, Table1Row,
 };
 
 struct Args {
     experiment: String,
     trials: u32,
+    jobs: usize,
     json: bool,
 }
 
 fn parse_args() -> Args {
     let mut experiment = String::from("all");
     let mut trials = 20u32;
+    let mut jobs = 0usize; // one worker per core
     let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -35,6 +38,12 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--trials needs a number");
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a number");
             }
             "--json" => json = true,
             other if !other.starts_with('-') => experiment = other.to_string(),
@@ -47,6 +56,7 @@ fn parse_args() -> Args {
     Args {
         experiment,
         trials,
+        jobs,
         json,
     }
 }
@@ -196,12 +206,12 @@ fn main() {
     let run_corr = matches!(args.experiment.as_str(), "fig2-correlation" | "all");
 
     if run_t1 {
-        let rows = table1(args.trials, args.trials.min(20));
+        let rows = table1_with_jobs(args.trials, args.trials.min(20), args.jobs);
         print_table1(&rows, args.json);
         println!();
     }
     if !fig2_metrics.is_empty() {
-        let cells = figure2(args.trials);
+        let cells = figure2_with_jobs(args.trials, args.jobs);
         for m in fig2_metrics {
             print_fig2(&cells, m, args.json);
             println!();

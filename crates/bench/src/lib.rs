@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer, Variant};
+use deadlock_fuzzer::{Config, DeadlockFuzzer, TrialPool, Variant};
 use df_benchmarks::{table1_suite, Benchmark};
 use serde::Serialize;
 
@@ -56,7 +56,16 @@ pub struct Table1Row {
 
 /// Runs the full pipeline for one benchmark and aggregates a Table 1 row.
 pub fn table1_row(bench: &Benchmark, trials: u32, baseline_runs: u32) -> Table1Row {
-    let config = Config::default().with_confirm_trials(trials);
+    table1_row_with(bench, trials, baseline_runs, 0)
+}
+
+/// [`table1_row`] with an explicit Phase II worker count for the
+/// benchmark's own trial campaigns (`0` = auto, `1` = sequential — the
+/// right setting when many rows are already being measured in parallel).
+fn table1_row_with(bench: &Benchmark, trials: u32, baseline_runs: u32, jobs: usize) -> Table1Row {
+    let config = Config::default()
+        .with_confirm_trials(trials)
+        .with_jobs(jobs);
     let fuzzer = DeadlockFuzzer::from_ref(bench.program.clone(), config);
     let (baseline_deadlocks, normal) = fuzzer.baseline(baseline_runs).expect("baseline_runs > 0");
     let phase1 = fuzzer.phase1();
@@ -122,6 +131,20 @@ pub fn table1(trials: u32, baseline_runs: u32) -> Vec<Table1Row> {
         .collect()
 }
 
+/// Regenerates Table 1 with the rows fanned out across `jobs` workers
+/// (`0` = one per available hardware thread). Each row's own trial
+/// campaigns run sequentially so the row-level pool is the only source
+/// of parallelism; every measurement except the wall-clock columns is
+/// identical at any `jobs` value.
+pub fn table1_with_jobs(trials: u32, baseline_runs: u32, jobs: usize) -> Vec<Table1Row> {
+    let suite = table1_suite();
+    TrialPool::new(jobs).run_trials(
+        u32::try_from(suite.len()).expect("suite fits u32"),
+        |i| table1_row_with(&suite[i as usize], trials, baseline_runs, 1),
+        |_| false,
+    )
+}
+
 /// The four benchmarks of Figure 2, in the paper's order. "Collections"
 /// is represented by the synchronized-maps model (the paper's interesting
 /// 0.52 case).
@@ -154,9 +177,16 @@ pub struct Fig2Cell {
 
 /// Measures one Figure 2 cell.
 pub fn fig2_cell(bench: &Benchmark, variant: Variant, trials: u32) -> Fig2Cell {
+    fig2_cell_with(bench, variant, trials, 0)
+}
+
+/// [`fig2_cell`] with an explicit Phase II worker count for the cell's
+/// own trial campaigns.
+fn fig2_cell_with(bench: &Benchmark, variant: Variant, trials: u32, jobs: usize) -> Fig2Cell {
     let config = Config::default()
         .with_variant(variant)
-        .with_confirm_trials(trials);
+        .with_confirm_trials(trials)
+        .with_jobs(jobs);
     let fuzzer = DeadlockFuzzer::from_ref(bench.program.clone(), config);
     let (_, normal) = fuzzer.baseline(3).expect("trials > 0");
     let report = fuzzer.run();
@@ -199,6 +229,39 @@ pub fn fig2_cell(bench: &Benchmark, variant: Variant, trials: u32) -> Fig2Cell {
     }
 }
 
+/// The (benchmark × variant) pairs of the Figure 2 grid, row-major in
+/// the paper's order.
+pub fn figure2_grid() -> Vec<(Benchmark, Variant)> {
+    let mut pairs = Vec::new();
+    for bench in figure2_benchmarks() {
+        for variant in Variant::ALL {
+            pairs.push((bench.clone(), variant));
+        }
+    }
+    pairs
+}
+
+/// Measures the Figure 2 cells for the given pairs, fanned out across
+/// `jobs` workers (`0` = one per available hardware thread). Cells are
+/// independent seeded pipelines, so every measurement except the
+/// wall-clock-derived `runtime_normalized` is identical at any `jobs`
+/// value; each cell's own trial campaign runs sequentially so the
+/// sweep-level pool is the only source of parallelism.
+pub fn fig2_cells_with_jobs(
+    pairs: &[(Benchmark, Variant)],
+    trials: u32,
+    jobs: usize,
+) -> Vec<Fig2Cell> {
+    TrialPool::new(jobs).run_trials(
+        u32::try_from(pairs.len()).expect("grid fits u32"),
+        |i| {
+            let (bench, variant) = &pairs[i as usize];
+            fig2_cell_with(bench, *variant, trials, 1)
+        },
+        |_| false,
+    )
+}
+
 /// Measures the whole Figure 2 grid (4 benchmarks × 5 variants).
 pub fn figure2(trials: u32) -> Vec<Fig2Cell> {
     let mut cells = Vec::new();
@@ -208,6 +271,11 @@ pub fn figure2(trials: u32) -> Vec<Fig2Cell> {
         }
     }
     cells
+}
+
+/// [`figure2`] with the sweep fanned out across `jobs` workers.
+pub fn figure2_with_jobs(trials: u32, jobs: usize) -> Vec<Fig2Cell> {
+    fig2_cells_with_jobs(&figure2_grid(), trials, jobs)
 }
 
 /// Correlation points for Figure 2 (bottom right): (thrashes,
@@ -404,5 +472,32 @@ mod tests {
         let best = fig2_cell(&bench, Variant::ContextExecIndex, 4);
         assert!(best.probability > 0.0);
         assert!(best.runtime_normalized > 0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_the_sequential_sweep() {
+        let pairs = vec![
+            (df_benchmarks::maps::benchmark(), Variant::ContextExecIndex),
+            (df_benchmarks::logging::benchmark(), Variant::NoYields),
+            (df_benchmarks::maps::benchmark(), Variant::IgnoreAbstraction),
+        ];
+        let seq = fig2_cells_with_jobs(&pairs, 3, 1);
+        let par = fig2_cells_with_jobs(&pairs, 3, 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            // Cell order and every seeded measurement agree; only the
+            // wall-clock-derived runtime_normalized may differ.
+            assert_eq!(s.benchmark, p.benchmark);
+            assert_eq!(s.variant, p.variant);
+            assert_eq!(s.probability, p.probability);
+            assert_eq!(s.avg_thrashes, p.avg_thrashes);
+            assert_eq!(s.avg_yields, p.avg_yields);
+        }
+    }
+
+    #[test]
+    fn figure2_grid_covers_every_benchmark_and_variant() {
+        let grid = figure2_grid();
+        assert_eq!(grid.len(), figure2_benchmarks().len() * Variant::ALL.len());
     }
 }

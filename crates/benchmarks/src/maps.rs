@@ -58,13 +58,15 @@ fn equals(ctx: &TCtx, class: &str, recv: LockRef, arg: LockRef) {
 /// `m1.equals(m2)` right away, the other calls `m2.equals(m1)` after a
 /// long setup — and *which* worker is the delayed one alternates from run
 /// to run, modeling the arrival-order randomness real OS scheduling gives
-/// the paper's harness. (The delay length is invisible to the
-/// abstractions, so Phase I cycles stay valid across runs either way.)
+/// the paper's harness. The alternation is derived from
+/// [`TCtx::run_seed`] (trial seeds are consecutive, so it flips every
+/// trial), never from ambient state: a (program, seed) pair must replay
+/// identically or parallel campaigns would depend on trial execution
+/// order. (The delay length is invisible to the abstractions, so Phase I
+/// cycles stay valid across runs either way.)
 pub fn program() -> ProgramRef {
-    use std::sync::atomic::{AtomicU32, Ordering};
-    static RUN: AtomicU32 = AtomicU32::new(0);
     Arc::new(Named::new("synchronized-maps", |ctx: &TCtx| {
-        let delay_a = RUN.fetch_add(1, Ordering::Relaxed) % 2 == 1;
+        let delay_a = ctx.run_seed() % 2 == 1;
         for class in CLASSES {
             let m1 = ctx.new_lock(Label::new(&format!(
                 "Collections.synchronizedMap({class}) #1"

@@ -3,7 +3,9 @@
 use deadlock_fuzzer::ProgramRef;
 
 /// A benchmark entry: the program model plus the metadata the experiment
-/// harness reports alongside it.
+/// harness reports alongside it. Cloning is cheap — the program model is
+/// shared behind its [`ProgramRef`].
+#[derive(Clone)]
 pub struct Benchmark {
     /// Benchmark name (matches Table 1's "Program name" column).
     pub name: &'static str,

@@ -9,6 +9,10 @@
 //!   ([`cmd_trace`], [`analyze_trace_json`]);
 //! * confirm cycles with Phase II trials ([`cmd_confirm`]);
 //! * run the full pipeline ([`cmd_run`]).
+//!
+//! Every command has the same shape — `Result<CmdOutput, CliError>` —
+//! so `main` prints and exit-codes through a single path:
+//! [`CmdOutput::code`] on success, [`CliError::exit_code`] on failure.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -57,6 +61,57 @@ impl CmdOutput {
     }
 }
 
+/// Typed failure of a `dfz` command. Every command returns
+/// `Result<CmdOutput, CliError>`, so `main` prints and exit-codes
+/// through one path: [`CmdOutput::code`] on success,
+/// [`CliError::exit_code`] on failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// The user asked for something that does not exist: an unknown
+    /// benchmark or variant, a cycle index out of range. Maps to
+    /// [`exit_code::USAGE`].
+    Usage(String),
+    /// The harness itself failed: unreadable input, unwritable output,
+    /// serialization or confirmation errors. Maps to
+    /// [`exit_code::INTERNAL_ERROR`].
+    Internal(String),
+}
+
+impl CliError {
+    /// A usage-class error (`exit_code::USAGE`).
+    pub fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    /// An internal-class error (`exit_code::INTERNAL_ERROR`).
+    pub fn internal(msg: impl Into<String>) -> Self {
+        CliError::Internal(msg.into())
+    }
+
+    /// The documented process exit code for this error class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => exit_code::USAGE,
+            CliError::Internal(_) => exit_code::INTERNAL_ERROR,
+        }
+    }
+
+    /// The human-readable message, without the class prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Internal(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for CliError {}
+
 /// Maps a pipeline [`Report`] to its documented exit code: a confirmed
 /// cycle wins, then a program panic seen in any trial, then a harness
 /// failure, then "nothing found".
@@ -101,8 +156,9 @@ pub const BENCHMARKS: [&str; 16] = [
 ///
 /// # Errors
 ///
-/// Returns the list of valid names if `name` is unknown.
-pub fn resolve_program(name: &str) -> Result<ProgramRef, String> {
+/// Returns a [`CliError::Usage`] listing the valid names if `name` is
+/// unknown.
+pub fn resolve_program(name: &str) -> Result<ProgramRef, CliError> {
     Ok(match name {
         "figure1" => df_benchmarks::figure1::program(false),
         "figure1-three-threads" => df_benchmarks::figure1::program(true),
@@ -121,10 +177,10 @@ pub fn resolve_program(name: &str) -> Result<ProgramRef, String> {
         "buffer" => df_benchmarks::buffer::program(),
         "account" => df_benchmarks::account::program(),
         other => {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "unknown benchmark '{other}'; expected one of: {}",
                 BENCHMARKS.join(", ")
-            ))
+            )))
         }
     })
 }
@@ -133,8 +189,9 @@ pub fn resolve_program(name: &str) -> Result<ProgramRef, String> {
 ///
 /// # Errors
 ///
-/// Returns the valid names if `name` is unknown.
-pub fn resolve_variant(name: &str) -> Result<Variant, String> {
+/// Returns a [`CliError::Usage`] listing the valid names if `name` is
+/// unknown.
+pub fn resolve_variant(name: &str) -> Result<Variant, CliError> {
     Ok(match name {
         "kobject" => Variant::ContextKObject,
         "execindex" | "default" => Variant::ContextExecIndex,
@@ -142,9 +199,9 @@ pub fn resolve_variant(name: &str) -> Result<Variant, String> {
         "nocontext" => Variant::IgnoreContext,
         "noyields" => Variant::NoYields,
         other => {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "unknown variant '{other}'; expected kobject | execindex | trivial | nocontext | noyields"
-            ))
+            )))
         }
     })
 }
@@ -171,6 +228,9 @@ pub struct CliOptions {
     pub fault_panic: Option<f64>,
     /// Seed of the fault-injection RNG.
     pub fault_seed: u64,
+    /// Worker threads for Phase II trial campaigns (`0` = one per
+    /// available hardware thread, `1` = sequential).
+    pub jobs: usize,
 }
 
 impl Default for CliOptions {
@@ -185,6 +245,7 @@ impl Default for CliOptions {
             trace_out: None,
             fault_panic: None,
             fault_seed: 0,
+            jobs: 0,
         }
     }
 }
@@ -194,7 +255,8 @@ fn config_of(opts: &CliOptions) -> Config {
         .with_variant(opts.variant)
         .with_phase1_seed(opts.seed)
         .with_confirm_trials(opts.trials)
-        .with_hb_filter(opts.hb);
+        .with_hb_filter(opts.hb)
+        .with_jobs(opts.jobs);
     if let Some(p) = opts.fault_panic {
         config.run = config.run.with_fault_plan(
             deadlock_fuzzer::runtime::FaultPlan::new(opts.fault_seed).with_panic_on_acquire(p),
@@ -208,11 +270,11 @@ fn config_of(opts: &CliOptions) -> Config {
 ///
 /// # Errors
 ///
-/// Returns a message if the trace file cannot be created.
-pub fn obs_of(opts: &CliOptions) -> Result<df_obs::Obs, String> {
+/// Returns a [`CliError::Internal`] if the trace file cannot be created.
+pub fn obs_of(opts: &CliOptions) -> Result<df_obs::Obs, CliError> {
     match &opts.trace_out {
         Some(path) => df_obs::Obs::with_file_sink(path)
-            .map_err(|e| format!("cannot open {}: {e}", path.display())),
+            .map_err(|e| CliError::internal(format!("cannot open {}: {e}", path.display()))),
         None => Ok(df_obs::Obs::new()),
     }
 }
@@ -221,42 +283,47 @@ pub fn obs_of(opts: &CliOptions) -> Result<df_obs::Obs, String> {
 ///
 /// # Errors
 ///
-/// Returns a message if the file cannot be written.
-pub fn write_metrics(opts: &CliOptions, metrics: &df_obs::Metrics) -> Result<(), String> {
+/// Returns a [`CliError::Internal`] if the file cannot be written.
+pub fn write_metrics(opts: &CliOptions, metrics: &df_obs::Metrics) -> Result<(), CliError> {
     if let Some(path) = &opts.metrics_out {
         std::fs::write(path, metrics.to_json_pretty())
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            .map_err(|e| CliError::internal(format!("cannot write {}: {e}", path.display())))?;
     }
     Ok(())
 }
 
 /// `dfz phase1 <benchmark>` — predict potential deadlock cycles.
-pub fn cmd_phase1(name: &str, opts: &CliOptions) -> Result<String, String> {
+pub fn cmd_phase1(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
     let program = resolve_program(name)?;
     let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
     let report = fuzzer.phase1();
     if opts.json {
-        return serde_json::to_string_pretty(&report.abstract_cycles).map_err(|e| e.to_string());
+        return serde_json::to_string_pretty(&report.abstract_cycles)
+            .map(CmdOutput::ok)
+            .map_err(|e| CliError::internal(e.to_string()));
     }
-    Ok(format!("{report}"))
+    Ok(CmdOutput::ok(format!("{report}")))
 }
 
 /// `dfz trace <benchmark>` — run Phase I and dump the trace as JSON.
-pub fn cmd_trace(name: &str, opts: &CliOptions) -> Result<String, String> {
+pub fn cmd_trace(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
     let program = resolve_program(name)?;
     let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
     // An observation run under the plain random scheduler.
     let report = fuzzer.phase2(&df_igoodlock::AbstractCycle::new(vec![]), opts.seed);
-    serde_json::to_string(&report.trace).map_err(|e| e.to_string())
+    serde_json::to_string(&report.trace)
+        .map(CmdOutput::ok)
+        .map_err(|e| CliError::internal(e.to_string()))
 }
 
 /// `dfz analyze <trace.json>` — offline iGoodlock over a dumped trace.
 ///
 /// # Errors
 ///
-/// Returns a message if the JSON is not a valid trace.
-pub fn analyze_trace_json(json: &str, opts: &CliOptions) -> Result<String, String> {
-    let trace: Trace = serde_json::from_str(json).map_err(|e| format!("not a trace: {e}"))?;
+/// Returns a [`CliError::Internal`] if the JSON is not a valid trace.
+pub fn analyze_trace_json(json: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
+    let trace: Trace =
+        serde_json::from_str(json).map_err(|e| CliError::internal(format!("not a trace: {e}")))?;
     let relation = LockDependencyRelation::from_trace(&trace);
     let hb = opts.hb.then(|| HbFilter::from_trace(&trace));
     let (cycles, stats) = igoodlock_filtered(&relation, hb.as_ref(), &IGoodlockOptions::default());
@@ -286,7 +353,7 @@ pub fn analyze_trace_json(json: &str, opts: &CliOptions) -> Result<String, Strin
             c.abstract_with(trace.objects(), &abstractor)
         );
     }
-    Ok(out)
+    Ok(CmdOutput::ok(out))
 }
 
 /// `dfz confirm <benchmark>` — Phase II confirmation of one or all cycles.
@@ -297,7 +364,7 @@ pub fn cmd_confirm(
     name: &str,
     cycle_index: Option<usize>,
     opts: &CliOptions,
-) -> Result<CmdOutput, String> {
+) -> Result<CmdOutput, CliError> {
     let program = resolve_program(name)?;
     let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
     let phase1 = fuzzer.phase1();
@@ -310,10 +377,10 @@ pub fn cmd_confirm(
     let indices: Vec<usize> = match cycle_index {
         Some(i) if i < phase1.abstract_cycles.len() => vec![i],
         Some(i) => {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "cycle {i} out of range (0..{})",
                 phase1.abstract_cycles.len()
-            ))
+            )))
         }
         None => (0..phase1.abstract_cycles.len()).collect(),
     };
@@ -323,7 +390,7 @@ pub fn cmd_confirm(
     for i in indices {
         let prob = fuzzer
             .estimate_probability(&phase1.abstract_cycles[i], opts.trials)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::internal(e.to_string()))?;
         confirmed |= prob.matched > 0;
         panicked |= prob.outcomes.panics > 0;
         let _ = writeln!(
@@ -352,7 +419,7 @@ pub fn cmd_confirm(
 ///
 /// The returned [`CmdOutput::code`] is [`report_exit_code`] of the
 /// pipeline report.
-pub fn cmd_run(name: &str, opts: &CliOptions) -> Result<CmdOutput, String> {
+pub fn cmd_run(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
     let program = resolve_program(name)?;
     let obs = obs_of(opts)?;
     let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts).with_obs(obs.clone()));
@@ -368,7 +435,7 @@ pub fn cmd_run(name: &str, opts: &CliOptions) -> Result<CmdOutput, String> {
 /// `dfz races <benchmark>` — the RaceFuzzer sibling: predict data races
 /// by lockset analysis, then confirm each with the active race
 /// scheduler.
-pub fn cmd_races(name: &str, opts: &CliOptions) -> Result<String, String> {
+pub fn cmd_races(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
     use df_fuzzer::{predict_races, RaceStrategy, SimpleRandomChecker};
     use df_runtime::{RunConfig, VirtualRuntime};
 
@@ -409,7 +476,7 @@ pub fn cmd_races(name: &str, opts: &CliOptions) -> Result<String, String> {
             opts.trials
         );
     }
-    Ok(out)
+    Ok(CmdOutput::ok(out))
 }
 
 /// `dfz list` — the benchmark names.
@@ -432,16 +499,33 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("'nope' must not resolve"),
         };
-        assert!(err.contains("figure1"));
+        assert!(err.message().contains("figure1"));
+        assert_eq!(err.exit_code(), exit_code::USAGE);
         assert!(resolve_variant("trivial").is_ok());
         assert!(resolve_variant("bogus").is_err());
     }
 
     #[test]
+    fn errors_carry_their_exit_code_class() {
+        let usage = CliError::usage("bad flag");
+        assert_eq!(usage.exit_code(), exit_code::USAGE);
+        assert_eq!(usage.to_string(), "bad flag");
+        let internal = CliError::internal("disk on fire");
+        assert_eq!(internal.exit_code(), exit_code::INTERNAL_ERROR);
+        assert_eq!(internal.message(), "disk on fire");
+        assert_ne!(usage, internal);
+    }
+
+    #[test]
     fn phase1_command_renders_cycles() {
         let out = cmd_phase1("figure1", &CliOptions::default()).unwrap();
-        assert!(out.contains("1 potential deadlock cycle"), "{out}");
-        assert!(out.contains("MyThread.run:16"), "{out}");
+        assert_eq!(out.code, exit_code::CYCLE_CONFIRMED);
+        assert!(
+            out.text.contains("1 potential deadlock cycle"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("MyThread.run:16"), "{}", out.text);
     }
 
     #[test]
@@ -451,21 +535,23 @@ mod tests {
             ..CliOptions::default()
         };
         let out = cmd_phase1("figure1", &opts).unwrap();
-        let cycles: Vec<df_igoodlock::AbstractCycle> = serde_json::from_str(&out).unwrap();
+        let cycles: Vec<df_igoodlock::AbstractCycle> = serde_json::from_str(&out.text).unwrap();
         assert_eq!(cycles.len(), 1);
     }
 
     #[test]
     fn trace_dump_round_trips_through_offline_analysis() {
         let opts = CliOptions::default();
-        let json = cmd_trace("figure1", &opts).unwrap();
-        let out = analyze_trace_json(&json, &opts).unwrap();
+        let json = cmd_trace("figure1", &opts).unwrap().text;
+        let out = analyze_trace_json(&json, &opts).unwrap().text;
         assert!(out.contains("1 potential cycle"), "{out}");
     }
 
     #[test]
     fn analyze_rejects_garbage() {
-        assert!(analyze_trace_json("{not json", &CliOptions::default()).is_err());
+        let err = analyze_trace_json("{not json", &CliOptions::default()).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::INTERNAL_ERROR);
+        assert!(err.message().contains("not a trace"));
     }
 
     #[test]
@@ -478,10 +564,28 @@ mod tests {
         assert!(out.text.contains("CONFIRMED"), "{}", out.text);
         assert_eq!(out.code, exit_code::CYCLE_CONFIRMED);
         let err = cmd_confirm("figure1", Some(7), &opts).unwrap_err();
-        assert!(err.contains("out of range"));
+        assert!(err.message().contains("out of range"));
+        assert_eq!(err.exit_code(), exit_code::USAGE);
         let none = cmd_confirm("sor", None, &opts).unwrap();
         assert!(none.text.contains("no potential"), "{}", none.text);
         assert_eq!(none.code, exit_code::NO_CYCLE_FOUND);
+    }
+
+    #[test]
+    fn jobs_do_not_change_command_output() {
+        let seq = CliOptions {
+            trials: 4,
+            jobs: 1,
+            ..CliOptions::default()
+        };
+        let par = CliOptions {
+            jobs: 4,
+            ..seq.clone()
+        };
+        let a = cmd_confirm("figure1", None, &seq).unwrap();
+        let b = cmd_confirm("figure1", None, &par).unwrap();
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.code, b.code);
     }
 
     #[test]
@@ -531,13 +635,13 @@ mod tests {
     #[test]
     fn hb_flag_prunes_in_offline_analysis() {
         let opts = CliOptions::default();
-        let json = cmd_trace("jigsaw", &opts).unwrap();
-        let plain = analyze_trace_json(&json, &opts).unwrap();
+        let json = cmd_trace("jigsaw", &opts).unwrap().text;
+        let plain = analyze_trace_json(&json, &opts).unwrap().text;
         let hb_opts = CliOptions {
             hb: true,
             ..CliOptions::default()
         };
-        let filtered = analyze_trace_json(&json, &hb_opts).unwrap();
+        let filtered = analyze_trace_json(&json, &hb_opts).unwrap().text;
         assert!(filtered.contains("pruned by happens-before"), "{filtered}");
         assert!(plain.contains("waitForRunner"));
         assert!(!filtered.contains("waitForRunner"));

@@ -5,8 +5,8 @@
 //! dfz phase1  <benchmark> [--seed N] [--hb] [--json] [--variant V]
 //! dfz trace   <benchmark> [--seed N]            # dump a trace as JSON to stdout
 //! dfz analyze <trace.json> [--hb] [--variant V] # offline iGoodlock
-//! dfz confirm <benchmark> [--cycle I] [--trials N] [--variant V]
-//! dfz run     <benchmark> [--trials N] [--variant V] [--hb]
+//! dfz confirm <benchmark> [--cycle I] [--trials N] [--variant V] [--jobs N]
+//! dfz run     <benchmark> [--trials N] [--variant V] [--hb] [--jobs N]
 //!             [--metrics-out F] [--trace-out F] [--fault-panic P] [--fault-seed N]
 //! dfz races   <benchmark> [--trials N] [--seed N]  # the RaceFuzzer checker
 //! ```
@@ -17,20 +17,21 @@
 
 use df_cli::{
     analyze_trace_json, cmd_confirm, cmd_list, cmd_phase1, cmd_races, cmd_run, cmd_trace,
-    exit_code, resolve_variant, CliOptions, CmdOutput,
+    resolve_variant, CliError, CliOptions, CmdOutput,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: dfz <list | phase1 | trace | analyze | confirm | run | races> [args]\n\
          a leading flag implies `run` (e.g. dfz --benchmark figure1 --metrics-out m.json)\n\
+         parallelism: --jobs <n> (0 = one worker per core, 1 = sequential)\n\
          observability: --metrics-out <file> --trace-out <file.jsonl>\n\
          fault injection: --fault-panic <prob> --fault-seed <n>\n\
          run `dfz list` for benchmark names\n\
          exit codes: 0 cycle confirmed / success, 1 no cycle found,\n\
          2 usage, 3 program under test panicked, 4 internal error"
     );
-    std::process::exit(exit_code::USAGE);
+    std::process::exit(df_cli::exit_code::USAGE);
 }
 
 fn main() {
@@ -72,10 +73,16 @@ fn main() {
                 match resolve_variant(&name) {
                     Ok(v) => opts.variant = v,
                     Err(e) => {
-                        eprintln!("{e}");
-                        std::process::exit(exit_code::USAGE);
+                        eprintln!("error: {e}");
+                        std::process::exit(e.exit_code());
                     }
                 }
+            }
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--benchmark" => {
                 positional.push(args.next().unwrap_or_else(|| usage()));
@@ -109,21 +116,22 @@ fn main() {
         }
     }
 
-    let result: Result<CmdOutput, String> = match command.as_str() {
+    // Every command funnels into one Result<CmdOutput, CliError>, so
+    // printing and exit-coding happen in exactly one place below.
+    let result: Result<CmdOutput, CliError> = match command.as_str() {
         "list" => Ok(CmdOutput::ok(cmd_list())),
         "phase1" => match positional.first() {
-            Some(name) => cmd_phase1(name, &opts).map(CmdOutput::ok),
+            Some(name) => cmd_phase1(name, &opts),
             None => usage(),
         },
         "trace" => match positional.first() {
-            Some(name) => cmd_trace(name, &opts).map(CmdOutput::ok),
+            Some(name) => cmd_trace(name, &opts),
             None => usage(),
         },
         "analyze" => match positional.first() {
             Some(path) => std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))
-                .and_then(|json| analyze_trace_json(&json, &opts))
-                .map(CmdOutput::ok),
+                .map_err(|e| CliError::internal(format!("cannot read {path}: {e}")))
+                .and_then(|json| analyze_trace_json(&json, &opts)),
             None => usage(),
         },
         "confirm" => match positional.first() {
@@ -135,7 +143,7 @@ fn main() {
             None => usage(),
         },
         "races" => match positional.first() {
-            Some(name) => cmd_races(name, &opts).map(CmdOutput::ok),
+            Some(name) => cmd_races(name, &opts),
             None => usage(),
         },
         _ => usage(),
@@ -147,7 +155,7 @@ fn main() {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(exit_code::INTERNAL_ERROR);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -79,6 +79,69 @@ fn usage_errors_exit_two() {
 }
 
 #[test]
+fn unknown_names_are_usage_errors_not_internal() {
+    let out = dfz(&["run", "no-such-benchmark"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown benchmark"), "{stderr}");
+    assert_eq!(
+        dfz(&["run", "figure1", "--variant", "bogus"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        dfz(&["confirm", "figure1", "--cycle", "99"]).status.code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn parallel_jobs_reproduce_the_sequential_run() {
+    let run = |jobs: &str, tag: &str| {
+        let metrics = scratch(&format!("jobs{tag}-metrics.json"));
+        let trace = scratch(&format!("jobs{tag}-trace.jsonl"));
+        let out = dfz(&[
+            "run",
+            "figure1",
+            "--trials",
+            "4",
+            "--jobs",
+            jobs,
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            out.stdout,
+            std::fs::read_to_string(&trace).expect("trace file"),
+            df_obs::Metrics::from_json(&std::fs::read_to_string(&metrics).expect("metrics file"))
+                .expect("schema-valid metrics"),
+        )
+    };
+    let (stdout1, trace1, m1) = run("1", "1");
+    let (stdout4, trace4, m4) = run("4", "4");
+    // The verdicts, the logical trace bytes, and every campaign counter
+    // must be identical — only wall-clock fields may differ (the
+    // iGoodlock summary line ends with its elapsed time, so that suffix
+    // is normalized away before comparing).
+    let verdicts = |bytes: &[u8]| {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .map(|l| l.split(" in ").next().unwrap_or(l).to_string())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(verdicts(&stdout1), verdicts(&stdout4));
+    assert_eq!(trace1, trace4);
+    assert_eq!(m1.counters, m4.counters);
+}
+
+#[test]
 fn injected_program_panic_exits_three() {
     let out = dfz(&[
         "--benchmark",

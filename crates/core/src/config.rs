@@ -127,6 +127,19 @@ pub struct Config {
     /// error — see [`crate::TrialOutcome::is_retryable`]) is re-run with a
     /// rotated seed before its outcome is accepted. `0` disables retries.
     pub trial_retries: u32,
+    /// Worker threads for Phase II confirmation, probability-estimation
+    /// and baseline trials ([`crate::TrialPool`]). `0` (the default)
+    /// means one worker per available hardware thread; `1` runs trials
+    /// sequentially on the calling thread. Per-trial seeding is
+    /// index-based, so any `jobs` value produces the same report modulo
+    /// wall-clock fields.
+    pub jobs: usize,
+    /// Stop a confirmation campaign at the first trial that reproduces
+    /// the target cycle: the campaign reports exactly the trials up to
+    /// and including the first matching one (in trial-index order, at
+    /// any `jobs`), never trials started after the confirmation. Off by
+    /// default — the paper's probability columns need every trial.
+    pub stop_on_first: bool,
 }
 
 impl Default for Config {
@@ -145,6 +158,8 @@ impl Default for Config {
             confirm_trials: 20,
             trial_deadline: Some(Duration::from_secs(30)),
             trial_retries: 2,
+            jobs: 0,
+            stop_on_first: false,
         }
     }
 }
@@ -214,6 +229,43 @@ impl Config {
         self
     }
 
+    /// Sets the trial worker count (`0` = one per hardware thread,
+    /// `1` = sequential).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Stops confirmation campaigns at the first matching trial.
+    pub fn with_stop_on_first(mut self, stop: bool) -> Self {
+        self.stop_on_first = stop;
+        self
+    }
+
+    /// Sets the livelock-monitor pause budget (§5).
+    pub fn with_pause_budget(mut self, budget: u64) -> Self {
+        self.pause_budget = budget;
+        self
+    }
+
+    /// Sets the §4 yield gate budget.
+    pub fn with_yield_budget(mut self, budget: u32) -> Self {
+        self.yield_budget = budget;
+        self
+    }
+
+    /// Sets the iGoodlock search bounds.
+    pub fn with_igoodlock(mut self, options: IGoodlockOptions) -> Self {
+        self.igoodlock = options;
+        self
+    }
+
+    /// Replaces the per-execution virtual-runtime configuration.
+    pub fn with_run(mut self, run: RunConfig) -> Self {
+        self.run = run;
+        self
+    }
+
     /// Attaches an observability handle; counters, phase timings and the
     /// optional trace sink are shared by every execution of the pipeline.
     pub fn with_obs(mut self, obs: df_obs::Obs) -> Self {
@@ -275,7 +327,13 @@ mod tests {
             .with_yields(false)
             .with_mode(AbstractionMode::Site)
             .with_trial_deadline(Some(Duration::from_secs(5)))
-            .with_trial_retries(1);
+            .with_trial_retries(1)
+            .with_jobs(4)
+            .with_stop_on_first(true)
+            .with_pause_budget(99)
+            .with_yield_budget(3)
+            .with_igoodlock(IGoodlockOptions::default())
+            .with_run(RunConfig::default().with_max_steps(123));
         assert_eq!(c.phase1_seed, 5);
         assert_eq!(c.phase2_seed_base, 77);
         assert_eq!(c.confirm_trials, 3);
@@ -284,6 +342,18 @@ mod tests {
         assert_eq!(c.mode, AbstractionMode::Site);
         assert_eq!(c.trial_deadline, Some(Duration::from_secs(5)));
         assert_eq!(c.trial_retries, 1);
+        assert_eq!(c.jobs, 4);
+        assert!(c.stop_on_first);
+        assert_eq!(c.pause_budget, 99);
+        assert_eq!(c.yield_budget, 3);
+        assert_eq!(c.run.max_steps, 123);
+    }
+
+    #[test]
+    fn default_jobs_are_auto_and_campaigns_run_every_trial() {
+        let c = Config::default();
+        assert_eq!(c.jobs, 0, "0 = one worker per hardware thread");
+        assert!(!c.stop_on_first, "paper probabilities need all trials");
     }
 
     #[test]

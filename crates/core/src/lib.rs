@@ -62,12 +62,14 @@
 mod config;
 mod error;
 mod pipeline;
+mod pool;
 mod program;
 mod report;
 
 pub use config::{Config, Variant};
 pub use error::DfError;
 pub use pipeline::DeadlockFuzzer;
+pub use pool::TrialPool;
 pub use program::{Named, Program, ProgramRef};
 pub use report::{
     CycleConfirmation, Phase1Report, Phase2Report, ProbabilityReport, Report, TrialOutcome,
@@ -80,3 +82,27 @@ pub use df_events as events;
 pub use df_fuzzer as fuzzer;
 pub use df_igoodlock as igoodlock;
 pub use df_runtime as runtime;
+
+/// Everything a program-under-test and its harness need, in one import.
+///
+/// ```
+/// use deadlock_fuzzer::prelude::*;
+///
+/// let fuzzer = DeadlockFuzzer::with_config(
+///     |ctx: &TCtx| {
+///         let a = ctx.new_lock(site!());
+///         let _g = ctx.lock(&a, site!());
+///     },
+///     Config::default().with_jobs(2),
+/// );
+/// assert_eq!(fuzzer.run().potential_count(), 0);
+/// ```
+pub mod prelude {
+    pub use crate::{
+        Config, CycleConfirmation, DeadlockFuzzer, DfError, Named, Phase1Report, Phase2Report,
+        ProbabilityReport, Program, ProgramRef, Report, TrialOutcome, TrialOutcomes, TrialPool,
+        Variant,
+    };
+    pub use df_events::{site, Label};
+    pub use df_runtime::{LockRef, RunConfig, TCtx};
+}

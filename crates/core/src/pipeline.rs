@@ -13,15 +13,35 @@ use df_runtime::{Outcome, RunResult, VirtualRuntime};
 
 use crate::config::Config;
 use crate::error::DfError;
+use crate::pool::TrialPool;
 use crate::program::{Program, ProgramRef};
 use crate::report::{
-    CycleConfirmation, Phase1Report, Phase2Report, ProbabilityReport, Report, TrialOutcomes,
+    CycleConfirmation, Phase1Report, Phase2Report, ProbabilityReport, Report, TrialOutcome,
+    TrialOutcomes,
 };
 
 /// Offset between the seeds of successive retry attempts of one trial.
 /// Chosen large and odd so rotated seeds never collide with the dense
 /// `phase2_seed_base + trial` sequence of first attempts.
 const RETRY_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The distilled result of one confirmation trial as it crosses back
+/// from a pool worker: the final attempt's classification plus the
+/// worker's observability shard (absorbed in trial order by the
+/// aggregator). The full [`Phase2Report`] (with its trace) stays on the
+/// worker — campaigns only need the tallies.
+struct TrialRun {
+    outcome: TrialOutcome,
+    deadlocked: bool,
+    matched: bool,
+    thrashes: u64,
+    pauses: u64,
+    yields: u64,
+    steps: u64,
+    duration: std::time::Duration,
+    retries: u32,
+    shard: df_obs::Obs,
+}
 
 /// The DeadlockFuzzer tool: Phase I prediction + Phase II active random
 /// confirmation for one program.
@@ -74,13 +94,34 @@ impl DeadlockFuzzer {
         &self.config
     }
 
-    fn execute(&self, strategy: Box<dyn df_runtime::Strategy>) -> RunResult {
+    /// Runs the program once under `strategy`. `seed` doubles as the
+    /// program seed ([`df_runtime::RunConfig::program_seed`]): program
+    /// models that vary run to run derive the variation from it, which
+    /// keeps every (strategy seed, program) pair replayable — the
+    /// property that makes parallel campaigns order-independent.
+    fn execute(&self, strategy: Box<dyn df_runtime::Strategy>, seed: u64) -> RunResult {
         let program = Arc::clone(&self.program);
-        let mut run = self.config.run.clone();
+        let mut run = self.config.run.clone().with_program_seed(seed);
         if run.deadline.is_none() {
             run.deadline = self.config.trial_deadline;
         }
         VirtualRuntime::new(run).run(strategy, move |ctx| program.run(ctx))
+    }
+
+    /// A clone of this fuzzer reporting into `obs` instead of the
+    /// configured handle — how one parallel worker gets a private
+    /// observability shard (the virtual-runtime config, including any
+    /// fault plan, is cloned per worker along the way).
+    fn with_obs_shard(&self, obs: df_obs::Obs) -> DeadlockFuzzer {
+        DeadlockFuzzer {
+            program: Arc::clone(&self.program),
+            config: self.config.clone().with_obs(obs),
+        }
+    }
+
+    /// The trial pool sized by [`Config::jobs`].
+    fn pool(&self) -> TrialPool {
+        TrialPool::new(self.config.jobs)
     }
 
     /// Phase I: observe one execution under the simple random scheduler
@@ -92,9 +133,10 @@ impl DeadlockFuzzer {
         obs.emit(&df_obs::TraceEvent::PhaseStart {
             phase: "phase1".to_string(),
         });
-        let result = self.execute(Box::new(SimpleRandomChecker::with_seed(
+        let result = self.execute(
+            Box::new(SimpleRandomChecker::with_seed(self.config.phase1_seed)),
             self.config.phase1_seed,
-        )));
+        );
         let relation = LockDependencyRelation::from_trace(&result.trace);
         let hb = self
             .config
@@ -138,7 +180,7 @@ impl DeadlockFuzzer {
             yield_budget: self.config.yield_budget,
             obs: self.config.obs().clone(),
         };
-        let result = self.execute(Box::new(ActiveStrategy::new(active)));
+        let result = self.execute(Box::new(ActiveStrategy::new(active)), seed);
         let witness = result.outcome.deadlock().cloned();
         let matched_target = witness
             .as_ref()
@@ -178,10 +220,19 @@ impl DeadlockFuzzer {
     /// `phase2_seed_base..phase2_seed_base + trials`) and aggregates the
     /// empirical reproduction probability — Table 1 columns 8–10.
     ///
+    /// Trials fan out across [`Config::jobs`] workers through a
+    /// [`TrialPool`]; each keeps its deterministic index-based seed and
+    /// records into a private observability shard that is folded back
+    /// in trial order, so any `jobs` value yields the same report (and
+    /// the same trace bytes) modulo wall-clock fields.
+    ///
     /// Each trial is classified into a [`crate::TrialOutcome`]; trials that
     /// end without a verdict (program panic, timeout, internal error) are
     /// retried up to [`Config::trial_retries`] times with a rotated seed,
-    /// and the final attempt's outcome is what counts.
+    /// and the final attempt's outcome is what counts. With
+    /// [`Config::stop_on_first`], the campaign reports exactly the trials
+    /// up to and including the first one that matched the target —
+    /// in-flight later trials are cancelled and never tallied.
     ///
     /// # Errors
     ///
@@ -197,6 +248,12 @@ impl DeadlockFuzzer {
             ));
         }
         let obs = self.config.obs().clone();
+        let results = self.pool().run_trials(
+            trials,
+            |i| self.run_confirmation_trial(cycle, i, &obs),
+            |t| self.config.stop_on_first && t.matched,
+        );
+        let ran = u32::try_from(results.len()).expect("ran <= trials");
         let mut deadlocks = 0u32;
         let mut matched = 0u32;
         let mut thrashes = 0u64;
@@ -206,52 +263,77 @@ impl DeadlockFuzzer {
         let mut total_duration = std::time::Duration::ZERO;
         let mut outcomes = TrialOutcomes::default();
         let mut retries = 0u32;
-        for i in 0..trials {
-            let base_seed = self.config.phase2_seed_base + u64::from(i);
-            let mut attempt = 0u32;
-            let r = loop {
-                let seed =
-                    base_seed.wrapping_add(u64::from(attempt).wrapping_mul(RETRY_SEED_STRIDE));
-                let r = self.phase2(cycle, seed);
-                if r.trial_outcome().is_retryable() && attempt < self.config.trial_retries {
-                    obs.counters().add_trial_retries(1);
-                    obs.emit(&df_obs::TraceEvent::TrialRetry {
-                        trial: i,
-                        attempt,
-                        outcome: r.trial_outcome().to_string(),
-                    });
-                    attempt += 1;
-                    retries += 1;
-                    continue;
-                }
-                break r;
-            };
-            outcomes.record(r.trial_outcome());
-            if r.deadlocked() {
+        for t in &results {
+            obs.absorb(&t.shard);
+            outcomes.record(t.outcome);
+            if t.deadlocked {
                 deadlocks += 1;
             }
-            if r.matched_target {
+            if t.matched {
                 matched += 1;
             }
-            thrashes += r.thrashes;
-            pauses += r.pauses;
-            yields += r.yields;
-            steps += r.steps;
-            total_duration += r.duration;
+            thrashes += t.thrashes;
+            pauses += t.pauses;
+            yields += t.yields;
+            steps += t.steps;
+            total_duration += t.duration;
+            retries += t.retries;
         }
         Ok(ProbabilityReport {
-            trials,
+            trials: ran,
             deadlocks,
             matched,
-            probability: f64::from(deadlocks) / f64::from(trials),
-            avg_thrashes: thrashes as f64 / f64::from(trials),
-            avg_pauses: pauses as f64 / f64::from(trials),
-            avg_yields: yields as f64 / f64::from(trials),
-            avg_steps: steps as f64 / f64::from(trials),
-            avg_duration: total_duration / trials,
+            probability: f64::from(deadlocks) / f64::from(ran),
+            avg_thrashes: thrashes as f64 / f64::from(ran),
+            avg_pauses: pauses as f64 / f64::from(ran),
+            avg_yields: yields as f64 / f64::from(ran),
+            avg_steps: steps as f64 / f64::from(ran),
+            avg_duration: total_duration / ran,
             outcomes,
             retries,
         })
+    }
+
+    /// One confirmation trial (`phase2` plus the bounded seed-rotating
+    /// retry loop), recording into a private shard of `obs` so trials on
+    /// different workers never interleave their counters or trace lines.
+    fn run_confirmation_trial(
+        &self,
+        cycle: &AbstractCycle,
+        trial: u32,
+        obs: &df_obs::Obs,
+    ) -> TrialRun {
+        let shard = obs.fork_shard();
+        let runner = self.with_obs_shard(shard.clone());
+        let base_seed = self.config.phase2_seed_base + u64::from(trial);
+        let mut attempt = 0u32;
+        let r = loop {
+            let seed = base_seed.wrapping_add(u64::from(attempt).wrapping_mul(RETRY_SEED_STRIDE));
+            let r = runner.phase2(cycle, seed);
+            if r.trial_outcome().is_retryable() && attempt < self.config.trial_retries {
+                shard.counters().add_trial_retries(1);
+                shard.emit(&df_obs::TraceEvent::TrialRetry {
+                    trial,
+                    attempt,
+                    outcome: r.trial_outcome().to_string(),
+                });
+                attempt += 1;
+                continue;
+            }
+            break r;
+        };
+        TrialRun {
+            outcome: r.trial_outcome(),
+            deadlocked: r.deadlocked(),
+            matched: r.matched_target,
+            thrashes: r.thrashes,
+            pauses: r.pauses,
+            yields: r.yields,
+            steps: r.steps,
+            duration: r.duration,
+            retries: attempt,
+            shard,
+        }
     }
 
     /// The full tool: Phase I, then Phase II confirmation of every
@@ -332,15 +414,17 @@ impl DeadlockFuzzer {
     /// // ... after a deadlocking phase2 run r: fuzzer.replay(&r_trace)
     /// ```
     pub fn replay(&self, trace: &df_events::Trace) -> RunResult {
-        self.execute(Box::new(df_runtime::strategy::ReplayStrategy::from_trace(
-            trace,
-        )))
+        self.execute(
+            Box::new(df_runtime::strategy::ReplayStrategy::from_trace(trace)),
+            self.config.run.program_seed,
+        )
     }
 
     /// Baseline: `trials` uninstrumented-equivalent runs under the plain
     /// random scheduler, counting how many deadlock (the paper's "ran each
     /// program normally 100 times" control) and measuring their mean
-    /// duration for the overhead columns of Table 1.
+    /// duration for the overhead columns of Table 1. Runs fan out across
+    /// [`Config::jobs`] workers like confirmation trials do.
     ///
     /// # Errors
     ///
@@ -351,15 +435,29 @@ impl DeadlockFuzzer {
                 "at least one trial required".to_string(),
             ));
         }
+        let obs = self.config.obs().clone();
+        let results = self.pool().run_trials(
+            trials,
+            |i| {
+                let shard = obs.fork_shard();
+                let runner = self.with_obs_shard(shard.clone());
+                let start = Instant::now();
+                let seed = self.config.phase2_seed_base + u64::from(i);
+                let r = runner.execute(Box::new(SimpleRandomChecker::with_seed(seed)), seed);
+                (
+                    matches!(r.outcome, Outcome::Deadlock(_)),
+                    start.elapsed(),
+                    shard,
+                )
+            },
+            |_| false,
+        );
         let mut deadlocks = 0;
         let mut total = std::time::Duration::ZERO;
-        for i in 0..trials {
-            let start = Instant::now();
-            let r = self.execute(Box::new(SimpleRandomChecker::with_seed(
-                self.config.phase2_seed_base + u64::from(i),
-            )));
-            total += start.elapsed();
-            if matches!(r.outcome, Outcome::Deadlock(_)) {
+        for (deadlocked, duration, shard) in &results {
+            obs.absorb(shard);
+            total += *duration;
+            if *deadlocked {
                 deadlocks += 1;
             }
         }
@@ -510,6 +608,60 @@ mod tests {
         assert_eq!(prob.retries, 4, "each trial retried once");
         let s = prob.to_string();
         assert!(s.contains("4 panic"), "{s}");
+    }
+
+    #[test]
+    fn fuzzer_state_is_shareable_across_pool_workers() {
+        fn assert_sync<T: Sync>() {}
+        fn assert_send<T: Send>() {}
+        // The pool shares `&DeadlockFuzzer` across workers and moves
+        // per-trial results (built from RunResult) back; fault plans ride
+        // along inside the cloned RunConfig.
+        assert_sync::<DeadlockFuzzer>();
+        assert_send::<df_runtime::RunConfig>();
+        assert_send::<df_runtime::FaultPlan>();
+        assert_send::<RunResult>();
+    }
+
+    #[test]
+    fn parallel_and_sequential_campaigns_agree() {
+        let run = |jobs| {
+            let fuzzer = DeadlockFuzzer::with_config(figure1(), Config::default().with_jobs(jobs));
+            let p1 = fuzzer.phase1();
+            fuzzer
+                .estimate_probability(&p1.abstract_cycles[0], 6)
+                .expect("trials > 0")
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.trials, par.trials);
+        assert_eq!(seq.deadlocks, par.deadlocks);
+        assert_eq!(seq.matched, par.matched);
+        assert_eq!(seq.outcomes, par.outcomes);
+        assert_eq!(seq.retries, par.retries);
+        assert_eq!(seq.avg_steps, par.avg_steps);
+        assert_eq!(seq.avg_thrashes, par.avg_thrashes);
+    }
+
+    #[test]
+    fn stop_on_first_reports_only_the_confirming_prefix() {
+        for jobs in [1, 4] {
+            let fuzzer = DeadlockFuzzer::with_config(
+                figure1(),
+                Config::default().with_stop_on_first(true).with_jobs(jobs),
+            );
+            let p1 = fuzzer.phase1();
+            let prob = fuzzer
+                .estimate_probability(&p1.abstract_cycles[0], 10)
+                .expect("trials > 0");
+            // Figure 1 confirms on every seed, so the deterministic stop
+            // point is trial 0 — later trials must never be tallied even
+            // if a parallel worker had already started them.
+            assert_eq!(prob.trials, 1, "jobs={jobs}");
+            assert_eq!(prob.matched, 1, "jobs={jobs}");
+            assert_eq!(prob.outcomes.total(), 1, "jobs={jobs}");
+            assert!((prob.probability - 1.0).abs() < f64::EPSILON);
+        }
     }
 
     #[test]

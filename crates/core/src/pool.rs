@@ -1,0 +1,246 @@
+//! Work-sharing parallel trial engine.
+//!
+//! Phase II of DeadlockFuzzer is embarrassingly parallel: every
+//! confirmation, probability-estimation, and baseline trial is an
+//! independent seeded re-execution of the program under the virtual
+//! runtime. [`TrialPool`] fans a campaign of such trials out across a
+//! fixed set of worker threads while keeping the campaign's *results*
+//! bit-for-bit identical to a sequential run:
+//!
+//! * trial `i` always computes the same value regardless of which worker
+//!   runs it (seeding is per-index, never per-worker);
+//! * results come back in trial order;
+//! * early cancellation (`stop`) reports exactly the trials a sequential
+//!   loop with the same stop condition would have run — the prefix up to
+//!   and including the first stopping trial in index order — discarding
+//!   any speculatively started later trials.
+//!
+//! The pool is built on `std::thread::scope` and a shared atomic work
+//! counter (a work-*sharing* queue: idle workers pull the next index),
+//! so it adds no dependencies and nothing to `Drop`-manage.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width pool that runs indexed trials across worker threads.
+///
+/// # Example
+///
+/// ```
+/// use deadlock_fuzzer::TrialPool;
+///
+/// let pool = TrialPool::new(4);
+/// let squares = pool.run_trials(5, |i| i * i, |_| false);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct TrialPool {
+    jobs: usize,
+}
+
+impl TrialPool {
+    /// A pool with `jobs` workers; `0` means one worker per available
+    /// hardware thread.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        TrialPool { jobs }
+    }
+
+    /// The resolved worker count (never zero).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `job(0..trials)` across the workers and returns the results
+    /// in index order.
+    ///
+    /// `stop` is consulted on every completed trial; if it returns
+    /// `true` for trial `i`, no trial with index `> i` is reported: the
+    /// returned vector is truncated to `0..=k` where `k` is the
+    /// *lowest* stopping index among the trials that ran — exactly the
+    /// prefix a sequential loop would have produced. Workers that
+    /// already started a later trial finish it, but its result (and any
+    /// side channel keyed off it, e.g. an observability shard) is
+    /// discarded by the caller simply because it is not returned.
+    ///
+    /// If a job panics, the panic is re-raised on the calling thread
+    /// after all in-flight trials finish; when several jobs panic, the
+    /// lowest trial index wins, so the propagated payload is
+    /// deterministic.
+    pub fn run_trials<T, F, S>(&self, trials: u32, job: F, stop: S) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u32) -> T + Sync,
+        S: Fn(&T) -> bool + Sync,
+    {
+        if trials == 0 {
+            return Vec::new();
+        }
+        let workers = self.jobs.min(trials as usize);
+        if workers == 1 {
+            // Sequential fast path: identical semantics, no threads.
+            let mut results = Vec::with_capacity(trials as usize);
+            for i in 0..trials {
+                let r = job(i);
+                let done = stop(&r);
+                results.push(r);
+                if done {
+                    break;
+                }
+            }
+            return results;
+        }
+
+        // `bound` is the exclusive upper limit of trials worth running;
+        // confirming trial `i` lowers it to `i + 1`. Indices are handed
+        // out in increasing order, so every index below the final bound
+        // was started before the bound could drop beneath it — the
+        // returned prefix is always fully populated.
+        let next = AtomicU32::new(0);
+        let bound = AtomicU32::new(trials);
+        let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+        let panics: Mutex<Vec<(u32, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials || i >= bound.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match panic::catch_unwind(AssertUnwindSafe(|| job(i))) {
+                        Ok(result) => {
+                            if stop(&result) {
+                                bound.fetch_min(i + 1, Ordering::AcqRel);
+                            }
+                            *slots[i as usize].lock().expect("slot lock") = Some(result);
+                        }
+                        Err(payload) => {
+                            // Stop handing out further work and remember
+                            // the payload; the lowest index is re-raised
+                            // after the scope joins.
+                            bound.fetch_min(i, Ordering::AcqRel);
+                            panics.lock().expect("panic lock").push((i, payload));
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut panics = panics.into_inner().expect("panic lock");
+        if !panics.is_empty() {
+            panics.sort_by_key(|(i, _)| *i);
+            let (_, payload) = panics.remove(0);
+            panic::resume_unwind(payload);
+        }
+
+        let final_bound = bound.load(Ordering::Acquire).min(trials) as usize;
+        slots
+            .into_iter()
+            .take(final_bound)
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every trial below the bound completed")
+            })
+            .collect()
+    }
+}
+
+impl Default for TrialPool {
+    /// One worker per available hardware thread.
+    fn default() -> Self {
+        TrialPool::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_jobs_resolves_to_available_parallelism() {
+        assert!(TrialPool::new(0).jobs() >= 1);
+        assert_eq!(TrialPool::new(3).jobs(), 3);
+        assert!(TrialPool::default().jobs() >= 1);
+    }
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let pool = TrialPool::new(4);
+        // Stagger completion so later indices tend to finish first.
+        let out = pool.run_trials(
+            16,
+            |i| {
+                std::thread::sleep(std::time::Duration::from_micros(u64::from(16 - i)));
+                i * 10
+            },
+            |_| false,
+        );
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_trials_yield_an_empty_vec() {
+        assert!(TrialPool::new(4).run_trials(0, |i| i, |_| false).is_empty());
+    }
+
+    #[test]
+    fn stop_reports_the_sequential_prefix() {
+        // Trials 3 and 7 would stop; the sequential answer is 0..=3.
+        for jobs in [1, 2, 4, 8] {
+            let out = TrialPool::new(jobs).run_trials(10, |i| i, |&i| i == 3 || i == 7);
+            assert_eq!(out, vec![0, 1, 2, 3], "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn stop_on_the_first_trial_cancels_everything_else() {
+        let started = AtomicUsize::new(0);
+        let out = TrialPool::new(1).run_trials(
+            100,
+            |i| {
+                started.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+            |_| true,
+        );
+        assert_eq!(out, vec![0]);
+        assert_eq!(started.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate_the_lowest_index_payload() {
+        for jobs in [1, 4] {
+            let err = panic::catch_unwind(AssertUnwindSafe(|| {
+                TrialPool::new(jobs).run_trials(
+                    8,
+                    |i| {
+                        if i >= 2 {
+                            panic!("trial {i} exploded");
+                        }
+                        i
+                    },
+                    |_| false,
+                )
+            }))
+            .expect_err("must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert_eq!(msg, "trial 2 exploded", "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_trials_is_fine() {
+        let out = TrialPool::new(64).run_trials(3, |i| i + 1, |_| false);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

@@ -63,6 +63,13 @@ macro_rules! counter_methods {
                 $($field: self.$field.load(Ordering::Relaxed),)*
             }
         }
+
+        /// Adds every value of `delta` into this registry — how a
+        /// per-worker counter shard is folded into the campaign rollup
+        /// after its trial completes.
+        pub fn merge(&self, delta: &CounterSnapshot) {
+            $(self.$field.fetch_add(delta.$field, Ordering::Relaxed);)*
+        }
     };
 }
 

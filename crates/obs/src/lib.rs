@@ -129,6 +129,33 @@ impl Obs {
             .and_then(|s| s.lock().expect("sink lock").contents())
     }
 
+    /// A detached shard for one parallel worker: fresh counters and
+    /// timings, and a memory sink iff this handle traces, so a trial
+    /// running on another thread records into private state that can be
+    /// folded back with [`Obs::absorb`] in deterministic trial order.
+    pub fn fork_shard(&self) -> Obs {
+        if self.traces() {
+            Obs::with_memory_sink()
+        } else {
+            Obs::new()
+        }
+    }
+
+    /// Folds a detached shard (see [`Obs::fork_shard`]) into this
+    /// handle: counter deltas and timing spans are added, and the
+    /// shard's buffered trace lines are appended verbatim to this
+    /// handle's sink. Callers absorb shards in trial order, which keeps
+    /// the merged trace byte-identical to a sequential run.
+    pub fn absorb(&self, shard: &Obs) {
+        self.counters.merge(&shard.counters.snapshot());
+        self.timings.merge(&shard.timings.snapshot());
+        if let Some(sink) = &self.sink {
+            if let Some(text) = shard.trace_contents() {
+                sink.lock().expect("sink lock").append_raw(&text);
+            }
+        }
+    }
+
     /// Assembles the current [`Metrics`] document for `program`.
     pub fn metrics(&self, program: &str) -> Metrics {
         Metrics {
@@ -165,6 +192,52 @@ mod tests {
         assert!(obs.trace_contents().is_none());
         obs.counters().add_yields_taken(1);
         assert_eq!(obs.metrics("x").counters.yields_taken, 1);
+    }
+
+    #[test]
+    fn shards_match_the_parent_tracing_mode() {
+        let tracing = Obs::with_memory_sink();
+        assert!(tracing.fork_shard().traces());
+        let quiet = Obs::new();
+        assert!(!quiet.fork_shard().traces());
+    }
+
+    #[test]
+    fn absorb_merges_counters_timings_and_trace_lines_in_order() {
+        let parent = Obs::with_memory_sink();
+        parent.emit(&TraceEvent::PhaseStart {
+            phase: "phase2".into(),
+        });
+        let a = parent.fork_shard();
+        a.counters().add_threads_paused(2);
+        a.timings()
+            .record("phase2", std::time::Duration::from_micros(5));
+        a.emit(&TraceEvent::PhaseEnd { phase: "a".into() });
+        let b = parent.fork_shard();
+        b.counters().add_threads_paused(1);
+        b.emit(&TraceEvent::PhaseEnd { phase: "b".into() });
+        parent.absorb(&a);
+        parent.absorb(&b);
+        assert_eq!(parent.counters().snapshot().threads_paused, 3);
+        let spans = parent.timings().snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].count, 1);
+        let text = parent.trace_contents().unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("PhaseStart"));
+        assert!(lines[1].contains("\"a\""), "{text}");
+        assert!(lines[2].contains("\"b\""), "{text}");
+    }
+
+    #[test]
+    fn absorb_into_a_sinkless_handle_keeps_counters() {
+        let parent = Obs::new();
+        let shard = parent.fork_shard();
+        shard.counters().add_yields_taken(4);
+        parent.absorb(&shard);
+        assert_eq!(parent.counters().snapshot().yields_taken, 4);
+        assert!(parent.trace_contents().is_none());
     }
 
     #[test]

@@ -162,6 +162,19 @@ impl JsonlSink {
         }
     }
 
+    /// Appends already-serialized JSONL text verbatim (the buffered
+    /// trace of a per-worker memory shard, replayed into the campaign
+    /// sink in deterministic trial order). `text` must be empty or end
+    /// with a newline, which every shard buffer does by construction.
+    pub fn append_raw(&mut self, text: &str) {
+        match self.target {
+            Target::Memory(ref mut buf) => buf.extend_from_slice(text.as_bytes()),
+            Target::File(ref mut w) => {
+                let _ = w.write_all(text.as_bytes());
+            }
+        }
+    }
+
     /// Flushes buffered lines to the underlying file (no-op in memory).
     pub fn flush(&mut self) {
         if let Target::File(ref mut w) = self.target {

@@ -52,6 +52,17 @@ impl PhaseTimings {
         r
     }
 
+    /// Folds already-aggregated spans (a per-worker shard's
+    /// [`PhaseTimings::snapshot`]) into this aggregate.
+    pub fn merge(&self, other: &[PhaseSpan]) {
+        let mut spans = self.spans.lock().expect("timings lock");
+        for span in other {
+            let e = spans.entry(span.name.clone()).or_insert((0, 0));
+            e.0 += span.micros;
+            e.1 += span.count;
+        }
+    }
+
     /// The recorded spans, sorted by name.
     pub fn snapshot(&self) -> Vec<PhaseSpan> {
         self.spans

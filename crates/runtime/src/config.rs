@@ -38,6 +38,13 @@ pub struct RunConfig {
     /// Faults to inject into the run for adversarial self-testing; `None`
     /// (the default) runs the program faithfully.
     pub fault_plan: Option<FaultPlan>,
+    /// Seed exposed to the program under test via
+    /// [`crate::TCtx::run_seed`]. Program models that want run-to-run
+    /// variation (e.g. which worker arrives first) must derive it from
+    /// this value rather than ambient state, so that the same seed always
+    /// replays the same program — the property the parallel trial pool
+    /// relies on to make `jobs = 1` and `jobs = N` campaigns agree.
+    pub program_seed: u64,
     /// Observability handle: the runtime counts observed acquisitions and
     /// rolls the strategy's pause/thrash/yield statistics and injected
     /// faults into it, and streams fault-injection trace events to its
@@ -54,6 +61,7 @@ impl Default for RunConfig {
             record_trace: true,
             deadline: None,
             fault_plan: None,
+            program_seed: 0,
             obs: df_obs::Obs::default(),
         }
     }
@@ -95,6 +103,12 @@ impl RunConfig {
         self
     }
 
+    /// Sets the seed the program observes through [`crate::TCtx::run_seed`].
+    pub fn with_program_seed(mut self, seed: u64) -> Self {
+        self.program_seed = seed;
+        self
+    }
+
     /// Attaches an observability handle.
     pub fn with_obs(mut self, obs: df_obs::Obs) -> Self {
         self.obs = obs;
@@ -124,6 +138,12 @@ mod tests {
         assert_eq!(c.hang_timeout, Duration::from_millis(7));
         assert!(!c.record_trace);
         assert!(c.fault_plan.is_none());
+    }
+
+    #[test]
+    fn program_seed_defaults_to_zero_and_is_settable() {
+        assert_eq!(RunConfig::default().program_seed, 0);
+        assert_eq!(RunConfig::new().with_program_seed(9).program_seed, 9);
     }
 
     #[test]

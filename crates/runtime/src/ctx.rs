@@ -110,6 +110,16 @@ impl TCtx {
         self.me
     }
 
+    /// The run's program seed ([`crate::RunConfig::program_seed`]).
+    ///
+    /// Program models that vary behavior run to run (arrival order, input
+    /// shuffles, …) must branch on this value instead of ambient state
+    /// (statics, wall clock, OS scheduling), so a (program, seed) pair
+    /// always replays the same execution tree. Not a schedule point.
+    pub fn run_seed(&self) -> u64 {
+        self.ctl.config.program_seed
+    }
+
     /// Creates a new lock object at `site`.
     ///
     /// The allocation records full abstraction metadata (owner object and

@@ -14,7 +14,7 @@
 //! cargo run --example bounded_buffer
 //! ```
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer};
+use deadlock_fuzzer::prelude::*;
 
 fn main() {
     let fuzzer = DeadlockFuzzer::from_ref(

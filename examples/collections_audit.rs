@@ -11,7 +11,7 @@
 //! cargo run --release --example collections_audit
 //! ```
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer};
+use deadlock_fuzzer::prelude::*;
 
 fn audit(name: &str, program: deadlock_fuzzer::ProgramRef, trials: u32) {
     let fuzzer = DeadlockFuzzer::from_ref(program, Config::default().with_confirm_trials(trials));

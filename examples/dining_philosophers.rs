@@ -11,13 +11,11 @@
 //! cargo run --example dining_philosophers
 //! ```
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer, Named};
-use df_events::Label;
-use df_runtime::TCtx;
+use deadlock_fuzzer::prelude::*;
 
 const PHILOSOPHERS: usize = 5;
 
-fn table() -> Named<impl deadlock_fuzzer::Program> {
+fn table() -> Named<impl Program> {
     Named::new("dining-philosophers", |ctx: &TCtx| {
         let forks: Vec<_> = (0..PHILOSOPHERS)
             .map(|_| ctx.new_lock(Label::new("Table.layFork")))

@@ -11,7 +11,7 @@
 //! cargo run --example jigsaw_server
 //! ```
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer};
+use deadlock_fuzzer::prelude::*;
 
 fn main() {
     let fuzzer = DeadlockFuzzer::from_ref(

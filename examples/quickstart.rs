@@ -9,16 +9,14 @@
 //! cargo run --example quickstart
 //! ```
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer, Named};
-use df_events::Label;
-use df_runtime::{LockRef, TCtx};
+use deadlock_fuzzer::prelude::*;
 
 fn label(s: &str) -> Label {
     Label::new(s)
 }
 
 /// Figure 1 of the paper, transcribed to the virtual-thread API.
-fn figure1() -> Named<impl deadlock_fuzzer::Program> {
+fn figure1() -> Named<impl Program> {
     Named::new("figure1", |ctx: &TCtx| {
         // main (lines 21-28): two locks, two MyThread instances.
         let o1 = ctx.new_lock(label("main:22"));

@@ -9,9 +9,7 @@
 //! by the statement's per-context occurrence counter.
 
 use deadlock_fuzzer::abstraction::{AbstractionMode, Abstractor};
-use deadlock_fuzzer::{Config, DeadlockFuzzer, Named};
-use df_events::Label;
-use df_runtime::TCtx;
+use deadlock_fuzzer::prelude::*;
 
 const N: usize = 4;
 

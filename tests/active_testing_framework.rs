@@ -4,10 +4,9 @@
 //! its bug, confirming the paper's framing of DeadlockFuzzer as one
 //! instance of a general active-testing recipe.
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer, Named};
-use df_events::Label;
+use deadlock_fuzzer::prelude::*;
 use df_fuzzer::{predict_races, RaceStrategy, SimpleRandomChecker};
-use df_runtime::{RunConfig, TCtx, VirtualRuntime};
+use df_runtime::VirtualRuntime;
 
 fn label(s: &str) -> Label {
     Label::new(s)

@@ -1,7 +1,7 @@
 //! Determinism guarantees: same seed, same schedule, same verdicts —
 //! the property the probability experiments rest on.
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer};
+use deadlock_fuzzer::prelude::*;
 
 #[test]
 fn phase1_is_deterministic_per_seed() {

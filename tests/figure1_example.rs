@@ -2,7 +2,7 @@
 //! necessity of object abstractions.
 
 use deadlock_fuzzer::abstraction::AbstractionMode;
-use deadlock_fuzzer::{Config, DeadlockFuzzer};
+use deadlock_fuzzer::prelude::*;
 
 #[test]
 fn two_thread_figure1_full_story() {

@@ -1,7 +1,7 @@
 //! Integration test for the happens-before extension: fork/join-guarded
 //! false positives are pruned while real cycles survive.
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer};
+use deadlock_fuzzer::prelude::*;
 
 #[test]
 fn hb_filter_prunes_jigsaw_false_positive() {

@@ -1,7 +1,7 @@
 //! Integration test for §5.4: iGoodlock imprecision on Jigsaw and why
 //! Phase II matters.
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer};
+use deadlock_fuzzer::prelude::*;
 
 #[test]
 fn igoodlock_overapproximates_and_fuzzer_separates() {

@@ -1,0 +1,122 @@
+//! The parallel trial engine's contract: `jobs = 1` and `jobs = N`
+//! campaigns are the *same experiment*. Verdicts, trial tallies, rolled-up
+//! counters, and even the trace bytes must agree — only wall-clock fields
+//! may differ. Cancellation (`stop_on_first`) must likewise report exactly
+//! the sequential prefix regardless of worker count.
+
+use deadlock_fuzzer::prelude::*;
+
+/// Everything a `ProbabilityReport` asserts about an experiment, minus
+/// its wall-clock fields.
+fn logical_fields(p: &ProbabilityReport) -> (u32, u32, u32, f64, f64, f64, f64, u32, String) {
+    (
+        p.trials,
+        p.deadlocks,
+        p.matched,
+        p.probability,
+        p.avg_thrashes,
+        p.avg_yields,
+        p.avg_steps,
+        p.retries,
+        p.outcomes.to_string(),
+    )
+}
+
+#[test]
+fn full_pipeline_is_jobs_invariant_down_to_the_trace_bytes() {
+    let campaign = |jobs: usize| {
+        let obs = df_obs::Obs::with_memory_sink();
+        let fuzzer = DeadlockFuzzer::from_ref(
+            df_benchmarks::figure1::program(true),
+            Config::default()
+                .with_phase1_seed(0)
+                .with_phase2_seed_base(400)
+                .with_confirm_trials(6)
+                .with_jobs(jobs)
+                .with_obs(obs.clone()),
+        );
+        let report = fuzzer.run();
+        obs.flush();
+        (
+            report,
+            obs.trace_contents().expect("memory sink present"),
+            obs.counters().snapshot(),
+        )
+    };
+    let (r1, trace1, c1) = campaign(1);
+    let (r4, trace4, c4) = campaign(4);
+
+    assert_eq!(r1.confirmed_count(), r4.confirmed_count());
+    assert_eq!(r1.confirmations.len(), r4.confirmations.len());
+    for (a, b) in r1.confirmations.iter().zip(&r4.confirmations) {
+        assert_eq!(a.cycle.to_string(), b.cycle.to_string());
+        assert_eq!(a.confirmed, b.confirmed);
+        assert_eq!(a.error, b.error);
+        assert_eq!(
+            logical_fields(&a.probability),
+            logical_fields(&b.probability),
+            "cycle #{} diverged between jobs=1 and jobs=4",
+            a.cycle_index
+        );
+    }
+    assert!(trace1.contains("\"CheckRealDeadlock\""), "{trace1}");
+    assert_eq!(trace1, trace4, "trace bytes drifted under parallelism");
+    assert_eq!(c1, c4, "campaign counters drifted under parallelism");
+}
+
+#[test]
+fn seed_driven_program_variation_is_jobs_invariant() {
+    // The synchronized-maps model varies which worker is delayed from
+    // trial to trial. That variation is derived from `TCtx::run_seed`
+    // (never from ambient state), so a trial's result depends only on its
+    // seed — not on how many trials ran before it on the same worker.
+    // This is the benchmark where an order-dependent program would break
+    // jobs-invariance first (its matched/unmatched mix is ≈ 50/50).
+    let campaign = |jobs: usize| {
+        let fuzzer = DeadlockFuzzer::from_ref(
+            df_benchmarks::maps::program(),
+            Config::default().with_jobs(jobs),
+        );
+        let p1 = fuzzer.phase1();
+        p1.abstract_cycles
+            .iter()
+            .take(4)
+            .map(|c| logical_fields(&fuzzer.estimate_probability(c, 5).expect("trials > 0")))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(campaign(1), campaign(4));
+}
+
+#[test]
+fn cancellation_reports_the_sequential_prefix() {
+    // With stop_on_first, a parallel campaign may *run* trials past the
+    // first confirming one, but it must never *report* them: the tally is
+    // exactly the prefix up to and including the first match, as if the
+    // trials had run one by one.
+    for jobs in [1, 4] {
+        let fuzzer = DeadlockFuzzer::from_ref(
+            df_benchmarks::figure1::program(false),
+            Config::default().with_jobs(jobs).with_stop_on_first(true),
+        );
+        let p1 = fuzzer.phase1();
+        let prob = fuzzer
+            .estimate_probability(&p1.abstract_cycles[0], 16)
+            .expect("trials > 0");
+        // Figure 1's deadlock is created with probability 1, so the very
+        // first trial confirms and the report covers exactly one trial.
+        assert_eq!(prob.trials, 1, "jobs={jobs}");
+        assert_eq!(prob.matched, 1, "jobs={jobs}");
+        assert_eq!(prob.probability, 1.0, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn trial_pool_preserves_trial_identity() {
+    // The pool hands out trial indices; results must land in index order
+    // with nothing lost, duplicated, or renamed by worker scheduling.
+    for workers in [1, 3, 8] {
+        let pool = TrialPool::new(workers);
+        let out = pool.run_trials(32, |i| i * i, |_| false);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

@@ -1,7 +1,7 @@
 //! End-to-end sweep over the whole Table 1 suite: cycle counts, clean
 //! completions and confirmations match the models' designs.
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer, Variant};
+use deadlock_fuzzer::prelude::*;
 use df_benchmarks::table1_suite;
 
 #[test]

@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer, Named};
-use df_events::Label;
-use df_runtime::TCtx;
+use deadlock_fuzzer::prelude::*;
 use proptest::prelude::*;
 
 /// A random program spec: `threads[t]` is a list of (outer, inner) lock

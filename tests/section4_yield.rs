@@ -1,7 +1,7 @@
 //! Integration test for §4: the yield optimization removes a whole class
 //! of thrashings.
 
-use deadlock_fuzzer::{Config, DeadlockFuzzer};
+use deadlock_fuzzer::prelude::*;
 
 #[test]
 fn yield_optimization_beats_no_yields() {
