@@ -5,53 +5,23 @@
 //! smoothly with relation size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use df_events::{Label, ObjId, ThreadId};
-use df_igoodlock::{goodlock_dfs, igoodlock, IGoodlockOptions, LockDep, LockDependencyRelation};
-
-/// Builds a relation with `pairs` two-cycles plus `noise` acyclic tuples.
-fn synthetic_relation(pairs: u32, noise: u32) -> LockDependencyRelation {
-    let mut deps = Vec::new();
-    for p in 0..pairs {
-        let l1 = ObjId::new(1000 + 2 * p);
-        let l2 = ObjId::new(1001 + 2 * p);
-        let c = Label::new(&format!("pair{p}"));
-        deps.push(LockDep {
-            thread: ThreadId::new(1),
-            thread_obj: ObjId::new(1),
-            lockset: vec![l1],
-            lock: l2,
-            contexts: vec![c, c],
-        });
-        deps.push(LockDep {
-            thread: ThreadId::new(2),
-            thread_obj: ObjId::new(2),
-            lockset: vec![l2],
-            lock: l1,
-            contexts: vec![c, c],
-        });
-    }
-    for n in 0..noise {
-        // Strictly ordered chain: never cyclic.
-        let a = ObjId::new(5000 + n);
-        let b = ObjId::new(5001 + n);
-        deps.push(LockDep {
-            thread: ThreadId::new(3 + n % 4),
-            thread_obj: ObjId::new(3 + n % 4),
-            lockset: vec![a],
-            lock: b,
-            contexts: vec![Label::new(&format!("noise{n}")), Label::new("inner")],
-        });
-    }
-    LockDependencyRelation::from_deps(deps)
-}
+use df_bench::synthetic_join_relation;
+use df_igoodlock::{goodlock_dfs, igoodlock, naive_igoodlock, IGoodlockOptions};
 
 fn bench_phase1(c: &mut Criterion) {
     let mut group = c.benchmark_group("igoodlock_join");
     for size in [8u32, 32, 128] {
-        let relation = synthetic_relation(size / 2, size * 4);
+        let relation = synthetic_join_relation(size / 2, size * 4);
         group.bench_with_input(BenchmarkId::new("cycles", size), &relation, |b, rel| {
             b.iter(|| igoodlock(rel, &IGoodlockOptions::default()));
         });
+        group.bench_with_input(
+            BenchmarkId::new("naive_oracle", size),
+            &relation,
+            |b, rel| {
+                b.iter(|| naive_igoodlock(rel, &IGoodlockOptions::default()));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("length2_only", size),
             &relation,

@@ -1,0 +1,131 @@
+//! `igoodlock_bench` — measures Phase I's cycle computation in isolation:
+//! the naive join, the indexed join, and the DFS lock-graph baseline on
+//! the same relations, with output parity cross-checked per row.
+//!
+//! ```text
+//! cargo run --release -p df-bench --bin igoodlock_bench
+//! cargo run --release -p df-bench --bin igoodlock_bench -- \
+//!     --sizes 4,8,12,16 --pairs 48 --noise 4096 --reps 3 \
+//!     --out BENCH_igoodlock.json
+//! ```
+//!
+//! Exits non-zero if any implementation pair disagrees on cycles or
+//! `chains_built` — a correctness failure, which CI's perf-smoke step
+//! turns into a red build.
+
+use df_bench::{igoodlock_bench, IGoodlockBenchRow};
+
+struct Args {
+    sizes: Vec<u32>,
+    pairs: u32,
+    noise: u32,
+    reps: u32,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut sizes = vec![4u32, 8, 12, 16];
+    let mut pairs = 48u32;
+    let mut noise = 4096u32;
+    let mut reps = 3u32;
+    let mut out = String::from("BENCH_igoodlock.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sizes" => {
+                sizes = args
+                    .next()
+                    .map(|v| {
+                        v.split(',')
+                            .map(|s| s.trim().parse().expect("--sizes needs numbers"))
+                            .collect()
+                    })
+                    .expect("--sizes needs a comma-separated list");
+            }
+            "--pairs" => {
+                pairs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--pairs needs a number");
+            }
+            "--noise" => {
+                noise = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--noise needs a number");
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a number");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args {
+        sizes,
+        pairs,
+        noise,
+        reps,
+        out,
+    }
+}
+
+fn print_rows(rows: &[IGoodlockBenchRow]) {
+    println!("== Phase I cycle computation: naive vs indexed vs DFS ==");
+    println!(
+        "{:<22} {:>6} {:>7} | {:>10} {:>10} {:>10} {:>8} | {:>12} {:>14} {:>14}",
+        "workload",
+        "|D|",
+        "cycles",
+        "naive(ms)",
+        "index(ms)",
+        "dfs(ms)",
+        "speedup",
+        "chains",
+        "naive cand.",
+        "index cand."
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>6} {:>7} | {:>10.3} {:>10.3} {:>10.3} {:>7.1}x | {:>12} {:>14} {:>14}",
+            r.workload,
+            r.relation_size,
+            r.cycles,
+            r.naive_ms,
+            r.indexed_ms,
+            r.dfs_ms,
+            r.speedup,
+            r.chains_built,
+            r.naive_candidates_examined,
+            r.indexed_candidates_examined,
+        );
+    }
+    println!(
+        "(per row: identical cycles and chains_built across naive/indexed, \
+         identical cycle set from the DFS baseline; times are best of reps)"
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    match igoodlock_bench(&args.sizes, args.pairs, args.noise, args.reps) {
+        Ok(rows) => {
+            print_rows(&rows);
+            let json = serde_json::to_string_pretty(&rows).expect("serialize");
+            std::fs::write(&args.out, json + "\n").expect("write bench artifact");
+            println!("wrote {}", args.out);
+        }
+        Err(e) => {
+            eprintln!("parity failure: {e}");
+            std::process::exit(1);
+        }
+    }
+}

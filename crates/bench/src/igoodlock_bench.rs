@@ -1,0 +1,229 @@
+//! Phase I micro-bench: naive vs indexed iGoodlock vs the DFS baseline.
+//!
+//! Workloads are pure lock dependency relations (no scheduler, no program
+//! execution), so the numbers isolate the cycle computation itself — the
+//! paper's Table 2 flavor of comparison, plus our naive-vs-indexed
+//! column. Every row cross-checks the three implementations before it is
+//! reported: naive and indexed must agree exactly (same cycles, same
+//! order, same `chains_built`), and the DFS baseline must report the
+//! same cycle set.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use df_events::{Label, ObjId, ThreadId};
+use df_igoodlock::{
+    goodlock_dfs, igoodlock_with_stats, naive_igoodlock_with_stats, IGoodlockOptions, LockDep,
+    LockDependencyRelation,
+};
+use serde::Serialize;
+
+/// The lock dependency relation that Phase I extracts from an n-way
+/// dining-philosophers ring: philosopher `p` (thread `p + 1`) acquires
+/// fork `(p + 1) mod n` while holding fork `p`. The relation contains one
+/// potential deadlock cycle — the full ring of length `n`.
+pub fn philosophers_ring_relation(n: u32) -> LockDependencyRelation {
+    let fork = |i: u32| ObjId::new(100 + (i % n));
+    let deps = (0..n)
+        .map(|p| LockDep {
+            thread: ThreadId::new(p + 1),
+            thread_obj: ObjId::new(p + 1),
+            lockset: vec![fork(p)],
+            lock: fork(p + 1),
+            contexts: vec![
+                Label::new(&format!("Philosopher.takeLeft:{p}")),
+                Label::new(&format!("Philosopher.takeRight:{p}")),
+            ],
+        })
+        .collect();
+    LockDependencyRelation::from_deps(deps)
+}
+
+/// A relation with `pairs` two-cycles plus `noise` acyclic tuples —
+/// the "large synthetic relation" workload. The noise tuples are strictly
+/// ordered chains that can never close, so the cycle count stays `pairs`
+/// while the naive join's per-chain scan cost grows with the whole
+/// relation.
+pub fn synthetic_join_relation(pairs: u32, noise: u32) -> LockDependencyRelation {
+    let mut deps = Vec::new();
+    for p in 0..pairs {
+        let l1 = ObjId::new(1000 + 2 * p);
+        let l2 = ObjId::new(1001 + 2 * p);
+        let c = Label::new(&format!("pair{p}"));
+        deps.push(LockDep {
+            thread: ThreadId::new(1),
+            thread_obj: ObjId::new(1),
+            lockset: vec![l1],
+            lock: l2,
+            contexts: vec![c, c],
+        });
+        deps.push(LockDep {
+            thread: ThreadId::new(2),
+            thread_obj: ObjId::new(2),
+            lockset: vec![l2],
+            lock: l1,
+            contexts: vec![c, c],
+        });
+    }
+    for n in 0..noise {
+        // Strictly ordered chain: never cyclic.
+        let a = ObjId::new(5000 + n);
+        let b = ObjId::new(5001 + n);
+        deps.push(LockDep {
+            thread: ThreadId::new(3 + n % 4),
+            thread_obj: ObjId::new(3 + n % 4),
+            lockset: vec![a],
+            lock: b,
+            contexts: vec![Label::new(&format!("noise{n}")), Label::new("inner")],
+        });
+    }
+    LockDependencyRelation::from_deps(deps)
+}
+
+/// One row of `BENCH_igoodlock.json`: a workload measured under all three
+/// cycle-computation implementations.
+#[derive(Clone, Debug, Serialize)]
+pub struct IGoodlockBenchRow {
+    /// Workload label (`ring-12`, `synthetic-48x4096`).
+    pub workload: String,
+    /// Deduplicated tuples in the relation.
+    pub relation_size: usize,
+    /// Potential deadlock cycles found (identical across implementations).
+    pub cycles: usize,
+    /// Best-of-reps wall time of the naive join, milliseconds.
+    pub naive_ms: f64,
+    /// Best-of-reps wall time of the indexed join, milliseconds.
+    pub indexed_ms: f64,
+    /// Best-of-reps wall time of the DFS lock-graph baseline, milliseconds.
+    pub dfs_ms: f64,
+    /// `naive_ms / indexed_ms`.
+    pub speedup: f64,
+    /// Chains built by the join — asserted identical between naive and
+    /// indexed before the row is emitted.
+    pub chains_built: u64,
+    /// Candidate tuples the naive join examined (`|D|` per open chain).
+    pub naive_candidates_examined: u64,
+    /// Candidate tuples the indexed join examined (bucket entries only).
+    pub indexed_candidates_examined: u64,
+    /// Chain extensions attempted by the DFS baseline.
+    pub dfs_extensions: u64,
+}
+
+fn time_best_of<T>(reps: u32, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let v = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (out.expect("reps >= 1"), best)
+}
+
+fn cycle_set(cycles: &[df_igoodlock::Cycle]) -> BTreeSet<String> {
+    cycles.iter().map(|c| c.to_string()).collect()
+}
+
+/// Measures one workload under naive, indexed and DFS, cross-checking
+/// their outputs. Returns an error describing the first divergence — a
+/// correctness failure, not a measurement artifact — so callers (CI's
+/// perf-smoke step) can fail loudly.
+pub fn igoodlock_bench_row(
+    workload: &str,
+    relation: &LockDependencyRelation,
+    reps: u32,
+) -> Result<IGoodlockBenchRow, String> {
+    let options = IGoodlockOptions::default();
+    let ((indexed_cycles, indexed_stats), indexed_ms) =
+        time_best_of(reps, || igoodlock_with_stats(relation, &options));
+    let ((naive_cycles, naive_stats), naive_ms) =
+        time_best_of(reps, || naive_igoodlock_with_stats(relation, &options));
+    let ((dfs_cycles, dfs_stats), dfs_ms) = time_best_of(reps, || goodlock_dfs(relation, &options));
+    if indexed_cycles != naive_cycles {
+        return Err(format!(
+            "{workload}: indexed and naive cycle reports differ \
+             ({} vs {} cycles)",
+            indexed_cycles.len(),
+            naive_cycles.len()
+        ));
+    }
+    if indexed_stats.chains_built != naive_stats.chains_built {
+        return Err(format!(
+            "{workload}: chains_built diverged (indexed {} vs naive {})",
+            indexed_stats.chains_built, naive_stats.chains_built
+        ));
+    }
+    if cycle_set(&dfs_cycles) != cycle_set(&indexed_cycles) {
+        return Err(format!(
+            "{workload}: DFS baseline cycle set differs \
+             ({} vs {} cycles)",
+            dfs_cycles.len(),
+            indexed_cycles.len()
+        ));
+    }
+    Ok(IGoodlockBenchRow {
+        workload: workload.to_string(),
+        relation_size: relation.len(),
+        cycles: indexed_cycles.len(),
+        naive_ms,
+        indexed_ms,
+        dfs_ms,
+        speedup: naive_ms / indexed_ms.max(1e-9),
+        chains_built: indexed_stats.chains_built,
+        naive_candidates_examined: naive_stats.join_candidates_examined,
+        indexed_candidates_examined: indexed_stats.join_candidates_examined,
+        dfs_extensions: dfs_stats.extensions,
+    })
+}
+
+/// The full sweep behind `BENCH_igoodlock.json`: a philosophers ring per
+/// entry of `ring_sizes`, plus one large synthetic relation of
+/// `pairs` two-cycles and `noise` acyclic tuples.
+pub fn igoodlock_bench(
+    ring_sizes: &[u32],
+    pairs: u32,
+    noise: u32,
+    reps: u32,
+) -> Result<Vec<IGoodlockBenchRow>, String> {
+    let mut rows = Vec::new();
+    for &n in ring_sizes {
+        let rel = philosophers_ring_relation(n);
+        rows.push(igoodlock_bench_row(&format!("ring-{n}"), &rel, reps)?);
+    }
+    let rel = synthetic_join_relation(pairs, noise);
+    rows.push(igoodlock_bench_row(
+        &format!("synthetic-{pairs}x{noise}"),
+        &rel,
+        reps,
+    )?);
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_relation_has_one_full_cycle() {
+        for n in [4u32, 7] {
+            let rel = philosophers_ring_relation(n);
+            assert_eq!(rel.len(), n as usize);
+            let (cycles, _) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+            assert_eq!(cycles.len(), 1, "ring-{n} has exactly the full ring");
+            assert_eq!(cycles[0].len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn bench_rows_pass_parity_at_small_size() {
+        let rows = igoodlock_bench(&[4, 6], 4, 32, 1).expect("parity holds");
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.cycles > 0);
+            assert!(row.chains_built >= row.relation_size as u64);
+            assert!(row.indexed_candidates_examined <= row.naive_candidates_examined);
+        }
+        assert_eq!(rows[2].cycles, 4);
+    }
+}

@@ -3,10 +3,20 @@
 //! The `repro` binary (`cargo run -p df-bench --bin repro -- <experiment>`)
 //! prints the paper-style tables; the Criterion benches
 //! (`cargo bench -p df-bench`) measure the runtime columns. Both are built
-//! on the functions here so the numbers agree.
+//! on the functions here so the numbers agree. The `igoodlock_bench`
+//! binary measures Phase I's cycle computation in isolation (naive vs
+//! indexed join vs the DFS lock-graph baseline) and emits
+//! `BENCH_igoodlock.json`.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+
+mod igoodlock_bench;
+
+pub use igoodlock_bench::{
+    igoodlock_bench, igoodlock_bench_row, philosophers_ring_relation, synthetic_join_relation,
+    IGoodlockBenchRow,
+};
 
 use std::time::Duration;
 

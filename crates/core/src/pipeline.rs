@@ -150,6 +150,9 @@ impl DeadlockFuzzer {
             .collect();
         obs.counters().add_dependency_edges(relation.len() as u64);
         obs.counters().add_cycles_found(cycles.len() as u64);
+        obs.counters()
+            .add_join_candidates_examined(stats.join_candidates_examined);
+        obs.counters().add_join_chains_built(stats.chains_built);
         obs.timings().record("phase1", start.elapsed());
         obs.emit(&df_obs::TraceEvent::PhaseEnd {
             phase: "phase1".to_string(),

@@ -381,6 +381,14 @@ impl Report {
             m.extra
                 .insert("igoodlock_widest_level".to_string(), *widest as f64);
         }
+        m.extra.insert(
+            "igoodlock_peak_open_chains".to_string(),
+            stats.peak_open_chains as f64,
+        );
+        m.extra.insert(
+            "igoodlock_join_candidates_examined".to_string(),
+            stats.join_candidates_examined as f64,
+        );
         let campaigns: Vec<&ProbabilityReport> = self
             .confirmations
             .iter()

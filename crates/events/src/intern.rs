@@ -1,0 +1,125 @@
+//! Per-run dense interning of dynamic identities.
+//!
+//! Analyses that post-process one execution (iGoodlock's join, the
+//! happens-before filter) want *dense* `0..n` indices for the handful of
+//! threads and locks that actually appear in the run, so sets of them can
+//! be bitsets and tables of them can be flat vectors. [`DenseInterner`]
+//! provides that mapping. It is deliberately a per-run value — never a
+//! process-global — so two runs (or two parallel campaign workers)
+//! interning the same ids stay byte-for-byte independent; the ids it
+//! hands out depend only on insertion order, which analyses derive from
+//! the (deterministic) relation or trace they index.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A dense `K → u32` index built per run: the first distinct key interns
+/// to `0`, the next to `1`, and so on.
+///
+/// # Example
+///
+/// ```
+/// use df_events::{DenseInterner, ObjId};
+///
+/// let mut locks = DenseInterner::new();
+/// let a = locks.intern(ObjId::new(900));
+/// let b = locks.intern(ObjId::new(17));
+/// assert_eq!((a, b), (0, 1));
+/// assert_eq!(locks.intern(ObjId::new(900)), 0); // stable
+/// assert_eq!(locks.get(ObjId::new(17)), Some(1));
+/// assert_eq!(locks.key(1), ObjId::new(17));
+/// assert_eq!(locks.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DenseInterner<K> {
+    ids: HashMap<K, u32>,
+    keys: Vec<K>,
+}
+
+impl<K: Copy + Eq + Hash> DenseInterner<K> {
+    /// An empty interner.
+    pub fn new() -> Self {
+        DenseInterner {
+            ids: HashMap::new(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// An empty interner with room for `n` distinct keys.
+    pub fn with_capacity(n: usize) -> Self {
+        DenseInterner {
+            ids: HashMap::with_capacity(n),
+            keys: Vec::with_capacity(n),
+        }
+    }
+
+    /// The dense id of `key`, allocating the next id on first sight.
+    pub fn intern(&mut self, key: K) -> u32 {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = u32::try_from(self.keys.len()).expect("fewer than 2^32 distinct keys per run");
+        self.ids.insert(key, id);
+        self.keys.push(key);
+        id
+    }
+
+    /// The dense id of `key`, if it has been interned.
+    pub fn get(&self, key: K) -> Option<u32> {
+        self.ids.get(&key).copied()
+    }
+
+    /// The key behind dense id `id` (reverse lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never handed out by this interner.
+    pub fn key(&self, id: u32) -> K {
+        self.keys[id as usize]
+    }
+
+    /// Number of distinct keys interned.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObjId, ThreadId};
+
+    #[test]
+    fn ids_are_dense_and_insertion_ordered() {
+        let mut i = DenseInterner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.intern(ThreadId::new(40)), 0);
+        assert_eq!(i.intern(ThreadId::new(2)), 1);
+        assert_eq!(i.intern(ThreadId::new(40)), 0);
+        assert_eq!(i.intern(ThreadId::new(7)), 2);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.key(2), ThreadId::new(7));
+        assert_eq!(i.get(ThreadId::new(2)), Some(1));
+        assert_eq!(i.get(ThreadId::new(99)), None);
+    }
+
+    #[test]
+    fn independent_interners_do_not_share_state() {
+        // The per-run property: the same keys interned in different
+        // orders give different ids in different interners, and neither
+        // instance observes the other.
+        let mut a = DenseInterner::with_capacity(2);
+        let mut b = DenseInterner::new();
+        a.intern(ObjId::new(1));
+        a.intern(ObjId::new(2));
+        b.intern(ObjId::new(2));
+        b.intern(ObjId::new(1));
+        assert_eq!(a.get(ObjId::new(2)), Some(1));
+        assert_eq!(b.get(ObjId::new(2)), Some(0));
+    }
+}

@@ -32,12 +32,14 @@
 
 mod event;
 mod ids;
+mod intern;
 mod label;
 mod object;
 mod trace;
 
 pub use event::{Event, EventKind};
 pub use ids::{ObjId, ObjKind, ThreadId};
+pub use intern::DenseInterner;
 pub use label::Label;
 pub use object::{IndexFrame, ObjectMeta, ObjectTable};
 pub use trace::Trace;

@@ -1,4 +1,23 @@
 //! Algorithm 1: iterative computation of potential deadlock cycles.
+//!
+//! Two implementations of the same join live here:
+//!
+//! * [`igoodlock`] / [`igoodlock_filtered`] — the **indexed** join. Locks
+//!   and threads are interned to dense per-run ids, locksets become
+//!   bitsets, and candidates for extending a chain come from a per-lock
+//!   bucket (see [`crate::index`]) instead of a scan of the whole
+//!   relation. Chains carry dep indices and bitsets only; threads, locks
+//!   and contexts are materialized from the relation when a cycle is
+//!   actually reported.
+//! * [`naive_igoodlock`] / [`naive_igoodlock_filtered`] — the original
+//!   brute-force join, kept verbatim as a test oracle. Every property
+//!   test and the equivalence suite assert the two produce byte-identical
+//!   cycle reports and identical [`IGoodlockStats::chains_built`].
+//!
+//! Both walk candidate extensions in relation order and accept exactly
+//! the tuples that pass Definition 2 plus the §2.2.3 dedup rule, so the
+//! indexed join is a pure strength reduction: same cycles, same order,
+//! same truncation points, fewer tuples touched.
 
 use std::collections::HashSet;
 
@@ -6,6 +25,7 @@ use df_events::ObjId;
 use serde::{Deserialize, Serialize};
 
 use crate::cycle::{Cycle, CycleComponent};
+use crate::index::{BitSet, JoinIndex};
 use crate::relation::{LockDep, LockDependencyRelation};
 
 /// Options bounding the iGoodlock computation.
@@ -63,83 +83,76 @@ pub struct IGoodlockStats {
     /// of `D_k` as Algorithm 1 iterates, exposed so the observability
     /// layer can report how the join fans out per level.
     pub chains_per_iteration: Vec<u64>,
+    /// Largest number of open chains alive at the start of any join
+    /// iteration (the peak of `chains_per_iteration`) — how wide the
+    /// join got before it drained.
+    pub peak_open_chains: u64,
+    /// Relation tuples examined as extension candidates, summed over
+    /// every (chain, candidate) pair of every iteration. The naive join
+    /// examines `|D|` tuples per open chain; the indexed join examines
+    /// only the bucket of the chain's last lock, so the ratio between
+    /// the two is the join index's hit rate.
+    pub join_candidates_examined: u64,
 }
 
-/// An open (not yet cyclic) dependency chain: indices into the relation
-/// plus memoized thread/lock sets for O(1)-ish extension checks.
-struct Chain {
-    deps: Vec<usize>,
-    threads: Vec<df_events::ThreadId>,
-    locks: Vec<ObjId>,
-    /// Union of all component locksets (Definition 2(4)).
-    lockset_union: Vec<ObjId>,
+/// An open chain in the indexed join: dep indices plus fixed-width
+/// bitsets over the per-run interned ids. Nothing here borrows the
+/// relation, and extension clones only word-blocks — never thread, lock
+/// or context vectors.
+struct IndexedChain {
+    deps: Vec<u32>,
+    /// Interned threads present (Definition 2(1)).
+    thread_bits: BitSet,
+    /// Interned acquired locks present (Definition 2(2)).
+    lock_bits: BitSet,
+    /// Union of component locksets (Definition 2(4)).
+    lockset_union: BitSet,
+    /// Interned lock acquired by the last component (Definition 2(3):
+    /// the next component must hold it — i.e. come from its bucket).
+    last_lock: u32,
 }
 
-impl Chain {
-    fn single(idx: usize, dep: &LockDep) -> Self {
-        Chain {
+impl IndexedChain {
+    fn single(idx: u32, index: &JoinIndex) -> Self {
+        let i = idx as usize;
+        let mut thread_bits = BitSet::zeroed(index.thread_bits());
+        thread_bits.insert(index.thread_bit[i]);
+        let mut lock_bits = BitSet::zeroed(index.lock_bits());
+        lock_bits.insert(index.lock[i]);
+        IndexedChain {
             deps: vec![idx],
-            threads: vec![dep.thread],
-            locks: vec![dep.lock],
-            lockset_union: dep.lockset.clone(),
+            thread_bits,
+            lock_bits,
+            lockset_union: index.lockset[i].clone(),
+            last_lock: index.lock[i],
         }
     }
 
-    /// Checks Definition 2 for appending `dep`, plus the §2.2.3
-    /// duplicate-suppression rule (first thread has minimum id).
-    fn can_extend(&self, first: &LockDep, dep: &LockDep) -> bool {
-        // §2.2.3: report each cycle once, rooted at its minimum thread id.
-        if dep.thread <= first.thread {
-            return false;
-        }
-        // 2(1): threads pairwise distinct.
-        if self.threads.contains(&dep.thread) {
-            return false;
-        }
-        // 2(2): acquired locks pairwise distinct.
-        if self.locks.contains(&dep.lock) {
-            return false;
-        }
-        // 2(3): the previous lock is held by the new component.
-        let last_lock = *self.locks.last().expect("chains are non-empty");
-        if !dep.lockset.contains(&last_lock) {
-            return false;
-        }
-        // 2(4): locksets pairwise disjoint.
-        if dep.lockset.iter().any(|l| self.lockset_union.contains(l)) {
-            return false;
-        }
-        true
-    }
-
-    fn extended(&self, idx: usize, dep: &LockDep) -> Chain {
-        let mut threads = self.threads.clone();
-        threads.push(dep.thread);
-        let mut locks = self.locks.clone();
-        locks.push(dep.lock);
-        let mut lockset_union = self.lockset_union.clone();
-        lockset_union.extend_from_slice(&dep.lockset);
+    fn extended(&self, idx: u32, index: &JoinIndex) -> IndexedChain {
+        let i = idx as usize;
         let mut deps = self.deps.clone();
         deps.push(idx);
-        Chain {
+        let mut thread_bits = self.thread_bits.clone();
+        thread_bits.insert(index.thread_bit[i]);
+        let mut lock_bits = self.lock_bits.clone();
+        lock_bits.insert(index.lock[i]);
+        let mut lockset_union = self.lockset_union.clone();
+        lockset_union.union_with(&index.lockset[i]);
+        IndexedChain {
             deps,
-            threads,
-            locks,
+            thread_bits,
+            lock_bits,
             lockset_union,
+            last_lock: index.lock[i],
         }
-    }
-
-    /// Definition 3: the chain is a potential deadlock cycle if the last
-    /// acquired lock is held by the first component.
-    fn closes(&self, relation: &[LockDep]) -> bool {
-        let first = &relation[self.deps[0]];
-        let last_lock = *self.locks.last().expect("non-empty");
-        first.lockset.contains(&last_lock)
     }
 }
 
 /// Runs Algorithm 1 on `relation` and returns the potential deadlock
 /// cycles, each reported exactly once (§2.2.3), shortest first.
+///
+/// This is the indexed implementation; [`naive_igoodlock`] is the
+/// brute-force oracle with identical output.
 ///
 /// # Example
 ///
@@ -200,18 +213,20 @@ pub fn igoodlock_filtered(
     let deps = relation.deps();
     let mut stats = IGoodlockStats::default();
     let mut cycles: Vec<Cycle> = Vec::new();
-    // Dedup key: the (thread, lock, context) projection of the chain.
-    // Distinct chains can differ only in their locksets; their projections
-    // — all that the report and Phase II consume — are then identical, so
-    // reporting both would only duplicate work downstream.
-    type CycleKey = Vec<(df_events::ThreadId, ObjId, Vec<df_events::Label>)>;
-    let mut reported: HashSet<CycleKey> = HashSet::new();
+    // All interners live inside this per-call index: a second run — or a
+    // parallel campaign worker — rebuilds them from scratch, so dense ids
+    // depend only on this relation's tuple order.
+    let index = JoinIndex::build(deps);
+    // Dedup key: the per-run projection id of each component — the dense
+    // id of its (thread, lock, contexts) view. Distinct chains can differ
+    // only in their locksets; their projections — all that the report and
+    // Phase II consume — are then identical, so reporting both would only
+    // duplicate work downstream.
+    let mut reported: HashSet<Vec<u32>> = HashSet::new();
 
     // D_1 = D.
-    let mut current: Vec<Chain> = deps
-        .iter()
-        .enumerate()
-        .map(|(i, d)| Chain::single(i, d))
+    let mut current: Vec<IndexedChain> = (0..deps.len())
+        .map(|i| IndexedChain::single(i as u32, &index))
         .collect();
     stats.chains_built += current.len() as u64;
     let mut length = 1usize;
@@ -225,9 +240,202 @@ pub fn igoodlock_filtered(
         }
         stats.iterations += 1;
         stats.chains_per_iteration.push(current.len() as u64);
-        let mut next: Vec<Chain> = Vec::new();
+        stats.peak_open_chains = stats.peak_open_chains.max(current.len() as u64);
+        let mut next: Vec<IndexedChain> = Vec::new();
+        for chain in &current {
+            let root = index.thread[chain.deps[0] as usize];
+            // Definition 2(3) is the bucket membership; the remaining
+            // checks are §2.2.3 (dedup root is the minimum thread id),
+            // 2(1), 2(2) and 2(4), each one bitset probe. Buckets list
+            // tuples in relation order, so accepted extensions appear in
+            // exactly the order the naive scan would produce them.
+            for &cand in index.candidates(chain.last_lock) {
+                stats.join_candidates_examined += 1;
+                let c = cand as usize;
+                if index.thread[c] <= root
+                    || chain.thread_bits.contains(index.thread_bit[c])
+                    || chain.lock_bits.contains(index.lock[c])
+                    || index.lockset[c].intersects(&chain.lockset_union)
+                {
+                    continue;
+                }
+                let ext = chain.extended(cand, &index);
+                stats.chains_built += 1;
+                // Definition 3: the first component holds the last
+                // acquired lock.
+                if index.lockset[ext.deps[0] as usize].contains(ext.last_lock) {
+                    let key: Vec<u32> = ext.deps.iter().map(|&i| index.proj[i as usize]).collect();
+                    if reported.insert(key) {
+                        let cycle = Cycle::new(
+                            ext.deps
+                                .iter()
+                                .map(|&i| CycleComponent::from(&deps[i as usize]))
+                                .collect(),
+                        );
+                        if let Some(hb) = hb {
+                            let timings: Option<Vec<_>> = ext
+                                .deps
+                                .iter()
+                                .map(|&i| relation.timing(i as usize))
+                                .collect();
+                            if let Some(timings) = timings {
+                                if !hb.cycle_feasible(&cycle, &timings) {
+                                    stats.pruned_by_hb += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                        cycles.push(cycle);
+                        if cycles.len() >= options.max_cycles {
+                            stats.truncated = true;
+                            return (cycles, stats);
+                        }
+                    }
+                } else {
+                    next.push(ext);
+                    if next.len() > options.max_open_chains {
+                        stats.truncated = true;
+                        return (cycles, stats);
+                    }
+                }
+            }
+        }
+        current = next;
+        length += 1;
+    }
+    (cycles, stats)
+}
+
+/// An open (not yet cyclic) dependency chain of the naive join: indices
+/// into the relation plus memoized thread/lock vectors, compared by
+/// linear scans.
+struct NaiveChain {
+    deps: Vec<usize>,
+    threads: Vec<df_events::ThreadId>,
+    locks: Vec<ObjId>,
+    /// Union of all component locksets (Definition 2(4)).
+    lockset_union: Vec<ObjId>,
+}
+
+impl NaiveChain {
+    fn single(idx: usize, dep: &LockDep) -> Self {
+        NaiveChain {
+            deps: vec![idx],
+            threads: vec![dep.thread],
+            locks: vec![dep.lock],
+            lockset_union: dep.lockset.clone(),
+        }
+    }
+
+    /// Checks Definition 2 for appending `dep`, plus the §2.2.3
+    /// duplicate-suppression rule (first thread has minimum id).
+    fn can_extend(&self, first: &LockDep, dep: &LockDep) -> bool {
+        // §2.2.3: report each cycle once, rooted at its minimum thread id.
+        if dep.thread <= first.thread {
+            return false;
+        }
+        // 2(1): threads pairwise distinct.
+        if self.threads.contains(&dep.thread) {
+            return false;
+        }
+        // 2(2): acquired locks pairwise distinct.
+        if self.locks.contains(&dep.lock) {
+            return false;
+        }
+        // 2(3): the previous lock is held by the new component.
+        let last_lock = *self.locks.last().expect("chains are non-empty");
+        if !dep.lockset.contains(&last_lock) {
+            return false;
+        }
+        // 2(4): locksets pairwise disjoint.
+        if dep.lockset.iter().any(|l| self.lockset_union.contains(l)) {
+            return false;
+        }
+        true
+    }
+
+    fn extended(&self, idx: usize, dep: &LockDep) -> NaiveChain {
+        let mut threads = self.threads.clone();
+        threads.push(dep.thread);
+        let mut locks = self.locks.clone();
+        locks.push(dep.lock);
+        let mut lockset_union = self.lockset_union.clone();
+        lockset_union.extend_from_slice(&dep.lockset);
+        let mut deps = self.deps.clone();
+        deps.push(idx);
+        NaiveChain {
+            deps,
+            threads,
+            locks,
+            lockset_union,
+        }
+    }
+
+    /// Definition 3: the chain is a potential deadlock cycle if the last
+    /// acquired lock is held by the first component.
+    fn closes(&self, relation: &[LockDep]) -> bool {
+        let first = &relation[self.deps[0]];
+        let last_lock = *self.locks.last().expect("non-empty");
+        first.lockset.contains(&last_lock)
+    }
+}
+
+/// The original brute-force Algorithm 1: scans the whole relation per
+/// open chain with linear lockset checks. Kept as the oracle the indexed
+/// implementation is tested against; produces byte-identical cycles and
+/// identical `chains_built` / `chains_per_iteration` / `truncated`.
+pub fn naive_igoodlock(
+    relation: &LockDependencyRelation,
+    options: &IGoodlockOptions,
+) -> Vec<Cycle> {
+    naive_igoodlock_with_stats(relation, options).0
+}
+
+/// Like [`naive_igoodlock`] but also returns run statistics.
+pub fn naive_igoodlock_with_stats(
+    relation: &LockDependencyRelation,
+    options: &IGoodlockOptions,
+) -> (Vec<Cycle>, IGoodlockStats) {
+    naive_igoodlock_filtered(relation, None, options)
+}
+
+/// [`naive_igoodlock`] with the optional happens-before filter — the
+/// brute-force counterpart of [`igoodlock_filtered`].
+pub fn naive_igoodlock_filtered(
+    relation: &LockDependencyRelation,
+    hb: Option<&crate::hb::HbFilter>,
+    options: &IGoodlockOptions,
+) -> (Vec<Cycle>, IGoodlockStats) {
+    let deps = relation.deps();
+    let mut stats = IGoodlockStats::default();
+    let mut cycles: Vec<Cycle> = Vec::new();
+    // Dedup key: the (thread, lock, context) projection of the chain.
+    type CycleKey = Vec<(df_events::ThreadId, ObjId, Vec<df_events::Label>)>;
+    let mut reported: HashSet<CycleKey> = HashSet::new();
+
+    // D_1 = D.
+    let mut current: Vec<NaiveChain> = deps
+        .iter()
+        .enumerate()
+        .map(|(i, d)| NaiveChain::single(i, d))
+        .collect();
+    stats.chains_built += current.len() as u64;
+    let mut length = 1usize;
+
+    while !current.is_empty() {
+        if let Some(max) = options.max_cycle_length {
+            if length + 1 > max {
+                stats.truncated = true;
+                break;
+            }
+        }
+        stats.iterations += 1;
+        stats.chains_per_iteration.push(current.len() as u64);
+        stats.peak_open_chains = stats.peak_open_chains.max(current.len() as u64);
+        let mut next: Vec<NaiveChain> = Vec::new();
         for chain in &current {
             let first = &deps[chain.deps[0]];
+            stats.join_candidates_examined += deps.len() as u64;
             for (idx, dep) in deps.iter().enumerate() {
                 if !chain.can_extend(first, dep) {
                     continue;
@@ -458,6 +666,8 @@ mod tests {
         assert!(cycles.is_empty());
         assert_eq!(stats.iterations, 0);
         assert!(stats.chains_per_iteration.is_empty());
+        assert_eq!(stats.peak_open_chains, 0);
+        assert_eq!(stats.join_candidates_examined, 0);
     }
 
     #[test]
@@ -473,6 +683,10 @@ mod tests {
         assert_eq!(cycles.len(), 1);
         assert_eq!(stats.chains_per_iteration.len(), stats.iterations);
         assert_eq!(stats.chains_per_iteration[0], rel.len() as u64);
+        assert_eq!(
+            stats.peak_open_chains,
+            stats.chains_per_iteration.iter().copied().max().unwrap()
+        );
         assert!(
             stats.chains_per_iteration.iter().sum::<u64>() <= stats.chains_built,
             "open chains per level never exceed the chains ever built"
@@ -504,6 +718,79 @@ mod tests {
         let c = &cycles[0];
         assert_eq!(c.components()[0].contexts, vec![l("run:15"), l("run:16")]);
         assert_eq!(c.locks(), vec![ObjId::new(123), ObjId::new(122)]);
+    }
+
+    #[test]
+    fn indexed_examines_fewer_candidates_than_naive() {
+        // A relation with many tuples whose locksets never contain the
+        // chain's last lock: the bucket index skips them; the naive scan
+        // touches all of them.
+        let mut deps = vec![dep(1, &[1], 2), dep(2, &[2], 1)];
+        for i in 0..20u32 {
+            deps.push(dep(3 + i, &[50 + i], 80 + i));
+        }
+        let rel = LockDependencyRelation::from_deps(deps);
+        let (ic, is) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+        let (nc, ns) = naive_igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+        assert_eq!(ic, nc);
+        assert_eq!(is.chains_built, ns.chains_built);
+        assert!(
+            is.join_candidates_examined < ns.join_candidates_examined / 10,
+            "indexed {} vs naive {}",
+            is.join_candidates_examined,
+            ns.join_candidates_examined
+        );
+    }
+
+    /// The fixture relations above, checked naive-vs-indexed under every
+    /// truncation option (the proptest suite covers random relations).
+    #[test]
+    fn naive_and_indexed_agree_on_fixtures() {
+        let fixtures: Vec<LockDependencyRelation> = vec![
+            LockDependencyRelation::from_deps(vec![dep(1, &[1], 2), dep(2, &[2], 1)]),
+            LockDependencyRelation::from_deps(vec![
+                dep(1, &[1], 2),
+                dep(2, &[2], 3),
+                dep(3, &[3], 1),
+            ]),
+            LockDependencyRelation::from_deps(vec![dep(1, &[9, 1], 2), dep(2, &[9, 2], 1)]),
+            LockDependencyRelation::from_deps(vec![
+                dep(1, &[1], 2),
+                dep(2, &[2], 1),
+                dep(2, &[2], 3),
+                dep(3, &[3], 1),
+            ]),
+            LockDependencyRelation::from_deps(vec![
+                dep_ctx(1, 1, 2, 0),
+                dep_ctx(1, 1, 2, 1),
+                dep_ctx(2, 2, 1, 0),
+            ]),
+            LockDependencyRelation::default(),
+        ];
+        let options = [
+            IGoodlockOptions::default(),
+            IGoodlockOptions::length_two_only(),
+            IGoodlockOptions {
+                max_cycles: 1,
+                ..IGoodlockOptions::default()
+            },
+            IGoodlockOptions {
+                max_open_chains: 2,
+                ..IGoodlockOptions::default()
+            },
+        ];
+        for rel in &fixtures {
+            for opts in &options {
+                let (ic, is) = igoodlock_with_stats(rel, opts);
+                let (nc, ns) = naive_igoodlock_with_stats(rel, opts);
+                assert_eq!(ic, nc);
+                assert_eq!(is.chains_built, ns.chains_built);
+                assert_eq!(is.iterations, ns.iterations);
+                assert_eq!(is.chains_per_iteration, ns.chains_per_iteration);
+                assert_eq!(is.truncated, ns.truncated);
+                assert_eq!(is.peak_open_chains, ns.peak_open_chains);
+            }
+        }
     }
 }
 
@@ -612,6 +899,20 @@ mod proptests {
             let all2 = all.iter().filter(|c| c.len() == 2).count();
             prop_assert_eq!(short.len(), all2);
             prop_assert!(short.iter().all(|c| c.len() == 2));
+        }
+
+        /// The indexed join is a pure strength reduction over the naive
+        /// oracle: identical cycles in identical order, identical join
+        /// shape, never more candidates examined.
+        #[test]
+        fn indexed_matches_naive_oracle(rel in arb_relation()) {
+            let (ic, is) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+            let (nc, ns) = naive_igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+            prop_assert_eq!(ic, nc);
+            prop_assert_eq!(is.chains_built, ns.chains_built);
+            prop_assert_eq!(is.chains_per_iteration, ns.chains_per_iteration);
+            prop_assert_eq!(is.truncated, ns.truncated);
+            prop_assert!(is.join_candidates_examined <= ns.join_candidates_examined);
         }
     }
 }

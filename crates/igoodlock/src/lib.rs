@@ -15,6 +15,11 @@
 //!    and never extending a closed cycle (so no "complex" cycles are
 //!    reported). The duplicate-suppression rule of §2.2.3 (the first
 //!    thread has the minimum id) makes each cycle appear exactly once.
+//!    The join is *indexed*: locks and threads are interned to dense
+//!    per-run ids, locksets are bitsets, and extension candidates come
+//!    from a per-lock bucket rather than a scan of the whole relation.
+//!    The brute-force join is kept as [`naive_igoodlock`] — a test
+//!    oracle with byte-identical output.
 //!
 //! The reported [`Cycle`]s carry full context information; pair them with
 //! an [`df_abstraction::Abstractor`] via [`Cycle::abstract_with`] to
@@ -39,10 +44,12 @@ mod chains;
 mod cycle;
 mod dfs;
 mod hb;
+mod index;
 mod relation;
 
 pub use chains::{
-    igoodlock, igoodlock_filtered, igoodlock_with_stats, IGoodlockOptions, IGoodlockStats,
+    igoodlock, igoodlock_filtered, igoodlock_with_stats, naive_igoodlock, naive_igoodlock_filtered,
+    naive_igoodlock_with_stats, IGoodlockOptions, IGoodlockStats,
 };
 pub use cycle::{AbstractComponent, AbstractCycle, Cycle, CycleComponent};
 pub use dfs::{goodlock_dfs, GoodlockDfsStats};

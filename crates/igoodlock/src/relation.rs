@@ -1,6 +1,6 @@
 //! The lock dependency relation (Definition 1).
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use df_events::{EventKind, Label, ObjId, ThreadId, Trace};
 use serde::{Deserialize, Serialize};
@@ -53,6 +53,36 @@ impl LockDep {
     }
 }
 
+/// Clone-free tuple dedup: candidates are bucketed by hash and compared
+/// exactly against the tuples already kept, so construction never clones
+/// a lockset or context vector just to probe a set. (A bare
+/// `HashSet<u64>` of hashes would dedup wrongly on a hash collision;
+/// the exact compare makes collisions merely a second probe.)
+#[derive(Default)]
+struct DedupIndex {
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl DedupIndex {
+    fn hash_of(dep: &LockDep) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        dep.hash(&mut h);
+        h.finish()
+    }
+
+    /// Whether `dep` is absent from `kept`; records `kept.len()` as its
+    /// future index if so (the caller pushes it next).
+    fn is_new(&mut self, kept: &[LockDep], dep: &LockDep) -> bool {
+        let ids = self.buckets.entry(Self::hash_of(dep)).or_default();
+        if ids.iter().any(|&i| &kept[i as usize] == dep) {
+            return false;
+        }
+        ids.push(u32::try_from(kept.len()).expect("relation fits u32"));
+        true
+    }
+}
+
 /// The deduplicated lock dependency relation of one execution, plus the
 /// bookkeeping [`igoodlock`](crate::igoodlock) needs.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -77,8 +107,8 @@ impl LockDependencyRelation {
     /// `l_i ∈ L_{i+1}` and Definition 3 requires `l_m ∈ L_1`, so a tuple
     /// with `L = ∅` can participate in no cycle.
     pub fn from_trace(trace: &Trace) -> Self {
-        let mut seen: HashSet<LockDep> = HashSet::new();
-        let mut deps = Vec::new();
+        let mut seen = DedupIndex::default();
+        let mut deps: Vec<LockDep> = Vec::new();
         let mut timings = Vec::new();
         let mut raw_count = 0;
         // Per-thread stack of (lock, acquire seq) mirroring `held`, for
@@ -105,8 +135,7 @@ impl LockDependencyRelation {
                             lock: *lock,
                             contexts: context.clone(),
                         };
-                        if seen.insert(dep.clone()) {
-                            deps.push(dep);
+                        if seen.is_new(&deps, &dep) {
                             timings.push(DepTiming {
                                 window_start_seq: stack
                                     .last()
@@ -114,6 +143,7 @@ impl LockDependencyRelation {
                                     .unwrap_or(event.seq),
                                 acquire_seq: event.seq,
                             });
+                            deps.push(dep);
                         }
                     }
                     stack.push((*lock, event.seq));
@@ -138,13 +168,15 @@ impl LockDependencyRelation {
     /// real-thread substrate).
     pub fn from_deps(deps: Vec<LockDep>) -> Self {
         let raw_count = deps.len();
-        let mut seen = HashSet::new();
-        let deps: Vec<LockDep> = deps
-            .into_iter()
-            .filter(|d| !d.lockset.is_empty() && seen.insert(d.clone()))
-            .collect();
+        let mut seen = DedupIndex::default();
+        let mut kept: Vec<LockDep> = Vec::with_capacity(deps.len());
+        for d in deps {
+            if !d.lockset.is_empty() && seen.is_new(&kept, &d) {
+                kept.push(d);
+            }
+        }
         LockDependencyRelation {
-            deps,
+            deps: kept,
             timings: Vec::new(),
             raw_count,
         }

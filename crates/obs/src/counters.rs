@@ -23,6 +23,8 @@ pub struct Counters {
     yields_taken: AtomicU64,
     trial_retries: AtomicU64,
     faults_injected: AtomicU64,
+    join_candidates_examined: AtomicU64,
+    join_chains_built: AtomicU64,
 }
 
 /// A plain-data copy of [`Counters`] taken at one instant, the form that
@@ -46,6 +48,11 @@ pub struct CounterSnapshot {
     pub trial_retries: u64,
     /// Faults injected by an active fault plan.
     pub faults_injected: u64,
+    /// Relation tuples examined as candidates by the iGoodlock join
+    /// index (the denominator of the index hit rate).
+    pub join_candidates_examined: u64,
+    /// Chains built by the iGoodlock join across all iterations.
+    pub join_chains_built: u64,
 }
 
 macro_rules! counter_methods {
@@ -96,6 +103,10 @@ impl Counters {
         trial_retries => add_trial_retries;
         /// Counts `n` injected faults.
         faults_injected => add_faults_injected;
+        /// Counts `n` join candidates examined by iGoodlock.
+        join_candidates_examined => add_join_candidates_examined;
+        /// Counts `n` chains built by the iGoodlock join.
+        join_chains_built => add_join_chains_built;
     }
 }
 
