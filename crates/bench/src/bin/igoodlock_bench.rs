@@ -1,6 +1,8 @@
-//! `igoodlock_bench` — measures Phase I's cycle computation in isolation:
-//! the naive join, the indexed join, and the DFS lock-graph baseline on
-//! the same relations, with output parity cross-checked per row.
+//! `igoodlock_bench` — measures Phase I's cycle computation in isolation
+//! (the naive join, the indexed join, and the DFS lock-graph baseline on
+//! the same relations) plus Phase I's two observation paths (offline
+//! trace recording vs the streaming relation builder), with output
+//! parity cross-checked per row.
 //!
 //! ```text
 //! cargo run --release -p df-bench --bin igoodlock_bench
@@ -9,11 +11,21 @@
 //!     --out BENCH_igoodlock.json
 //! ```
 //!
-//! Exits non-zero if any implementation pair disagrees on cycles or
-//! `chains_built` — a correctness failure, which CI's perf-smoke step
-//! turns into a red build.
+//! Exits non-zero if any implementation pair disagrees on cycles,
+//! `chains_built`, or the streamed relation — a correctness failure,
+//! which CI's perf-smoke step turns into a red build.
 
-use df_bench::{igoodlock_bench, IGoodlockBenchRow};
+use df_bench::{igoodlock_bench, streaming_bench, IGoodlockBenchRow, StreamingBenchRow};
+use serde::Serialize;
+
+/// The envelope written to `BENCH_igoodlock.json`: the join comparison
+/// and the streaming memory/throughput comparison, one file so CI
+/// uploads a single artifact.
+#[derive(Serialize)]
+struct BenchArtifact {
+    join: Vec<IGoodlockBenchRow>,
+    streaming: Vec<StreamingBenchRow>,
+}
 
 struct Args {
     sizes: Vec<u32>,
@@ -114,18 +126,51 @@ fn print_rows(rows: &[IGoodlockBenchRow]) {
     );
 }
 
+fn print_streaming_rows(rows: &[StreamingBenchRow]) {
+    println!();
+    println!("== Phase I observation: offline recording vs streaming builder ==");
+    println!(
+        "{:<22} {:>8} {:>6} | {:>11} {:>11} | {:>14} {:>14}",
+        "workload", "events", "|D|", "offline(ms)", "stream(ms)", "offline peak B", "stream peak B"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>8} {:>6} | {:>11.3} {:>11.3} | {:>14} {:>14}",
+            r.workload,
+            r.events,
+            r.relation_size,
+            r.offline_ms,
+            r.streamed_ms,
+            r.offline_peak_trace_bytes,
+            r.streamed_peak_trace_bytes,
+        );
+    }
+    println!(
+        "(per row: byte-identical relation across the two paths; the \
+         streaming path's trace peak is asserted to be zero)"
+    );
+}
+
 fn main() {
     let args = parse_args();
-    match igoodlock_bench(&args.sizes, args.pairs, args.noise, args.reps) {
-        Ok(rows) => {
-            print_rows(&rows);
-            let json = serde_json::to_string_pretty(&rows).expect("serialize");
-            std::fs::write(&args.out, json + "\n").expect("write bench artifact");
-            println!("wrote {}", args.out);
-        }
+    let join = match igoodlock_bench(&args.sizes, args.pairs, args.noise, args.reps) {
+        Ok(rows) => rows,
         Err(e) => {
             eprintln!("parity failure: {e}");
             std::process::exit(1);
         }
-    }
+    };
+    print_rows(&join);
+    let streaming = match streaming_bench(7, args.reps) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("parity failure: {e}");
+            std::process::exit(1);
+        }
+    };
+    print_streaming_rows(&streaming);
+    let artifact = BenchArtifact { join, streaming };
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize");
+    std::fs::write(&args.out, json + "\n").expect("write bench artifact");
+    println!("wrote {}", args.out);
 }

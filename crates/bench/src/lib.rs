@@ -12,11 +12,13 @@
 #![deny(unsafe_code)]
 
 mod igoodlock_bench;
+mod streaming_bench;
 
 pub use igoodlock_bench::{
     igoodlock_bench, igoodlock_bench_row, philosophers_ring_relation, synthetic_join_relation,
     IGoodlockBenchRow,
 };
+pub use streaming_bench::{streaming_bench, streaming_bench_row, StreamingBenchRow};
 
 use std::time::Duration;
 

@@ -5,6 +5,8 @@
 //!
 //! * resolve a benchmark by name ([`resolve_program`]);
 //! * run Phase I and render/serialize its cycles ([`cmd_phase1`]);
+//! * record a Phase I run to durable artifacts and analyze them later
+//!   ([`cmd_record`], [`cmd_analyze`]);
 //! * dump a trace as JSON and analyze a dumped trace offline
 //!   ([`cmd_trace`], [`analyze_trace_json`]);
 //! * confirm cycles with Phase II trials ([`cmd_confirm`]);
@@ -231,6 +233,15 @@ pub struct CliOptions {
     /// Worker threads for Phase II trial campaigns (`0` = one per
     /// available hardware thread, `1` = sequential).
     pub jobs: usize,
+    /// Stream Phase I through the incremental relation builder instead
+    /// of materializing the event vector.
+    pub stream: bool,
+    /// `dfz record`: write the event stream as a `df-trace` artifact to
+    /// this file.
+    pub out: Option<std::path::PathBuf>,
+    /// `dfz record`: write the lock dependency relation as a
+    /// `df-relation` artifact to this file.
+    pub relation_out: Option<std::path::PathBuf>,
 }
 
 impl Default for CliOptions {
@@ -246,23 +257,39 @@ impl Default for CliOptions {
             fault_panic: None,
             fault_seed: 0,
             jobs: 0,
+            stream: false,
+            out: None,
+            relation_out: None,
         }
     }
 }
 
-fn config_of(opts: &CliOptions) -> Config {
+/// Builds the pipeline [`Config`] the options describe and validates it,
+/// so nonsense combinations (`--trials 0`, `--stream --hb`, fault
+/// probabilities outside `[0, 1]`) die at the front door with exit
+/// code 2 instead of degenerating mid-campaign.
+///
+/// # Errors
+///
+/// Returns a [`CliError::Usage`] carrying the [`Config::validate`]
+/// rejection message.
+pub fn config_of(opts: &CliOptions) -> Result<Config, CliError> {
     let mut config = Config::default()
         .with_variant(opts.variant)
         .with_phase1_seed(opts.seed)
         .with_confirm_trials(opts.trials)
         .with_hb_filter(opts.hb)
-        .with_jobs(opts.jobs);
+        .with_jobs(opts.jobs)
+        .with_stream_phase1(opts.stream);
     if let Some(p) = opts.fault_panic {
         config.run = config.run.with_fault_plan(
             deadlock_fuzzer::runtime::FaultPlan::new(opts.fault_seed).with_panic_on_acquire(p),
         );
     }
     config
+        .validate()
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    Ok(config)
 }
 
 /// Builds the observability handle the options ask for: a file-backed
@@ -295,7 +322,7 @@ pub fn write_metrics(opts: &CliOptions, metrics: &df_obs::Metrics) -> Result<(),
 /// `dfz phase1 <benchmark>` — predict potential deadlock cycles.
 pub fn cmd_phase1(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
     let program = resolve_program(name)?;
-    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
+    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts)?);
     let report = fuzzer.phase1();
     if opts.json {
         return serde_json::to_string_pretty(&report.abstract_cycles)
@@ -308,7 +335,7 @@ pub fn cmd_phase1(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> 
 /// `dfz trace <benchmark>` — run Phase I and dump the trace as JSON.
 pub fn cmd_trace(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
     let program = resolve_program(name)?;
-    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
+    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts)?);
     // An observation run under the plain random scheduler.
     let report = fuzzer.phase2(&df_igoodlock::AbstractCycle::new(vec![]), opts.seed);
     serde_json::to_string(&report.trace)
@@ -316,23 +343,125 @@ pub fn cmd_trace(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
         .map_err(|e| CliError::internal(e.to_string()))
 }
 
-/// `dfz analyze <trace.json>` — offline iGoodlock over a dumped trace.
+/// `dfz record <benchmark>` — run Phase I once and persist it as durable
+/// artifacts: the event stream (`--out`, `df-trace` JSONL) and/or the
+/// lock dependency relation (`--relation-out`, `df-relation` JSON). With
+/// `--stream` the run never materializes the event vector — events flow
+/// straight from the scheduler into the attached sinks.
 ///
 /// # Errors
 ///
-/// Returns a [`CliError::Internal`] if the JSON is not a valid trace.
-pub fn analyze_trace_json(json: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
-    let trace: Trace =
-        serde_json::from_str(json).map_err(|e| CliError::internal(format!("not a trace: {e}")))?;
-    let relation = LockDependencyRelation::from_trace(&trace);
-    let hb = opts.hb.then(|| HbFilter::from_trace(&trace));
-    let (cycles, stats) = igoodlock_filtered(&relation, hb.as_ref(), &IGoodlockOptions::default());
-    let mode = match opts.variant {
+/// Returns a [`CliError::Usage`] when neither output flag was given or
+/// the config is invalid, and a [`CliError::Internal`] when an artifact
+/// cannot be created or sealed.
+pub fn cmd_record(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
+    use std::sync::{Arc, Mutex};
+
+    if opts.out.is_none() && opts.relation_out.is_none() {
+        return Err(CliError::usage(
+            "record needs --out <trace file> and/or --relation-out <relation file>",
+        ));
+    }
+    let program = resolve_program(name)?;
+    let obs = obs_of(opts)?;
+    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts)?.with_obs(obs.clone()));
+
+    let mut handle = df_events::SinkHandle::none();
+    let spill = match &opts.out {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| {
+                CliError::internal(format!("cannot create {}: {e}", path.display()))
+            })?;
+            let sink = df_events::SpillSink::new(std::io::BufWriter::new(file))
+                .map_err(|e| CliError::internal(format!("cannot start {}: {e}", path.display())))?;
+            let sink = Arc::new(Mutex::new(sink));
+            handle = handle.with(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
+    let builder = match &opts.relation_out {
+        Some(_) => {
+            let b = Arc::new(Mutex::new(df_igoodlock::RelationBuilder::new()));
+            handle = handle.with(b.clone());
+            Some(b)
+        }
+        None => None,
+    };
+
+    let result = fuzzer.observe(handle, !opts.stream);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "recorded {name}: outcome {:?}", result.outcome);
+    let _ = writeln!(
+        out,
+        "  events streamed: {}",
+        obs.counters().snapshot().events_streamed
+    );
+    let _ = writeln!(
+        out,
+        "  peak trace bytes: {}",
+        obs.counters().snapshot().peak_trace_bytes
+    );
+    if let (Some(sink), Some(path)) = (spill, &opts.out) {
+        let (events, bytes) = sink
+            .lock()
+            .expect("spill sink")
+            .close()
+            .map_err(|e| CliError::internal(format!("sealing {}: {e}", path.display())))?;
+        let _ = writeln!(
+            out,
+            "  trace artifact: {} ({events} events, {bytes} bytes)",
+            path.display()
+        );
+    }
+    if let (Some(b), Some(path)) = (builder, &opts.relation_out) {
+        let relation = b.lock().expect("relation builder sink").take();
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::internal(format!("cannot create {}: {e}", path.display())))?;
+        df_igoodlock::write_relation(std::io::BufWriter::new(file), &relation)
+            .map_err(|e| CliError::internal(format!("writing {}: {e}", path.display())))?;
+        let _ = writeln!(
+            out,
+            "  relation artifact: {} ({} dependency tuples)",
+            path.display(),
+            relation.len()
+        );
+    }
+    obs.flush();
+    write_metrics(opts, &obs.metrics(name))?;
+    Ok(CmdOutput::ok(out))
+}
+
+/// The abstraction mode Phase I would use for `variant` — keeps
+/// offline analysis output aligned with [`cmd_phase1`].
+fn abstraction_of(variant: Variant) -> df_abstraction::AbstractionMode {
+    match variant {
         Variant::ContextKObject => df_abstraction::AbstractionMode::KObject(10),
         Variant::IgnoreAbstraction => df_abstraction::AbstractionMode::Trivial,
         _ => df_abstraction::AbstractionMode::ExecIndex(10),
-    };
-    let abstractor = Abstractor::new(mode);
+    }
+}
+
+/// Offline iGoodlock over an in-memory [`Trace`]: the shared engine
+/// behind [`cmd_analyze`] (trace artifacts) and [`analyze_trace_json`].
+/// With `--json` the output is the same pretty-printed abstract-cycle
+/// array [`cmd_phase1`] prints, so a recorded run can be diffed
+/// byte-for-byte against a live one.
+fn analyze_trace(trace: &Trace, opts: &CliOptions) -> Result<CmdOutput, CliError> {
+    let relation = LockDependencyRelation::from_trace(trace);
+    let hb = opts.hb.then(|| HbFilter::from_trace(trace));
+    let (cycles, stats) = igoodlock_filtered(&relation, hb.as_ref(), &IGoodlockOptions::default());
+    let abstractor = Abstractor::new(abstraction_of(opts.variant));
+    let abstract_cycles: Vec<df_igoodlock::AbstractCycle> = cycles
+        .iter()
+        .map(|c| c.abstract_with(trace.objects(), &abstractor))
+        .collect();
+    if opts.json {
+        return serde_json::to_string_pretty(&abstract_cycles)
+            .map(CmdOutput::ok)
+            .map_err(|e| CliError::internal(e.to_string()));
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -345,15 +474,78 @@ pub fn analyze_trace_json(json: &str, opts: &CliOptions) -> Result<CmdOutput, Cl
             String::new()
         }
     );
-    for (i, c) in cycles.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "  cycle {}: {}",
-            i + 1,
-            c.abstract_with(trace.objects(), &abstractor)
-        );
+    for (i, c) in abstract_cycles.iter().enumerate() {
+        let _ = writeln!(out, "  cycle {}: {c}", i + 1);
     }
     Ok(CmdOutput::ok(out))
+}
+
+/// Offline iGoodlock over a bare [`LockDependencyRelation`] (a
+/// `df-relation` artifact): no trace means no object table, so cycles
+/// are reported concretely rather than abstracted.
+fn analyze_relation(
+    relation: &LockDependencyRelation,
+    opts: &CliOptions,
+) -> Result<CmdOutput, CliError> {
+    let (cycles, _) = igoodlock_filtered(relation, None, &IGoodlockOptions::default());
+    if opts.json {
+        return serde_json::to_string_pretty(&cycles)
+            .map(CmdOutput::ok)
+            .map_err(|e| CliError::internal(e.to_string()));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "offline analysis (relation artifact): {} dependency tuple(s), {} potential cycle(s)",
+        relation.len(),
+        cycles.len()
+    );
+    for (i, c) in cycles.iter().enumerate() {
+        let _ = writeln!(out, "  cycle {}: {c}", i + 1);
+    }
+    Ok(CmdOutput::ok(out))
+}
+
+/// `dfz analyze <artifact>` — offline iGoodlock over a recorded
+/// artifact, sniffing its format from the first line: `df-trace` JSONL
+/// (from `dfz record --out`), `df-relation` JSON (from `dfz record
+/// --relation-out`), or a legacy plain-trace JSON dump (from `dfz
+/// trace`).
+///
+/// # Errors
+///
+/// Returns a [`CliError::Usage`] for `--hb` over a relation artifact
+/// (the filter's vector clocks need the events), and a
+/// [`CliError::Internal`] if the content parses as none of the formats.
+pub fn cmd_analyze(content: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
+    let head = content.trim_start();
+    if head.starts_with("{\"Header\"") {
+        let trace = df_events::read_trace(content.as_bytes())
+            .map_err(|e| CliError::internal(format!("bad trace artifact: {e}")))?;
+        return analyze_trace(&trace, opts);
+    }
+    if head.starts_with("{\"format\":\"df-relation\"") {
+        if opts.hb {
+            return Err(CliError::usage(
+                "--hb needs the event stream; a relation artifact has none (record with --out)",
+            ));
+        }
+        let relation = df_igoodlock::read_relation(content.as_bytes())
+            .map_err(|e| CliError::internal(format!("bad relation artifact: {e}")))?;
+        return analyze_relation(&relation, opts);
+    }
+    analyze_trace_json(content, opts)
+}
+
+/// `dfz analyze` over a legacy plain-trace JSON dump (`dfz trace`).
+///
+/// # Errors
+///
+/// Returns a [`CliError::Internal`] if the JSON is not a valid trace.
+pub fn analyze_trace_json(json: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
+    let trace: Trace =
+        serde_json::from_str(json).map_err(|e| CliError::internal(format!("not a trace: {e}")))?;
+    analyze_trace(&trace, opts)
 }
 
 /// `dfz confirm <benchmark>` — Phase II confirmation of one or all cycles.
@@ -366,7 +558,7 @@ pub fn cmd_confirm(
     opts: &CliOptions,
 ) -> Result<CmdOutput, CliError> {
     let program = resolve_program(name)?;
-    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts));
+    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts)?);
     let phase1 = fuzzer.phase1();
     if phase1.abstract_cycles.is_empty() {
         return Ok(CmdOutput {
@@ -422,7 +614,7 @@ pub fn cmd_confirm(
 pub fn cmd_run(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
     let program = resolve_program(name)?;
     let obs = obs_of(opts)?;
-    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts).with_obs(obs.clone()));
+    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts)?.with_obs(obs.clone()));
     let report = fuzzer.run();
     obs.flush();
     write_metrics(opts, &report.metrics(&obs))?;
@@ -653,5 +845,129 @@ mod tests {
         for b in BENCHMARKS {
             assert!(out.contains(b));
         }
+    }
+
+    #[test]
+    fn invalid_config_is_a_usage_error() {
+        let opts = CliOptions {
+            trials: 0,
+            ..CliOptions::default()
+        };
+        let err = cmd_phase1("figure1", &opts).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("confirm_trials"), "{err}");
+
+        let streamed_hb = CliOptions {
+            stream: true,
+            hb: true,
+            ..CliOptions::default()
+        };
+        let err = cmd_phase1("figure1", &streamed_hb).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+
+        let bad_fault = CliOptions {
+            fault_panic: Some(1.5),
+            ..CliOptions::default()
+        };
+        let err = cmd_run("figure1", &bad_fault).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+    }
+
+    /// A scratch path that dies with the test.
+    struct TempPath(std::path::PathBuf);
+    impl TempPath {
+        fn new(name: &str) -> Self {
+            TempPath(
+                std::env::temp_dir().join(format!("dfz-cli-test-{}-{name}", std::process::id())),
+            )
+        }
+    }
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn record_requires_an_output_flag() {
+        let err = cmd_record("figure1", &CliOptions::default()).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("--out"), "{err}");
+    }
+
+    #[test]
+    fn record_then_analyze_matches_live_phase1() {
+        let trace_path = TempPath::new("trace.jsonl");
+        let relation_path = TempPath::new("relation.json");
+        let opts = CliOptions {
+            out: Some(trace_path.0.clone()),
+            relation_out: Some(relation_path.0.clone()),
+            json: true,
+            ..CliOptions::default()
+        };
+        let recorded = cmd_record("figure1", &opts).unwrap();
+        assert!(
+            recorded.text.contains("trace artifact"),
+            "{}",
+            recorded.text
+        );
+        assert!(
+            recorded.text.contains("relation artifact"),
+            "{}",
+            recorded.text
+        );
+
+        let live = cmd_phase1("figure1", &opts).unwrap();
+        let content = std::fs::read_to_string(&trace_path.0).unwrap();
+        let offline = cmd_analyze(&content, &opts).unwrap();
+        assert_eq!(offline.text, live.text, "recorded analysis must match live");
+
+        let relation_content = std::fs::read_to_string(&relation_path.0).unwrap();
+        let from_relation = cmd_analyze(&relation_content, &opts).unwrap();
+        let cycles: Vec<df_igoodlock::Cycle> = serde_json::from_str(&from_relation.text).unwrap();
+        assert_eq!(cycles.len(), 1, "{}", from_relation.text);
+    }
+
+    #[test]
+    fn streamed_record_keeps_peak_at_zero() {
+        let trace_path = TempPath::new("streamed.jsonl");
+        let opts = CliOptions {
+            out: Some(trace_path.0.clone()),
+            stream: true,
+            ..CliOptions::default()
+        };
+        let out = cmd_record("figure1", &opts).unwrap();
+        assert!(out.text.contains("peak trace bytes: 0"), "{}", out.text);
+        assert!(!out.text.contains("events streamed: 0"), "{}", out.text);
+
+        // The streamed artifact still analyzes like a recorded one.
+        let content = std::fs::read_to_string(&trace_path.0).unwrap();
+        let offline = cmd_analyze(&content, &CliOptions::default()).unwrap();
+        assert!(
+            offline.text.contains("1 potential cycle"),
+            "{}",
+            offline.text
+        );
+    }
+
+    #[test]
+    fn analyze_rejects_hb_over_relation_artifacts() {
+        let relation_path = TempPath::new("hb-relation.json");
+        let opts = CliOptions {
+            relation_out: Some(relation_path.0.clone()),
+            ..CliOptions::default()
+        };
+        cmd_record("figure1", &opts).unwrap();
+        let content = std::fs::read_to_string(&relation_path.0).unwrap();
+        let err = cmd_analyze(
+            &content,
+            &CliOptions {
+                hb: true,
+                ..CliOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("--hb"), "{err}");
     }
 }

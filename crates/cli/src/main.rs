@@ -2,30 +2,34 @@
 //!
 //! ```text
 //! dfz list
-//! dfz phase1  <benchmark> [--seed N] [--hb] [--json] [--variant V]
+//! dfz phase1  <benchmark> [--seed N] [--hb] [--json] [--variant V] [--stream]
+//! dfz record  <benchmark> [--seed N] [--stream] --out F.jsonl [--relation-out F.json]
 //! dfz trace   <benchmark> [--seed N]            # dump a trace as JSON to stdout
-//! dfz analyze <trace.json> [--hb] [--variant V] # offline iGoodlock
+//! dfz analyze <artifact>  [--hb] [--variant V] [--json]  # offline iGoodlock
 //! dfz confirm <benchmark> [--cycle I] [--trials N] [--variant V] [--jobs N]
 //! dfz run     <benchmark> [--trials N] [--variant V] [--hb] [--jobs N]
 //!             [--metrics-out F] [--trace-out F] [--fault-panic P] [--fault-seed N]
 //! dfz races   <benchmark> [--trials N] [--seed N]  # the RaceFuzzer checker
 //! ```
 //!
-//! A leading flag implies `run`, so
-//! `dfz --benchmark figure1 --metrics-out m.json` is the observability
-//! one-liner.
+//! `analyze` accepts any recorded artifact: a `df-trace` JSONL stream
+//! (`record --out`), a `df-relation` JSON envelope (`record
+//! --relation-out`), or the plain trace dump of `dfz trace`. A leading
+//! flag implies `run`, so `dfz --benchmark figure1 --metrics-out m.json`
+//! is the observability one-liner.
 
 use df_cli::{
-    analyze_trace_json, cmd_confirm, cmd_list, cmd_phase1, cmd_races, cmd_run, cmd_trace,
+    cmd_analyze, cmd_confirm, cmd_list, cmd_phase1, cmd_races, cmd_record, cmd_run, cmd_trace,
     resolve_variant, CliError, CliOptions, CmdOutput,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dfz <list | phase1 | trace | analyze | confirm | run | races> [args]\n\
+        "usage: dfz <list | phase1 | record | trace | analyze | confirm | run | races> [args]\n\
          a leading flag implies `run` (e.g. dfz --benchmark figure1 --metrics-out m.json)\n\
          parallelism: --jobs <n> (0 = one worker per core, 1 = sequential)\n\
          observability: --metrics-out <file> --trace-out <file.jsonl>\n\
+         recording: --out <trace.jsonl> --relation-out <relation.json> --stream\n\
          fault injection: --fault-panic <prob> --fault-seed <n>\n\
          run `dfz list` for benchmark names\n\
          exit codes: 0 cycle confirmed / success, 1 no cycle found,\n\
@@ -109,6 +113,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--out" => {
+                opts.out = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--relation-out" => {
+                opts.relation_out = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--stream" => opts.stream = true,
             "--hb" => opts.hb = true,
             "--json" => opts.json = true,
             other if !other.starts_with('-') => positional.push(other.to_string()),
@@ -124,6 +135,10 @@ fn main() {
             Some(name) => cmd_phase1(name, &opts),
             None => usage(),
         },
+        "record" => match positional.first() {
+            Some(name) => cmd_record(name, &opts),
+            None => usage(),
+        },
         "trace" => match positional.first() {
             Some(name) => cmd_trace(name, &opts),
             None => usage(),
@@ -131,7 +146,7 @@ fn main() {
         "analyze" => match positional.first() {
             Some(path) => std::fs::read_to_string(path)
                 .map_err(|e| CliError::internal(format!("cannot read {path}: {e}")))
-                .and_then(|json| analyze_trace_json(&json, &opts)),
+                .and_then(|content| cmd_analyze(&content, &opts)),
             None => usage(),
         },
         "confirm" => match positional.first() {

@@ -1,5 +1,6 @@
 //! Pipeline configuration and the paper's experimental variants.
 
+use crate::error::DfError;
 use df_abstraction::AbstractionMode;
 use df_igoodlock::IGoodlockOptions;
 use df_runtime::RunConfig;
@@ -140,6 +141,14 @@ pub struct Config {
     /// any `jobs`), never trials started after the confirmation. Off by
     /// default — the paper's probability columns need every trial.
     pub stop_on_first: bool,
+    /// Build the Phase I lock dependency relation online, streaming
+    /// events into a [`df_igoodlock::RelationBuilder`] as the execution
+    /// produces them instead of materializing the full event vector
+    /// first. The resulting relation (and therefore every reported
+    /// cycle) is byte-identical to the offline path; memory drops from
+    /// O(events) to O(relation). Incompatible with
+    /// [`Config::hb_filter`], whose vector clocks need the whole trace.
+    pub stream_phase1: bool,
 }
 
 impl Default for Config {
@@ -160,6 +169,7 @@ impl Default for Config {
             trial_retries: 2,
             jobs: 0,
             stop_on_first: false,
+            stream_phase1: false,
         }
     }
 }
@@ -242,6 +252,13 @@ impl Config {
         self
     }
 
+    /// Builds the Phase I relation online instead of from a recorded
+    /// trace (see [`Config::stream_phase1`]).
+    pub fn with_stream_phase1(mut self, stream: bool) -> Self {
+        self.stream_phase1 = stream;
+        self
+    }
+
     /// Sets the livelock-monitor pause budget (§5).
     pub fn with_pause_budget(mut self, budget: u64) -> Self {
         self.pause_budget = budget;
@@ -276,6 +293,62 @@ impl Config {
     /// The observability handle carried by the runtime configuration.
     pub fn obs(&self) -> &df_obs::Obs {
         &self.run.obs
+    }
+
+    /// Checks the configuration for values that make a campaign
+    /// meaningless, returning the first problem found.
+    ///
+    /// The pipeline used to accept nonsense silently — zero trials only
+    /// surfaced as a failed confirmation deep inside [`crate::DeadlockFuzzer::run`],
+    /// and out-of-range probabilities were clamped where they were used.
+    /// Front doors (the `dfz` CLI rejects invalid configurations with
+    /// exit code 2) should call this before starting any work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfError::InvalidConfig`] describing the offending field.
+    pub fn validate(&self) -> Result<(), DfError> {
+        let invalid = |m: String| Err(DfError::InvalidConfig(m));
+        if self.confirm_trials == 0 {
+            return invalid("confirm_trials must be at least 1".to_string());
+        }
+        if self.run.max_steps == 0 {
+            return invalid("run.max_steps must be at least 1".to_string());
+        }
+        if self.run.hang_timeout.is_zero() {
+            return invalid("run.hang_timeout must be positive".to_string());
+        }
+        if self.trial_deadline.is_some_and(|d| d.is_zero()) {
+            return invalid("trial_deadline must be positive (use None to disable it)".to_string());
+        }
+        if self.igoodlock.max_cycles == 0 {
+            return invalid("igoodlock.max_cycles must be at least 1".to_string());
+        }
+        if self.igoodlock.max_open_chains == 0 {
+            return invalid("igoodlock.max_open_chains must be at least 1".to_string());
+        }
+        if self.stream_phase1 && self.hb_filter {
+            return invalid(
+                "stream_phase1 is incompatible with hb_filter: the happens-before \
+                 filter's vector clocks need the full trace in memory"
+                    .to_string(),
+            );
+        }
+        if let Some(plan) = &self.run.fault_plan {
+            for (name, p) in [
+                ("panic_on_acquire", plan.panic_on_acquire),
+                ("leak_release", plan.leak_release),
+                ("spurious_wakeup", plan.spurious_wakeup),
+                ("runaway_spawn", plan.runaway_spawn),
+            ] {
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    return invalid(format!(
+                        "fault probability {name} must be within [0, 1], got {p}"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -361,5 +434,91 @@ mod tests {
         let c = Config::default();
         assert!(c.trial_deadline.is_some(), "trials must be time-bounded");
         assert!(c.trial_retries > 0);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(Config::default().validate().is_ok());
+        assert!(Config::default()
+            .with_stream_phase1(true)
+            .validate()
+            .is_ok());
+    }
+
+    fn rejection(c: &Config) -> String {
+        match c.validate() {
+            Err(DfError::InvalidConfig(m)) => m,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_confirm_trials() {
+        let c = Config::default().with_confirm_trials(0);
+        assert!(rejection(&c).contains("confirm_trials"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_max_steps() {
+        let mut c = Config::default();
+        c.run = c.run.with_max_steps(0);
+        assert!(rejection(&c).contains("max_steps"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_hang_timeout() {
+        let mut c = Config::default();
+        c.run = c.run.with_hang_timeout(Duration::ZERO);
+        assert!(rejection(&c).contains("hang_timeout"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_trial_deadline_but_allows_none() {
+        let c = Config::default().with_trial_deadline(Some(Duration::ZERO));
+        assert!(rejection(&c).contains("trial_deadline"));
+        assert!(Config::default()
+            .with_trial_deadline(None)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_igoodlock_bounds() {
+        let mut c = Config::default();
+        c.igoodlock.max_cycles = 0;
+        assert!(rejection(&c).contains("max_cycles"));
+        let mut c = Config::default();
+        c.igoodlock.max_open_chains = 0;
+        assert!(rejection(&c).contains("max_open_chains"));
+    }
+
+    #[test]
+    fn validate_rejects_streaming_combined_with_hb_filter() {
+        let c = Config::default()
+            .with_stream_phase1(true)
+            .with_hb_filter(true);
+        assert!(rejection(&c).contains("hb_filter"));
+        // Each knob is fine on its own.
+        assert!(Config::default().with_hb_filter(true).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fault_probabilities() {
+        use df_runtime::FaultPlan;
+        let mut c = Config::default();
+        c.run = c
+            .run
+            .with_fault_plan(FaultPlan::new(1).with_leak_release(1.5));
+        assert!(rejection(&c).contains("leak_release"));
+        let mut c = Config::default();
+        c.run = c
+            .run
+            .with_fault_plan(FaultPlan::new(1).with_panic_on_acquire(f64::NAN));
+        assert!(rejection(&c).contains("panic_on_acquire"));
+        let mut c = Config::default();
+        c.run = c
+            .run
+            .with_fault_plan(FaultPlan::new(1).with_leak_release(1.0));
+        assert!(c.validate().is_ok(), "boundary probabilities are legal");
     }
 }

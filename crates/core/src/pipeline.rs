@@ -8,6 +8,7 @@ use df_abstraction::Abstractor;
 use df_fuzzer::{ActiveConfig, ActiveStrategy, SimpleRandomChecker};
 use df_igoodlock::{
     igoodlock_filtered, AbstractComponent, AbstractCycle, HbFilter, LockDependencyRelation,
+    RelationBuilder,
 };
 use df_runtime::{Outcome, RunResult, VirtualRuntime};
 
@@ -108,6 +109,32 @@ impl DeadlockFuzzer {
         VirtualRuntime::new(run).run(strategy, move |ctx| program.run(ctx))
     }
 
+    /// Runs the program once under the Phase I simple random scheduler
+    /// (seeded with [`Config::phase1_seed`]) with `sink` attached —
+    /// the engine behind `dfz record`. With `record_trace` false the
+    /// event vector is never materialized: the sinks (e.g. a
+    /// [`df_events::SpillSink`] writing the on-disk trace format, or a
+    /// [`RelationBuilder`]) are the only consumers of the stream, and
+    /// the returned result's trace carries just the object table and
+    /// thread bindings.
+    pub fn observe(&self, sink: df_events::SinkHandle, record_trace: bool) -> RunResult {
+        let program = Arc::clone(&self.program);
+        let mut run = self
+            .config
+            .run
+            .clone()
+            .with_program_seed(self.config.phase1_seed)
+            .with_record_trace(record_trace)
+            .with_event_sink(sink);
+        if run.deadline.is_none() {
+            run.deadline = self.config.trial_deadline;
+        }
+        VirtualRuntime::new(run).run(
+            Box::new(SimpleRandomChecker::with_seed(self.config.phase1_seed)),
+            move |ctx| program.run(ctx),
+        )
+    }
+
     /// A clone of this fuzzer reporting into `obs` instead of the
     /// configured handle — how one parallel worker gets a private
     /// observability shard (the virtual-runtime config, including any
@@ -127,7 +154,16 @@ impl DeadlockFuzzer {
     /// Phase I: observe one execution under the simple random scheduler
     /// (Algorithm 2), compute the lock dependency relation, and run
     /// iGoodlock (Algorithm 1).
+    ///
+    /// With [`Config::stream_phase1`] the relation is built online by a
+    /// [`df_igoodlock::RelationBuilder`] attached to the runtime as an
+    /// event sink, and the event vector is never materialized; the
+    /// builder is the same code the offline path delegates to, so the
+    /// report's cycles are identical either way.
     pub fn phase1(&self) -> Phase1Report {
+        if self.config.stream_phase1 {
+            return self.phase1_streamed();
+        }
         let start = Instant::now();
         let obs = self.config.obs().clone();
         obs.emit(&df_obs::TraceEvent::PhaseStart {
@@ -143,6 +179,67 @@ impl DeadlockFuzzer {
             .hb_filter
             .then(|| HbFilter::from_trace(&result.trace));
         let (cycles, stats) = igoodlock_filtered(&relation, hb.as_ref(), &self.config.igoodlock);
+        let abstractor = Abstractor::new(self.config.mode);
+        let abstract_cycles = cycles
+            .iter()
+            .map(|c| c.abstract_with(result.trace.objects(), &abstractor))
+            .collect();
+        obs.counters().add_dependency_edges(relation.len() as u64);
+        obs.counters().add_cycles_found(cycles.len() as u64);
+        obs.counters()
+            .add_join_candidates_examined(stats.join_candidates_examined);
+        obs.counters().add_join_chains_built(stats.chains_built);
+        obs.timings().record("phase1", start.elapsed());
+        obs.emit(&df_obs::TraceEvent::PhaseEnd {
+            phase: "phase1".to_string(),
+        });
+        Phase1Report {
+            cycles,
+            abstract_cycles,
+            stats,
+            relation_size: relation.len(),
+            acquires_observed: relation.raw_count,
+            duration: start.elapsed(),
+            run_outcome: result.outcome,
+            trace: result.trace,
+        }
+    }
+
+    /// The streaming Phase I path: run once with `record_trace` off and
+    /// a [`RelationBuilder`] sink attached, then run iGoodlock over the
+    /// incrementally built relation. The returned report's trace is
+    /// empty of events (it still owns the object table the abstractions
+    /// need); [`Config::hb_filter`] cannot apply here — its vector
+    /// clocks need the full trace — and [`Config::validate`] rejects the
+    /// combination up front.
+    fn phase1_streamed(&self) -> Phase1Report {
+        debug_assert!(
+            !self.config.hb_filter,
+            "validate() rejects stream_phase1 + hb_filter"
+        );
+        let start = Instant::now();
+        let obs = self.config.obs().clone();
+        obs.emit(&df_obs::TraceEvent::PhaseStart {
+            phase: "phase1".to_string(),
+        });
+        let builder = Arc::new(std::sync::Mutex::new(RelationBuilder::new()));
+        let program = Arc::clone(&self.program);
+        let mut run = self
+            .config
+            .run
+            .clone()
+            .with_program_seed(self.config.phase1_seed)
+            .with_record_trace(false)
+            .with_event_sink(df_events::SinkHandle::single(builder.clone()));
+        if run.deadline.is_none() {
+            run.deadline = self.config.trial_deadline;
+        }
+        let result = VirtualRuntime::new(run).run(
+            Box::new(SimpleRandomChecker::with_seed(self.config.phase1_seed)),
+            move |ctx| program.run(ctx),
+        );
+        let relation = builder.lock().expect("relation builder sink").take();
+        let (cycles, stats) = igoodlock_filtered(&relation, None, &self.config.igoodlock);
         let abstractor = Abstractor::new(self.config.mode);
         let abstract_cycles = cycles
             .iter()
@@ -521,6 +618,48 @@ mod tests {
             deadlocks <= 6,
             "baseline should rarely deadlock: {deadlocks}/20"
         );
+    }
+
+    #[test]
+    fn streamed_phase1_matches_offline_without_materializing_events() {
+        let offline = DeadlockFuzzer::new(figure1()).phase1();
+        let obs = df_obs::Obs::default();
+        let streamed = DeadlockFuzzer::with_config(
+            figure1(),
+            Config::default()
+                .with_stream_phase1(true)
+                .with_obs(obs.clone()),
+        )
+        .phase1();
+        assert_eq!(offline.relation_size, streamed.relation_size);
+        assert_eq!(offline.acquires_observed, streamed.acquires_observed);
+        let render = |r: &Phase1Report| {
+            r.abstract_cycles
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&offline), render(&streamed));
+        assert!(!offline.trace.events().is_empty());
+        assert!(
+            streamed.trace.events().is_empty(),
+            "streaming must not materialize the event vector"
+        );
+        let snap = obs.counters().snapshot();
+        assert_eq!(snap.peak_trace_bytes, 0, "no trace was ever held");
+        assert!(snap.events_streamed > 0);
+        assert_eq!(snap.dependency_edges, streamed.relation_size as u64);
+    }
+
+    #[test]
+    fn observe_streams_the_run_into_custom_sinks() {
+        let fuzzer = DeadlockFuzzer::new(figure1());
+        let builder = Arc::new(std::sync::Mutex::new(RelationBuilder::new()));
+        let result = fuzzer.observe(df_events::SinkHandle::single(builder.clone()), false);
+        assert!(result.trace.events().is_empty());
+        let relation = builder.lock().expect("sink").take();
+        let offline = fuzzer.phase1();
+        assert_eq!(relation.len(), offline.relation_size);
     }
 
     #[test]

@@ -35,6 +35,8 @@ mod ids;
 mod intern;
 mod label;
 mod object;
+mod sink;
+mod spill;
 mod trace;
 
 pub use event::{Event, EventKind};
@@ -42,6 +44,11 @@ pub use ids::{ObjId, ObjKind, ThreadId};
 pub use intern::DenseInterner;
 pub use label::Label;
 pub use object::{IndexFrame, ObjectMeta, ObjectTable};
+pub use sink::{EventSink, SinkHandle};
+pub use spill::{
+    read_trace, write_trace, SpillError, SpillSink, TraceFooter, TraceHeader, TraceWriter,
+    TRACE_FORMAT, TRACE_FORMAT_VERSION,
+};
 pub use trace::Trace;
 
 /// Constructs a [`Label`] from the current source location.

@@ -1,0 +1,155 @@
+//! Streaming event observation.
+//!
+//! Algorithm 2 of the paper computes the lock dependency relation *during*
+//! execution; an [`EventSink`] is the hook that makes that possible here.
+//! Execution substrates (the virtual runtime and the real-thread sessions)
+//! call into an attached sink at every recorded event, in trace order, so
+//! observers — an incremental relation builder, an on-disk spill writer —
+//! can consume the event stream online instead of requiring the full
+//! in-memory `Vec<Event>` after the fact.
+
+use std::sync::{Arc, Mutex};
+
+use crate::{Event, ObjId, ThreadId, Trace};
+
+/// An online observer of one execution's event stream.
+///
+/// Substrates deliver events in trace order with the exact sequence
+/// numbers the recorded [`Trace`] would carry, so a sink sees the same
+/// stream whether or not the substrate also materializes the trace.
+pub trait EventSink: Send {
+    /// Called once per recorded event, in execution (sequence) order.
+    fn on_event(&mut self, event: &Event);
+
+    /// Called when `thread` is bound to the object representing it —
+    /// always before any event of `thread` is delivered.
+    fn on_thread_bound(&mut self, thread: ThreadId, obj: ObjId) {
+        let _ = (thread, obj);
+    }
+
+    /// Called once when the execution ends. `trace` carries the final
+    /// object table and thread bindings; its event vector is empty when
+    /// the substrate ran without trace recording.
+    fn on_finish(&mut self, trace: &Trace) {
+        let _ = trace;
+    }
+}
+
+/// A clonable fan-out handle over zero or more shared [`EventSink`]s.
+///
+/// This is the form substrates carry in their run configuration: cheap to
+/// clone, `None`-like when empty (the common non-streaming case costs one
+/// `is_empty` check per event), and shareable so the caller can keep a
+/// typed handle to the same sink and harvest its state after the run.
+#[derive(Clone, Default)]
+pub struct SinkHandle {
+    sinks: Vec<Arc<Mutex<dyn EventSink>>>,
+}
+
+impl SinkHandle {
+    /// A handle with no sinks attached.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A handle over one shared sink.
+    pub fn single(sink: Arc<Mutex<dyn EventSink>>) -> Self {
+        SinkHandle { sinks: vec![sink] }
+    }
+
+    /// Returns this handle with `sink` attached in addition.
+    pub fn with(mut self, sink: Arc<Mutex<dyn EventSink>>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Whether any sink is attached.
+    pub fn is_attached(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Delivers one event to every attached sink.
+    pub fn emit(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.lock().expect("event sink poisoned").on_event(event);
+        }
+    }
+
+    /// Announces a thread→object binding to every attached sink.
+    pub fn thread_bound(&self, thread: ThreadId, obj: ObjId) {
+        for sink in &self.sinks {
+            sink.lock()
+                .expect("event sink poisoned")
+                .on_thread_bound(thread, obj);
+        }
+    }
+
+    /// Announces the end of the execution to every attached sink.
+    pub fn finish(&self, trace: &Trace) {
+        for sink in &self.sinks {
+            sink.lock().expect("event sink poisoned").on_finish(trace);
+        }
+    }
+}
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkHandle")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    #[derive(Default)]
+    struct CountingSink {
+        events: u64,
+        bindings: u64,
+        finished: bool,
+    }
+
+    impl EventSink for CountingSink {
+        fn on_event(&mut self, _event: &Event) {
+            self.events += 1;
+        }
+
+        fn on_thread_bound(&mut self, _thread: ThreadId, _obj: ObjId) {
+            self.bindings += 1;
+        }
+
+        fn on_finish(&mut self, _trace: &Trace) {
+            self.finished = true;
+        }
+    }
+
+    #[test]
+    fn empty_handle_is_detached_and_inert() {
+        let h = SinkHandle::none();
+        assert!(!h.is_attached());
+        h.emit(&Event::new(0, ThreadId::new(0), EventKind::Yield));
+        h.finish(&Trace::new());
+    }
+
+    #[test]
+    fn fan_out_reaches_every_sink() {
+        let a = Arc::new(Mutex::new(CountingSink::default()));
+        let b = Arc::new(Mutex::new(CountingSink::default()));
+        let h = SinkHandle::single(a.clone() as Arc<Mutex<dyn EventSink>>)
+            .with(b.clone() as Arc<Mutex<dyn EventSink>>);
+        assert!(h.is_attached());
+        h.thread_bound(ThreadId::new(0), ObjId::new(0));
+        h.emit(&Event::new(0, ThreadId::new(0), EventKind::Yield));
+        h.emit(&Event::new(1, ThreadId::new(0), EventKind::Yield));
+        h.finish(&Trace::new());
+        for sink in [a, b] {
+            let s = sink.lock().unwrap();
+            assert_eq!(s.events, 2);
+            assert_eq!(s.bindings, 1);
+            assert!(s.finished);
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! The versioned on-disk trace format (`df-trace` v1).
+//!
+//! A recorded execution is a JSON-lines file:
+//!
+//! 1. a header line `{"Header":{"format":"df-trace","version":1}}`,
+//! 2. one line per [`Event`], in sequence order,
+//! 3. a footer line carrying the final [`ObjectTable`] and the
+//!    thread→object bindings.
+//!
+//! The format exists so observation and analysis can live in different
+//! processes (`dfz record` → `dfz analyze`): a [`TraceWriter`] appends
+//! events as they happen and never needs the full event vector, and
+//! [`read_trace`] reconstructs an in-memory [`Trace`] byte-equivalent to
+//! what a one-shot run would have recorded. Readers reject unknown
+//! format names and versions instead of guessing — the version gate is
+//! what lets the layout evolve without silently misreading old files.
+//!
+//! [`SpillSink`] adapts a [`TraceWriter`] to the [`EventSink`] interface
+//! so a substrate can spill its stream to disk online.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Event, EventSink, ObjId, ObjectTable, ThreadId, Trace};
+
+/// Format name stamped into every trace artifact header.
+pub const TRACE_FORMAT: &str = "df-trace";
+
+/// Current version of the on-disk trace format.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// The header line of a trace artifact.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TraceHeader {
+    /// Always [`TRACE_FORMAT`] for files this module writes.
+    pub format: String,
+    /// The writer's [`TRACE_FORMAT_VERSION`].
+    pub version: u32,
+}
+
+/// The footer line of a trace artifact: everything a [`Trace`] holds
+/// besides the event sequence.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TraceFooter {
+    /// The execution's object table.
+    pub objects: ObjectTable,
+    /// Thread→object bindings.
+    pub thread_objs: BTreeMap<ThreadId, ObjId>,
+}
+
+/// One line of a trace artifact (externally tagged by variant name).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+enum TraceLine {
+    /// The leading header line.
+    Header(TraceHeader),
+    /// An event line.
+    Event(Event),
+    /// The trailing footer line.
+    Footer(TraceFooter),
+}
+
+/// Why a trace artifact could not be written or read.
+#[derive(Debug)]
+pub enum SpillError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// A line was not valid JSON for the expected shape.
+    Json(String),
+    /// The file does not start with a `df-trace` header.
+    NotAnArtifact,
+    /// The header names a different format.
+    WrongFormat(String),
+    /// The header's version is not [`TRACE_FORMAT_VERSION`].
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this reader understands.
+        expected: u32,
+    },
+    /// The artifact ended without a footer line (truncated recording).
+    MissingFooter,
+    /// A line appeared after the footer, or events after EOF markers.
+    TrailingData,
+}
+
+impl fmt::Display for SpillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpillError::Io(e) => write!(f, "trace artifact i/o error: {e}"),
+            SpillError::Json(e) => write!(f, "trace artifact malformed line: {e}"),
+            SpillError::NotAnArtifact => {
+                write!(f, "not a {TRACE_FORMAT} artifact (missing header line)")
+            }
+            SpillError::WrongFormat(found) => {
+                write!(f, "artifact format is '{found}', expected '{TRACE_FORMAT}'")
+            }
+            SpillError::VersionMismatch { found, expected } => write!(
+                f,
+                "artifact version {found} is not supported (expected {expected})"
+            ),
+            SpillError::MissingFooter => {
+                write!(f, "artifact is truncated: no footer line")
+            }
+            SpillError::TrailingData => {
+                write!(f, "artifact has data after the footer line")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+impl From<io::Error> for SpillError {
+    fn from(e: io::Error) -> Self {
+        SpillError::Io(e)
+    }
+}
+
+/// Streams one execution into the on-disk trace format.
+///
+/// Events are appended one line at a time — the writer holds no event
+/// backlog — and [`TraceWriter::finish`] seals the artifact with the
+/// footer. Dropping a writer without finishing leaves a truncated file
+/// that [`read_trace`] rejects with [`SpillError::MissingFooter`].
+pub struct TraceWriter<W: Write> {
+    out: W,
+    events: u64,
+    bytes: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts an artifact by writing the header line.
+    pub fn new(mut out: W) -> Result<Self, SpillError> {
+        let header = TraceLine::Header(TraceHeader {
+            format: TRACE_FORMAT.to_string(),
+            version: TRACE_FORMAT_VERSION,
+        });
+        let mut line =
+            serde_json::to_string(&header).map_err(|e| SpillError::Json(e.to_string()))?;
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+        Ok(TraceWriter {
+            out,
+            events: 0,
+            bytes: line.len() as u64,
+        })
+    }
+
+    /// Appends one event line.
+    pub fn write_event(&mut self, event: &Event) -> Result<(), SpillError> {
+        let mut line = serde_json::to_string(&TraceLine::Event(event.clone()))
+            .map_err(|e| SpillError::Json(e.to_string()))?;
+        line.push('\n');
+        self.out.write_all(line.as_bytes())?;
+        self.events += 1;
+        self.bytes += line.len() as u64;
+        Ok(())
+    }
+
+    /// Number of event lines written so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Bytes written so far (header + events).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Seals the artifact with the footer line and returns the writer.
+    pub fn finish(
+        mut self,
+        objects: &ObjectTable,
+        thread_objs: BTreeMap<ThreadId, ObjId>,
+    ) -> Result<W, SpillError> {
+        let footer = TraceLine::Footer(TraceFooter {
+            objects: objects.clone(),
+            thread_objs,
+        });
+        let mut line =
+            serde_json::to_string(&footer).map_err(|e| SpillError::Json(e.to_string()))?;
+        line.push('\n');
+        self.out.write_all(line.as_bytes())?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Writes a complete in-memory trace as one artifact (the non-streaming
+/// `dfz record` path).
+pub fn write_trace<W: Write>(out: W, trace: &Trace) -> Result<W, SpillError> {
+    let mut w = TraceWriter::new(out)?;
+    for event in trace.events() {
+        w.write_event(event)?;
+    }
+    w.finish(trace.objects(), trace.thread_objs().collect())
+}
+
+/// Reads an artifact back into an in-memory [`Trace`].
+///
+/// # Errors
+///
+/// Rejects files without a valid header ([`SpillError::NotAnArtifact`],
+/// [`SpillError::WrongFormat`]), with an unsupported version
+/// ([`SpillError::VersionMismatch`]), truncated before the footer
+/// ([`SpillError::MissingFooter`]), or with data after the footer
+/// ([`SpillError::TrailingData`]).
+pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, SpillError> {
+    let mut lines = input.lines();
+    let first = match lines.next() {
+        Some(line) => line?,
+        None => return Err(SpillError::NotAnArtifact),
+    };
+    let header = match serde_json::from_str::<TraceLine>(&first) {
+        Ok(TraceLine::Header(h)) => h,
+        _ => return Err(SpillError::NotAnArtifact),
+    };
+    if header.format != TRACE_FORMAT {
+        return Err(SpillError::WrongFormat(header.format));
+    }
+    if header.version != TRACE_FORMAT_VERSION {
+        return Err(SpillError::VersionMismatch {
+            found: header.version,
+            expected: TRACE_FORMAT_VERSION,
+        });
+    }
+    let mut trace = Trace::new();
+    let mut footer: Option<TraceFooter> = None;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if footer.is_some() {
+            return Err(SpillError::TrailingData);
+        }
+        match serde_json::from_str::<TraceLine>(&line)
+            .map_err(|e| SpillError::Json(e.to_string()))?
+        {
+            TraceLine::Event(event) => {
+                let seq = trace.push(event.thread, event.kind);
+                debug_assert_eq!(seq, event.seq, "artifact events are in sequence order");
+            }
+            TraceLine::Footer(f) => footer = Some(f),
+            TraceLine::Header(_) => return Err(SpillError::Json("duplicate header".to_string())),
+        }
+    }
+    let footer = footer.ok_or(SpillError::MissingFooter)?;
+    *trace.objects_mut() = footer.objects;
+    for (thread, obj) in footer.thread_objs {
+        trace.bind_thread(thread, obj);
+    }
+    Ok(trace)
+}
+
+/// An [`EventSink`] that spills the event stream straight to a
+/// [`TraceWriter`], sealing the artifact when the execution finishes.
+///
+/// I/O errors are latched rather than panicking the instrumented program;
+/// harvest them (plus the event/byte counts) with [`SpillSink::close`]
+/// after the run.
+pub struct SpillSink<W: Write + Send> {
+    writer: Option<TraceWriter<W>>,
+    error: Option<SpillError>,
+    events: u64,
+    bytes: u64,
+    sealed: bool,
+}
+
+impl<W: Write + Send> SpillSink<W> {
+    /// Starts spilling into `out` (writes the header immediately).
+    pub fn new(out: W) -> Result<Self, SpillError> {
+        let writer = TraceWriter::new(out)?;
+        Ok(SpillSink {
+            events: 0,
+            bytes: writer.bytes_written(),
+            writer: Some(writer),
+            error: None,
+            sealed: false,
+        })
+    }
+
+    /// Whether the footer has been written.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Ends the spill: returns `(events_written, bytes_written)` or the
+    /// first error encountered while streaming.
+    pub fn close(&mut self) -> Result<(u64, u64), SpillError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if !self.sealed {
+            return Err(SpillError::MissingFooter);
+        }
+        Ok((self.events, self.bytes))
+    }
+}
+
+impl<W: Write + Send> EventSink for SpillSink<W> {
+    fn on_event(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            match w.write_event(event) {
+                Ok(()) => {
+                    self.events = w.events_written();
+                    self.bytes = w.bytes_written();
+                }
+                Err(e) => self.error = Some(e),
+            }
+        }
+    }
+
+    fn on_finish(&mut self, trace: &Trace) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.writer.take() {
+            self.bytes = w.bytes_written();
+            match w.finish(trace.objects(), trace.thread_objs().collect()) {
+                Ok(_) => self.sealed = true,
+                Err(e) => self.error = Some(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Label, ObjKind};
+
+    fn sample_trace() -> Trace {
+        let mut trace = Trace::new();
+        let t0 = ThreadId::new(0);
+        let obj = trace
+            .objects_mut()
+            .create(ObjKind::Thread, Label::new("<main>"), None, vec![]);
+        trace.bind_thread(t0, obj);
+        let lock = trace
+            .objects_mut()
+            .create(ObjKind::Lock, Label::new("main:3"), None, vec![]);
+        trace.push(t0, EventKind::ThreadStart);
+        trace.push(
+            t0,
+            EventKind::Acquire {
+                lock,
+                site: Label::new("main:4"),
+                held: vec![],
+                context: vec![Label::new("main:4")],
+            },
+        );
+        trace.push(
+            t0,
+            EventKind::Release {
+                lock,
+                site: Label::new("main:5"),
+            },
+        );
+        trace.push(t0, EventKind::ThreadExit);
+        trace
+    }
+
+    #[test]
+    fn round_trips_a_trace() {
+        let trace = sample_trace();
+        let bytes = write_trace(Vec::new(), &trace).unwrap();
+        let back = read_trace(&bytes[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let trace = sample_trace();
+        let bytes = write_trace(Vec::new(), &trace).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let bumped = text.replacen("\"version\":1", "\"version\":2", 1);
+        match read_trace(bumped.as_bytes()) {
+            Err(SpillError::VersionMismatch { found: 2, expected }) => {
+                assert_eq!(expected, TRACE_FORMAT_VERSION);
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_format_and_non_artifacts() {
+        assert!(matches!(
+            read_trace(&b"{\"not\": \"an artifact\"}\n"[..]),
+            Err(SpillError::NotAnArtifact)
+        ));
+        assert!(matches!(
+            read_trace(&b""[..]),
+            Err(SpillError::NotAnArtifact)
+        ));
+        let trace = sample_trace();
+        let bytes = write_trace(Vec::new(), &trace).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let renamed = text.replacen("df-trace", "df-other", 1);
+        assert!(matches!(
+            read_trace(renamed.as_bytes()),
+            Err(SpillError::WrongFormat(f)) if f == "df-other"
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let trace = sample_trace();
+        let bytes = write_trace(Vec::new(), &trace).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let without_footer: String = text
+            .lines()
+            .filter(|l| !l.starts_with("{\"Footer\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            read_trace(without_footer.as_bytes()),
+            Err(SpillError::MissingFooter)
+        ));
+    }
+
+    #[test]
+    fn spill_sink_streams_and_seals() {
+        let trace = sample_trace();
+        let sink = std::sync::Arc::new(std::sync::Mutex::new(
+            SpillSink::new(Vec::<u8>::new()).unwrap(),
+        ));
+        {
+            let mut s = sink.lock().unwrap();
+            for event in trace.events() {
+                s.on_event(event);
+            }
+            // The substrate hands over a trace with no events in
+            // streaming mode; only objects and bindings matter here.
+            let mut skeleton = Trace::new();
+            *skeleton.objects_mut() = trace.objects().clone();
+            for (t, o) in trace.thread_objs() {
+                skeleton.bind_thread(t, o);
+            }
+            s.on_finish(&skeleton);
+            let (events, bytes) = s.close().unwrap();
+            assert_eq!(events, trace.events().len() as u64);
+            assert!(bytes > 0);
+            assert!(s.is_sealed());
+        }
+    }
+
+    #[test]
+    fn unsealed_spill_reports_missing_footer() {
+        let mut sink = SpillSink::new(Vec::<u8>::new()).unwrap();
+        sink.on_event(&Event::new(0, ThreadId::new(0), EventKind::Yield));
+        assert!(matches!(sink.close(), Err(SpillError::MissingFooter)));
+    }
+}

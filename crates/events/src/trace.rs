@@ -83,6 +83,28 @@ impl Trace {
         self.events.iter().filter(|e| e.kind.is_acquire()).count()
     }
 
+    /// Approximate resident size of the event sequence in bytes: the
+    /// inline size of every [`Event`] plus the heap behind acquire
+    /// locksets and contexts. This is the number the `peak_trace_bytes`
+    /// observability counter reports — a deterministic estimate (it
+    /// counts lengths, not allocator capacities), not an allocator
+    /// measurement.
+    pub fn approx_event_bytes(&self) -> u64 {
+        let inline = self.events.len() * std::mem::size_of::<Event>();
+        let heap: usize = self
+            .events
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::Acquire { held, context, .. } => {
+                    held.len() * std::mem::size_of::<ObjId>()
+                        + context.len() * std::mem::size_of::<crate::Label>()
+                }
+                _ => 0,
+            })
+            .sum();
+        (inline + heap) as u64
+    }
+
     /// Iterates over the distinct threads that appear in the trace, in id
     /// order.
     pub fn threads(&self) -> Vec<ThreadId> {

@@ -1,0 +1,285 @@
+//! Incremental (streaming) construction of the lock dependency relation.
+//!
+//! Algorithm 2 of the paper computes the relation *during* execution; a
+//! [`RelationBuilder`] is that computation factored out of
+//! [`LockDependencyRelation::from_trace`] so it can also run online,
+//! fed one event at a time through the [`df_events::EventSink`]
+//! interface. The offline path delegates to this builder, which is what
+//! makes the streamed and trace-based relations byte-identical by
+//! construction — there is exactly one implementation of Definition 1.
+
+use std::collections::{BTreeMap, HashMap};
+
+use df_events::{Event, EventKind, EventSink, ObjId, ThreadId, Trace};
+
+use crate::relation::{DedupIndex, DepTiming, LockDep, LockDependencyRelation};
+
+/// Builds a [`LockDependencyRelation`] one event at a time.
+///
+/// Feed it thread bindings ([`RelationBuilder::bind_thread`]) and events
+/// ([`RelationBuilder::observe`]) in execution order — or attach it to a
+/// substrate as an [`EventSink`] — then call
+/// [`RelationBuilder::finish`]. Memory is proportional to the
+/// *deduplicated relation* plus the live lock stacks, never to the
+/// length of the execution.
+///
+/// # Example
+///
+/// ```
+/// use df_igoodlock::{LockDependencyRelation, RelationBuilder};
+/// use df_events::Trace;
+///
+/// let trace = Trace::default();
+/// let mut builder = RelationBuilder::new();
+/// for event in trace.events() {
+///     builder.observe(event);
+/// }
+/// assert_eq!(builder.finish(), LockDependencyRelation::from_trace(&trace));
+/// ```
+#[derive(Default)]
+pub struct RelationBuilder {
+    seen: DedupIndex,
+    deps: Vec<LockDep>,
+    timings: Vec<DepTiming>,
+    raw_count: usize,
+    /// Per-thread stack of (lock, acquire seq) mirroring `held`, for
+    /// hold-window starts.
+    stacks: HashMap<ThreadId, Vec<(ObjId, u64)>>,
+    thread_objs: BTreeMap<ThreadId, ObjId>,
+}
+
+impl RelationBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the object representing `thread`. Substrates announce
+    /// the binding before the thread's first event; the offline path
+    /// replays a trace's binding table up front.
+    pub fn bind_thread(&mut self, thread: ThreadId, obj: ObjId) {
+        self.thread_objs.insert(thread, obj);
+    }
+
+    /// Feeds one event, in execution order.
+    pub fn observe(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::Acquire {
+                lock,
+                held,
+                context,
+                ..
+            } => {
+                self.raw_count += 1;
+                let stack = self.stacks.entry(event.thread).or_default();
+                if !held.is_empty() {
+                    let dep = LockDep {
+                        thread: event.thread,
+                        thread_obj: self
+                            .thread_objs
+                            .get(&event.thread)
+                            .copied()
+                            .expect("trace binds every thread to its object"),
+                        lockset: held.clone(),
+                        lock: *lock,
+                        contexts: context.clone(),
+                    };
+                    if self.seen.is_new(&self.deps, &dep) {
+                        self.timings.push(DepTiming {
+                            window_start_seq: stack.last().map(|&(_, s)| s).unwrap_or(event.seq),
+                            acquire_seq: event.seq,
+                        });
+                        self.deps.push(dep);
+                    }
+                }
+                stack.push((*lock, event.seq));
+            }
+            EventKind::Release { lock, .. } => {
+                let stack = self.stacks.entry(event.thread).or_default();
+                if let Some(pos) = stack.iter().rposition(|&(l, _)| l == *lock) {
+                    stack.remove(pos);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of deduplicated tuples so far.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether no tuple has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Number of raw (non-deduplicated) dependency tuples observed so far.
+    pub fn raw_count(&self) -> usize {
+        self.raw_count
+    }
+
+    /// Seals the builder into the finished relation.
+    pub fn finish(self) -> LockDependencyRelation {
+        LockDependencyRelation::from_parts(self.deps, self.timings, self.raw_count)
+    }
+
+    /// Takes the finished relation out of the builder, resetting it —
+    /// the form needed when the builder is shared behind a sink handle
+    /// and cannot be consumed by value.
+    pub fn take(&mut self) -> LockDependencyRelation {
+        std::mem::take(self).finish()
+    }
+}
+
+impl EventSink for RelationBuilder {
+    fn on_event(&mut self, event: &Event) {
+        self.observe(event);
+    }
+
+    fn on_thread_bound(&mut self, thread: ThreadId, obj: ObjId) {
+        self.bind_thread(thread, obj);
+    }
+
+    fn on_finish(&mut self, _trace: &Trace) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_events::Label;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    /// Builds the canonical opposite-order two-thread trace.
+    fn opposite_order_trace() -> Trace {
+        let mut trace = Trace::new();
+        let t1 = ThreadId::new(1);
+        let t2 = ThreadId::new(2);
+        let o1 = trace
+            .objects_mut()
+            .create(df_events::ObjKind::Thread, l("spawn:1"), None, vec![]);
+        let o2 = trace
+            .objects_mut()
+            .create(df_events::ObjKind::Thread, l("spawn:2"), None, vec![]);
+        trace.bind_thread(t1, o1);
+        trace.bind_thread(t2, o2);
+        let a = trace
+            .objects_mut()
+            .create(df_events::ObjKind::Lock, l("main:22"), None, vec![]);
+        let b = trace
+            .objects_mut()
+            .create(df_events::ObjKind::Lock, l("main:23"), None, vec![]);
+        for (t, first, second) in [(t1, a, b), (t2, b, a)] {
+            trace.push(
+                t,
+                EventKind::Acquire {
+                    lock: first,
+                    site: l("run:15"),
+                    held: vec![],
+                    context: vec![l("run:15")],
+                },
+            );
+            trace.push(
+                t,
+                EventKind::Acquire {
+                    lock: second,
+                    site: l("run:16"),
+                    held: vec![first],
+                    context: vec![l("run:15"), l("run:16")],
+                },
+            );
+            trace.push(
+                t,
+                EventKind::Release {
+                    lock: second,
+                    site: l("run:17"),
+                },
+            );
+            trace.push(
+                t,
+                EventKind::Release {
+                    lock: first,
+                    site: l("run:18"),
+                },
+            );
+        }
+        trace
+    }
+
+    fn stream(trace: &Trace) -> LockDependencyRelation {
+        let mut b = RelationBuilder::new();
+        for (t, o) in trace.thread_objs() {
+            b.bind_thread(t, o);
+        }
+        for event in trace.events() {
+            b.observe(event);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn streaming_matches_offline_byte_for_byte() {
+        let trace = opposite_order_trace();
+        let offline = LockDependencyRelation::from_trace(&trace);
+        let streamed = stream(&trace);
+        assert_eq!(offline, streamed);
+        assert_eq!(
+            serde_json::to_string(&offline).unwrap(),
+            serde_json::to_string(&streamed).unwrap()
+        );
+    }
+
+    #[test]
+    fn incremental_counters_track_progress() {
+        let trace = opposite_order_trace();
+        let mut b = RelationBuilder::new();
+        for (t, o) in trace.thread_objs() {
+            b.bind_thread(t, o);
+        }
+        assert!(b.is_empty());
+        for event in trace.events() {
+            b.observe(event);
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.raw_count(), 4);
+        let rel = b.finish();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.raw_count, 4);
+    }
+
+    #[test]
+    fn take_resets_the_builder() {
+        let trace = opposite_order_trace();
+        let mut b = RelationBuilder::new();
+        for (t, o) in trace.thread_objs() {
+            b.bind_thread(t, o);
+        }
+        for event in trace.events() {
+            b.observe(event);
+        }
+        let rel = b.take();
+        assert_eq!(rel.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.raw_count(), 0);
+    }
+
+    #[test]
+    fn sink_interface_delivers_bindings_and_events() {
+        let trace = opposite_order_trace();
+        let mut b = RelationBuilder::new();
+        {
+            let sink: &mut dyn EventSink = &mut b;
+            for (t, o) in trace.thread_objs() {
+                sink.on_thread_bound(t, o);
+            }
+            for event in trace.events() {
+                sink.on_event(event);
+            }
+            sink.on_finish(&Trace::new());
+        }
+        assert_eq!(b.take(), LockDependencyRelation::from_trace(&trace));
+    }
+}

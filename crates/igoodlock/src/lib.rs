@@ -40,6 +40,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod artifact;
+mod builder;
 mod chains;
 mod cycle;
 mod dfs;
@@ -47,6 +49,10 @@ mod hb;
 mod index;
 mod relation;
 
+pub use artifact::{
+    read_relation, write_relation, RelationArtifactError, RELATION_FORMAT, RELATION_FORMAT_VERSION,
+};
+pub use builder::RelationBuilder;
 pub use chains::{
     igoodlock, igoodlock_filtered, igoodlock_with_stats, naive_igoodlock, naive_igoodlock_filtered,
     naive_igoodlock_with_stats, IGoodlockOptions, IGoodlockStats,

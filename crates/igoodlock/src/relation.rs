@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use df_events::{EventKind, Label, ObjId, ThreadId, Trace};
+use df_events::{Label, ObjId, ThreadId, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Trace positions of a dependency tuple's *hold window*: the span during
@@ -59,7 +59,7 @@ impl LockDep {
 /// `HashSet<u64>` of hashes would dedup wrongly on a hash collision;
 /// the exact compare makes collisions merely a second probe.)
 #[derive(Default)]
-struct DedupIndex {
+pub(crate) struct DedupIndex {
     buckets: HashMap<u64, Vec<u32>>,
 }
 
@@ -73,7 +73,7 @@ impl DedupIndex {
 
     /// Whether `dep` is absent from `kept`; records `kept.len()` as its
     /// future index if so (the caller pushes it next).
-    fn is_new(&mut self, kept: &[LockDep], dep: &LockDep) -> bool {
+    pub(crate) fn is_new(&mut self, kept: &[LockDep], dep: &LockDep) -> bool {
         let ids = self.buckets.entry(Self::hash_of(dep)).or_default();
         if ids.iter().any(|&i| &kept[i as usize] == dep) {
             return false;
@@ -106,57 +106,28 @@ impl LockDependencyRelation {
     /// Tuples with an empty lockset are dropped: Definition 2(3) requires
     /// `l_i ∈ L_{i+1}` and Definition 3 requires `l_m ∈ L_1`, so a tuple
     /// with `L = ∅` can participate in no cycle.
+    ///
+    /// This is the offline entry point of [`crate::RelationBuilder`]:
+    /// the trace's thread bindings are replayed, then every event is fed
+    /// through the same incremental algorithm the streaming path uses,
+    /// so the two paths cannot diverge.
     pub fn from_trace(trace: &Trace) -> Self {
-        let mut seen = DedupIndex::default();
-        let mut deps: Vec<LockDep> = Vec::new();
-        let mut timings = Vec::new();
-        let mut raw_count = 0;
-        // Per-thread stack of (lock, acquire seq) mirroring `held`, for
-        // hold-window starts.
-        let mut stacks: std::collections::HashMap<df_events::ThreadId, Vec<(ObjId, u64)>> =
-            std::collections::HashMap::new();
-        for event in trace.events() {
-            match &event.kind {
-                EventKind::Acquire {
-                    lock,
-                    held,
-                    context,
-                    ..
-                } => {
-                    raw_count += 1;
-                    let stack = stacks.entry(event.thread).or_default();
-                    if !held.is_empty() {
-                        let dep = LockDep {
-                            thread: event.thread,
-                            thread_obj: trace
-                                .thread_obj(event.thread)
-                                .expect("trace binds every thread to its object"),
-                            lockset: held.clone(),
-                            lock: *lock,
-                            contexts: context.clone(),
-                        };
-                        if seen.is_new(&deps, &dep) {
-                            timings.push(DepTiming {
-                                window_start_seq: stack
-                                    .last()
-                                    .map(|&(_, s)| s)
-                                    .unwrap_or(event.seq),
-                                acquire_seq: event.seq,
-                            });
-                            deps.push(dep);
-                        }
-                    }
-                    stack.push((*lock, event.seq));
-                }
-                EventKind::Release { lock, .. } => {
-                    let stack = stacks.entry(event.thread).or_default();
-                    if let Some(pos) = stack.iter().rposition(|&(l, _)| l == *lock) {
-                        stack.remove(pos);
-                    }
-                }
-                _ => {}
-            }
+        let mut builder = crate::RelationBuilder::new();
+        for (thread, obj) in trace.thread_objs() {
+            builder.bind_thread(thread, obj);
         }
+        for event in trace.events() {
+            builder.observe(event);
+        }
+        builder.finish()
+    }
+
+    /// Assembles a relation from the builder's accumulated parts.
+    pub(crate) fn from_parts(
+        deps: Vec<LockDep>,
+        timings: Vec<DepTiming>,
+        raw_count: usize,
+    ) -> Self {
         LockDependencyRelation {
             deps,
             timings,
@@ -226,7 +197,7 @@ impl LockDependencyRelation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use df_events::{Label, ObjKind};
+    use df_events::{EventKind, Label, ObjKind};
 
     fn l(s: &str) -> Label {
         Label::new(s)

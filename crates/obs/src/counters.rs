@@ -25,6 +25,8 @@ pub struct Counters {
     faults_injected: AtomicU64,
     join_candidates_examined: AtomicU64,
     join_chains_built: AtomicU64,
+    events_streamed: AtomicU64,
+    peak_trace_bytes: AtomicU64,
 }
 
 /// A plain-data copy of [`Counters`] taken at one instant, the form that
@@ -53,10 +55,21 @@ pub struct CounterSnapshot {
     pub join_candidates_examined: u64,
     /// Chains built by the iGoodlock join across all iterations.
     pub join_chains_built: u64,
+    /// Events delivered to streaming [`df_events::EventSink`]s.
+    pub events_streamed: u64,
+    /// Largest in-memory event-trace footprint (approximate bytes) any
+    /// single run materialized. A fully streamed observation keeps this
+    /// at zero — the assertion behind `dfz record --stream`. Unlike the
+    /// other counters this is a high-water mark: merging shards takes
+    /// the maximum, not the sum.
+    pub peak_trace_bytes: u64,
 }
 
 macro_rules! counter_methods {
-    ($($(#[$doc:meta])* $field:ident => $add:ident;)*) => {
+    (
+        add { $($(#[$doc:meta])* $field:ident => $add:ident;)* }
+        max { $($(#[$mdoc:meta])* $mfield:ident => $record:ident;)* }
+    ) => {
         $(
             $(#[$doc])*
             pub fn $add(&self, n: u64) {
@@ -64,18 +77,29 @@ macro_rules! counter_methods {
             }
         )*
 
+        $(
+            $(#[$mdoc])*
+            pub fn $record(&self, n: u64) {
+                self.$mfield.fetch_max(n, Ordering::Relaxed);
+            }
+        )*
+
         /// Copies every counter into a serializable snapshot.
         pub fn snapshot(&self) -> CounterSnapshot {
             CounterSnapshot {
                 $($field: self.$field.load(Ordering::Relaxed),)*
+                $($mfield: self.$mfield.load(Ordering::Relaxed),)*
             }
         }
 
-        /// Adds every value of `delta` into this registry — how a
-        /// per-worker counter shard is folded into the campaign rollup
-        /// after its trial completes.
+        /// Folds a per-worker counter shard into the campaign rollup
+        /// after its trial completes: additive counters are summed,
+        /// high-water marks are maxed — which is what keeps campaign
+        /// metrics invariant under how trials are partitioned across
+        /// workers.
         pub fn merge(&self, delta: &CounterSnapshot) {
             $(self.$field.fetch_add(delta.$field, Ordering::Relaxed);)*
+            $(self.$mfield.fetch_max(delta.$mfield, Ordering::Relaxed);)*
         }
     };
 }
@@ -87,26 +111,35 @@ impl Counters {
     }
 
     counter_methods! {
-        /// Counts `n` observed first lock acquisitions.
-        acquires_observed => add_acquires_observed;
-        /// Counts `n` recorded lock dependency edges.
-        dependency_edges => add_dependency_edges;
-        /// Counts `n` potential cycles reported by iGoodlock.
-        cycles_found => add_cycles_found;
-        /// Counts `n` scheduler pauses.
-        threads_paused => add_threads_paused;
-        /// Counts `n` thrash events.
-        thrash_events => add_thrash_events;
-        /// Counts `n` injected yields.
-        yields_taken => add_yields_taken;
-        /// Counts `n` retried trials.
-        trial_retries => add_trial_retries;
-        /// Counts `n` injected faults.
-        faults_injected => add_faults_injected;
-        /// Counts `n` join candidates examined by iGoodlock.
-        join_candidates_examined => add_join_candidates_examined;
-        /// Counts `n` chains built by the iGoodlock join.
-        join_chains_built => add_join_chains_built;
+        add {
+            /// Counts `n` observed first lock acquisitions.
+            acquires_observed => add_acquires_observed;
+            /// Counts `n` recorded lock dependency edges.
+            dependency_edges => add_dependency_edges;
+            /// Counts `n` potential cycles reported by iGoodlock.
+            cycles_found => add_cycles_found;
+            /// Counts `n` scheduler pauses.
+            threads_paused => add_threads_paused;
+            /// Counts `n` thrash events.
+            thrash_events => add_thrash_events;
+            /// Counts `n` injected yields.
+            yields_taken => add_yields_taken;
+            /// Counts `n` retried trials.
+            trial_retries => add_trial_retries;
+            /// Counts `n` injected faults.
+            faults_injected => add_faults_injected;
+            /// Counts `n` join candidates examined by iGoodlock.
+            join_candidates_examined => add_join_candidates_examined;
+            /// Counts `n` chains built by the iGoodlock join.
+            join_chains_built => add_join_chains_built;
+            /// Counts `n` events delivered to streaming sinks.
+            events_streamed => add_events_streamed;
+        }
+        max {
+            /// Raises the in-memory trace high-water mark to `n` bytes
+            /// if `n` exceeds the current mark.
+            peak_trace_bytes => record_peak_trace_bytes;
+        }
     }
 }
 
@@ -148,6 +181,30 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.snapshot().threads_paused, 4000);
+    }
+
+    #[test]
+    fn peak_is_a_high_water_mark_not_a_sum() {
+        let c = Counters::new();
+        c.record_peak_trace_bytes(100);
+        c.record_peak_trace_bytes(40);
+        assert_eq!(c.snapshot().peak_trace_bytes, 100);
+        c.record_peak_trace_bytes(250);
+        assert_eq!(c.snapshot().peak_trace_bytes, 250);
+    }
+
+    #[test]
+    fn merge_sums_adds_and_maxes_peaks() {
+        let a = Counters::new();
+        a.add_events_streamed(5);
+        a.record_peak_trace_bytes(300);
+        let b = Counters::new();
+        b.add_events_streamed(7);
+        b.record_peak_trace_bytes(120);
+        a.merge(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.events_streamed, 12);
+        assert_eq!(s.peak_trace_bytes, 300);
     }
 
     #[test]

@@ -60,6 +60,28 @@ impl Default for NoiseConfig {
     }
 }
 
+impl NoiseConfig {
+    /// Checks the knobs for nonsense, returning the reason a session
+    /// must not be started with them. Out-of-range probabilities used to
+    /// be clamped silently deep in the acquisition path; rejecting them
+    /// up front keeps a typo'd `1.3` from quietly running as `1.0`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.probability.is_finite() || !(0.0..=1.0).contains(&self.probability) {
+            return Err(format!(
+                "noise probability must be within [0, 1], got {}",
+                self.probability
+            ));
+        }
+        if self.max_sleep.is_zero() {
+            return Err("noise max_sleep must be positive".to_string());
+        }
+        if self.hang_timeout.is_zero() {
+            return Err("noise hang_timeout must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
 /// Phase II configuration for real threads.
 #[derive(Clone, Debug)]
 pub struct FuzzConfig {
@@ -268,6 +290,10 @@ struct LockCore {
 
 pub(crate) struct State {
     trace: Trace,
+    /// Sequence number of the next event, counted even when the session
+    /// does not materialize the trace, so streaming sinks observe the
+    /// exact seq numbers a recorded trace would carry.
+    event_seq: u64,
     threads: HashMap<ThreadId, ThreadState>,
     locks: HashMap<ObjId, LockCore>,
     next_thread: u32,
@@ -292,6 +318,37 @@ pub(crate) struct Inner {
     /// Observability handle (from [`FuzzConfig::obs`] in fuzz mode, a
     /// no-op default otherwise).
     obs: df_obs::Obs,
+    /// Streaming event observers (Phase I online analysis / spill).
+    sink: df_events::SinkHandle,
+    /// Whether events are appended to the in-memory trace. Streaming
+    /// sessions turn this off; the object table and thread bindings are
+    /// still kept (they are O(allocation sites), not O(events)).
+    record_events: bool,
+    /// When the session was created — the anchor for the hard deadline.
+    created: Instant,
+}
+
+impl Inner {
+    /// Records one event: appends it to the in-memory trace (when the
+    /// session materializes one) and streams it to the attached sinks.
+    /// Both happen under the state lock, so sinks observe events in
+    /// trace order; sinks must not call back into the session.
+    fn emit(&self, st: &mut State, thread: ThreadId, kind: EventKind) {
+        let seq = st.event_seq;
+        st.event_seq += 1;
+        if !self.sink.is_attached() {
+            if self.record_events {
+                st.trace.push(thread, kind);
+            }
+            return;
+        }
+        if self.record_events {
+            let pushed = st.trace.push(thread, kind.clone());
+            debug_assert_eq!(pushed, seq, "trace and streamed sequences agree");
+        }
+        self.sink.emit(&df_events::Event::new(seq, thread, kind));
+        self.obs.counters().add_events_streamed(1);
+    }
 }
 
 /// A DeadlockFuzzer session over real OS threads.
@@ -349,18 +406,35 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 impl Session {
     fn new(mode: SessionMode) -> Self {
+        let obs = match &mode {
+            SessionMode::Fuzz(cfg) => cfg.obs.clone(),
+            _ => df_obs::Obs::default(),
+        };
+        Session::build(
+            mode,
+            df_events::SinkHandle::none(),
+            true,
+            obs,
+            Instant::now(),
+        )
+    }
+
+    fn build(
+        mode: SessionMode,
+        sink: df_events::SinkHandle,
+        record_events: bool,
+        obs: df_obs::Obs,
+        created: Instant,
+    ) -> Self {
         let seed = match &mode {
             SessionMode::Fuzz(cfg) => cfg.seed,
             SessionMode::Noise(cfg) => cfg.seed,
             SessionMode::Record => 0,
         };
-        let obs = match &mode {
-            SessionMode::Fuzz(cfg) => cfg.obs.clone(),
-            _ => df_obs::Obs::default(),
-        };
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 trace: Trace::new(),
+                event_seq: 0,
                 threads: HashMap::new(),
                 locks: HashMap::new(),
                 next_thread: 0,
@@ -379,6 +453,9 @@ impl Session {
             cond: Condvar::new(),
             mode,
             obs,
+            sink,
+            record_events,
+            created,
         });
         let session = Session { inner };
         session.register_current("main", Label::new("<main>"), Vec::new());
@@ -398,6 +475,22 @@ impl Session {
         Session::new(SessionMode::Record)
     }
 
+    /// Starts a Phase I session that records the trace *and* streams
+    /// every event to `sink` in trace order as it happens.
+    pub fn record_with_sink(sink: df_events::SinkHandle, obs: df_obs::Obs) -> Self {
+        Session::build(SessionMode::Record, sink, true, obs, Instant::now())
+    }
+
+    /// Starts a Phase I session that streams every event to `sink`
+    /// without ever materializing the event vector — the object table
+    /// and thread bindings are still kept (they grow with allocation
+    /// sites, not events) and are delivered to the sinks by
+    /// [`Session::seal`]. Attach a [`df_igoodlock::RelationBuilder`] to
+    /// run iGoodlock over an execution in O(relation) memory.
+    pub fn record_streaming(sink: df_events::SinkHandle, obs: df_obs::Obs) -> Self {
+        Session::build(SessionMode::Record, sink, false, obs, Instant::now())
+    }
+
     /// Starts a Phase II (fuzzing) session targeting `config.cycle`.
     pub fn fuzz(config: FuzzConfig) -> Self {
         Session::new(SessionMode::Fuzz(config))
@@ -405,7 +498,15 @@ impl Session {
 
     /// Starts a ConTest-style noise-injection session (the related-work
     /// baseline): no steering, just random sleeps before acquisitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`NoiseConfig::validate`] — check first
+    /// when the knobs come from user input.
     pub fn noise(config: NoiseConfig) -> Self {
+        if let Err(reason) = config.validate() {
+            panic!("invalid NoiseConfig: {reason}");
+        }
         Session::new(SessionMode::Noise(config))
     }
 
@@ -424,6 +525,7 @@ impl Session {
             .insert(id, ThreadState::new(obj, name.to_string()));
         st.trace.bind_thread(id, obj);
         drop(st);
+        self.inner.sink.thread_bound(id, obj);
         tls::bind(Arc::downgrade(&self.inner), id);
     }
 
@@ -456,7 +558,8 @@ impl Session {
             st.threads
                 .insert(id, ThreadState::new(obj, name.to_string()));
             st.trace.bind_thread(id, obj);
-            st.trace.push(
+            self.inner.emit(
+                &mut st,
                 me,
                 EventKind::Spawn {
                     child: id,
@@ -466,14 +569,14 @@ impl Session {
             st.progress += 1;
             (id, obj)
         };
-        let _ = child_obj;
+        self.inner.sink.thread_bound(child, child_obj);
         let handle = std::thread::Builder::new()
             .name(format!("df-{name}"))
             .spawn(move || {
                 tls::bind(Arc::downgrade(&inner), child);
                 {
                     let mut st = inner.state.lock();
-                    st.trace.push(child, EventKind::ThreadStart);
+                    inner.emit(&mut st, child, EventKind::ThreadStart);
                 }
                 let result = panic::catch_unwind(AssertUnwindSafe(f));
                 {
@@ -490,7 +593,7 @@ impl Session {
                             st.program_panic = Some(panic_message(payload.as_ref()));
                         }
                     }
-                    st.trace.push(child, EventKind::ThreadExit);
+                    inner.emit(&mut st, child, EventKind::ThreadExit);
                     st.progress += 1;
                     inner.cond.notify_all();
                 }
@@ -504,10 +607,26 @@ impl Session {
         JoinHandle { handle }
     }
 
+    /// Seals the streaming side of the session: delivers the end-of-run
+    /// notification (with the object table and thread bindings) to the
+    /// attached sinks and records the in-memory trace high-water mark —
+    /// zero for a [`Session::record_streaming`] session, which is the
+    /// assertion behind `dfz record --stream`. Call after joining all
+    /// program threads; [`Session::analyze`] calls it for you.
+    pub fn seal(&self) {
+        let st = self.inner.state.lock();
+        self.inner
+            .obs
+            .counters()
+            .record_peak_trace_bytes(st.trace.approx_event_bytes());
+        self.inner.sink.finish(&st.trace);
+    }
+
     /// Finishes a recording session and runs iGoodlock on the trace.
     ///
     /// Call after joining all program threads.
     pub fn analyze(&self, options: &IGoodlockOptions) -> RecordReport {
+        self.seal();
         let st = self.inner.state.lock();
         let relation = LockDependencyRelation::from_trace(&st.trace);
         let cycles = igoodlock(&relation, options);
@@ -561,7 +680,7 @@ impl Session {
         let me = tls::current(&Arc::downgrade(&self.inner));
         {
             let mut st = self.inner.state.lock();
-            st.trace.push(me, EventKind::Call { site });
+            self.inner.emit(&mut st, me, EventKind::Call { site });
             if let Some(ts) = st.threads.get_mut(&me) {
                 ts.enter_call(site);
             }
@@ -569,7 +688,7 @@ impl Session {
         let r = f();
         {
             let mut st = self.inner.state.lock();
-            st.trace.push(me, EventKind::Return);
+            self.inner.emit(&mut st, me, EventKind::Return);
             if let Some(ts) = st.threads.get_mut(&me) {
                 ts.exit_call();
             }
@@ -609,10 +728,13 @@ impl Session {
         // poll, keeping the watchdog off the scheduler's back.
         let fine = Duration::from_millis(5);
         let coarse = (hang_timeout / 10).clamp(fine, Duration::from_millis(50));
+        // The deadline is anchored to session creation, not to whenever
+        // the watchdog thread happens to get scheduled: a slow spawn
+        // under load must not silently extend the session's budget.
+        let started = self.inner.created;
         std::thread::Builder::new()
             .name("df-watchdog".into())
             .spawn(move || {
-                let started = Instant::now();
                 let mut last_progress = 0u64;
                 let mut last_change = Instant::now();
                 let mut poll = fine;
@@ -782,6 +904,20 @@ fn check_cycle(
     })
 }
 
+/// Samples the noise injector's pre-acquisition sleep: `None` when the
+/// probability coin says no noise, otherwise a duration uniform over the
+/// full `0..=max_sleep` range at microsecond resolution. (An earlier cut
+/// truncated `max_sleep` to whole milliseconds and sampled an exclusive
+/// upper bound, so sub-millisecond budgets collapsed to "never sleep at
+/// all" and the configured maximum itself was never drawn.)
+fn noise_sleep(rng: &mut ChaCha8Rng, cfg: &NoiseConfig) -> Option<Duration> {
+    if !rng.gen_bool(cfg.probability) {
+        return None;
+    }
+    let max_us = cfg.max_sleep.as_micros().min(u64::MAX as u128) as u64;
+    Some(Duration::from_micros(rng.gen_range(0..=max_us)))
+}
+
 /// Lock acquisition: the interception point (what CalFuzzer instruments
 /// at the bytecode level). Called by [`crate::DfMutex::lock`].
 pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
@@ -791,12 +927,7 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
     if let SessionMode::Noise(cfg) = &inner.mode {
         let sleep = {
             let mut st = inner.state.lock();
-            if st.rng.gen_bool(cfg.probability.clamp(0.0, 1.0)) {
-                let max = cfg.max_sleep.as_millis().max(1) as u64;
-                Some(Duration::from_millis(st.rng.gen_range(0..max)))
-            } else {
-                None
-            }
+            noise_sleep(&mut st.rng, cfg)
         };
         if let Some(d) = sleep {
             std::thread::sleep(d);
@@ -904,13 +1035,13 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
                     .get_mut(&me)
                     .expect("blocking thread is registered with the session")
                     .status = ThreadStatus::Blocked(lock, site);
-                st.trace.push(me, EventKind::Blocked { lock });
+                inner.emit(&mut st, me, EventKind::Blocked { lock });
                 inner.cond.wait(&mut st);
                 st.threads
                     .get_mut(&me)
                     .expect("blocked thread stays registered while parked")
                     .status = ThreadStatus::Running;
-                st.trace.push(me, EventKind::Unblocked { lock });
+                inner.emit(&mut st, me, EventKind::Unblocked { lock });
             }
         }
     }
@@ -928,7 +1059,8 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
     context.push(site);
     ts.lock_stack.push(lock);
     ts.context_stack.push(site);
-    st.trace.push(
+    inner.emit(
+        &mut st,
         me,
         EventKind::Acquire {
             lock,
@@ -957,7 +1089,7 @@ pub(crate) fn release(inner: &Arc<Inner>, lock: ObjId, site: Label) {
             ts.context_stack.remove(pos);
         }
     }
-    st.trace.push(me, EventKind::Release { lock, site });
+    inner.emit(&mut st, me, EventKind::Release { lock, site });
     st.progress += 1;
     inner.cond.notify_all();
 }
@@ -982,7 +1114,7 @@ pub(crate) fn monitor_wait(inner: &Arc<Inner>, lock: ObjId, site: Label) {
         }
         ts.status = ThreadStatus::Blocked(lock, site);
     }
-    st.trace.push(me, EventKind::Wait { lock, site });
+    inner.emit(&mut st, me, EventKind::Wait { lock, site });
     st.progress += 1;
     inner.cond.notify_all();
     // Park until a notify removes us from the wait set.
@@ -1041,7 +1173,7 @@ pub(crate) fn monitor_notify(inner: &Arc<Inner>, lock: ObjId, site: Label, all: 
         }
         _ => panic!("notify() on a DfMutex this thread does not hold (at {site})"),
     }
-    st.trace.push(me, EventKind::Notify { lock, site, all });
+    inner.emit(&mut st, me, EventKind::Notify { lock, site, all });
     st.progress += 1;
     inner.cond.notify_all();
 }
@@ -1059,7 +1191,7 @@ pub(crate) fn register_lock(inner: &Arc<Inner>, site: Label) -> ObjId {
         .trace
         .objects_mut()
         .create(ObjKind::Lock, site, None, index);
-    st.trace.push(me, EventKind::New { obj });
+    inner.emit(&mut st, me, EventKind::New { obj });
     st.progress += 1;
     obj
 }
@@ -1076,4 +1208,226 @@ fn install_quiet_hook() {
             prev(info);
         }));
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfMutex;
+    use df_events::site;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn noise_sleep_covers_the_full_range_at_microsecond_resolution() {
+        let cfg = NoiseConfig {
+            probability: 1.0,
+            max_sleep: Duration::from_micros(2_500),
+            ..NoiseConfig::default()
+        };
+        let mut r = rng(7);
+        let samples: Vec<Duration> = (0..4_000)
+            .map(|_| noise_sleep(&mut r, &cfg).expect("probability 1.0 always sleeps"))
+            .collect();
+        let max = samples.iter().max().expect("non-empty");
+        assert!(samples.iter().all(|d| *d <= cfg.max_sleep));
+        // The old sampler truncated to whole milliseconds with an
+        // exclusive bound: every draw was quantized and the top of the
+        // range unreachable. At microsecond resolution the empirical max
+        // must get close to the budget...
+        assert!(
+            *max > cfg.max_sleep.mul_f64(0.9),
+            "max sample {max:?} never approaches the {:?} budget",
+            cfg.max_sleep
+        );
+        // ...and draws must not all sit on millisecond boundaries.
+        assert!(
+            samples.iter().any(|d| d.subsec_micros() % 1_000 != 0),
+            "samples are still millisecond-quantized"
+        );
+    }
+
+    #[test]
+    fn noise_sleep_honors_sub_millisecond_budgets() {
+        // A 300µs budget used to collapse to `gen_range(0..1ms) = 0`:
+        // the baseline silently never slept.
+        let cfg = NoiseConfig {
+            probability: 1.0,
+            max_sleep: Duration::from_micros(300),
+            ..NoiseConfig::default()
+        };
+        let mut r = rng(11);
+        let samples: Vec<Duration> = (0..500)
+            .map(|_| noise_sleep(&mut r, &cfg).expect("always sleeps"))
+            .collect();
+        assert!(samples.iter().all(|d| *d <= cfg.max_sleep));
+        assert!(samples.iter().any(|d| !d.is_zero()));
+    }
+
+    #[test]
+    fn noise_sleep_upper_bound_is_inclusive() {
+        let cfg = NoiseConfig {
+            probability: 1.0,
+            max_sleep: Duration::from_micros(3),
+            ..NoiseConfig::default()
+        };
+        let mut r = rng(13);
+        let hit_max =
+            (0..200).any(|_| noise_sleep(&mut r, &cfg).expect("always sleeps") == cfg.max_sleep);
+        assert!(hit_max, "the configured maximum is never drawn");
+    }
+
+    #[test]
+    fn noise_sleep_probability_zero_never_sleeps() {
+        let cfg = NoiseConfig {
+            probability: 0.0,
+            ..NoiseConfig::default()
+        };
+        let mut r = rng(17);
+        assert!((0..100).all(|_| noise_sleep(&mut r, &cfg).is_none()));
+    }
+
+    #[test]
+    fn noise_config_validation_rejects_nonsense() {
+        let bad_probability = NoiseConfig {
+            probability: 1.3,
+            ..NoiseConfig::default()
+        };
+        assert!(bad_probability.validate().is_err());
+        let nan = NoiseConfig {
+            probability: f64::NAN,
+            ..NoiseConfig::default()
+        };
+        assert!(nan.validate().is_err());
+        let zero_sleep = NoiseConfig {
+            max_sleep: Duration::ZERO,
+            ..NoiseConfig::default()
+        };
+        assert!(zero_sleep.validate().is_err());
+        let zero_watchdog = NoiseConfig {
+            hang_timeout: Duration::ZERO,
+            ..NoiseConfig::default()
+        };
+        assert!(zero_watchdog.validate().is_err());
+        assert!(NoiseConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid NoiseConfig")]
+    fn noise_session_refuses_an_invalid_config() {
+        let _ = Session::noise(NoiseConfig {
+            probability: 2.0,
+            ..NoiseConfig::default()
+        });
+    }
+
+    #[test]
+    fn deadline_is_anchored_to_session_creation_not_watchdog_spawn() {
+        // Backdate the session: from the session's point of view its 1s
+        // deadline expired long ago, even though the watchdog thread is
+        // brand new. The regression measured the deadline from watchdog
+        // spawn and would report `Completed` here.
+        let created = Instant::now()
+            .checked_sub(Duration::from_secs(2))
+            .expect("system uptime exceeds two seconds");
+        let cfg = FuzzConfig::new(AbstractCycle::new(vec![])).with_deadline(Duration::from_secs(1));
+        let session = Session::build(
+            SessionMode::Fuzz(cfg),
+            df_events::SinkHandle::none(),
+            true,
+            df_obs::Obs::default(),
+            created,
+        );
+        std::thread::sleep(Duration::from_millis(400));
+        assert_eq!(session.finish(), FuzzOutcome::DeadlineExceeded);
+    }
+
+    #[derive(Default)]
+    struct CapturingSink {
+        events: Vec<df_events::Event>,
+        bindings: Vec<(ThreadId, ObjId)>,
+        finished: bool,
+    }
+
+    impl df_events::EventSink for CapturingSink {
+        fn on_event(&mut self, event: &df_events::Event) {
+            self.events.push(event.clone());
+        }
+
+        fn on_thread_bound(&mut self, thread: ThreadId, obj: ObjId) {
+            self.bindings.push((thread, obj));
+        }
+
+        fn on_finish(&mut self, _trace: &Trace) {
+            self.finished = true;
+        }
+    }
+
+    fn capturing_handle() -> (Arc<std::sync::Mutex<CapturingSink>>, df_events::SinkHandle) {
+        let cap = Arc::new(std::sync::Mutex::new(CapturingSink::default()));
+        let handle = df_events::SinkHandle::single(cap.clone());
+        (cap, handle)
+    }
+
+    /// A deterministic single-threaded locking program (no interleaving
+    /// nondeterminism, so two sessions running it produce identical
+    /// traces).
+    fn run_locking_program(session: &Session) {
+        let a = DfMutex::new(session, 0u8, site!("prog.newA"));
+        let b = DfMutex::new(session, 0u8, site!("prog.newB"));
+        session.scope(site!("prog.work"), || {
+            let ga = a.lock(site!("prog.lockA"));
+            let gb = b.lock(site!("prog.lockB"));
+            drop(gb);
+            drop(ga);
+        });
+    }
+
+    #[test]
+    fn sink_observes_the_exact_recorded_stream() {
+        let (cap, handle) = capturing_handle();
+        let obs = df_obs::Obs::default();
+        let session = Session::record_with_sink(handle, obs.clone());
+        run_locking_program(&session);
+        session.seal();
+        let trace = session.trace();
+        let cap = cap.lock().expect("sink mutex");
+        assert!(!trace.events().is_empty());
+        assert_eq!(cap.events.as_slice(), trace.events());
+        assert!(cap.finished);
+        for (thread, obj) in trace.thread_objs() {
+            assert!(cap.bindings.contains(&(thread, obj)));
+        }
+        let snap = obs.counters().snapshot();
+        assert_eq!(snap.events_streamed, trace.events().len() as u64);
+        assert_eq!(snap.peak_trace_bytes, trace.approx_event_bytes());
+        assert!(snap.peak_trace_bytes > 0);
+    }
+
+    #[test]
+    fn streaming_session_sees_the_same_events_at_zero_peak() {
+        let (recorded_cap, recorded_handle) = capturing_handle();
+        let recorded = Session::record_with_sink(recorded_handle, df_obs::Obs::default());
+        run_locking_program(&recorded);
+        recorded.seal();
+        drop(recorded);
+
+        let (cap, handle) = capturing_handle();
+        let obs = df_obs::Obs::default();
+        let session = Session::record_streaming(handle, obs.clone());
+        run_locking_program(&session);
+        session.seal();
+        assert!(
+            session.trace().events().is_empty(),
+            "streaming session must not materialize the event vector"
+        );
+        let cap = cap.lock().expect("sink mutex");
+        let recorded_cap = recorded_cap.lock().expect("sink mutex");
+        assert_eq!(cap.events, recorded_cap.events);
+        let snap = obs.counters().snapshot();
+        assert_eq!(snap.events_streamed, cap.events.len() as u64);
+        assert_eq!(snap.peak_trace_bytes, 0);
+    }
 }

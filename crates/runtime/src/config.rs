@@ -51,6 +51,14 @@ pub struct RunConfig {
     /// sink. The default handle counts into a private registry and traces
     /// nothing.
     pub obs: df_obs::Obs,
+    /// Streaming event observers. Every recorded event is delivered to
+    /// the attached [`df_events::EventSink`]s in trace order with the
+    /// sequence numbers the trace would carry, whether or not
+    /// `record_trace` keeps the events in memory — which is what lets
+    /// Phase I consume an execution online instead of materializing the
+    /// full event vector. The default handle has no sinks and costs one
+    /// emptiness check per event.
+    pub sink: df_events::SinkHandle,
 }
 
 impl Default for RunConfig {
@@ -63,6 +71,7 @@ impl Default for RunConfig {
             fault_plan: None,
             program_seed: 0,
             obs: df_obs::Obs::default(),
+            sink: df_events::SinkHandle::none(),
         }
     }
 }
@@ -112,6 +121,14 @@ impl RunConfig {
     /// Attaches an observability handle.
     pub fn with_obs(mut self, obs: df_obs::Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Attaches streaming event sinks. Combine with
+    /// [`RunConfig::with_record_trace`]`(false)` to observe an execution
+    /// without ever materializing its event vector.
+    pub fn with_event_sink(mut self, sink: df_events::SinkHandle) -> Self {
+        self.sink = sink;
         self
     }
 }

@@ -86,19 +86,27 @@ impl Controller {
         })
     }
 
-    /// Records an event: appends to the trace (if recording) and informs
-    /// the strategy.
+    /// Records an event: appends to the trace (if recording), streams it
+    /// to any attached sinks, and informs the strategy. The sequence
+    /// number comes from a dedicated event counter so sinks observe the
+    /// exact numbering a recorded trace would carry even when trace
+    /// recording is off.
     fn record(&self, inner: &mut Inner, thread: ThreadId, kind: EventKind) {
         if inner.g.aborting {
             return;
         }
-        let seq = if inner.g.record_trace {
-            inner.g.trace.push(thread, kind.clone())
-        } else {
-            inner.g.steps
-        };
+        let seq = inner.g.event_seq;
+        inner.g.event_seq += 1;
+        if inner.g.record_trace {
+            let pushed = inner.g.trace.push(thread, kind.clone());
+            debug_assert_eq!(pushed, seq, "trace and event counter agree");
+        }
+        let event = df_events::Event::new(seq, thread, kind);
+        if self.config.sink.is_attached() {
+            self.config.sink.emit(&event);
+            self.config.obs.counters().add_events_streamed(1);
+        }
         if let Some(mut strat) = inner.strategy.take() {
-            let event = df_events::Event::new(seq, thread, kind);
             strat.on_event(&event, &StateView { g: &inner.g });
             inner.strategy = Some(strat);
         }
@@ -611,6 +619,7 @@ impl Controller {
             .threads
             .push(ThreadState::new(child, name, child_obj));
         inner.g.trace.bind_thread(child, child_obj);
+        self.config.sink.thread_bound(child, child_obj);
         // Account the child's start schedule point now, while we hold the
         // parent's critical section — not when the OS gets around to
         // starting the thread (see `start_point`).
@@ -665,6 +674,7 @@ impl Controller {
             .threads
             .push(ThreadState::new(child, name, child_obj));
         inner.g.trace.bind_thread(child, child_obj);
+        self.config.sink.thread_bound(child, child_obj);
         inner.g.steps += 1;
         inner.g.progress += 1;
         self.record(inner, parent, EventKind::Spawn { child, child_obj });

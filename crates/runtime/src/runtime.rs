@@ -71,6 +71,7 @@ impl VirtualRuntime {
                 .threads
                 .push(ThreadState::new(main_id, "main".to_string(), main_obj));
             inner.g.trace.bind_thread(main_id, main_obj);
+            self.config.sink.thread_bound(main_id, main_obj);
             // The main thread's start schedule point, accounted here so
             // step numbering never depends on OS thread-startup timing.
             inner.g.steps += 1;
@@ -154,6 +155,12 @@ impl VirtualRuntime {
         counters.add_thrash_events(stats.thrashes);
         counters.add_yields_taken(stats.yields);
         counters.add_faults_injected(u64::from(faults.total()));
+        // High-water mark of the in-memory event vector: zero for fully
+        // streamed runs, which is the assertion behind `record --stream`.
+        counters.record_peak_trace_bytes(trace.approx_event_bytes());
+        // Let streaming observers seal their output with the final object
+        // table and thread bindings.
+        self.config.sink.finish(&trace);
         RunResult {
             outcome,
             trace,
@@ -740,5 +747,89 @@ mod tests {
         for (x, y) in a.trace.events().iter().zip(b.trace.events()) {
             assert_eq!(x, y);
         }
+    }
+
+    /// A sink that captures the full stream for comparison in tests.
+    #[derive(Default)]
+    struct CapturingSink {
+        events: Vec<df_events::Event>,
+        bindings: Vec<(ThreadId, df_events::ObjId)>,
+        finished: bool,
+    }
+
+    impl df_events::EventSink for CapturingSink {
+        fn on_event(&mut self, event: &df_events::Event) {
+            self.events.push(event.clone());
+        }
+
+        fn on_thread_bound(&mut self, thread: ThreadId, obj: df_events::ObjId) {
+            self.bindings.push((thread, obj));
+        }
+
+        fn on_finish(&mut self, _trace: &Trace) {
+            self.finished = true;
+        }
+    }
+
+    fn spawning_program(ctx: &TCtx) {
+        let l = ctx.new_lock(site!("outer"));
+        let m = ctx.new_lock(site!("inner"));
+        let (l2, m2) = (l, m);
+        let t = ctx.spawn(site!("spawn"), "worker", move |ctx| {
+            let _a = ctx.lock(&l2, site!());
+            let _b = ctx.lock(&m2, site!());
+        });
+        {
+            let _a = ctx.lock(&l, site!());
+            let _b = ctx.lock(&m, site!());
+        }
+        ctx.join(&t, site!());
+    }
+
+    #[test]
+    fn sink_observes_the_exact_recorded_stream() {
+        let sink = std::sync::Arc::new(std::sync::Mutex::new(CapturingSink::default()));
+        let handle = df_events::SinkHandle::single(
+            sink.clone() as std::sync::Arc<std::sync::Mutex<dyn df_events::EventSink>>
+        );
+        let obs = df_obs::Obs::new();
+        let r = VirtualRuntime::new(cfg().with_event_sink(handle).with_obs(obs.clone()))
+            .run(Box::new(FifoStrategy::new()), spawning_program);
+        assert!(r.outcome.is_completed());
+        let s = sink.lock().unwrap();
+        assert!(s.finished);
+        assert_eq!(s.events.as_slice(), r.trace.events());
+        // Every traced thread binding was announced to the sink.
+        for (thread, obj) in r.trace.thread_objs() {
+            assert!(s.bindings.contains(&(thread, obj)), "missing {thread:?}");
+        }
+        let snap = obs.counters().snapshot();
+        assert_eq!(snap.events_streamed, r.trace.events().len() as u64);
+        assert_eq!(snap.peak_trace_bytes, r.trace.approx_event_bytes());
+    }
+
+    #[test]
+    fn streaming_without_recording_sees_the_same_events_at_zero_peak() {
+        let recorded =
+            VirtualRuntime::new(cfg()).run(Box::new(FifoStrategy::new()), spawning_program);
+        let sink = std::sync::Arc::new(std::sync::Mutex::new(CapturingSink::default()));
+        let handle = df_events::SinkHandle::single(
+            sink.clone() as std::sync::Arc<std::sync::Mutex<dyn df_events::EventSink>>
+        );
+        let obs = df_obs::Obs::new();
+        let r = VirtualRuntime::new(
+            cfg()
+                .with_record_trace(false)
+                .with_event_sink(handle)
+                .with_obs(obs.clone()),
+        )
+        .run(Box::new(FifoStrategy::new()), spawning_program);
+        assert!(r.outcome.is_completed());
+        assert!(r.trace.events().is_empty(), "no event vector materialized");
+        let s = sink.lock().unwrap();
+        assert_eq!(s.events.as_slice(), recorded.trace.events());
+        let snap = obs.counters().snapshot();
+        assert_eq!(snap.peak_trace_bytes, 0);
+        assert_eq!(snap.events_streamed, recorded.trace.events().len() as u64);
     }
 }

@@ -137,6 +137,10 @@ pub(crate) struct Global {
     /// The thread currently allowed to run (token holder).
     pub(crate) current: Option<ThreadId>,
     pub(crate) steps: u64,
+    /// Events recorded so far — the sequence number of the next event.
+    /// Counted even when `record_trace` is off so streaming sinks see
+    /// the exact sequence numbers a recorded trace would carry.
+    pub(crate) event_seq: u64,
     pub(crate) aborting: bool,
     pub(crate) final_outcome: Option<crate::Outcome>,
     /// Monotonic progress counter for the hang watchdog.
@@ -154,6 +158,7 @@ impl Global {
             record_trace,
             current: None,
             steps: 0,
+            event_seq: 0,
             aborting: false,
             final_outcome: None,
             progress: 0,

@@ -1,0 +1,161 @@
+//! Golden serialization tests: the on-disk artifact formats and the
+//! plain `Trace` JSON are pinned byte-for-byte against checked-in
+//! fixtures under `tests/golden/`. Any change to the serde shape of
+//! events, objects, or the artifact envelopes shows up here as a
+//! readable diff — bump the format version and regenerate the fixtures
+//! deliberately instead of drifting silently (readers of the old
+//! version must keep rejecting, which the version-mismatch tests below
+//! pin too).
+
+use deadlock_fuzzer::events::{
+    read_trace, write_trace, EventKind, Label, ObjKind, SpillError, ThreadId, Trace,
+    TRACE_FORMAT_VERSION,
+};
+use deadlock_fuzzer::igoodlock::{
+    read_relation, write_relation, LockDependencyRelation, RelationArtifactError,
+    RELATION_FORMAT_VERSION,
+};
+
+/// The canonical two-lock trace behind every fixture: one thread takes
+/// `a` then `b` nested, so the relation has exactly one dependency.
+fn golden_trace() -> Trace {
+    let mut trace = Trace::new();
+    let t0 = ThreadId::new(0);
+    let main = trace
+        .objects_mut()
+        .create(ObjKind::Thread, Label::new("<main>"), None, vec![]);
+    trace.bind_thread(t0, main);
+    let a = trace
+        .objects_mut()
+        .create(ObjKind::Lock, Label::new("main:3"), None, vec![]);
+    let b = trace
+        .objects_mut()
+        .create(ObjKind::Lock, Label::new("main:4"), None, vec![]);
+    trace.push(t0, EventKind::ThreadStart);
+    trace.push(
+        t0,
+        EventKind::Acquire {
+            lock: a,
+            site: Label::new("main:5"),
+            held: vec![],
+            context: vec![Label::new("main:5")],
+        },
+    );
+    trace.push(
+        t0,
+        EventKind::Acquire {
+            lock: b,
+            site: Label::new("main:6"),
+            held: vec![a],
+            context: vec![Label::new("main:5"), Label::new("main:6")],
+        },
+    );
+    trace.push(
+        t0,
+        EventKind::Release {
+            lock: b,
+            site: Label::new("main:7"),
+        },
+    );
+    trace.push(
+        t0,
+        EventKind::Release {
+            lock: a,
+            site: Label::new("main:8"),
+        },
+    );
+    trace.push(t0, EventKind::ThreadExit);
+    trace
+}
+
+const GOLDEN_TRACE_ARTIFACT: &str = include_str!("golden/trace.jsonl");
+const GOLDEN_TRACE_JSON: &str = include_str!("golden/trace.json");
+const GOLDEN_RELATION_ARTIFACT: &str = include_str!("golden/relation.json");
+
+#[test]
+fn trace_artifact_bytes_are_pinned() {
+    let bytes = write_trace(Vec::new(), &golden_trace()).expect("write");
+    assert_eq!(
+        String::from_utf8(bytes).expect("utf8"),
+        GOLDEN_TRACE_ARTIFACT,
+        "df-trace artifact bytes drifted; bump TRACE_FORMAT_VERSION and \
+         regenerate tests/golden/trace.jsonl"
+    );
+}
+
+#[test]
+fn trace_artifact_golden_round_trips() {
+    let back = read_trace(GOLDEN_TRACE_ARTIFACT.as_bytes()).expect("read golden");
+    assert_eq!(back, golden_trace());
+}
+
+#[test]
+fn plain_trace_json_is_pinned_and_round_trips() {
+    let json = serde_json::to_string_pretty(&golden_trace()).expect("serialize");
+    assert_eq!(
+        format!("{json}\n"),
+        GOLDEN_TRACE_JSON,
+        "plain Trace JSON drifted; regenerate tests/golden/trace.json"
+    );
+    let back: Trace = serde_json::from_str(GOLDEN_TRACE_JSON).expect("parse golden");
+    assert_eq!(back, golden_trace());
+}
+
+#[test]
+fn relation_artifact_bytes_are_pinned_and_round_trip() {
+    let relation = LockDependencyRelation::from_trace(&golden_trace());
+    assert_eq!(relation.len(), 1, "the golden trace has one dependency");
+    let mut bytes = Vec::new();
+    write_relation(&mut bytes, &relation).expect("write");
+    assert_eq!(
+        String::from_utf8(bytes).expect("utf8"),
+        GOLDEN_RELATION_ARTIFACT,
+        "df-relation artifact bytes drifted; bump RELATION_FORMAT_VERSION \
+         and regenerate tests/golden/relation.json"
+    );
+    let back = read_relation(GOLDEN_RELATION_ARTIFACT.as_bytes()).expect("read golden");
+    assert_eq!(
+        serde_json::to_string(&back).expect("serialize"),
+        serde_json::to_string(&relation).expect("serialize")
+    );
+}
+
+/// Regenerates the fixtures after a deliberate format change:
+/// `cargo test -p deadlock-fuzzer --test artifact_golden -- --ignored`.
+#[test]
+#[ignore = "writes tests/golden/; run explicitly after a format change"]
+fn regenerate_goldens() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    std::fs::create_dir_all(&dir).expect("create golden dir");
+    let bytes = write_trace(Vec::new(), &golden_trace()).expect("write");
+    std::fs::write(dir.join("trace.jsonl"), bytes).expect("write trace.jsonl");
+    let json = serde_json::to_string_pretty(&golden_trace()).expect("serialize");
+    std::fs::write(dir.join("trace.json"), format!("{json}\n")).expect("write trace.json");
+    let relation = LockDependencyRelation::from_trace(&golden_trace());
+    let mut bytes = Vec::new();
+    write_relation(&mut bytes, &relation).expect("write");
+    std::fs::write(dir.join("relation.json"), bytes).expect("write relation.json");
+}
+
+#[test]
+fn version_bumped_goldens_are_rejected() {
+    let bumped = GOLDEN_TRACE_ARTIFACT.replacen(
+        &format!("\"version\":{TRACE_FORMAT_VERSION}"),
+        &format!("\"version\":{}", TRACE_FORMAT_VERSION + 1),
+        1,
+    );
+    assert!(matches!(
+        read_trace(bumped.as_bytes()),
+        Err(SpillError::VersionMismatch { .. })
+    ));
+
+    let bumped = GOLDEN_RELATION_ARTIFACT.replacen(
+        &format!("\"version\":{RELATION_FORMAT_VERSION}"),
+        &format!("\"version\":{}", RELATION_FORMAT_VERSION + 1),
+        1,
+    );
+    assert!(matches!(
+        read_relation(bumped.as_bytes()),
+        Err(RelationArtifactError::VersionMismatch { .. })
+    ));
+}

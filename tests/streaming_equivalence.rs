@@ -1,0 +1,135 @@
+//! Streaming Phase I vs the offline path on *real* Table 1 traces.
+//!
+//! The incremental [`RelationBuilder`] is the same code `from_trace`
+//! delegates to, but this test does not take that on faith: every
+//! benchmark program runs twice under the same scheduler seed — once
+//! recording the full event vector, once with the builder attached as
+//! an event sink and recording disabled — and the two relations must be
+//! byte-identical, the cycle reports must match, and the streamed run
+//! must never have materialized an event.
+
+use std::sync::{Arc, Mutex};
+
+use deadlock_fuzzer::fuzzer::SimpleRandomChecker;
+use deadlock_fuzzer::igoodlock::{
+    igoodlock, IGoodlockOptions, LockDependencyRelation, RelationBuilder,
+};
+use deadlock_fuzzer::runtime::{RunConfig, VirtualRuntime};
+use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+#[test]
+fn streamed_relation_is_byte_identical_on_benchmark_traces() {
+    let mut relations_with_cycles = 0;
+    for bench in df_benchmarks::table1_suite() {
+        for seed in [7u64, 23] {
+            // Offline: record everything, build the relation post-hoc.
+            let program = bench.program.clone();
+            let recorded = VirtualRuntime::new(RunConfig::default().with_program_seed(seed))
+                .run(Box::new(SimpleRandomChecker::with_seed(seed)), move |ctx| {
+                    program.run(ctx)
+                });
+            let offline = LockDependencyRelation::from_trace(&recorded.trace);
+
+            // Streaming: no event vector, the builder sees the live stream.
+            let builder = Arc::new(Mutex::new(RelationBuilder::new()));
+            let obs = df_obs::Obs::new();
+            let program = bench.program.clone();
+            let streamed_run = VirtualRuntime::new(
+                RunConfig::default()
+                    .with_program_seed(seed)
+                    .with_record_trace(false)
+                    .with_obs(obs.clone())
+                    .with_event_sink(df_events::SinkHandle::single(builder.clone())),
+            )
+            .run(Box::new(SimpleRandomChecker::with_seed(seed)), move |ctx| {
+                program.run(ctx)
+            });
+            let streamed = builder.lock().expect("builder sink").take();
+
+            assert_eq!(
+                serde_json::to_string(&offline).expect("serialize"),
+                serde_json::to_string(&streamed).expect("serialize"),
+                "byte-identical relation for {} (seed {seed})",
+                bench.name
+            );
+            assert_eq!(
+                igoodlock(&offline, &IGoodlockOptions::default()),
+                igoodlock(&streamed, &IGoodlockOptions::default()),
+                "identical cycle report for {} (seed {seed})",
+                bench.name
+            );
+
+            // The streamed run really streamed: nothing materialized,
+            // every event went through the sink.
+            assert!(
+                streamed_run.trace.events().is_empty(),
+                "{}: streamed run must not materialize events",
+                bench.name
+            );
+            let snap = obs.counters().snapshot();
+            assert_eq!(
+                snap.peak_trace_bytes, 0,
+                "{}: streamed peak must stay at zero",
+                bench.name
+            );
+            assert_eq!(
+                snap.events_streamed,
+                recorded.trace.events().len() as u64,
+                "{}: sink must see the exact event count",
+                bench.name
+            );
+
+            if !igoodlock(&offline, &IGoodlockOptions::default()).is_empty() {
+                relations_with_cycles += 1;
+            }
+        }
+    }
+    assert!(
+        relations_with_cycles > 0,
+        "the suite must exercise cycle-producing relations"
+    );
+}
+
+#[test]
+fn streamed_pipeline_report_matches_offline() {
+    for bench in df_benchmarks::table1_suite() {
+        let offline = DeadlockFuzzer::from_ref(
+            bench.program.clone(),
+            Config::default().with_phase1_seed(11),
+        )
+        .phase1();
+        let streamed = DeadlockFuzzer::from_ref(
+            bench.program.clone(),
+            Config::default()
+                .with_phase1_seed(11)
+                .with_stream_phase1(true),
+        )
+        .phase1();
+        assert_eq!(
+            offline.cycles, streamed.cycles,
+            "{}: concrete cycles must match",
+            bench.name
+        );
+        assert_eq!(
+            serde_json::to_string(&offline.abstract_cycles).expect("serialize"),
+            serde_json::to_string(&streamed.abstract_cycles).expect("serialize"),
+            "{}: abstract cycles must be byte-identical",
+            bench.name
+        );
+        assert_eq!(
+            offline.relation_size, streamed.relation_size,
+            "{}",
+            bench.name
+        );
+        assert_eq!(
+            offline.acquires_observed, streamed.acquires_observed,
+            "{}",
+            bench.name
+        );
+        assert!(
+            streamed.trace.events().is_empty(),
+            "{}: streamed report must carry no events",
+            bench.name
+        );
+    }
+}

@@ -1,6 +1,6 @@
 //! Offline stand-in for the subset of the `rand` 0.8 API this workspace
-//! uses: [`RngCore`], [`Rng`] (`gen_range` over half-open ranges,
-//! `gen_bool`) and [`SeedableRng`] (`seed_from_u64`).
+//! uses: [`RngCore`], [`Rng`] (`gen_range` over half-open and inclusive
+//! ranges, `gen_bool`) and [`SeedableRng`] (`seed_from_u64`).
 //!
 //! The workspace only relies on its PRNG being deterministic per seed and
 //! statistically unbiased enough for randomized scheduling; it does not
@@ -8,7 +8,7 @@
 
 #![forbid(unsafe_code)]
 
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 /// Core of a random number generator: a source of uniform `u64`s.
 pub trait RngCore {
@@ -50,6 +50,25 @@ macro_rules! int_sample_range {
                 ((self.start as u128).wrapping_add(v as u128)) as $t
             }
         }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range {}..={}", lo, hi);
+                // The +1 makes the upper bound reachable; when the range
+                // covers the whole 64-bit domain the span wraps to zero
+                // and the raw draw is already uniform over it.
+                let span = (hi as u128)
+                    .wrapping_sub(lo as u128)
+                    .wrapping_add(1) as u64;
+                let v = if span == 0 {
+                    rng.next_u64()
+                } else {
+                    rng.next_u64() % span
+                };
+                ((lo as u128).wrapping_add(v as u128)) as $t
+            }
+        }
     )*};
 }
 
@@ -58,7 +77,7 @@ int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// User-facing random value generation, blanket-implemented for every
 /// [`RngCore`].
 pub trait Rng: RngCore {
-    /// Returns a uniform sample from `range` (half-open).
+    /// Returns a uniform sample from `range` (half-open or inclusive).
     fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
     where
         Self: Sized,
@@ -126,5 +145,19 @@ mod tests {
     fn empty_range_panics() {
         let mut r = Counter(3);
         let _ = r.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_bounds() {
+        let mut r = Counter(4);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = r.gen_range(0..=2usize);
+            assert!(v <= 2);
+            seen[v] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        // Degenerate single-point range is legal, unlike `5..5`.
+        assert_eq!(r.gen_range(7..=7u64), 7);
     }
 }
