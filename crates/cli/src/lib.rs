@@ -41,6 +41,10 @@ pub mod exit_code {
     /// The harness itself failed (invalid config, confirmation error,
     /// unreadable input).
     pub const INTERNAL_ERROR: i32 = 4;
+    /// The online wait-for-graph detector of `df-lock` found a real
+    /// deadlock in a natively-scheduled program and its `SealAndExit`
+    /// handler terminated the process after sealing the spill.
+    pub const LIVE_DEADLOCK: i32 = 5;
 }
 
 /// Rendered output of a command plus the process exit code `main` should
@@ -404,9 +408,11 @@ pub fn cmd_record(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> 
         obs.counters().snapshot().peak_trace_bytes
     );
     if let (Some(sink), Some(path)) = (spill, &opts.out) {
+        // Recover a poisoned sink mutex: even if a trial panicked inside
+        // the program, the spill must still be harvested and sealed.
         let (events, bytes) = sink
             .lock()
-            .expect("spill sink")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .close()
             .map_err(|e| CliError::internal(format!("sealing {}: {e}", path.display())))?;
         let _ = writeln!(
@@ -508,20 +514,23 @@ fn analyze_relation(
 
 /// `dfz analyze <artifact>` — offline iGoodlock over a recorded
 /// artifact, sniffing its format from the first line: `df-trace` JSONL
-/// (from `dfz record --out`), `df-relation` JSON (from `dfz record
-/// --relation-out`), or a legacy plain-trace JSON dump (from `dfz
-/// trace`).
+/// (from `dfz record --out` or a sealed `df-lock` spill), `df-relation`
+/// JSON (from `dfz record --relation-out`), or a legacy plain-trace
+/// JSON dump (from `dfz trace`). `source` is the artifact's path (or
+/// other provenance string), used verbatim in error messages.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError::Usage`] for `--hb` over a relation artifact
-/// (the filter's vector clocks need the events), and a
+/// (the filter's vector clocks need the events) and for a truncated or
+/// corrupt artifact — the message names `source` and, when the failure
+/// is tied to one line, its 1-based line number. Returns a
 /// [`CliError::Internal`] if the content parses as none of the formats.
-pub fn cmd_analyze(content: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
+pub fn cmd_analyze(content: &str, source: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
     let head = content.trim_start();
     if head.starts_with("{\"Header\"") {
         let trace = df_events::read_trace(content.as_bytes())
-            .map_err(|e| CliError::internal(format!("bad trace artifact: {e}")))?;
+            .map_err(|e| CliError::usage(format!("bad trace artifact {source}: {e}")))?;
         return analyze_trace(&trace, opts);
     }
     if head.starts_with("{\"format\":\"df-relation\"") {
@@ -531,7 +540,7 @@ pub fn cmd_analyze(content: &str, opts: &CliOptions) -> Result<CmdOutput, CliErr
             ));
         }
         let relation = df_igoodlock::read_relation(content.as_bytes())
-            .map_err(|e| CliError::internal(format!("bad relation artifact: {e}")))?;
+            .map_err(|e| CliError::usage(format!("bad relation artifact {source}: {e}")))?;
         return analyze_relation(&relation, opts);
     }
     analyze_trace_json(content, opts)
@@ -816,6 +825,7 @@ mod tests {
             exit_code::USAGE,
             exit_code::PROGRAM_PANIC,
             exit_code::INTERNAL_ERROR,
+            exit_code::LIVE_DEADLOCK,
         ];
         for (i, a) in codes.iter().enumerate() {
             for b in &codes[i + 1..] {
@@ -919,11 +929,11 @@ mod tests {
 
         let live = cmd_phase1("figure1", &opts).unwrap();
         let content = std::fs::read_to_string(&trace_path.0).unwrap();
-        let offline = cmd_analyze(&content, &opts).unwrap();
+        let offline = cmd_analyze(&content, "trace.jsonl", &opts).unwrap();
         assert_eq!(offline.text, live.text, "recorded analysis must match live");
 
         let relation_content = std::fs::read_to_string(&relation_path.0).unwrap();
-        let from_relation = cmd_analyze(&relation_content, &opts).unwrap();
+        let from_relation = cmd_analyze(&relation_content, "relation.json", &opts).unwrap();
         let cycles: Vec<df_igoodlock::Cycle> = serde_json::from_str(&from_relation.text).unwrap();
         assert_eq!(cycles.len(), 1, "{}", from_relation.text);
     }
@@ -942,7 +952,7 @@ mod tests {
 
         // The streamed artifact still analyzes like a recorded one.
         let content = std::fs::read_to_string(&trace_path.0).unwrap();
-        let offline = cmd_analyze(&content, &CliOptions::default()).unwrap();
+        let offline = cmd_analyze(&content, "streamed.jsonl", &CliOptions::default()).unwrap();
         assert!(
             offline.text.contains("1 potential cycle"),
             "{}",
@@ -961,6 +971,7 @@ mod tests {
         let content = std::fs::read_to_string(&relation_path.0).unwrap();
         let err = cmd_analyze(
             &content,
+            "hb-relation.json",
             &CliOptions {
                 hb: true,
                 ..CliOptions::default()
@@ -969,5 +980,39 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.exit_code(), exit_code::USAGE);
         assert!(err.message().contains("--hb"), "{err}");
+    }
+
+    #[test]
+    fn analyze_names_path_and_line_for_corrupt_artifacts() {
+        let trace_path = TempPath::new("corrupt.jsonl");
+        let opts = CliOptions {
+            out: Some(trace_path.0.clone()),
+            ..CliOptions::default()
+        };
+        cmd_record("figure1", &opts).unwrap();
+        let content = std::fs::read_to_string(&trace_path.0).unwrap();
+
+        // Corrupt the fourth line mid-JSON, as a crashed writer would.
+        let mut lines: Vec<String> = content.lines().map(str::to_string).collect();
+        let half = lines[3].len() / 2;
+        lines[3].truncate(half);
+        let corrupt: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let err = cmd_analyze(&corrupt, "runs/corrupt.jsonl", &CliOptions::default()).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("runs/corrupt.jsonl"), "{err}");
+        assert!(err.message().contains("line 4"), "{err}");
+
+        // A truncated artifact (no footer) is also a usage error naming
+        // the file.
+        let truncated: String = content
+            .lines()
+            .filter(|l| !l.starts_with("{\"Footer\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err =
+            cmd_analyze(&truncated, "runs/truncated.jsonl", &CliOptions::default()).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("runs/truncated.jsonl"), "{err}");
+        assert!(err.message().contains("truncated"), "{err}");
     }
 }

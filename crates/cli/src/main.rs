@@ -33,7 +33,8 @@ fn usage() -> ! {
          fault injection: --fault-panic <prob> --fault-seed <n>\n\
          run `dfz list` for benchmark names\n\
          exit codes: 0 cycle confirmed / success, 1 no cycle found,\n\
-         2 usage, 3 program under test panicked, 4 internal error"
+         2 usage, 3 program under test panicked, 4 internal error,\n\
+         5 live deadlock detected (df-lock SealAndExit handler)"
     );
     std::process::exit(df_cli::exit_code::USAGE);
 }
@@ -146,7 +147,7 @@ fn main() {
         "analyze" => match positional.first() {
             Some(path) => std::fs::read_to_string(path)
                 .map_err(|e| CliError::internal(format!("cannot read {path}: {e}")))
-                .and_then(|content| cmd_analyze(&content, &opts)),
+                .and_then(|content| cmd_analyze(&content, path, &opts)),
             None => usage(),
         },
         "confirm" => match positional.first() {

@@ -84,6 +84,29 @@ impl Label {
     }
 }
 
+/// Interns the caller's source location (`file:line:column`) as a label.
+///
+/// This is the native-frame analogue of the [`crate::site!`] macro: a
+/// `#[track_caller]` API (like `df_lock::TrackedMutex::lock`) calls this
+/// and gets the location of *its caller*, so drop-in replacements for
+/// `std::sync` label events without explicit site arguments.
+///
+/// # Example
+///
+/// ```
+/// #[track_caller]
+/// fn acquire_site() -> df_events::Label {
+///     df_events::caller_site()
+/// }
+/// let l = acquire_site();
+/// assert!(l.as_str().contains("label.rs") || l.as_str().contains(".rs"));
+/// ```
+#[track_caller]
+pub fn caller_site() -> Label {
+    let loc = std::panic::Location::caller();
+    Label::new(&format!("{}:{}:{}", loc.file(), loc.line(), loc.column()))
+}
+
 impl fmt::Display for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.as_str())

@@ -42,7 +42,7 @@ mod trace;
 pub use event::{Event, EventKind};
 pub use ids::{ObjId, ObjKind, ThreadId};
 pub use intern::DenseInterner;
-pub use label::Label;
+pub use label::{caller_site, Label};
 pub use object::{IndexFrame, ObjectMeta, ObjectTable};
 pub use sink::{EventSink, SinkHandle};
 pub use spill::{

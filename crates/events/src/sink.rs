@@ -8,7 +8,7 @@
 //! can consume the event stream online instead of requiring the full
 //! in-memory `Vec<Event>` after the fact.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::{Event, ObjId, ThreadId, Trace};
 
@@ -69,9 +69,16 @@ impl SinkHandle {
     }
 
     /// Delivers one event to every attached sink.
+    ///
+    /// A sink whose callback panicked earlier leaves its mutex poisoned;
+    /// the handle recovers the guard instead of propagating the panic, so
+    /// later events — and the end-of-run seal — still reach the sink and a
+    /// panicking trial still produces an analyzable trace.
     pub fn emit(&self, event: &Event) {
         for sink in &self.sinks {
-            sink.lock().expect("event sink poisoned").on_event(event);
+            sink.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .on_event(event);
         }
     }
 
@@ -79,7 +86,7 @@ impl SinkHandle {
     pub fn thread_bound(&self, thread: ThreadId, obj: ObjId) {
         for sink in &self.sinks {
             sink.lock()
-                .expect("event sink poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .on_thread_bound(thread, obj);
         }
     }
@@ -87,7 +94,9 @@ impl SinkHandle {
     /// Announces the end of the execution to every attached sink.
     pub fn finish(&self, trace: &Trace) {
         for sink in &self.sinks {
-            sink.lock().expect("event sink poisoned").on_finish(trace);
+            sink.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .on_finish(trace);
         }
     }
 }
@@ -132,6 +141,30 @@ mod tests {
         assert!(!h.is_attached());
         h.emit(&Event::new(0, ThreadId::new(0), EventKind::Yield));
         h.finish(&Trace::new());
+    }
+
+    #[test]
+    fn poisoned_sink_still_receives_events_and_finish() {
+        let sink = Arc::new(Mutex::new(CountingSink::default()));
+        {
+            // Poison the sink's mutex by panicking while holding it, the
+            // way a buggy sink callback would.
+            let poisoner = Arc::clone(&sink);
+            let _ = std::thread::spawn(move || {
+                let _guard = poisoner.lock().unwrap();
+                panic!("sink bug");
+            })
+            .join();
+        }
+        assert!(sink.is_poisoned());
+        let h = SinkHandle::single(sink.clone() as Arc<Mutex<dyn EventSink>>);
+        h.thread_bound(ThreadId::new(0), ObjId::new(0));
+        h.emit(&Event::new(0, ThreadId::new(0), EventKind::Yield));
+        h.finish(&Trace::new());
+        let s = sink.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(s.events, 1);
+        assert_eq!(s.bindings, 1);
+        assert!(s.finished);
     }
 
     #[test]

@@ -67,8 +67,17 @@ enum TraceLine {
 pub enum SpillError {
     /// The underlying reader or writer failed.
     Io(io::Error),
-    /// A line was not valid JSON for the expected shape.
+    /// An event or footer could not be serialized while writing.
     Json(String),
+    /// A line of the artifact was corrupt while reading. `line` is
+    /// 1-based (the header is line 1), so reports can point straight at
+    /// the offending line of a truncated or hand-damaged file.
+    MalformedLine {
+        /// 1-based line number of the corrupt line.
+        line: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
     /// The file does not start with a `df-trace` header.
     NotAnArtifact,
     /// The header names a different format.
@@ -91,6 +100,9 @@ impl fmt::Display for SpillError {
         match self {
             SpillError::Io(e) => write!(f, "trace artifact i/o error: {e}"),
             SpillError::Json(e) => write!(f, "trace artifact malformed line: {e}"),
+            SpillError::MalformedLine { line, detail } => {
+                write!(f, "malformed line {line}: {detail}")
+            }
             SpillError::NotAnArtifact => {
                 write!(f, "not a {TRACE_FORMAT} artifact (missing header line)")
             }
@@ -107,6 +119,16 @@ impl fmt::Display for SpillError {
             SpillError::TrailingData => {
                 write!(f, "artifact has data after the footer line")
             }
+        }
+    }
+}
+
+impl SpillError {
+    /// The 1-based artifact line this error points at, when known.
+    pub fn line(&self) -> Option<u64> {
+        match self {
+            SpillError::MalformedLine { line, .. } => Some(*line),
+            _ => None,
         }
     }
 }
@@ -206,8 +228,9 @@ pub fn write_trace<W: Write>(out: W, trace: &Trace) -> Result<W, SpillError> {
 /// Rejects files without a valid header ([`SpillError::NotAnArtifact`],
 /// [`SpillError::WrongFormat`]), with an unsupported version
 /// ([`SpillError::VersionMismatch`]), truncated before the footer
-/// ([`SpillError::MissingFooter`]), or with data after the footer
-/// ([`SpillError::TrailingData`]).
+/// ([`SpillError::MissingFooter`]), with data after the footer
+/// ([`SpillError::TrailingData`]), or with a corrupt line
+/// ([`SpillError::MalformedLine`], carrying the 1-based line number).
 pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, SpillError> {
     let mut lines = input.lines();
     let first = match lines.next() {
@@ -229,7 +252,8 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, SpillError> {
     }
     let mut trace = Trace::new();
     let mut footer: Option<TraceFooter> = None;
-    for line in lines {
+    // The header was line 1; the enumeration below continues from line 2.
+    for (line_no, line) in (2u64..).zip(lines) {
         let line = line?;
         if line.trim().is_empty() {
             continue;
@@ -237,15 +261,21 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, SpillError> {
         if footer.is_some() {
             return Err(SpillError::TrailingData);
         }
-        match serde_json::from_str::<TraceLine>(&line)
-            .map_err(|e| SpillError::Json(e.to_string()))?
-        {
+        match serde_json::from_str::<TraceLine>(&line).map_err(|e| SpillError::MalformedLine {
+            line: line_no,
+            detail: e.to_string(),
+        })? {
             TraceLine::Event(event) => {
                 let seq = trace.push(event.thread, event.kind);
                 debug_assert_eq!(seq, event.seq, "artifact events are in sequence order");
             }
             TraceLine::Footer(f) => footer = Some(f),
-            TraceLine::Header(_) => return Err(SpillError::Json("duplicate header".to_string())),
+            TraceLine::Header(_) => {
+                return Err(SpillError::MalformedLine {
+                    line: line_no,
+                    detail: "duplicate header".to_string(),
+                })
+            }
         }
     }
     let footer = footer.ok_or(SpillError::MissingFooter)?;
@@ -423,6 +453,40 @@ mod tests {
             read_trace(without_footer.as_bytes()),
             Err(SpillError::MissingFooter)
         ));
+    }
+
+    #[test]
+    fn corrupt_line_is_reported_with_its_1_based_number() {
+        let trace = sample_trace();
+        let bytes = write_trace(Vec::new(), &trace).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        // Chop the third line (an event) mid-JSON, as a crashed writer would.
+        let half = lines[2].len() / 2;
+        lines[2].truncate(half);
+        let corrupt: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        match read_trace(corrupt.as_bytes()) {
+            Err(e @ SpillError::MalformedLine { line: 3, .. }) => {
+                assert_eq!(e.line(), Some(3));
+                assert!(e.to_string().contains("line 3"), "message: {e}");
+            }
+            other => panic!("expected MalformedLine at line 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_header_is_reported_with_its_line() {
+        let trace = sample_trace();
+        let bytes = write_trace(Vec::new(), &trace).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let header = text.lines().next().unwrap();
+        let doubled = format!("{header}\n{text}");
+        match read_trace(doubled.as_bytes()) {
+            Err(SpillError::MalformedLine { line: 2, detail }) => {
+                assert!(detail.contains("duplicate header"));
+            }
+            other => panic!("expected MalformedLine at line 2, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! What to do the moment a real deadlock forms.
+
+use std::fmt;
+use std::sync::Arc;
+
+use df_runtime::DeadlockWitness;
+
+/// Process exit code used by [`DeadlockHandler::SealAndExit`].
+///
+/// This is `dfz`'s documented "live deadlock" code — kept numerically
+/// equal to `df_cli::exit_code::LIVE_DEADLOCK` (asserted by a test) so
+/// scripts can distinguish "the program deadlocked and the tracker shut
+/// it down" from panics and harness failures.
+pub const LIVE_DEADLOCK_EXIT_CODE: i32 = 5;
+
+/// Policy the tracker invokes when its online wait-for graph closes a
+/// cycle. Detection happens on the thread whose blocked acquisition
+/// completed the cycle, *before* that thread parks on the native lock.
+#[derive(Clone, Default)]
+pub enum DeadlockHandler {
+    /// Print the witness report to stderr (once per distinct lock set)
+    /// and let the program continue. The deadlocked threads stay
+    /// blocked unless they used [`crate::TrackedMutex::try_lock_for`],
+    /// which converts the wait into a recoverable `Err`.
+    #[default]
+    Log,
+    /// Print the witness report to stderr, seal the attached spill so
+    /// the trace is analyzable post-mortem by `dfz analyze`, and
+    /// terminate the process with [`LIVE_DEADLOCK_EXIT_CODE`].
+    SealAndExit,
+    /// Hand the witness to the caller. The callback runs on the
+    /// detecting (about-to-block) thread and must not acquire tracked
+    /// locks.
+    Callback(Arc<dyn Fn(&DeadlockWitness) + Send + Sync>),
+}
+
+impl fmt::Debug for DeadlockHandler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlockHandler::Log => f.write_str("Log"),
+            DeadlockHandler::SealAndExit => f.write_str("SealAndExit"),
+            DeadlockHandler::Callback(_) => f.write_str("Callback(..)"),
+        }
+    }
+}

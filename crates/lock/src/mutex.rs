@@ -1,0 +1,221 @@
+//! A drop-in tracked `std::sync::Mutex`.
+
+use std::sync::{Arc, LockResult, MutexGuard, PoisonError, TryLockError, TryLockResult};
+use std::time::{Duration, Instant};
+
+use df_events::{caller_site, Label, ObjId};
+
+use crate::tracker::{self, Access, Tracker, TrackerInner};
+
+/// A `std::sync::Mutex<T>` replacement whose acquisitions and releases
+/// feed the DeadlockFuzzer event stream and the online wait-for-graph
+/// detector. The API mirrors `std`: `lock` returns a [`LockResult`],
+/// poisoning propagates, guards release on drop.
+///
+/// `new` uses the process-wide [`Tracker::global`] (install a
+/// configured one with [`Tracker::install`]); [`TrackedMutex::with_tracker`]
+/// pins a specific tracker, which is what tests use.
+///
+/// # Example
+///
+/// ```
+/// use df_lock::{TrackedMutex, Tracker, TrackerConfig};
+///
+/// let tracker = Tracker::new(TrackerConfig::default());
+/// let m = TrackedMutex::with_tracker(&tracker, 41);
+/// *m.lock().unwrap() += 1;
+/// assert_eq!(*m.lock().unwrap(), 42);
+/// ```
+pub struct TrackedMutex<T> {
+    tracker: Arc<TrackerInner>,
+    id: ObjId,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Creates a tracked mutex under the global tracker. The caller's
+    /// source location becomes the lock's allocation site — the label
+    /// witnesses and `dfz analyze` abstractions report.
+    #[track_caller]
+    pub fn new(data: T) -> Self {
+        Self::with_tracker(Tracker::global(), data)
+    }
+
+    /// Creates a tracked mutex under `tracker`.
+    #[track_caller]
+    pub fn with_tracker(tracker: &Tracker, data: T) -> Self {
+        let inner = Arc::clone(tracker.inner());
+        let id = tracker::register_lock(&inner, caller_site());
+        TrackedMutex {
+            tracker: inner,
+            id,
+            data: std::sync::Mutex::new(data),
+        }
+    }
+
+    /// The lock's object id in the tracker's object table.
+    pub fn id(&self) -> ObjId {
+        self.id
+    }
+
+    /// Whether the mutex is poisoned (a holder panicked).
+    pub fn is_poisoned(&self) -> bool {
+        self.data.is_poisoned()
+    }
+
+    /// Acquires the mutex, blocking like `std::sync::Mutex::lock`.
+    ///
+    /// A contended acquisition registers a wait edge in the wait-for
+    /// graph first; if that edge closes a cycle the configured
+    /// [`crate::DeadlockHandler`] fires *before* this thread parks. A
+    /// poisoned mutex is reported as `Err` exactly like `std`, with the
+    /// guard recoverable via [`PoisonError::into_inner`] (the recovery
+    /// is counted and release events still flow).
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<TrackedMutexGuard<'_, T>> {
+        let site = caller_site();
+        match self.data.try_lock() {
+            Ok(g) => {
+                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Exclusive);
+                Ok(self.guard(g, site))
+            }
+            Err(TryLockError::Poisoned(p)) => {
+                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Exclusive);
+                tracker::note_poison_recovered(&self.tracker);
+                Err(PoisonError::new(self.guard(p.into_inner(), site)))
+            }
+            Err(TryLockError::WouldBlock) => {
+                tracker::begin_wait(&self.tracker, self.id, site);
+                let (g, poisoned) = match self.data.lock() {
+                    Ok(g) => (g, false),
+                    Err(p) => (p.into_inner(), true),
+                };
+                tracker::acquired_contended(&self.tracker, self.id, site, Access::Exclusive);
+                if poisoned {
+                    tracker::note_poison_recovered(&self.tracker);
+                    Err(PoisonError::new(self.guard(g, site)))
+                } else {
+                    Ok(self.guard(g, site))
+                }
+            }
+        }
+    }
+
+    /// Attempts the mutex without blocking, like
+    /// `std::sync::Mutex::try_lock`.
+    #[track_caller]
+    pub fn try_lock(&self) -> TryLockResult<TrackedMutexGuard<'_, T>> {
+        let site = caller_site();
+        match self.data.try_lock() {
+            Ok(g) => {
+                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Exclusive);
+                Ok(self.guard(g, site))
+            }
+            Err(TryLockError::Poisoned(p)) => {
+                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Exclusive);
+                tracker::note_poison_recovered(&self.tracker);
+                Err(TryLockError::Poisoned(PoisonError::new(
+                    self.guard(p.into_inner(), site),
+                )))
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    /// Acquires the mutex, giving up after `timeout` — the robustness
+    /// escape hatch that converts a suspected deadlock into a
+    /// recoverable `Err(TryLockError::WouldBlock)` (counted in the
+    /// `lock_timeouts` metric). Detection still fires the instant the
+    /// wait edge closes a cycle, so a timed-out thread has already had
+    /// its deadlock reported by the time it recovers.
+    #[track_caller]
+    pub fn try_lock_for(&self, timeout: Duration) -> TryLockResult<TrackedMutexGuard<'_, T>> {
+        let site = caller_site();
+        match self.data.try_lock() {
+            Ok(g) => {
+                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Exclusive);
+                return Ok(self.guard(g, site));
+            }
+            Err(TryLockError::Poisoned(p)) => {
+                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Exclusive);
+                tracker::note_poison_recovered(&self.tracker);
+                return Err(TryLockError::Poisoned(PoisonError::new(
+                    self.guard(p.into_inner(), site),
+                )));
+            }
+            Err(TryLockError::WouldBlock) => {}
+        }
+        tracker::begin_wait(&self.tracker, self.id, site);
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.data.try_lock() {
+                Ok(g) => {
+                    tracker::acquired_contended(&self.tracker, self.id, site, Access::Exclusive);
+                    return Ok(self.guard(g, site));
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    tracker::acquired_contended(&self.tracker, self.id, site, Access::Exclusive);
+                    tracker::note_poison_recovered(&self.tracker);
+                    return Err(TryLockError::Poisoned(PoisonError::new(
+                        self.guard(p.into_inner(), site),
+                    )));
+                }
+                Err(TryLockError::WouldBlock) => {
+                    if Instant::now() >= deadline {
+                        tracker::wait_timed_out(&self.tracker, self.id);
+                        return Err(TryLockError::WouldBlock);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    fn guard<'a>(&'a self, data: MutexGuard<'a, T>, site: Label) -> TrackedMutexGuard<'a, T> {
+        TrackedMutexGuard {
+            lock: self,
+            data: Some(data),
+            site,
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TrackedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedMutex")
+            .field("id", &self.id)
+            .field("data", &self.data)
+            .finish()
+    }
+}
+
+/// RAII guard of a [`TrackedMutex`]; releases (and emits the release
+/// event) on drop, including during panic unwinding.
+pub struct TrackedMutexGuard<'a, T> {
+    lock: &'a TrackedMutex<T>,
+    data: Option<MutexGuard<'a, T>>,
+    site: Label,
+}
+
+impl<T> std::ops::Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.data.as_ref().expect("guard live until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.data.as_mut().expect("guard live until drop")
+    }
+}
+
+impl<T> Drop for TrackedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Registry release strictly before the native unlock: the
+        // registry must never claim a hold another thread could
+        // already have re-acquired.
+        tracker::release(&self.lock.tracker, self.lock.id, self.site);
+        self.data.take();
+    }
+}

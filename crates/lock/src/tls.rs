@@ -1,0 +1,38 @@
+//! Per-OS-thread bindings from trackers to their [`df_events::ThreadId`]s.
+//!
+//! A thread may touch locks of several trackers (a test process runs
+//! many), so the binding is a small vector keyed by tracker identity
+//! rather than a single slot. Entries hold [`Weak`] references; dead
+//! trackers are pruned on the next bind.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Weak};
+
+use df_events::ThreadId;
+
+use crate::tracker::TrackerInner;
+
+thread_local! {
+    static BINDINGS: RefCell<Vec<(Weak<TrackerInner>, ThreadId)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// The calling thread's id under `inner`, if it has been bound.
+pub(crate) fn lookup(inner: &Arc<TrackerInner>) -> Option<ThreadId> {
+    BINDINGS.with(|b| {
+        b.borrow().iter().find_map(|(weak, id)| {
+            weak.upgrade()
+                .filter(|a| Arc::ptr_eq(a, inner))
+                .map(|_| *id)
+        })
+    })
+}
+
+/// Binds the calling thread to `id` under `inner`.
+pub(crate) fn bind(inner: &Arc<TrackerInner>, id: ThreadId) {
+    BINDINGS.with(|b| {
+        let mut v = b.borrow_mut();
+        v.retain(|(weak, _)| weak.strong_count() > 0);
+        v.push((Arc::downgrade(inner), id));
+    });
+}

@@ -1,0 +1,642 @@
+//! The tracker: the shared registry behind the drop-in lock types.
+//!
+//! Every [`crate::TrackedMutex`] / [`crate::TrackedRwLock`] created
+//! under a tracker reports its lifecycle here. The tracker assigns
+//! [`ThreadId`]s to native threads (lazily, on first contact), emits the
+//! same event stream the virtual runtime would — `New`, `Acquire` with
+//! held-set and context, `Release`, `Blocked`/`Unblocked`, spawn and
+//! exit events — into the attached [`SinkHandle`], and maintains the
+//! live holds/waits registry the online wait-for-graph detector walks.
+//!
+//! ## Why detection cannot miss and cannot lie
+//!
+//! All bookkeeping happens under one internal mutex, and the protocol
+//! orders updates around the native lock operations:
+//!
+//! * ownership is recorded *before* a thread's next wait edge is
+//!   registered (program order), and every thread of a forming cycle
+//!   registers its wait edge before parking — so the last thread to
+//!   register sees the complete cycle and reports it;
+//! * ownership is cleared *before* the native unlock and the wait edge
+//!   of a contended acquire is cleared (with ownership recorded) in the
+//!   same critical section after the native lock is obtained — so the
+//!   registry never claims a hold that has been given up, and a stale
+//!   wait edge always points at a lock whose registry holder entry is
+//!   already cleared. False cycles cannot form.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
+
+use df_events::{
+    Event, EventKind, IndexFrame, Label, ObjId, ObjKind, ObjectTable, SinkHandle, ThreadId, Trace,
+};
+use df_obs::Obs;
+use df_runtime::{DeadlockWitness, Detector, WitnessComponent};
+use parking_lot::Mutex;
+
+use crate::handler::{DeadlockHandler, LIVE_DEADLOCK_EXIT_CODE};
+use crate::tls;
+use crate::wfg::WfGraph;
+
+/// Configuration of a [`Tracker`], built with `with_*` chaining.
+#[derive(Debug, Default)]
+pub struct TrackerConfig {
+    /// Policy invoked when the online detector closes a cycle.
+    pub handler: DeadlockHandler,
+    /// Streaming observers of the emitted event stream (a spill writer,
+    /// a relation builder, …). Sinks run on program threads and must
+    /// not acquire tracked locks.
+    pub sink: SinkHandle,
+    /// Observability handle for the `wfg_*`/`lock_timeouts`/
+    /// `poisoned_recovered` counters.
+    pub obs: Obs,
+    /// Also materialize the event vector in memory (the trace handed to
+    /// sinks on [`Tracker::seal`] then carries events, not just the
+    /// object table). Off by default: streaming sinks don't need it.
+    pub record_events: bool,
+}
+
+impl TrackerConfig {
+    /// Sets the deadlock handler.
+    pub fn with_handler(mut self, handler: DeadlockHandler) -> Self {
+        self.handler = handler;
+        self
+    }
+
+    /// Attaches the streaming sinks.
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Uses `obs` for counters.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Also records the in-memory event trace.
+    pub fn with_record_events(mut self, record: bool) -> Self {
+        self.record_events = record;
+        self
+    }
+}
+
+/// Which threads hold a lock right now. Absent from the registry means
+/// the lock is free.
+#[derive(Debug)]
+enum Holders {
+    /// Exclusive: a mutex owner or an rwlock writer.
+    Writer(ThreadId),
+    /// Shared: rwlock readers, possibly several, possibly repeated.
+    Readers(Vec<ThreadId>),
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    obj: ObjId,
+    name: String,
+    /// Locks held, outermost first (repeats on re-entrant tries).
+    lock_stack: Vec<ObjId>,
+    /// Acquisition sites parallel to `lock_stack`.
+    context_stack: Vec<Label>,
+    /// Per-site allocation counts for execution-index object metadata.
+    alloc_counts: HashMap<Label, u32>,
+}
+
+#[derive(Default)]
+struct State {
+    /// Object table + thread bindings (+ events when `record_events`).
+    trace: Trace,
+    event_seq: u64,
+    next_thread: u32,
+    threads: HashMap<ThreadId, ThreadState>,
+    locks: HashMap<ObjId, Holders>,
+    /// Blocked contended acquires: thread → (awaited lock, site).
+    waits: HashMap<ThreadId, (ObjId, Label)>,
+    /// Sorted lock sets of cycles already reported, so a persisting
+    /// deadlock is not re-reported by every thread that bumps into it.
+    reported: HashSet<Vec<ObjId>>,
+    sealed: bool,
+}
+
+/// Shared guts of a [`Tracker`]; lock types hold an `Arc` to this.
+pub struct TrackerInner {
+    state: Mutex<State>,
+    sink: SinkHandle,
+    obs: Obs,
+    handler: DeadlockHandler,
+    record_events: bool,
+}
+
+/// Exclusive (write) or shared (read) acquisition, for the registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Access {
+    Exclusive,
+    Shared,
+}
+
+/// Tracks native threads and locks, detects deadlocks online.
+///
+/// Cheap to clone (an `Arc`); every tracked object created through a
+/// clone shares the same registry, event stream and detector.
+#[derive(Clone)]
+pub struct Tracker {
+    inner: Arc<TrackerInner>,
+}
+
+static GLOBAL: OnceLock<Tracker> = OnceLock::new();
+
+impl Default for Tracker {
+    fn default() -> Self {
+        Tracker::new(TrackerConfig::default())
+    }
+}
+
+impl Tracker {
+    /// Creates a tracker with `config`.
+    pub fn new(config: TrackerConfig) -> Self {
+        Tracker {
+            inner: Arc::new(TrackerInner {
+                state: Mutex::new(State::default()),
+                sink: config.sink,
+                obs: config.obs,
+                handler: config.handler,
+                record_events: config.record_events,
+            }),
+        }
+    }
+
+    /// Installs `config` as the process-wide tracker used by
+    /// [`crate::TrackedMutex::new`] and friends, and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a global tracker already exists (a default one is
+    /// created lazily by the first drop-in constructor — install before
+    /// creating tracked objects).
+    pub fn install(config: TrackerConfig) -> &'static Tracker {
+        if GLOBAL.set(Tracker::new(config)).is_err() {
+            panic!("a global df-lock tracker is already installed");
+        }
+        GLOBAL.get().expect("just installed")
+    }
+
+    /// The process-wide tracker (installing a default-configured one —
+    /// log-only handler, no sinks — on first use).
+    pub fn global() -> &'static Tracker {
+        GLOBAL.get_or_init(Tracker::default)
+    }
+
+    /// The observability handle counters are reported through.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// Seals the run: records the trace high-water mark and delivers
+    /// `on_finish` (with the object table and thread bindings) to every
+    /// sink, so an attached [`df_events::SpillSink`] writes its footer
+    /// and the artifact becomes analyzable. Idempotent; also invoked by
+    /// the [`DeadlockHandler::SealAndExit`] handler before exiting.
+    pub fn seal(&self) {
+        seal(&self.inner);
+    }
+
+    /// Spawns a tracked thread under this tracker. See
+    /// [`crate::TrackedThread::spawn`] for the drop-in variant.
+    #[track_caller]
+    pub fn spawn<F, T>(&self, name: &str, f: F) -> crate::thread::TrackedJoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::thread::spawn_impl(&self.inner, name.to_string(), df_events::caller_site(), f)
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<TrackerInner> {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for Tracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("Tracker")
+            .field("threads", &st.threads.len())
+            .field("locks_held", &st.locks.len())
+            .field("sealed", &st.sealed)
+            .finish()
+    }
+}
+
+/// Assigns the next sequence number and delivers one event.
+fn emit(inner: &TrackerInner, st: &mut State, thread: ThreadId, kind: EventKind) {
+    let seq = st.event_seq;
+    st.event_seq += 1;
+    let event = Event::new(seq, thread, kind);
+    if inner.record_events {
+        let s = st.trace.push(event.thread, event.kind.clone());
+        debug_assert_eq!(s, seq, "recorded trace stays in sequence order");
+    }
+    if inner.sink.is_attached() {
+        inner.sink.emit(&event);
+        inner.obs.counters().add_events_streamed(1);
+    }
+}
+
+/// The execution-index frame of an allocation: the allocating statement
+/// with its per-thread occurrence count, which is what the `absI_k`
+/// abstraction of analyzed spills keys on.
+fn alloc_index(st: &mut State, by: ThreadId, site: Label) -> Vec<IndexFrame> {
+    let counts = match st.threads.get_mut(&by) {
+        Some(ts) => &mut ts.alloc_counts,
+        None => return vec![IndexFrame::new(site, 1)],
+    };
+    let q = counts.entry(site).or_insert(0);
+    *q += 1;
+    vec![IndexFrame::new(site, *q)]
+}
+
+/// Registers a thread: assigns an id, creates its thread object, binds
+/// it in the trace and announces the binding to sinks (always before
+/// any event of the thread can be emitted).
+pub(crate) fn register_thread(
+    inner: &Arc<TrackerInner>,
+    name: String,
+    site: Label,
+    spawner: Option<ThreadId>,
+) -> ThreadId {
+    let (id, obj) = {
+        let mut st = inner.state.lock();
+        let id = ThreadId::new(st.next_thread);
+        st.next_thread += 1;
+        let index = match spawner {
+            Some(parent) => alloc_index(&mut st, parent, site),
+            None => vec![IndexFrame::new(site, 1)],
+        };
+        let obj = st.trace.objects_mut().create_named(
+            ObjKind::Thread,
+            site,
+            None,
+            index,
+            Some(name.clone()),
+        );
+        st.trace.bind_thread(id, obj);
+        st.threads.insert(
+            id,
+            ThreadState {
+                obj,
+                name,
+                lock_stack: Vec::new(),
+                context_stack: Vec::new(),
+                alloc_counts: HashMap::new(),
+            },
+        );
+        if let Some(parent) = spawner {
+            emit(
+                inner,
+                &mut st,
+                parent,
+                EventKind::Spawn {
+                    child: id,
+                    child_obj: obj,
+                },
+            );
+        }
+        (id, obj)
+    };
+    inner.sink.thread_bound(id, obj);
+    id
+}
+
+/// The calling thread's id under `inner`, auto-registering it (with its
+/// OS thread name, when set) on first contact — this is what makes the
+/// lock types drop-in for threads the tracker did not spawn.
+pub(crate) fn current_thread(inner: &Arc<TrackerInner>) -> ThreadId {
+    if let Some(id) = tls::lookup(inner) {
+        return id;
+    }
+    let name = std::thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| "<unnamed>".to_string());
+    let id = register_thread(inner, name, Label::new("<native thread>"), None);
+    tls::bind(inner, id);
+    id
+}
+
+/// Registers a lock object at its allocation site and emits `New`.
+pub(crate) fn register_lock(inner: &Arc<TrackerInner>, site: Label) -> ObjId {
+    let me = current_thread(inner);
+    let mut st = inner.state.lock();
+    let index = alloc_index(&mut st, me, site);
+    let obj = st
+        .trace
+        .objects_mut()
+        .create(ObjKind::Lock, site, None, index);
+    emit(inner, &mut st, me, EventKind::New { obj });
+    obj
+}
+
+/// Records ownership and emits `Acquire`/`Reacquire` for a completed
+/// acquisition. Must be called with the native lock already held.
+fn record_acquire(
+    inner: &TrackerInner,
+    st: &mut State,
+    me: ThreadId,
+    lock: ObjId,
+    site: Label,
+    access: Access,
+) {
+    match access {
+        Access::Exclusive => {
+            st.locks.insert(lock, Holders::Writer(me));
+        }
+        Access::Shared => match st
+            .locks
+            .entry(lock)
+            .or_insert_with(|| Holders::Readers(vec![]))
+        {
+            Holders::Readers(rs) => rs.push(me),
+            // A writer entry here would mean std handed out a read
+            // guard while a write guard exists; keep the stronger claim.
+            Holders::Writer(_) => {}
+        },
+    }
+    let ts = st
+        .threads
+        .get_mut(&me)
+        .expect("acquiring thread registered");
+    let re_entrant = ts.lock_stack.contains(&lock);
+    let held = ts.lock_stack.clone();
+    let mut context = ts.context_stack.clone();
+    context.push(site);
+    ts.lock_stack.push(lock);
+    ts.context_stack.push(site);
+    if re_entrant {
+        emit(inner, st, me, EventKind::Reacquire { lock, site });
+    } else {
+        emit(
+            inner,
+            st,
+            me,
+            EventKind::Acquire {
+                lock,
+                site,
+                held,
+                context,
+            },
+        );
+        inner.obs.counters().add_acquires_observed(1);
+    }
+}
+
+/// Bookkeeping for an acquisition that succeeded without blocking.
+pub(crate) fn acquired_uncontended(
+    inner: &Arc<TrackerInner>,
+    lock: ObjId,
+    site: Label,
+    access: Access,
+) {
+    let me = current_thread(inner);
+    let mut st = inner.state.lock();
+    record_acquire(inner, &mut st, me, lock, site, access);
+}
+
+/// Registers the wait edge of a contended acquisition *before* the
+/// caller parks on the native lock, and runs cycle detection from the
+/// blocking thread. This is the detector's single entry point: a cycle
+/// exists exactly when its last wait edge is registered, and that
+/// registration happens here, under the registry lock.
+pub(crate) fn begin_wait(inner: &Arc<TrackerInner>, lock: ObjId, site: Label) {
+    let me = current_thread(inner);
+    let report = {
+        let mut st = inner.state.lock();
+        st.waits.insert(me, (lock, site));
+        inner.obs.counters().add_wfg_edges(1);
+        emit(inner, &mut st, me, EventKind::Blocked { lock });
+        detect(&mut st, me)
+    };
+    // Handler dispatch happens after the registry lock is dropped so a
+    // SealAndExit (which seals sinks) or a callback cannot deadlock
+    // against other program threads touching the tracker.
+    if let Some((witness, rendered)) = report {
+        inner.obs.counters().add_wfg_cycles_detected(1);
+        dispatch(inner, &witness, &rendered);
+    }
+}
+
+/// The blocked acquisition of `lock` succeeded: clears the wait edge,
+/// emits `Unblocked`, records ownership.
+pub(crate) fn acquired_contended(
+    inner: &Arc<TrackerInner>,
+    lock: ObjId,
+    site: Label,
+    access: Access,
+) {
+    let me = current_thread(inner);
+    let mut st = inner.state.lock();
+    st.waits.remove(&me);
+    emit(inner, &mut st, me, EventKind::Unblocked { lock });
+    record_acquire(inner, &mut st, me, lock, site, access);
+}
+
+/// A timed acquisition gave up: clears the wait edge and counts the
+/// timeout. No `Unblocked` is emitted — that event means "acquired".
+pub(crate) fn wait_timed_out(inner: &Arc<TrackerInner>, _lock: ObjId) {
+    let me = current_thread(inner);
+    let mut st = inner.state.lock();
+    st.waits.remove(&me);
+    inner.obs.counters().add_lock_timeouts(1);
+}
+
+/// Release bookkeeping, called by guard drops *before* the native
+/// unlock so the registry never claims a hold the thread gave up.
+/// Emitted even during a panic unwind, which keeps the relation
+/// balanced after poisoning.
+pub(crate) fn release(inner: &Arc<TrackerInner>, lock: ObjId, site: Label) {
+    let me = current_thread(inner);
+    let mut st = inner.state.lock();
+    match st.locks.get_mut(&lock) {
+        Some(Holders::Writer(t)) if *t == me => {
+            st.locks.remove(&lock);
+        }
+        Some(Holders::Readers(rs)) => {
+            if let Some(pos) = rs.iter().rposition(|&t| t == me) {
+                rs.remove(pos);
+            }
+            if rs.is_empty() {
+                st.locks.remove(&lock);
+            }
+        }
+        _ => {}
+    }
+    let ts = st
+        .threads
+        .get_mut(&me)
+        .expect("releasing thread registered");
+    if let Some(pos) = ts.lock_stack.iter().rposition(|&l| l == lock) {
+        ts.lock_stack.remove(pos);
+        ts.context_stack.remove(pos);
+    }
+    let still_held = ts.lock_stack.contains(&lock);
+    if still_held {
+        emit(inner, &mut st, me, EventKind::Rerelease { lock, site });
+    } else {
+        emit(inner, &mut st, me, EventKind::Release { lock, site });
+    }
+}
+
+/// Counts a poisoned-lock recovery (`PoisonError::into_inner`).
+pub(crate) fn note_poison_recovered(inner: &Arc<TrackerInner>) {
+    inner.obs.counters().add_poisoned_recovered(1);
+}
+
+/// Emits `ThreadStart` for a freshly spawned tracked thread.
+pub(crate) fn thread_started(inner: &Arc<TrackerInner>, id: ThreadId) {
+    let mut st = inner.state.lock();
+    emit(inner, &mut st, id, EventKind::ThreadStart);
+}
+
+/// Emits `ThreadExit`; runs from a drop guard so it fires even when the
+/// thread body panicked.
+pub(crate) fn thread_exited(inner: &Arc<TrackerInner>, id: ThreadId) {
+    let mut st = inner.state.lock();
+    emit(inner, &mut st, id, EventKind::ThreadExit);
+}
+
+/// Emits `Join` after a tracked join completes.
+pub(crate) fn thread_joined(inner: &Arc<TrackerInner>, joiner: ThreadId, target: ThreadId) {
+    let mut st = inner.state.lock();
+    emit(inner, &mut st, joiner, EventKind::Join { target });
+}
+
+/// Walks the wait-for graph from `me`; on a new cycle builds the
+/// witness and its rendered report (both under the registry lock, so
+/// the snapshot is consistent), for dispatch after unlock.
+fn detect(st: &mut State, me: ThreadId) -> Option<(DeadlockWitness, String)> {
+    let mut g = WfGraph::new();
+    for (&lock, holders) in &st.locks {
+        match holders {
+            Holders::Writer(t) => g.add_holds(*t, lock),
+            Holders::Readers(rs) => {
+                for &t in rs {
+                    g.add_holds(t, lock);
+                }
+            }
+        }
+    }
+    for (&t, &(lock, _)) in &st.waits {
+        g.add_waits(t, lock);
+    }
+    let cycle = g.find_cycle_from(me)?;
+
+    let mut key: Vec<ObjId> = cycle
+        .iter()
+        .map(|t| st.waits.get(t).expect("cycle thread waits").0)
+        .collect();
+    key.sort();
+    if !st.reported.insert(key) {
+        return None;
+    }
+
+    let components: Vec<WitnessComponent> = cycle
+        .iter()
+        .map(|t| {
+            let ts = &st.threads[t];
+            let &(waiting_for, site) = st.waits.get(t).expect("cycle thread waits");
+            let mut context = ts.context_stack.clone();
+            context.push(site);
+            WitnessComponent {
+                thread: *t,
+                thread_obj: ts.obj,
+                thread_name: Some(ts.name.clone()),
+                holding: ts.lock_stack.clone(),
+                waiting_for,
+                context,
+            }
+        })
+        .collect();
+    let witness = DeadlockWitness {
+        components,
+        detected_by: Detector::WaitForGraph,
+    };
+    let rendered = render_report(&witness, st.trace.objects());
+    Some((witness, rendered))
+}
+
+/// Names a lock by id and allocation site, e.g.
+/// `o5 (allocated at examples/native_deadlock.rs:31:37)`.
+fn lock_name(objects: &ObjectTable, id: ObjId) -> String {
+    match objects.try_get(id) {
+        Some(meta) => format!("{id} (allocated at {})", meta.site),
+        None => id.to_string(),
+    }
+}
+
+/// The human-readable witness report: names every thread, the locks it
+/// holds (with allocation sites) and the blocked acquisition site —
+/// enough to line the live cycle up against `dfz analyze` output.
+fn render_report(witness: &DeadlockWitness, objects: &ObjectTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "df-lock: real deadlock among {} thread(s) (detected by {}):",
+        witness.len(),
+        witness.detected_by
+    );
+    for c in &witness.components {
+        let name = c.thread_name.as_deref().unwrap_or("?");
+        let holding = if c.holding.is_empty() {
+            "nothing".to_string()
+        } else {
+            c.holding
+                .iter()
+                .map(|&l| lock_name(objects, l))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let blocked_at = c.context.last().map(|s| s.to_string()).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  thread {} '{}' holds {holding}, blocked acquiring {} at {blocked_at}",
+            c.thread,
+            name,
+            lock_name(objects, c.waiting_for),
+        );
+    }
+    out
+}
+
+/// Invokes the configured handler with a finished witness.
+fn dispatch(inner: &Arc<TrackerInner>, witness: &DeadlockWitness, rendered: &str) {
+    match &inner.handler {
+        DeadlockHandler::Log => eprint!("{rendered}"),
+        DeadlockHandler::SealAndExit => {
+            eprint!("{rendered}");
+            eprintln!("df-lock: sealing spill and exiting with code {LIVE_DEADLOCK_EXIT_CODE}");
+            seal(inner);
+            std::process::exit(LIVE_DEADLOCK_EXIT_CODE);
+        }
+        DeadlockHandler::Callback(f) => f(witness),
+    }
+}
+
+/// Seals the run (idempotent): peak-trace-bytes high-water mark, then
+/// `on_finish` to every sink with the trace skeleton.
+pub(crate) fn seal(inner: &Arc<TrackerInner>) {
+    let st = {
+        let mut st = inner.state.lock();
+        if st.sealed {
+            return;
+        }
+        st.sealed = true;
+        inner
+            .obs
+            .counters()
+            .record_peak_trace_bytes(st.trace.approx_event_bytes());
+        st
+    };
+    inner.sink.finish(&st.trace);
+}

@@ -1,0 +1,168 @@
+//! The online wait-for graph behind the tracked locks.
+//!
+//! Unlike [`df_runtime::WaitForGraph`] — which models the virtual
+//! runtime's single-holder mutexes and treats a self-wait as re-entrant
+//! (not a deadlock) — native `std::sync` locks are *not* re-entrant and
+//! a [`crate::TrackedRwLock`] can be held by many readers at once. So
+//! this graph keeps a holder *set* per lock, walks every holder during
+//! the cycle search, and counts a self-loop (a thread blocking on a lock
+//! it already holds) as a genuine one-thread deadlock.
+
+use std::collections::{HashMap, HashSet};
+
+use df_events::{ObjId, ThreadId};
+
+/// Thread→lock wait edges plus lock→holders ownership edges, rebuilt
+/// from the tracker's registry at each contended acquire.
+#[derive(Debug, Default)]
+pub(crate) struct WfGraph {
+    holders: HashMap<ObjId, Vec<ThreadId>>,
+    waits: HashMap<ThreadId, ObjId>,
+}
+
+impl WfGraph {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `t` is one of the holders of `lock`.
+    pub(crate) fn add_holds(&mut self, t: ThreadId, lock: ObjId) {
+        self.holders.entry(lock).or_default().push(t);
+    }
+
+    /// Records that `t` is blocked acquiring `lock`.
+    pub(crate) fn add_waits(&mut self, t: ThreadId, lock: ObjId) {
+        self.waits.insert(t, lock);
+    }
+
+    /// Finds a cycle through `start`: threads `start → t_2 → … → t_m`
+    /// where each waits for a lock held by the next and `t_m`'s awaited
+    /// lock is held by `start`. Returns the threads in cycle order, or
+    /// `None`. A self-loop (`start` waits for a lock it holds) is a
+    /// one-element cycle — `std::sync` locks are not re-entrant.
+    pub(crate) fn find_cycle_from(&self, start: ThreadId) -> Option<Vec<ThreadId>> {
+        let mut path = vec![start];
+        let mut visited = HashSet::from([start]);
+        if self.dfs(start, start, &mut path, &mut visited) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    /// Depth-first walk over holder edges. A thread that cannot reach
+    /// `start` can never reach it along another branch either, so the
+    /// `visited` set is a sound memo and the walk is linear in threads.
+    fn dfs(
+        &self,
+        cur: ThreadId,
+        start: ThreadId,
+        path: &mut Vec<ThreadId>,
+        visited: &mut HashSet<ThreadId>,
+    ) -> bool {
+        let Some(lock) = self.waits.get(&cur) else {
+            return false;
+        };
+        let Some(holders) = self.holders.get(lock) else {
+            return false;
+        };
+        for &h in holders {
+            if h == start {
+                return true;
+            }
+            if visited.insert(h) {
+                path.push(h);
+                if self.dfs(h, start, path, visited) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn o(i: u32) -> ObjId {
+        ObjId::new(i)
+    }
+
+    #[test]
+    fn two_cycle_found_in_order() {
+        let mut g = WfGraph::new();
+        g.add_holds(t(1), o(1));
+        g.add_holds(t(2), o(2));
+        g.add_waits(t(1), o(2));
+        g.add_waits(t(2), o(1));
+        assert_eq!(g.find_cycle_from(t(1)), Some(vec![t(1), t(2)]));
+        assert_eq!(g.find_cycle_from(t(2)), Some(vec![t(2), t(1)]));
+    }
+
+    #[test]
+    fn three_cycle_found_from_any_member() {
+        let mut g = WfGraph::new();
+        for i in 1..=3 {
+            g.add_holds(t(i), o(i));
+            g.add_waits(t(i), o(i % 3 + 1));
+        }
+        for start in 1..=3 {
+            let c = g.find_cycle_from(t(start)).unwrap();
+            assert_eq!(c.len(), 3);
+            assert_eq!(c[0], t(start));
+        }
+    }
+
+    #[test]
+    fn hierarchy_has_no_cycle() {
+        let mut g = WfGraph::new();
+        g.add_holds(t(1), o(1));
+        g.add_waits(t(1), o(2));
+        g.add_holds(t(2), o(2));
+        g.add_waits(t(2), o(3));
+        assert!(g.find_cycle_from(t(1)).is_none());
+        assert!(g.find_cycle_from(t(2)).is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_one_thread_cycle() {
+        // Non-re-entrant std lock: blocking on a lock you hold is a
+        // real single-thread deadlock, unlike the virtual runtime.
+        let mut g = WfGraph::new();
+        g.add_holds(t(1), o(1));
+        g.add_waits(t(1), o(1));
+        assert_eq!(g.find_cycle_from(t(1)), Some(vec![t(1)]));
+    }
+
+    #[test]
+    fn cycle_through_one_of_many_readers() {
+        // t1 writes-waits on a lock read-held by t2 and t3; only t3
+        // closes the cycle back to t1.
+        let mut g = WfGraph::new();
+        g.add_holds(t(2), o(1));
+        g.add_holds(t(3), o(1));
+        g.add_holds(t(1), o(2));
+        g.add_waits(t(1), o(1));
+        g.add_waits(t(3), o(2));
+        let c = g.find_cycle_from(t(1)).unwrap();
+        assert_eq!(c, vec![t(1), t(3)]);
+    }
+
+    #[test]
+    fn tail_into_a_cycle_is_not_part_of_it() {
+        let mut g = WfGraph::new();
+        g.add_holds(t(1), o(1));
+        g.add_holds(t(2), o(2));
+        g.add_waits(t(1), o(2));
+        g.add_waits(t(2), o(1));
+        g.add_waits(t(3), o(1));
+        // The cycle exists, but it does not pass through t3.
+        assert!(g.find_cycle_from(t(3)).is_none());
+        assert!(g.find_cycle_from(t(1)).is_some());
+    }
+}

@@ -26,6 +26,10 @@ pub struct Counters {
     join_candidates_examined: AtomicU64,
     join_chains_built: AtomicU64,
     events_streamed: AtomicU64,
+    wfg_edges: AtomicU64,
+    wfg_cycles_detected: AtomicU64,
+    lock_timeouts: AtomicU64,
+    poisoned_recovered: AtomicU64,
     peak_trace_bytes: AtomicU64,
 }
 
@@ -57,6 +61,17 @@ pub struct CounterSnapshot {
     pub join_chains_built: u64,
     /// Events delivered to streaming [`df_events::EventSink`]s.
     pub events_streamed: u64,
+    /// Wait edges registered in the live wait-for graph (one per
+    /// contended native acquire).
+    pub wfg_edges: u64,
+    /// Deadlock cycles the online wait-for-graph detector reported.
+    pub wfg_cycles_detected: u64,
+    /// Timed native acquisitions (`try_lock_for`) that gave up and
+    /// returned a recoverable error instead of blocking forever.
+    pub lock_timeouts: u64,
+    /// Poisoned native locks whose guards were recovered via
+    /// `PoisonError::into_inner` (release events still emitted).
+    pub poisoned_recovered: u64,
     /// Largest in-memory event-trace footprint (approximate bytes) any
     /// single run materialized. A fully streamed observation keeps this
     /// at zero — the assertion behind `dfz record --stream`. Unlike the
@@ -134,6 +149,14 @@ impl Counters {
             join_chains_built => add_join_chains_built;
             /// Counts `n` events delivered to streaming sinks.
             events_streamed => add_events_streamed;
+            /// Counts `n` wait edges registered in the live wait-for graph.
+            wfg_edges => add_wfg_edges;
+            /// Counts `n` cycles reported by the online detector.
+            wfg_cycles_detected => add_wfg_cycles_detected;
+            /// Counts `n` timed acquisitions that gave up.
+            lock_timeouts => add_lock_timeouts;
+            /// Counts `n` poisoned locks recovered.
+            poisoned_recovered => add_poisoned_recovered;
         }
         max {
             /// Raises the in-memory trace high-water mark to `n` bytes
@@ -205,6 +228,23 @@ mod tests {
         let s = a.snapshot();
         assert_eq!(s.events_streamed, 12);
         assert_eq!(s.peak_trace_bytes, 300);
+    }
+
+    #[test]
+    fn live_detector_counters_accumulate_and_merge() {
+        let a = Counters::new();
+        a.add_wfg_edges(3);
+        a.add_wfg_cycles_detected(1);
+        let b = Counters::new();
+        b.add_wfg_edges(2);
+        b.add_lock_timeouts(4);
+        b.add_poisoned_recovered(1);
+        a.merge(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.wfg_edges, 5);
+        assert_eq!(s.wfg_cycles_detected, 1);
+        assert_eq!(s.lock_timeouts, 4);
+        assert_eq!(s.poisoned_recovered, 1);
     }
 
     #[test]

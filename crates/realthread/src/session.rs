@@ -1406,6 +1406,82 @@ mod tests {
         assert!(snap.peak_trace_bytes > 0);
     }
 
+    /// Regression for the sink-poisoning hazard: a sink whose callback
+    /// panics mid-trial poisons its own `std::sync::Mutex`, but the
+    /// fan-out handle recovers the guard — so a [`df_events::SpillSink`]
+    /// sharing the handle still receives the rest of the stream and the
+    /// end-of-run seal, and the panicking trial leaves an *analyzable*
+    /// trace behind instead of a truncated one.
+    #[test]
+    fn panicking_sink_trial_still_seals_an_analyzable_spill() {
+        use std::io::Write;
+
+        /// A `Write` target the test can read back after the spill
+        /// sink (which owns its writer) is done with it.
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buffer mutex").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        /// Panics on the first `Release` it sees, once.
+        #[derive(Default)]
+        struct ExplodingSink {
+            exploded: bool,
+        }
+        impl df_events::EventSink for ExplodingSink {
+            fn on_event(&mut self, event: &df_events::Event) {
+                if !self.exploded && matches!(event.kind, EventKind::Release { .. }) {
+                    self.exploded = true;
+                    panic!("sink exploded on first release");
+                }
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let spill = Arc::new(std::sync::Mutex::new(
+            df_events::SpillSink::new(buf.clone()).expect("start spill"),
+        ));
+        let exploder: Arc<std::sync::Mutex<dyn df_events::EventSink>> =
+            Arc::new(std::sync::Mutex::new(ExplodingSink::default()));
+        // Spill first: it must see each event before the exploder gets
+        // a chance to panic the emitting thread.
+        let handle = df_events::SinkHandle::single(spill.clone()).with(exploder);
+
+        let session = Session::record_with_sink(handle, df_obs::Obs::default());
+        let trial = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_locking_program(&session);
+        }));
+        assert!(trial.is_err(), "the exploding sink panicked the trial");
+
+        session.seal();
+        let (events, _bytes) = spill
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .close()
+            .expect("panicking trial still seals the spill");
+        assert!(events > 0);
+
+        let bytes = buf.0.lock().expect("buffer mutex").clone();
+        let trace = df_events::read_trace(std::io::BufReader::new(bytes.as_slice()))
+            .expect("sealed spill parses as a df-trace artifact");
+        assert_eq!(trace.events().len() as u64, events);
+        // Both releases made it out: the one that blew up the sink and
+        // the one emitted while unwinding the outer guard.
+        let releases = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Release { .. }))
+            .count();
+        assert_eq!(releases, 2);
+    }
+
     #[test]
     fn streaming_session_sees_the_same_events_at_zero_peak() {
         let (recorded_cap, recorded_handle) = capturing_handle();

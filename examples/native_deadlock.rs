@@ -1,0 +1,123 @@
+//! A natively-scheduled program that **really deadlocks**, tracked by
+//! `df-lock`: the online wait-for-graph detector reports the cycle the
+//! instant it forms, the handler seals the spill, and `dfz analyze` on
+//! that spill finds the same cycle offline.
+//!
+//! ```text
+//! cargo run --example native_deadlock -- [trace-path] [--handler seal|log]
+//! ```
+//!
+//! With the default `seal` handler the process exits with the
+//! documented live-deadlock code (5) and leaves a sealed `df-trace`
+//! artifact behind. With `--handler log` the witness is printed, the
+//! two threads recover via `try_lock_for` timeouts, and the program
+//! seals the spill itself and exits 0 — the graceful-degradation mode.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use df_events::{SinkHandle, SpillSink};
+use df_lock::{DeadlockHandler, TrackedMutex, Tracker, TrackerConfig};
+
+fn main() {
+    let mut path = std::path::PathBuf::from("native_deadlock.trace.jsonl");
+    let mut handler = DeadlockHandler::SealAndExit;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--handler" => match args.next().as_deref() {
+                Some("seal") => handler = DeadlockHandler::SealAndExit,
+                Some("log") => handler = DeadlockHandler::Log,
+                other => {
+                    eprintln!("unknown handler {other:?} (expected seal | log)");
+                    std::process::exit(2);
+                }
+            },
+            p => path = p.into(),
+        }
+    }
+
+    let file = std::fs::File::create(&path).expect("create spill file");
+    let spill = Arc::new(Mutex::new(
+        SpillSink::new(std::io::BufWriter::new(file)).expect("start spill"),
+    ));
+    let tracker = Tracker::install(
+        TrackerConfig::default()
+            .with_handler(handler)
+            .with_sink(SinkHandle::single(spill.clone())),
+    );
+    eprintln!("spilling df-trace to {}", path.display());
+
+    // Drop-in usage: TrackedMutex::new goes through the installed
+    // global tracker, exactly like std::sync::Mutex::new would read.
+    let checking = Arc::new(TrackedMutex::new(100i64));
+    let savings = Arc::new(TrackedMutex::new(500i64));
+
+    // Round 1 — sequential warmup: record both nesting orders without
+    // contention, so the spilled relation contains the cyclic
+    // dependency Phase I needs. (A thread that never completes its
+    // inner acquire emits no Acquire event, so the deadlock round
+    // alone would leave iGoodlock nothing to chain.)
+    let (c, s) = (Arc::clone(&checking), Arc::clone(&savings));
+    tracker
+        .spawn("warmup c->s", move || {
+            let from = c.lock().unwrap();
+            let to = s.lock().unwrap();
+            drop((to, from));
+        })
+        .join()
+        .unwrap();
+    let (c, s) = (Arc::clone(&checking), Arc::clone(&savings));
+    tracker
+        .spawn("warmup s->c", move || {
+            let from = s.lock().unwrap();
+            let to = c.lock().unwrap();
+            drop((to, from));
+        })
+        .join()
+        .unwrap();
+
+    // Round 2 — force the deadlock: both threads take their first lock,
+    // meet at the barrier (so neither can finish early), then go for
+    // the other's lock. The second acquisitions use try_lock_for so the
+    // log-and-continue mode degrades gracefully instead of hanging; the
+    // detector fires either way, before any timeout.
+    let barrier = Arc::new(Barrier::new(2));
+    let (c, s, b) = (Arc::clone(&checking), Arc::clone(&savings), barrier.clone());
+    let t1 = tracker.spawn("transfer c->s", move || {
+        let from = c.lock().unwrap();
+        b.wait();
+        match s.try_lock_for(Duration::from_secs(2)) {
+            Ok(to) => drop((to, from)),
+            Err(_) => eprintln!("transfer c->s: gave up on savings (deadlock suspected)"),
+        }
+    });
+    let (c, s, b) = (Arc::clone(&checking), Arc::clone(&savings), barrier);
+    let t2 = tracker.spawn("transfer s->c", move || {
+        let from = s.lock().unwrap();
+        b.wait();
+        match c.try_lock_for(Duration::from_secs(2)) {
+            Ok(to) => drop((to, from)),
+            Err(_) => eprintln!("transfer s->c: gave up on checking (deadlock suspected)"),
+        }
+    });
+    // Under SealAndExit the process exits with code 5 inside one of the
+    // spawned threads; the joins below only run in log mode.
+    t1.join().unwrap();
+    t2.join().unwrap();
+
+    tracker.seal();
+    let (events, bytes) = spill
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .close()
+        .expect("sealed spill");
+    let counters = tracker.obs().counters().snapshot();
+    eprintln!(
+        "recovered from the deadlock: sealed {} ({events} events, {bytes} bytes), \
+         {} cycle(s) detected, {} timed-out acquisition(s)",
+        path.display(),
+        counters.wfg_cycles_detected,
+        counters.lock_timeouts
+    );
+}

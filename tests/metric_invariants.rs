@@ -57,6 +57,72 @@ fn confirming_the_philosopher_ring_pauses_at_least_ring_size_threads() {
 }
 
 #[test]
+fn live_detector_counters_flow_into_the_metrics_document() {
+    // df-lock's online wait-for-graph detector shares the same Obs
+    // handle as the rest of the pipeline, so a live (natively
+    // scheduled) tracked execution must surface its counters through
+    // the exact `--metrics-out` document schema: one wait edge per
+    // contended acquire, one detection for the forced two-lock cycle,
+    // and the timeout that dissolved it.
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    use df_lock::{DeadlockHandler, TrackedMutex, Tracker, TrackerConfig};
+
+    let obs = Obs::new();
+    let tracker = Tracker::new(
+        TrackerConfig::default()
+            .with_obs(obs.clone())
+            .with_handler(DeadlockHandler::Callback(Arc::new(|_| {}))),
+    );
+    let a = Arc::new(TrackedMutex::with_tracker(&tracker, ()));
+    let b = Arc::new(TrackedMutex::with_tracker(&tracker, ()));
+    let barrier = Arc::new(Barrier::new(2));
+
+    let (a1, b1, bar) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&barrier));
+    let t1 = tracker.spawn("metrics a->b", move || {
+        let held = a1.lock().unwrap();
+        bar.wait();
+        let _ = b1.try_lock_for(Duration::from_secs(2));
+        drop(held);
+    });
+    let (a2, b2, bar) = (Arc::clone(&a), Arc::clone(&b), barrier);
+    let t2 = tracker.spawn("metrics b->a", move || {
+        let held = b2.lock().unwrap();
+        bar.wait();
+        let _ = a2.try_lock_for(Duration::from_secs(2));
+        drop(held);
+    });
+    t1.join().unwrap();
+    t2.join().unwrap();
+
+    let snapshot = obs.counters().snapshot();
+    assert_eq!(snapshot.wfg_cycles_detected, 1);
+    assert!(snapshot.wfg_edges >= 2, "both contended waits counted");
+    assert!(snapshot.lock_timeouts >= 1, "at least one thread gave up");
+    assert_eq!(snapshot.poisoned_recovered, 0);
+    assert!(
+        snapshot.acquires_observed >= 2,
+        "live acquisitions feed the shared acquire counter"
+    );
+
+    // The document `dfz --metrics-out` writes carries the same keys
+    // with the same values.
+    let doc = serde_json::to_string(&obs.metrics("native-tracked")).expect("serialize metrics");
+    for pair in [
+        format!("\"wfg_edges\":{}", snapshot.wfg_edges),
+        "\"wfg_cycles_detected\":1".to_string(),
+        format!("\"lock_timeouts\":{}", snapshot.lock_timeouts),
+        "\"poisoned_recovered\":0".to_string(),
+    ] {
+        assert!(
+            doc.contains(&pair),
+            "metrics document missing {pair}: {doc}"
+        );
+    }
+}
+
+#[test]
 fn directed_replay_of_a_recorded_schedule_never_thrashes() {
     // Thrashing is the active scheduler's escape hatch for wrong pauses
     // (§2.3). A directed replay makes no speculative pauses at all, so
