@@ -1,30 +1,35 @@
 //! `igoodlock_bench` — measures Phase I's cycle computation in isolation
 //! (the naive join, the indexed join, and the DFS lock-graph baseline on
-//! the same relations) plus Phase I's two observation paths (offline
-//! trace recording vs the streaming relation builder), with output
-//! parity cross-checked per row.
+//! the same relations), Phase I's two observation paths (offline trace
+//! recording vs the streaming relation builder), and trace I/O
+//! throughput (JSONL v1 vs binary v2, offline vs ring-streamed), with
+//! output parity cross-checked per row.
 //!
 //! ```text
 //! cargo run --release -p df-bench --bin igoodlock_bench
 //! cargo run --release -p df-bench --bin igoodlock_bench -- \
 //!     --sizes 4,8,12,16 --pairs 48 --noise 4096 --reps 3 \
-//!     --out BENCH_igoodlock.json
+//!     --trace-events 1000000 --out BENCH_igoodlock.json
 //! ```
 //!
 //! Exits non-zero if any implementation pair disagrees on cycles,
 //! `chains_built`, or the streamed relation — a correctness failure,
 //! which CI's perf-smoke step turns into a red build.
 
-use df_bench::{igoodlock_bench, streaming_bench, IGoodlockBenchRow, StreamingBenchRow};
+use df_bench::{
+    igoodlock_bench, streaming_bench, trace_io_bench_rows, IGoodlockBenchRow, StreamingBenchRow,
+    TraceIoBenchRow,
+};
 use serde::Serialize;
 
-/// The envelope written to `BENCH_igoodlock.json`: the join comparison
-/// and the streaming memory/throughput comparison, one file so CI
-/// uploads a single artifact.
+/// The envelope written to `BENCH_igoodlock.json`: the join comparison,
+/// the streaming memory/throughput comparison, and the trace I/O
+/// throughput comparison — one file so CI uploads a single artifact.
 #[derive(Serialize)]
 struct BenchArtifact {
     join: Vec<IGoodlockBenchRow>,
     streaming: Vec<StreamingBenchRow>,
+    trace_io: Vec<TraceIoBenchRow>,
 }
 
 struct Args {
@@ -32,6 +37,7 @@ struct Args {
     pairs: u32,
     noise: u32,
     reps: u32,
+    trace_events: u64,
     out: String,
 }
 
@@ -40,6 +46,7 @@ fn parse_args() -> Args {
     let mut pairs = 48u32;
     let mut noise = 4096u32;
     let mut reps = 3u32;
+    let mut trace_events = 1_000_000u64;
     let mut out = String::from("BENCH_igoodlock.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -72,6 +79,12 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--reps needs a number");
             }
+            "--trace-events" => {
+                trace_events = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trace-events needs a number");
+            }
             "--out" => {
                 out = args.next().expect("--out needs a path");
             }
@@ -86,6 +99,7 @@ fn parse_args() -> Args {
         pairs,
         noise,
         reps,
+        trace_events,
         out,
     }
 }
@@ -151,6 +165,25 @@ fn print_streaming_rows(rows: &[StreamingBenchRow]) {
     );
 }
 
+fn print_trace_io_rows(rows: &[TraceIoBenchRow]) {
+    println!();
+    println!("== Trace I/O: JSONL v1 vs binary v2, offline vs ring-streamed ==");
+    println!(
+        "{:<20} {:<16} {:>10} | {:>10} {:>14} | {:>12} {:>8}",
+        "workload", "mode", "events", "wall(ms)", "events/sec", "bytes", "B/event"
+    );
+    for r in rows {
+        println!(
+            "{:<20} {:<16} {:>10} | {:>10.3} {:>14.0} | {:>12} {:>8.2}",
+            r.workload, r.mode, r.events, r.wall_ms, r.events_per_sec, r.bytes, r.bytes_per_event,
+        );
+    }
+    println!(
+        "(per workload: streamed output byte-identical to offline output per \
+         format, binary decodes back to the source trace; times are best of reps)"
+    );
+}
+
 fn main() {
     let args = parse_args();
     let join = match igoodlock_bench(&args.sizes, args.pairs, args.noise, args.reps) {
@@ -169,7 +202,19 @@ fn main() {
         }
     };
     print_streaming_rows(&streaming);
-    let artifact = BenchArtifact { join, streaming };
+    let trace_io = match trace_io_bench_rows(args.trace_events, args.reps) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("parity failure: {e}");
+            std::process::exit(1);
+        }
+    };
+    print_trace_io_rows(&trace_io);
+    let artifact = BenchArtifact {
+        join,
+        streaming,
+        trace_io,
+    };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize");
     std::fs::write(&args.out, json + "\n").expect("write bench artifact");
     println!("wrote {}", args.out);

@@ -13,12 +13,14 @@
 
 mod igoodlock_bench;
 mod streaming_bench;
+mod trace_bench;
 
 pub use igoodlock_bench::{
     igoodlock_bench, igoodlock_bench_row, philosophers_ring_relation, synthetic_join_relation,
     IGoodlockBenchRow,
 };
 pub use streaming_bench::{streaming_bench, streaming_bench_row, StreamingBenchRow};
+pub use trace_bench::{synthetic_trace, trace_io_bench_rows, TraceIoBenchRow};
 
 use std::time::Duration;
 

@@ -1,0 +1,302 @@
+//! Trace I/O throughput bench: events/sec and bytes/event for the two
+//! `df-trace` encodings (JSONL v1, binary v2) on the two write paths
+//! (offline — a materialized [`Trace`] serialized in one pass — and
+//! streamed — events fed one at a time through an [`AnySpillSink`] with
+//! the SPSC ring writer enabled). Before any numbers are taken the four
+//! paths are cross-checked on a small workload: streamed output must be
+//! byte-identical to offline output per format, and the binary artifact
+//! must decode back to the exact source trace.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use df_events::{
+    read_trace_bytes, write_trace_as, AnySpillSink, EventKind, EventSink, Label, ObjId, ObjKind,
+    SpillConfig, ThreadId, Trace, TraceFormat,
+};
+use serde::Serialize;
+
+/// One `trace_io` row of `BENCH_igoodlock.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct TraceIoBenchRow {
+    /// Synthetic workload name (encodes the event count).
+    pub workload: String,
+    /// Write path × encoding: `offline-jsonl`, `offline-binary`,
+    /// `streamed-jsonl`, or `streamed-binary`.
+    pub mode: String,
+    /// Events written.
+    pub events: u64,
+    /// Best-of-reps wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Events per second at the best-of-reps time.
+    pub events_per_sec: f64,
+    /// Artifact size in bytes (identical across reps by construction).
+    pub bytes: u64,
+    /// Bytes per event (artifact size over event count).
+    pub bytes_per_event: f64,
+}
+
+/// A `Write` target that counts and discards, so the bench measures
+/// serialization — not the disk.
+#[derive(Clone, Default)]
+struct CountingSink(Arc<AtomicU64>);
+
+impl Write for CountingSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Builds a deterministic synthetic trace of roughly `target_events`
+/// events: `threads` workers cycling through nested acquire/release
+/// pairs over `locks` locks, with a small set of interned sites — the
+/// shape that favors the v2 string table exactly as a real workload
+/// would.
+pub fn synthetic_trace(target_events: u64, threads: u32, locks: u32) -> Trace {
+    let threads = threads.max(1);
+    let locks = locks.max(2);
+    let mut trace = Trace::new();
+    let spawn_site = Label::new("bench.spawn:1");
+    let mut thread_objs = Vec::new();
+    for t in 0..threads {
+        let obj = trace.objects_mut().create_named(
+            ObjKind::Thread,
+            spawn_site,
+            None,
+            Vec::new(),
+            Some(format!("bench-worker-{t}")),
+        );
+        thread_objs.push(obj);
+        trace.bind_thread(ThreadId::new(t), obj);
+    }
+    let lock_site = Label::new("bench.new_lock:2");
+    let lock_ids: Vec<ObjId> = (0..locks)
+        .map(|_| {
+            trace
+                .objects_mut()
+                .create(ObjKind::Lock, lock_site, None, Vec::new())
+        })
+        .collect();
+    let sites: Vec<Label> = (0..4)
+        .map(|i| Label::new(&format!("bench.hot_loop:{}", 10 + i)))
+        .collect();
+
+    // Each iteration emits 4 events: outer acquire, inner acquire,
+    // inner release, outer release.
+    let iterations = target_events / 4;
+    for i in 0..iterations {
+        let thread = ThreadId::new((i % u64::from(threads)) as u32);
+        let outer = lock_ids[(i % lock_ids.len() as u64) as usize];
+        let inner = lock_ids[((i + 1) % lock_ids.len() as u64) as usize];
+        let outer_site = sites[(i % sites.len() as u64) as usize];
+        let inner_site = sites[((i + 1) % sites.len() as u64) as usize];
+        trace.push(
+            thread,
+            EventKind::Acquire {
+                lock: outer,
+                site: outer_site,
+                held: Vec::new(),
+                context: vec![outer_site],
+            },
+        );
+        trace.push(
+            thread,
+            EventKind::Acquire {
+                lock: inner,
+                site: inner_site,
+                held: vec![outer],
+                context: vec![outer_site, inner_site],
+            },
+        );
+        trace.push(
+            thread,
+            EventKind::Release {
+                lock: inner,
+                site: inner_site,
+            },
+        );
+        trace.push(
+            thread,
+            EventKind::Release {
+                lock: outer,
+                site: outer_site,
+            },
+        );
+    }
+    trace
+}
+
+/// Streams `trace` event-by-event through `sink`, the way a live run
+/// feeds a spill sink, and seals it.
+fn feed<S: EventSink>(sink: &mut S, trace: &Trace) {
+    for (thread, obj) in trace.thread_objs() {
+        sink.on_thread_bound(thread, obj);
+    }
+    for event in trace.events() {
+        sink.on_event(event);
+    }
+    sink.on_finish(trace);
+}
+
+/// Offline path: serialize the materialized trace in one pass.
+/// Returns (wall seconds, artifact bytes).
+fn run_offline(trace: &Trace, format: TraceFormat) -> Result<(f64, u64), String> {
+    let counter = CountingSink::default();
+    let start = Instant::now();
+    write_trace_as(counter.clone(), trace, format).map_err(|e| e.to_string())?;
+    let wall = start.elapsed().as_secs_f64();
+    Ok((wall, counter.0.load(Ordering::Relaxed)))
+}
+
+/// Streamed path: feed events one at a time through an [`AnySpillSink`]
+/// with the SPSC ring enabled, timing until the seal lands.
+fn run_streamed(trace: &Trace, format: TraceFormat) -> Result<(f64, u64), String> {
+    let config = SpillConfig::with_format(format).with_ring(1024);
+    let counter = CountingSink::default();
+    let start = Instant::now();
+    let mut sink = AnySpillSink::new(counter.clone(), &config).map_err(|e| e.to_string())?;
+    feed(&mut sink, trace);
+    let (_events, bytes) = sink.close().map_err(|e| e.to_string())?;
+    let wall = start.elapsed().as_secs_f64();
+    if bytes != counter.0.load(Ordering::Relaxed) {
+        return Err(format!(
+            "streamed {format} byte accounting diverged: sink says {bytes}, \
+             writer saw {}",
+            counter.0.load(Ordering::Relaxed)
+        ));
+    }
+    Ok((wall, bytes))
+}
+
+/// Cross-checks the four paths on `trace`: per format, streamed output
+/// must be byte-identical to offline output, and the binary artifact
+/// must decode back to the source trace.
+fn parity_check(trace: &Trace) -> Result<(), String> {
+    for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+        let offline = write_trace_as(Vec::new(), trace, format).map_err(|e| e.to_string())?;
+        let streamed = {
+            #[derive(Clone, Default)]
+            struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+            impl Write for SharedBuf {
+                fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                    self.0.lock().unwrap().extend_from_slice(buf);
+                    Ok(buf.len())
+                }
+                fn flush(&mut self) -> io::Result<()> {
+                    Ok(())
+                }
+            }
+            let buf = SharedBuf::default();
+            let config = SpillConfig::with_format(format).with_ring(64);
+            let mut sink = AnySpillSink::new(buf.clone(), &config).map_err(|e| e.to_string())?;
+            feed(&mut sink, trace);
+            sink.close().map_err(|e| e.to_string())?;
+            let bytes = buf.0.lock().unwrap().clone();
+            bytes
+        };
+        if offline != streamed {
+            return Err(format!(
+                "{format}: streamed artifact diverges from offline artifact \
+                 ({} vs {} bytes)",
+                streamed.len(),
+                offline.len()
+            ));
+        }
+        let decoded = read_trace_bytes(&offline).map_err(|e| e.to_string())?;
+        if decoded.events() != trace.events() {
+            return Err(format!("{format}: decoded events diverge from source"));
+        }
+    }
+    Ok(())
+}
+
+/// Measures one synthetic workload across the four path×encoding modes.
+///
+/// # Errors
+///
+/// Returns a message describing the first parity failure — a
+/// correctness bug, which callers should turn into a non-zero exit.
+pub fn trace_io_bench_rows(target_events: u64, reps: u32) -> Result<Vec<TraceIoBenchRow>, String> {
+    // Parity on a bounded prefix-shaped workload, so even huge
+    // requested sizes cross-check quickly.
+    parity_check(&synthetic_trace(target_events.min(20_000), 4, 8))?;
+
+    let trace = synthetic_trace(target_events, 4, 8);
+    let events = trace.events().len() as u64;
+    let workload = format!("synthetic-{target_events}");
+    type ModeRunner = fn(&Trace, TraceFormat) -> Result<(f64, u64), String>;
+    let modes: [(&str, ModeRunner, TraceFormat); 4] = [
+        ("offline-jsonl", run_offline, TraceFormat::Jsonl),
+        ("offline-binary", run_offline, TraceFormat::Binary),
+        ("streamed-jsonl", run_streamed, TraceFormat::Jsonl),
+        ("streamed-binary", run_streamed, TraceFormat::Binary),
+    ];
+    let mut rows = Vec::new();
+    for (mode, run, format) in modes {
+        let mut best = f64::INFINITY;
+        let mut bytes = 0u64;
+        for _ in 0..reps.max(1) {
+            let (wall, b) = run(&trace, format)?;
+            best = best.min(wall);
+            bytes = b;
+        }
+        rows.push(TraceIoBenchRow {
+            workload: workload.clone(),
+            mode: mode.to_string(),
+            events,
+            wall_ms: best * 1e3,
+            events_per_sec: if best > 0.0 {
+                events as f64 / best
+            } else {
+                0.0
+            },
+            bytes,
+            bytes_per_event: if events > 0 {
+                bytes as f64 / events as f64
+            } else {
+                0.0
+            },
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_trace_hits_the_target_shape() {
+        let trace = synthetic_trace(1_000, 4, 8);
+        assert_eq!(trace.events().len(), 1_000);
+        assert_eq!(trace.thread_objs().count(), 4);
+        assert_eq!(trace.objects().len(), 4 + 8);
+        assert!(trace.events().iter().any(|e| e.kind.is_acquire()));
+    }
+
+    #[test]
+    fn rows_cover_all_four_modes_and_binary_is_denser() {
+        let rows = trace_io_bench_rows(4_000, 1).expect("parity");
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.events, 4_000, "{}", row.mode);
+            assert!(row.bytes > 0, "{}", row.mode);
+            assert!(row.events_per_sec > 0.0, "{}", row.mode);
+        }
+        let bytes_of = |mode: &str| rows.iter().find(|r| r.mode == mode).unwrap().bytes;
+        assert_eq!(bytes_of("offline-jsonl"), bytes_of("streamed-jsonl"));
+        assert_eq!(bytes_of("offline-binary"), bytes_of("streamed-binary"));
+        assert!(
+            bytes_of("offline-binary") * 3 <= bytes_of("offline-jsonl"),
+            "binary ({}) should be at least 3x denser than JSONL ({})",
+            bytes_of("offline-binary"),
+            bytes_of("offline-jsonl")
+        );
+    }
+}

@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 
 use deadlock_fuzzer::{Config, DeadlockFuzzer, ProgramRef, Report, Variant};
 use df_abstraction::Abstractor;
-use df_events::Trace;
+use df_events::{SpillConfig, Trace, TraceFormat, TRACE_BINARY_MAGIC};
 use df_igoodlock::{igoodlock_filtered, HbFilter, IGoodlockOptions, LockDependencyRelation};
 
 /// Documented process exit codes for the verdict commands (`confirm`,
@@ -246,6 +246,19 @@ pub struct CliOptions {
     /// `dfz record`: write the lock dependency relation as a
     /// `df-relation` artifact to this file.
     pub relation_out: Option<std::path::PathBuf>,
+    /// `dfz record`: trace artifact encoding (`jsonl` v1 or `binary`
+    /// v2). `dfz analyze` sniffs the encoding, so this only matters
+    /// when writing.
+    pub format: TraceFormat,
+    /// `dfz record`: capacity (in frames) of the SPSC ring between the
+    /// emitting threads and a dedicated spill-writer thread. `0` (the
+    /// default) writes synchronously on the emitting thread.
+    pub spill_ring: usize,
+    /// `dfz record`: spill-writer batch threshold in bytes (ring mode).
+    pub spill_batch_bytes: usize,
+    /// `dfz record`: spill-writer partial-batch flush interval in
+    /// milliseconds (ring mode).
+    pub spill_flush_ms: u64,
 }
 
 impl Default for CliOptions {
@@ -264,6 +277,10 @@ impl Default for CliOptions {
             stream: false,
             out: None,
             relation_out: None,
+            format: TraceFormat::Jsonl,
+            spill_ring: 0,
+            spill_batch_bytes: SpillConfig::default().batch_bytes,
+            spill_flush_ms: SpillConfig::default().flush_interval.as_millis() as u64,
         }
     }
 }
@@ -284,7 +301,13 @@ pub fn config_of(opts: &CliOptions) -> Result<Config, CliError> {
         .with_confirm_trials(opts.trials)
         .with_hb_filter(opts.hb)
         .with_jobs(opts.jobs)
-        .with_stream_phase1(opts.stream);
+        .with_stream_phase1(opts.stream)
+        .with_spill(
+            SpillConfig::with_format(opts.format)
+                .with_ring(opts.spill_ring)
+                .with_batch_bytes(opts.spill_batch_bytes)
+                .with_flush_interval(std::time::Duration::from_millis(opts.spill_flush_ms)),
+        );
     if let Some(p) = opts.fault_panic {
         config.run = config.run.with_fault_plan(
             deadlock_fuzzer::runtime::FaultPlan::new(opts.fault_seed).with_panic_on_acquire(p),
@@ -368,7 +391,9 @@ pub fn cmd_record(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> 
     }
     let program = resolve_program(name)?;
     let obs = obs_of(opts)?;
-    let fuzzer = DeadlockFuzzer::from_ref(program, config_of(opts)?.with_obs(obs.clone()));
+    let config = config_of(opts)?;
+    let spill_config = config.spill;
+    let fuzzer = DeadlockFuzzer::from_ref(program, config.with_obs(obs.clone()));
 
     let mut handle = df_events::SinkHandle::none();
     let spill = match &opts.out {
@@ -376,8 +401,10 @@ pub fn cmd_record(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> 
             let file = std::fs::File::create(path).map_err(|e| {
                 CliError::internal(format!("cannot create {}: {e}", path.display()))
             })?;
-            let sink = df_events::SpillSink::new(std::io::BufWriter::new(file))
-                .map_err(|e| CliError::internal(format!("cannot start {}: {e}", path.display())))?;
+            let sink = df_events::AnySpillSink::new(std::io::BufWriter::new(file), &spill_config)
+                .map_err(|e| {
+                CliError::internal(format!("cannot start {}: {e}", path.display()))
+            })?;
             let sink = Arc::new(Mutex::new(sink));
             handle = handle.with(sink.clone());
             Some(sink)
@@ -410,16 +437,24 @@ pub fn cmd_record(name: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> 
     if let (Some(sink), Some(path)) = (spill, &opts.out) {
         // Recover a poisoned sink mutex: even if a trial panicked inside
         // the program, the spill must still be harvested and sealed.
-        let (events, bytes) = sink
+        let mut guard = sink
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (events, bytes) = guard
             .close()
             .map_err(|e| CliError::internal(format!("sealing {}: {e}", path.display())))?;
+        let waits = guard.backpressure_waits();
+        drop(guard);
+        obs.counters().add_spill_backpressure_waits(waits);
         let _ = writeln!(
             out,
             "  trace artifact: {} ({events} events, {bytes} bytes)",
             path.display()
         );
+        let _ = writeln!(out, "  trace format: {}", spill_config.format);
+        if spill_config.ring_capacity > 0 {
+            let _ = writeln!(out, "  spill backpressure waits: {waits}");
+        }
     }
     if let (Some(b), Some(path)) = (builder, &opts.relation_out) {
         let relation = b.lock().expect("relation builder sink").take();
@@ -513,20 +548,34 @@ fn analyze_relation(
 }
 
 /// `dfz analyze <artifact>` — offline iGoodlock over a recorded
-/// artifact, sniffing its format from the first line: `df-trace` JSONL
+/// artifact, sniffing its format from the first bytes: `df-trace`
+/// binary v2 (from `dfz record --format binary`), `df-trace` JSONL v1
 /// (from `dfz record --out` or a sealed `df-lock` spill), `df-relation`
 /// JSON (from `dfz record --relation-out`), or a legacy plain-trace
-/// JSON dump (from `dfz trace`). `source` is the artifact's path (or
-/// other provenance string), used verbatim in error messages.
+/// JSON dump (from `dfz trace`). Both trace encodings decode to the
+/// same [`Trace`], so `--json` output is byte-identical regardless of
+/// which one was recorded. `source` is the artifact's path (or other
+/// provenance string), used verbatim in error messages.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError::Usage`] for `--hb` over a relation artifact
 /// (the filter's vector clocks need the events) and for a truncated or
 /// corrupt artifact — the message names `source` and, when the failure
-/// is tied to one line, its 1-based line number. Returns a
-/// [`CliError::Internal`] if the content parses as none of the formats.
-pub fn cmd_analyze(content: &str, source: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
+/// is tied to one line (JSONL) or frame (binary), its 1-based index.
+/// Returns a [`CliError::Internal`] if the content parses as none of
+/// the formats.
+pub fn cmd_analyze(content: &[u8], source: &str, opts: &CliOptions) -> Result<CmdOutput, CliError> {
+    if content.starts_with(&TRACE_BINARY_MAGIC) {
+        let trace = df_events::read_trace_bytes(content)
+            .map_err(|e| CliError::usage(format!("bad trace artifact {source}: {e}")))?;
+        return analyze_trace(&trace, opts);
+    }
+    let content = std::str::from_utf8(content).map_err(|_| {
+        CliError::internal(format!(
+            "{source} is neither a df-trace binary artifact nor UTF-8 text"
+        ))
+    })?;
     let head = content.trim_start();
     if head.starts_with("{\"Header\"") {
         let trace = df_events::read_trace(content.as_bytes())
@@ -928,11 +977,11 @@ mod tests {
         );
 
         let live = cmd_phase1("figure1", &opts).unwrap();
-        let content = std::fs::read_to_string(&trace_path.0).unwrap();
+        let content = std::fs::read(&trace_path.0).unwrap();
         let offline = cmd_analyze(&content, "trace.jsonl", &opts).unwrap();
         assert_eq!(offline.text, live.text, "recorded analysis must match live");
 
-        let relation_content = std::fs::read_to_string(&relation_path.0).unwrap();
+        let relation_content = std::fs::read(&relation_path.0).unwrap();
         let from_relation = cmd_analyze(&relation_content, "relation.json", &opts).unwrap();
         let cycles: Vec<df_igoodlock::Cycle> = serde_json::from_str(&from_relation.text).unwrap();
         assert_eq!(cycles.len(), 1, "{}", from_relation.text);
@@ -951,13 +1000,110 @@ mod tests {
         assert!(!out.text.contains("events streamed: 0"), "{}", out.text);
 
         // The streamed artifact still analyzes like a recorded one.
-        let content = std::fs::read_to_string(&trace_path.0).unwrap();
+        let content = std::fs::read(&trace_path.0).unwrap();
         let offline = cmd_analyze(&content, "streamed.jsonl", &CliOptions::default()).unwrap();
         assert!(
             offline.text.contains("1 potential cycle"),
             "{}",
             offline.text
         );
+    }
+
+    #[test]
+    fn binary_record_analyzes_byte_identically_to_jsonl() {
+        let jsonl_path = TempPath::new("trace-v1.jsonl");
+        let bin_path = TempPath::new("trace-v2.bin");
+        let jsonl_opts = CliOptions {
+            out: Some(jsonl_path.0.clone()),
+            json: true,
+            ..CliOptions::default()
+        };
+        let bin_opts = CliOptions {
+            out: Some(bin_path.0.clone()),
+            format: TraceFormat::Binary,
+            spill_ring: 256,
+            json: true,
+            ..CliOptions::default()
+        };
+        let v1 = cmd_record("figure1", &jsonl_opts).unwrap();
+        assert!(v1.text.contains("trace format: jsonl"), "{}", v1.text);
+        let v2 = cmd_record("figure1", &bin_opts).unwrap();
+        assert!(v2.text.contains("trace format: binary"), "{}", v2.text);
+        assert!(v2.text.contains("spill backpressure waits:"), "{}", v2.text);
+
+        let jsonl_bytes = std::fs::read(&jsonl_path.0).unwrap();
+        let bin_bytes = std::fs::read(&bin_path.0).unwrap();
+        assert!(bin_bytes.starts_with(&TRACE_BINARY_MAGIC));
+        assert!(
+            bin_bytes.len() < jsonl_bytes.len(),
+            "binary ({}) must be denser than JSONL ({})",
+            bin_bytes.len(),
+            jsonl_bytes.len()
+        );
+
+        // Same run, either encoding: the --json analysis must be
+        // byte-identical.
+        let from_jsonl = cmd_analyze(&jsonl_bytes, "v1", &jsonl_opts).unwrap();
+        let from_bin = cmd_analyze(&bin_bytes, "v2", &bin_opts).unwrap();
+        assert_eq!(from_jsonl.text, from_bin.text);
+        assert_eq!(
+            from_jsonl.text,
+            cmd_phase1("figure1", &jsonl_opts).unwrap().text
+        );
+    }
+
+    #[test]
+    fn analyze_names_path_and_frame_for_corrupt_binary_artifacts() {
+        let bin_path = TempPath::new("corrupt-v2.bin");
+        let opts = CliOptions {
+            out: Some(bin_path.0.clone()),
+            format: TraceFormat::Binary,
+            ..CliOptions::default()
+        };
+        cmd_record("figure1", &opts).unwrap();
+        let bytes = std::fs::read(&bin_path.0).unwrap();
+        let plain = CliOptions::default();
+
+        // Truncated mid-frame: usage error naming the source.
+        let err = cmd_analyze(&bytes[..bytes.len() - 1], "runs/cut.bin", &plain).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("runs/cut.bin"), "{err}");
+        assert!(err.message().contains("frame"), "{err}");
+
+        // Seal frame sliced off: reported as a truncation.
+        let err = cmd_analyze(&bytes[..bytes.len() - 2], "runs/unsealed.bin", &plain).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("truncated"), "{err}");
+
+        // An unknown frame tag spliced in before the seal.
+        let mut patched = bytes[..bytes.len() - 2].to_vec();
+        patched.extend_from_slice(&[1, 99]);
+        patched.extend_from_slice(&bytes[bytes.len() - 2..]);
+        let err = cmd_analyze(&patched, "runs/badtag.bin", &plain).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("frame"), "{err}");
+
+        // Magic alone is not an artifact.
+        let err = cmd_analyze(&bytes[..4], "runs/magic.bin", &plain).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+    }
+
+    #[test]
+    fn degenerate_spill_settings_are_usage_errors() {
+        let opts = CliOptions {
+            spill_batch_bytes: 0,
+            ..CliOptions::default()
+        };
+        let err = cmd_phase1("figure1", &opts).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("batch_bytes"), "{err}");
+        let opts = CliOptions {
+            spill_flush_ms: 0,
+            ..CliOptions::default()
+        };
+        let err = cmd_phase1("figure1", &opts).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("flush_interval"), "{err}");
     }
 
     #[test]
@@ -968,7 +1114,7 @@ mod tests {
             ..CliOptions::default()
         };
         cmd_record("figure1", &opts).unwrap();
-        let content = std::fs::read_to_string(&relation_path.0).unwrap();
+        let content = std::fs::read(&relation_path.0).unwrap();
         let err = cmd_analyze(
             &content,
             "hb-relation.json",
@@ -997,7 +1143,12 @@ mod tests {
         let half = lines[3].len() / 2;
         lines[3].truncate(half);
         let corrupt: String = lines.iter().map(|l| format!("{l}\n")).collect();
-        let err = cmd_analyze(&corrupt, "runs/corrupt.jsonl", &CliOptions::default()).unwrap_err();
+        let err = cmd_analyze(
+            corrupt.as_bytes(),
+            "runs/corrupt.jsonl",
+            &CliOptions::default(),
+        )
+        .unwrap_err();
         assert_eq!(err.exit_code(), exit_code::USAGE);
         assert!(err.message().contains("runs/corrupt.jsonl"), "{err}");
         assert!(err.message().contains("line 4"), "{err}");
@@ -1009,8 +1160,12 @@ mod tests {
             .filter(|l| !l.starts_with("{\"Footer\""))
             .map(|l| format!("{l}\n"))
             .collect();
-        let err =
-            cmd_analyze(&truncated, "runs/truncated.jsonl", &CliOptions::default()).unwrap_err();
+        let err = cmd_analyze(
+            truncated.as_bytes(),
+            "runs/truncated.jsonl",
+            &CliOptions::default(),
+        )
+        .unwrap_err();
         assert_eq!(err.exit_code(), exit_code::USAGE);
         assert!(err.message().contains("runs/truncated.jsonl"), "{err}");
         assert!(err.message().contains("truncated"), "{err}");

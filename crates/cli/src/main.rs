@@ -3,7 +3,9 @@
 //! ```text
 //! dfz list
 //! dfz phase1  <benchmark> [--seed N] [--hb] [--json] [--variant V] [--stream]
-//! dfz record  <benchmark> [--seed N] [--stream] --out F.jsonl [--relation-out F.json]
+//! dfz record  <benchmark> [--seed N] [--stream] --out F [--relation-out F.json]
+//!             [--format jsonl|binary] [--spill-ring N]
+//!             [--spill-batch-bytes N] [--spill-flush-ms N]
 //! dfz trace   <benchmark> [--seed N]            # dump a trace as JSON to stdout
 //! dfz analyze <artifact>  [--hb] [--variant V] [--json]  # offline iGoodlock
 //! dfz confirm <benchmark> [--cycle I] [--trials N] [--variant V] [--jobs N]
@@ -12,7 +14,8 @@
 //! dfz races   <benchmark> [--trials N] [--seed N]  # the RaceFuzzer checker
 //! ```
 //!
-//! `analyze` accepts any recorded artifact: a `df-trace` JSONL stream
+//! `analyze` accepts any recorded artifact: a `df-trace` binary v2
+//! stream (`record --format binary`), a `df-trace` JSONL stream
 //! (`record --out`), a `df-relation` JSON envelope (`record
 //! --relation-out`), or the plain trace dump of `dfz trace`. A leading
 //! flag implies `run`, so `dfz --benchmark figure1 --metrics-out m.json`
@@ -29,7 +32,9 @@ fn usage() -> ! {
          a leading flag implies `run` (e.g. dfz --benchmark figure1 --metrics-out m.json)\n\
          parallelism: --jobs <n> (0 = one worker per core, 1 = sequential)\n\
          observability: --metrics-out <file> --trace-out <file.jsonl>\n\
-         recording: --out <trace.jsonl> --relation-out <relation.json> --stream\n\
+         recording: --out <trace file> --relation-out <relation.json> --stream\n\
+         \x20    --format <jsonl|binary> --spill-ring <frames> (0 = synchronous)\n\
+         \x20    --spill-batch-bytes <n> --spill-flush-ms <n>\n\
          fault injection: --fault-panic <prob> --fault-seed <n>\n\
          run `dfz list` for benchmark names\n\
          exit codes: 0 cycle confirmed / success, 1 no cycle found,\n\
@@ -120,6 +125,34 @@ fn main() {
             "--relation-out" => {
                 opts.relation_out = Some(args.next().unwrap_or_else(|| usage()).into());
             }
+            "--format" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match v.parse::<df_events::TraceFormat>() {
+                    Ok(f) => opts.format = f,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(df_cli::exit_code::USAGE);
+                    }
+                }
+            }
+            "--spill-ring" => {
+                opts.spill_ring = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--spill-batch-bytes" => {
+                opts.spill_batch_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--spill-flush-ms" => {
+                opts.spill_flush_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--stream" => opts.stream = true,
             "--hb" => opts.hb = true,
             "--json" => opts.json = true,
@@ -145,7 +178,7 @@ fn main() {
             None => usage(),
         },
         "analyze" => match positional.first() {
-            Some(path) => std::fs::read_to_string(path)
+            Some(path) => std::fs::read(path)
                 .map_err(|e| CliError::internal(format!("cannot read {path}: {e}")))
                 .and_then(|content| cmd_analyze(&content, path, &opts)),
             None => usage(),

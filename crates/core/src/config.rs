@@ -2,6 +2,7 @@
 
 use crate::error::DfError;
 use df_abstraction::AbstractionMode;
+use df_events::SpillConfig;
 use df_igoodlock::IGoodlockOptions;
 use df_runtime::RunConfig;
 use serde::{Deserialize, Serialize};
@@ -149,6 +150,11 @@ pub struct Config {
     /// O(events) to O(relation). Incompatible with
     /// [`Config::hb_filter`], whose vector clocks need the whole trace.
     pub stream_phase1: bool,
+    /// How recorded traces are spilled to disk: the artifact encoding
+    /// (JSONL v1 or binary v2) and the optional SPSC ring that moves
+    /// serialization off the emitting threads onto a dedicated writer
+    /// thread (`ring_capacity` of 0 writes synchronously).
+    pub spill: SpillConfig,
 }
 
 impl Default for Config {
@@ -170,6 +176,7 @@ impl Default for Config {
             jobs: 0,
             stop_on_first: false,
             stream_phase1: false,
+            spill: SpillConfig::default(),
         }
     }
 }
@@ -259,6 +266,13 @@ impl Config {
         self
     }
 
+    /// Sets the trace-spill configuration (artifact format and ring
+    /// buffering; see [`SpillConfig`]).
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = spill;
+        self
+    }
+
     /// Sets the livelock-monitor pause budget (§5).
     pub fn with_pause_budget(mut self, budget: u64) -> Self {
         self.pause_budget = budget;
@@ -333,6 +347,12 @@ impl Config {
                  filter's vector clocks need the full trace in memory"
                     .to_string(),
             );
+        }
+        if self.spill.batch_bytes == 0 {
+            return invalid("spill.batch_bytes must be at least 1".to_string());
+        }
+        if self.spill.flush_interval.is_zero() {
+            return invalid("spill.flush_interval must be positive".to_string());
         }
         if let Some(plan) = &self.run.fault_plan {
             for (name, p) in [
@@ -500,6 +520,24 @@ mod tests {
         assert!(rejection(&c).contains("hb_filter"));
         // Each knob is fine on its own.
         assert!(Config::default().with_hb_filter(true).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_spill_settings() {
+        use df_events::TraceFormat;
+        let c = Config::default().with_spill(SpillConfig::default().with_batch_bytes(0));
+        assert!(rejection(&c).contains("batch_bytes"));
+        let c = Config::default()
+            .with_spill(SpillConfig::default().with_flush_interval(Duration::ZERO));
+        assert!(rejection(&c).contains("flush_interval"));
+        let c = Config::default().with_spill(
+            SpillConfig::with_format(TraceFormat::Binary)
+                .with_ring(1024)
+                .with_batch_bytes(4096),
+        );
+        assert!(c.validate().is_ok());
+        assert_eq!(c.spill.format, TraceFormat::Binary);
+        assert!(c.spill.ring_capacity >= 1);
     }
 
     #[test]

@@ -30,26 +30,35 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod binary;
 mod event;
 mod ids;
 mod intern;
 mod label;
 mod object;
+mod ring;
 mod sink;
 mod spill;
 mod trace;
+mod writer;
 
+pub use binary::{
+    read_binary_trace, write_binary_trace, BinaryTraceWriter, TRACE_BINARY_FORMAT_VERSION,
+    TRACE_BINARY_MAGIC,
+};
 pub use event::{Event, EventKind};
 pub use ids::{ObjId, ObjKind, ThreadId};
 pub use intern::DenseInterner;
 pub use label::{caller_site, Label};
 pub use object::{IndexFrame, ObjectMeta, ObjectTable};
+pub use ring::{spsc_ring, RingConsumer, RingProducer, TryPush};
 pub use sink::{EventSink, SinkHandle};
 pub use spill::{
-    read_trace, write_trace, SpillError, SpillSink, TraceFooter, TraceHeader, TraceWriter,
-    TRACE_FORMAT, TRACE_FORMAT_VERSION,
+    read_trace, read_trace_bytes, write_trace, write_trace_as, SpillError, SpillSink, TraceFooter,
+    TraceFormat, TraceHeader, TraceWriter, TRACE_FORMAT, TRACE_FORMAT_VERSION,
 };
 pub use trace::Trace;
+pub use writer::{AnySpillSink, RingSpillSink, SpillConfig};
 
 /// Constructs a [`Label`] from the current source location.
 ///

@@ -1,0 +1,324 @@
+//! A bounded lock-free single-producer / single-consumer ring.
+//!
+//! This is the hand-off between the event-emitting side of a spill sink
+//! and the dedicated spill-writer thread: the instrumented program's
+//! hot path pushes encoded frames, the writer drains them in batches,
+//! and when the ring fills the producer *blocks* (spin → yield → short
+//! sleep) rather than dropping data — crash-safe sealing requires every
+//! frame to arrive. Each blocking episode is counted, so observability
+//! can report backpressure (`spill_backpressure_waits`).
+//!
+//! The implementation is the classic Lamport queue: a power-of-two slot
+//! array, a producer-owned head and consumer-owned tail, Release stores
+//! paired with Acquire loads. Exclusive roles are enforced by the type
+//! system — [`RingProducer`]/[`RingConsumer`] are not [`Clone`] and
+//! their operations take `&mut self` — which is what makes the two
+//! unsynchronized index counters sound.
+#![allow(unsafe_code)] // the one place df-events touches raw slots; see above.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct RingShared<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    cap: usize,
+    /// Total values ever pushed; next write goes to `head & mask`.
+    head: AtomicUsize,
+    /// Total values ever popped; next read comes from `tail & mask`.
+    tail: AtomicUsize,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+    /// Blocking-push episodes (one per full-ring stall, not per retry).
+    waits: AtomicU64,
+}
+
+// SAFETY: slots are only touched through the SPSC protocol — the
+// producer writes `head & mask` strictly before publishing `head + 1`
+// with Release, the consumer reads `tail & mask` only after an Acquire
+// load of `head` proves it published, and each index has exactly one
+// writer (handles are !Clone and operate through &mut self).
+unsafe impl<T: Send> Sync for RingShared<T> {}
+unsafe impl<T: Send> Send for RingShared<T> {}
+
+impl<T> Drop for RingShared<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: drop whatever was pushed but never
+        // popped.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in tail..head {
+            // SAFETY: slots in [tail, head) hold initialized values no
+            // handle can reach any more.
+            unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// Why a [`RingProducer::try_push`] did not enqueue; the value comes
+/// back so the caller can retry or drop it deliberately.
+#[derive(Debug)]
+pub enum TryPush<T> {
+    /// The ring is full.
+    Full(T),
+    /// The consumer was dropped; no push can ever succeed again.
+    Disconnected(T),
+}
+
+/// Creates a bounded SPSC ring with room for at least `capacity` values
+/// (rounded up to a power of two, minimum 2).
+pub fn spsc_ring<T: Send>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let shared = Arc::new(RingShared {
+        buf,
+        mask: cap - 1,
+        cap,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+        waits: AtomicU64::new(0),
+    });
+    (
+        RingProducer {
+            shared: Arc::clone(&shared),
+        },
+        RingConsumer { shared },
+    )
+}
+
+/// The pushing end of a ring; exactly one exists per ring.
+pub struct RingProducer<T: Send> {
+    shared: Arc<RingShared<T>>,
+}
+
+impl<T: Send> RingProducer<T> {
+    /// Enqueues without blocking, or reports [`TryPush::Full`] /
+    /// [`TryPush::Disconnected`] with the value handed back.
+    pub fn try_push(&mut self, value: T) -> Result<(), TryPush<T>> {
+        if !self.shared.consumer_alive.load(Ordering::Acquire) {
+            return Err(TryPush::Disconnected(value));
+        }
+        let head = self.shared.head.load(Ordering::Relaxed);
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= self.shared.cap {
+            return Err(TryPush::Full(value));
+        }
+        // SAFETY: the slot at `head & mask` is vacant (head - tail < cap)
+        // and this is the only producer.
+        unsafe { (*self.shared.buf[head & self.shared.mask].get()).write(value) };
+        self.shared
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the ring is full (backpressure). Each
+    /// full-ring stall bumps [`RingProducer::waits`] once. Returns the
+    /// value if the consumer is gone.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let mut value = value;
+        let mut waited = false;
+        let mut attempts = 0u32;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(TryPush::Disconnected(v)) => return Err(v),
+                Err(TryPush::Full(v)) => {
+                    value = v;
+                    if !waited {
+                        waited = true;
+                        self.shared.waits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Escalate politely: burn a few cycles first, then
+                    // yield the core, then sleep so a slow disk does not
+                    // turn backpressure into a spin furnace.
+                    attempts = attempts.saturating_add(1);
+                    if attempts < 64 {
+                        std::hint::spin_loop();
+                    } else if attempts < 256 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(20));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of blocking-push episodes so far.
+    pub fn waits(&self) -> u64 {
+        self.shared.waits.load(Ordering::Relaxed)
+    }
+
+    /// The ring's actual capacity (power of two).
+    pub fn capacity(&self) -> usize {
+        self.shared.cap
+    }
+}
+
+impl<T: Send> Drop for RingProducer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// The popping end of a ring; exactly one exists per ring.
+pub struct RingConsumer<T: Send> {
+    shared: Arc<RingShared<T>>,
+}
+
+impl<T: Send> RingConsumer<T> {
+    /// Dequeues the oldest value, or `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let tail = self.shared.tail.load(Ordering::Relaxed);
+        let head = self.shared.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        // SAFETY: the Acquire load of `head` proves the producer
+        // initialized this slot, and this is the only consumer.
+        let value = unsafe { (*self.shared.buf[tail & self.shared.mask].get()).assume_init_read() };
+        self.shared
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// `true` once the producer is gone **and** every value has been
+    /// popped — the drained-and-done condition a writer thread exits on.
+    pub fn is_disconnected(&self) -> bool {
+        if self.shared.producer_alive.load(Ordering::Acquire) {
+            return false;
+        }
+        // The Acquire above synchronizes with the producer's dying
+        // store, so this head load sees its final value.
+        self.shared.tail.load(Ordering::Relaxed) == self.shared.head.load(Ordering::Acquire)
+    }
+
+    /// Number of blocking-push episodes the producer has suffered.
+    pub fn waits(&self) -> u64 {
+        self.shared.waits.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Send> Drop for RingConsumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (p, _c) = spsc_ring::<u8>(3);
+        assert_eq!(p.capacity(), 4);
+        let (p, _c) = spsc_ring::<u8>(0);
+        assert_eq!(p.capacity(), 2);
+    }
+
+    #[test]
+    fn preserves_order_under_producer_consumer_stress() {
+        const N: u64 = 200_000;
+        let (mut p, mut c) = spsc_ring::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                p.push(i).expect("consumer alive");
+            }
+            p.waits()
+        });
+        let mut expected = 0u64;
+        loop {
+            match c.pop() {
+                Some(v) => {
+                    assert_eq!(v, expected, "values arrive in push order");
+                    expected += 1;
+                }
+                None => {
+                    if c.is_disconnected() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        assert_eq!(expected, N, "every pushed value was popped exactly once");
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn full_ring_blocks_push_and_counts_the_wait() {
+        let (mut p, mut c) = spsc_ring::<u32>(2);
+        p.try_push(1).unwrap();
+        p.try_push(2).unwrap();
+        assert!(matches!(p.try_push(3), Err(TryPush::Full(3))));
+        assert_eq!(p.waits(), 0, "try_push never counts a wait");
+        let producer = std::thread::spawn(move || {
+            // Blocks until the consumer below drains a slot.
+            p.push(3).unwrap();
+            p.waits()
+        });
+        // Give the producer a moment to actually stall on the full ring.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(c.pop(), Some(1));
+        let waits = producer.join().unwrap();
+        assert!(waits >= 1, "the blocked push was counted, got {waits}");
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), Some(3));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn push_fails_once_consumer_is_gone() {
+        let (mut p, c) = spsc_ring::<u32>(4);
+        drop(c);
+        assert!(matches!(p.try_push(7), Err(TryPush::Disconnected(7))));
+        assert_eq!(p.push(8), Err(8));
+    }
+
+    #[test]
+    fn consumer_drains_after_producer_drop_then_disconnects() {
+        let (mut p, mut c) = spsc_ring::<u32>(8);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        drop(p);
+        assert!(!c.is_disconnected(), "not disconnected while values remain");
+        assert_eq!(c.pop(), Some(1));
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), None);
+        assert!(c.is_disconnected());
+    }
+
+    #[test]
+    fn dropping_the_ring_drops_unpopped_values() {
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let (mut p, mut c) = spsc_ring::<Tracked>(8);
+        for _ in 0..5 {
+            p.push(Tracked(Arc::clone(&drops))).map_err(|_| ()).unwrap();
+        }
+        drop(c.pop()); // one popped and dropped by us
+        drop(p);
+        drop(c);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            5,
+            "the four still in the ring were dropped with it"
+        );
+    }
+}

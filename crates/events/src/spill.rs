@@ -21,9 +21,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::str::FromStr;
 
 use serde::{Deserialize, Serialize};
 
+use crate::binary::{read_binary_trace, BinaryEncoder, BinaryTraceWriter, TRACE_BINARY_MAGIC};
 use crate::{Event, EventSink, ObjId, ObjectTable, ThreadId, Trace};
 
 /// Format name stamped into every trace artifact header.
@@ -31,6 +33,50 @@ pub const TRACE_FORMAT: &str = "df-trace";
 
 /// Current version of the on-disk trace format.
 pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Which on-disk encoding of the `df-trace` envelope to write.
+///
+/// Readers never need this — [`read_trace_bytes`] and `dfz analyze`
+/// sniff the encoding from the first bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum TraceFormat {
+    /// Version 1: one JSON object per line. Self-describing and
+    /// diff-friendly; the choice for goldens and debugging.
+    #[default]
+    Jsonl,
+    /// Version 2: length-prefixed binary frames with interned strings
+    /// and varint ids ([`crate::binary`]). The choice for
+    /// hardware-speed recording.
+    Binary,
+}
+
+impl TraceFormat {
+    /// The flag spelling of this format (`jsonl` / `binary`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Binary => "binary",
+        }
+    }
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" | "json-lines" | "v1" => Ok(TraceFormat::Jsonl),
+            "binary" | "bin" | "v2" => Ok(TraceFormat::Binary),
+            other => Err(format!("unknown trace format '{other}' (jsonl | binary)")),
+        }
+    }
+}
 
 /// The header line of a trace artifact.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -78,6 +124,16 @@ pub enum SpillError {
         /// What was wrong with it.
         detail: String,
     },
+    /// A frame of a binary (v2) artifact was corrupt while reading:
+    /// truncated, misprefixed, or carrying an unknown tag. `frame` is
+    /// 1-based (the header is frame 1), the binary twin of
+    /// [`SpillError::MalformedLine`].
+    MalformedFrame {
+        /// 1-based frame number of the corrupt frame.
+        frame: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
     /// The file does not start with a `df-trace` header.
     NotAnArtifact,
     /// The header names a different format.
@@ -91,6 +147,9 @@ pub enum SpillError {
     },
     /// The artifact ended without a footer line (truncated recording).
     MissingFooter,
+    /// A binary artifact has its footer but not the trailing seal frame
+    /// — the writer died between the two.
+    MissingSeal,
     /// A line appeared after the footer, or events after EOF markers.
     TrailingData,
 }
@@ -102,6 +161,9 @@ impl fmt::Display for SpillError {
             SpillError::Json(e) => write!(f, "trace artifact malformed line: {e}"),
             SpillError::MalformedLine { line, detail } => {
                 write!(f, "malformed line {line}: {detail}")
+            }
+            SpillError::MalformedFrame { frame, detail } => {
+                write!(f, "malformed frame {frame}: {detail}")
             }
             SpillError::NotAnArtifact => {
                 write!(f, "not a {TRACE_FORMAT} artifact (missing header line)")
@@ -115,6 +177,9 @@ impl fmt::Display for SpillError {
             ),
             SpillError::MissingFooter => {
                 write!(f, "artifact is truncated: no footer line")
+            }
+            SpillError::MissingSeal => {
+                write!(f, "artifact is truncated: footer present but no seal frame")
             }
             SpillError::TrailingData => {
                 write!(f, "artifact has data after the footer line")
@@ -131,6 +196,14 @@ impl SpillError {
             _ => None,
         }
     }
+
+    /// The 1-based binary frame this error points at, when known.
+    pub fn frame(&self) -> Option<u64> {
+        match self {
+            SpillError::MalformedFrame { frame, .. } => Some(*frame),
+            _ => None,
+        }
+    }
 }
 
 impl std::error::Error for SpillError {}
@@ -138,6 +211,94 @@ impl std::error::Error for SpillError {}
 impl From<io::Error> for SpillError {
     fn from(e: io::Error) -> Self {
         SpillError::Io(e)
+    }
+}
+
+fn jsonl_header_bytes() -> Result<Vec<u8>, SpillError> {
+    let header = TraceLine::Header(TraceHeader {
+        format: TRACE_FORMAT.to_string(),
+        version: TRACE_FORMAT_VERSION,
+    });
+    let mut line = serde_json::to_string(&header).map_err(|e| SpillError::Json(e.to_string()))?;
+    line.push('\n');
+    Ok(line.into_bytes())
+}
+
+fn jsonl_event_bytes(event: &Event, out: &mut Vec<u8>) -> Result<(), SpillError> {
+    let mut line = serde_json::to_string(&TraceLine::Event(event.clone()))
+        .map_err(|e| SpillError::Json(e.to_string()))?;
+    line.push('\n');
+    out.extend_from_slice(line.as_bytes());
+    Ok(())
+}
+
+fn jsonl_footer_bytes(
+    objects: &ObjectTable,
+    thread_objs: BTreeMap<ThreadId, ObjId>,
+    out: &mut Vec<u8>,
+) -> Result<(), SpillError> {
+    let footer = TraceLine::Footer(TraceFooter {
+        objects: objects.clone(),
+        thread_objs,
+    });
+    let mut line = serde_json::to_string(&footer).map_err(|e| SpillError::Json(e.to_string()))?;
+    line.push('\n');
+    out.extend_from_slice(line.as_bytes());
+    Ok(())
+}
+
+/// Format-generic streaming encoder: envelope bytes in, no I/O. This is
+/// what the ring-buffered spill sink runs on its producer side, so the
+/// writer thread only ever sees opaque byte chunks.
+pub(crate) enum TraceEncoder {
+    /// JSONL v1 (stateless).
+    Jsonl,
+    /// Binary v2 (carries the string-interning table).
+    Binary(BinaryEncoder),
+}
+
+impl TraceEncoder {
+    /// Creates an encoder for `format` and returns the artifact
+    /// preamble (header) bytes.
+    pub(crate) fn new(format: TraceFormat) -> Result<(Self, Vec<u8>), SpillError> {
+        match format {
+            TraceFormat::Jsonl => Ok((TraceEncoder::Jsonl, jsonl_header_bytes()?)),
+            TraceFormat::Binary => {
+                let (enc, preamble) = BinaryEncoder::new();
+                Ok((TraceEncoder::Binary(enc), preamble))
+            }
+        }
+    }
+
+    /// Appends one event's encoding to `out`.
+    pub(crate) fn encode_event(
+        &mut self,
+        event: &Event,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SpillError> {
+        match self {
+            TraceEncoder::Jsonl => jsonl_event_bytes(event, out),
+            TraceEncoder::Binary(enc) => {
+                enc.encode_event(event, out);
+                Ok(())
+            }
+        }
+    }
+
+    /// Appends the sealing footer (and, for binary, the seal frame).
+    pub(crate) fn encode_finish(
+        &mut self,
+        objects: &ObjectTable,
+        thread_objs: BTreeMap<ThreadId, ObjId>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SpillError> {
+        match self {
+            TraceEncoder::Jsonl => jsonl_footer_bytes(objects, thread_objs, out),
+            TraceEncoder::Binary(enc) => {
+                enc.encode_finish(objects, thread_objs, out);
+                Ok(())
+            }
+        }
     }
 }
 
@@ -156,14 +317,8 @@ pub struct TraceWriter<W: Write> {
 impl<W: Write> TraceWriter<W> {
     /// Starts an artifact by writing the header line.
     pub fn new(mut out: W) -> Result<Self, SpillError> {
-        let header = TraceLine::Header(TraceHeader {
-            format: TRACE_FORMAT.to_string(),
-            version: TRACE_FORMAT_VERSION,
-        });
-        let mut line =
-            serde_json::to_string(&header).map_err(|e| SpillError::Json(e.to_string()))?;
-        line.push('\n');
-        out.write_all(line.as_bytes())?;
+        let line = jsonl_header_bytes()?;
+        out.write_all(&line)?;
         Ok(TraceWriter {
             out,
             events: 0,
@@ -173,10 +328,9 @@ impl<W: Write> TraceWriter<W> {
 
     /// Appends one event line.
     pub fn write_event(&mut self, event: &Event) -> Result<(), SpillError> {
-        let mut line = serde_json::to_string(&TraceLine::Event(event.clone()))
-            .map_err(|e| SpillError::Json(e.to_string()))?;
-        line.push('\n');
-        self.out.write_all(line.as_bytes())?;
+        let mut line = Vec::with_capacity(96);
+        jsonl_event_bytes(event, &mut line)?;
+        self.out.write_all(&line)?;
         self.events += 1;
         self.bytes += line.len() as u64;
         Ok(())
@@ -198,27 +352,91 @@ impl<W: Write> TraceWriter<W> {
         objects: &ObjectTable,
         thread_objs: BTreeMap<ThreadId, ObjId>,
     ) -> Result<W, SpillError> {
-        let footer = TraceLine::Footer(TraceFooter {
-            objects: objects.clone(),
-            thread_objs,
-        });
-        let mut line =
-            serde_json::to_string(&footer).map_err(|e| SpillError::Json(e.to_string()))?;
-        line.push('\n');
-        self.out.write_all(line.as_bytes())?;
+        let mut line = Vec::with_capacity(256);
+        jsonl_footer_bytes(objects, thread_objs, &mut line)?;
+        self.out.write_all(&line)?;
         self.out.flush()?;
         Ok(self.out)
+    }
+}
+
+/// A [`TraceWriter`] or [`BinaryTraceWriter`] behind one surface, so
+/// sinks can be format-generic.
+pub(crate) enum AnyTraceWriter<W: Write> {
+    /// JSONL v1.
+    Jsonl(TraceWriter<W>),
+    /// Binary v2.
+    Binary(BinaryTraceWriter<W>),
+}
+
+impl<W: Write> AnyTraceWriter<W> {
+    pub(crate) fn new(out: W, format: TraceFormat) -> Result<Self, SpillError> {
+        Ok(match format {
+            TraceFormat::Jsonl => AnyTraceWriter::Jsonl(TraceWriter::new(out)?),
+            TraceFormat::Binary => AnyTraceWriter::Binary(BinaryTraceWriter::new(out)?),
+        })
+    }
+
+    pub(crate) fn write_event(&mut self, event: &Event) -> Result<(), SpillError> {
+        match self {
+            AnyTraceWriter::Jsonl(w) => w.write_event(event),
+            AnyTraceWriter::Binary(w) => w.write_event(event),
+        }
+    }
+
+    pub(crate) fn events_written(&self) -> u64 {
+        match self {
+            AnyTraceWriter::Jsonl(w) => w.events_written(),
+            AnyTraceWriter::Binary(w) => w.events_written(),
+        }
+    }
+
+    pub(crate) fn bytes_written(&self) -> u64 {
+        match self {
+            AnyTraceWriter::Jsonl(w) => w.bytes_written(),
+            AnyTraceWriter::Binary(w) => w.bytes_written(),
+        }
+    }
+
+    pub(crate) fn finish(
+        self,
+        objects: &ObjectTable,
+        thread_objs: BTreeMap<ThreadId, ObjId>,
+    ) -> Result<W, SpillError> {
+        match self {
+            AnyTraceWriter::Jsonl(w) => w.finish(objects, thread_objs),
+            AnyTraceWriter::Binary(w) => w.finish(objects, thread_objs),
+        }
     }
 }
 
 /// Writes a complete in-memory trace as one artifact (the non-streaming
 /// `dfz record` path).
 pub fn write_trace<W: Write>(out: W, trace: &Trace) -> Result<W, SpillError> {
-    let mut w = TraceWriter::new(out)?;
+    write_trace_as(out, trace, TraceFormat::Jsonl)
+}
+
+/// Writes a complete in-memory trace in the chosen encoding.
+pub fn write_trace_as<W: Write>(
+    out: W,
+    trace: &Trace,
+    format: TraceFormat,
+) -> Result<W, SpillError> {
+    let mut w = AnyTraceWriter::new(out, format)?;
     for event in trace.events() {
         w.write_event(event)?;
     }
     w.finish(trace.objects(), trace.thread_objs().collect())
+}
+
+/// Reads a trace artifact in either encoding, sniffing binary v2 by its
+/// magic and falling back to JSONL v1 otherwise.
+pub fn read_trace_bytes(bytes: &[u8]) -> Result<Trace, SpillError> {
+    if bytes.starts_with(&TRACE_BINARY_MAGIC) {
+        read_binary_trace(bytes)
+    } else {
+        read_trace(bytes)
+    }
 }
 
 /// Reads an artifact back into an in-memory [`Trace`].
@@ -293,7 +511,7 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, SpillError> {
 /// harvest them (plus the event/byte counts) with [`SpillSink::close`]
 /// after the run.
 pub struct SpillSink<W: Write + Send> {
-    writer: Option<TraceWriter<W>>,
+    writer: Option<AnyTraceWriter<W>>,
     error: Option<SpillError>,
     events: u64,
     bytes: u64,
@@ -301,9 +519,15 @@ pub struct SpillSink<W: Write + Send> {
 }
 
 impl<W: Write + Send> SpillSink<W> {
-    /// Starts spilling into `out` (writes the header immediately).
+    /// Starts spilling into `out` (writes the header immediately) in
+    /// JSONL v1.
     pub fn new(out: W) -> Result<Self, SpillError> {
-        let writer = TraceWriter::new(out)?;
+        Self::with_format(out, TraceFormat::Jsonl)
+    }
+
+    /// Starts spilling into `out` in the chosen encoding.
+    pub fn with_format(out: W, format: TraceFormat) -> Result<Self, SpillError> {
+        let writer = AnyTraceWriter::new(out, format)?;
         Ok(SpillSink {
             events: 0,
             bytes: writer.bytes_written(),

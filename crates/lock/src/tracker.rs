@@ -81,6 +81,30 @@ impl TrackerConfig {
         self.record_events = record;
         self
     }
+
+    /// Attaches a spill sink writing to `out` with the given
+    /// [`df_events::SpillConfig`] (format + optional ring buffering) and
+    /// returns both the updated config and a handle to the sink, which
+    /// the caller must [`df_events::AnySpillSink::close`] after
+    /// [`Tracker::seal`] to harvest the event/byte counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`df_events::SpillError`] of writing the artifact
+    /// preamble.
+    #[allow(clippy::type_complexity)]
+    pub fn with_spill<W: std::io::Write + Send + 'static>(
+        mut self,
+        out: W,
+        config: &df_events::SpillConfig,
+    ) -> Result<(Self, Arc<std::sync::Mutex<df_events::AnySpillSink<W>>>), df_events::SpillError>
+    {
+        let sink = Arc::new(std::sync::Mutex::new(df_events::AnySpillSink::new(
+            out, config,
+        )?));
+        self.sink = self.sink.with(sink.clone());
+        Ok((self, sink))
+    }
 }
 
 /// Which threads hold a lock right now. Absent from the registry means

@@ -30,6 +30,7 @@ pub struct Counters {
     wfg_cycles_detected: AtomicU64,
     lock_timeouts: AtomicU64,
     poisoned_recovered: AtomicU64,
+    spill_backpressure_waits: AtomicU64,
     peak_trace_bytes: AtomicU64,
 }
 
@@ -72,6 +73,10 @@ pub struct CounterSnapshot {
     /// Poisoned native locks whose guards were recovered via
     /// `PoisonError::into_inner` (release events still emitted).
     pub poisoned_recovered: u64,
+    /// Times an emitting thread blocked because its ring-buffered spill
+    /// writer could not keep up (one per stall episode, not per retry).
+    /// Zero means the spill ring never applied backpressure.
+    pub spill_backpressure_waits: u64,
     /// Largest in-memory event-trace footprint (approximate bytes) any
     /// single run materialized. A fully streamed observation keeps this
     /// at zero — the assertion behind `dfz record --stream`. Unlike the
@@ -157,6 +162,8 @@ impl Counters {
             lock_timeouts => add_lock_timeouts;
             /// Counts `n` poisoned locks recovered.
             poisoned_recovered => add_poisoned_recovered;
+            /// Counts `n` spill-ring backpressure stalls.
+            spill_backpressure_waits => add_spill_backpressure_waits;
         }
         max {
             /// Raises the in-memory trace high-water mark to `n` bytes
@@ -245,6 +252,16 @@ mod tests {
         assert_eq!(s.wfg_cycles_detected, 1);
         assert_eq!(s.lock_timeouts, 4);
         assert_eq!(s.poisoned_recovered, 1);
+    }
+
+    #[test]
+    fn spill_backpressure_waits_accumulate_and_merge() {
+        let a = Counters::new();
+        a.add_spill_backpressure_waits(2);
+        let b = Counters::new();
+        b.add_spill_backpressure_waits(3);
+        a.merge(&b.snapshot());
+        assert_eq!(a.snapshot().spill_backpressure_waits, 5);
     }
 
     #[test]

@@ -1482,6 +1482,58 @@ mod tests {
         assert_eq!(releases, 2);
     }
 
+    /// The ring-buffered binary spill path survives the same panicking
+    /// trial: encoded frames cross the SPSC ring to the writer thread,
+    /// the seal frame lands after the panic, and the v2 artifact decodes
+    /// to the same events a synchronous JSONL spill would have captured.
+    #[test]
+    fn panicking_trial_seals_a_ring_buffered_binary_spill() {
+        use std::io::Write;
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buffer mutex").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let config =
+            df_events::SpillConfig::with_format(df_events::TraceFormat::Binary).with_ring(128);
+        let spill = Arc::new(std::sync::Mutex::new(
+            df_events::AnySpillSink::new(buf.clone(), &config).expect("start spill"),
+        ));
+        let handle = df_events::SinkHandle::single(spill.clone());
+
+        let session = Session::record_with_sink(handle, df_obs::Obs::default());
+        let trial = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_locking_program(&session);
+            panic!("trial dies after the program ran");
+        }));
+        assert!(trial.is_err());
+
+        session.seal();
+        let (events, bytes_written) = spill
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .close()
+            .expect("panicking trial still seals the ring spill");
+        assert!(events > 0);
+
+        let bytes = buf.0.lock().expect("buffer mutex").clone();
+        assert_eq!(bytes.len() as u64, bytes_written);
+        assert!(bytes.starts_with(&df_events::TRACE_BINARY_MAGIC));
+        let trace = df_events::read_trace_bytes(&bytes)
+            .expect("sealed ring spill parses as a df-trace v2 artifact");
+        assert_eq!(trace.events().len() as u64, events);
+        assert!(trace.thread_objs().count() > 0, "bindings survive the seal");
+    }
+
     #[test]
     fn streaming_session_sees_the_same_events_at_zero_peak() {
         let (recorded_cap, recorded_handle) = capturing_handle();

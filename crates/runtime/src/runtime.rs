@@ -809,6 +809,47 @@ mod tests {
     }
 
     #[test]
+    fn virtual_runtime_streams_into_a_ring_buffered_binary_spill() {
+        use std::io::Write;
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let config =
+            df_events::SpillConfig::with_format(df_events::TraceFormat::Binary).with_ring(64);
+        let spill = std::sync::Arc::new(std::sync::Mutex::new(
+            df_events::AnySpillSink::new(buf.clone(), &config).expect("start spill"),
+        ));
+        let handle = df_events::SinkHandle::single(
+            spill.clone() as std::sync::Arc<std::sync::Mutex<dyn df_events::EventSink>>
+        );
+        let r = VirtualRuntime::new(cfg().with_event_sink(handle))
+            .run(Box::new(FifoStrategy::new()), spawning_program);
+        assert!(r.outcome.is_completed());
+        let (events, _bytes) = spill.lock().unwrap().close().expect("sealed spill");
+        assert_eq!(events, r.trace.events().len() as u64);
+
+        // The v2 artifact round-trips the exact stream the runtime saw.
+        let bytes = buf.0.lock().unwrap().clone();
+        assert!(bytes.starts_with(&df_events::TRACE_BINARY_MAGIC));
+        let decoded = df_events::read_trace_bytes(&bytes).expect("decodes");
+        assert_eq!(decoded.events(), r.trace.events());
+        let live: Vec<_> = r.trace.thread_objs().collect();
+        let spilled: Vec<_> = decoded.thread_objs().collect();
+        assert_eq!(live, spilled);
+    }
+
+    #[test]
     fn streaming_without_recording_sees_the_same_events_at_zero_peak() {
         let recorded =
             VirtualRuntime::new(cfg()).run(Box::new(FifoStrategy::new()), spawning_program);

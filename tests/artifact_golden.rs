@@ -8,13 +8,15 @@
 //! pin too).
 
 use deadlock_fuzzer::events::{
-    read_trace, write_trace, EventKind, Label, ObjKind, SpillError, ThreadId, Trace,
+    read_trace, read_trace_bytes, write_binary_trace, write_trace, EventKind, Label, ObjKind,
+    SpillError, ThreadId, Trace, TRACE_BINARY_FORMAT_VERSION, TRACE_BINARY_MAGIC,
     TRACE_FORMAT_VERSION,
 };
 use deadlock_fuzzer::igoodlock::{
     read_relation, write_relation, LockDependencyRelation, RelationArtifactError,
     RELATION_FORMAT_VERSION,
 };
+use proptest::prelude::*;
 
 /// The canonical two-lock trace behind every fixture: one thread takes
 /// `a` then `b` nested, so the relation has exactly one dependency.
@@ -71,6 +73,7 @@ fn golden_trace() -> Trace {
 const GOLDEN_TRACE_ARTIFACT: &str = include_str!("golden/trace.jsonl");
 const GOLDEN_TRACE_JSON: &str = include_str!("golden/trace.json");
 const GOLDEN_RELATION_ARTIFACT: &str = include_str!("golden/relation.json");
+const GOLDEN_TRACE_V2: &[u8] = include_bytes!("golden/trace.v2.bin");
 
 #[test]
 fn trace_artifact_bytes_are_pinned() {
@@ -87,6 +90,42 @@ fn trace_artifact_bytes_are_pinned() {
 fn trace_artifact_golden_round_trips() {
     let back = read_trace(GOLDEN_TRACE_ARTIFACT.as_bytes()).expect("read golden");
     assert_eq!(back, golden_trace());
+}
+
+#[test]
+fn binary_artifact_bytes_are_pinned() {
+    let bytes = write_binary_trace(Vec::new(), &golden_trace()).expect("write");
+    assert_eq!(
+        bytes, GOLDEN_TRACE_V2,
+        "df-trace binary v2 artifact bytes drifted; bump \
+         TRACE_BINARY_FORMAT_VERSION and regenerate tests/golden/trace.v2.bin"
+    );
+}
+
+#[test]
+fn binary_artifact_golden_round_trips_and_matches_jsonl() {
+    assert!(GOLDEN_TRACE_V2.starts_with(&TRACE_BINARY_MAGIC));
+    let back = read_trace_bytes(GOLDEN_TRACE_V2).expect("read golden v2");
+    assert_eq!(back, golden_trace());
+    // The two encodings are views of the same trace: decoding the binary
+    // fixture and re-writing as JSONL reproduces the JSONL fixture.
+    let jsonl = write_trace(Vec::new(), &back).expect("rewrite");
+    assert_eq!(
+        String::from_utf8(jsonl).expect("utf8"),
+        GOLDEN_TRACE_ARTIFACT
+    );
+}
+
+#[test]
+fn version_bumped_binary_golden_is_rejected() {
+    // Byte 15 of the preamble is the header's version varint.
+    let mut bumped = GOLDEN_TRACE_V2.to_vec();
+    assert_eq!(bumped[15], TRACE_BINARY_FORMAT_VERSION as u8);
+    bumped[15] += 1;
+    assert!(matches!(
+        read_trace_bytes(&bumped),
+        Err(SpillError::VersionMismatch { .. })
+    ));
 }
 
 #[test]
@@ -135,6 +174,109 @@ fn regenerate_goldens() {
     let mut bytes = Vec::new();
     write_relation(&mut bytes, &relation).expect("write");
     std::fs::write(dir.join("relation.json"), bytes).expect("write relation.json");
+    let bytes = write_binary_trace(Vec::new(), &golden_trace()).expect("write");
+    std::fs::write(dir.join("trace.v2.bin"), bytes).expect("write trace.v2.bin");
+}
+
+/// Builds a structurally plausible trace from a generated op list:
+/// two named threads, four locks, a handful of interned sites — enough
+/// variety to exercise every interesting encoder path (string-table
+/// reuse, held/context vectors, empty traces).
+fn trace_of_ops(ops: &[(u16, u16, u16)]) -> Trace {
+    let mut trace = Trace::new();
+    let spawn = Label::new("prop.spawn:1");
+    for t in 0..2u32 {
+        let obj = trace.objects_mut().create_named(
+            ObjKind::Thread,
+            spawn,
+            None,
+            vec![],
+            Some(format!("prop-thread-{t}")),
+        );
+        trace.bind_thread(ThreadId::new(t), obj);
+    }
+    let locks: Vec<_> = (0..4)
+        .map(|i| {
+            trace.objects_mut().create(
+                ObjKind::Lock,
+                Label::new(&format!("prop.lock:{i}")),
+                None,
+                vec![],
+            )
+        })
+        .collect();
+    let sites = [
+        Label::new("prop.site:10"),
+        Label::new("prop.site:11"),
+        Label::new("prop.site:12"),
+    ];
+    for &(op, lock, site) in ops {
+        let thread = ThreadId::new(u32::from(op) % 2);
+        let lock_id = locks[usize::from(lock) % locks.len()];
+        let other = locks[usize::from(lock.wrapping_add(1)) % locks.len()];
+        let site = sites[usize::from(site) % sites.len()];
+        let kind = match op % 6 {
+            0 => EventKind::Acquire {
+                lock: lock_id,
+                site,
+                held: vec![],
+                context: vec![site],
+            },
+            1 => EventKind::Acquire {
+                lock: lock_id,
+                site,
+                held: vec![other],
+                context: vec![sites[0], site],
+            },
+            2 => EventKind::Release {
+                lock: lock_id,
+                site,
+            },
+            3 => EventKind::ThreadStart,
+            4 => EventKind::Yield,
+            _ => EventKind::Blocked { lock: lock_id },
+        };
+        trace.push(thread, kind);
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite invariant of the binary path: for ANY event sequence,
+    /// binary write → read → JSONL write produces byte-identical output
+    /// to a direct JSONL write, and reading either encoding yields the
+    /// same in-memory [`Trace`].
+    #[test]
+    fn any_trace_round_trips_binary_to_jsonl_byte_identically(
+        ops in prop::collection::vec((0u16..256, 0u16..256, 0u16..256), 0..120)
+    ) {
+        let trace = trace_of_ops(&ops);
+        let jsonl = write_trace(Vec::new(), &trace).expect("jsonl write");
+        let binary = write_binary_trace(Vec::new(), &trace).expect("binary write");
+
+        let from_binary = read_trace_bytes(&binary).expect("binary read");
+        prop_assert_eq!(&from_binary, &trace);
+        let rewritten = write_trace(Vec::new(), &from_binary).expect("rewrite");
+        prop_assert_eq!(&rewritten, &jsonl);
+
+        let from_jsonl = read_trace_bytes(&jsonl).expect("jsonl read");
+        prop_assert_eq!(&from_jsonl, &from_binary);
+    }
+
+    /// Any truncation of a sealed binary artifact is rejected with an
+    /// error — never a panic, never a silently short trace.
+    #[test]
+    fn truncated_binary_artifacts_are_always_rejected(
+        ops in prop::collection::vec((0u16..256, 0u16..256, 0u16..256), 1..40),
+        cut in 0usize..4096
+    ) {
+        let trace = trace_of_ops(&ops);
+        let binary = write_binary_trace(Vec::new(), &trace).expect("binary write");
+        let keep = cut % binary.len();
+        prop_assert!(read_trace_bytes(&binary[..keep]).is_err());
+    }
 }
 
 #[test]

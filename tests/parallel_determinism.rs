@@ -65,6 +65,88 @@ fn full_pipeline_is_jobs_invariant_down_to_the_trace_bytes() {
 }
 
 #[test]
+fn ring_buffered_binary_spill_is_jobs_invariant() {
+    // Same contract as above, with the high-throughput trace path in the
+    // loop: the observation run spills df-trace binary v2 through the
+    // SPSC ring writer, and the spilled bytes — produced on a separate
+    // writer thread — must come out identical under jobs=1 and jobs=4,
+    // as must the rolled-up counters (including the backpressure
+    // counter, which a generously sized ring pins at zero).
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+
+    use deadlock_fuzzer::events::{
+        read_trace_bytes, AnySpillSink, SinkHandle, SpillConfig, TraceFormat, TRACE_BINARY_MAGIC,
+    };
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let campaign = |jobs: usize| {
+        let obs = df_obs::Obs::new();
+        let spill = SpillConfig::with_format(TraceFormat::Binary).with_ring(1 << 15);
+        let fuzzer = DeadlockFuzzer::from_ref(
+            df_benchmarks::figure1::program(true),
+            Config::default()
+                .with_phase1_seed(0)
+                .with_phase2_seed_base(400)
+                .with_confirm_trials(4)
+                .with_jobs(jobs)
+                .with_spill(spill)
+                .with_obs(obs.clone()),
+        );
+        let buf = SharedBuf::default();
+        let sink = Arc::new(Mutex::new(
+            AnySpillSink::new(buf.clone(), &spill).expect("spill sink"),
+        ));
+        let result = fuzzer.observe(SinkHandle::none().with(sink.clone()), false);
+        let outcome = format!("{:?}", result.outcome);
+        let mut guard = sink.lock().expect("sink mutex");
+        let (events, bytes) = guard.close().expect("seal spill");
+        let waits = guard.backpressure_waits();
+        drop(guard);
+        obs.counters().add_spill_backpressure_waits(waits);
+        let report = fuzzer.run();
+        let spilled = buf.0.lock().unwrap().clone();
+        assert_eq!(spilled.len() as u64, bytes, "jobs={jobs}");
+        (
+            spilled,
+            events,
+            (outcome, report.confirmed_count()),
+            obs.counters().snapshot(),
+        )
+    };
+
+    let (spill1, events1, verdicts1, c1) = campaign(1);
+    let (spill4, events4, verdicts4, c4) = campaign(4);
+
+    assert!(spill1.starts_with(&TRACE_BINARY_MAGIC));
+    assert_eq!(
+        spill1, spill4,
+        "ring-spilled bytes drifted under parallelism"
+    );
+    assert_eq!(events1, events4);
+    assert!(events1 > 0);
+    assert_eq!(verdicts1, verdicts4);
+    let decoded = read_trace_bytes(&spill1).expect("spill decodes");
+    assert_eq!(decoded.events().len() as u64, events1);
+    assert_eq!(
+        c1.spill_backpressure_waits, 0,
+        "a 32768-slot ring must never stall this workload"
+    );
+    assert_eq!(c1, c4, "campaign counters drifted under parallelism");
+}
+
+#[test]
 fn seed_driven_program_variation_is_jobs_invariant() {
     // The synchronized-maps model varies which worker is delayed from
     // trial to trial. That variation is derived from `TCtx::run_seed`
