@@ -25,15 +25,17 @@ use serde::Serialize;
 pub fn philosophers_ring_relation(n: u32) -> LockDependencyRelation {
     let fork = |i: u32| ObjId::new(100 + (i % n));
     let deps = (0..n)
-        .map(|p| LockDep {
-            thread: ThreadId::new(p + 1),
-            thread_obj: ObjId::new(p + 1),
-            lockset: vec![fork(p)],
-            lock: fork(p + 1),
-            contexts: vec![
-                Label::new(&format!("Philosopher.takeLeft:{p}")),
-                Label::new(&format!("Philosopher.takeRight:{p}")),
-            ],
+        .map(|p| {
+            LockDep::exclusive(
+                ThreadId::new(p + 1),
+                ObjId::new(p + 1),
+                vec![fork(p)],
+                fork(p + 1),
+                vec![
+                    Label::new(&format!("Philosopher.takeLeft:{p}")),
+                    Label::new(&format!("Philosopher.takeRight:{p}")),
+                ],
+            )
         })
         .collect();
     LockDependencyRelation::from_deps(deps)
@@ -50,32 +52,32 @@ pub fn synthetic_join_relation(pairs: u32, noise: u32) -> LockDependencyRelation
         let l1 = ObjId::new(1000 + 2 * p);
         let l2 = ObjId::new(1001 + 2 * p);
         let c = Label::new(&format!("pair{p}"));
-        deps.push(LockDep {
-            thread: ThreadId::new(1),
-            thread_obj: ObjId::new(1),
-            lockset: vec![l1],
-            lock: l2,
-            contexts: vec![c, c],
-        });
-        deps.push(LockDep {
-            thread: ThreadId::new(2),
-            thread_obj: ObjId::new(2),
-            lockset: vec![l2],
-            lock: l1,
-            contexts: vec![c, c],
-        });
+        deps.push(LockDep::exclusive(
+            ThreadId::new(1),
+            ObjId::new(1),
+            vec![l1],
+            l2,
+            vec![c, c],
+        ));
+        deps.push(LockDep::exclusive(
+            ThreadId::new(2),
+            ObjId::new(2),
+            vec![l2],
+            l1,
+            vec![c, c],
+        ));
     }
     for n in 0..noise {
         // Strictly ordered chain: never cyclic.
         let a = ObjId::new(5000 + n);
         let b = ObjId::new(5001 + n);
-        deps.push(LockDep {
-            thread: ThreadId::new(3 + n % 4),
-            thread_obj: ObjId::new(3 + n % 4),
-            lockset: vec![a],
-            lock: b,
-            contexts: vec![Label::new(&format!("noise{n}")), Label::new("inner")],
-        });
+        deps.push(LockDep::exclusive(
+            ThreadId::new(3 + n % 4),
+            ObjId::new(3 + n % 4),
+            vec![a],
+            b,
+            vec![Label::new(&format!("noise{n}")), Label::new("inner")],
+        ));
     }
     LockDependencyRelation::from_deps(deps)
 }

@@ -98,36 +98,14 @@ pub fn synthetic_trace(target_events: u64, threads: u32, locks: u32) -> Trace {
         let inner_site = sites[((i + 1) % sites.len() as u64) as usize];
         trace.push(
             thread,
-            EventKind::Acquire {
-                lock: outer,
-                site: outer_site,
-                held: Vec::new(),
-                context: vec![outer_site],
-            },
+            EventKind::acquire(outer, outer_site, Vec::new(), vec![outer_site]),
         );
         trace.push(
             thread,
-            EventKind::Acquire {
-                lock: inner,
-                site: inner_site,
-                held: vec![outer],
-                context: vec![outer_site, inner_site],
-            },
+            EventKind::acquire(inner, inner_site, vec![outer], vec![outer_site, inner_site]),
         );
-        trace.push(
-            thread,
-            EventKind::Release {
-                lock: inner,
-                site: inner_site,
-            },
-        );
-        trace.push(
-            thread,
-            EventKind::Release {
-                lock: outer,
-                site: outer_site,
-            },
-        );
+        trace.push(thread, EventKind::release(inner, inner_site));
+        trace.push(thread, EventKind::release(outer, outer_site));
     }
     trace
 }

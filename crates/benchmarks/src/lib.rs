@@ -25,7 +25,13 @@
 //!
 //! Two pedagogical programs from the paper's exposition are also here:
 //! [`figure1`] (the running example, §3) and [`section4`] (the yield
-//! optimization example).
+//! optimization example). Three models exercise the mode-aware
+//! synchronization vocabulary beyond the paper's plain monitors:
+//! [`producer_consumer`] (a condvar handshake with a lock inversion
+//! threaded through it), [`read_mostly_cache`] (an rwlock inversion
+//! whose cache side is shared on both paths — zero cycles, but only
+//! for a mode-aware join) and [`writer_starvation`] (a deadlock ring
+//! closed entirely through shared holds).
 //!
 //! # Example
 //!
@@ -53,10 +59,13 @@ pub mod jspider;
 pub mod lists;
 pub mod logging;
 pub mod maps;
+pub mod producer_consumer;
+pub mod read_mostly_cache;
 pub mod section4;
 pub mod sor;
 pub mod suite;
 pub mod swing;
 pub mod synthetic;
+pub mod writer_starvation;
 
 pub use suite::{table1_suite, Benchmark};

@@ -1,0 +1,106 @@
+//! A producer/consumer pipeline over a condition variable — with a
+//! flush path that closes a classic lock cycle around the handshake.
+//!
+//! The handshake itself is correct: the queue mutex plus the
+//! `not_empty` condvar implement the standard predicate-loop protocol,
+//! and [`TCtx::cond_wait`] keeps the dependency relation balanced
+//! across the park (the resumed hold carries the wait site as its
+//! context). The deadlock is a *resource* cycle threaded through it:
+//! the consumer delivers downstream while still holding the queue
+//! (queue → sink), and the producer's final flush inspects queue depth
+//! while holding the sink (sink → queue).
+//!
+//! [`TCtx::cond_wait`]: df_runtime::TCtx::cond_wait
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::{Shared, TCtx};
+
+fn label(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// Items pushed through the pipeline.
+pub const ITEMS: usize = 3;
+
+/// Builds the producer/consumer model.
+pub fn program() -> ProgramRef {
+    Arc::new(Named::new("producer-consumer", |ctx: &TCtx| {
+        let queue = ctx.new_lock(label("Queue.<init>: lock"));
+        let not_empty = ctx.new_condvar(label("Queue.<init>: notEmpty"));
+        let sink = ctx.new_lock(label("Sink.<init>: lock"));
+        let items = Shared::new(Vec::<usize>::new());
+
+        let ip = items.clone();
+        let producer = ctx.spawn(label("App.startProducer"), "producer", move |ctx| {
+            for item in 0..ITEMS {
+                ctx.acquire(&queue, label("Queue.push: lock"));
+                ip.with(|q| q.push(item));
+                ctx.cond_notify_one(&not_empty, label("Queue.push: notify"));
+                ctx.release(&queue, label("Queue.push: unlock"));
+                ctx.work(2);
+            }
+            // Final flush: sink → queue, the opposite nesting to the
+            // consumer's delivery. The long tail-work makes the window
+            // narrow, so plain random runs usually complete and Phase I
+            // records the full relation.
+            ctx.work(6);
+            ctx.acquire(&sink, label("Sink.flush: lock"));
+            ctx.acquire(&queue, label("Queue.depth: lock"));
+            let _backlog = ip.with(|q| q.len());
+            ctx.release(&queue, label("Queue.depth: unlock"));
+            ctx.release(&sink, label("Sink.flush: unlock"));
+        });
+
+        let ic = items.clone();
+        let consumer = ctx.spawn(label("App.startConsumer"), "consumer", move |ctx| {
+            for _ in 0..ITEMS {
+                ctx.acquire(&queue, label("Queue.pop: lock"));
+                while ic.with(|q| q.is_empty()) {
+                    ctx.cond_wait(&not_empty, &queue, label("Queue.pop: wait"));
+                }
+                let _item = ic.with(|q| q.remove(0));
+                // Deliver downstream while still holding the queue:
+                // queue → sink.
+                ctx.acquire(&sink, label("Sink.deliver: lock"));
+                ctx.work(1);
+                ctx.release(&sink, label("Sink.deliver: unlock"));
+                ctx.release(&queue, label("Queue.pop: unlock"));
+            }
+        });
+
+        ctx.join(&producer, label("App.join"));
+        ctx.join(&consumer, label("App.join"));
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer};
+
+    #[test]
+    fn phase1_finds_the_flush_inversion() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default());
+        let p1 = fuzzer.phase1();
+        assert!(p1.cycle_count() >= 1, "{p1}");
+        let texts: Vec<String> = p1.abstract_cycles.iter().map(|c| c.to_string()).collect();
+        assert!(
+            texts.iter().any(|t| t.contains("Sink.deliver: lock")),
+            "the delivery side of the inversion is named: {texts:?}"
+        );
+        assert!(
+            texts.iter().any(|t| t.contains("Queue.depth: lock")),
+            "the flush side of the inversion is named: {texts:?}"
+        );
+    }
+
+    #[test]
+    fn phase2_confirms_the_cycle_through_the_handshake() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(), Config::default().with_confirm_trials(10));
+        let report = fuzzer.run();
+        assert!(report.confirmed_count() >= 1, "{report}");
+    }
+}

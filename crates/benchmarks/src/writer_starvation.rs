@@ -1,0 +1,95 @@
+//! A writer-starvation ring: `n` shard scanners each take a *read*
+//! hold on their own shard, then want a *write* on the next — a
+//! deadlock ring closed entirely through shared holds.
+//!
+//! This is the mirror image of [`crate::read_mostly_cache`]: there the
+//! shared modes dissolve the apparent cycle; here they do not, because
+//! every wait in the ring is exclusive and an exclusive wait conflicts
+//! with a shared hold. iGoodlock must keep the cycle (read–read pruning
+//! must not over-prune), report the holds as reads, and Phase II must
+//! line up all `n` scanners to confirm it.
+
+use std::sync::Arc;
+
+use deadlock_fuzzer::{Named, ProgramRef};
+use df_events::Label;
+use df_runtime::TCtx;
+
+fn label(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// The ring with `n` shards (`n >= 2`). Scanner `i` read-locks shard
+/// `i`, then write-locks shard `i + 1` to promote hot entries — twice,
+/// with seat-staggered pauses so the ring deadlock is rare under plain
+/// random scheduling (Phase I usually records the full relation) while
+/// the biased Phase II scheduler can still close it.
+pub fn program(n: usize) -> ProgramRef {
+    assert!(n >= 2, "a deadlock ring needs at least two shards");
+    Arc::new(Named::new("writer-starvation", move |ctx: &TCtx| {
+        let shards: Vec<_> = (0..n)
+            .map(|_| ctx.new_lock(label("Store.addShard: rwlock")))
+            .collect();
+        let mut scanners = Vec::new();
+        for s in 0..n {
+            let own = shards[s];
+            let next = shards[(s + 1) % n];
+            scanners.push(ctx.spawn(
+                label("Store.startScanner"),
+                &format!("scanner-{s}"),
+                move |ctx| {
+                    for round in 0..2u32 {
+                        ctx.work(if round == 0 { 2 + s as u32 * 4 } else { 3 });
+                        ctx.acquire_shared(&own, label("Scanner.scan: read"));
+                        ctx.acquire(&next, label("Scanner.promote: write"));
+                        ctx.work(1);
+                        ctx.release(&next, label("Scanner.promote: unlock"));
+                        ctx.release(&own, label("Scanner.scan: unlock"));
+                    }
+                },
+            ));
+        }
+        for t in &scanners {
+            ctx.join(t, label("Store.join"));
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deadlock_fuzzer::{Config, DeadlockFuzzer};
+    use df_events::AcquireMode;
+
+    #[test]
+    fn phase1_keeps_the_ring_and_reports_the_holds_as_reads() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(3), Config::default());
+        let p1 = fuzzer.phase1();
+        let ring = p1
+            .cycles
+            .iter()
+            .find(|c| c.len() == 3)
+            .unwrap_or_else(|| panic!("no 3-ring among {p1}"));
+        for c in ring.components() {
+            assert_eq!(c.mode, AcquireMode::Exclusive, "every wait is a write");
+            assert_eq!(
+                c.hold_modes,
+                vec![AcquireMode::Shared],
+                "every hold is a read"
+            );
+        }
+    }
+
+    #[test]
+    fn phase2_confirms_the_ring_through_shared_holds() {
+        let fuzzer = DeadlockFuzzer::from_ref(program(3), Config::default().with_confirm_trials(5));
+        let report = fuzzer.run();
+        assert!(report.confirmed_count() >= 1, "{report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_degenerate_rings() {
+        let _ = program(1);
+    }
+}

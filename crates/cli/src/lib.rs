@@ -23,7 +23,9 @@ use std::fmt::Write as _;
 
 use deadlock_fuzzer::{Config, DeadlockFuzzer, ProgramRef, Report, Variant};
 use df_abstraction::Abstractor;
-use df_events::{SpillConfig, Trace, TraceFormat, TRACE_BINARY_MAGIC};
+#[cfg(test)]
+use df_events::TraceFormat;
+use df_events::{SpillConfig, Trace, TRACE_BINARY_MAGIC};
 use df_igoodlock::{igoodlock_filtered, HbFilter, IGoodlockOptions, LockDependencyRelation};
 
 /// Documented process exit codes for the verdict commands (`confirm`,
@@ -139,7 +141,7 @@ pub fn report_exit_code(report: &Report) -> i32 {
 }
 
 /// Names accepted by [`resolve_program`].
-pub const BENCHMARKS: [&str; 16] = [
+pub const BENCHMARKS: [&str; 19] = [
     "figure1",
     "figure1-three-threads",
     "dining-philosophers",
@@ -156,6 +158,9 @@ pub const BENCHMARKS: [&str; 16] = [
     "maps",
     "buffer",
     "account",
+    "producer-consumer",
+    "read-mostly-cache",
+    "writer-starvation",
 ];
 
 /// Resolves a benchmark/program model by name.
@@ -182,6 +187,9 @@ pub fn resolve_program(name: &str) -> Result<ProgramRef, CliError> {
         "maps" => df_benchmarks::maps::program(),
         "buffer" => df_benchmarks::buffer::program(),
         "account" => df_benchmarks::account::program(),
+        "producer-consumer" => df_benchmarks::producer_consumer::program(),
+        "read-mostly-cache" => df_benchmarks::read_mostly_cache::program(),
+        "writer-starvation" => df_benchmarks::writer_starvation::program(3),
         other => {
             return Err(CliError::usage(format!(
                 "unknown benchmark '{other}'; expected one of: {}",
@@ -246,19 +254,13 @@ pub struct CliOptions {
     /// `dfz record`: write the lock dependency relation as a
     /// `df-relation` artifact to this file.
     pub relation_out: Option<std::path::PathBuf>,
-    /// `dfz record`: trace artifact encoding (`jsonl` v1 or `binary`
-    /// v2). `dfz analyze` sniffs the encoding, so this only matters
-    /// when writing.
-    pub format: TraceFormat,
-    /// `dfz record`: capacity (in frames) of the SPSC ring between the
-    /// emitting threads and a dedicated spill-writer thread. `0` (the
-    /// default) writes synchronously on the emitting thread.
-    pub spill_ring: usize,
-    /// `dfz record`: spill-writer batch threshold in bytes (ring mode).
-    pub spill_batch_bytes: usize,
-    /// `dfz record`: spill-writer partial-batch flush interval in
-    /// milliseconds (ring mode).
-    pub spill_flush_ms: u64,
+    /// `dfz record`: how the trace artifact is encoded and scheduled to
+    /// disk — the shared [`SpillConfig`] that `--format`, `--spill-ring`,
+    /// `--spill-batch-bytes` and `--spill-flush-ms` all map onto
+    /// (`dfz analyze` sniffs the encoding, so the format only matters
+    /// when writing). The same struct flows into
+    /// [`Config::with_spill`] and `df_lock::Tracker::with_spill`.
+    pub spill: SpillConfig,
 }
 
 impl Default for CliOptions {
@@ -277,10 +279,7 @@ impl Default for CliOptions {
             stream: false,
             out: None,
             relation_out: None,
-            format: TraceFormat::Jsonl,
-            spill_ring: 0,
-            spill_batch_bytes: SpillConfig::default().batch_bytes,
-            spill_flush_ms: SpillConfig::default().flush_interval.as_millis() as u64,
+            spill: SpillConfig::default(),
         }
     }
 }
@@ -302,12 +301,7 @@ pub fn config_of(opts: &CliOptions) -> Result<Config, CliError> {
         .with_hb_filter(opts.hb)
         .with_jobs(opts.jobs)
         .with_stream_phase1(opts.stream)
-        .with_spill(
-            SpillConfig::with_format(opts.format)
-                .with_ring(opts.spill_ring)
-                .with_batch_bytes(opts.spill_batch_bytes)
-                .with_flush_interval(std::time::Duration::from_millis(opts.spill_flush_ms)),
-        );
+        .with_spill(opts.spill);
     if let Some(p) = opts.fault_panic {
         config.run = config.run.with_fault_plan(
             deadlock_fuzzer::runtime::FaultPlan::new(opts.fault_seed).with_panic_on_acquire(p),
@@ -1020,8 +1014,7 @@ mod tests {
         };
         let bin_opts = CliOptions {
             out: Some(bin_path.0.clone()),
-            format: TraceFormat::Binary,
-            spill_ring: 256,
+            spill: SpillConfig::with_format(TraceFormat::Binary).with_ring(256),
             json: true,
             ..CliOptions::default()
         };
@@ -1057,7 +1050,7 @@ mod tests {
         let bin_path = TempPath::new("corrupt-v2.bin");
         let opts = CliOptions {
             out: Some(bin_path.0.clone()),
-            format: TraceFormat::Binary,
+            spill: SpillConfig::with_format(TraceFormat::Binary),
             ..CliOptions::default()
         };
         cmd_record("figure1", &opts).unwrap();
@@ -1091,14 +1084,14 @@ mod tests {
     #[test]
     fn degenerate_spill_settings_are_usage_errors() {
         let opts = CliOptions {
-            spill_batch_bytes: 0,
+            spill: SpillConfig::default().with_batch_bytes(0),
             ..CliOptions::default()
         };
         let err = cmd_phase1("figure1", &opts).unwrap_err();
         assert_eq!(err.exit_code(), exit_code::USAGE);
         assert!(err.message().contains("batch_bytes"), "{err}");
         let opts = CliOptions {
-            spill_flush_ms: 0,
+            spill: SpillConfig::default().with_flush_interval(std::time::Duration::ZERO),
             ..CliOptions::default()
         };
         let err = cmd_phase1("figure1", &opts).unwrap_err();

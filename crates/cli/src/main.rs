@@ -128,7 +128,7 @@ fn main() {
             "--format" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 match v.parse::<df_events::TraceFormat>() {
-                    Ok(f) => opts.format = f,
+                    Ok(f) => opts.spill.format = f,
                     Err(e) => {
                         eprintln!("error: {e}");
                         std::process::exit(df_cli::exit_code::USAGE);
@@ -136,21 +136,21 @@ fn main() {
                 }
             }
             "--spill-ring" => {
-                opts.spill_ring = args
+                opts.spill.ring_capacity = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
             "--spill-batch-bytes" => {
-                opts.spill_batch_bytes = args
+                opts.spill.batch_bytes = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
             "--spill-flush-ms" => {
-                opts.spill_flush_ms = args
+                opts.spill.flush_interval = args
                     .next()
-                    .and_then(|v| v.parse().ok())
+                    .and_then(|v| v.parse().ok().map(std::time::Duration::from_millis))
                     .unwrap_or_else(|| usage());
             }
             "--stream" => opts.stream = true,

@@ -81,9 +81,13 @@ pub use df_abstraction as abstraction;
 pub use df_events as events;
 pub use df_fuzzer as fuzzer;
 pub use df_igoodlock as igoodlock;
+pub use df_lock as lock;
 pub use df_runtime as runtime;
 
-/// Everything a program-under-test and its harness need, in one import.
+/// Everything a program-under-test and its harness need, in one import:
+/// the pipeline types, the virtual-runtime vocabulary (including the
+/// mode-aware [`df_events::AcquireMode`] and condvar refs), and the
+/// drop-in tracked locks of `df-lock`.
 ///
 /// ```
 /// use deadlock_fuzzer::prelude::*;
@@ -96,6 +100,11 @@ pub use df_runtime as runtime;
 ///     Config::default().with_jobs(2),
 /// );
 /// assert_eq!(fuzzer.run().potential_count(), 0);
+///
+/// // The tracked (native-thread) surface comes along too.
+/// let cache = TrackedRwLock::new(0u32);
+/// assert_eq!(*cache.read().unwrap(), 0);
+/// assert_eq!(AcquireMode::default(), AcquireMode::Exclusive);
 /// ```
 pub mod prelude {
     pub use crate::{
@@ -103,6 +112,10 @@ pub mod prelude {
         ProbabilityReport, Program, ProgramRef, Report, TrialOutcome, TrialOutcomes, TrialPool,
         Variant,
     };
-    pub use df_events::{site, Label};
-    pub use df_runtime::{LockRef, RunConfig, TCtx};
+    pub use df_events::{site, AcquireMode, Label};
+    pub use df_lock::{
+        DeadlockHandler, DeadlockWitness, TrackedCondvar, TrackedMutex, TrackedRwLock, Tracker,
+        TrackerConfig,
+    };
+    pub use df_runtime::{CondvarRef, LockRef, RunConfig, TCtx};
 }

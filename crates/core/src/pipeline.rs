@@ -293,6 +293,7 @@ impl DeadlockFuzzer {
                             thread: abstractor.abs(result.trace.objects(), c.thread_obj),
                             lock: abstractor.abs(result.trace.objects(), c.waiting_for),
                             context: c.context.clone(),
+                            mode: c.waiting_mode,
                         })
                         .collect(),
                 );

@@ -31,14 +31,27 @@ use std::collections::HashMap;
 use std::io::Write;
 
 use crate::spill::{SpillError, TRACE_FORMAT};
-use crate::{Event, EventKind, IndexFrame, Label, ObjId, ObjKind, ObjectTable, ThreadId, Trace};
+use crate::{
+    AcquireMode, Event, EventKind, IndexFrame, Label, ObjId, ObjKind, ObjectTable, ThreadId, Trace,
+};
 
 /// Leading magic of a binary trace artifact. The first byte is not valid
-/// UTF-8, so format sniffing can never confuse a v2 file with JSONL.
+/// UTF-8, so format sniffing can never confuse a binary file with JSONL.
+/// The magic is shared by versions 2 and 3 — the header frame carries the
+/// authoritative version.
 pub const TRACE_BINARY_MAGIC: [u8; 4] = [0xDF, b'T', b'2', b'\n'];
 
-/// Version stamped into (and required from) the binary header frame.
-pub const TRACE_BINARY_FORMAT_VERSION: u32 = 2;
+/// Version stamped into the binary header frame by the writer.
+///
+/// Version 3 added the mode-aware vocabulary (shared acquire/release/
+/// blocked, `TryAcquire`, condvar wait/notify) as new event-kind tags;
+/// every tag of version 2 encodes byte-identically, so a trace that uses
+/// none of the new kinds differs from its v2 encoding only in this header
+/// byte.
+pub const TRACE_BINARY_FORMAT_VERSION: u32 = 3;
+
+/// Oldest header version [`read_binary_trace`] still accepts.
+pub const TRACE_BINARY_MIN_FORMAT_VERSION: u32 = 2;
 
 /// Frame tags (first payload byte of every frame).
 mod tag {
@@ -71,6 +84,17 @@ mod kind {
     pub const ATOMIC_END: u8 = 18;
     pub const WAIT: u8 = 19;
     pub const NOTIFY: u8 = 20;
+    // Tags 21+ require a version-3 header; a v2 artifact containing them
+    // is rejected as malformed.
+    pub const ACQUIRE_SHARED: u8 = 21;
+    pub const RELEASE_SHARED: u8 = 22;
+    pub const BLOCKED_SHARED: u8 = 23;
+    pub const TRY_ACQUIRE: u8 = 24;
+    pub const COND_WAIT: u8 = 25;
+    pub const COND_NOTIFY: u8 = 26;
+
+    /// Smallest tag that needs a version-3 header.
+    pub const FIRST_V3: u8 = ACQUIRE_SHARED;
 }
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -170,8 +194,14 @@ impl BinaryEncoder {
                 site,
                 held,
                 context,
+                mode,
             } => {
-                p.push(kind::ACQUIRE);
+                // Shared acquisitions get their own tag so exclusive
+                // events stay byte-identical to the v2 encoding.
+                p.push(match mode {
+                    AcquireMode::Exclusive => kind::ACQUIRE,
+                    AcquireMode::Shared => kind::ACQUIRE_SHARED,
+                });
                 put_varint(&mut p, u64::from(lock.as_u32()));
                 put_varint(&mut p, u64::from(self.label_id(*site, out)));
                 put_varint(&mut p, held.len() as u64);
@@ -183,8 +213,11 @@ impl BinaryEncoder {
                     put_varint(&mut p, u64::from(self.label_id(*c, out)));
                 }
             }
-            EventKind::Release { lock, site } => {
-                p.push(kind::RELEASE);
+            EventKind::Release { lock, site, mode } => {
+                p.push(match mode {
+                    AcquireMode::Exclusive => kind::RELEASE,
+                    AcquireMode::Shared => kind::RELEASE_SHARED,
+                });
                 put_varint(&mut p, u64::from(lock.as_u32()));
                 put_varint(&mut p, u64::from(self.label_id(*site, out)));
             }
@@ -218,8 +251,11 @@ impl BinaryEncoder {
                 p.push(kind::JOIN);
                 put_varint(&mut p, u64::from(target.as_u32()));
             }
-            EventKind::Blocked { lock } => {
-                p.push(kind::BLOCKED);
+            EventKind::Blocked { lock, mode } => {
+                p.push(match mode {
+                    AcquireMode::Exclusive => kind::BLOCKED,
+                    AcquireMode::Shared => kind::BLOCKED_SHARED,
+                });
                 put_varint(&mut p, u64::from(lock.as_u32()));
             }
             EventKind::Unblocked { lock } => {
@@ -259,6 +295,37 @@ impl BinaryEncoder {
             EventKind::Notify { lock, site, all } => {
                 p.push(kind::NOTIFY);
                 put_varint(&mut p, u64::from(lock.as_u32()));
+                put_varint(&mut p, u64::from(self.label_id(*site, out)));
+                p.push(u8::from(*all));
+            }
+            EventKind::TryAcquire {
+                lock,
+                site,
+                acquired,
+                mode,
+            } => {
+                p.push(kind::TRY_ACQUIRE);
+                put_varint(&mut p, u64::from(lock.as_u32()));
+                put_varint(&mut p, u64::from(self.label_id(*site, out)));
+                p.push(u8::from(*acquired));
+                p.push(match mode {
+                    AcquireMode::Exclusive => 0,
+                    AcquireMode::Shared => 1,
+                });
+            }
+            EventKind::CondWait {
+                condvar,
+                lock,
+                site,
+            } => {
+                p.push(kind::COND_WAIT);
+                put_varint(&mut p, u64::from(condvar.as_u32()));
+                put_varint(&mut p, u64::from(lock.as_u32()));
+                put_varint(&mut p, u64::from(self.label_id(*site, out)));
+            }
+            EventKind::CondNotify { condvar, site, all } => {
+                p.push(kind::COND_NOTIFY);
+                put_varint(&mut p, u64::from(condvar.as_u32()));
                 put_varint(&mut p, u64::from(self.label_id(*site, out)));
                 p.push(u8::from(*all));
             }
@@ -490,6 +557,7 @@ pub fn read_binary_trace(bytes: &[u8]) -> Result<Trace, SpillError> {
     let mut trace = Trace::new();
     let mut footer_seen = false;
     let mut sealed = false;
+    let mut header_version = TRACE_BINARY_FORMAT_VERSION;
 
     while pos < bytes.len() {
         frame_no += 1;
@@ -556,12 +624,15 @@ pub fn read_binary_trace(bytes: &[u8]) -> Result<Trace, SpillError> {
                 if name != TRACE_FORMAT {
                     return Err(SpillError::WrongFormat(name));
                 }
-                if version != TRACE_BINARY_FORMAT_VERSION {
+                if !(TRACE_BINARY_MIN_FORMAT_VERSION..=TRACE_BINARY_FORMAT_VERSION)
+                    .contains(&version)
+                {
                     return Err(SpillError::VersionMismatch {
                         found: version,
                         expected: TRACE_BINARY_FORMAT_VERSION,
                     });
                 }
+                header_version = version;
             }
             tag::STR_DEF => {
                 if footer_seen {
@@ -586,7 +657,7 @@ pub fn read_binary_trace(bytes: &[u8]) -> Result<Trace, SpillError> {
                 }
                 let seq = f.varint()?;
                 let thread = f.thread_id()?;
-                let kind = read_kind(&mut f, &strings)?;
+                let kind = read_kind(&mut f, &strings, header_version)?;
                 f.done()?;
                 let assigned = trace.push(thread, kind);
                 if assigned != seq {
@@ -629,10 +700,19 @@ pub fn read_binary_trace(bytes: &[u8]) -> Result<Trace, SpillError> {
     Ok(trace)
 }
 
-fn read_kind(f: &mut FrameReader<'_>, strings: &[Label]) -> Result<EventKind, SpillError> {
+fn read_kind(
+    f: &mut FrameReader<'_>,
+    strings: &[Label],
+    version: u32,
+) -> Result<EventKind, SpillError> {
     let tag = f.byte()?;
+    if tag >= kind::FIRST_V3 && version < 3 {
+        return Err(f.bad(format!(
+            "event kind tag {tag} requires format version 3 (header says {version})"
+        )));
+    }
     Ok(match tag {
-        kind::ACQUIRE => {
+        kind::ACQUIRE | kind::ACQUIRE_SHARED => {
             let lock = f.obj_id()?;
             let site = f.str_ref(strings)?;
             let held_len = f.varint()? as usize;
@@ -645,17 +725,15 @@ fn read_kind(f: &mut FrameReader<'_>, strings: &[Label]) -> Result<EventKind, Sp
             for _ in 0..ctx_len {
                 context.push(f.str_ref(strings)?);
             }
-            EventKind::Acquire {
-                lock,
-                site,
-                held,
-                context,
+            let acq = EventKind::acquire(lock, site, held, context);
+            if tag == kind::ACQUIRE_SHARED {
+                acq.shared()
+            } else {
+                acq
             }
         }
-        kind::RELEASE => EventKind::Release {
-            lock: f.obj_id()?,
-            site: f.str_ref(strings)?,
-        },
+        kind::RELEASE => EventKind::release(f.obj_id()?, f.str_ref(strings)?),
+        kind::RELEASE_SHARED => EventKind::release(f.obj_id()?, f.str_ref(strings)?).shared(),
         kind::REACQUIRE => EventKind::Reacquire {
             lock: f.obj_id()?,
             site: f.str_ref(strings)?,
@@ -678,7 +756,8 @@ fn read_kind(f: &mut FrameReader<'_>, strings: &[Label]) -> Result<EventKind, Sp
         kind::JOIN => EventKind::Join {
             target: f.thread_id()?,
         },
-        kind::BLOCKED => EventKind::Blocked { lock: f.obj_id()? },
+        kind::BLOCKED => EventKind::blocked(f.obj_id()?),
+        kind::BLOCKED_SHARED => EventKind::blocked(f.obj_id()?).shared(),
         kind::UNBLOCKED => EventKind::Unblocked { lock: f.obj_id()? },
         kind::YIELD => EventKind::Yield,
         kind::WORK => EventKind::Work {
@@ -721,6 +800,37 @@ fn read_kind(f: &mut FrameReader<'_>, strings: &[Label]) -> Result<EventKind, Sp
                 b => return Err(f.bad(format!("bad bool byte {b}"))),
             };
             EventKind::Notify { lock, site, all }
+        }
+        kind::TRY_ACQUIRE => {
+            let lock = f.obj_id()?;
+            let site = f.str_ref(strings)?;
+            let acquired = match f.byte()? {
+                0 => false,
+                1 => true,
+                b => return Err(f.bad(format!("bad bool byte {b}"))),
+            };
+            let mode = match f.byte()? {
+                0 => AcquireMode::Exclusive,
+                1 => AcquireMode::Shared,
+                b => return Err(f.bad(format!("bad mode byte {b}"))),
+            };
+            EventKind::try_acquire(lock, site, acquired).with_mode(mode)
+        }
+        kind::COND_WAIT => {
+            let condvar = f.obj_id()?;
+            let lock = f.obj_id()?;
+            let site = f.str_ref(strings)?;
+            EventKind::cond_wait(condvar, lock, site)
+        }
+        kind::COND_NOTIFY => {
+            let condvar = f.obj_id()?;
+            let site = f.str_ref(strings)?;
+            let all = match f.byte()? {
+                0 => false,
+                1 => true,
+                b => return Err(f.bad(format!("bad bool byte {b}"))),
+            };
+            EventKind::cond_notify(condvar, site, all)
         }
         other => return Err(f.bad(format!("unknown event kind tag {other}"))),
     })
@@ -827,38 +937,26 @@ mod tests {
         trace.push(t1, EventKind::ThreadStart);
         trace.push(
             t0,
-            EventKind::Acquire {
-                lock: a,
-                site: Label::new("main:10"),
-                held: vec![],
-                context: vec![Label::new("main:10")],
-            },
+            EventKind::acquire(
+                a,
+                Label::new("main:10"),
+                vec![],
+                vec![Label::new("main:10")],
+            ),
         );
         trace.push(
             t0,
-            EventKind::Acquire {
-                lock: b,
-                site: Label::new("main:11"),
-                held: vec![a],
-                context: vec![Label::new("main:10"), Label::new("main:11")],
-            },
+            EventKind::acquire(
+                b,
+                Label::new("main:11"),
+                vec![a],
+                vec![Label::new("main:10"), Label::new("main:11")],
+            ),
         );
-        trace.push(t1, EventKind::Blocked { lock: b });
-        trace.push(
-            t0,
-            EventKind::Release {
-                lock: b,
-                site: Label::new("main:12"),
-            },
-        );
-        trace.push(t1, EventKind::Unblocked { lock: b });
-        trace.push(
-            t0,
-            EventKind::Release {
-                lock: a,
-                site: Label::new("main:13"),
-            },
-        );
+        trace.push(t1, EventKind::blocked(b));
+        trace.push(t0, EventKind::release(b, Label::new("main:12")));
+        trace.push(t1, EventKind::unblocked(b));
+        trace.push(t0, EventKind::release(a, Label::new("main:13")));
         trace.push(t0, EventKind::Join { target: t1 });
         trace.push(t1, EventKind::ThreadExit);
         trace.push(t0, EventKind::ThreadExit);
@@ -884,20 +982,9 @@ mod tests {
             EventKind::ThreadStart,
             EventKind::Call { site: l("k:3") },
             EventKind::New { obj: var },
-            EventKind::Acquire {
-                lock: lk,
-                site: l("k:4"),
-                held: vec![],
-                context: vec![l("k:4")],
-            },
-            EventKind::Reacquire {
-                lock: lk,
-                site: l("k:5"),
-            },
-            EventKind::Rerelease {
-                lock: lk,
-                site: l("k:6"),
-            },
+            EventKind::acquire(lk, l("k:4"), vec![], vec![l("k:4")]),
+            EventKind::reacquire(lk, l("k:5")),
+            EventKind::rerelease(lk, l("k:6")),
             EventKind::Access {
                 var,
                 site: l("k:7"),
@@ -910,26 +997,12 @@ mod tests {
                 write: false,
                 held: vec![],
             },
-            EventKind::Wait {
-                lock: lk,
-                site: l("k:8"),
-            },
-            EventKind::Notify {
-                lock: lk,
-                site: l("k:9"),
-                all: false,
-            },
-            EventKind::Notify {
-                lock: lk,
-                site: l("k:9"),
-                all: true,
-            },
+            EventKind::wait(lk, l("k:8")),
+            EventKind::notify(lk, l("k:9"), false),
+            EventKind::notify(lk, l("k:9"), true),
             EventKind::AtomicBegin { site: l("k:10") },
             EventKind::AtomicEnd,
-            EventKind::Release {
-                lock: lk,
-                site: l("k:11"),
-            },
+            EventKind::release(lk, l("k:11")),
             EventKind::Spawn {
                 child: ThreadId::new(1),
                 child_obj: obj,
@@ -937,12 +1010,21 @@ mod tests {
             EventKind::Join {
                 target: ThreadId::new(1),
             },
-            EventKind::Blocked { lock: lk },
-            EventKind::Unblocked { lock: lk },
+            EventKind::blocked(lk),
+            EventKind::unblocked(lk),
             EventKind::Yield,
             EventKind::Work { units: 70000 },
             EventKind::Return,
             EventKind::ThreadExit,
+            // Version-3 vocabulary.
+            EventKind::acquire(lk, l("k:12"), vec![], vec![l("k:12")]).shared(),
+            EventKind::blocked(lk).shared(),
+            EventKind::release(lk, l("k:13")).shared(),
+            EventKind::try_acquire(lk, l("k:14"), true),
+            EventKind::try_acquire(lk, l("k:14"), false).shared(),
+            EventKind::cond_wait(var, lk, l("k:15")),
+            EventKind::cond_notify(var, l("k:16"), false),
+            EventKind::cond_notify(var, l("k:16"), true),
         ] {
             trace.push(t0, kind);
         }
@@ -1010,20 +1092,71 @@ mod tests {
         ));
     }
 
+    /// Header frame layout: magic(4) ++ len(1) ++ tag(1) ++ name_len(1)
+    /// ++ "df-trace"(8) ++ version(1): the version varint sits at
+    /// offset 15.
+    const VERSION_OFFSET: usize = 15;
+
     #[test]
     fn rejects_version_bump() {
         let bytes = write_binary_trace(Vec::new(), &sample_trace()).unwrap();
-        // Header frame layout: magic(4) ++ len(1) ++ tag(1) ++
-        // name_len(1) ++ "df-trace"(8) ++ version(1): the version varint
-        // sits at offset 15.
         let mut bumped = bytes.clone();
-        assert_eq!(bumped[15], TRACE_BINARY_FORMAT_VERSION as u8);
-        bumped[15] = 3;
+        assert_eq!(bumped[VERSION_OFFSET], TRACE_BINARY_FORMAT_VERSION as u8);
+        bumped[VERSION_OFFSET] = TRACE_BINARY_FORMAT_VERSION as u8 + 1;
         match read_binary_trace(&bumped) {
-            Err(SpillError::VersionMismatch { found: 3, expected }) => {
+            Err(SpillError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, TRACE_BINARY_FORMAT_VERSION + 1);
                 assert_eq!(expected, TRACE_BINARY_FORMAT_VERSION);
             }
             other => panic!("expected version mismatch, got {other:?}"),
+        }
+        // Below the accepted window is rejected too.
+        let mut ancient = bytes;
+        ancient[VERSION_OFFSET] = TRACE_BINARY_MIN_FORMAT_VERSION as u8 - 1;
+        assert!(matches!(
+            read_binary_trace(&ancient),
+            Err(SpillError::VersionMismatch { found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_a_version_2_header_for_exclusive_traces() {
+        // A v2 artifact is exactly today's encoding of a mode-free trace
+        // with the header byte dialed back — assert that equivalence and
+        // that the reader still takes it.
+        let trace = sample_trace();
+        let mut bytes = write_binary_trace(Vec::new(), &trace).unwrap();
+        bytes[VERSION_OFFSET] = 2;
+        let back = read_binary_trace(&bytes).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rejects_v3_event_tags_under_a_v2_header() {
+        // all_kinds_trace contains shared/try/condvar events, whose tags
+        // did not exist in version 2.
+        let mut bytes = write_binary_trace(Vec::new(), &all_kinds_trace()).unwrap();
+        assert_eq!(bytes[VERSION_OFFSET], TRACE_BINARY_FORMAT_VERSION as u8);
+        bytes[VERSION_OFFSET] = 2;
+        match read_binary_trace(&bytes) {
+            Err(SpillError::MalformedFrame { detail, .. }) => {
+                assert!(
+                    detail.contains("requires format version 3"),
+                    "detail: {detail}"
+                );
+            }
+            other => panic!("expected MalformedFrame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mode_free_traces_differ_from_v2_only_in_the_header_byte() {
+        // The compat contract behind `accepts_a_version_2_header`: no
+        // event of the old vocabulary changed its encoding.
+        let bytes = write_binary_trace(Vec::new(), &sample_trace()).unwrap();
+        let decoded = read_binary_trace(&bytes).unwrap();
+        for e in decoded.events() {
+            assert_ne!(e.kind.mode(), Some(AcquireMode::Shared));
         }
     }
 

@@ -44,9 +44,9 @@ mod writer;
 
 pub use binary::{
     read_binary_trace, write_binary_trace, BinaryTraceWriter, TRACE_BINARY_FORMAT_VERSION,
-    TRACE_BINARY_MAGIC,
+    TRACE_BINARY_MAGIC, TRACE_BINARY_MIN_FORMAT_VERSION,
 };
-pub use event::{Event, EventKind};
+pub use event::{AcquireMode, Event, EventKind};
 pub use ids::{ObjId, ObjKind, ThreadId};
 pub use intern::DenseInterner;
 pub use label::{caller_site, Label};

@@ -603,20 +603,14 @@ mod tests {
         trace.push(t0, EventKind::ThreadStart);
         trace.push(
             t0,
-            EventKind::Acquire {
+            EventKind::acquire(
                 lock,
-                site: Label::new("main:4"),
-                held: vec![],
-                context: vec![Label::new("main:4")],
-            },
+                Label::new("main:4"),
+                vec![],
+                vec![Label::new("main:4")],
+            ),
         );
-        trace.push(
-            t0,
-            EventKind::Release {
-                lock,
-                site: Label::new("main:5"),
-            },
-        );
+        trace.push(t0, EventKind::release(lock, Label::new("main:5")));
         trace.push(t0, EventKind::ThreadExit);
         trace
     }

@@ -157,12 +157,7 @@ mod tests {
             .create(ObjKind::Lock, Label::new("t:1"), None, vec![]);
         t.push(
             ThreadId::new(0),
-            EventKind::Acquire {
-                lock: lk,
-                site: Label::new("t:2"),
-                held: vec![],
-                context: vec![Label::new("t:2")],
-            },
+            EventKind::acquire(lk, Label::new("t:2"), vec![], vec![Label::new("t:2")]),
         );
         t.push(
             ThreadId::new(0),

@@ -439,20 +439,9 @@ mod tests {
         for _ in 0..100 {
             trace.push(
                 t0,
-                EventKind::Acquire {
-                    lock,
-                    site: Label::new("w:4"),
-                    held: vec![],
-                    context: vec![Label::new("w:4")],
-                },
+                EventKind::acquire(lock, Label::new("w:4"), vec![], vec![Label::new("w:4")]),
             );
-            trace.push(
-                t0,
-                EventKind::Release {
-                    lock,
-                    site: Label::new("w:5"),
-                },
-            );
+            trace.push(t0, EventKind::release(lock, Label::new("w:5")));
         }
         trace.push(t0, EventKind::ThreadExit);
         trace

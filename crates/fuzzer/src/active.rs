@@ -262,13 +262,13 @@ impl Strategy for ActiveStrategy {
             }
             let t_id = candidates[self.rng.gen_range(0..candidates.len())];
             let t = view.thread(t_id);
-            let (lock, site) = match t.pending {
-                Some(PendingOp::Acquire { lock, site }) => (*lock, *site),
+            let (lock, site, mode) = match t.pending {
+                Some(PendingOp::Acquire { lock, site, mode }) => (*lock, *site, *mode),
                 _ => return Directive::Run(t_id),
             };
             // Algorithm 3 line 11: checkRealDeadlock with the candidate's
-            // lock pushed.
-            let verdict = check_real_deadlock(view, t_id, lock);
+            // lock pushed (in the candidate's acquisition mode).
+            let verdict = check_real_deadlock(view, t_id, lock, mode);
             if self.config.obs.traces() {
                 self.config
                     .obs
@@ -496,6 +496,7 @@ mod tests {
                     thread: abstractor.abs(r.trace.objects(), c.thread_obj),
                     lock: abstractor.abs(r.trace.objects(), c.waiting_for),
                     context: c.context.clone(),
+                    mode: c.waiting_mode,
                 })
                 .collect(),
         );

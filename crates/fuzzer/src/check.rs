@@ -1,6 +1,6 @@
 //! Algorithm 4: `checkRealDeadlock`.
 
-use df_events::{ObjId, ThreadId};
+use df_events::{AcquireMode, ObjId, ThreadId};
 use df_runtime::{DeadlockWitness, Detector, PendingOp, StateView, WaitForGraph, WitnessComponent};
 
 /// Algorithm 4 of the paper, evaluated over the live execution state.
@@ -34,32 +34,51 @@ pub fn check_real_deadlock(
     view: &StateView<'_>,
     candidate: ThreadId,
     candidate_lock: ObjId,
+    candidate_mode: AcquireMode,
 ) -> Option<DeadlockWitness> {
+    let add_wait =
+        |graph: &mut WaitForGraph, t: ThreadId, lock: ObjId, mode: AcquireMode| match mode {
+            AcquireMode::Exclusive => graph.add_waits(t, lock),
+            AcquireMode::Shared => graph.add_waits_shared(t, lock),
+        };
     let threads = view.threads();
     let mut graph = WaitForGraph::new();
     for t in &threads {
         for &held in t.lock_stack {
-            graph.add_holds(t.id, held);
+            // A lock on the stack whose owner is someone else (or nobody)
+            // is a shared hold: the runtime pushes read holds on the same
+            // stack but only exclusive holds set the owner.
+            if view.lock_owner(held) == Some(t.id) {
+                graph.add_holds(t.id, held);
+            } else {
+                graph.add_holds_shared(t.id, held);
+            }
         }
         if t.id == candidate {
-            graph.add_waits(t.id, candidate_lock);
+            add_wait(&mut graph, t.id, candidate_lock, candidate_mode);
             continue;
         }
         // Any announced acquire whose lock is currently held by another
-        // thread is a wait-for edge — whether the thread is blocked in the
-        // acquire or paused just before it. (An acquire of a *free* lock
-        // can never be part of a cycle: a cycle needs the lock to be held
-        // by a cycle member.)
+        // thread in a conflicting mode is a wait-for edge — whether the
+        // thread is blocked in the acquire or paused just before it. (An
+        // acquire of a free lock can never be part of a cycle: a cycle
+        // needs the lock to be held by a cycle member. Likewise a read of
+        // a read-held lock never blocks, so it contributes no edge.)
         let wanted = match t.pending {
-            Some(PendingOp::Acquire { lock, .. }) | Some(PendingOp::WaitReacquire { lock, .. }) => {
-                Some(*lock)
-            }
+            Some(PendingOp::Acquire { lock, mode, .. }) => Some((*lock, *mode)),
+            Some(PendingOp::WaitReacquire { lock, .. }) => Some((*lock, AcquireMode::Exclusive)),
             _ => None,
         };
-        if let Some(lock) = wanted {
-            let held_by_other = view.lock_owner(lock).map(|o| o != t.id).unwrap_or(false);
-            if held_by_other {
-                graph.add_waits(t.id, lock);
+        if let Some((lock, mode)) = wanted {
+            let writer_is_other = view.lock_owner(lock).map(|o| o != t.id).unwrap_or(false);
+            let blocked = match mode {
+                AcquireMode::Exclusive => {
+                    writer_is_other || view.lock_readers(lock).iter().any(|&r| r != t.id)
+                }
+                AcquireMode::Shared => writer_is_other,
+            };
+            if blocked {
+                add_wait(&mut graph, t.id, lock, mode);
             }
         }
     }
@@ -74,21 +93,36 @@ pub fn check_real_deadlock(
             let waiting_for = graph
                 .waiting_for(tid)
                 .expect("cycle thread waits for a lock");
-            let site = match t.pending {
-                Some(PendingOp::Acquire { site, .. })
-                | Some(PendingOp::WaitReacquire { site, .. }) => Some(*site),
-                _ => None,
+            let (site, waiting_mode) = match t.pending {
+                Some(PendingOp::Acquire { site, mode, .. }) => (Some(*site), *mode),
+                Some(PendingOp::WaitReacquire { site, .. }) => {
+                    (Some(*site), AcquireMode::Exclusive)
+                }
+                _ => (None, AcquireMode::Exclusive),
             };
             let mut context = t.context_stack.to_vec();
             if let Some(site) = site {
                 context.push(site);
             }
+            let holding = t.lock_stack.to_vec();
+            let holding_modes = holding
+                .iter()
+                .map(|&l| {
+                    if view.lock_owner(l) == Some(tid) {
+                        AcquireMode::Exclusive
+                    } else {
+                        AcquireMode::Shared
+                    }
+                })
+                .collect();
             WitnessComponent {
                 thread: tid,
                 thread_obj: t.obj,
                 thread_name: Some(t.name.to_string()),
-                holding: t.lock_stack.to_vec(),
+                holding,
+                holding_modes,
                 waiting_for,
+                waiting_mode,
                 context,
             }
         })

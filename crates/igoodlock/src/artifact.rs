@@ -124,13 +124,13 @@ mod tests {
     use df_events::{Label, ObjId, ThreadId};
 
     fn sample_relation() -> LockDependencyRelation {
-        LockDependencyRelation::from_deps(vec![LockDep {
-            thread: ThreadId::new(1),
-            thread_obj: ObjId::new(0),
-            lockset: vec![ObjId::new(2)],
-            lock: ObjId::new(3),
-            contexts: vec![Label::new("run:15"), Label::new("run:16")],
-        }])
+        LockDependencyRelation::from_deps(vec![LockDep::exclusive(
+            ThreadId::new(1),
+            ObjId::new(0),
+            vec![ObjId::new(2)],
+            ObjId::new(3),
+            vec![Label::new("run:15"), Label::new("run:16")],
+        )])
     }
 
     #[test]

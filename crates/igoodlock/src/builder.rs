@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use df_events::{Event, EventKind, EventSink, ObjId, ThreadId, Trace};
+use df_events::{AcquireMode, Event, EventKind, EventSink, ObjId, ThreadId, Trace};
 
 use crate::relation::{DedupIndex, DepTiming, LockDep, LockDependencyRelation};
 
@@ -42,9 +42,9 @@ pub struct RelationBuilder {
     deps: Vec<LockDep>,
     timings: Vec<DepTiming>,
     raw_count: usize,
-    /// Per-thread stack of (lock, acquire seq) mirroring `held`, for
-    /// hold-window starts.
-    stacks: HashMap<ThreadId, Vec<(ObjId, u64)>>,
+    /// Per-thread stack of (lock, acquire seq, mode) mirroring `held`,
+    /// for hold-window starts and hold modes.
+    stacks: HashMap<ThreadId, Vec<(ObjId, u64, AcquireMode)>>,
     thread_objs: BTreeMap<ThreadId, ObjId>,
 }
 
@@ -68,11 +68,24 @@ impl RelationBuilder {
                 lock,
                 held,
                 context,
+                mode,
                 ..
             } => {
                 self.raw_count += 1;
                 let stack = self.stacks.entry(event.thread).or_default();
                 if !held.is_empty() {
+                    // Hold modes come from the live stack, which mirrors
+                    // `held` (same pushes, same rposition removals).
+                    // Events replayed without matching stack state (bare
+                    // tuples) default to exclusive holds.
+                    let hold_modes: Vec<AcquireMode> = (0..held.len())
+                        .map(|i| {
+                            stack
+                                .get(i)
+                                .map(|&(_, _, m)| m)
+                                .unwrap_or(AcquireMode::Exclusive)
+                        })
+                        .collect();
                     let dep = LockDep {
                         thread: event.thread,
                         thread_obj: self
@@ -83,23 +96,43 @@ impl RelationBuilder {
                         lockset: held.clone(),
                         lock: *lock,
                         contexts: context.clone(),
+                        mode: *mode,
+                        hold_modes,
                     };
                     if self.seen.is_new(&self.deps, &dep) {
                         self.timings.push(DepTiming {
-                            window_start_seq: stack.last().map(|&(_, s)| s).unwrap_or(event.seq),
+                            window_start_seq: stack.last().map(|&(_, s, _)| s).unwrap_or(event.seq),
                             acquire_seq: event.seq,
                         });
                         self.deps.push(dep);
                     }
                 }
-                stack.push((*lock, event.seq));
+                stack.push((*lock, event.seq, *mode));
+            }
+            // A successful try joins the held stack — later nested
+            // acquires include it in their lockset — but records no
+            // dependency tuple itself: a try never blocks, so it can
+            // never be the blocked edge of a cycle. A failed try is a
+            // no-op.
+            EventKind::TryAcquire {
+                lock,
+                acquired: true,
+                mode,
+                ..
+            } => {
+                let stack = self.stacks.entry(event.thread).or_default();
+                stack.push((*lock, event.seq, *mode));
             }
             EventKind::Release { lock, .. } => {
                 let stack = self.stacks.entry(event.thread).or_default();
-                if let Some(pos) = stack.iter().rposition(|&(l, _)| l == *lock) {
+                if let Some(pos) = stack.iter().rposition(|&(l, _, _)| l == *lock) {
                     stack.remove(pos);
                 }
             }
+            // Condvar waits release and reacquire their lock through
+            // ordinary Release/Acquire events emitted by the substrate;
+            // the CondWait/CondNotify events themselves only mark the
+            // communication edge and add nothing to Definition 1.
             _ => {}
         }
     }
@@ -175,38 +208,72 @@ mod tests {
         for (t, first, second) in [(t1, a, b), (t2, b, a)] {
             trace.push(
                 t,
-                EventKind::Acquire {
-                    lock: first,
-                    site: l("run:15"),
-                    held: vec![],
-                    context: vec![l("run:15")],
-                },
+                EventKind::acquire(first, l("run:15"), vec![], vec![l("run:15")]),
             );
             trace.push(
                 t,
-                EventKind::Acquire {
-                    lock: second,
-                    site: l("run:16"),
-                    held: vec![first],
-                    context: vec![l("run:15"), l("run:16")],
-                },
+                EventKind::acquire(
+                    second,
+                    l("run:16"),
+                    vec![first],
+                    vec![l("run:15"), l("run:16")],
+                ),
             );
-            trace.push(
-                t,
-                EventKind::Release {
-                    lock: second,
-                    site: l("run:17"),
-                },
-            );
-            trace.push(
-                t,
-                EventKind::Release {
-                    lock: first,
-                    site: l("run:18"),
-                },
-            );
+            trace.push(t, EventKind::release(second, l("run:17")));
+            trace.push(t, EventKind::release(first, l("run:18")));
         }
         trace
+    }
+
+    /// Readers under a shared lock while a writer acquires it exclusively
+    /// — exercises hold-mode bookkeeping and the try_lock stack effect.
+    #[test]
+    fn shared_holds_and_trys_shape_the_tuples() {
+        let mut trace = Trace::new();
+        let t1 = ThreadId::new(1);
+        let o1 = trace
+            .objects_mut()
+            .create(df_events::ObjKind::Thread, l("spawn:1"), None, vec![]);
+        trace.bind_thread(t1, o1);
+        let rw = trace
+            .objects_mut()
+            .create(df_events::ObjKind::Lock, l("main:1"), None, vec![]);
+        let m = trace
+            .objects_mut()
+            .create(df_events::ObjKind::Lock, l("main:2"), None, vec![]);
+        // read(rw); try_lock(m) ok; acquire(inner) while holding both.
+        let inner = trace
+            .objects_mut()
+            .create(df_events::ObjKind::Lock, l("main:3"), None, vec![]);
+        trace.push(
+            t1,
+            EventKind::acquire(rw, l("r:1"), vec![], vec![l("r:1")]).shared(),
+        );
+        trace.push(t1, EventKind::try_acquire(m, l("r:2"), true));
+        trace.push(t1, EventKind::try_acquire(inner, l("r:2b"), false));
+        trace.push(
+            t1,
+            EventKind::acquire(
+                inner,
+                l("r:3"),
+                vec![rw, m],
+                vec![l("r:1"), l("r:2"), l("r:3")],
+            ),
+        );
+        let rel = stream(&trace);
+        // Only the nested Acquire records a tuple; the failed try added
+        // nothing to the held stack.
+        assert_eq!(rel.len(), 1);
+        let dep = &rel.deps()[0];
+        assert_eq!(dep.lockset, vec![rw, m]);
+        assert_eq!(
+            dep.hold_modes,
+            vec![
+                df_events::AcquireMode::Shared,
+                df_events::AcquireMode::Exclusive
+            ]
+        );
+        assert_eq!(dep.mode, df_events::AcquireMode::Exclusive);
     }
 
     fn stream(trace: &Trace) -> LockDependencyRelation {

@@ -21,7 +21,7 @@
 
 use std::collections::HashSet;
 
-use df_events::ObjId;
+use df_events::{AcquireMode, ObjId};
 use serde::{Deserialize, Serialize};
 
 use crate::cycle::{Cycle, CycleComponent};
@@ -105,11 +105,19 @@ struct IndexedChain {
     thread_bits: BitSet,
     /// Interned acquired locks present (Definition 2(2)).
     lock_bits: BitSet,
-    /// Union of component locksets (Definition 2(4)).
+    /// Union of component locksets, any hold mode (mode-aware
+    /// Definition 2(4), one side of the conflict check).
     lockset_union: BitSet,
+    /// Union of the components' *exclusively held* locksets (the other
+    /// side: a candidate's hold only conflicts with these, unless the
+    /// candidate itself holds exclusively).
+    lockset_excl_union: BitSet,
     /// Interned lock acquired by the last component (Definition 2(3):
     /// the next component must hold it — i.e. come from its bucket).
     last_lock: u32,
+    /// Mode of that acquisition: selects which bucket (shared
+    /// acquisitions only conflict with exclusive holders).
+    last_mode: AcquireMode,
 }
 
 impl IndexedChain {
@@ -124,7 +132,9 @@ impl IndexedChain {
             thread_bits,
             lock_bits,
             lockset_union: index.lockset[i].clone(),
+            lockset_excl_union: index.lockset_excl[i].clone(),
             last_lock: index.lock[i],
+            last_mode: index.mode[i],
         }
     }
 
@@ -138,12 +148,16 @@ impl IndexedChain {
         lock_bits.insert(index.lock[i]);
         let mut lockset_union = self.lockset_union.clone();
         lockset_union.union_with(&index.lockset[i]);
+        let mut lockset_excl_union = self.lockset_excl_union.clone();
+        lockset_excl_union.union_with(&index.lockset_excl[i]);
         IndexedChain {
             deps,
             thread_bits,
             lock_bits,
             lockset_union,
+            lockset_excl_union,
             last_lock: index.lock[i],
+            last_mode: index.mode[i],
         }
     }
 }
@@ -160,12 +174,14 @@ impl IndexedChain {
 /// use df_igoodlock::{igoodlock, IGoodlockOptions, LockDep, LockDependencyRelation};
 /// use df_events::{Label, ObjId, ThreadId};
 ///
-/// let dep = |t: u32, held: u32, lock: u32| LockDep {
-///     thread: ThreadId::new(t),
-///     thread_obj: ObjId::new(t),
-///     lockset: vec![ObjId::new(held)],
-///     lock: ObjId::new(lock),
-///     contexts: vec![Label::new("a:1"), Label::new("a:2")],
+/// let dep = |t: u32, held: u32, lock: u32| {
+///     LockDep::exclusive(
+///         ThreadId::new(t),
+///         ObjId::new(t),
+///         vec![ObjId::new(held)],
+///         ObjId::new(lock),
+///         vec![Label::new("a:1"), Label::new("a:2")],
+///     )
 /// };
 /// let rel = LockDependencyRelation::from_deps(vec![dep(1, 10, 11), dep(2, 11, 10)]);
 /// let cycles = igoodlock(&rel, &IGoodlockOptions::default());
@@ -244,26 +260,31 @@ pub fn igoodlock_filtered(
         let mut next: Vec<IndexedChain> = Vec::new();
         for chain in &current {
             let root = index.thread[chain.deps[0] as usize];
-            // Definition 2(3) is the bucket membership; the remaining
-            // checks are §2.2.3 (dedup root is the minimum thread id),
-            // 2(1), 2(2) and 2(4), each one bitset probe. Buckets list
-            // tuples in relation order, so accepted extensions appear in
-            // exactly the order the naive scan would produce them.
-            for &cand in index.candidates(chain.last_lock) {
+            // Definition 2(3) plus the mode edge rule is the bucket
+            // membership (a shared last acquisition draws only from the
+            // exclusive-holders bucket); the remaining checks are §2.2.3
+            // (dedup root is the minimum thread id), 2(1), 2(2) and the
+            // mode-aware 2(4) — two locksets conflict only where one
+            // side holds a common lock exclusively, so read-read
+            // overlaps are allowed. Buckets list tuples in relation
+            // order, so accepted extensions appear in exactly the order
+            // the naive scan would produce them.
+            for &cand in index.candidates(chain.last_lock, chain.last_mode) {
                 stats.join_candidates_examined += 1;
                 let c = cand as usize;
                 if index.thread[c] <= root
                     || chain.thread_bits.contains(index.thread_bit[c])
                     || chain.lock_bits.contains(index.lock[c])
-                    || index.lockset[c].intersects(&chain.lockset_union)
+                    || index.lockset[c].intersects(&chain.lockset_excl_union)
+                    || index.lockset_excl[c].intersects(&chain.lockset_union)
                 {
                     continue;
                 }
                 let ext = chain.extended(cand, &index);
                 stats.chains_built += 1;
                 // Definition 3: the first component holds the last
-                // acquired lock.
-                if index.lockset[ext.deps[0] as usize].contains(ext.last_lock) {
+                // acquired lock in a conflicting mode.
+                if index.closes_against(ext.deps[0] as usize, ext.last_lock, ext.last_mode) {
                     let key: Vec<u32> = ext.deps.iter().map(|&i| index.proj[i as usize]).collect();
                     if reported.insert(key) {
                         let cycle = Cycle::new(
@@ -313,8 +334,14 @@ struct NaiveChain {
     deps: Vec<usize>,
     threads: Vec<df_events::ThreadId>,
     locks: Vec<ObjId>,
-    /// Union of all component locksets (Definition 2(4)).
+    /// Union of all component locksets, any hold mode.
     lockset_union: Vec<ObjId>,
+    /// Union of the components' exclusively held locks (the mode-aware
+    /// Definition 2(4) compares against this on one side).
+    lockset_excl_union: Vec<ObjId>,
+    /// Mode of the last component's acquisition (selects which holds of
+    /// that lock conflict).
+    last_mode: AcquireMode,
 }
 
 impl NaiveChain {
@@ -324,6 +351,8 @@ impl NaiveChain {
             threads: vec![dep.thread],
             locks: vec![dep.lock],
             lockset_union: dep.lockset.clone(),
+            lockset_excl_union: excl_holds(dep),
+            last_mode: dep.mode,
         }
     }
 
@@ -342,13 +371,25 @@ impl NaiveChain {
         if self.locks.contains(&dep.lock) {
             return false;
         }
-        // 2(3): the previous lock is held by the new component.
+        // 2(3) + mode edge rule: the previous lock is held by the new
+        // component in a mode its acquisition conflicts with (read-read
+        // never blocks).
         let last_lock = *self.locks.last().expect("chains are non-empty");
-        if !dep.lockset.contains(&last_lock) {
+        if !dep.hold_blocks(last_lock, self.last_mode) {
             return false;
         }
-        // 2(4): locksets pairwise disjoint.
-        if dep.lockset.iter().any(|l| self.lockset_union.contains(l)) {
+        // Mode-aware 2(4): locksets may overlap only in read-read holds —
+        // a common lock disqualifies iff held exclusively on either side.
+        if dep.lockset.iter().enumerate().any(|(i, l)| {
+            self.lockset_excl_union.contains(l)
+                || (dep
+                    .hold_modes
+                    .get(i)
+                    .copied()
+                    .unwrap_or(AcquireMode::Exclusive)
+                    .is_exclusive()
+                    && self.lockset_union.contains(l))
+        }) {
             return false;
         }
         true
@@ -361,6 +402,8 @@ impl NaiveChain {
         locks.push(dep.lock);
         let mut lockset_union = self.lockset_union.clone();
         lockset_union.extend_from_slice(&dep.lockset);
+        let mut lockset_excl_union = self.lockset_excl_union.clone();
+        lockset_excl_union.extend_from_slice(&excl_holds(dep));
         let mut deps = self.deps.clone();
         deps.push(idx);
         NaiveChain {
@@ -368,16 +411,37 @@ impl NaiveChain {
             threads,
             locks,
             lockset_union,
+            lockset_excl_union,
+            last_mode: dep.mode,
         }
     }
 
     /// Definition 3: the chain is a potential deadlock cycle if the last
-    /// acquired lock is held by the first component.
+    /// acquired lock is held by the first component in a conflicting
+    /// mode.
     fn closes(&self, relation: &[LockDep]) -> bool {
         let first = &relation[self.deps[0]];
         let last_lock = *self.locks.last().expect("non-empty");
-        first.lockset.contains(&last_lock)
+        first.hold_blocks(last_lock, self.last_mode)
     }
+}
+
+/// The exclusively held subset of a tuple's lockset (holds past a
+/// truncated `hold_modes` default to exclusive, matching the serde
+/// default).
+fn excl_holds(dep: &LockDep) -> Vec<ObjId> {
+    dep.lockset
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| {
+            dep.hold_modes
+                .get(i)
+                .copied()
+                .unwrap_or(AcquireMode::Exclusive)
+                .is_exclusive()
+        })
+        .map(|(_, &l)| l)
+        .collect()
 }
 
 /// The original brute-force Algorithm 1: scans the whole relation per
@@ -409,8 +473,14 @@ pub fn naive_igoodlock_filtered(
     let deps = relation.deps();
     let mut stats = IGoodlockStats::default();
     let mut cycles: Vec<Cycle> = Vec::new();
-    // Dedup key: the (thread, lock, context) projection of the chain.
-    type CycleKey = Vec<(df_events::ThreadId, ObjId, Vec<df_events::Label>)>;
+    // Dedup key: the (thread, lock, mode, context) projection of the
+    // chain — the same view the indexed join's projection ids intern.
+    type CycleKey = Vec<(
+        df_events::ThreadId,
+        ObjId,
+        AcquireMode,
+        Vec<df_events::Label>,
+    )>;
     let mut reported: HashSet<CycleKey> = HashSet::new();
 
     // D_1 = D.
@@ -446,7 +516,14 @@ pub fn naive_igoodlock_filtered(
                     let key: CycleKey = ext
                         .deps
                         .iter()
-                        .map(|&i| (deps[i].thread, deps[i].lock, deps[i].contexts.clone()))
+                        .map(|&i| {
+                            (
+                                deps[i].thread,
+                                deps[i].lock,
+                                deps[i].mode,
+                                deps[i].contexts.clone(),
+                            )
+                        })
                         .collect();
                     if reported.insert(key) {
                         let cycle = Cycle::new(
@@ -498,13 +575,21 @@ mod tests {
     /// `(t, L, l)` with canned contexts; lock ids are offset by 100 to
     /// keep them distinct from thread ids.
     fn dep(t: u32, held: &[u32], lock: u32) -> LockDep {
-        LockDep {
-            thread: ThreadId::new(t),
-            thread_obj: ObjId::new(t),
-            lockset: held.iter().map(|&h| ObjId::new(100 + h)).collect(),
-            lock: ObjId::new(100 + lock),
-            contexts: (0..=held.len()).map(|i| l(&format!("c:{i}"))).collect(),
-        }
+        LockDep::exclusive(
+            ThreadId::new(t),
+            ObjId::new(t),
+            held.iter().map(|&h| ObjId::new(100 + h)).collect(),
+            ObjId::new(100 + lock),
+            (0..=held.len()).map(|i| l(&format!("c:{i}"))).collect(),
+        )
+    }
+
+    /// Like `dep` but with explicit hold modes and acquire mode.
+    fn dep_m(t: u32, held: &[(u32, AcquireMode)], lock: u32, mode: AcquireMode) -> LockDep {
+        let mut d = dep(t, &held.iter().map(|&(h, _)| h).collect::<Vec<_>>(), lock);
+        d.mode = mode;
+        d.hold_modes = held.iter().map(|&(_, m)| m).collect();
+        d
     }
 
     #[test]
@@ -636,13 +721,13 @@ mod tests {
     /// Like `dep` but with a context distinguished by `m` (different call
     /// sites for the same lock pair → distinct relation tuples).
     fn dep_ctx(t: u32, held: u32, lock: u32, m: u32) -> LockDep {
-        LockDep {
-            thread: ThreadId::new(t),
-            thread_obj: ObjId::new(t),
-            lockset: vec![ObjId::new(100 + held)],
-            lock: ObjId::new(100 + lock),
-            contexts: vec![l(&format!("m{m}:outer")), l(&format!("m{m}:inner"))],
-        }
+        LockDep::exclusive(
+            ThreadId::new(t),
+            ObjId::new(t),
+            vec![ObjId::new(100 + held)],
+            ObjId::new(100 + lock),
+            vec![l(&format!("m{m}:outer")), l(&format!("m{m}:inner"))],
+        )
     }
 
     #[test]
@@ -698,20 +783,20 @@ mod tests {
         // Figure 1 of the paper: t1 acquires o1 then o2 at sites 15/16;
         // t2 acquires o2 then o1 at the same sites.
         let rel = LockDependencyRelation::from_deps(vec![
-            LockDep {
-                thread: ThreadId::new(1),
-                thread_obj: ObjId::new(25),
-                lockset: vec![ObjId::new(122)],
-                lock: ObjId::new(123),
-                contexts: vec![l("run:15"), l("run:16")],
-            },
-            LockDep {
-                thread: ThreadId::new(2),
-                thread_obj: ObjId::new(26),
-                lockset: vec![ObjId::new(123)],
-                lock: ObjId::new(122),
-                contexts: vec![l("run:15"), l("run:16")],
-            },
+            LockDep::exclusive(
+                ThreadId::new(1),
+                ObjId::new(25),
+                vec![ObjId::new(122)],
+                ObjId::new(123),
+                vec![l("run:15"), l("run:16")],
+            ),
+            LockDep::exclusive(
+                ThreadId::new(2),
+                ObjId::new(26),
+                vec![ObjId::new(123)],
+                ObjId::new(122),
+                vec![l("run:15"), l("run:16")],
+            ),
         ]);
         let cycles = igoodlock(&rel, &IGoodlockOptions::default());
         assert_eq!(cycles.len(), 1);
@@ -742,11 +827,111 @@ mod tests {
         );
     }
 
+    #[test]
+    fn read_read_holds_never_close_a_cycle() {
+        use AcquireMode::{Exclusive, Shared};
+        // t1 read-holds rw(=1) while taking m(=2); t2 holds m while
+        // read-taking rw. With plain mutexes this is the classic 2-cycle;
+        // with modes the closing edge is read-vs-read and vanishes.
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep_m(1, &[(1, Shared)], 2, Exclusive),
+            dep_m(2, &[(2, Exclusive)], 1, Shared),
+        ]);
+        assert!(igoodlock(&rel, &IGoodlockOptions::default()).is_empty());
+        assert!(naive_igoodlock(&rel, &IGoodlockOptions::default()).is_empty());
+        // Sanity contrast: the all-exclusive version of the same shape
+        // does cycle.
+        let excl = LockDependencyRelation::from_deps(vec![dep(1, &[1], 2), dep(2, &[2], 1)]);
+        assert_eq!(igoodlock(&excl, &IGoodlockOptions::default()).len(), 1);
+    }
+
+    #[test]
+    fn reader_writer_conflict_still_cycles() {
+        use AcquireMode::{Exclusive, Shared};
+        // Same shape, but t2 takes rw exclusively: a write acquisition
+        // conflicts with t1's read hold, so the cycle is real and kept.
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep_m(1, &[(1, Shared)], 2, Exclusive),
+            dep_m(2, &[(2, Exclusive)], 1, Exclusive),
+        ]);
+        let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles, naive_igoodlock(&rel, &IGoodlockOptions::default()));
+    }
+
+    #[test]
+    fn shared_gate_lock_does_not_prevent_cycle() {
+        use AcquireMode::{Exclusive, Shared};
+        // Both threads hold a common gate lock G(=9) — but only in read
+        // mode, so both can be inside the "gate" at once and the
+        // mode-aware 2(4) rightly keeps the cycle (contrast with
+        // `gate_lock_prevents_cycle`, where the exclusive gate kills it).
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep_m(1, &[(9, Shared), (1, Exclusive)], 2, Exclusive),
+            dep_m(2, &[(9, Shared), (2, Exclusive)], 1, Exclusive),
+        ]);
+        let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles, naive_igoodlock(&rel, &IGoodlockOptions::default()));
+    }
+
+    #[test]
+    fn read_read_candidates_pruned_at_the_bucket() {
+        use AcquireMode::{Exclusive, Shared};
+        // Ten readers hold rw(=50) shared; one writer-side chain ends in
+        // a *shared* acquisition of rw. The exclusive-holders bucket for
+        // rw is empty, so the indexed join examines zero candidates for
+        // that chain, while the naive oracle scans (and rejects) all of
+        // them — identical output, fewer tuples touched.
+        let mut deps = vec![dep_m(1, &[(1, Exclusive)], 50, Shared)];
+        for i in 0..10u32 {
+            deps.push(dep_m(2 + i, &[(50, Shared)], 60 + i, Exclusive));
+        }
+        let rel = LockDependencyRelation::from_deps(deps);
+        let (ic, is) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+        let (nc, ns) = naive_igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+        assert_eq!(ic, nc);
+        assert!(ic.is_empty());
+        assert_eq!(is.chains_built, ns.chains_built);
+        assert!(
+            is.join_candidates_examined < ns.join_candidates_examined,
+            "indexed {} vs naive {}",
+            is.join_candidates_examined,
+            ns.join_candidates_examined
+        );
+    }
+
+    #[test]
+    fn mode_distinguishes_otherwise_identical_cycles() {
+        use AcquireMode::{Exclusive, Shared};
+        // Two t1 tuples identical except for the acquisition mode of
+        // lock 2: the dedup projection includes the mode, so both the
+        // write-write and the read-write cycle are reported.
+        let rel = LockDependencyRelation::from_deps(vec![
+            dep_m(1, &[(1, Exclusive)], 2, Exclusive),
+            dep_m(1, &[(1, Exclusive)], 2, Shared),
+            dep(2, &[2], 1),
+        ]);
+        let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+        assert_eq!(cycles.len(), 2);
+        assert_eq!(cycles, naive_igoodlock(&rel, &IGoodlockOptions::default()));
+    }
+
     /// The fixture relations above, checked naive-vs-indexed under every
     /// truncation option (the proptest suite covers random relations).
     #[test]
     fn naive_and_indexed_agree_on_fixtures() {
+        use AcquireMode::{Exclusive, Shared};
         let fixtures: Vec<LockDependencyRelation> = vec![
+            LockDependencyRelation::from_deps(vec![
+                dep_m(1, &[(1, Shared)], 2, Exclusive),
+                dep_m(2, &[(2, Exclusive)], 1, Shared),
+            ]),
+            LockDependencyRelation::from_deps(vec![
+                dep_m(1, &[(9, Shared), (1, Exclusive)], 2, Shared),
+                dep_m(2, &[(9, Shared), (2, Shared)], 1, Exclusive),
+                dep_m(3, &[(9, Exclusive)], 1, Shared),
+            ]),
             LockDependencyRelation::from_deps(vec![dep(1, &[1], 2), dep(2, &[2], 1)]),
             LockDependencyRelation::from_deps(vec![
                 dep(1, &[1], 2),
@@ -817,18 +1002,65 @@ mod proptests {
                     let mut held: Vec<_> = held;
                     held.sort();
                     held.dedup();
-                    LockDep {
-                        thread: ThreadId::new(t),
-                        thread_obj: df_events::ObjId::new(t),
-                        lockset: held
-                            .iter()
+                    LockDep::exclusive(
+                        ThreadId::new(t),
+                        df_events::ObjId::new(t),
+                        held.iter()
                             .map(|&h| df_events::ObjId::new(100 + h))
                             .collect(),
-                        lock: df_events::ObjId::new(100 + lock),
-                        contexts: (0..=held.len())
+                        df_events::ObjId::new(100 + lock),
+                        (0..=held.len())
                             .map(|i| Label::new(&format!("p:{i}")))
                             .collect(),
-                    }
+                    )
+                })
+                .collect();
+            LockDependencyRelation::from_deps(deps)
+        })
+    }
+
+    /// Relations mixing shared and exclusive acquisitions and holds —
+    /// the vocabulary rwlock-using programs produce.
+    fn arb_mixed_relation() -> impl Strategy<Value = LockDependencyRelation> {
+        use df_events::AcquireMode;
+        prop::collection::vec(
+            (
+                1..5u32,                                         // thread
+                prop::collection::vec((0..6u32, 0..2u32), 1..3), // held + shared?
+                0..6u32,                                         // lock
+                0..2u32,                                         // shared acquire?
+            ),
+            0..14,
+        )
+        .prop_map(|tuples| {
+            let mode_of = |shared: u32| {
+                if shared == 1 {
+                    AcquireMode::Shared
+                } else {
+                    AcquireMode::Exclusive
+                }
+            };
+            let deps = tuples
+                .into_iter()
+                .filter(|(_, held, lock, _)| held.iter().all(|&(h, _)| h != *lock))
+                .map(|(t, held, lock, shared)| {
+                    let mut held: Vec<_> = held;
+                    held.sort_by_key(|&(h, _)| h);
+                    held.dedup_by_key(|&mut (h, _)| h);
+                    let mut dep = LockDep::exclusive(
+                        ThreadId::new(t),
+                        df_events::ObjId::new(t),
+                        held.iter()
+                            .map(|&(h, _)| df_events::ObjId::new(100 + h))
+                            .collect(),
+                        df_events::ObjId::new(100 + lock),
+                        (0..=held.len())
+                            .map(|i| Label::new(&format!("p:{i}")))
+                            .collect(),
+                    );
+                    dep.mode = mode_of(shared);
+                    dep.hold_modes = held.iter().map(|&(_, s)| mode_of(s)).collect();
+                    dep
                 })
                 .collect();
             LockDependencyRelation::from_deps(deps)
@@ -913,6 +1145,42 @@ mod proptests {
             prop_assert_eq!(is.chains_per_iteration, ns.chains_per_iteration);
             prop_assert_eq!(is.truncated, ns.truncated);
             prop_assert!(is.join_candidates_examined <= ns.join_candidates_examined);
+        }
+
+        /// The same strength-reduction law on mode-mixing relations: the
+        /// bucket split and the two-sided exclusive disjointness probes
+        /// must accept/reject exactly what the scalar mode checks do.
+        #[test]
+        fn indexed_matches_naive_on_mixed_modes(rel in arb_mixed_relation()) {
+            let (ic, is) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+            let (nc, ns) = naive_igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+            prop_assert_eq!(ic, nc);
+            prop_assert_eq!(is.chains_built, ns.chains_built);
+            prop_assert_eq!(is.chains_per_iteration, ns.chains_per_iteration);
+            prop_assert_eq!(is.truncated, ns.truncated);
+            prop_assert_eq!(is.peak_open_chains, ns.peak_open_chains);
+            prop_assert!(is.join_candidates_examined <= ns.join_candidates_examined);
+        }
+
+        /// No reported cycle on a mixed-mode relation contains a
+        /// read-read edge: every chain and closing edge conflicts.
+        #[test]
+        fn mixed_mode_cycles_have_no_read_read_edges(rel in arb_mixed_relation()) {
+            let cycles = igoodlock(&rel, &IGoodlockOptions::default());
+            for cycle in &cycles {
+                let comps = cycle.components();
+                let n = comps.len();
+                for i in 0..n {
+                    let next = &comps[(i + 1) % n];
+                    let hold = next
+                        .lockset
+                        .iter()
+                        .position(|&l| l == comps[i].lock)
+                        .map(|j| next.hold_modes[j])
+                        .expect("chain edge lock is held by the next component");
+                    prop_assert!(crate::relation::modes_conflict(comps[i].mode, hold));
+                }
+            }
         }
     }
 }

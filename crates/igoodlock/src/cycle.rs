@@ -3,15 +3,15 @@
 use std::fmt;
 
 use df_abstraction::{Abstraction, Abstractor};
-use df_events::{Label, ObjId, ObjectTable, ThreadId};
+use df_events::{AcquireMode, Label, ObjId, ObjectTable, ThreadId};
 use serde::{Deserialize, Serialize};
 
 use crate::relation::LockDep;
 
 /// One component of a concrete potential deadlock cycle: thread `thread`
-/// acquires `lock` while holding `lockset`, and the *next* component's
-/// thread holds `lock`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+/// acquires `lock` (in `mode`) while holding `lockset`, and the *next*
+/// component's thread holds `lock` in a conflicting mode.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CycleComponent {
     /// The thread of this component.
     pub thread: ThreadId,
@@ -23,6 +23,36 @@ pub struct CycleComponent {
     pub lock: ObjId,
     /// Acquisition sites of `lockset ∪ {lock}` (`lock`'s site last).
     pub contexts: Vec<Label>,
+    /// Mode in which `lock` is being acquired.
+    pub mode: AcquireMode,
+    /// Modes in which each lock of `lockset` is held, parallel to it.
+    pub hold_modes: Vec<AcquireMode>,
+}
+
+impl CycleComponent {
+    /// An all-exclusive component — the plain-mutex vocabulary.
+    pub fn exclusive(
+        thread: ThreadId,
+        thread_obj: ObjId,
+        lockset: Vec<ObjId>,
+        lock: ObjId,
+        contexts: Vec<Label>,
+    ) -> Self {
+        let hold_modes = vec![AcquireMode::Exclusive; lockset.len()];
+        CycleComponent {
+            thread,
+            thread_obj,
+            lockset,
+            lock,
+            contexts,
+            mode: AcquireMode::Exclusive,
+            hold_modes,
+        }
+    }
+
+    fn any_shared_hold(&self) -> bool {
+        self.hold_modes.iter().any(|m| m.is_shared())
+    }
 }
 
 impl From<&LockDep> for CycleComponent {
@@ -33,7 +63,61 @@ impl From<&LockDep> for CycleComponent {
             lockset: d.lockset.clone(),
             lock: d.lock,
             contexts: d.contexts.clone(),
+            mode: d.mode,
+            hold_modes: d.hold_modes.clone(),
         }
+    }
+}
+
+// Hand-written for the same reason as `LockDep`: all-exclusive
+// components must serialize byte-identically to the pre-mode report
+// format, and pre-mode artifacts must deserialize with exclusive
+// defaults.
+impl Serialize for CycleComponent {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let extra = usize::from(self.mode.is_shared()) + usize::from(self.any_shared_hold());
+        let mut state = serializer.serialize_struct("CycleComponent", 5 + extra)?;
+        state.serialize_field("thread", &self.thread)?;
+        state.serialize_field("thread_obj", &self.thread_obj)?;
+        state.serialize_field("lockset", &self.lockset)?;
+        state.serialize_field("lock", &self.lock)?;
+        state.serialize_field("contexts", &self.contexts)?;
+        if self.mode.is_shared() {
+            state.serialize_field("mode", &self.mode)?;
+        }
+        if self.any_shared_hold() {
+            state.serialize_field("hold_modes", &self.hold_modes)?;
+        }
+        state.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for CycleComponent {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::__private as sp;
+        let value = serde::Deserializer::__take_value(deserializer)?;
+        let result: Result<Self, sp::DeError> = (move || {
+            let mut entries = sp::expect_obj(value, "CycleComponent")?;
+            let thread = sp::field(&mut entries, "thread")?;
+            let thread_obj = sp::field(&mut entries, "thread_obj")?;
+            let lockset: Vec<ObjId> = sp::field(&mut entries, "lockset")?;
+            let lock = sp::field(&mut entries, "lock")?;
+            let contexts = sp::field(&mut entries, "contexts")?;
+            let mode = sp::field::<Option<AcquireMode>>(&mut entries, "mode")?.unwrap_or_default();
+            let hold_modes = sp::field::<Option<Vec<AcquireMode>>>(&mut entries, "hold_modes")?
+                .unwrap_or_else(|| vec![AcquireMode::Exclusive; lockset.len()]);
+            Ok(CycleComponent {
+                thread,
+                thread_obj,
+                lockset,
+                lock,
+                contexts,
+                mode,
+                hold_modes,
+            })
+        })();
+        result.map_err(<D::Error as serde::de::Error>::custom)
     }
 }
 
@@ -100,6 +184,7 @@ impl Cycle {
                     thread: abstractor.abs(objects, c.thread_obj),
                     lock: abstractor.abs(objects, c.lock),
                     context: c.contexts.clone(),
+                    mode: c.mode,
                 })
                 .collect(),
         }
@@ -112,10 +197,13 @@ impl fmt::Display for Cycle {
             if i > 0 {
                 f.write_str(" ")?;
             }
+            // Exclusive components render exactly as before the mode
+            // vocabulary; shared acquisitions are called out as reads.
             write!(
                 f,
-                "({}, {}, [{}])",
+                "({}, {}{}, [{}])",
                 c.thread,
+                if c.mode.is_shared() { "read " } else { "" },
                 c.lock,
                 c.contexts
                     .iter()
@@ -129,8 +217,10 @@ impl fmt::Display for Cycle {
 }
 
 /// One component of an abstract deadlock cycle: `(abs(t), abs(l), C)` —
-/// exactly what iGoodlock reports to the user and to Phase II (§2.2).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+/// exactly what iGoodlock reports to the user and to Phase II (§2.2),
+/// plus the mode of the blocking acquisition so reports can name read
+/// and write sites.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct AbstractComponent {
     /// Abstraction of the thread object.
     pub thread: Abstraction,
@@ -138,9 +228,60 @@ pub struct AbstractComponent {
     pub lock: Abstraction,
     /// Acquisition-site context (the paper's `C`).
     pub context: Vec<Label>,
+    /// Mode of the blocking acquisition.
+    pub mode: AcquireMode,
+}
+
+// Exclusive components keep the pre-mode report encoding byte-for-byte
+// (the CI compat gate diffs `dfz analyze --json` against checked-in
+// goldens); the `mode` field appears, last, only when shared.
+impl Serialize for AbstractComponent {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let extra = usize::from(self.mode.is_shared());
+        let mut state = serializer.serialize_struct("AbstractComponent", 3 + extra)?;
+        state.serialize_field("thread", &self.thread)?;
+        state.serialize_field("lock", &self.lock)?;
+        state.serialize_field("context", &self.context)?;
+        if self.mode.is_shared() {
+            state.serialize_field("mode", &self.mode)?;
+        }
+        state.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for AbstractComponent {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::__private as sp;
+        let value = serde::Deserializer::__take_value(deserializer)?;
+        let result: Result<Self, sp::DeError> = (move || {
+            let mut entries = sp::expect_obj(value, "AbstractComponent")?;
+            let thread = sp::field(&mut entries, "thread")?;
+            let lock = sp::field(&mut entries, "lock")?;
+            let context = sp::field(&mut entries, "context")?;
+            let mode = sp::field::<Option<AcquireMode>>(&mut entries, "mode")?.unwrap_or_default();
+            Ok(AbstractComponent {
+                thread,
+                lock,
+                context,
+                mode,
+            })
+        })();
+        result.map_err(<D::Error as serde::de::Error>::custom)
+    }
 }
 
 impl AbstractComponent {
+    /// An exclusive-mode component — the plain-mutex vocabulary.
+    pub fn exclusive(thread: Abstraction, lock: Abstraction, context: Vec<Label>) -> Self {
+        AbstractComponent {
+            thread,
+            lock,
+            context,
+            mode: AcquireMode::Exclusive,
+        }
+    }
+
     /// The site of the final (blocking) acquisition.
     pub fn acquire_site(&self) -> Label {
         *self
@@ -226,8 +367,9 @@ impl fmt::Display for AbstractCycle {
             }
             write!(
                 f,
-                "({}, {}, [{}])",
+                "({}, {}{}, [{}])",
                 c.thread,
+                if c.mode.is_shared() { "read " } else { "" },
                 c.lock,
                 c.context
                     .iter()
@@ -251,13 +393,13 @@ mod tests {
     }
 
     fn component(t: u32, tobj: u32, held: u32, lock: u32) -> CycleComponent {
-        CycleComponent {
-            thread: ThreadId::new(t),
-            thread_obj: ObjId::new(tobj),
-            lockset: vec![ObjId::new(held)],
-            lock: ObjId::new(lock),
-            contexts: vec![l("run:15"), l("run:16")],
-        }
+        CycleComponent::exclusive(
+            ThreadId::new(t),
+            ObjId::new(tobj),
+            vec![ObjId::new(held)],
+            ObjId::new(lock),
+            vec![l("run:15"), l("run:16")],
+        )
     }
 
     fn two_cycle() -> Cycle {
@@ -283,10 +425,12 @@ mod tests {
 
     #[test]
     fn abstract_cycle_matches_up_to_rotation() {
-        let mk = |a: &str, b: &str| AbstractComponent {
-            thread: Abstraction::Site(l(a)),
-            lock: Abstraction::Site(l(b)),
-            context: vec![l("run:15"), l("run:16")],
+        let mk = |a: &str, b: &str| {
+            AbstractComponent::exclusive(
+                Abstraction::Site(l(a)),
+                Abstraction::Site(l(b)),
+                vec![l("run:15"), l("run:16")],
+            )
         };
         let c1 = AbstractCycle::new(vec![mk("t:1", "l:1"), mk("t:2", "l:2")]);
         let c2 = AbstractCycle::new(vec![mk("t:2", "l:2"), mk("t:1", "l:1")]);
@@ -299,11 +443,11 @@ mod tests {
 
     #[test]
     fn find_component_requires_exact_triple() {
-        let comp = AbstractComponent {
-            thread: Abstraction::Site(l("t:1")),
-            lock: Abstraction::Site(l("l:1")),
-            context: vec![l("a:1"), l("a:2")],
-        };
+        let comp = AbstractComponent::exclusive(
+            Abstraction::Site(l("t:1")),
+            Abstraction::Site(l("l:1")),
+            vec![l("a:1"), l("a:2")],
+        );
         let cycle = AbstractCycle::new(vec![comp.clone()]);
         assert!(cycle
             .find_component(&comp.thread, &comp.lock, &comp.context)
@@ -326,20 +470,20 @@ mod tests {
         let o1 = table.create(ObjKind::Lock, l("main:22"), None, vec![]);
         let o2 = table.create(ObjKind::Lock, l("main:23"), None, vec![]);
         let cycle = Cycle::new(vec![
-            CycleComponent {
-                thread: ThreadId::new(1),
-                thread_obj: t1,
-                lockset: vec![o1],
-                lock: o2,
-                contexts: vec![l("run:15"), l("run:16")],
-            },
-            CycleComponent {
-                thread: ThreadId::new(2),
-                thread_obj: t2,
-                lockset: vec![o2],
-                lock: o1,
-                contexts: vec![l("run:15"), l("run:16")],
-            },
+            CycleComponent::exclusive(
+                ThreadId::new(1),
+                t1,
+                vec![o1],
+                o2,
+                vec![l("run:15"), l("run:16")],
+            ),
+            CycleComponent::exclusive(
+                ThreadId::new(2),
+                t2,
+                vec![o2],
+                o1,
+                vec![l("run:15"), l("run:16")],
+            ),
         ]);
         let abs = cycle.abstract_with(&table, &Abstractor::new(AbstractionMode::Site));
         assert_eq!(abs.len(), 2);
@@ -356,5 +500,50 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: Cycle = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn exclusive_components_serialize_without_mode_fields() {
+        let c = two_cycle();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("mode"), "{json}");
+        let abs_comp = AbstractComponent::exclusive(
+            Abstraction::Site(l("t:1")),
+            Abstraction::Site(l("l:1")),
+            vec![l("a:1")],
+        );
+        let json = serde_json::to_string(&abs_comp).unwrap();
+        assert!(!json.contains("mode"), "{json}");
+        let back: AbstractComponent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, abs_comp);
+    }
+
+    #[test]
+    fn shared_components_round_trip_and_render_as_reads() {
+        let mut a = component(1, 10, 3, 4);
+        a.mode = AcquireMode::Shared;
+        a.hold_modes[0] = AcquireMode::Shared;
+        let b = component(2, 11, 4, 3);
+        let cycle = Cycle::new(vec![a, b]);
+        let json = serde_json::to_string(&cycle).unwrap();
+        assert!(json.contains("\"mode\":\"Shared\""), "{json}");
+        assert!(json.contains("hold_modes"), "{json}");
+        let back: Cycle = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cycle);
+        let text = cycle.to_string();
+        assert!(text.contains("read "), "{text}");
+
+        let mut abs_comp = AbstractComponent::exclusive(
+            Abstraction::Site(l("t:1")),
+            Abstraction::Site(l("l:1")),
+            vec![l("a:1")],
+        );
+        abs_comp.mode = AcquireMode::Shared;
+        let json = serde_json::to_string(&abs_comp).unwrap();
+        assert!(json.contains("\"mode\":\"Shared\""), "{json}");
+        let back: AbstractComponent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, abs_comp);
+        let abs_cycle = AbstractCycle::new(vec![abs_comp]);
+        assert!(abs_cycle.to_string().contains("read "));
     }
 }

@@ -41,11 +41,20 @@ pub struct GoodlockDfsStats {
     pub truncated: bool,
 }
 
+/// Dedup key for one chain component: who waits, on what, in which
+/// mode, from which acquisition contexts.
+type ComponentKey = (
+    df_events::ThreadId,
+    df_events::ObjId,
+    df_events::AcquireMode,
+    Vec<df_events::Label>,
+);
+
 struct Dfs<'a> {
     deps: &'a [LockDep],
     options: &'a IGoodlockOptions,
     cycles: Vec<Cycle>,
-    reported: HashSet<Vec<(df_events::ThreadId, df_events::ObjId, Vec<df_events::Label>)>>,
+    reported: HashSet<Vec<ComponentKey>>,
     stats: GoodlockDfsStats,
 }
 
@@ -61,7 +70,8 @@ impl Dfs<'_> {
             }
         }
         let first = &self.deps[chain[0]];
-        let last_lock = self.deps[*chain.last().expect("non-empty")].lock;
+        let last = &self.deps[*chain.last().expect("non-empty")];
+        let (last_lock, last_mode) = (last.lock, last.mode);
         for (idx, dep) in self.deps.iter().enumerate() {
             // Definition 2, incrementally (same predicates as
             // `Chain::can_extend`, but recomputed along the path — the
@@ -75,25 +85,35 @@ impl Dfs<'_> {
             if chain.iter().any(|&i| self.deps[i].lock == dep.lock) {
                 continue;
             }
-            if !dep.lockset.contains(&last_lock) {
+            // 2(3) + mode edge rule: read-read never blocks.
+            if !dep.hold_blocks(last_lock, last_mode) {
                 continue;
             }
-            if chain
-                .iter()
-                .any(|&i| self.deps[i].lockset.iter().any(|l| dep.lockset.contains(l)))
-            {
+            // Mode-aware 2(4): a common lock disqualifies iff held
+            // exclusively on either side.
+            if chain.iter().any(|&i| {
+                self.deps[i].lockset.iter().any(|&l| {
+                    dep.hold_mode_of(l).is_some_and(|dm| {
+                        dm.is_exclusive()
+                            || self.deps[i]
+                                .hold_mode_of(l)
+                                .is_some_and(|cm| cm.is_exclusive())
+                    })
+                })
+            }) {
                 continue;
             }
             self.stats.extensions += 1;
             chain.push(idx);
-            // Definition 3: closed?
-            if first.lockset.contains(&dep.lock) {
+            // Definition 3: closed (in a conflicting mode)?
+            if first.hold_blocks(dep.lock, dep.mode) {
                 let key: Vec<_> = chain
                     .iter()
                     .map(|&i| {
                         (
                             self.deps[i].thread,
                             self.deps[i].lock,
+                            self.deps[i].mode,
                             self.deps[i].contexts.clone(),
                         )
                     })
@@ -132,12 +152,14 @@ impl Dfs<'_> {
 /// use df_igoodlock::{goodlock_dfs, IGoodlockOptions, LockDep, LockDependencyRelation};
 /// use df_events::{Label, ObjId, ThreadId};
 ///
-/// let dep = |t: u32, held: u32, lock: u32| LockDep {
-///     thread: ThreadId::new(t),
-///     thread_obj: ObjId::new(t),
-///     lockset: vec![ObjId::new(held)],
-///     lock: ObjId::new(lock),
-///     contexts: vec![Label::new("g:1"), Label::new("g:2")],
+/// let dep = |t: u32, held: u32, lock: u32| {
+///     LockDep::exclusive(
+///         ThreadId::new(t),
+///         ObjId::new(t),
+///         vec![ObjId::new(held)],
+///         ObjId::new(lock),
+///         vec![Label::new("g:1"), Label::new("g:2")],
+///     )
 /// };
 /// let rel = LockDependencyRelation::from_deps(vec![dep(1, 10, 11), dep(2, 11, 10)]);
 /// let (cycles, _stats) = goodlock_dfs(&rel, &IGoodlockOptions::default());
@@ -171,15 +193,15 @@ mod tests {
     use df_events::{Label, ObjId, ThreadId};
 
     fn dep(t: u32, held: &[u32], lock: u32) -> LockDep {
-        LockDep {
-            thread: ThreadId::new(t),
-            thread_obj: ObjId::new(t),
-            lockset: held.iter().map(|&h| ObjId::new(100 + h)).collect(),
-            lock: ObjId::new(100 + lock),
-            contexts: (0..=held.len())
+        LockDep::exclusive(
+            ThreadId::new(t),
+            ObjId::new(t),
+            held.iter().map(|&h| ObjId::new(100 + h)).collect(),
+            ObjId::new(100 + lock),
+            (0..=held.len())
                 .map(|i| Label::new(&format!("dfs:{i}")))
                 .collect(),
-        }
+        )
     }
 
     fn cycle_keys(cycles: &[Cycle]) -> std::collections::BTreeSet<String> {
@@ -291,18 +313,17 @@ mod proptests {
                 .map(|(t, mut held, lock, ctx)| {
                     held.sort();
                     held.dedup();
-                    LockDep {
-                        thread: ThreadId::new(t),
-                        thread_obj: df_events::ObjId::new(t),
-                        lockset: held
-                            .iter()
+                    LockDep::exclusive(
+                        ThreadId::new(t),
+                        df_events::ObjId::new(t),
+                        held.iter()
                             .map(|&h| df_events::ObjId::new(100 + h))
                             .collect(),
-                        lock: df_events::ObjId::new(100 + lock),
-                        contexts: (0..=held.len())
+                        df_events::ObjId::new(100 + lock),
+                        (0..=held.len())
                             .map(|i| Label::new(&format!("pd:{ctx}:{i}")))
                             .collect(),
-                    }
+                    )
                 })
                 .collect();
             LockDependencyRelation::from_deps(deps)

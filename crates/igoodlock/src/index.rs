@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use df_events::{DenseInterner, Label, ObjId, ThreadId};
+use df_events::{AcquireMode, DenseInterner, Label, ObjId, ThreadId};
 
 use crate::relation::LockDep;
 
@@ -76,18 +76,32 @@ impl BitSet {
 pub(crate) struct JoinIndex {
     /// Interned acquired lock of each tuple.
     pub(crate) lock: Vec<u32>,
+    /// Acquisition mode of each tuple's acquired lock.
+    pub(crate) mode: Vec<AcquireMode>,
     /// Thread of each tuple (raw id, for the §2.2.3 `>` root compare).
     pub(crate) thread: Vec<ThreadId>,
     /// Interned thread of each tuple (for the Definition 2(1) bitset).
     pub(crate) thread_bit: Vec<u32>,
-    /// Interned lockset of each tuple as a bitset.
+    /// Interned lockset of each tuple as a bitset (all hold modes).
     pub(crate) lockset: Vec<BitSet>,
-    /// Dense id of each tuple's `(thread, lock, contexts)` projection —
-    /// the cycle-dedup key space.
+    /// The exclusively-held subset of each tuple's lockset. The
+    /// mode-aware Definition 2(4): two locksets conflict only where at
+    /// least one side holds a common lock exclusively, so disjointness
+    /// becomes two AND probes against these.
+    pub(crate) lockset_excl: Vec<BitSet>,
+    /// Dense id of each tuple's `(thread, lock, mode, contexts)`
+    /// projection — the cycle-dedup key space.
     pub(crate) proj: Vec<u32>,
     /// For each interned lock `l`: the tuples whose lockset contains
-    /// `l`, in relation order.
+    /// `l` in any mode, in relation order. Extension candidates for a
+    /// chain ending in an *exclusive* acquisition (which conflicts with
+    /// every hold).
     buckets: Vec<Vec<u32>>,
+    /// For each interned lock `l`: the tuples holding `l` exclusively,
+    /// in relation order. Extension candidates for a chain ending in a
+    /// *shared* acquisition — read-read pairs never appear here, which
+    /// is the bitset-level pruning of the mode-aware join.
+    buckets_excl: Vec<Vec<u32>>,
     /// Number of distinct locks (bitset width).
     lock_bits: usize,
     /// Number of distinct threads (bitset width).
@@ -102,9 +116,11 @@ impl JoinIndex {
         let mut threads: DenseInterner<ThreadId> = DenseInterner::new();
         // Projections are interned by exact value (contexts included) so
         // dedup over projection ids is precisely the naive dedup over
-        // `(thread, lock, contexts)` tuples. The one context-vector clone
-        // per tuple happens here, at build time — never per candidate.
-        let mut projections: HashMap<(ThreadId, ObjId, Vec<Label>), u32> = HashMap::new();
+        // `(thread, lock, mode, contexts)` tuples. The one context-vector
+        // clone per tuple happens here, at build time — never per
+        // candidate.
+        let mut projections: HashMap<(ThreadId, ObjId, AcquireMode, Vec<Label>), u32> =
+            HashMap::new();
         let mut interned_ids = Vec::with_capacity(deps.len());
         for d in deps {
             locks.intern(d.lock);
@@ -114,7 +130,7 @@ impl JoinIndex {
             threads.intern(d.thread);
             let next = u32::try_from(projections.len()).expect("relation fits u32");
             let id = *projections
-                .entry((d.thread, d.lock, d.contexts.clone()))
+                .entry((d.thread, d.lock, d.mode, d.contexts.clone()))
                 .or_insert(next);
             interned_ids.push(id);
         }
@@ -122,37 +138,74 @@ impl JoinIndex {
         let thread_bits = threads.len();
         let mut index = JoinIndex {
             lock: Vec::with_capacity(deps.len()),
+            mode: Vec::with_capacity(deps.len()),
             thread: Vec::with_capacity(deps.len()),
             thread_bit: Vec::with_capacity(deps.len()),
             lockset: Vec::with_capacity(deps.len()),
+            lockset_excl: Vec::with_capacity(deps.len()),
             proj: interned_ids,
             buckets: vec![Vec::new(); lock_bits],
+            buckets_excl: vec![Vec::new(); lock_bits],
             lock_bits,
             thread_bits,
         };
         for (i, d) in deps.iter().enumerate() {
             let lock = locks.get(d.lock).expect("interned above");
             index.lock.push(lock);
+            index.mode.push(d.mode);
             index.thread.push(d.thread);
             index
                 .thread_bit
                 .push(threads.get(d.thread).expect("interned above"));
             let mut set = BitSet::zeroed(lock_bits);
-            for &l in &d.lockset {
+            let mut set_excl = BitSet::zeroed(lock_bits);
+            for (j, &l) in d.lockset.iter().enumerate() {
                 let bit = locks.get(l).expect("interned above");
                 set.insert(bit);
                 index.buckets[bit as usize].push(u32::try_from(i).expect("relation fits u32"));
+                let hold = d
+                    .hold_modes
+                    .get(j)
+                    .copied()
+                    .unwrap_or(AcquireMode::Exclusive);
+                if hold.is_exclusive() {
+                    set_excl.insert(bit);
+                    index.buckets_excl[bit as usize]
+                        .push(u32::try_from(i).expect("relation fits u32"));
+                }
             }
             index.lockset.push(set);
+            index.lockset_excl.push(set_excl);
         }
         index
     }
 
     /// The candidate tuples for extending a chain whose last acquired
-    /// lock is `last_lock`: exactly those whose lockset contains it
-    /// (Definition 2(3)), in relation order.
-    pub(crate) fn candidates(&self, last_lock: u32) -> &[u32] {
-        &self.buckets[last_lock as usize]
+    /// lock is `last_lock` in mode `last_mode`: those whose lockset holds
+    /// it *conflictingly* (Definition 2(3) plus the mode edge rule), in
+    /// relation order. An exclusive acquisition conflicts with any hold;
+    /// a shared acquisition only with exclusive holds, so read-read
+    /// pairs never even enter the join.
+    pub(crate) fn candidates(&self, last_lock: u32, last_mode: AcquireMode) -> &[u32] {
+        match last_mode {
+            AcquireMode::Exclusive => &self.buckets[last_lock as usize],
+            AcquireMode::Shared => &self.buckets_excl[last_lock as usize],
+        }
+    }
+
+    /// Whether tuple `first`'s hold of `last_lock` conflicts with an
+    /// acquisition of it in `last_mode` — the mode-aware Definition 3
+    /// closing check.
+    pub(crate) fn closes_against(
+        &self,
+        first: usize,
+        last_lock: u32,
+        last_mode: AcquireMode,
+    ) -> bool {
+        match last_mode {
+            AcquireMode::Exclusive => self.lockset[first].contains(last_lock),
+            AcquireMode::Shared => self.lockset_excl[first].contains(last_lock),
+        }
     }
 
     /// Width of lock bitsets.
@@ -172,15 +225,15 @@ mod tests {
     use df_events::Label;
 
     fn dep(t: u32, held: &[u32], lock: u32) -> LockDep {
-        LockDep {
-            thread: ThreadId::new(t),
-            thread_obj: ObjId::new(t),
-            lockset: held.iter().map(|&h| ObjId::new(100 + h)).collect(),
-            lock: ObjId::new(100 + lock),
-            contexts: (0..=held.len())
+        LockDep::exclusive(
+            ThreadId::new(t),
+            ObjId::new(t),
+            held.iter().map(|&h| ObjId::new(100 + h)).collect(),
+            ObjId::new(100 + lock),
+            (0..=held.len())
                 .map(|i| Label::new(&format!("ix:{i}")))
                 .collect(),
-        }
+        )
     }
 
     #[test]
@@ -214,12 +267,49 @@ mod tests {
         let index = JoinIndex::build(&deps);
         // Lock "101" — acquired by tuple 1, held by tuples 0 and 2 —
         // buckets its holders in relation order.
-        assert_eq!(index.candidates(index.lock[1]), &[0, 2]);
+        assert_eq!(
+            index.candidates(index.lock[1], AcquireMode::Exclusive),
+            &[0, 2]
+        );
+        // All holds are exclusive here, so a shared acquisition sees the
+        // same candidates.
+        assert_eq!(
+            index.candidates(index.lock[1], AcquireMode::Shared),
+            &[0, 2]
+        );
         // A lock held nowhere (the acquired-only lock "105") has no
         // candidates.
-        assert_eq!(index.candidates(index.lock[3]), &[] as &[u32]);
+        assert_eq!(
+            index.candidates(index.lock[3], AcquireMode::Exclusive),
+            &[] as &[u32]
+        );
         assert_eq!(index.lock_bits(), 5);
         assert_eq!(index.thread_bits(), 4);
+    }
+
+    #[test]
+    fn shared_holds_leave_the_exclusive_bucket() {
+        // Tuple 0 holds lock 101 in read mode, tuple 1 holds it in write
+        // mode. A shared (read) acquisition of 101 only conflicts with
+        // tuple 1; an exclusive one with both.
+        let mut read_holder = dep(1, &[1], 2);
+        read_holder.hold_modes[0] = AcquireMode::Shared;
+        let write_holder = dep(2, &[1], 3);
+        let index = JoinIndex::build(&[read_holder, write_holder]);
+        // Lock 101 is the single held lock of both tuples; find its bit
+        // via tuple 1's lockset.
+        let bit = (0..index.lock_bits() as u32)
+            .find(|&b| index.lockset[1].contains(b))
+            .unwrap();
+        assert_eq!(index.candidates(bit, AcquireMode::Exclusive), &[0, 1]);
+        assert_eq!(index.candidates(bit, AcquireMode::Shared), &[1]);
+        assert!(index.lockset[0].contains(bit));
+        assert!(!index.lockset_excl[0].contains(bit));
+        assert!(index.lockset_excl[1].contains(bit));
+        // Closing checks follow the same rule.
+        assert!(index.closes_against(0, bit, AcquireMode::Exclusive));
+        assert!(!index.closes_against(0, bit, AcquireMode::Shared));
+        assert!(index.closes_against(1, bit, AcquireMode::Shared));
     }
 
     #[test]

@@ -60,4 +60,4 @@ pub use chains::{
 pub use cycle::{AbstractComponent, AbstractCycle, Cycle, CycleComponent};
 pub use dfs::{goodlock_dfs, GoodlockDfsStats};
 pub use hb::{HbFilter, VectorClock};
-pub use relation::{DepTiming, LockDep, LockDependencyRelation};
+pub use relation::{modes_conflict, DepTiming, LockDep, LockDependencyRelation};

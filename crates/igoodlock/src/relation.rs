@@ -2,8 +2,17 @@
 
 use std::collections::HashMap;
 
-use df_events::{Label, ObjId, ThreadId, Trace};
+use df_events::{AcquireMode, Label, ObjId, ThreadId, Trace};
 use serde::{Deserialize, Serialize};
+
+/// Whether an acquisition in mode `acquire` is blocked by a hold in mode
+/// `hold` of the same lock. Only read-read pairs coexist; every other
+/// combination blocks. This is the edge rule of the mode-aware join:
+/// a chain edge (and the closing edge) exists only for conflicting
+/// pairs.
+pub fn modes_conflict(acquire: AcquireMode, hold: AcquireMode) -> bool {
+    !(acquire.is_shared() && hold.is_shared())
+}
 
 /// Trace positions of a dependency tuple's *hold window*: the span during
 /// which the thread holds its lockset while performing the acquisition.
@@ -22,7 +31,13 @@ pub struct DepTiming {
 /// of the observed execution, thread `t` acquired lock `l` while holding
 /// the locks `L`, where `C` are the labels of the acquire statements for
 /// `L ∪ {l}` (outermost lock's site first, `l`'s site last).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+///
+/// The mode-aware vocabulary adds a *guard mode* to the tuple: `mode` is
+/// the mode in which `l` was acquired and `hold_modes` (parallel to
+/// `lockset`) the modes in which each held lock is held. Both default to
+/// exclusive; relations built from plain-mutex traces serialize without
+/// them, byte-identical to the pre-mode artifact format.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct LockDep {
     /// The acquiring thread.
     pub thread: ThreadId,
@@ -36,9 +51,33 @@ pub struct LockDep {
     /// Acquisition sites of `lockset` followed by the site of `lock`
     /// (the paper's `C`, `contexts.len() == lockset.len() + 1`).
     pub contexts: Vec<Label>,
+    /// Mode in which `lock` was acquired.
+    pub mode: AcquireMode,
+    /// Modes in which each lock of `lockset` is held, parallel to it.
+    pub hold_modes: Vec<AcquireMode>,
 }
 
 impl LockDep {
+    /// An all-exclusive tuple — the classic plain-mutex vocabulary.
+    pub fn exclusive(
+        thread: ThreadId,
+        thread_obj: ObjId,
+        lockset: Vec<ObjId>,
+        lock: ObjId,
+        contexts: Vec<Label>,
+    ) -> Self {
+        let hold_modes = vec![AcquireMode::Exclusive; lockset.len()];
+        LockDep {
+            thread,
+            thread_obj,
+            lockset,
+            lock,
+            contexts,
+            mode: AcquireMode::Exclusive,
+            hold_modes,
+        }
+    }
+
     /// The site at which `lock` was acquired (the last context label).
     pub fn acquire_site(&self) -> Label {
         *self
@@ -50,6 +89,83 @@ impl LockDep {
     /// Whether `other_lock` is held in this dependency's lockset.
     pub fn holds(&self, other_lock: ObjId) -> bool {
         self.lockset.contains(&other_lock)
+    }
+
+    /// Mode in which `other_lock` is held (exclusive for locks absent
+    /// from a truncated `hold_modes`, matching the serde default).
+    pub fn hold_mode_of(&self, other_lock: ObjId) -> Option<AcquireMode> {
+        self.lockset.iter().position(|&l| l == other_lock).map(|i| {
+            self.hold_modes
+                .get(i)
+                .copied()
+                .unwrap_or(AcquireMode::Exclusive)
+        })
+    }
+
+    /// Whether an acquisition in mode `acquire_mode` of `other_lock`
+    /// would block against this tuple's hold of it. False if the lock is
+    /// not held here at all.
+    pub fn hold_blocks(&self, other_lock: ObjId, acquire_mode: AcquireMode) -> bool {
+        self.hold_mode_of(other_lock)
+            .is_some_and(|hold| modes_conflict(acquire_mode, hold))
+    }
+
+    /// Whether any lock is held in shared mode (drives the skip-if-
+    /// exclusive serialization of `hold_modes`).
+    fn any_shared_hold(&self) -> bool {
+        self.hold_modes.iter().any(|m| m.is_shared())
+    }
+}
+
+// The vendored serde derive has no `#[serde(default, skip_serializing_if)]`,
+// so the compat rule — omit `mode`/`hold_modes` when all-exclusive, default
+// them when absent — is hand-written. Exclusive-only relations thereby
+// serialize byte-identically to the pre-mode artifact format.
+impl Serialize for LockDep {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let extra = usize::from(self.mode.is_shared()) + usize::from(self.any_shared_hold());
+        let mut state = serializer.serialize_struct("LockDep", 5 + extra)?;
+        state.serialize_field("thread", &self.thread)?;
+        state.serialize_field("thread_obj", &self.thread_obj)?;
+        state.serialize_field("lockset", &self.lockset)?;
+        state.serialize_field("lock", &self.lock)?;
+        state.serialize_field("contexts", &self.contexts)?;
+        if self.mode.is_shared() {
+            state.serialize_field("mode", &self.mode)?;
+        }
+        if self.any_shared_hold() {
+            state.serialize_field("hold_modes", &self.hold_modes)?;
+        }
+        state.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for LockDep {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::__private as sp;
+        let value = serde::Deserializer::__take_value(deserializer)?;
+        let result: Result<Self, sp::DeError> = (move || {
+            let mut entries = sp::expect_obj(value, "LockDep")?;
+            let thread = sp::field(&mut entries, "thread")?;
+            let thread_obj = sp::field(&mut entries, "thread_obj")?;
+            let lockset: Vec<ObjId> = sp::field(&mut entries, "lockset")?;
+            let lock = sp::field(&mut entries, "lock")?;
+            let contexts = sp::field(&mut entries, "contexts")?;
+            let mode = sp::field::<Option<AcquireMode>>(&mut entries, "mode")?.unwrap_or_default();
+            let hold_modes = sp::field::<Option<Vec<AcquireMode>>>(&mut entries, "hold_modes")?
+                .unwrap_or_else(|| vec![AcquireMode::Exclusive; lockset.len()]);
+            Ok(LockDep {
+                thread,
+                thread_obj,
+                lockset,
+                lock,
+                contexts,
+                mode,
+                hold_modes,
+            })
+        })();
+        result.map_err(<D::Error as serde::de::Error>::custom)
     }
 }
 
@@ -224,53 +340,21 @@ mod tests {
             .create(ObjKind::Lock, l("main:23"), None, vec![]);
         trace.push(
             t1,
-            EventKind::Acquire {
-                lock: a,
-                site: l("run:15"),
-                held: vec![],
-                context: vec![l("run:15")],
-            },
+            EventKind::acquire(a, l("run:15"), vec![], vec![l("run:15")]),
         );
         trace.push(
             t1,
-            EventKind::Acquire {
-                lock: b,
-                site: l("run:16"),
-                held: vec![a],
-                context: vec![l("run:15"), l("run:16")],
-            },
+            EventKind::acquire(b, l("run:16"), vec![a], vec![l("run:15"), l("run:16")]),
         );
+        trace.push(t1, EventKind::release(b, l("run:17")));
+        trace.push(t1, EventKind::release(a, l("run:18")));
         trace.push(
-            t1,
-            EventKind::Release {
-                lock: b,
-                site: l("run:17"),
-            },
-        );
-        trace.push(
-            t1,
-            EventKind::Release {
-                lock: a,
-                site: l("run:18"),
-            },
+            t2,
+            EventKind::acquire(b, l("run:15"), vec![], vec![l("run:15")]),
         );
         trace.push(
             t2,
-            EventKind::Acquire {
-                lock: b,
-                site: l("run:15"),
-                held: vec![],
-                context: vec![l("run:15")],
-            },
-        );
-        trace.push(
-            t2,
-            EventKind::Acquire {
-                lock: a,
-                site: l("run:16"),
-                held: vec![b],
-                context: vec![l("run:15"), l("run:16")],
-            },
+            EventKind::acquire(a, l("run:16"), vec![b], vec![l("run:15"), l("run:16")]),
         );
         trace
     }
@@ -310,13 +394,13 @@ mod tests {
 
     #[test]
     fn from_deps_filters_empty_locksets() {
-        let dep = LockDep {
-            thread: ThreadId::new(1),
-            thread_obj: ObjId::new(0),
-            lockset: vec![],
-            lock: ObjId::new(5),
-            contexts: vec![l("x:1")],
-        };
+        let dep = LockDep::exclusive(
+            ThreadId::new(1),
+            ObjId::new(0),
+            vec![],
+            ObjId::new(5),
+            vec![l("x:1")],
+        );
         let rel = LockDependencyRelation::from_deps(vec![dep]);
         assert!(rel.is_empty());
         assert_eq!(rel.raw_count, 1);
@@ -328,5 +412,59 @@ mod tests {
         let json = serde_json::to_string(&rel).unwrap();
         let back: LockDependencyRelation = serde_json::from_str(&json).unwrap();
         assert_eq!(rel, back);
+    }
+
+    #[test]
+    fn exclusive_deps_serialize_without_mode_fields() {
+        let dep = LockDep::exclusive(
+            ThreadId::new(1),
+            ObjId::new(0),
+            vec![ObjId::new(4)],
+            ObjId::new(5),
+            vec![l("x:1"), l("x:2")],
+        );
+        let json = serde_json::to_string(&dep).unwrap();
+        assert!(!json.contains("mode"), "{json}");
+        // A pre-mode artifact tuple deserializes with exclusive defaults.
+        let back: LockDep = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dep);
+        assert_eq!(back.hold_modes, vec![AcquireMode::Exclusive]);
+    }
+
+    #[test]
+    fn shared_deps_round_trip_their_modes() {
+        let mut dep = LockDep::exclusive(
+            ThreadId::new(1),
+            ObjId::new(0),
+            vec![ObjId::new(4), ObjId::new(6)],
+            ObjId::new(5),
+            vec![l("x:1"), l("x:2"), l("x:3")],
+        );
+        dep.mode = AcquireMode::Shared;
+        dep.hold_modes[1] = AcquireMode::Shared;
+        let json = serde_json::to_string(&dep).unwrap();
+        assert!(json.contains("\"mode\":\"Shared\""), "{json}");
+        assert!(json.contains("hold_modes"), "{json}");
+        let back: LockDep = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dep);
+        assert_eq!(back.hold_mode_of(ObjId::new(6)), Some(AcquireMode::Shared));
+        assert_eq!(
+            back.hold_mode_of(ObjId::new(4)),
+            Some(AcquireMode::Exclusive)
+        );
+        assert_eq!(back.hold_mode_of(ObjId::new(9)), None);
+        // read acquire vs read hold: no block; vs write hold: blocks.
+        assert!(!back.hold_blocks(ObjId::new(6), AcquireMode::Shared));
+        assert!(back.hold_blocks(ObjId::new(4), AcquireMode::Shared));
+        assert!(back.hold_blocks(ObjId::new(6), AcquireMode::Exclusive));
+    }
+
+    #[test]
+    fn modes_conflict_only_spares_read_read() {
+        use AcquireMode::{Exclusive, Shared};
+        assert!(modes_conflict(Exclusive, Exclusive));
+        assert!(modes_conflict(Exclusive, Shared));
+        assert!(modes_conflict(Shared, Exclusive));
+        assert!(!modes_conflict(Shared, Shared));
     }
 }

@@ -4,7 +4,7 @@
 //! order, same serialization) and an identical join shape
 //! (`chains_built`, `chains_per_iteration`, `truncated`).
 
-use df_events::{Label, ObjId, ThreadId};
+use df_events::{AcquireMode, Label, ObjId, ThreadId};
 use df_igoodlock::{
     igoodlock_with_stats, naive_igoodlock_with_stats, IGoodlockOptions, LockDep,
     LockDependencyRelation,
@@ -13,33 +13,46 @@ use proptest::prelude::*;
 
 /// Random relations with enough thread/lock collisions to exercise every
 /// Definition 2 predicate, plus repeated tuples to exercise relation
-/// dedup and lockset-only differences to exercise cycle dedup.
+/// dedup and lockset-only differences to exercise cycle dedup. Shared
+/// acquisitions and holds are mixed in so the mode-aware bucket split
+/// and disjointness probes face the oracle too.
 fn arb_relation() -> impl Strategy<Value = LockDependencyRelation> {
     prop::collection::vec(
         (
-            1..6u32,                              // thread
-            prop::collection::vec(0..7u32, 1..4), // held
-            0..7u32,                              // lock
-            0..3u32,                              // context variant
+            1..6u32,                                         // thread
+            prop::collection::vec((0..7u32, 0..2u32), 1..4), // held + shared?
+            0..7u32,                                         // lock
+            0..3u32,                                         // context variant
+            0..2u32,                                         // shared acquire?
         ),
         0..18,
     )
     .prop_map(|tuples| {
+        let mode_of = |shared: u32| {
+            if shared == 1 {
+                AcquireMode::Shared
+            } else {
+                AcquireMode::Exclusive
+            }
+        };
         let deps = tuples
             .into_iter()
-            .filter(|(_, held, lock, _)| !held.contains(lock))
-            .map(|(t, mut held, lock, ctx)| {
-                held.sort();
-                held.dedup();
-                LockDep {
-                    thread: ThreadId::new(t),
-                    thread_obj: ObjId::new(t),
-                    lockset: held.iter().map(|&h| ObjId::new(100 + h)).collect(),
-                    lock: ObjId::new(100 + lock),
-                    contexts: (0..=held.len())
+            .filter(|(_, held, lock, _, _)| held.iter().all(|&(h, _)| h != *lock))
+            .map(|(t, mut held, lock, ctx, shared)| {
+                held.sort_by_key(|&(h, _)| h);
+                held.dedup_by_key(|&mut (h, _)| h);
+                let mut dep = LockDep::exclusive(
+                    ThreadId::new(t),
+                    ObjId::new(t),
+                    held.iter().map(|&(h, _)| ObjId::new(100 + h)).collect(),
+                    ObjId::new(100 + lock),
+                    (0..=held.len())
                         .map(|i| Label::new(&format!("ivn:{ctx}:{i}")))
                         .collect(),
-                }
+                );
+                dep.mode = mode_of(shared);
+                dep.hold_modes = held.iter().map(|&(_, s)| mode_of(s)).collect();
+                dep
             })
             .collect();
         LockDependencyRelation::from_deps(deps)

@@ -125,15 +125,15 @@ fn arb_relation() -> impl Strategy<Value = LockDependencyRelation> {
             .map(|(t, mut held, lock, ctx)| {
                 held.sort();
                 held.dedup();
-                LockDep {
-                    thread: ThreadId::new(t),
-                    thread_obj: ObjId::new(t),
-                    lockset: held.iter().map(|&h| ObjId::new(100 + h)).collect(),
-                    lock: ObjId::new(100 + lock),
-                    contexts: (0..=held.len())
+                LockDep::exclusive(
+                    ThreadId::new(t),
+                    ObjId::new(t),
+                    held.iter().map(|&h| ObjId::new(100 + h)).collect(),
+                    ObjId::new(100 + lock),
+                    (0..=held.len())
                         .map(|i| Label::new(&format!("o:{ctx}:{i}")))
                         .collect(),
-                }
+                )
             })
             .collect();
         LockDependencyRelation::from_deps(deps)
@@ -156,12 +156,14 @@ proptest! {
 #[test]
 fn oracle_sanity_two_cycle() {
     // A hand-checked case so the oracle itself is trusted.
-    let dep = |t: u32, held: u32, lock: u32| LockDep {
-        thread: ThreadId::new(t),
-        thread_obj: ObjId::new(t),
-        lockset: vec![ObjId::new(100 + held)],
-        lock: ObjId::new(100 + lock),
-        contexts: vec![Label::new("s:0"), Label::new("s:1")],
+    let dep = |t: u32, held: u32, lock: u32| {
+        LockDep::exclusive(
+            ThreadId::new(t),
+            ObjId::new(t),
+            vec![ObjId::new(100 + held)],
+            ObjId::new(100 + lock),
+            vec![Label::new("s:0"), Label::new("s:1")],
+        )
     };
     let rel = LockDependencyRelation::from_deps(vec![dep(1, 1, 2), dep(2, 2, 1)]);
     let expected = brute_force_cycles(&rel);

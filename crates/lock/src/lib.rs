@@ -52,6 +52,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod condvar;
 mod handler;
 mod mutex;
 mod rwlock;
@@ -60,12 +61,15 @@ mod tls;
 mod tracker;
 mod wfg;
 
+pub use condvar::TrackedCondvar;
 pub use handler::{DeadlockHandler, LIVE_DEADLOCK_EXIT_CODE};
 pub use mutex::{TrackedMutex, TrackedMutexGuard};
 pub use rwlock::{TrackedRwLock, TrackedRwLockReadGuard, TrackedRwLockWriteGuard};
 pub use thread::{TrackedJoinHandle, TrackedThread};
 pub use tracker::{Tracker, TrackerConfig};
 
-// Witness types callers receive from handlers, re-exported so a
-// df-lock user does not need a direct df-runtime dependency.
+// Witness types callers receive from handlers (and the mode vocabulary
+// they speak), re-exported so a df-lock user does not need a direct
+// df-runtime or df-events dependency.
+pub use df_events::AcquireMode;
 pub use df_runtime::{DeadlockWitness, Detector, WitnessComponent};

@@ -85,7 +85,7 @@ impl<T> TrackedMutex<T> {
                 Err(PoisonError::new(self.guard(p.into_inner(), site)))
             }
             Err(TryLockError::WouldBlock) => {
-                tracker::begin_wait(&self.tracker, self.id, site);
+                tracker::begin_wait(&self.tracker, self.id, site, Access::Exclusive);
                 let (g, poisoned) = match self.data.lock() {
                     Ok(g) => (g, false),
                     Err(p) => (p.into_inner(), true),
@@ -102,23 +102,28 @@ impl<T> TrackedMutex<T> {
     }
 
     /// Attempts the mutex without blocking, like
-    /// `std::sync::Mutex::try_lock`.
+    /// `std::sync::Mutex::try_lock`. Both outcomes flow into the event
+    /// stream as `TryAcquire { acquired }` — a try never blocks, so
+    /// Phase I records no blockable dependency edge for it.
     #[track_caller]
     pub fn try_lock(&self) -> TryLockResult<TrackedMutexGuard<'_, T>> {
         let site = caller_site();
         match self.data.try_lock() {
             Ok(g) => {
-                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Exclusive);
+                tracker::try_acquired(&self.tracker, self.id, site, Access::Exclusive, true);
                 Ok(self.guard(g, site))
             }
             Err(TryLockError::Poisoned(p)) => {
-                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Exclusive);
+                tracker::try_acquired(&self.tracker, self.id, site, Access::Exclusive, true);
                 tracker::note_poison_recovered(&self.tracker);
                 Err(TryLockError::Poisoned(PoisonError::new(
                     self.guard(p.into_inner(), site),
                 )))
             }
-            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::WouldBlock) => {
+                tracker::try_acquired(&self.tracker, self.id, site, Access::Exclusive, false);
+                Err(TryLockError::WouldBlock)
+            }
         }
     }
 
@@ -145,7 +150,7 @@ impl<T> TrackedMutex<T> {
             }
             Err(TryLockError::WouldBlock) => {}
         }
-        tracker::begin_wait(&self.tracker, self.id, site);
+        tracker::begin_wait(&self.tracker, self.id, site, Access::Exclusive);
         let deadline = Instant::now() + timeout;
         loop {
             match self.data.try_lock() {
@@ -171,12 +176,20 @@ impl<T> TrackedMutex<T> {
         }
     }
 
-    fn guard<'a>(&'a self, data: MutexGuard<'a, T>, site: Label) -> TrackedMutexGuard<'a, T> {
+    pub(crate) fn guard<'a>(
+        &'a self,
+        data: MutexGuard<'a, T>,
+        site: Label,
+    ) -> TrackedMutexGuard<'a, T> {
         TrackedMutexGuard {
             lock: self,
             data: Some(data),
             site,
         }
+    }
+
+    pub(crate) fn tracker_inner(&self) -> &Arc<TrackerInner> {
+        &self.tracker
     }
 }
 
@@ -195,6 +208,20 @@ pub struct TrackedMutexGuard<'a, T> {
     lock: &'a TrackedMutex<T>,
     data: Option<MutexGuard<'a, T>>,
     site: Label,
+}
+
+impl<'a, T> TrackedMutexGuard<'a, T> {
+    /// Splits the guard for a condvar wait: hands the native guard back
+    /// (so `std::sync::Condvar::wait` can consume it) together with the
+    /// lock it belongs to, *without* running the drop-time release —
+    /// the condvar path does its own release bookkeeping and must not
+    /// emit a `Release` event.
+    pub(crate) fn into_parts(mut self) -> (&'a TrackedMutex<T>, MutexGuard<'a, T>) {
+        let data = self.data.take().expect("guard live until drop");
+        let lock = self.lock;
+        std::mem::forget(self);
+        (lock, data)
+    }
 }
 
 impl<T> std::ops::Deref for TrackedMutexGuard<'_, T> {

@@ -76,7 +76,7 @@ impl<T> TrackedRwLock<T> {
                 Err(PoisonError::new(self.read_guard(p.into_inner(), site)))
             }
             Err(TryLockError::WouldBlock) => {
-                tracker::begin_wait(&self.tracker, self.id, site);
+                tracker::begin_wait(&self.tracker, self.id, site, Access::Shared);
                 let (g, poisoned) = match self.data.read() {
                     Ok(g) => (g, false),
                     Err(p) => (p.into_inner(), true),
@@ -107,7 +107,7 @@ impl<T> TrackedRwLock<T> {
                 Err(PoisonError::new(self.write_guard(p.into_inner(), site)))
             }
             Err(TryLockError::WouldBlock) => {
-                tracker::begin_wait(&self.tracker, self.id, site);
+                tracker::begin_wait(&self.tracker, self.id, site, Access::Exclusive);
                 let (g, poisoned) = match self.data.write() {
                     Ok(g) => (g, false),
                     Err(p) => (p.into_inner(), true),
@@ -123,43 +123,51 @@ impl<T> TrackedRwLock<T> {
         }
     }
 
-    /// Attempts shared read access without blocking.
+    /// Attempts shared read access without blocking. Both outcomes are
+    /// recorded as shared `TryAcquire { acquired }` events.
     #[track_caller]
     pub fn try_read(&self) -> TryLockResult<TrackedRwLockReadGuard<'_, T>> {
         let site = caller_site();
         match self.data.try_read() {
             Ok(g) => {
-                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Shared);
+                tracker::try_acquired(&self.tracker, self.id, site, Access::Shared, true);
                 Ok(self.read_guard(g, site))
             }
             Err(TryLockError::Poisoned(p)) => {
-                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Shared);
+                tracker::try_acquired(&self.tracker, self.id, site, Access::Shared, true);
                 tracker::note_poison_recovered(&self.tracker);
                 Err(TryLockError::Poisoned(PoisonError::new(
                     self.read_guard(p.into_inner(), site),
                 )))
             }
-            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::WouldBlock) => {
+                tracker::try_acquired(&self.tracker, self.id, site, Access::Shared, false);
+                Err(TryLockError::WouldBlock)
+            }
         }
     }
 
-    /// Attempts exclusive write access without blocking.
+    /// Attempts exclusive write access without blocking. Both outcomes
+    /// are recorded as exclusive `TryAcquire { acquired }` events.
     #[track_caller]
     pub fn try_write(&self) -> TryLockResult<TrackedRwLockWriteGuard<'_, T>> {
         let site = caller_site();
         match self.data.try_write() {
             Ok(g) => {
-                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Exclusive);
+                tracker::try_acquired(&self.tracker, self.id, site, Access::Exclusive, true);
                 Ok(self.write_guard(g, site))
             }
             Err(TryLockError::Poisoned(p)) => {
-                tracker::acquired_uncontended(&self.tracker, self.id, site, Access::Exclusive);
+                tracker::try_acquired(&self.tracker, self.id, site, Access::Exclusive, true);
                 tracker::note_poison_recovered(&self.tracker);
                 Err(TryLockError::Poisoned(PoisonError::new(
                     self.write_guard(p.into_inner(), site),
                 )))
             }
-            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::WouldBlock) => {
+                tracker::try_acquired(&self.tracker, self.id, site, Access::Exclusive, false);
+                Err(TryLockError::WouldBlock)
+            }
         }
     }
 
@@ -186,7 +194,7 @@ impl<T> TrackedRwLock<T> {
             }
             Err(TryLockError::WouldBlock) => {}
         }
-        tracker::begin_wait(&self.tracker, self.id, site);
+        tracker::begin_wait(&self.tracker, self.id, site, Access::Exclusive);
         let deadline = Instant::now() + timeout;
         loop {
             match self.data.try_write() {

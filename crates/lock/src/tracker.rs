@@ -29,7 +29,8 @@ use std::fmt::Write as _;
 use std::sync::{Arc, OnceLock};
 
 use df_events::{
-    Event, EventKind, IndexFrame, Label, ObjId, ObjKind, ObjectTable, SinkHandle, ThreadId, Trace,
+    AcquireMode, Event, EventKind, IndexFrame, Label, ObjId, ObjKind, ObjectTable, SinkHandle,
+    ThreadId, Trace,
 };
 use df_obs::Obs;
 use df_runtime::{DeadlockWitness, Detector, WitnessComponent};
@@ -137,10 +138,11 @@ struct State {
     next_thread: u32,
     threads: HashMap<ThreadId, ThreadState>,
     locks: HashMap<ObjId, Holders>,
-    /// Blocked contended acquires: thread → (awaited lock, site).
-    waits: HashMap<ThreadId, (ObjId, Label)>,
-    /// Sorted lock sets of cycles already reported, so a persisting
-    /// deadlock is not re-reported by every thread that bumps into it.
+    /// Blocked contended acquires: thread → (awaited lock, site, mode).
+    waits: HashMap<ThreadId, (ObjId, Label, AcquireMode)>,
+    /// Sorted lock sets (held ∪ awaited across the cycle) of deadlocks
+    /// already reported, so a persisting deadlock is not re-reported by
+    /// every thread that bumps into it.
     reported: HashSet<Vec<ObjId>>,
     sealed: bool,
 }
@@ -155,11 +157,8 @@ pub struct TrackerInner {
 }
 
 /// Exclusive (write) or shared (read) acquisition, for the registry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum Access {
-    Exclusive,
-    Shared,
-}
+/// The registry speaks the same mode vocabulary as the event stream.
+pub(crate) type Access = AcquireMode;
 
 /// Tracks native threads and locks, detects deadlocks online.
 ///
@@ -363,6 +362,21 @@ pub(crate) fn register_lock(inner: &Arc<TrackerInner>, site: Label) -> ObjId {
     obj
 }
 
+/// Registers a condition variable object (an [`ObjKind::Plain`] object,
+/// like the virtual runtime's condvars) at its allocation site and
+/// emits `New`.
+pub(crate) fn register_condvar(inner: &Arc<TrackerInner>, site: Label) -> ObjId {
+    let me = current_thread(inner);
+    let mut st = inner.state.lock();
+    let index = alloc_index(&mut st, me, site);
+    let obj = st
+        .trace
+        .objects_mut()
+        .create(ObjKind::Plain, site, None, index);
+    emit(inner, &mut st, me, EventKind::New { obj });
+    obj
+}
+
 /// Records ownership and emits `Acquire`/`Reacquire` for a completed
 /// acquisition. Must be called with the native lock already held.
 fn record_acquire(
@@ -399,18 +413,70 @@ fn record_acquire(
     ts.lock_stack.push(lock);
     ts.context_stack.push(site);
     if re_entrant {
-        emit(inner, st, me, EventKind::Reacquire { lock, site });
+        emit(inner, st, me, EventKind::reacquire(lock, site));
     } else {
         emit(
             inner,
             st,
             me,
-            EventKind::Acquire {
-                lock,
-                site,
-                held,
-                context,
-            },
+            EventKind::acquire(lock, site, held, context).with_mode(access),
+        );
+        inner.obs.counters().add_acquires_observed(1);
+    }
+}
+
+/// Bookkeeping for a non-blocking `try_*` attempt. A successful try
+/// joins the registry and the held stack exactly like an acquisition,
+/// but the stream records it as `TryAcquire { acquired: true }` — a try
+/// never blocks, so Phase I must not treat it as a blockable edge. A
+/// failed try leaves all state untouched and records
+/// `TryAcquire { acquired: false }`.
+pub(crate) fn try_acquired(
+    inner: &Arc<TrackerInner>,
+    lock: ObjId,
+    site: Label,
+    access: Access,
+    acquired: bool,
+) {
+    let me = current_thread(inner);
+    let mut st = inner.state.lock();
+    if !acquired {
+        emit(
+            inner,
+            &mut st,
+            me,
+            EventKind::try_acquire(lock, site, false).with_mode(access),
+        );
+        return;
+    }
+    match access {
+        Access::Exclusive => {
+            st.locks.insert(lock, Holders::Writer(me));
+        }
+        Access::Shared => match st
+            .locks
+            .entry(lock)
+            .or_insert_with(|| Holders::Readers(vec![]))
+        {
+            Holders::Readers(rs) => rs.push(me),
+            Holders::Writer(_) => {}
+        },
+    }
+    let ts = st
+        .threads
+        .get_mut(&me)
+        .expect("acquiring thread registered");
+    let re_entrant = ts.lock_stack.contains(&lock);
+    ts.lock_stack.push(lock);
+    ts.context_stack.push(site);
+    if re_entrant {
+        emit(inner, &mut st, me, EventKind::reacquire(lock, site));
+    } else {
+        emit(
+            inner,
+            &mut st,
+            me,
+            EventKind::try_acquire(lock, site, true).with_mode(access),
         );
         inner.obs.counters().add_acquires_observed(1);
     }
@@ -433,13 +499,18 @@ pub(crate) fn acquired_uncontended(
 /// blocking thread. This is the detector's single entry point: a cycle
 /// exists exactly when its last wait edge is registered, and that
 /// registration happens here, under the registry lock.
-pub(crate) fn begin_wait(inner: &Arc<TrackerInner>, lock: ObjId, site: Label) {
+pub(crate) fn begin_wait(inner: &Arc<TrackerInner>, lock: ObjId, site: Label, access: Access) {
     let me = current_thread(inner);
     let report = {
         let mut st = inner.state.lock();
-        st.waits.insert(me, (lock, site));
+        st.waits.insert(me, (lock, site, access));
         inner.obs.counters().add_wfg_edges(1);
-        emit(inner, &mut st, me, EventKind::Blocked { lock });
+        emit(
+            inner,
+            &mut st,
+            me,
+            EventKind::blocked(lock).with_mode(access),
+        );
         detect(&mut st, me)
     };
     // Handler dispatch happens after the registry lock is dropped so a
@@ -462,7 +533,7 @@ pub(crate) fn acquired_contended(
     let me = current_thread(inner);
     let mut st = inner.state.lock();
     st.waits.remove(&me);
-    emit(inner, &mut st, me, EventKind::Unblocked { lock });
+    emit(inner, &mut st, me, EventKind::unblocked(lock));
     record_acquire(inner, &mut st, me, lock, site, access);
 }
 
@@ -482,11 +553,15 @@ pub(crate) fn wait_timed_out(inner: &Arc<TrackerInner>, _lock: ObjId) {
 pub(crate) fn release(inner: &Arc<TrackerInner>, lock: ObjId, site: Label) {
     let me = current_thread(inner);
     let mut st = inner.state.lock();
+    // The guard doesn't know its own mode; the registry does — a
+    // read-guard drop finds this thread among the lock's readers.
+    let mut mode = Access::Exclusive;
     match st.locks.get_mut(&lock) {
         Some(Holders::Writer(t)) if *t == me => {
             st.locks.remove(&lock);
         }
         Some(Holders::Readers(rs)) => {
+            mode = Access::Shared;
             if let Some(pos) = rs.iter().rposition(|&t| t == me) {
                 rs.remove(pos);
             }
@@ -506,10 +581,78 @@ pub(crate) fn release(inner: &Arc<TrackerInner>, lock: ObjId, site: Label) {
     }
     let still_held = ts.lock_stack.contains(&lock);
     if still_held {
-        emit(inner, &mut st, me, EventKind::Rerelease { lock, site });
+        emit(inner, &mut st, me, EventKind::rerelease(lock, site));
     } else {
-        emit(inner, &mut st, me, EventKind::Release { lock, site });
+        emit(
+            inner,
+            &mut st,
+            me,
+            EventKind::release(lock, site).with_mode(mode),
+        );
     }
+}
+
+/// The release half of a condvar wait, run *before* the native
+/// `Condvar::wait` parks (which atomically gives the lock up): clears
+/// this thread's write hold, emits the `CondWait` communication event,
+/// and registers the eventual-reacquire wait edge — a parked waiter is
+/// one notify away from blocking on the lock, so cycles running through
+/// it are real deadlocks and must be visible to other threads'
+/// detection passes.
+pub(crate) fn cond_wait_begin(inner: &Arc<TrackerInner>, condvar: ObjId, lock: ObjId, site: Label) {
+    let me = current_thread(inner);
+    let report = {
+        let mut st = inner.state.lock();
+        if matches!(st.locks.get(&lock), Some(Holders::Writer(t)) if *t == me) {
+            st.locks.remove(&lock);
+        }
+        let ts = st.threads.get_mut(&me).expect("waiting thread registered");
+        if let Some(pos) = ts.lock_stack.iter().rposition(|&l| l == lock) {
+            ts.lock_stack.remove(pos);
+            ts.context_stack.remove(pos);
+        }
+        emit(
+            inner,
+            &mut st,
+            me,
+            EventKind::cond_wait(condvar, lock, site),
+        );
+        st.waits.insert(me, (lock, site, Access::Exclusive));
+        inner.obs.counters().add_wfg_edges(1);
+        detect(&mut st, me)
+    };
+    if let Some((witness, rendered)) = report {
+        inner.obs.counters().add_wfg_cycles_detected(1);
+        dispatch(inner, &witness, &rendered);
+    }
+}
+
+/// The reacquire half of a condvar wait, run after the native wait
+/// returned with the lock re-held: clears the wait edge and restores
+/// ownership *silently* — matching the virtual runtime, where the
+/// original `Acquire` already carries the lock dependency and the
+/// reacquisition emits nothing.
+pub(crate) fn cond_wait_end(inner: &Arc<TrackerInner>, lock: ObjId, site: Label) {
+    let me = current_thread(inner);
+    let mut st = inner.state.lock();
+    st.waits.remove(&me);
+    st.locks.insert(lock, Holders::Writer(me));
+    let ts = st.threads.get_mut(&me).expect("waiting thread registered");
+    ts.lock_stack.push(lock);
+    ts.context_stack.push(site);
+}
+
+/// Emits the `CondNotify` communication event. Rust `Condvar` semantics:
+/// the notifier need not hold any lock.
+pub(crate) fn cond_notify(inner: &Arc<TrackerInner>, condvar: ObjId, site: Label, all: bool) {
+    let me = current_thread(inner);
+    let mut st = inner.state.lock();
+    emit(
+        inner,
+        &mut st,
+        me,
+        EventKind::cond_notify(condvar, site, all),
+    );
 }
 
 /// Counts a poisoned-lock recovery (`PoisonError::into_inner`).
@@ -546,21 +689,38 @@ fn detect(st: &mut State, me: ThreadId) -> Option<(DeadlockWitness, String)> {
             Holders::Writer(t) => g.add_holds(*t, lock),
             Holders::Readers(rs) => {
                 for &t in rs {
-                    g.add_holds(t, lock);
+                    g.add_holds_shared(t, lock);
                 }
             }
         }
     }
-    for (&t, &(lock, _)) in &st.waits {
-        g.add_waits(t, lock);
+    for (&t, &(lock, _, mode)) in &st.waits {
+        match mode {
+            Access::Exclusive => g.add_waits(t, lock),
+            Access::Shared => g.add_waits_shared(t, lock),
+        }
     }
     let cycle = g.find_cycle_from(me)?;
 
+    // Dedup on the deadlock's full lock set — held ∪ awaited across the
+    // cycle's threads. Keying on awaited locks alone reports a
+    // reader-heavy cycle once per reader: each reader that bumps into
+    // the same stuck writer closes a cycle with a different awaited
+    // set, but the union of locks involved is identical.
     let mut key: Vec<ObjId> = cycle
         .iter()
-        .map(|t| st.waits.get(t).expect("cycle thread waits").0)
+        .flat_map(|t| {
+            st.threads[t]
+                .lock_stack
+                .iter()
+                .copied()
+                .chain(std::iter::once(
+                    st.waits.get(t).expect("cycle thread waits").0,
+                ))
+        })
         .collect();
     key.sort();
+    key.dedup();
     if !st.reported.insert(key) {
         return None;
     }
@@ -569,15 +729,25 @@ fn detect(st: &mut State, me: ThreadId) -> Option<(DeadlockWitness, String)> {
         .iter()
         .map(|t| {
             let ts = &st.threads[t];
-            let &(waiting_for, site) = st.waits.get(t).expect("cycle thread waits");
+            let &(waiting_for, site, waiting_mode) = st.waits.get(t).expect("cycle thread waits");
             let mut context = ts.context_stack.clone();
             context.push(site);
+            let holding = ts.lock_stack.clone();
+            let holding_modes = holding
+                .iter()
+                .map(|l| match st.locks.get(l) {
+                    Some(Holders::Writer(w)) if w == t => Access::Exclusive,
+                    _ => Access::Shared,
+                })
+                .collect();
             WitnessComponent {
                 thread: *t,
                 thread_obj: ts.obj,
                 thread_name: Some(ts.name.clone()),
-                holding: ts.lock_stack.clone(),
+                holding,
+                holding_modes,
                 waiting_for,
+                waiting_mode,
                 context,
             }
         })
@@ -617,14 +787,31 @@ fn render_report(witness: &DeadlockWitness, objects: &ObjectTable) -> String {
         } else {
             c.holding
                 .iter()
-                .map(|&l| lock_name(objects, l))
+                .enumerate()
+                .map(|(i, &l)| {
+                    let read = c
+                        .holding_modes
+                        .get(i)
+                        .map(|m| m.is_shared())
+                        .unwrap_or(false);
+                    if read {
+                        format!("{} (read)", lock_name(objects, l))
+                    } else {
+                        lock_name(objects, l)
+                    }
+                })
                 .collect::<Vec<_>>()
                 .join(", ")
         };
         let blocked_at = c.context.last().map(|s| s.to_string()).unwrap_or_default();
+        let want = if c.waiting_mode.is_shared() {
+            "read of "
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
-            "  thread {} '{}' holds {holding}, blocked acquiring {} at {blocked_at}",
+            "  thread {} '{}' holds {holding}, blocked acquiring {want}{} at {blocked_at}",
             c.thread,
             name,
             lock_name(objects, c.waiting_for),

@@ -14,10 +14,18 @@ use df_events::{ObjId, ThreadId};
 
 /// Thread→lock wait edges plus lock→holders ownership edges, rebuilt
 /// from the tracker's registry at each contended acquire.
+///
+/// Holds and waits both carry their [`df_events::AcquireMode`]-shaped
+/// distinction: only a conflicting hold produces a wait-for edge. An
+/// exclusive (write) wait conflicts with every holder; a shared (read)
+/// wait conflicts with exclusive holders only — readers coexist, so a
+/// blocked read never points at another reader.
 #[derive(Debug, Default)]
 pub(crate) struct WfGraph {
-    holders: HashMap<ObjId, Vec<ThreadId>>,
-    waits: HashMap<ThreadId, ObjId>,
+    writers: HashMap<ObjId, Vec<ThreadId>>,
+    readers: HashMap<ObjId, Vec<ThreadId>>,
+    /// thread → (awaited lock, wait is shared).
+    waits: HashMap<ThreadId, (ObjId, bool)>,
 }
 
 impl WfGraph {
@@ -25,14 +33,25 @@ impl WfGraph {
         Self::default()
     }
 
-    /// Records that `t` is one of the holders of `lock`.
+    /// Records that `t` holds `lock` exclusively (mutex owner, rwlock
+    /// writer).
     pub(crate) fn add_holds(&mut self, t: ThreadId, lock: ObjId) {
-        self.holders.entry(lock).or_default().push(t);
+        self.writers.entry(lock).or_default().push(t);
     }
 
-    /// Records that `t` is blocked acquiring `lock`.
+    /// Records that `t` is one of the shared (read) holders of `lock`.
+    pub(crate) fn add_holds_shared(&mut self, t: ThreadId, lock: ObjId) {
+        self.readers.entry(lock).or_default().push(t);
+    }
+
+    /// Records that `t` is blocked acquiring `lock` exclusively.
     pub(crate) fn add_waits(&mut self, t: ThreadId, lock: ObjId) {
-        self.waits.insert(t, lock);
+        self.waits.insert(t, (lock, false));
+    }
+
+    /// Records that `t` is blocked acquiring `lock` in shared mode.
+    pub(crate) fn add_waits_shared(&mut self, t: ThreadId, lock: ObjId) {
+        self.waits.insert(t, (lock, true));
     }
 
     /// Finds a cycle through `start`: threads `start → t_2 → … → t_m`
@@ -60,13 +79,18 @@ impl WfGraph {
         path: &mut Vec<ThreadId>,
         visited: &mut HashSet<ThreadId>,
     ) -> bool {
-        let Some(lock) = self.waits.get(&cur) else {
+        let Some(&(lock, shared_wait)) = self.waits.get(&cur) else {
             return false;
         };
-        let Some(holders) = self.holders.get(lock) else {
-            return false;
+        let writers = self.writers.get(&lock).into_iter().flatten().copied();
+        // A shared wait is only blocked by writers; readers coexist.
+        let readers = if shared_wait {
+            None
+        } else {
+            self.readers.get(&lock)
         };
-        for &h in holders {
+        let holders = writers.chain(readers.into_iter().flatten().copied());
+        for h in holders {
             if h == start {
                 return true;
             }
@@ -144,13 +168,51 @@ mod tests {
         // t1 writes-waits on a lock read-held by t2 and t3; only t3
         // closes the cycle back to t1.
         let mut g = WfGraph::new();
-        g.add_holds(t(2), o(1));
-        g.add_holds(t(3), o(1));
+        g.add_holds_shared(t(2), o(1));
+        g.add_holds_shared(t(3), o(1));
         g.add_holds(t(1), o(2));
         g.add_waits(t(1), o(1));
         g.add_waits(t(3), o(2));
         let c = g.find_cycle_from(t(1)).unwrap();
         assert_eq!(c, vec![t(1), t(3)]);
+    }
+
+    #[test]
+    fn shared_wait_ignores_shared_holders() {
+        // t1 read-waits on a lock read-held by t2 — readers coexist, so
+        // even a t2 that circles back to t1 is not a deadlock edge.
+        let mut g = WfGraph::new();
+        g.add_holds_shared(t(2), o(1));
+        g.add_holds(t(1), o(2));
+        g.add_waits_shared(t(1), o(1));
+        g.add_waits(t(2), o(2));
+        assert!(g.find_cycle_from(t(1)).is_none());
+        // From t2 the walk reaches t1, whose shared wait still cannot
+        // point back at reader t2 — no cycle from either side.
+        assert!(g.find_cycle_from(t(2)).is_none());
+    }
+
+    #[test]
+    fn shared_wait_on_a_writer_closes_cycles() {
+        // t1 read-waits on o1 write-held by t2; t2 write-waits on o2
+        // read-held by t1 — a reader/writer 2-cycle.
+        let mut g = WfGraph::new();
+        g.add_holds(t(2), o(1));
+        g.add_holds_shared(t(1), o(2));
+        g.add_waits_shared(t(1), o(1));
+        g.add_waits(t(2), o(2));
+        assert_eq!(g.find_cycle_from(t(1)), Some(vec![t(1), t(2)]));
+        assert_eq!(g.find_cycle_from(t(2)), Some(vec![t(2), t(1)]));
+    }
+
+    #[test]
+    fn upgrade_self_loop_is_a_one_thread_cycle() {
+        // A thread write-waiting on a lock it read-holds: the classic
+        // std::sync::RwLock upgrade deadlock.
+        let mut g = WfGraph::new();
+        g.add_holds_shared(t(1), o(1));
+        g.add_waits(t(1), o(1));
+        assert_eq!(g.find_cycle_from(t(1)), Some(vec![t(1)]));
     }
 
     #[test]

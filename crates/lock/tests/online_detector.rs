@@ -15,7 +15,8 @@ use std::time::Duration;
 use df_events::{Event, EventKind, EventSink, ObjId, SinkHandle};
 use df_igoodlock::{igoodlock, IGoodlockOptions, RelationBuilder};
 use df_lock::{
-    DeadlockHandler, DeadlockWitness, TrackedMutex, TrackedRwLock, Tracker, TrackerConfig,
+    AcquireMode, DeadlockHandler, DeadlockWitness, TrackedCondvar, TrackedMutex, TrackedRwLock,
+    Tracker, TrackerConfig,
 };
 use proptest::prelude::*;
 
@@ -225,6 +226,91 @@ fn rwlock_reader_participates_in_cycle() {
     assert_cyclic(&seen[0]);
 }
 
+/// Regression: a reader-heavy jam — one stuck writer, several readers
+/// each closing a cycle through it via a *different* held lock — is one
+/// deadlock, not one report per reader. The dedup key is the union of
+/// held and awaited locks across the cycle, which is identical for
+/// every reader's view of the jam; a key of awaited locks alone would
+/// report it once per reader.
+#[test]
+fn reader_heavy_cycle_is_reported_once_per_lock_set() {
+    let (witnesses, handler) = collector();
+    let tracker = Tracker::new(TrackerConfig::default().with_handler(handler));
+    let shared = Arc::new(TrackedRwLock::with_tracker(&tracker, ()));
+    let b1 = Arc::new(TrackedMutex::with_tracker(&tracker, ()));
+    let b2 = Arc::new(TrackedMutex::with_tracker(&tracker, ()));
+    let all_locks = [shared.id(), b1.id(), b2.id()];
+
+    let barrier = Arc::new(Barrier::new(3));
+    let (s0, b1w, b2w, bar) = (
+        Arc::clone(&shared),
+        Arc::clone(&b1),
+        Arc::clone(&b2),
+        Arc::clone(&barrier),
+    );
+    let writer = tracker.spawn("stuck writer", move || {
+        let g1 = b1w.lock().unwrap();
+        let g2 = b2w.lock().unwrap();
+        bar.wait();
+        // Registers the write-wait on `shared` first; the readers sleep
+        // so both of their cycle-closing edges land afterwards and the
+        // second one exercises the dedup path.
+        let _ = s0.try_write_for(Duration::from_secs(2));
+        drop((g2, g1));
+    });
+    let readers: Vec<_> = [Arc::clone(&b1), Arc::clone(&b2)]
+        .into_iter()
+        .enumerate()
+        .map(|(i, blocker)| {
+            let s = Arc::clone(&shared);
+            let bar = Arc::clone(&barrier);
+            tracker.spawn(&format!("reader-{i}"), move || {
+                let held = s.read().unwrap();
+                bar.wait();
+                std::thread::sleep(Duration::from_millis(200));
+                let _ = blocker.try_lock_for(Duration::from_secs(2));
+                drop(held);
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    let seen = witnesses.lock().unwrap();
+    assert_eq!(
+        seen.len(),
+        1,
+        "one jammed lock set, one witness — not one per reader: {seen:?}"
+    );
+    let w = &seen[0];
+    assert_eq!(w.len(), 2, "each view of the jam is a two-thread cycle");
+    assert_cyclic(w);
+    for lock in sorted_locks(w) {
+        assert!(all_locks.contains(&lock));
+    }
+    let reader = w
+        .components
+        .iter()
+        .find(|c| {
+            c.thread_name
+                .as_deref()
+                .is_some_and(|n| n.starts_with("reader"))
+        })
+        .expect("a reader is in the cycle");
+    assert_eq!(reader.holding_modes, vec![AcquireMode::Shared]);
+    assert_eq!(reader.waiting_mode, AcquireMode::Exclusive);
+    let writer_side = w
+        .components
+        .iter()
+        .find(|c| c.thread_name.as_deref() == Some("stuck writer"))
+        .expect("the writer is in the cycle");
+    assert_eq!(writer_side.waiting_for, shared.id());
+    assert_eq!(writer_side.waiting_mode, AcquireMode::Exclusive);
+    assert_eq!(tracker.obs().counters().snapshot().wfg_cycles_detected, 1);
+}
+
 /// Re-acquiring a held (non-reentrant) std mutex is a self-deadlock;
 /// the graph includes self-loops, so the witness is a 1-cycle and the
 /// timeout converts the hang into a recoverable `Err`.
@@ -312,6 +398,144 @@ fn poisoned_mutex_recovers_with_balanced_events() {
         acquires, releases,
         "unwind and recovery both emit their releases"
     );
+}
+
+/// A producer/consumer handshake over a tracked condvar is deadlock
+/// free, and the event stream records the communication: a `CondWait`
+/// naming both the condvar and its released lock, the `CondNotify`,
+/// and balanced acquire/release pairs (the wait's release and
+/// reacquisition are implied by `CondWait`, exactly as in the virtual
+/// runtime, so no extra `Acquire`/`Release` events appear).
+#[test]
+fn condvar_handshake_is_quiet_with_balanced_events() {
+    let capture = Arc::new(Mutex::new(CaptureSink::default()));
+    let dyn_sink: Arc<Mutex<dyn EventSink>> = Arc::clone(&capture) as _;
+    let (witnesses, handler) = collector();
+    let tracker = Tracker::new(
+        TrackerConfig::default()
+            .with_handler(handler)
+            .with_sink(SinkHandle::single(dyn_sink)),
+    );
+    let state = Arc::new((
+        TrackedMutex::with_tracker(&tracker, 0usize),
+        TrackedCondvar::with_tracker(&tracker),
+    ));
+
+    // The consumer holds the lock across the barrier, so the producer's
+    // first acquisition can only succeed once the consumer has parked —
+    // at least one real wait/notify round is guaranteed.
+    let barrier = Arc::new(Barrier::new(2));
+    let (producer_state, bar) = (Arc::clone(&state), Arc::clone(&barrier));
+    let producer = tracker.spawn("producer", move || {
+        bar.wait();
+        for _ in 0..3 {
+            *producer_state.0.lock().unwrap() += 1;
+            producer_state.1.notify_one();
+        }
+    });
+    let (queue, cv) = &*state;
+    let held = queue.lock().unwrap();
+    barrier.wait();
+    let produced = cv.wait_while(held, |produced| *produced < 3).unwrap();
+    assert_eq!(*produced, 3);
+    drop(produced);
+    producer.join().unwrap();
+
+    assert!(
+        witnesses.lock().unwrap().is_empty(),
+        "a plain handshake must not be flagged"
+    );
+    let events = &capture.lock().unwrap().events;
+    assert!(
+        events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::CondWait { condvar, lock, .. }
+                if *condvar == cv.id() && *lock == queue.id()
+        )),
+        "the wait names both the condvar and the released lock"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::CondNotify { condvar, all: false, .. } if *condvar == cv.id()
+        )),
+        "notify_one lands in the stream"
+    );
+    let acquires = events
+        .iter()
+        .filter(|e| matches!(&e.kind, EventKind::Acquire { lock, .. } if *lock == queue.id()))
+        .count();
+    let releases = events
+        .iter()
+        .filter(|e| matches!(&e.kind, EventKind::Release { lock, .. } if *lock == queue.id()))
+        .count();
+    assert_eq!(acquires, releases, "condvar waits keep the stream balanced");
+}
+
+/// A thread parked in a condvar wait still holds its *outer* locks, and
+/// its pending reacquisition is a real wait-for edge: when the only
+/// thread that could deliver the notification blocks on one of the
+/// waiter's outer locks, that is a deadlock, and the detector walks it
+/// straight through the parked thread.
+#[test]
+fn parked_cond_waiter_participates_in_cycle() {
+    let (witnesses, handler) = collector();
+    let tracker = Tracker::new(TrackerConfig::default().with_handler(handler));
+    let outer = Arc::new(TrackedMutex::with_tracker(&tracker, ()));
+    let state = Arc::new((
+        TrackedMutex::with_tracker(&tracker, false),
+        TrackedCondvar::with_tracker(&tracker),
+    ));
+    let expected = {
+        let mut ids = vec![outer.id(), state.0.id()];
+        ids.sort();
+        ids
+    };
+
+    let barrier = Arc::new(Barrier::new(2));
+    let (o1, s1, bar) = (Arc::clone(&outer), Arc::clone(&state), Arc::clone(&barrier));
+    let waiter = tracker.spawn("parked waiter", move || {
+        let held = o1.lock().unwrap();
+        let inner = s1.0.lock().unwrap();
+        bar.wait();
+        // Parks holding `outer`; the reacquire edge on the inner lock
+        // stays registered for the whole wait.
+        let inner = s1.1.wait_while(inner, |done| !*done).unwrap();
+        drop(inner);
+        drop(held);
+    });
+    let (o2, s2) = (Arc::clone(&outer), Arc::clone(&state));
+    let notifier = tracker.spawn("blocked notifier", move || {
+        barrier.wait();
+        // Succeeds only once the waiter has parked and given the inner
+        // lock up.
+        let mut inner = s2.0.lock().unwrap();
+        // Deadlock: the waiter cannot run again until this thread frees
+        // the inner lock, and this thread wants the waiter's `outer`.
+        let jammed = o2.try_lock_for(Duration::from_secs(2));
+        assert!(jammed.is_err(), "the cycle must hold until the timeout");
+        drop(jammed);
+        *inner = true;
+        s2.1.notify_one();
+        drop(inner);
+    });
+    waiter.join().unwrap();
+    notifier.join().unwrap();
+
+    let seen = witnesses.lock().unwrap();
+    assert_eq!(seen.len(), 1, "parked-waiter cycle: {seen:?}");
+    let w = &seen[0];
+    assert_eq!(w.len(), 2);
+    assert_eq!(sorted_locks(w), expected);
+    assert_cyclic(w);
+    let parked = w
+        .components
+        .iter()
+        .find(|c| c.thread_name.as_deref() == Some("parked waiter"))
+        .expect("the parked thread is a witness component");
+    assert_eq!(parked.waiting_for, state.0.id());
+    assert!(parked.holding.contains(&outer.id()));
+    assert_eq!(tracker.obs().counters().snapshot().wfg_cycles_detected, 1);
 }
 
 /// The crate's documented exit code and the CLI's taxonomy must agree —

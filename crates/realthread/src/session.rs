@@ -888,14 +888,14 @@ fn check_cycle(
             if let Some(s) = blocked_site {
                 context.push(s);
             }
-            WitnessComponent {
-                thread: t,
-                thread_obj: ts.obj,
-                thread_name: Some(ts.name.clone()),
-                holding: ts.lock_stack.clone(),
+            WitnessComponent::exclusive(
+                t,
+                ts.obj,
+                Some(ts.name.clone()),
+                ts.lock_stack.clone(),
                 waiting_for,
                 context,
-            }
+            )
         })
         .collect();
     Some(DeadlockWitness {
@@ -1035,7 +1035,7 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
                     .get_mut(&me)
                     .expect("blocking thread is registered with the session")
                     .status = ThreadStatus::Blocked(lock, site);
-                inner.emit(&mut st, me, EventKind::Blocked { lock });
+                inner.emit(&mut st, me, EventKind::blocked(lock));
                 inner.cond.wait(&mut st);
                 st.threads
                     .get_mut(&me)
@@ -1059,16 +1059,7 @@ pub(crate) fn acquire(inner: &Arc<Inner>, lock: ObjId, site: Label) {
     context.push(site);
     ts.lock_stack.push(lock);
     ts.context_stack.push(site);
-    inner.emit(
-        &mut st,
-        me,
-        EventKind::Acquire {
-            lock,
-            site,
-            held,
-            context,
-        },
-    );
+    inner.emit(&mut st, me, EventKind::acquire(lock, site, held, context));
     inner.obs.counters().add_acquires_observed(1);
     st.progress += 1;
 }
@@ -1089,7 +1080,7 @@ pub(crate) fn release(inner: &Arc<Inner>, lock: ObjId, site: Label) {
             ts.context_stack.remove(pos);
         }
     }
-    inner.emit(&mut st, me, EventKind::Release { lock, site });
+    inner.emit(&mut st, me, EventKind::release(lock, site));
     st.progress += 1;
     inner.cond.notify_all();
 }

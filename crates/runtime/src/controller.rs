@@ -5,7 +5,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use df_events::{EventKind, Label, ObjId, ObjKind, ThreadId};
+use df_events::{AcquireMode, EventKind, Label, ObjId, ObjKind, ThreadId};
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::RunConfig;
@@ -29,8 +29,11 @@ pub(crate) struct Aborted;
 pub(crate) enum OpOutcome {
     Unit,
     Created(ObjId),
-    /// Saved monitor recursion count (from `WaitRelease`).
+    /// Saved monitor recursion count (from `WaitRelease` /
+    /// `CondWaitRelease`).
     Count(u32),
+    /// Whether a `TryAcquire` obtained the lock.
+    Acquired(bool),
 }
 
 pub(crate) struct Inner {
@@ -169,19 +172,29 @@ impl Controller {
     }
 
     /// Fault injection: with the configured probability, wake one thread
-    /// parked in a monitor wait set without a notify (a spurious wakeup).
-    /// Candidate monitors are visited in id order so the decision stream is
-    /// deterministic despite `HashMap` iteration order.
+    /// parked in a monitor or condvar wait set without a notify (a
+    /// spurious wakeup). Candidates are visited in id order so the
+    /// decision stream is deterministic despite `HashMap` iteration order.
     fn inject_spurious_wakeup(&self, inner: &mut Inner) {
         if inner.g.faults.is_none() {
             return;
         }
-        let mut candidates: Vec<ObjId> = inner
+        // `false` marks a monitor wait set, `true` a condvar wait set;
+        // monitor and condvar ids never collide (distinct objects).
+        let mut candidates: Vec<(ObjId, bool)> = inner
             .g
             .locks
             .iter()
             .filter(|(_, s)| !s.wait_set.is_empty())
-            .map(|(&l, _)| l)
+            .map(|(&l, _)| (l, false))
+            .chain(
+                inner
+                    .g
+                    .condvars
+                    .iter()
+                    .filter(|(_, ws)| !ws.is_empty())
+                    .map(|(&c, _)| (c, true)),
+            )
             .collect();
         if candidates.is_empty() {
             return;
@@ -195,15 +208,27 @@ impl Controller {
         if !fs.fire_spurious_wakeup() {
             return;
         }
-        let lock = candidates[fs.pick_index(candidates.len())];
-        let state = inner
-            .g
-            .locks
-            .get_mut(&lock)
-            .expect("candidate monitor has a lock state: it had waiters");
-        // Waking = removing from the wait set; the thread's AwaitNotify op
-        // becomes enabled and it proceeds to re-acquire the monitor.
-        let woken = state.wait_set.remove(0);
+        let (target, is_condvar) = candidates[fs.pick_index(candidates.len())];
+        // Waking = removing from the wait set; the thread's
+        // AwaitNotify/AwaitCondNotify op becomes enabled and it proceeds
+        // to re-acquire the lock (the condvar path's spurious-wakeup
+        // safety then falls to the program's predicate loop).
+        let woken = if is_condvar {
+            inner
+                .g
+                .condvars
+                .get_mut(&target)
+                .expect("candidate condvar has a wait set: it had waiters")
+                .remove(0)
+        } else {
+            inner
+                .g
+                .locks
+                .get_mut(&target)
+                .expect("candidate monitor has a lock state: it had waiters")
+                .wait_set
+                .remove(0)
+        };
         self.config.obs.emit(&df_obs::TraceEvent::FaultInjected {
             step: inner.g.steps,
             kind: "spurious_wakeup".to_string(),
@@ -215,13 +240,26 @@ impl Controller {
     /// deadlock; anything else is a stall.
     fn diagnose_stall(&self, g: &Global, alive: Vec<ThreadId>) -> Outcome {
         let mut wf = WaitForGraph::new();
-        for ts in &g.threads {
-            for &l in &ts.lock_stack {
-                wf.add_holds(ts.id, l);
+        // Holds come from the lock states themselves so shared holds get
+        // their mode (the per-thread lock stack does not record modes).
+        for (&l, s) in &g.locks {
+            if let Some(o) = s.owner {
+                wf.add_holds(o, l);
             }
+            let mut readers = s.readers.clone();
+            readers.sort_unstable();
+            readers.dedup();
+            for r in readers {
+                wf.add_holds_shared(r, l);
+            }
+        }
+        for ts in &g.threads {
             match &ts.status {
-                ThreadStatus::Announced(PendingOp::Acquire { lock, .. })
-                | ThreadStatus::Announced(PendingOp::WaitReacquire { lock, .. }) => {
+                ThreadStatus::Announced(PendingOp::Acquire { lock, mode, .. }) => match mode {
+                    AcquireMode::Exclusive => wf.add_waits(ts.id, *lock),
+                    AcquireMode::Shared => wf.add_waits_shared(ts.id, *lock),
+                },
+                ThreadStatus::Announced(PendingOp::WaitReacquire { lock, .. }) => {
                     wf.add_waits(ts.id, *lock);
                 }
                 _ => {}
@@ -233,23 +271,38 @@ impl Controller {
                     .iter()
                     .map(|&t| {
                         let ts = g.thread(t);
-                        let (lock, site) = match &ts.status {
-                            ThreadStatus::Announced(PendingOp::Acquire { lock, site })
-                            | ThreadStatus::Announced(PendingOp::WaitReacquire {
+                        let (lock, site, mode) = match &ts.status {
+                            ThreadStatus::Announced(PendingOp::Acquire { lock, site, mode }) => {
+                                (*lock, *site, *mode)
+                            }
+                            ThreadStatus::Announced(PendingOp::WaitReacquire {
                                 lock,
                                 site,
                                 ..
-                            }) => (*lock, *site),
+                            }) => (*lock, *site, AcquireMode::Exclusive),
                             _ => unreachable!("cycle thread must wait on a lock"),
                         };
                         let mut context = ts.context_stack.clone();
                         context.push(site);
+                        let holding = ts.lock_stack.clone();
+                        let holding_modes = holding
+                            .iter()
+                            .map(|&l| {
+                                if g.lock_state(l).and_then(|s| s.owner) == Some(t) {
+                                    AcquireMode::Exclusive
+                                } else {
+                                    AcquireMode::Shared
+                                }
+                            })
+                            .collect();
                         WitnessComponent {
                             thread: t,
                             thread_obj: ts.obj,
                             thread_name: Some(ts.name.clone()),
-                            holding: ts.lock_stack.clone(),
+                            holding,
+                            holding_modes,
                             waiting_for: lock,
+                            waiting_mode: mode,
                             context,
                         }
                     })
@@ -260,9 +313,10 @@ impl Controller {
                 })
             }
             None => {
-                // No lock cycle: if threads are parked in monitor wait
-                // sets this is a communication deadlock (lost signal),
-                // otherwise a plain stall (e.g. a join cycle).
+                // No lock cycle: if threads are parked in monitor or
+                // condvar wait sets this is a communication deadlock
+                // (lost signal), otherwise a plain stall (e.g. a join
+                // cycle).
                 let waiting: Vec<ThreadId> = g
                     .threads
                     .iter()
@@ -270,6 +324,7 @@ impl Controller {
                         matches!(
                             &ts.status,
                             ThreadStatus::Announced(PendingOp::AwaitNotify { .. })
+                                | ThreadStatus::Announced(PendingOp::AwaitCondNotify { .. })
                         )
                     })
                     .map(|ts| ts.id)
@@ -370,12 +425,15 @@ impl Controller {
         // instead of acquiring, modeling an exception thrown on entry to a
         // synchronized region. The panic unwinds the virtual thread outside
         // the controller lock and surfaces as `Outcome::ProgramPanic`.
-        if let PendingOp::Acquire { lock, site } = &op {
+        if let PendingOp::Acquire { lock, site, mode } = &op {
             let first = inner
                 .g
                 .locks
                 .get(lock)
-                .map(|s| s.owner != Some(me))
+                .map(|s| match mode {
+                    AcquireMode::Exclusive => s.owner != Some(me),
+                    AcquireMode::Shared => !s.holds_shared(me),
+                })
                 .unwrap_or(true);
             if first
                 && inner
@@ -409,43 +467,130 @@ impl Controller {
                 self.record(inner, me, EventKind::ThreadStart);
                 Ok(OpOutcome::Unit)
             }
-            PendingOp::Acquire { lock, site } => {
+            PendingOp::Acquire { lock, site, mode } => {
                 let state = inner.g.locks.entry(lock).or_default();
-                if state.owner == Some(me) {
-                    state.count += 1;
-                    self.record(inner, me, EventKind::Reacquire { lock, site });
-                } else {
-                    debug_assert!(state.owner.is_none(), "picked thread must not block");
-                    state.owner = Some(me);
-                    state.count = 1;
-                    let ts = inner.g.thread_mut(me);
-                    let held = ts.lock_stack.clone();
-                    let mut context = ts.context_stack.clone();
-                    context.push(site);
-                    ts.lock_stack.push(lock);
-                    ts.context_stack.push(site);
-                    self.record(
-                        inner,
-                        me,
-                        EventKind::Acquire {
-                            lock,
-                            site,
-                            held,
-                            context,
-                        },
-                    );
-                    self.config.obs.counters().add_acquires_observed(1);
+                match mode {
+                    AcquireMode::Exclusive => {
+                        if state.owner == Some(me) {
+                            state.count += 1;
+                            self.record(inner, me, EventKind::reacquire(lock, site));
+                        } else {
+                            debug_assert!(
+                                state.owner.is_none() && state.readers.is_empty(),
+                                "picked thread must not block"
+                            );
+                            state.owner = Some(me);
+                            state.count = 1;
+                            let ts = inner.g.thread_mut(me);
+                            let held = ts.lock_stack.clone();
+                            let mut context = ts.context_stack.clone();
+                            context.push(site);
+                            ts.lock_stack.push(lock);
+                            ts.context_stack.push(site);
+                            self.record(inner, me, EventKind::acquire(lock, site, held, context));
+                            self.config.obs.counters().add_acquires_observed(1);
+                        }
+                    }
+                    AcquireMode::Shared => {
+                        debug_assert!(state.owner.is_none(), "picked thread must not block");
+                        let reentrant = state.holds_shared(me);
+                        state.readers.push(me);
+                        if reentrant {
+                            self.record(inner, me, EventKind::reacquire(lock, site));
+                        } else {
+                            let ts = inner.g.thread_mut(me);
+                            let held = ts.lock_stack.clone();
+                            let mut context = ts.context_stack.clone();
+                            context.push(site);
+                            ts.lock_stack.push(lock);
+                            ts.context_stack.push(site);
+                            self.record(
+                                inner,
+                                me,
+                                EventKind::acquire(lock, site, held, context).shared(),
+                            );
+                            self.config.obs.counters().add_acquires_observed(1);
+                        }
+                    }
                 }
                 Ok(OpOutcome::Unit)
             }
+            PendingOp::TryAcquire { lock, site, mode } => {
+                let state = inner.g.locks.entry(lock).or_default();
+                let acquired = state.can_acquire(me, mode);
+                if acquired {
+                    match mode {
+                        AcquireMode::Exclusive => {
+                            if state.owner == Some(me) {
+                                state.count += 1;
+                            } else {
+                                state.owner = Some(me);
+                                state.count = 1;
+                                let ts = inner.g.thread_mut(me);
+                                ts.lock_stack.push(lock);
+                                ts.context_stack.push(site);
+                            }
+                        }
+                        AcquireMode::Shared => {
+                            let reentrant = state.holds_shared(me);
+                            state.readers.push(me);
+                            if !reentrant {
+                                let ts = inner.g.thread_mut(me);
+                                ts.lock_stack.push(lock);
+                                ts.context_stack.push(site);
+                            }
+                        }
+                    }
+                    self.config.obs.counters().add_acquires_observed(1);
+                }
+                self.record(
+                    inner,
+                    me,
+                    EventKind::try_acquire(lock, site, acquired).with_mode(mode),
+                );
+                Ok(OpOutcome::Acquired(acquired))
+            }
             PendingOp::Release { lock, site } => {
+                // A shared hold is released by retiring one reader entry;
+                // the thread itself knows only "release", the mode is
+                // derived from what it actually holds.
+                let shared_hold = inner
+                    .g
+                    .locks
+                    .get(&lock)
+                    .map(|s| s.owner != Some(me) && s.holds_shared(me))
+                    .unwrap_or(false);
+                if shared_hold {
+                    let state = inner
+                        .g
+                        .locks
+                        .get_mut(&lock)
+                        .expect("lock state present: shared hold was checked above");
+                    let pos = state
+                        .readers
+                        .iter()
+                        .rposition(|&r| r == me)
+                        .expect("reader entry present: shared hold was checked above");
+                    state.readers.remove(pos);
+                    if state.readers.contains(&me) {
+                        self.record(inner, me, EventKind::rerelease(lock, site));
+                    } else {
+                        let ts = inner.g.thread_mut(me);
+                        if let Some(pos) = ts.lock_stack.iter().rposition(|&l| l == lock) {
+                            ts.lock_stack.remove(pos);
+                            ts.context_stack.remove(pos);
+                        }
+                        self.record(inner, me, EventKind::release(lock, site).shared());
+                    }
+                    return Ok(OpOutcome::Unit);
+                }
                 let state = match inner.g.locks.get_mut(&lock) {
                     Some(s) if s.owner == Some(me) => s,
                     _ => panic!("thread {me} released lock {lock} it does not hold"),
                 };
                 if state.count > 1 {
                     state.count -= 1;
-                    self.record(inner, me, EventKind::Rerelease { lock, site });
+                    self.record(inner, me, EventKind::rerelease(lock, site));
                 } else if inner
                     .g
                     .faults
@@ -475,7 +620,7 @@ impl Controller {
                         ts.lock_stack.remove(pos);
                         ts.context_stack.remove(pos);
                     }
-                    self.record(inner, me, EventKind::Release { lock, site });
+                    self.record(inner, me, EventKind::release(lock, site));
                 }
                 Ok(OpOutcome::Unit)
             }
@@ -522,8 +667,48 @@ impl Controller {
                     ts.lock_stack.remove(pos);
                     ts.context_stack.remove(pos);
                 }
-                self.record(inner, me, EventKind::Wait { lock, site });
+                self.record(inner, me, EventKind::wait(lock, site));
                 Ok(OpOutcome::Count(count))
+            }
+            PendingOp::CondWaitRelease {
+                condvar,
+                lock,
+                site,
+            } => {
+                let state = match inner.g.locks.get_mut(&lock) {
+                    Some(s) if s.owner == Some(me) => s,
+                    _ => panic!(
+                        "thread {me} waited on condvar {condvar} without holding lock {lock}"
+                    ),
+                };
+                let count = state.count;
+                state.count = 0;
+                state.owner = None;
+                inner.g.condvars.entry(condvar).or_default().push(me);
+                let ts = inner.g.thread_mut(me);
+                if let Some(pos) = ts.lock_stack.iter().rposition(|&l| l == lock) {
+                    ts.lock_stack.remove(pos);
+                    ts.context_stack.remove(pos);
+                }
+                self.record(inner, me, EventKind::cond_wait(condvar, lock, site));
+                Ok(OpOutcome::Count(count))
+            }
+            PendingOp::AwaitCondNotify { .. } => {
+                // Enabled-ness already required the notify (or an injected
+                // spurious wakeup); nothing to execute.
+                Ok(OpOutcome::Unit)
+            }
+            PendingOp::CondNotify { condvar, site, all } => {
+                // Unlike a monitor notify, the notifier need not hold the
+                // associated lock (Rust `Condvar` semantics).
+                let ws = inner.g.condvars.entry(condvar).or_default();
+                if all {
+                    ws.clear();
+                } else if !ws.is_empty() {
+                    ws.remove(0);
+                }
+                self.record(inner, me, EventKind::cond_notify(condvar, site, all));
+                Ok(OpOutcome::Unit)
             }
             PendingOp::AwaitNotify { .. } => {
                 // Enabled-ness already required the notify to have
@@ -576,7 +761,7 @@ impl Controller {
                 } else if !state.wait_set.is_empty() {
                     state.wait_set.remove(0);
                 }
-                self.record(inner, me, EventKind::Notify { lock, site, all });
+                self.record(inner, me, EventKind::notify(lock, site, all));
                 Ok(OpOutcome::Unit)
             }
             PendingOp::Spawn { .. } | PendingOp::Exit => {

@@ -4,7 +4,7 @@
 use std::panic;
 use std::sync::Arc;
 
-use df_events::{Label, ObjId, ObjKind, ThreadId};
+use df_events::{AcquireMode, Label, ObjId, ObjKind, ThreadId};
 use parking_lot::Mutex;
 
 use crate::controller::{AbortToken, Aborted, Controller, OpOutcome};
@@ -52,6 +52,23 @@ pub struct VarRef {
 
 impl VarRef {
     /// The variable's dynamic object id.
+    pub fn id(&self) -> ObjId {
+        self.id
+    }
+}
+
+/// A handle to a virtual condition variable.
+///
+/// A condvar has its own wait set, distinct from any lock's monitor wait
+/// set; [`TCtx::cond_wait`] pairs it with the lock it releases for the
+/// duration of the wait, like `std::sync::Condvar`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CondvarRef {
+    id: ObjId,
+}
+
+impl CondvarRef {
+    /// The condvar's dynamic object id.
     pub fn id(&self) -> ObjId {
         self.id
     }
@@ -210,14 +227,29 @@ impl TCtx {
         r
     }
 
-    /// Acquires `lock` at `site`, blocking (in virtual time) while another
-    /// thread holds it. Re-entrant.
+    /// Acquires `lock` exclusively at `site`, blocking (in virtual time)
+    /// while another thread holds it in any mode. Re-entrant.
     pub fn acquire(&self, lock: &LockRef, site: Label) {
         unwrap_or_abort(self.ctl.op(
             self.me,
             PendingOp::Acquire {
                 lock: lock.id,
                 site,
+                mode: AcquireMode::Exclusive,
+            },
+        ));
+    }
+
+    /// Acquires `lock` in shared (read) mode at `site`: readers coexist,
+    /// but the acquisition blocks while a writer holds the lock.
+    /// Re-entrant reads are collapsed like re-entrant exclusive holds.
+    pub fn acquire_shared(&self, lock: &LockRef, site: Label) {
+        unwrap_or_abort(self.ctl.op(
+            self.me,
+            PendingOp::Acquire {
+                lock: lock.id,
+                site,
+                mode: AcquireMode::Shared,
             },
         ));
     }
@@ -261,6 +293,51 @@ impl TCtx {
             lock: *lock,
             site,
             released: false,
+        }
+    }
+
+    /// Acquires `lock` in shared (read) mode and returns an RAII guard —
+    /// the rwlock read-side equivalent of [`TCtx::lock`]. The release is
+    /// mode-derived, so the same guard type serves both sides.
+    pub fn read_lock(&self, lock: &LockRef, site: Label) -> LockGuard<'_> {
+        self.acquire_shared(lock, site);
+        LockGuard {
+            ctx: self,
+            lock: *lock,
+            site,
+            released: false,
+        }
+    }
+
+    /// Attempts `lock` exclusively without blocking: returns a guard on
+    /// success, `None` if the lock is held in a conflicting mode. Always
+    /// a schedule point either way.
+    pub fn try_lock(&self, lock: &LockRef, site: Label) -> Option<LockGuard<'_>> {
+        self.try_mode(lock, site, AcquireMode::Exclusive)
+    }
+
+    /// Attempts a shared (read) acquisition of `lock` without blocking.
+    pub fn try_read_lock(&self, lock: &LockRef, site: Label) -> Option<LockGuard<'_>> {
+        self.try_mode(lock, site, AcquireMode::Shared)
+    }
+
+    fn try_mode(&self, lock: &LockRef, site: Label, mode: AcquireMode) -> Option<LockGuard<'_>> {
+        match unwrap_or_abort(self.ctl.op(
+            self.me,
+            PendingOp::TryAcquire {
+                lock: lock.id,
+                site,
+                mode,
+            },
+        )) {
+            OpOutcome::Acquired(true) => Some(LockGuard {
+                ctx: self,
+                lock: *lock,
+                site,
+                released: false,
+            }),
+            OpOutcome::Acquired(false) => None,
+            _ => unreachable!("TryAcquire returns Acquired"),
         }
     }
 
@@ -407,6 +484,83 @@ impl TCtx {
             self.me,
             PendingOp::Notify {
                 lock: lock.id,
+                site,
+                all: true,
+            },
+        ));
+    }
+
+    /// Creates a new condition variable at `site`.
+    pub fn new_condvar(&self, site: Label) -> CondvarRef {
+        match unwrap_or_abort(self.ctl.op(
+            self.me,
+            PendingOp::New {
+                site,
+                kind: ObjKind::Plain,
+            },
+        )) {
+            OpOutcome::Created(id) => CondvarRef { id },
+            _ => unreachable!("New returns Created"),
+        }
+    }
+
+    /// `Condvar::wait` on `cv`, releasing `lock` for the duration:
+    /// releases the (exclusively held) lock, parks this thread in the
+    /// condvar's wait set until a [`TCtx::cond_notify_one`] /
+    /// [`TCtx::cond_notify_all`] (or an injected spurious wakeup), then
+    /// re-acquires the lock before returning. Callers must re-check their
+    /// predicate in a loop, exactly as with `std::sync::Condvar`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (as a program error) if this thread does not hold `lock`
+    /// exclusively.
+    pub fn cond_wait(&self, cv: &CondvarRef, lock: &LockRef, site: Label) {
+        let count = match unwrap_or_abort(self.ctl.op(
+            self.me,
+            PendingOp::CondWaitRelease {
+                condvar: cv.id,
+                lock: lock.id,
+                site,
+            },
+        )) {
+            OpOutcome::Count(n) => n,
+            _ => unreachable!("CondWaitRelease returns the saved count"),
+        };
+        unwrap_or_abort(
+            self.ctl
+                .op(self.me, PendingOp::AwaitCondNotify { condvar: cv.id }),
+        );
+        unwrap_or_abort(self.ctl.op(
+            self.me,
+            PendingOp::WaitReacquire {
+                lock: lock.id,
+                count,
+                site,
+            },
+        ));
+    }
+
+    /// Wakes one thread from `cv`'s wait set (FIFO), like
+    /// `Condvar::notify_one`. Does not require holding any lock.
+    pub fn cond_notify_one(&self, cv: &CondvarRef, site: Label) {
+        unwrap_or_abort(self.ctl.op(
+            self.me,
+            PendingOp::CondNotify {
+                condvar: cv.id,
+                site,
+                all: false,
+            },
+        ));
+    }
+
+    /// Wakes every thread in `cv`'s wait set, like
+    /// `Condvar::notify_all`.
+    pub fn cond_notify_all(&self, cv: &CondvarRef, site: Label) {
+        unwrap_or_abort(self.ctl.op(
+            self.me,
+            PendingOp::CondNotify {
+                condvar: cv.id,
                 site,
                 all: true,
             },

@@ -1,6 +1,6 @@
 //! Pending operations announced by threads at schedule points.
 
-use df_events::{Label, ObjId, ObjKind, ThreadId};
+use df_events::{AcquireMode, Label, ObjId, ObjKind, ThreadId};
 
 /// The next instrumented operation a virtual thread is about to execute.
 ///
@@ -18,6 +18,18 @@ pub enum PendingOp {
         lock: ObjId,
         /// Acquisition site.
         site: Label,
+        /// Exclusive (write) or shared (read) acquisition.
+        mode: AcquireMode,
+    },
+    /// About to *attempt* `lock` at `site` without blocking: always
+    /// enabled, succeeds or fails atomically at execution.
+    TryAcquire {
+        /// Target lock.
+        lock: ObjId,
+        /// Attempt site.
+        site: Label,
+        /// Exclusive (write) or shared (read) attempt.
+        mode: AcquireMode,
     },
     /// About to release `lock` at `site`.
     Release {
@@ -84,6 +96,35 @@ pub enum PendingOp {
         /// hold).
         site: Label,
     },
+    /// About to release `lock` and join `condvar`'s wait set
+    /// (`Condvar::wait` stage 1). Unlike a monitor wait, the wait set
+    /// belongs to the condition variable, not the lock.
+    CondWaitRelease {
+        /// The condition variable.
+        condvar: ObjId,
+        /// The lock released for the duration of the wait.
+        lock: ObjId,
+        /// Wait site.
+        site: Label,
+    },
+    /// In `condvar`'s wait set, waiting for a notify (stage 2); enabled
+    /// only once notified (or spuriously woken by fault injection). The
+    /// re-acquisition of the released lock is stage 3, which reuses
+    /// [`PendingOp::WaitReacquire`].
+    AwaitCondNotify {
+        /// The condition variable.
+        condvar: ObjId,
+    },
+    /// About to notify one or all waiters of a condition variable. The
+    /// notifier does *not* need to hold the associated lock.
+    CondNotify {
+        /// The condition variable.
+        condvar: ObjId,
+        /// Notify site.
+        site: Label,
+        /// `true` for `notify_all`.
+        all: bool,
+    },
     /// About to notify one or all waiters of a monitor.
     Notify {
         /// The monitor.
@@ -117,7 +158,7 @@ impl PendingOp {
     /// If this is a (re-entrant or first) acquire, the target lock and site.
     pub fn acquire_target(&self) -> Option<(ObjId, Label)> {
         match self {
-            PendingOp::Acquire { lock, site } => Some((*lock, *site)),
+            PendingOp::Acquire { lock, site, .. } => Some((*lock, *site)),
             _ => None,
         }
     }
@@ -125,6 +166,14 @@ impl PendingOp {
     /// Whether this operation is a lock acquisition.
     pub fn is_acquire(&self) -> bool {
         matches!(self, PendingOp::Acquire { .. })
+    }
+
+    /// The acquisition mode of a pending `Acquire`/`TryAcquire`.
+    pub fn acquire_mode(&self) -> Option<AcquireMode> {
+        match self {
+            PendingOp::Acquire { mode, .. } | PendingOp::TryAcquire { mode, .. } => Some(*mode),
+            _ => None,
+        }
     }
 }
 
@@ -136,12 +185,39 @@ mod tests {
     fn acquire_target_only_for_acquire() {
         let lk = ObjId::new(1);
         let s = Label::new("p:1");
-        assert_eq!(
-            PendingOp::Acquire { lock: lk, site: s }.acquire_target(),
-            Some((lk, s))
-        );
+        let acq = PendingOp::Acquire {
+            lock: lk,
+            site: s,
+            mode: AcquireMode::Exclusive,
+        };
+        assert_eq!(acq.acquire_target(), Some((lk, s)));
         assert!(PendingOp::Yield.acquire_target().is_none());
-        assert!(PendingOp::Acquire { lock: lk, site: s }.is_acquire());
+        assert!(acq.is_acquire());
         assert!(!PendingOp::Exit.is_acquire());
+    }
+
+    #[test]
+    fn acquire_mode_covers_blocking_and_try_variants() {
+        let lk = ObjId::new(1);
+        let s = Label::new("p:2");
+        assert_eq!(
+            PendingOp::Acquire {
+                lock: lk,
+                site: s,
+                mode: AcquireMode::Shared,
+            }
+            .acquire_mode(),
+            Some(AcquireMode::Shared)
+        );
+        let try_op = PendingOp::TryAcquire {
+            lock: lk,
+            site: s,
+            mode: AcquireMode::Exclusive,
+        };
+        assert_eq!(try_op.acquire_mode(), Some(AcquireMode::Exclusive));
+        // A try is an attempt, not a blocking acquisition.
+        assert!(!try_op.is_acquire());
+        assert!(try_op.acquire_target().is_none());
+        assert_eq!(PendingOp::Yield.acquire_mode(), None);
     }
 }

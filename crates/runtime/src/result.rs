@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use df_events::{Label, ObjId, ThreadId, Trace};
+use df_events::{AcquireMode, Label, ObjId, ThreadId, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultLog;
@@ -29,7 +29,7 @@ impl fmt::Display for Detector {
 }
 
 /// One thread's part in a deadlock: what it holds and what it waits for.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct WitnessComponent {
     /// The deadlocked thread.
     pub thread: ThreadId,
@@ -39,11 +39,100 @@ pub struct WitnessComponent {
     pub thread_name: Option<String>,
     /// Locks the thread holds, outermost first.
     pub holding: Vec<ObjId>,
+    /// Hold modes aligned with `holding` (all exclusive for plain locks).
+    pub holding_modes: Vec<AcquireMode>,
     /// The lock the thread is waiting to acquire.
     pub waiting_for: ObjId,
+    /// The mode of the blocked acquisition.
+    pub waiting_mode: AcquireMode,
     /// Acquisition-site labels: sites of `holding` followed by the site of
     /// the blocked acquisition (the paper's context `C`).
     pub context: Vec<Label>,
+}
+
+impl WitnessComponent {
+    /// An all-exclusive component (the pre-rwlock shape).
+    pub fn exclusive(
+        thread: ThreadId,
+        thread_obj: ObjId,
+        thread_name: Option<String>,
+        holding: Vec<ObjId>,
+        waiting_for: ObjId,
+        context: Vec<Label>,
+    ) -> Self {
+        let holding_modes = vec![AcquireMode::Exclusive; holding.len()];
+        WitnessComponent {
+            thread,
+            thread_obj,
+            thread_name,
+            holding,
+            holding_modes,
+            waiting_for,
+            waiting_mode: AcquireMode::Exclusive,
+            context,
+        }
+    }
+
+    fn any_shared_hold(&self) -> bool {
+        self.holding_modes.iter().any(|m| m.is_shared())
+    }
+}
+
+// Hand-written like `CycleComponent`: all-exclusive witnesses must
+// serialize byte-identically to the pre-mode format, and pre-mode
+// artifacts must deserialize with exclusive defaults.
+impl Serialize for WitnessComponent {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let extra =
+            usize::from(self.waiting_mode.is_shared()) + usize::from(self.any_shared_hold());
+        let mut state = serializer.serialize_struct("WitnessComponent", 6 + extra)?;
+        state.serialize_field("thread", &self.thread)?;
+        state.serialize_field("thread_obj", &self.thread_obj)?;
+        state.serialize_field("thread_name", &self.thread_name)?;
+        state.serialize_field("holding", &self.holding)?;
+        state.serialize_field("waiting_for", &self.waiting_for)?;
+        state.serialize_field("context", &self.context)?;
+        if self.waiting_mode.is_shared() {
+            state.serialize_field("waiting_mode", &self.waiting_mode)?;
+        }
+        if self.any_shared_hold() {
+            state.serialize_field("holding_modes", &self.holding_modes)?;
+        }
+        state.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for WitnessComponent {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::__private as sp;
+        let value = serde::Deserializer::__take_value(deserializer)?;
+        let result: Result<Self, sp::DeError> = (move || {
+            let mut entries = sp::expect_obj(value, "WitnessComponent")?;
+            let thread = sp::field(&mut entries, "thread")?;
+            let thread_obj = sp::field(&mut entries, "thread_obj")?;
+            let thread_name = sp::field(&mut entries, "thread_name")?;
+            let holding: Vec<ObjId> = sp::field(&mut entries, "holding")?;
+            let waiting_for = sp::field(&mut entries, "waiting_for")?;
+            let context = sp::field(&mut entries, "context")?;
+            let waiting_mode =
+                sp::field::<Option<AcquireMode>>(&mut entries, "waiting_mode")?.unwrap_or_default();
+            let holding_modes =
+                sp::field::<Option<Vec<AcquireMode>>>(&mut entries, "holding_modes")?
+                    .unwrap_or_else(|| vec![AcquireMode::Exclusive; holding.len()]);
+            Ok(WitnessComponent {
+                thread,
+                thread_obj,
+                thread_name,
+                holding,
+                holding_modes,
+                waiting_for,
+                waiting_mode,
+                context,
+            })
+        })();
+        result.map_err(<D::Error as serde::de::Error>::custom)
+    }
 }
 
 /// A concrete, observed deadlock: the set of threads that mutually block.
@@ -97,9 +186,14 @@ impl fmt::Display for DeadlockWitness {
                 Some(n) => format!("{} (\"{n}\")", c.thread),
                 None => c.thread.to_string(),
             };
+            let want = if c.waiting_mode.is_shared() {
+                "read "
+            } else {
+                ""
+            };
             writeln!(
                 f,
-                "  {who} holds {:?}, waits for {} at {}",
+                "  {who} holds {:?}, waits for {want}{} at {}",
                 c.holding,
                 c.waiting_for,
                 c.context
@@ -223,22 +317,22 @@ mod tests {
     fn witness() -> DeadlockWitness {
         DeadlockWitness {
             components: vec![
-                WitnessComponent {
-                    thread: ThreadId::new(1),
-                    thread_obj: ObjId::new(10),
-                    thread_name: Some("t1".into()),
-                    holding: vec![ObjId::new(3)],
-                    waiting_for: ObjId::new(4),
-                    context: vec![Label::new("w:15"), Label::new("w:16")],
-                },
-                WitnessComponent {
-                    thread: ThreadId::new(2),
-                    thread_obj: ObjId::new(11),
-                    thread_name: None,
-                    holding: vec![ObjId::new(4)],
-                    waiting_for: ObjId::new(3),
-                    context: vec![Label::new("w:15"), Label::new("w:16")],
-                },
+                WitnessComponent::exclusive(
+                    ThreadId::new(1),
+                    ObjId::new(10),
+                    Some("t1".into()),
+                    vec![ObjId::new(3)],
+                    ObjId::new(4),
+                    vec![Label::new("w:15"), Label::new("w:16")],
+                ),
+                WitnessComponent::exclusive(
+                    ThreadId::new(2),
+                    ObjId::new(11),
+                    None,
+                    vec![ObjId::new(4)],
+                    ObjId::new(3),
+                    vec![Label::new("w:15"), Label::new("w:16")],
+                ),
             ],
             detected_by: Detector::Strategy,
         }
@@ -295,5 +389,32 @@ mod tests {
         let json = serde_json::to_string(&w).unwrap();
         let back: DeadlockWitness = serde_json::from_str(&json).unwrap();
         assert_eq!(w, back);
+    }
+
+    #[test]
+    fn exclusive_witnesses_serialize_without_mode_fields() {
+        let json = serde_json::to_string(&witness()).unwrap();
+        assert!(!json.contains("mode"), "{json}");
+        // Pre-mode documents deserialize with exclusive defaults.
+        let back: DeadlockWitness = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.components[0].waiting_mode, AcquireMode::Exclusive);
+        assert_eq!(
+            back.components[0].holding_modes,
+            vec![AcquireMode::Exclusive]
+        );
+    }
+
+    #[test]
+    fn shared_witnesses_round_trip_and_render_as_reads() {
+        let mut w = witness();
+        w.components[0].waiting_mode = AcquireMode::Shared;
+        w.components[1].holding_modes = vec![AcquireMode::Shared];
+        let json = serde_json::to_string(&w).unwrap();
+        assert!(json.contains("\"waiting_mode\""), "{json}");
+        assert!(json.contains("\"holding_modes\""), "{json}");
+        let back: DeadlockWitness = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+        let s = w.to_string();
+        assert!(s.contains("waits for read "), "{s}");
     }
 }

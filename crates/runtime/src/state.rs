@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use df_events::{IndexFrame, Label, ObjId, ThreadId, Trace};
+use df_events::{AcquireMode, IndexFrame, Label, ObjId, ThreadId, Trace};
 
 use crate::fault::{FaultLog, FaultState};
 use crate::pending::PendingOp;
@@ -108,22 +108,43 @@ impl ThreadState {
     }
 }
 
-/// State of one re-entrant virtual lock (a Java-style monitor).
+/// State of one re-entrant virtual lock (a Java-style monitor, or an
+/// rwlock when shared acquisitions are used).
 #[derive(Debug, Default)]
 pub(crate) struct LockState {
     pub(crate) owner: Option<ThreadId>,
     /// Usage counter (§2.1 footnote 2): recursion depth of the owner.
     pub(crate) count: u32,
+    /// Threads holding the lock in shared (read) mode. Duplicate entries
+    /// encode re-entrant read holds; disjoint from `owner` by
+    /// construction (a writer excludes readers and vice versa).
+    pub(crate) readers: Vec<ThreadId>,
     /// Threads parked in `Object.wait()` on this monitor, FIFO.
     pub(crate) wait_set: Vec<ThreadId>,
 }
 
 impl LockState {
+    /// Whether `t` could complete an *exclusive* acquisition right now.
     pub(crate) fn is_free_for(&self, t: ThreadId) -> bool {
-        match self.owner {
-            None => true,
-            Some(o) => o == t,
+        self.can_acquire(t, AcquireMode::Exclusive)
+    }
+
+    /// Whether `t` could complete an acquisition in `mode` right now:
+    /// shared needs no writer; exclusive needs no other writer and no
+    /// readers (re-entrancy exempts the owner itself).
+    pub(crate) fn can_acquire(&self, t: ThreadId, mode: AcquireMode) -> bool {
+        match mode {
+            AcquireMode::Exclusive => match self.owner {
+                Some(o) => o == t,
+                None => self.readers.is_empty(),
+            },
+            AcquireMode::Shared => self.owner.is_none(),
         }
+    }
+
+    /// Whether `t` currently holds this lock in shared mode.
+    pub(crate) fn holds_shared(&self, t: ThreadId) -> bool {
+        self.readers.contains(&t)
     }
 }
 
@@ -132,6 +153,8 @@ impl LockState {
 pub(crate) struct Global {
     pub(crate) threads: Vec<ThreadState>,
     pub(crate) locks: HashMap<ObjId, LockState>,
+    /// Condition-variable wait sets, FIFO per condvar.
+    pub(crate) condvars: HashMap<ObjId, Vec<ThreadId>>,
     pub(crate) trace: Trace,
     pub(crate) record_trace: bool,
     /// The thread currently allowed to run (token holder).
@@ -154,6 +177,7 @@ impl Global {
         Global {
             threads: Vec::new(),
             locks: HashMap::new(),
+            condvars: HashMap::new(),
             trace: Trace::new(),
             record_trace,
             current: None,
@@ -191,9 +215,9 @@ impl Global {
             ThreadStatus::Finished => false,
             ThreadStatus::Running => false,
             ThreadStatus::Announced(op) => match op {
-                PendingOp::Acquire { lock, .. } => self
+                PendingOp::Acquire { lock, mode, .. } => self
                     .lock_state(*lock)
-                    .map(|l| l.is_free_for(t))
+                    .map(|l| l.can_acquire(t, *mode))
                     .unwrap_or(true),
                 PendingOp::Join { target } => {
                     matches!(self.thread(*target).status, ThreadStatus::Finished)
@@ -203,11 +227,20 @@ impl Global {
                     .lock_state(*lock)
                     .map(|l| !l.wait_set.contains(&t))
                     .unwrap_or(true),
-                // Re-acquisition after a notify needs the monitor free.
+                PendingOp::AwaitCondNotify { condvar } => self
+                    .condvars
+                    .get(condvar)
+                    .map(|ws| !ws.contains(&t))
+                    .unwrap_or(true),
+                // Re-acquisition after a notify needs the lock free (for
+                // both monitor waits and condvar waits, which release an
+                // exclusive hold).
                 PendingOp::WaitReacquire { lock, .. } => self
                     .lock_state(*lock)
                     .map(|l| l.is_free_for(t))
                     .unwrap_or(true),
+                // A try-acquire never blocks: it is always enabled and
+                // reports failure instead of waiting.
                 _ => true,
             },
         }
@@ -329,6 +362,28 @@ mod tests {
     }
 
     #[test]
+    fn mode_aware_acquirability() {
+        let (t1, t2) = (ThreadId::new(1), ThreadId::new(2));
+        // Readers coexist with each other but block writers.
+        let mut l = LockState::default();
+        l.readers.push(t1);
+        assert!(l.can_acquire(t2, AcquireMode::Shared));
+        assert!(!l.can_acquire(t2, AcquireMode::Exclusive));
+        assert!(l.holds_shared(t1));
+        // A reader cannot upgrade: its own shared hold blocks the write.
+        assert!(!l.can_acquire(t1, AcquireMode::Exclusive));
+        // A writer blocks readers, including itself (no downgrade).
+        let w = LockState {
+            owner: Some(t1),
+            count: 1,
+            ..LockState::default()
+        };
+        assert!(!w.can_acquire(t2, AcquireMode::Shared));
+        assert!(!w.can_acquire(t1, AcquireMode::Shared));
+        assert!(w.can_acquire(t1, AcquireMode::Exclusive));
+    }
+
+    #[test]
     fn enabled_excludes_blocked_and_finished() {
         let mut g = Global::new(true);
         g.threads.push(ThreadState::new(
@@ -347,12 +402,13 @@ mod tests {
             LockState {
                 owner: Some(ThreadId::new(0)),
                 count: 1,
-                wait_set: Vec::new(),
+                ..LockState::default()
             },
         );
         g.thread_mut(ThreadId::new(1)).status = ThreadStatus::Announced(PendingOp::Acquire {
             lock,
             site: lbl("e:1"),
+            mode: AcquireMode::Exclusive,
         });
         // Thread 0 announced Start → enabled. Thread 1 wants a held lock →
         // disabled.
@@ -360,6 +416,64 @@ mod tests {
         g.thread_mut(ThreadId::new(0)).status = ThreadStatus::Finished;
         assert!(g.enabled().is_empty());
         assert_eq!(g.alive(), vec![ThreadId::new(1)]);
+    }
+
+    #[test]
+    fn shared_acquire_enabled_alongside_readers_and_trys_never_block() {
+        let mut g = Global::new(true);
+        for i in 0..3 {
+            g.threads.push(ThreadState::new(
+                ThreadId::new(i),
+                format!("t{i}"),
+                ObjId::new(i),
+            ));
+        }
+        let lock = ObjId::new(9);
+        g.locks.insert(
+            lock,
+            LockState {
+                readers: vec![ThreadId::new(0)],
+                ..LockState::default()
+            },
+        );
+        g.thread_mut(ThreadId::new(1)).status = ThreadStatus::Announced(PendingOp::Acquire {
+            lock,
+            site: lbl("s:1"),
+            mode: AcquireMode::Shared,
+        });
+        g.thread_mut(ThreadId::new(2)).status = ThreadStatus::Announced(PendingOp::TryAcquire {
+            lock,
+            site: lbl("s:2"),
+            mode: AcquireMode::Exclusive,
+        });
+        // Reader 1 may join reader 0; the try-writer is enabled too (it
+        // will fail, not block).
+        assert!(g.is_enabled(ThreadId::new(1)));
+        assert!(g.is_enabled(ThreadId::new(2)));
+        // A blocking writer would be disabled.
+        g.thread_mut(ThreadId::new(2)).status = ThreadStatus::Announced(PendingOp::Acquire {
+            lock,
+            site: lbl("s:3"),
+            mode: AcquireMode::Exclusive,
+        });
+        assert!(!g.is_enabled(ThreadId::new(2)));
+    }
+
+    #[test]
+    fn cond_wait_set_disables_until_notified() {
+        let mut g = Global::new(true);
+        g.threads.push(ThreadState::new(
+            ThreadId::new(0),
+            "w".into(),
+            ObjId::new(0),
+        ));
+        let cv = ObjId::new(7);
+        g.condvars.insert(cv, vec![ThreadId::new(0)]);
+        g.thread_mut(ThreadId::new(0)).status =
+            ThreadStatus::Announced(PendingOp::AwaitCondNotify { condvar: cv });
+        assert!(!g.is_enabled(ThreadId::new(0)));
+        g.condvars.get_mut(&cv).unwrap().clear();
+        assert!(g.is_enabled(ThreadId::new(0)));
     }
 
     #[test]

@@ -92,6 +92,19 @@ impl<'a> StateView<'a> {
         self.g.lock_state(lock).map(|l| l.count).unwrap_or(0)
     }
 
+    /// Threads currently holding `lock` in shared (read) mode,
+    /// deduplicated, in id order.
+    pub fn lock_readers(&self, lock: ObjId) -> Vec<ThreadId> {
+        let mut rs = self
+            .g
+            .lock_state(lock)
+            .map(|l| l.readers.clone())
+            .unwrap_or_default();
+        rs.sort_unstable();
+        rs.dedup();
+        rs
+    }
+
     /// The object table of the execution so far (for computing
     /// abstractions on the fly).
     pub fn objects(&self) -> &'a ObjectTable {

@@ -7,14 +7,17 @@
 //! * `checkRealDeadlock` (Algorithm 4) — the fuzzer adds *intended*
 //!   acquisitions of paused threads as wait-for edges and asks for a cycle.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use df_events::{ObjId, ThreadId};
+use df_events::{AcquireMode, ObjId, ThreadId};
 
 /// A thread→lock wait-for graph with lock→thread ownership edges.
 ///
 /// Nodes are threads; thread `t` has an edge to thread `u` if `t` waits for
-/// (or intends to acquire) a lock currently held by `u`.
+/// (or intends to acquire) a lock held by `u` in a *conflicting mode*: an
+/// exclusive wait conflicts with every holder, a shared wait only with an
+/// exclusive holder (read–read coexistence never blocks). Locks may have
+/// several simultaneous shared holders, so a wait edge can fan out.
 ///
 /// # Example
 ///
@@ -34,8 +37,9 @@ use df_events::{ObjId, ThreadId};
 /// ```
 #[derive(Debug, Default)]
 pub struct WaitForGraph {
-    holder: HashMap<ObjId, ThreadId>,
-    waits: HashMap<ThreadId, ObjId>,
+    exclusive: HashMap<ObjId, Vec<ThreadId>>,
+    shared: HashMap<ObjId, Vec<ThreadId>>,
+    waits: HashMap<ThreadId, (ObjId, AcquireMode)>,
 }
 
 impl WaitForGraph {
@@ -44,66 +48,126 @@ impl WaitForGraph {
         Self::default()
     }
 
-    /// Records that `t` holds `lock`.
+    /// Records that `t` holds `lock` exclusively.
     pub fn add_holds(&mut self, t: ThreadId, lock: ObjId) {
-        self.holder.insert(lock, t);
+        self.exclusive.entry(lock).or_default().push(t);
     }
 
-    /// Records that `t` waits for (or intends to acquire) `lock`.
+    /// Records that `t` holds `lock` in shared (read) mode.
+    pub fn add_holds_shared(&mut self, t: ThreadId, lock: ObjId) {
+        self.shared.entry(lock).or_default().push(t);
+    }
+
+    /// Records that `t` waits for (or intends to acquire) `lock`
+    /// exclusively.
     pub fn add_waits(&mut self, t: ThreadId, lock: ObjId) {
-        self.waits.insert(t, lock);
+        self.waits.insert(t, (lock, AcquireMode::Exclusive));
+    }
+
+    /// Records that `t` waits for (or intends to acquire) `lock` in
+    /// shared mode: only exclusive holders block it.
+    pub fn add_waits_shared(&mut self, t: ThreadId, lock: ObjId) {
+        self.waits.insert(t, (lock, AcquireMode::Shared));
     }
 
     /// The lock `t` waits for, if any.
     pub fn waiting_for(&self, t: ThreadId) -> Option<ObjId> {
-        self.waits.get(&t).copied()
+        self.waits.get(&t).map(|&(l, _)| l)
     }
 
-    /// The holder of `lock`, if recorded.
+    /// The exclusive holder of `lock`, if recorded.
     pub fn holder_of(&self, lock: ObjId) -> Option<ThreadId> {
-        self.holder.get(&lock).copied()
+        self.exclusive.get(&lock).and_then(|v| v.first()).copied()
+    }
+
+    /// Every recorded holder of `lock` (exclusive first, then shared),
+    /// deduplicated, in id order within each group.
+    pub fn holders_of(&self, lock: ObjId) -> Vec<ThreadId> {
+        let mut out: Vec<ThreadId> = Vec::new();
+        for group in [self.exclusive.get(&lock), self.shared.get(&lock)] {
+            let mut g: Vec<ThreadId> = group.cloned().unwrap_or_default();
+            g.sort_unstable();
+            g.dedup();
+            for t in g {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Threads that block `t`'s pending acquisition: holders of the
+    /// waited-for lock whose hold mode conflicts with the wait mode.
+    fn successors(&self, t: ThreadId) -> Vec<ThreadId> {
+        let Some(&(lock, mode)) = self.waits.get(&t) else {
+            return Vec::new();
+        };
+        let mut out: Vec<ThreadId> = self.exclusive.get(&lock).cloned().unwrap_or_default();
+        if mode.is_exclusive() {
+            out.extend(
+                self.shared
+                    .get(&lock)
+                    .iter()
+                    .flat_map(|v| v.iter().copied()),
+            );
+        }
+        // Self-edges (re-entrant or upgrade attempts) cannot form a
+        // multi-thread deadlock cycle.
+        out.retain(|&u| u != t);
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Finds a cycle of threads `t_1 → t_2 → … → t_m → t_1` where each
-    /// `t_i` waits for a lock held by `t_{i+1}`. Returns the threads in
-    /// cycle order, or `None` if the graph is acyclic.
+    /// `t_i` waits for a lock held (in a conflicting mode) by `t_{i+1}`.
+    /// Returns the threads in cycle order, or `None` if the graph is
+    /// acyclic. Deterministic: starts and successors are visited in id
+    /// order.
     pub fn find_cycle(&self) -> Option<Vec<ThreadId>> {
-        // The out-degree of every node is ≤ 1 (a thread waits for at most
-        // one lock), so cycle detection is pointer chasing with a visited
-        // set.
-        let mut global_seen: std::collections::HashSet<ThreadId> = Default::default();
+        // Shared holds give nodes out-degree > 1, so this is a DFS with
+        // an explicit path (not the single-successor pointer chase the
+        // exclusive-only graph allowed).
+        let mut done: HashSet<ThreadId> = HashSet::new();
         let mut starts: Vec<ThreadId> = self.waits.keys().copied().collect();
         starts.sort();
         for &start in &starts {
-            if global_seen.contains(&start) {
+            if done.contains(&start) {
                 continue;
             }
             let mut path: Vec<ThreadId> = Vec::new();
             let mut pos: HashMap<ThreadId, usize> = HashMap::new();
-            let mut cur = start;
-            loop {
-                if let Some(&i) = pos.get(&cur) {
-                    return Some(path[i..].to_vec());
-                }
-                if global_seen.contains(&cur) {
-                    break; // joins a previously explored acyclic tail
-                }
-                pos.insert(cur, path.len());
-                path.push(cur);
-                let next = self
-                    .waits
-                    .get(&cur)
-                    .and_then(|l| self.holder.get(l))
-                    .copied();
-                match next {
-                    Some(n) if n != cur => cur = n,
-                    // Self-loop (re-entrant acquire) cannot deadlock; a
-                    // missing edge ends the walk.
-                    _ => break,
-                }
+            if let Some(cycle) = self.dfs(start, &mut path, &mut pos, &mut done) {
+                return Some(cycle);
             }
-            global_seen.extend(path);
         }
+        None
+    }
+
+    fn dfs(
+        &self,
+        cur: ThreadId,
+        path: &mut Vec<ThreadId>,
+        pos: &mut HashMap<ThreadId, usize>,
+        done: &mut HashSet<ThreadId>,
+    ) -> Option<Vec<ThreadId>> {
+        pos.insert(cur, path.len());
+        path.push(cur);
+        for next in self.successors(cur) {
+            if let Some(&i) = pos.get(&next) {
+                return Some(path[i..].to_vec());
+            }
+            if done.contains(&next) {
+                continue; // joins a previously explored acyclic region
+            }
+            if let Some(cycle) = self.dfs(next, path, pos, done) {
+                return Some(cycle);
+            }
+        }
+        path.pop();
+        pos.remove(&cur);
+        done.insert(cur);
         None
     }
 }
@@ -249,5 +313,55 @@ mod tests {
     fn empty_graph_has_no_cycle() {
         assert!(WaitForGraph::new().find_cycle().is_none());
         assert!(find_lock_stack_cycle(&[]).is_none());
+    }
+
+    #[test]
+    fn shared_wait_ignores_shared_holders() {
+        // t1 reads l1; t2 wants to read l1 too — no conflict, no cycle.
+        let mut g = WaitForGraph::new();
+        g.add_holds_shared(t(1), o(1));
+        g.add_waits_shared(t(2), o(1));
+        assert!(g.find_cycle().is_none());
+        // But a write intent against the same reader does conflict.
+        g.add_waits(t(2), o(1));
+        g.add_holds(t(2), o(2));
+        g.add_waits_shared(t(1), o(2));
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn writer_blocked_by_many_readers_fans_out() {
+        // t1 and t2 both read l1; t3 holds l3 and wants to write l1.
+        // Only the t2 branch closes a cycle (t2 waits for l3).
+        let mut g = WaitForGraph::new();
+        g.add_holds_shared(t(1), o(1));
+        g.add_holds_shared(t(2), o(1));
+        g.add_holds(t(3), o(3));
+        g.add_waits(t(3), o(1));
+        g.add_waits(t(2), o(3));
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&t(2)) && c.contains(&t(3)));
+        assert!(!c.contains(&t(1)));
+    }
+
+    #[test]
+    fn upgrade_self_edge_is_not_a_deadlock() {
+        // A reader attempting to upgrade waits on its own shared hold.
+        let mut g = WaitForGraph::new();
+        g.add_holds_shared(t(1), o(1));
+        g.add_waits(t(1), o(1));
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn holders_of_lists_exclusive_then_shared() {
+        let mut g = WaitForGraph::new();
+        g.add_holds_shared(t(3), o(1));
+        g.add_holds_shared(t(2), o(1));
+        g.add_holds(t(1), o(1));
+        assert_eq!(g.holders_of(o(1)), vec![t(1), t(2), t(3)]);
+        assert_eq!(g.holder_of(o(1)), Some(t(1)));
     }
 }

@@ -1,5 +1,7 @@
 //! Indexed iGoodlock vs the naive oracle on *real* Phase I relations:
-//! every Table 1 benchmark program is observed under the simple random
+//! every Table 1 benchmark program — plus the three mode-aware models
+//! (producer/consumer condvar, read-mostly rwlock cache and the
+//! writer-starvation ring) — is observed under the simple random
 //! scheduler, and the two join implementations must produce
 //! byte-identical cycle reports (with and without the happens-before
 //! filter) and an identical join shape.
@@ -10,13 +12,35 @@ use deadlock_fuzzer::igoodlock::{
     LockDependencyRelation,
 };
 use deadlock_fuzzer::runtime::{RunConfig, VirtualRuntime};
+use deadlock_fuzzer::ProgramRef;
+
+fn suite() -> Vec<(String, ProgramRef)> {
+    let mut programs: Vec<(String, ProgramRef)> = df_benchmarks::table1_suite()
+        .into_iter()
+        .map(|b| (b.name.to_string(), b.program))
+        .collect();
+    programs.push((
+        "producer-consumer".into(),
+        df_benchmarks::producer_consumer::program(),
+    ));
+    programs.push((
+        "read-mostly-cache".into(),
+        df_benchmarks::read_mostly_cache::program(),
+    ));
+    programs.push((
+        "writer-starvation".into(),
+        df_benchmarks::writer_starvation::program(3),
+    ));
+    programs
+}
 
 #[test]
 fn indexed_matches_naive_on_benchmark_traces() {
     let mut relations_with_cycles = 0;
-    for bench in df_benchmarks::table1_suite() {
+    for (name, program) in suite() {
+        let bench_name = name.as_str();
         for seed in [7u64, 23] {
-            let program = bench.program.clone();
+            let program = program.clone();
             let result = VirtualRuntime::new(RunConfig::default())
                 .run(Box::new(SimpleRandomChecker::with_seed(seed)), move |ctx| {
                     program.run(ctx)
@@ -34,20 +58,19 @@ fn indexed_matches_naive_on_benchmark_traces() {
                         serde_json::to_string(&ic).expect("serialize"),
                         serde_json::to_string(&nc).expect("serialize"),
                         "byte-identical cycle report for {} (seed {seed}, hb {}, {:?})",
-                        bench.name,
+                        bench_name,
                         hb_filter.is_some(),
                         options
                     );
-                    assert_eq!(is.chains_built, ns.chains_built, "{}", bench.name);
-                    assert_eq!(is.iterations, ns.iterations, "{}", bench.name);
+                    assert_eq!(is.chains_built, ns.chains_built, "{bench_name}");
+                    assert_eq!(is.iterations, ns.iterations, "{bench_name}");
                     assert_eq!(
                         is.chains_per_iteration, ns.chains_per_iteration,
-                        "{}",
-                        bench.name
+                        "{bench_name}"
                     );
-                    assert_eq!(is.truncated, ns.truncated, "{}", bench.name);
-                    assert_eq!(is.pruned_by_hb, ns.pruned_by_hb, "{}", bench.name);
-                    assert_eq!(is.peak_open_chains, ns.peak_open_chains, "{}", bench.name);
+                    assert_eq!(is.truncated, ns.truncated, "{bench_name}");
+                    assert_eq!(is.pruned_by_hb, ns.pruned_by_hb, "{bench_name}");
+                    assert_eq!(is.peak_open_chains, ns.peak_open_chains, "{bench_name}");
                     if !ic.is_empty() {
                         relations_with_cycles += 1;
                     }

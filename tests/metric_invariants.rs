@@ -160,20 +160,14 @@ fn spill_backpressure_flows_into_the_metrics_document() {
     for _ in 0..256 {
         trace.push(
             t0,
-            EventKind::Acquire {
+            EventKind::acquire(
                 lock,
-                site: Label::new("slow:2"),
-                held: vec![],
-                context: vec![Label::new("slow:2")],
-            },
+                Label::new("slow:2"),
+                vec![],
+                vec![Label::new("slow:2")],
+            ),
         );
-        trace.push(
-            t0,
-            EventKind::Release {
-                lock,
-                site: Label::new("slow:3"),
-            },
-        );
+        trace.push(t0, EventKind::release(lock, Label::new("slow:3")));
     }
 
     let config = SpillConfig::with_format(TraceFormat::Binary)
