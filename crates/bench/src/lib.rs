@@ -16,8 +16,8 @@ mod streaming_bench;
 mod trace_bench;
 
 pub use igoodlock_bench::{
-    igoodlock_bench, igoodlock_bench_row, philosophers_ring_relation, synthetic_join_relation,
-    IGoodlockBenchRow,
+    igoodlock_bench, igoodlock_bench_row, join_parallel_bench, join_parallel_rows,
+    philosophers_ring_relation, synthetic_join_relation, IGoodlockBenchRow, JoinParallelRow,
 };
 pub use streaming_bench::{streaming_bench, streaming_bench_row, StreamingBenchRow};
 pub use trace_bench::{synthetic_trace, trace_io_bench_rows, TraceIoBenchRow};

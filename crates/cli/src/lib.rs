@@ -26,7 +26,7 @@ use df_abstraction::Abstractor;
 #[cfg(test)]
 use df_events::TraceFormat;
 use df_events::{SpillConfig, Trace, TRACE_BINARY_MAGIC};
-use df_igoodlock::{igoodlock_filtered, HbFilter, IGoodlockOptions, LockDependencyRelation};
+use df_igoodlock::{igoodlock_parallel, HbFilter, IGoodlockOptions, LockDependencyRelation};
 
 /// Documented process exit codes for the verdict commands (`confirm`,
 /// `run`). See README "Failure taxonomy & exit codes".
@@ -300,6 +300,7 @@ pub fn config_of(opts: &CliOptions) -> Result<Config, CliError> {
         .with_confirm_trials(opts.trials)
         .with_hb_filter(opts.hb)
         .with_jobs(opts.jobs)
+        .with_phase1_jobs(opts.jobs)
         .with_stream_phase1(opts.stream)
         .with_spill(opts.spill);
     if let Some(p) = opts.fault_panic {
@@ -486,7 +487,12 @@ fn abstraction_of(variant: Variant) -> df_abstraction::AbstractionMode {
 fn analyze_trace(trace: &Trace, opts: &CliOptions) -> Result<CmdOutput, CliError> {
     let relation = LockDependencyRelation::from_trace(trace);
     let hb = opts.hb.then(|| HbFilter::from_trace(trace));
-    let (cycles, stats) = igoodlock_filtered(&relation, hb.as_ref(), &IGoodlockOptions::default());
+    let (cycles, stats, _) = igoodlock_parallel(
+        &relation,
+        hb.as_ref(),
+        &IGoodlockOptions::default(),
+        opts.jobs,
+    );
     let abstractor = Abstractor::new(abstraction_of(opts.variant));
     let abstract_cycles: Vec<df_igoodlock::AbstractCycle> = cycles
         .iter()
@@ -517,12 +523,32 @@ fn analyze_trace(trace: &Trace, opts: &CliOptions) -> Result<CmdOutput, CliError
 
 /// Offline iGoodlock over a bare [`LockDependencyRelation`] (a
 /// `df-relation` artifact): no trace means no object table, so cycles
-/// are reported concretely rather than abstracted.
+/// are reported concretely rather than abstracted. With
+/// `--metrics-out`, the join's wall-clock span is recorded through
+/// [`df_obs::PhaseTimings`] and lands both as a `phase1_join` phase and
+/// as a `phase1_join_ms` extra gauge in the metrics document.
 fn analyze_relation(
     relation: &LockDependencyRelation,
     opts: &CliOptions,
 ) -> Result<CmdOutput, CliError> {
-    let (cycles, _) = igoodlock_filtered(relation, None, &IGoodlockOptions::default());
+    let timings = df_obs::PhaseTimings::new();
+    let (cycles, stats, pstats) = timings.time("phase1_join", || {
+        igoodlock_parallel(relation, None, &IGoodlockOptions::default(), opts.jobs)
+    });
+    let mut metrics = df_obs::Metrics::new("analyze-relation");
+    metrics.counters.dependency_edges = relation.len() as u64;
+    metrics.counters.cycles_found = cycles.len() as u64;
+    metrics.counters.join_candidates_examined = stats.join_candidates_examined;
+    metrics.counters.join_chains_built = stats.chains_built;
+    metrics.counters.join_tasks_executed = pstats.tasks_executed;
+    metrics.counters.join_steal_waits = pstats.steal_waits;
+    metrics.phases = timings.snapshot();
+    if let Some(span) = metrics.phases.iter().find(|s| s.name == "phase1_join") {
+        metrics
+            .extra
+            .insert("phase1_join_ms".to_string(), span.micros as f64 / 1000.0);
+    }
+    write_metrics(opts, &metrics)?;
     if opts.json {
         return serde_json::to_string_pretty(&cycles)
             .map(CmdOutput::ok)
@@ -1119,6 +1145,63 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.exit_code(), exit_code::USAGE);
         assert!(err.message().contains("--hb"), "{err}");
+    }
+
+    #[test]
+    fn analyze_relation_writes_join_timing_metrics() {
+        let relation_path = TempPath::new("timed-relation.json");
+        let metrics_path = TempPath::new("relation-metrics.json");
+        let record_opts = CliOptions {
+            relation_out: Some(relation_path.0.clone()),
+            ..CliOptions::default()
+        };
+        cmd_record("figure1", &record_opts).unwrap();
+        let content = std::fs::read(&relation_path.0).unwrap();
+        let opts = CliOptions {
+            metrics_out: Some(metrics_path.0.clone()),
+            jobs: 2,
+            ..CliOptions::default()
+        };
+        let out = cmd_analyze(&content, "timed-relation.json", &opts).unwrap();
+        assert!(out.text.contains("1 potential cycle"), "{}", out.text);
+        let metrics =
+            df_obs::Metrics::from_json(&std::fs::read_to_string(&metrics_path.0).unwrap()).unwrap();
+        assert_eq!(metrics.program, "analyze-relation");
+        assert!(metrics.extra.contains_key("phase1_join_ms"), "{metrics:?}");
+        assert!(
+            metrics.phases.iter().any(|s| s.name == "phase1_join"),
+            "{metrics:?}"
+        );
+        assert_eq!(metrics.counters.cycles_found, 1);
+        assert!(metrics.counters.dependency_edges > 0);
+    }
+
+    #[test]
+    fn offline_analysis_is_jobs_invariant() {
+        let trace_path = TempPath::new("jobs-trace.jsonl");
+        cmd_record(
+            "dining-philosophers",
+            &CliOptions {
+                out: Some(trace_path.0.clone()),
+                ..CliOptions::default()
+            },
+        )
+        .unwrap();
+        let content = std::fs::read(&trace_path.0).unwrap();
+        let analyze = |jobs| {
+            let opts = CliOptions {
+                json: true,
+                jobs,
+                ..CliOptions::default()
+            };
+            cmd_analyze(&content, "jobs-trace.jsonl", &opts)
+                .unwrap()
+                .text
+        };
+        let seq = analyze(1);
+        for jobs in [0, 2, 4] {
+            assert_eq!(seq, analyze(jobs), "jobs={jobs}");
+        }
     }
 
     #[test]

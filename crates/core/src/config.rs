@@ -136,6 +136,14 @@ pub struct Config {
     /// index-based, so any `jobs` value produces the same report modulo
     /// wall-clock fields.
     pub jobs: usize,
+    /// Worker threads for the Phase I iGoodlock chain join
+    /// ([`df_igoodlock::igoodlock_parallel`]). `1` (the default) runs
+    /// the sequential indexed join; `0` means one worker per available
+    /// hardware thread. The parallel join's merge is deterministic, so
+    /// any value produces byte-identical cycle reports and identical
+    /// join statistics — only wall-clock and the scheduling counters
+    /// (`join_tasks_executed`, `join_steal_waits`) vary.
+    pub phase1_jobs: usize,
     /// Stop a confirmation campaign at the first trial that reproduces
     /// the target cycle: the campaign reports exactly the trials up to
     /// and including the first matching one (in trial-index order, at
@@ -174,6 +182,7 @@ impl Default for Config {
             trial_deadline: Some(Duration::from_secs(30)),
             trial_retries: 2,
             jobs: 0,
+            phase1_jobs: 1,
             stop_on_first: false,
             stream_phase1: false,
             spill: SpillConfig::default(),
@@ -250,6 +259,13 @@ impl Config {
     /// `1` = sequential).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the Phase I join worker count (`1` = sequential, `0` = one
+    /// per hardware thread; see [`Config::phase1_jobs`]).
+    pub fn with_phase1_jobs(mut self, jobs: usize) -> Self {
+        self.phase1_jobs = jobs;
         self
     }
 
@@ -341,6 +357,12 @@ impl Config {
         if self.igoodlock.max_open_chains == 0 {
             return invalid("igoodlock.max_open_chains must be at least 1".to_string());
         }
+        if self.phase1_jobs > 1024 {
+            return invalid(format!(
+                "phase1_jobs must be at most 1024 (0 = one worker per core), got {}",
+                self.phase1_jobs
+            ));
+        }
         if self.stream_phase1 && self.hb_filter {
             return invalid(
                 "stream_phase1 is incompatible with hb_filter: the happens-before \
@@ -422,6 +444,7 @@ mod tests {
             .with_trial_deadline(Some(Duration::from_secs(5)))
             .with_trial_retries(1)
             .with_jobs(4)
+            .with_phase1_jobs(2)
             .with_stop_on_first(true)
             .with_pause_budget(99)
             .with_yield_budget(3)
@@ -436,6 +459,7 @@ mod tests {
         assert_eq!(c.trial_deadline, Some(Duration::from_secs(5)));
         assert_eq!(c.trial_retries, 1);
         assert_eq!(c.jobs, 4);
+        assert_eq!(c.phase1_jobs, 2);
         assert!(c.stop_on_first);
         assert_eq!(c.pause_budget, 99);
         assert_eq!(c.yield_budget, 3);
@@ -510,6 +534,19 @@ mod tests {
         let mut c = Config::default();
         c.igoodlock.max_open_chains = 0;
         assert!(rejection(&c).contains("max_open_chains"));
+    }
+
+    #[test]
+    fn validate_bounds_phase1_jobs() {
+        let c = Config::default().with_phase1_jobs(2000);
+        assert!(rejection(&c).contains("phase1_jobs"));
+        assert!(Config::default().with_phase1_jobs(0).validate().is_ok());
+        assert!(Config::default().with_phase1_jobs(1024).validate().is_ok());
+        assert_eq!(
+            Config::default().phase1_jobs,
+            1,
+            "Phase I is sequential by default"
+        );
     }
 
     #[test]

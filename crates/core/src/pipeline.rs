@@ -7,7 +7,7 @@ use std::time::Instant;
 use df_abstraction::Abstractor;
 use df_fuzzer::{ActiveConfig, ActiveStrategy, SimpleRandomChecker};
 use df_igoodlock::{
-    igoodlock_filtered, AbstractComponent, AbstractCycle, HbFilter, LockDependencyRelation,
+    igoodlock_parallel, AbstractComponent, AbstractCycle, HbFilter, LockDependencyRelation,
     RelationBuilder,
 };
 use df_runtime::{Outcome, RunResult, VirtualRuntime};
@@ -178,7 +178,12 @@ impl DeadlockFuzzer {
             .config
             .hb_filter
             .then(|| HbFilter::from_trace(&result.trace));
-        let (cycles, stats) = igoodlock_filtered(&relation, hb.as_ref(), &self.config.igoodlock);
+        let (cycles, stats, pstats) = igoodlock_parallel(
+            &relation,
+            hb.as_ref(),
+            &self.config.igoodlock,
+            self.config.phase1_jobs,
+        );
         let abstractor = Abstractor::new(self.config.mode);
         let abstract_cycles = cycles
             .iter()
@@ -189,6 +194,9 @@ impl DeadlockFuzzer {
         obs.counters()
             .add_join_candidates_examined(stats.join_candidates_examined);
         obs.counters().add_join_chains_built(stats.chains_built);
+        obs.counters()
+            .add_join_tasks_executed(pstats.tasks_executed);
+        obs.counters().add_join_steal_waits(pstats.steal_waits);
         obs.timings().record("phase1", start.elapsed());
         obs.emit(&df_obs::TraceEvent::PhaseEnd {
             phase: "phase1".to_string(),
@@ -239,7 +247,12 @@ impl DeadlockFuzzer {
             move |ctx| program.run(ctx),
         );
         let relation = builder.lock().expect("relation builder sink").take();
-        let (cycles, stats) = igoodlock_filtered(&relation, None, &self.config.igoodlock);
+        let (cycles, stats, pstats) = igoodlock_parallel(
+            &relation,
+            None,
+            &self.config.igoodlock,
+            self.config.phase1_jobs,
+        );
         let abstractor = Abstractor::new(self.config.mode);
         let abstract_cycles = cycles
             .iter()
@@ -250,6 +263,9 @@ impl DeadlockFuzzer {
         obs.counters()
             .add_join_candidates_examined(stats.join_candidates_examined);
         obs.counters().add_join_chains_built(stats.chains_built);
+        obs.counters()
+            .add_join_tasks_executed(pstats.tasks_executed);
+        obs.counters().add_join_steal_waits(pstats.steal_waits);
         obs.timings().record("phase1", start.elapsed());
         obs.emit(&df_obs::TraceEvent::PhaseEnd {
             phase: "phase1".to_string(),

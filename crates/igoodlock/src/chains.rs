@@ -98,9 +98,10 @@ pub struct IGoodlockStats {
 /// An open chain in the indexed join: dep indices plus fixed-width
 /// bitsets over the per-run interned ids. Nothing here borrows the
 /// relation, and extension clones only word-blocks — never thread, lock
-/// or context vectors.
-struct IndexedChain {
-    deps: Vec<u32>,
+/// or context vectors. Crate-visible so [`crate::parallel`] workers
+/// extend exactly the same chains the sequential loop does.
+pub(crate) struct IndexedChain {
+    pub(crate) deps: Vec<u32>,
     /// Interned threads present (Definition 2(1)).
     thread_bits: BitSet,
     /// Interned acquired locks present (Definition 2(2)).
@@ -114,14 +115,14 @@ struct IndexedChain {
     lockset_excl_union: BitSet,
     /// Interned lock acquired by the last component (Definition 2(3):
     /// the next component must hold it — i.e. come from its bucket).
-    last_lock: u32,
+    pub(crate) last_lock: u32,
     /// Mode of that acquisition: selects which bucket (shared
     /// acquisitions only conflict with exclusive holders).
-    last_mode: AcquireMode,
+    pub(crate) last_mode: AcquireMode,
 }
 
 impl IndexedChain {
-    fn single(idx: u32, index: &JoinIndex) -> Self {
+    pub(crate) fn single(idx: u32, index: &JoinIndex) -> Self {
         let i = idx as usize;
         let mut thread_bits = BitSet::zeroed(index.thread_bits());
         thread_bits.insert(index.thread_bit[i]);
@@ -138,7 +139,21 @@ impl IndexedChain {
         }
     }
 
-    fn extended(&self, idx: u32, index: &JoinIndex) -> IndexedChain {
+    /// The Definition 2 + §2.2.3 filter for appending candidate `c`:
+    /// dedup root is the minimum thread id, threads and acquired locks
+    /// pairwise distinct, and the mode-aware disjoint-locksets check.
+    /// Shared between the sequential loop and the parallel workers so
+    /// the two joins cannot drift apart.
+    pub(crate) fn admits(&self, c: usize, index: &JoinIndex) -> bool {
+        let root = index.thread[self.deps[0] as usize];
+        !(index.thread[c] <= root
+            || self.thread_bits.contains(index.thread_bit[c])
+            || self.lock_bits.contains(index.lock[c])
+            || index.lockset[c].intersects(&self.lockset_excl_union)
+            || index.lockset_excl[c].intersects(&self.lockset_union))
+    }
+
+    pub(crate) fn extended(&self, idx: u32, index: &JoinIndex) -> IndexedChain {
         let i = idx as usize;
         let mut deps = self.deps.clone();
         deps.push(idx);
@@ -226,6 +241,30 @@ pub fn igoodlock_filtered(
     hb: Option<&crate::hb::HbFilter>,
     options: &IGoodlockOptions,
 ) -> (Vec<Cycle>, IGoodlockStats) {
+    // Building a JoinIndex (interners, bitsets, buckets) costs more than
+    // the brute-force join saves on tiny relations — the ring-4 bench row
+    // ran at 0.64x naive before this dispatch. Below the threshold the
+    // oracle *is* the implementation.
+    if relation.len() < SMALL_RELATION_FAST_PATH {
+        return naive_igoodlock_filtered(relation, hb, options);
+    }
+    igoodlock_indexed_filtered(relation, hb, options)
+}
+
+/// Relations smaller than this skip [`JoinIndex`] construction and run
+/// the brute-force join directly: with fewer than this many tuples the
+/// index costs more to build than the scan it avoids.
+pub(crate) const SMALL_RELATION_FAST_PATH: usize = 8;
+
+/// The indexed join proper, with no size dispatch — what
+/// [`igoodlock_filtered`] runs above [`SMALL_RELATION_FAST_PATH`], kept
+/// directly callable so equivalence tests exercise the index even on
+/// tiny fixtures.
+pub(crate) fn igoodlock_indexed_filtered(
+    relation: &LockDependencyRelation,
+    hb: Option<&crate::hb::HbFilter>,
+    options: &IGoodlockOptions,
+) -> (Vec<Cycle>, IGoodlockStats) {
     let deps = relation.deps();
     let mut stats = IGoodlockStats::default();
     let mut cycles: Vec<Cycle> = Vec::new();
@@ -259,25 +298,15 @@ pub fn igoodlock_filtered(
         stats.peak_open_chains = stats.peak_open_chains.max(current.len() as u64);
         let mut next: Vec<IndexedChain> = Vec::new();
         for chain in &current {
-            let root = index.thread[chain.deps[0] as usize];
             // Definition 2(3) plus the mode edge rule is the bucket
             // membership (a shared last acquisition draws only from the
-            // exclusive-holders bucket); the remaining checks are §2.2.3
-            // (dedup root is the minimum thread id), 2(1), 2(2) and the
-            // mode-aware 2(4) — two locksets conflict only where one
-            // side holds a common lock exclusively, so read-read
-            // overlaps are allowed. Buckets list tuples in relation
-            // order, so accepted extensions appear in exactly the order
-            // the naive scan would produce them.
+            // exclusive-holders bucket); `admits` is §2.2.3 plus 2(1),
+            // 2(2) and the mode-aware 2(4). Buckets list tuples in
+            // relation order, so accepted extensions appear in exactly
+            // the order the naive scan would produce them.
             for &cand in index.candidates(chain.last_lock, chain.last_mode) {
                 stats.join_candidates_examined += 1;
-                let c = cand as usize;
-                if index.thread[c] <= root
-                    || chain.thread_bits.contains(index.thread_bit[c])
-                    || chain.lock_bits.contains(index.lock[c])
-                    || index.lockset[c].intersects(&chain.lockset_excl_union)
-                    || index.lockset_excl[c].intersects(&chain.lockset_union)
-                {
+                if !chain.admits(cand as usize, &index) {
                     continue;
                 }
                 let ext = chain.extended(cand, &index);
@@ -966,7 +995,10 @@ mod tests {
         ];
         for rel in &fixtures {
             for opts in &options {
-                let (ic, is) = igoodlock_with_stats(rel, opts);
+                // Call the index directly: these fixtures sit below the
+                // small-relation dispatch, which would otherwise route
+                // the public entry point straight to the oracle.
+                let (ic, is) = igoodlock_indexed_filtered(rel, None, opts);
                 let (nc, ns) = naive_igoodlock_with_stats(rel, opts);
                 assert_eq!(ic, nc);
                 assert_eq!(is.chains_built, ns.chains_built);
@@ -974,18 +1006,35 @@ mod tests {
                 assert_eq!(is.chains_per_iteration, ns.chains_per_iteration);
                 assert_eq!(is.truncated, ns.truncated);
                 assert_eq!(is.peak_open_chains, ns.peak_open_chains);
+                // The public entry point dispatches between the two, so
+                // it can only ever return this same answer.
+                let (pc, ps) = igoodlock_filtered(rel, None, opts);
+                assert_eq!(pc, nc);
+                assert_eq!(ps.chains_built, ns.chains_built);
             }
         }
+    }
+
+    #[test]
+    fn small_relations_skip_index_construction() {
+        // Below the threshold the public join returns the oracle's exact
+        // stats (per-chain candidate counts are |D|, the naive shape).
+        let rel = LockDependencyRelation::from_deps(vec![dep(1, &[1], 2), dep(2, &[2], 1)]);
+        assert!(rel.len() < SMALL_RELATION_FAST_PATH);
+        let (c, s) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+        let (nc, ns) = naive_igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+        assert_eq!(c, nc);
+        assert_eq!(s, ns);
     }
 }
 
 #[cfg(test)]
-mod proptests {
+pub(crate) mod proptests {
     use super::*;
     use df_events::{Label, ThreadId};
     use proptest::prelude::*;
 
-    fn arb_relation() -> impl Strategy<Value = LockDependencyRelation> {
+    pub(crate) fn arb_relation() -> impl Strategy<Value = LockDependencyRelation> {
         prop::collection::vec(
             (
                 1..5u32,                              // thread
@@ -1021,7 +1070,7 @@ mod proptests {
 
     /// Relations mixing shared and exclusive acquisitions and holds —
     /// the vocabulary rwlock-using programs produce.
-    fn arb_mixed_relation() -> impl Strategy<Value = LockDependencyRelation> {
+    pub(crate) fn arb_mixed_relation() -> impl Strategy<Value = LockDependencyRelation> {
         use df_events::AcquireMode;
         prop::collection::vec(
             (
@@ -1138,7 +1187,7 @@ mod proptests {
         /// shape, never more candidates examined.
         #[test]
         fn indexed_matches_naive_oracle(rel in arb_relation()) {
-            let (ic, is) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+            let (ic, is) = igoodlock_indexed_filtered(&rel, None, &IGoodlockOptions::default());
             let (nc, ns) = naive_igoodlock_with_stats(&rel, &IGoodlockOptions::default());
             prop_assert_eq!(ic, nc);
             prop_assert_eq!(is.chains_built, ns.chains_built);
@@ -1152,7 +1201,7 @@ mod proptests {
         /// must accept/reject exactly what the scalar mode checks do.
         #[test]
         fn indexed_matches_naive_on_mixed_modes(rel in arb_mixed_relation()) {
-            let (ic, is) = igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+            let (ic, is) = igoodlock_indexed_filtered(&rel, None, &IGoodlockOptions::default());
             let (nc, ns) = naive_igoodlock_with_stats(&rel, &IGoodlockOptions::default());
             prop_assert_eq!(ic, nc);
             prop_assert_eq!(is.chains_built, ns.chains_built);

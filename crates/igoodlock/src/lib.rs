@@ -47,6 +47,7 @@ mod cycle;
 mod dfs;
 mod hb;
 mod index;
+mod parallel;
 mod relation;
 
 pub use artifact::{
@@ -60,4 +61,5 @@ pub use chains::{
 pub use cycle::{AbstractComponent, AbstractCycle, Cycle, CycleComponent};
 pub use dfs::{goodlock_dfs, GoodlockDfsStats};
 pub use hb::{HbFilter, VectorClock};
+pub use parallel::{igoodlock_parallel, ParallelJoinStats};
 pub use relation::{modes_conflict, DepTiming, LockDep, LockDependencyRelation};

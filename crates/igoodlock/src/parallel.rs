@@ -1,0 +1,464 @@
+//! Work-sharded parallel iGoodlock join with a deterministic merge.
+//!
+//! Algorithm 1 is breadth-iterative: every chain of length `k` exists
+//! before any chain of length `k + 1`. Within one iteration the chains
+//! are independent — extending chain `A` never reads chain `B` — so the
+//! frontier can be partitioned across a worker pool. What is *not*
+//! independent is everything the sequential loop threads through the
+//! iteration: cycle dedup over projection-id vectors, the
+//! `max_cycles` / `max_open_chains` truncation points, and the
+//! [`IGoodlockStats`] counters. The contract of this module is that
+//! `jobs=1` and `jobs=N` produce **byte-identical cycle reports and
+//! identical stats**, so the split is:
+//!
+//! * **Workers** run the pure part: for each chain of their shard they
+//!   walk the chain's candidate bucket (see [`crate::index`]) and record
+//!   every accepted extension together with its 1-based position in the
+//!   bucket, into a per-chain [`ChainOut`] held in a worker-local arena.
+//! * **The merge** replays those records *in chain discovery order* —
+//!   frontier order, the exact order the sequential loop visits — doing
+//!   the stateful part: projection-id dedup, the happens-before filter,
+//!   `chains_built` / `join_candidates_examined` accounting (recovered
+//!   exactly from the recorded bucket positions, rejected candidates
+//!   included), and the mid-iteration truncation returns at the same
+//!   candidate the sequential join stops at.
+//!
+//! Workers and the sequential loop share [`IndexedChain::admits`] /
+//! [`IndexedChain::extended`], so the two joins cannot drift: the
+//! parallel join is the same join, minus the wall-clock.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::chains::{
+    igoodlock_filtered, IGoodlockOptions, IGoodlockStats, IndexedChain, SMALL_RELATION_FAST_PATH,
+};
+use crate::cycle::{Cycle, CycleComponent};
+use crate::hb::HbFilter;
+use crate::index::JoinIndex;
+use crate::relation::LockDependencyRelation;
+
+/// Frontiers smaller than this are extended inline on the calling
+/// thread: spawning costs more than the join saves.
+const PARALLEL_FRONTIER_MIN: usize = 64;
+
+/// Smallest number of chains claimed per task — keeps the claim counter
+/// off the hot path.
+const MIN_CHUNK: usize = 16;
+
+/// Target tasks per worker and iteration; more tasks than workers lets
+/// fast workers steal the slack of slow ones.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Scheduling statistics of a parallel join — observability only.
+///
+/// Unlike [`IGoodlockStats`], these legitimately vary with `jobs` (and
+/// with nothing else): task counts depend on how the frontier was
+/// chunked, not on what was found.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParallelJoinStats {
+    /// Join tasks (frontier chunks, or whole inline frontiers) executed.
+    pub tasks_executed: u64,
+    /// Times a worker went back for more work and found the iteration's
+    /// task queue drained.
+    pub steal_waits: u64,
+}
+
+/// One accepted extension, recorded where the worker found it.
+struct Accept {
+    /// 1-based position of the accepted candidate in the chain's bucket
+    /// — lets the merge recover the exact number of candidates the
+    /// sequential loop would have examined (rejections included) up to
+    /// any truncation point.
+    examined_at: u64,
+    /// Whether the extension closes into a cycle (Definition 3).
+    closes: bool,
+    ext: IndexedChain,
+}
+
+/// Everything a worker produced for one frontier chain.
+struct ChainOut {
+    /// Total candidates in the chain's bucket.
+    bucket_len: u64,
+    accepts: Vec<Accept>,
+}
+
+/// The pure per-chain work: walk the candidate bucket, record accepted
+/// extensions with their bucket positions. No shared state.
+fn extend_chain(chain: &IndexedChain, index: &JoinIndex) -> ChainOut {
+    let cands = index.candidates(chain.last_lock, chain.last_mode);
+    let mut accepts = Vec::new();
+    for (pos, &cand) in cands.iter().enumerate() {
+        if !chain.admits(cand as usize, index) {
+            continue;
+        }
+        let ext = chain.extended(cand, index);
+        let closes = index.closes_against(ext.deps[0] as usize, ext.last_lock, ext.last_mode);
+        accepts.push(Accept {
+            examined_at: pos as u64 + 1,
+            closes,
+            ext,
+        });
+    }
+    ChainOut {
+        bucket_len: cands.len() as u64,
+        accepts,
+    }
+}
+
+/// Extends every chain of `current`, fanning out across `workers`
+/// scoped threads when the frontier is wide enough. Returns the
+/// per-chain outputs **in frontier order** regardless of which worker
+/// produced them — chunks are claimed off an atomic counter but land in
+/// slots indexed by chunk, so the concatenation is deterministic.
+fn fan_out(
+    current: &[IndexedChain],
+    index: &JoinIndex,
+    workers: usize,
+    pstats: &mut ParallelJoinStats,
+) -> Vec<ChainOut> {
+    if workers <= 1 || current.len() < PARALLEL_FRONTIER_MIN {
+        pstats.tasks_executed += 1;
+        return current.iter().map(|c| extend_chain(c, index)).collect();
+    }
+    let chunk = current
+        .len()
+        .div_ceil(workers * CHUNKS_PER_WORKER)
+        .max(MIN_CHUNK);
+    let n_chunks = current.len().div_ceil(chunk);
+    let next_chunk = AtomicUsize::new(0);
+    let drained = AtomicU64::new(0);
+    let slots: Vec<Mutex<Option<Vec<ChainOut>>>> =
+        (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n_chunks) {
+            s.spawn(|| loop {
+                let k = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if k >= n_chunks {
+                    drained.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                let lo = k * chunk;
+                let hi = (lo + chunk).min(current.len());
+                let outs: Vec<ChainOut> = current[lo..hi]
+                    .iter()
+                    .map(|c| extend_chain(c, index))
+                    .collect();
+                *slots[k].lock().expect("no worker panicked holding a slot") = Some(outs);
+            });
+        }
+    });
+    pstats.tasks_executed += n_chunks as u64;
+    pstats.steal_waits += drained.load(Ordering::Relaxed);
+    slots
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked holding a slot")
+                .expect("every chunk was claimed and completed")
+        })
+        .collect()
+}
+
+/// [`igoodlock_filtered`] fanned out over `jobs` worker threads, with a
+/// deterministic merge: the returned cycles and [`IGoodlockStats`] are
+/// identical — down to serialized bytes and truncation points — for
+/// every `jobs` value, including 1. `jobs == 0` means one worker per
+/// available core; `jobs <= 1` and relations below the small-relation
+/// threshold delegate to the sequential join outright.
+///
+/// # Example
+///
+/// ```
+/// use df_igoodlock::{
+///     igoodlock_filtered, igoodlock_parallel, IGoodlockOptions, LockDep,
+///     LockDependencyRelation,
+/// };
+/// use df_events::{Label, ObjId, ThreadId};
+///
+/// let dep = |t: u32, held: u32, lock: u32| {
+///     LockDep::exclusive(
+///         ThreadId::new(t),
+///         ObjId::new(t),
+///         vec![ObjId::new(held)],
+///         ObjId::new(lock),
+///         vec![Label::new("a:1"), Label::new("a:2")],
+///     )
+/// };
+/// let rel = LockDependencyRelation::from_deps(vec![dep(1, 10, 11), dep(2, 11, 10)]);
+/// let opts = IGoodlockOptions::default();
+/// let (cycles, stats, _) = igoodlock_parallel(&rel, None, &opts, 4);
+/// assert_eq!((cycles, stats), igoodlock_filtered(&rel, None, &opts));
+/// ```
+pub fn igoodlock_parallel(
+    relation: &LockDependencyRelation,
+    hb: Option<&HbFilter>,
+    options: &IGoodlockOptions,
+    jobs: usize,
+) -> (Vec<Cycle>, IGoodlockStats, ParallelJoinStats) {
+    let workers = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    if workers <= 1 || relation.len() < SMALL_RELATION_FAST_PATH {
+        let (cycles, stats) = igoodlock_filtered(relation, hb, options);
+        return (cycles, stats, ParallelJoinStats::default());
+    }
+    let deps = relation.deps();
+    let mut stats = IGoodlockStats::default();
+    let mut pstats = ParallelJoinStats::default();
+    let mut cycles: Vec<Cycle> = Vec::new();
+    let index = JoinIndex::build(deps);
+    let mut reported: HashSet<Vec<u32>> = HashSet::new();
+
+    // D_1 = D.
+    let mut current: Vec<IndexedChain> = (0..deps.len())
+        .map(|i| IndexedChain::single(i as u32, &index))
+        .collect();
+    stats.chains_built += current.len() as u64;
+    let mut length = 1usize;
+
+    while !current.is_empty() {
+        if let Some(max) = options.max_cycle_length {
+            if length + 1 > max {
+                stats.truncated = true;
+                break;
+            }
+        }
+        stats.iterations += 1;
+        stats.chains_per_iteration.push(current.len() as u64);
+        stats.peak_open_chains = stats.peak_open_chains.max(current.len() as u64);
+        let outs = fan_out(&current, &index, workers, &mut pstats);
+        // The merge: frontier order, sequential semantics. Candidate
+        // counts are reconstructed from bucket positions so a truncation
+        // return leaves the counter exactly where the sequential loop's
+        // would be — counted through the accepting candidate, the rest
+        // of its bucket (and all later chains) never examined.
+        let mut next: Vec<IndexedChain> = Vec::new();
+        for out in outs {
+            let mut examined = 0u64;
+            for accept in out.accepts {
+                stats.join_candidates_examined += accept.examined_at - examined;
+                examined = accept.examined_at;
+                stats.chains_built += 1;
+                if accept.closes {
+                    let ext = accept.ext;
+                    let key: Vec<u32> = ext.deps.iter().map(|&i| index.proj[i as usize]).collect();
+                    if reported.insert(key) {
+                        let cycle = Cycle::new(
+                            ext.deps
+                                .iter()
+                                .map(|&i| CycleComponent::from(&deps[i as usize]))
+                                .collect(),
+                        );
+                        if let Some(hb) = hb {
+                            let timings: Option<Vec<_>> = ext
+                                .deps
+                                .iter()
+                                .map(|&i| relation.timing(i as usize))
+                                .collect();
+                            if let Some(timings) = timings {
+                                if !hb.cycle_feasible(&cycle, &timings) {
+                                    stats.pruned_by_hb += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                        cycles.push(cycle);
+                        if cycles.len() >= options.max_cycles {
+                            stats.truncated = true;
+                            return (cycles, stats, pstats);
+                        }
+                    }
+                } else {
+                    next.push(accept.ext);
+                    if next.len() > options.max_open_chains {
+                        stats.truncated = true;
+                        return (cycles, stats, pstats);
+                    }
+                }
+            }
+            stats.join_candidates_examined += out.bucket_len - examined;
+        }
+        current = next;
+        length += 1;
+    }
+    (cycles, stats, pstats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::LockDep;
+    use df_events::{Label, ObjId, ThreadId};
+
+    fn dep(t: u32, held: &[u32], lock: u32) -> LockDep {
+        LockDep::exclusive(
+            ThreadId::new(t),
+            ObjId::new(t),
+            held.iter().map(|&h| ObjId::new(1000 + h)).collect(),
+            ObjId::new(1000 + lock),
+            (0..=held.len())
+                .map(|i| Label::new(&format!("c:{i}")))
+                .collect(),
+        )
+    }
+
+    /// A ring of `n` philosophers plus enough independent 2-cycle pairs
+    /// and open-chain noise to push the frontier past the inline
+    /// threshold, so workers actually spawn.
+    fn wide_relation(n: u32, pairs: u32, noise: u32) -> LockDependencyRelation {
+        let mut deps = Vec::new();
+        for i in 0..n {
+            deps.push(dep(1 + i, &[i], (i + 1) % n));
+        }
+        for p in 0..pairs {
+            deps.push(dep(1, &[100 + 2 * p], 101 + 2 * p));
+            deps.push(dep(2, &[101 + 2 * p], 100 + 2 * p));
+        }
+        for m in 0..noise {
+            deps.push(dep(3 + m % 4, &[500 + m], 501 + m));
+        }
+        LockDependencyRelation::from_deps(deps)
+    }
+
+    fn assert_parallel_matches_sequential(rel: &LockDependencyRelation, opts: &IGoodlockOptions) {
+        let (sc, ss) = igoodlock_filtered(rel, None, opts);
+        for jobs in [2, 3, 4, 8] {
+            let (pc, ps, _) = igoodlock_parallel(rel, None, opts, jobs);
+            assert_eq!(
+                serde_json::to_string(&pc).unwrap(),
+                serde_json::to_string(&sc).unwrap(),
+                "jobs={jobs}"
+            );
+            assert_eq!(ps, ss, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn wide_frontier_is_jobs_invariant() {
+        let rel = wide_relation(12, 40, 120);
+        assert!(rel.len() >= PARALLEL_FRONTIER_MIN);
+        assert_parallel_matches_sequential(&rel, &IGoodlockOptions::default());
+        assert_parallel_matches_sequential(&rel, &IGoodlockOptions::length_two_only());
+    }
+
+    #[test]
+    fn truncation_points_are_jobs_invariant() {
+        let rel = wide_relation(12, 40, 120);
+        for opts in [
+            IGoodlockOptions {
+                max_cycles: 7,
+                ..IGoodlockOptions::default()
+            },
+            IGoodlockOptions {
+                max_open_chains: 50,
+                ..IGoodlockOptions::default()
+            },
+            IGoodlockOptions {
+                max_cycle_length: Some(3),
+                ..IGoodlockOptions::default()
+            },
+        ] {
+            assert_parallel_matches_sequential(&rel, &opts);
+        }
+    }
+
+    #[test]
+    fn hb_filter_applies_at_the_merge() {
+        // Relations from `from_deps` carry no timings, so the filter
+        // keeps everything — what matters is that the filtered parallel
+        // run still matches the filtered sequential run exactly.
+        let rel = wide_relation(8, 40, 100);
+        let hb = HbFilter::from_trace(&df_events::Trace::default());
+        let (sc, ss) = igoodlock_filtered(&rel, Some(&hb), &IGoodlockOptions::default());
+        let (pc, ps, _) = igoodlock_parallel(&rel, Some(&hb), &IGoodlockOptions::default(), 4);
+        assert_eq!(pc, sc);
+        assert_eq!(ps, ss);
+    }
+
+    #[test]
+    fn sequential_and_auto_jobs_delegate() {
+        let rel = wide_relation(8, 10, 10);
+        let (sc, ss) = igoodlock_filtered(&rel, None, &IGoodlockOptions::default());
+        for jobs in [0, 1] {
+            let (pc, ps, pj) = igoodlock_parallel(&rel, None, &IGoodlockOptions::default(), jobs);
+            assert_eq!(pc, sc, "jobs={jobs}");
+            assert_eq!(ps, ss, "jobs={jobs}");
+            // jobs=0 resolves to the core count, which may be 1; either
+            // way the outputs above already matched. jobs=1 must not
+            // have scheduled anything.
+            if jobs == 1 {
+                assert_eq!(pj, ParallelJoinStats::default());
+            }
+        }
+    }
+
+    #[test]
+    fn small_relations_delegate_to_the_fast_path() {
+        let rel = wide_relation(2, 1, 1);
+        assert!(rel.len() < SMALL_RELATION_FAST_PATH);
+        let (pc, ps, pj) = igoodlock_parallel(&rel, None, &IGoodlockOptions::default(), 4);
+        let (sc, ss) = igoodlock_filtered(&rel, None, &IGoodlockOptions::default());
+        assert_eq!((pc, ps), (sc, ss));
+        assert_eq!(pj, ParallelJoinStats::default());
+    }
+
+    #[test]
+    fn scheduling_stats_count_real_tasks() {
+        let rel = wide_relation(12, 40, 120);
+        let (_, _, pj) = igoodlock_parallel(&rel, None, &IGoodlockOptions::default(), 4);
+        assert!(pj.tasks_executed > 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::chains::proptests::{arb_mixed_relation, arb_relation};
+    use crate::chains::{igoodlock_indexed_filtered, naive_igoodlock_with_stats};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Parallel join ≡ sequential indexed ≡ naive oracle: identical
+        /// cycle reports (down to serialized bytes) and identical
+        /// `chains_built`, for every jobs value.
+        #[test]
+        fn parallel_matches_indexed_and_naive(rel in arb_relation(), jobs in 2..5usize) {
+            let (pc, ps, _) = igoodlock_parallel(&rel, None, &IGoodlockOptions::default(), jobs);
+            let (sc, ss) = igoodlock_filtered(&rel, None, &IGoodlockOptions::default());
+            prop_assert_eq!(
+                serde_json::to_string(&pc).unwrap(),
+                serde_json::to_string(&sc).unwrap()
+            );
+            prop_assert_eq!(&ps, &ss);
+            let (ic, is) = igoodlock_indexed_filtered(&rel, None, &IGoodlockOptions::default());
+            let (nc, ns) = naive_igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+            prop_assert_eq!(&pc, &ic);
+            prop_assert_eq!(pc, nc);
+            prop_assert_eq!(is.chains_built, ns.chains_built);
+            prop_assert_eq!(ps.chains_built, ns.chains_built);
+        }
+
+        /// The same three-way law on mode-mixing relations.
+        #[test]
+        fn parallel_matches_indexed_and_naive_on_mixed_modes(
+            rel in arb_mixed_relation(),
+            jobs in 2..5usize,
+        ) {
+            let (pc, ps, _) = igoodlock_parallel(&rel, None, &IGoodlockOptions::default(), jobs);
+            let (sc, ss) = igoodlock_filtered(&rel, None, &IGoodlockOptions::default());
+            prop_assert_eq!(&pc, &sc);
+            prop_assert_eq!(&ps, &ss);
+            let (ic, _) = igoodlock_indexed_filtered(&rel, None, &IGoodlockOptions::default());
+            let (nc, ns) = naive_igoodlock_with_stats(&rel, &IGoodlockOptions::default());
+            prop_assert_eq!(&pc, &ic);
+            prop_assert_eq!(pc, nc);
+            prop_assert_eq!(ps.chains_built, ns.chains_built);
+        }
+    }
+}
