@@ -10,7 +10,7 @@
 //! cargo run --release -p df-bench --bin igoodlock_bench -- \
 //!     --sizes 4,8,12,16 --pairs 48 --noise 4096 --reps 3 --jobs 1,2,4 \
 //!     --min-parallel-speedup 2.5 --trace-events 1000000 \
-//!     --out BENCH_igoodlock.json
+//!     --precision-trials 20 --out BENCH_igoodlock.json
 //! ```
 //!
 //! The `join_parallel` sweep runs the sharded parallel join at every
@@ -22,26 +22,35 @@
 //! (with a note) on hosts with fewer hardware threads than jobs, where
 //! no real speedup is physically possible.
 //!
+//! The `precision` envelope runs every Table 1 benchmark twice — a
+//! uniform Phase II campaign and the feasibility-seeded adaptive one —
+//! and gates two contracts: no `Infeasible`-scored cycle is ever
+//! confirmed by a trial (soundness), and both campaigns confirm the same
+//! cycle set (parity). `--precision-trials` sets the per-cycle ceiling.
+//!
 //! Exits non-zero if any implementation pair disagrees on cycles,
-//! `chains_built`, or the streamed relation — a correctness failure,
-//! which CI's perf-smoke step turns into a red build.
+//! `chains_built`, or the streamed relation, or if a precision contract
+//! is broken — a correctness failure, which CI's perf-smoke step turns
+//! into a red build.
 
 use df_bench::{
-    igoodlock_bench, join_parallel_bench, streaming_bench, trace_io_bench_rows, IGoodlockBenchRow,
-    JoinParallelRow, StreamingBenchRow, TraceIoBenchRow,
+    igoodlock_bench, join_parallel_bench, precision_bench, streaming_bench, trace_io_bench_rows,
+    IGoodlockBenchRow, JoinParallelRow, PrecisionRow, StreamingBenchRow, TraceIoBenchRow,
 };
 use serde::Serialize;
 
 /// The envelope written to `BENCH_igoodlock.json`: the join comparison,
 /// the parallel-join jobs sweep, the streaming memory/throughput
-/// comparison, and the trace I/O throughput comparison — one file so CI
-/// uploads a single artifact.
+/// comparison, the trace I/O throughput comparison, and the precision
+/// envelope (predicted-vs-confirmed rates per Table 1 benchmark) — one
+/// file so CI uploads a single artifact.
 #[derive(Serialize)]
 struct BenchArtifact {
     join: Vec<IGoodlockBenchRow>,
     join_parallel: Vec<JoinParallelRow>,
     streaming: Vec<StreamingBenchRow>,
     trace_io: Vec<TraceIoBenchRow>,
+    precision: Vec<PrecisionRow>,
 }
 
 struct Args {
@@ -52,6 +61,7 @@ struct Args {
     jobs: Vec<usize>,
     min_parallel_speedup: f64,
     trace_events: u64,
+    precision_trials: u32,
     out: String,
 }
 
@@ -63,6 +73,7 @@ fn parse_args() -> Args {
     let mut jobs = vec![1usize, 2, 4];
     let mut min_parallel_speedup = 0.0f64;
     let mut trace_events = 1_000_000u64;
+    let mut precision_trials = 20u32;
     let mut out = String::from("BENCH_igoodlock.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -117,6 +128,12 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--trace-events needs a number");
             }
+            "--precision-trials" => {
+                precision_trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--precision-trials needs a number");
+            }
             "--out" => {
                 out = args.next().expect("--out needs a path");
             }
@@ -134,6 +151,7 @@ fn parse_args() -> Args {
         jobs,
         min_parallel_speedup,
         trace_events,
+        precision_trials,
         out,
     }
 }
@@ -260,6 +278,75 @@ fn print_trace_io_rows(rows: &[TraceIoBenchRow]) {
     );
 }
 
+fn print_precision_rows(rows: &[PrecisionRow]) {
+    println!();
+    println!("== Precision: feasibility verdicts vs Phase II confirmation ==");
+    println!(
+        "{:<20} {:>6} {:>5} {:>6} {:>4} | {:>8} {:>8} {:>5} | {:>8} {:>8} {:>7}",
+        "benchmark",
+        "cycles",
+        "feas",
+        "infeas",
+        "unk",
+        "conf(u)",
+        "conf(a)",
+        "same",
+        "trials-u",
+        "trials-a",
+        "saved"
+    );
+    for r in rows {
+        println!(
+            "{:<20} {:>6} {:>5} {:>6} {:>4} | {:>8} {:>8} {:>5} | {:>8} {:>8} {:>7}",
+            r.name,
+            r.cycles,
+            r.feasible,
+            r.infeasible,
+            r.unknown,
+            r.confirmed_uniform,
+            r.confirmed_adaptive,
+            if r.same_cycle_set { "yes" } else { "NO" },
+            r.trials_uniform,
+            r.trials_adaptive,
+            r.trials_saved,
+        );
+    }
+    println!(
+        "(per row: uniform and adaptive campaigns run the same seeded \
+         pipeline; `same` gates that both confirm the same cycle set)"
+    );
+}
+
+/// Fails the bench if the precision layer broke either of its contracts:
+/// a cycle scored `Infeasible` was confirmed by a real trial (soundness),
+/// or the uncapped adaptive campaign confirmed a different cycle set than
+/// the uniform one (parity).
+fn enforce_precision(rows: &[PrecisionRow]) {
+    let mut failed = false;
+    for r in rows {
+        if r.infeasible_confirmed > 0 {
+            eprintln!(
+                "precision gate: {} confirmed {} cycle(s) scored Infeasible \
+                 — the feasibility check is unsound",
+                r.name, r.infeasible_confirmed
+            );
+            failed = true;
+        }
+        if !r.same_cycle_set {
+            eprintln!(
+                "precision gate: {} — adaptive campaign confirmed a \
+                 different cycle set than the uniform campaign \
+                 (uniform {}, adaptive {})",
+                r.name, r.confirmed_uniform, r.confirmed_adaptive
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 /// Enforces `--min-parallel-speedup` on the scaled synthetic workload at
 /// the largest requested jobs value. The gate only applies when the host
 /// actually has that many hardware threads — a single-core runner cannot
@@ -339,11 +426,15 @@ fn main() {
         }
     };
     print_trace_io_rows(&trace_io);
+    let precision = precision_bench(args.precision_trials);
+    print_precision_rows(&precision);
+    enforce_precision(&precision);
     let artifact = BenchArtifact {
         join,
         join_parallel,
         streaming,
         trace_io,
+        precision,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize");
     std::fs::write(&args.out, json + "\n").expect("write bench artifact");

@@ -12,6 +12,7 @@
 #![deny(unsafe_code)]
 
 mod igoodlock_bench;
+mod precision;
 mod streaming_bench;
 mod trace_bench;
 
@@ -19,6 +20,7 @@ pub use igoodlock_bench::{
     igoodlock_bench, igoodlock_bench_row, join_parallel_bench, join_parallel_rows,
     philosophers_ring_relation, synthetic_join_relation, IGoodlockBenchRow, JoinParallelRow,
 };
+pub use precision::{precision_bench, precision_row, PrecisionRow};
 pub use streaming_bench::{streaming_bench, streaming_bench_row, StreamingBenchRow};
 pub use trace_bench::{synthetic_trace, trace_io_bench_rows, TraceIoBenchRow};
 
@@ -99,7 +101,7 @@ fn table1_row_with(bench: &Benchmark, trials: u32, baseline_runs: u32, jobs: usi
         let prob = report
             .confirmations
             .iter()
-            .map(|c| f64::from(c.probability.matched) / f64::from(c.probability.trials))
+            .map(|c| c.probability.probability)
             .sum::<f64>()
             / n as f64;
         let df = report
@@ -208,7 +210,7 @@ fn fig2_cell_with(bench: &Benchmark, variant: Variant, trials: u32, jobs: usize)
     let probability = report
         .confirmations
         .iter()
-        .map(|c| f64::from(c.probability.matched) / f64::from(c.probability.trials))
+        .map(|c| c.probability.probability)
         .sum::<f64>()
         / n;
     let avg_thrashes = report
@@ -311,10 +313,7 @@ pub fn fig2_correlation(trials: u32) -> Vec<(f64, f64)> {
             let fuzzer = DeadlockFuzzer::from_ref(bench.program.clone(), config);
             let report = fuzzer.run();
             for c in &report.confirmations {
-                points.push((
-                    c.probability.avg_thrashes,
-                    f64::from(c.probability.matched) / f64::from(c.probability.trials),
-                ));
+                points.push((c.probability.avg_thrashes, c.probability.probability));
             }
         }
     }

@@ -1,0 +1,176 @@
+//! The precision envelope: predicted (feasibility) vs confirmed
+//! (Phase II) rates per Table 1 benchmark, plus the trials the adaptive
+//! allocator saved over the uniform campaign.
+//!
+//! Two invariants gate CI through `igoodlock_bench`:
+//!
+//! * **soundness** — no cycle scored `Infeasible` is ever confirmed by a
+//!   trial (the uniform leg still spends trials on such cycles, so this
+//!   is checked against real executions, not just the allocator's
+//!   pruning);
+//! * **parity** — the uncapped adaptive campaign confirms exactly the
+//!   cycle set the uniform campaign confirms, with fewer trials.
+
+use deadlock_fuzzer::{Config, DeadlockFuzzer, Report};
+use df_benchmarks::{table1_suite, Benchmark};
+use df_igoodlock::FeasibilityVerdict;
+use serde::Serialize;
+
+/// Predicted-vs-confirmed measurements for one benchmark.
+#[derive(Clone, Debug, Serialize)]
+pub struct PrecisionRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Potential cycles reported by Phase I.
+    pub cycles: usize,
+    /// Cycles scored `Feasible`.
+    pub feasible: usize,
+    /// Cycles scored `Infeasible` (soundly pruned by the partial-order
+    /// check).
+    pub infeasible: usize,
+    /// Cycles scored `Unknown`.
+    pub unknown: usize,
+    /// Cycles the uniform campaign confirmed.
+    pub confirmed_uniform: usize,
+    /// Cycles the adaptive campaign confirmed.
+    pub confirmed_adaptive: usize,
+    /// Whether both campaigns confirmed exactly the same cycle indices —
+    /// the jobs-invariant parity contract of the adaptive allocator.
+    pub same_cycle_set: bool,
+    /// Total Phase II trials the uniform campaign spent.
+    pub trials_uniform: u32,
+    /// Total Phase II trials the adaptive campaign spent.
+    pub trials_adaptive: u32,
+    /// Trials the adaptive campaign saved (`uniform - adaptive`).
+    pub trials_saved: u32,
+    /// Cycles scored `Infeasible` that a trial nonetheless confirmed —
+    /// any non-zero value is a soundness bug and fails the bench.
+    pub infeasible_confirmed: usize,
+}
+
+/// Set of confirmed cycle indices in a report.
+fn confirmed_set(report: &Report) -> Vec<usize> {
+    report
+        .confirmations
+        .iter()
+        .filter(|c| c.confirmed)
+        .map(|c| c.cycle_index)
+        .collect()
+}
+
+/// Total trials spent across a report's campaigns.
+fn trials_spent(report: &Report) -> u32 {
+    report
+        .confirmations
+        .iter()
+        .map(|c| c.probability.trials)
+        .sum()
+}
+
+/// Measures one benchmark's precision row: the same seeded pipeline run
+/// twice at `jobs = 1` — once with the uniform campaign, once with the
+/// adaptive allocator — both with feasibility scoring on.
+pub fn precision_row(bench: &Benchmark, trials: u32) -> PrecisionRow {
+    let config = |adaptive: bool| {
+        Config::default()
+            .with_confirm_trials(trials)
+            .with_feasibility(true)
+            .with_adaptive_trials(adaptive)
+            .with_jobs(1)
+    };
+    let uniform = DeadlockFuzzer::from_ref(bench.program.clone(), config(false)).run();
+    let adaptive = DeadlockFuzzer::from_ref(bench.program.clone(), config(true)).run();
+    let verdicts = |v: FeasibilityVerdict| {
+        uniform
+            .phase1
+            .feasibility
+            .iter()
+            .filter(|j| j.verdict == v)
+            .count()
+    };
+    // The soundness check leans on the *uniform* leg: it spends trials
+    // even on Infeasible-scored cycles, so a wrong verdict would show up
+    // as a real confirmation here (the adaptive leg would have pruned
+    // the cycle without ever testing it).
+    let infeasible_confirmed = uniform
+        .confirmations
+        .iter()
+        .chain(&adaptive.confirmations)
+        .filter(|c| {
+            c.confirmed
+                && matches!(
+                    c.feasibility.as_ref().map(|j| j.verdict),
+                    Some(FeasibilityVerdict::Infeasible)
+                )
+        })
+        .count();
+    let (trials_uniform, trials_adaptive) = (trials_spent(&uniform), trials_spent(&adaptive));
+    PrecisionRow {
+        name: bench.name.to_string(),
+        cycles: uniform.potential_count(),
+        feasible: verdicts(FeasibilityVerdict::Feasible),
+        infeasible: verdicts(FeasibilityVerdict::Infeasible),
+        unknown: verdicts(FeasibilityVerdict::Unknown),
+        confirmed_uniform: uniform.confirmed_count(),
+        confirmed_adaptive: adaptive.confirmed_count(),
+        same_cycle_set: confirmed_set(&uniform) == confirmed_set(&adaptive),
+        trials_uniform,
+        trials_adaptive,
+        trials_saved: trials_uniform.saturating_sub(trials_adaptive),
+        infeasible_confirmed,
+    }
+}
+
+/// The precision envelope over the whole Table 1 suite.
+pub fn precision_bench(trials: u32) -> Vec<PrecisionRow> {
+    table1_suite()
+        .iter()
+        .map(|b| precision_row(b, trials))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1 has no Table 1 registry entry, so the test builds one.
+    fn figure1_bench() -> Benchmark {
+        Benchmark {
+            name: "figure1",
+            paper_loc: 0,
+            expected_cycles: Some(1),
+            expected_real: Some(1),
+            paper_row: df_benchmarks::suite::PaperRow {
+                cycles: "1",
+                real: "1",
+                reproduced: "1",
+                probability: "1.00",
+                thrashes: "0.00",
+            },
+            program: df_benchmarks::figure1::program(true),
+        }
+    }
+
+    #[test]
+    fn precision_row_on_figure1_is_sound_and_cheaper() {
+        let row = precision_row(&figure1_bench(), 6);
+        assert_eq!(row.cycles, 1);
+        assert_eq!(row.feasible + row.infeasible + row.unknown, row.cycles);
+        assert_eq!(row.infeasible_confirmed, 0);
+        assert!(row.same_cycle_set, "{row:?}");
+        assert_eq!(row.confirmed_uniform, 1);
+        assert!(
+            row.trials_adaptive < row.trials_uniform,
+            "figure1 confirms on the first trial, so the adaptive \
+             campaign must stop early: {row:?}"
+        );
+        assert_eq!(row.trials_saved, row.trials_uniform - row.trials_adaptive);
+    }
+
+    #[test]
+    fn precision_rows_serialize() {
+        let row = precision_row(&df_benchmarks::logging::benchmark(), 3);
+        let json = serde_json::to_string(&row).expect("serializes");
+        assert!(json.contains("\"trials_saved\""), "{json}");
+    }
+}

@@ -231,6 +231,17 @@ pub struct CliOptions {
     pub variant: Variant,
     /// Enable the happens-before false-positive filter.
     pub hb: bool,
+    /// Score each predicted cycle's feasibility from the Phase I trace
+    /// (the precision layer); verdicts ride the reports and
+    /// `--metrics-out` gauges.
+    pub feasibility: bool,
+    /// Replace the uniform per-cycle campaign with the deterministic
+    /// adaptive trial allocator (prunes `Infeasible` cycles, probes
+    /// high-scoring ones first, stops each cycle at its first match).
+    pub adaptive: bool,
+    /// Campaign-wide cap on adaptive Phase II trials (`None` =
+    /// uncapped).
+    pub trial_budget: Option<u32>,
     /// Emit JSON instead of text.
     pub json: bool,
     /// Write campaign metrics (the `df-metrics-v1` schema) to this file.
@@ -270,6 +281,9 @@ impl Default for CliOptions {
             trials: 10,
             variant: Variant::ContextExecIndex,
             hb: false,
+            feasibility: false,
+            adaptive: false,
+            trial_budget: None,
             json: false,
             metrics_out: None,
             trace_out: None,
@@ -299,6 +313,9 @@ pub fn config_of(opts: &CliOptions) -> Result<Config, CliError> {
         .with_phase1_seed(opts.seed)
         .with_confirm_trials(opts.trials)
         .with_hb_filter(opts.hb)
+        .with_feasibility(opts.feasibility)
+        .with_adaptive_trials(opts.adaptive)
+        .with_trial_budget(opts.trial_budget)
         .with_jobs(opts.jobs)
         .with_phase1_jobs(opts.jobs)
         .with_stream_phase1(opts.stream)
@@ -644,41 +661,80 @@ pub fn cmd_confirm(
             code: exit_code::NO_CYCLE_FOUND,
         });
     }
-    let indices: Vec<usize> = match cycle_index {
-        Some(i) if i < phase1.abstract_cycles.len() => vec![i],
+    let mut out = String::new();
+    let mut confirmed = false;
+    let mut panicked = false;
+    let mut failed = false;
+    match cycle_index {
+        Some(i) if i < phase1.abstract_cycles.len() => {
+            let prob = fuzzer
+                .estimate_probability(&phase1.abstract_cycles[i], opts.trials)
+                .map_err(|e| CliError::internal(e.to_string()))?;
+            confirmed = prob.matched > 0;
+            panicked = prob.outcomes.panics > 0;
+            let _ = write!(
+                out,
+                "cycle {:>2}: {} — {}",
+                i + 1,
+                if prob.matched > 0 {
+                    "CONFIRMED"
+                } else {
+                    "not reproduced"
+                },
+                prob
+            );
+            if let Some(judgement) = phase1.feasibility.get(i) {
+                let _ = write!(out, " [predicted {judgement}]");
+            }
+            out.push('\n');
+        }
         Some(i) => {
             return Err(CliError::usage(format!(
                 "cycle {i} out of range (0..{})",
                 phase1.abstract_cycles.len()
             )))
         }
-        None => (0..phase1.abstract_cycles.len()).collect(),
-    };
-    let mut out = String::new();
-    let mut confirmed = false;
-    let mut panicked = false;
-    for i in indices {
-        let prob = fuzzer
-            .estimate_probability(&phase1.abstract_cycles[i], opts.trials)
-            .map_err(|e| CliError::internal(e.to_string()))?;
-        confirmed |= prob.matched > 0;
-        panicked |= prob.outcomes.panics > 0;
-        let _ = writeln!(
-            out,
-            "cycle {:>2}: {} — {}",
-            i + 1,
-            if prob.matched > 0 {
-                "CONFIRMED"
-            } else {
-                "not reproduced"
-            },
-            prob
-        );
+        None => {
+            for c in fuzzer.confirm_all(&phase1) {
+                confirmed |= c.confirmed;
+                panicked |= c.probability.outcomes.panics > 0;
+                let pruned = c.error.is_none()
+                    && c.probability.trials == 0
+                    && matches!(
+                        c.feasibility.as_ref().map(|j| j.verdict),
+                        Some(df_igoodlock::FeasibilityVerdict::Infeasible)
+                    );
+                let _ = write!(out, "cycle {:>2}: ", c.cycle_index + 1);
+                if let Some(e) = &c.error {
+                    failed = true;
+                    let _ = write!(out, "FAILED — {e}");
+                } else if pruned {
+                    let _ = write!(out, "pruned — no trials spent");
+                } else {
+                    let _ = write!(
+                        out,
+                        "{} — {}",
+                        if c.confirmed {
+                            "CONFIRMED"
+                        } else {
+                            "not reproduced"
+                        },
+                        c.probability
+                    );
+                }
+                if let Some(judgement) = &c.feasibility {
+                    let _ = write!(out, " [predicted {judgement}]");
+                }
+                out.push('\n');
+            }
+        }
     }
     let code = if confirmed {
         exit_code::CYCLE_CONFIRMED
     } else if panicked {
         exit_code::PROGRAM_PANIC
+    } else if failed {
+        exit_code::INTERNAL_ERROR
     } else {
         exit_code::NO_CYCLE_FOUND
     };
@@ -839,6 +895,44 @@ mod tests {
         let none = cmd_confirm("sor", None, &opts).unwrap();
         assert!(none.text.contains("no potential"), "{}", none.text);
         assert_eq!(none.code, exit_code::NO_CYCLE_FOUND);
+    }
+
+    #[test]
+    fn precision_flags_surface_verdicts_and_stay_jobs_invariant() {
+        let base = CliOptions {
+            trials: 6,
+            feasibility: true,
+            adaptive: true,
+            jobs: 1,
+            ..CliOptions::default()
+        };
+        let out = cmd_confirm("figure1", None, &base).unwrap();
+        assert!(out.text.contains("CONFIRMED"), "{}", out.text);
+        assert!(out.text.contains("[predicted Feasible"), "{}", out.text);
+        assert!(out.text.contains("truncated"), "{}", out.text);
+        let par = cmd_confirm(
+            "figure1",
+            None,
+            &CliOptions {
+                jobs: 4,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.text, par.text, "adaptive allocation drifted with jobs");
+        assert_eq!(out.code, par.code);
+    }
+
+    #[test]
+    fn adaptive_with_stop_on_first_style_misuse_is_a_usage_error() {
+        let opts = CliOptions {
+            adaptive: true,
+            trial_budget: Some(0),
+            ..CliOptions::default()
+        };
+        let err = cmd_confirm("figure1", None, &opts).unwrap_err();
+        assert_eq!(err.exit_code(), exit_code::USAGE);
+        assert!(err.message().contains("trial_budget"), "{err}");
     }
 
     #[test]

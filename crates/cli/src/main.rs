@@ -10,7 +10,9 @@
 //! dfz analyze <artifact>  [--hb] [--variant V] [--json] [--jobs N]
 //!             [--metrics-out F]                 # offline iGoodlock
 //! dfz confirm <benchmark> [--cycle I] [--trials N] [--variant V] [--jobs N]
+//!             [--feasibility] [--adaptive] [--trial-budget N]
 //! dfz run     <benchmark> [--trials N] [--variant V] [--hb] [--jobs N]
+//!             [--feasibility] [--adaptive] [--trial-budget N]
 //!             [--metrics-out F] [--trace-out F] [--fault-panic P] [--fault-seed N]
 //! dfz races   <benchmark> [--trials N] [--seed N]  # the RaceFuzzer checker
 //! ```
@@ -37,6 +39,9 @@ fn usage() -> ! {
          recording: --out <trace file> --relation-out <relation.json> --stream\n\
          \x20    --format <jsonl|binary> --spill-ring <frames> (0 = synchronous)\n\
          \x20    --spill-batch-bytes <n> --spill-flush-ms <n>\n\
+         precision: --feasibility (score cycles from the Phase I trace)\n\
+         \x20    --adaptive (feasibility-seeded adaptive trial allocation)\n\
+         \x20    --trial-budget <n> (campaign-wide cap on adaptive trials)\n\
          fault injection: --fault-panic <prob> --fault-seed <n>\n\
          run `dfz list` for benchmark names\n\
          exit codes: 0 cycle confirmed / success, 1 no cycle found,\n\
@@ -155,8 +160,17 @@ fn main() {
                     .and_then(|v| v.parse().ok().map(std::time::Duration::from_millis))
                     .unwrap_or_else(|| usage());
             }
+            "--trial-budget" => {
+                let budget: u32 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.trial_budget = Some(budget);
+            }
             "--stream" => opts.stream = true,
             "--hb" => opts.hb = true,
+            "--feasibility" => opts.feasibility = true,
+            "--adaptive" => opts.adaptive = true,
             "--json" => opts.json = true,
             other if !other.starts_with('-') => positional.push(other.to_string()),
             _ => usage(),

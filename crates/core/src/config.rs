@@ -144,6 +144,33 @@ pub struct Config {
     /// join statistics — only wall-clock and the scheduling counters
     /// (`join_tasks_executed`, `join_steal_waits`) vary.
     pub phase1_jobs: usize,
+    /// Score every Phase I cycle with the sync-preserving partial-order
+    /// feasibility check ([`df_igoodlock::FeasibilityAnalysis`]): each
+    /// cycle gets a `Feasible`/`Infeasible`/`Unknown` verdict and a
+    /// numeric score in the report. Layered on top of the ±[`Config::hb_filter`]
+    /// choice — the filter *removes* provably-impossible cycles, the
+    /// scorer *ranks* the survivors (and still marks provably-impossible
+    /// ones `Infeasible` when the filter is off). Requires the recorded
+    /// trace, so streamed Phase I reports no verdicts.
+    pub feasibility: bool,
+    /// Replace the uniform `confirm_trials`-per-cycle Phase II campaign
+    /// of [`crate::DeadlockFuzzer::run`] with the deterministic adaptive
+    /// allocator ([`crate::allocate_trials`]): trials go first to the
+    /// cycles feasibility scored highest, running estimates reorder the
+    /// queue between rounds, confirmed cycles stop immediately, and
+    /// `Infeasible`-scored cycles are skipped outright. Per-cycle trial
+    /// seeding is unchanged (trial `i` of a cycle still uses
+    /// `phase2_seed_base + i`), so allocation is jobs-invariant.
+    /// Incompatible with [`Config::stop_on_first`], whose truncated
+    /// estimates would bias the allocator.
+    pub adaptive_trials: bool,
+    /// Optional cap on the *total* Phase II trials an adaptive campaign
+    /// may spend across all cycles. `None` (the default) lets every
+    /// unconfirmed, non-infeasible cycle reach `confirm_trials`, which
+    /// guarantees the adaptive campaign confirms exactly the cycles a
+    /// uniform one would. Ignored when [`Config::adaptive_trials`] is
+    /// off.
+    pub trial_budget: Option<u32>,
     /// Stop a confirmation campaign at the first trial that reproduces
     /// the target cycle: the campaign reports exactly the trials up to
     /// and including the first matching one (in trial-index order, at
@@ -183,6 +210,9 @@ impl Default for Config {
             trial_retries: 2,
             jobs: 0,
             phase1_jobs: 1,
+            feasibility: false,
+            adaptive_trials: false,
+            trial_budget: None,
             stop_on_first: false,
             stream_phase1: false,
             spill: SpillConfig::default(),
@@ -266,6 +296,25 @@ impl Config {
     /// per hardware thread; see [`Config::phase1_jobs`]).
     pub fn with_phase1_jobs(mut self, jobs: usize) -> Self {
         self.phase1_jobs = jobs;
+        self
+    }
+
+    /// Enables/disables feasibility scoring of Phase I cycles.
+    pub fn with_feasibility(mut self, on: bool) -> Self {
+        self.feasibility = on;
+        self
+    }
+
+    /// Enables/disables the adaptive Phase II trial allocator.
+    pub fn with_adaptive_trials(mut self, on: bool) -> Self {
+        self.adaptive_trials = on;
+        self
+    }
+
+    /// Caps the total trials of an adaptive campaign (`None` = let every
+    /// unconfirmed cycle reach `confirm_trials`).
+    pub fn with_trial_budget(mut self, budget: Option<u32>) -> Self {
+        self.trial_budget = budget;
         self
     }
 
@@ -367,6 +416,18 @@ impl Config {
             return invalid(
                 "stream_phase1 is incompatible with hb_filter: the happens-before \
                  filter's vector clocks need the full trace in memory"
+                    .to_string(),
+            );
+        }
+        if self.trial_budget == Some(0) {
+            return invalid(
+                "trial_budget must be at least 1 (use None for an uncapped campaign)".to_string(),
+            );
+        }
+        if self.adaptive_trials && self.stop_on_first {
+            return invalid(
+                "adaptive_trials is incompatible with stop_on_first: truncated \
+                 campaigns produce biased estimates the allocator must not consume"
                     .to_string(),
             );
         }
@@ -557,6 +618,39 @@ mod tests {
         assert!(rejection(&c).contains("hb_filter"));
         // Each knob is fine on its own.
         assert!(Config::default().with_hb_filter(true).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_precision_settings() {
+        let c = Config::default().with_trial_budget(Some(0));
+        assert!(rejection(&c).contains("trial_budget"));
+        assert!(Config::default()
+            .with_trial_budget(Some(1))
+            .validate()
+            .is_ok());
+        let c = Config::default()
+            .with_adaptive_trials(true)
+            .with_stop_on_first(true);
+        assert!(rejection(&c).contains("stop_on_first"));
+        // Each knob is fine on its own, and the precision pair composes.
+        assert!(Config::default()
+            .with_stop_on_first(true)
+            .validate()
+            .is_ok());
+        assert!(Config::default()
+            .with_feasibility(true)
+            .with_adaptive_trials(true)
+            .with_trial_budget(Some(100))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn precision_knobs_default_off() {
+        let c = Config::default();
+        assert!(!c.feasibility);
+        assert!(!c.adaptive_trials);
+        assert_eq!(c.trial_budget, None);
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub enum DfError {
         /// What went wrong.
         message: String,
     },
+    /// A trial campaign produced zero results, so no probability (or any
+    /// other per-trial average) can be computed from it.
+    EmptyCampaign,
 }
 
 impl fmt::Display for DfError {
@@ -30,6 +33,9 @@ impl fmt::Display for DfError {
                 cycle_index,
                 message,
             } => write!(f, "confirmation of cycle {cycle_index} failed: {message}"),
+            DfError::EmptyCampaign => {
+                write!(f, "trial campaign produced no results to estimate from")
+            }
         }
     }
 }
@@ -50,6 +56,8 @@ mod tests {
         };
         assert!(e.to_string().contains("cycle 3"));
         assert!(e.to_string().contains("strategy panicked"));
+        let e = DfError::EmptyCampaign;
+        assert!(e.to_string().contains("no results"));
     }
 
     #[test]

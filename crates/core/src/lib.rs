@@ -59,6 +59,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod allocate;
 mod config;
 mod error;
 mod pipeline;
@@ -66,6 +67,7 @@ mod pool;
 mod program;
 mod report;
 
+pub use allocate::{allocate_trials, trials_saved, AllocationOutcome, BatchResult, CycleBudget};
 pub use config::{Config, Variant};
 pub use error::DfError;
 pub use pipeline::DeadlockFuzzer;

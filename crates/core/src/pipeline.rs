@@ -7,11 +7,12 @@ use std::time::Instant;
 use df_abstraction::Abstractor;
 use df_fuzzer::{ActiveConfig, ActiveStrategy, SimpleRandomChecker};
 use df_igoodlock::{
-    igoodlock_parallel, AbstractComponent, AbstractCycle, HbFilter, LockDependencyRelation,
-    RelationBuilder,
+    igoodlock_parallel, AbstractComponent, AbstractCycle, FeasibilityAnalysis, FeasibilityVerdict,
+    HbFilter, LockDependencyRelation, RelationBuilder,
 };
 use df_runtime::{Outcome, RunResult, VirtualRuntime};
 
+use crate::allocate::{allocate_trials, trials_saved, BatchResult, CycleBudget};
 use crate::config::Config;
 use crate::error::DfError;
 use crate::pool::TrialPool;
@@ -42,6 +43,80 @@ struct TrialRun {
     duration: std::time::Duration,
     retries: u32,
     shard: df_obs::Obs,
+}
+
+/// Folds a campaign's trial results into a [`ProbabilityReport`],
+/// absorbing each trial's observability shard into `obs` in trial order.
+/// `requested` is the per-cycle trial ceiling the campaign aimed for and
+/// `stopped_early` whether the campaign was allowed to cut itself short
+/// (stop-on-first or an adaptive allocation) — together they decide the
+/// report's `truncated` flag, the marker that keeps biased estimates out
+/// of downstream consumers.
+///
+/// # Errors
+///
+/// Returns [`DfError::EmptyCampaign`] when `results` is empty: with zero
+/// trials every per-trial average is a division by zero, so no estimate
+/// exists.
+/// Best-effort text of a caught confirmation panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "confirmation panicked".to_string())
+}
+
+fn aggregate_trials(
+    results: Vec<TrialRun>,
+    requested: u32,
+    stopped_early: bool,
+    obs: &df_obs::Obs,
+) -> Result<ProbabilityReport, DfError> {
+    if results.is_empty() {
+        return Err(DfError::EmptyCampaign);
+    }
+    let ran = u32::try_from(results.len()).expect("ran <= trials");
+    let mut deadlocks = 0u32;
+    let mut matched = 0u32;
+    let mut thrashes = 0u64;
+    let mut pauses = 0u64;
+    let mut yields = 0u64;
+    let mut steps = 0u64;
+    let mut total_duration = std::time::Duration::ZERO;
+    let mut outcomes = TrialOutcomes::default();
+    let mut retries = 0u32;
+    for t in &results {
+        obs.absorb(&t.shard);
+        outcomes.record(t.outcome);
+        if t.deadlocked {
+            deadlocks += 1;
+        }
+        if t.matched {
+            matched += 1;
+        }
+        thrashes += t.thrashes;
+        pauses += t.pauses;
+        yields += t.yields;
+        steps += t.steps;
+        total_duration += t.duration;
+        retries += t.retries;
+    }
+    Ok(ProbabilityReport {
+        trials: ran,
+        deadlocks,
+        matched,
+        probability: f64::from(matched) / f64::from(ran),
+        deadlock_rate: f64::from(deadlocks) / f64::from(ran),
+        truncated: stopped_early && ran < requested,
+        avg_thrashes: thrashes as f64 / f64::from(ran),
+        avg_pauses: pauses as f64 / f64::from(ran),
+        avg_yields: yields as f64 / f64::from(ran),
+        avg_steps: steps as f64 / f64::from(ran),
+        avg_duration: total_duration / ran,
+        outcomes,
+        retries,
+    })
 }
 
 /// The DeadlockFuzzer tool: Phase I prediction + Phase II active random
@@ -189,6 +264,11 @@ impl DeadlockFuzzer {
             .iter()
             .map(|c| c.abstract_with(result.trace.objects(), &abstractor))
             .collect();
+        let feasibility = if self.config.feasibility {
+            FeasibilityAnalysis::new(&result.trace, &relation).score_cycles(&cycles)
+        } else {
+            Vec::new()
+        };
         obs.counters().add_dependency_edges(relation.len() as u64);
         obs.counters().add_cycles_found(cycles.len() as u64);
         obs.counters()
@@ -204,6 +284,7 @@ impl DeadlockFuzzer {
         Phase1Report {
             cycles,
             abstract_cycles,
+            feasibility,
             stats,
             relation_size: relation.len(),
             acquires_observed: relation.raw_count,
@@ -273,6 +354,10 @@ impl DeadlockFuzzer {
         Phase1Report {
             cycles,
             abstract_cycles,
+            // Streaming discards the event timeline the feasibility
+            // analysis scores from, so every cycle would come back
+            // `Unknown`; report none instead of noise.
+            feasibility: Vec::new(),
             stats,
             relation_size: relation.len(),
             acquires_observed: relation.raw_count,
@@ -370,45 +455,7 @@ impl DeadlockFuzzer {
             |i| self.run_confirmation_trial(cycle, i, &obs),
             |t| self.config.stop_on_first && t.matched,
         );
-        let ran = u32::try_from(results.len()).expect("ran <= trials");
-        let mut deadlocks = 0u32;
-        let mut matched = 0u32;
-        let mut thrashes = 0u64;
-        let mut pauses = 0u64;
-        let mut yields = 0u64;
-        let mut steps = 0u64;
-        let mut total_duration = std::time::Duration::ZERO;
-        let mut outcomes = TrialOutcomes::default();
-        let mut retries = 0u32;
-        for t in &results {
-            obs.absorb(&t.shard);
-            outcomes.record(t.outcome);
-            if t.deadlocked {
-                deadlocks += 1;
-            }
-            if t.matched {
-                matched += 1;
-            }
-            thrashes += t.thrashes;
-            pauses += t.pauses;
-            yields += t.yields;
-            steps += t.steps;
-            total_duration += t.duration;
-            retries += t.retries;
-        }
-        Ok(ProbabilityReport {
-            trials: ran,
-            deadlocks,
-            matched,
-            probability: f64::from(deadlocks) / f64::from(ran),
-            avg_thrashes: thrashes as f64 / f64::from(ran),
-            avg_pauses: pauses as f64 / f64::from(ran),
-            avg_yields: yields as f64 / f64::from(ran),
-            avg_steps: steps as f64 / f64::from(ran),
-            avg_duration: total_duration / ran,
-            outcomes,
-            retries,
-        })
+        aggregate_trials(results, trials, self.config.stop_on_first, &obs)
     }
 
     /// One confirmation trial (`phase2` plus the bounded seed-rotating
@@ -454,7 +501,7 @@ impl DeadlockFuzzer {
     }
 
     /// The full tool: Phase I, then Phase II confirmation of every
-    /// reported cycle with [`Config::confirm_trials`] trials each.
+    /// reported cycle via [`DeadlockFuzzer::confirm_all`].
     ///
     /// `run` never panics on a failed confirmation: each cycle's campaign
     /// is isolated, and an error or panic while confirming one cycle is
@@ -462,12 +509,7 @@ impl DeadlockFuzzer {
     /// remaining cycles are still confirmed.
     pub fn run(&self) -> Report {
         let phase1 = self.phase1();
-        let confirmations = phase1
-            .abstract_cycles
-            .iter()
-            .enumerate()
-            .map(|(i, cycle)| self.confirm_cycle(i, cycle))
-            .collect();
+        let confirmations = self.confirm_all(&phase1);
         Report {
             program: self.program.name().to_string(),
             phase1,
@@ -475,25 +517,176 @@ impl DeadlockFuzzer {
         }
     }
 
+    /// Phase II confirmation of every cycle in `phase1`.
+    ///
+    /// With [`Config::adaptive_trials`] off, every cycle gets a uniform
+    /// campaign of [`Config::confirm_trials`] trials. With it on, trials
+    /// are handed out by the deterministic bandit loop of
+    /// [`crate::allocate_trials`], seeded from the Phase I feasibility
+    /// scores: `Infeasible` cycles are pruned outright, hot cycles are
+    /// probed first and retired at their first match, and an optional
+    /// [`Config::trial_budget`] caps the campaign-wide spend. Either way
+    /// the trial at index `i` of a cycle uses seed
+    /// `phase2_seed_base + i`, so adaptive campaigns confirm exactly the
+    /// cycles a uniform (uncapped) campaign would, and the allocation is
+    /// identical at any [`Config::jobs`] value.
+    pub fn confirm_all(&self, phase1: &Phase1Report) -> Vec<CycleConfirmation> {
+        if self.config.adaptive_trials {
+            self.confirm_all_adaptive(phase1)
+        } else {
+            phase1
+                .abstract_cycles
+                .iter()
+                .enumerate()
+                .map(|(i, cycle)| self.confirm_cycle(i, cycle, phase1.feasibility.get(i).cloned()))
+                .collect()
+        }
+    }
+
+    /// The adaptive confirmation campaign behind
+    /// [`DeadlockFuzzer::confirm_all`]. The allocator itself is pure
+    /// sequential logic; each batch it requests runs through the trial
+    /// pool with a stop-at-first-match predicate, whose deterministic
+    /// sequential-prefix semantics keep the whole allocation
+    /// jobs-invariant.
+    fn confirm_all_adaptive(&self, phase1: &Phase1Report) -> Vec<CycleConfirmation> {
+        let obs = self.config.obs().clone();
+        let cycles = &phase1.abstract_cycles;
+        let budgets: Vec<CycleBudget> = (0..cycles.len())
+            .map(|i| match phase1.feasibility.get(i) {
+                Some(judgement) => CycleBudget {
+                    cycle_index: i,
+                    score: judgement.score,
+                    infeasible: judgement.verdict == FeasibilityVerdict::Infeasible,
+                },
+                // Unscored (feasibility off or streamed Phase I): a flat
+                // uninformative prior, never pruned.
+                None => CycleBudget {
+                    cycle_index: i,
+                    score: 0.5,
+                    infeasible: false,
+                },
+            })
+            .collect();
+        let mut runs: Vec<Vec<TrialRun>> = (0..cycles.len()).map(|_| Vec::new()).collect();
+        let mut errors: Vec<Option<String>> = vec![None; cycles.len()];
+        let outcomes = allocate_trials(
+            &budgets,
+            self.config.confirm_trials,
+            self.config.trial_budget,
+            |slot, start, len| {
+                if errors[slot].is_some() {
+                    // The cycle's campaign already failed; report the
+                    // batch as spent-without-a-match so the allocator
+                    // retires the cycle instead of retrying it forever.
+                    return BatchResult {
+                        ran: len,
+                        matched: 0,
+                    };
+                }
+                let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+                    self.pool().run_trials(
+                        len,
+                        |i| self.run_confirmation_trial(&cycles[slot], start + i, &obs),
+                        |t| t.matched,
+                    )
+                }));
+                match attempt {
+                    Ok(results) => {
+                        let ran = u32::try_from(results.len()).expect("ran <= len");
+                        let matched = u32::try_from(results.iter().filter(|t| t.matched).count())
+                            .expect("matched <= len");
+                        runs[slot].extend(results);
+                        BatchResult { ran, matched }
+                    }
+                    Err(payload) => {
+                        errors[slot] = Some(
+                            DfError::Confirmation {
+                                cycle_index: slot,
+                                message: panic_message(payload),
+                            }
+                            .to_string(),
+                        );
+                        BatchResult {
+                            ran: len,
+                            matched: 0,
+                        }
+                    }
+                }
+            },
+        );
+        obs.counters()
+            .add_trials_saved(trials_saved(&outcomes, self.config.confirm_trials));
+        let mut confirmations = Vec::with_capacity(cycles.len());
+        for (i, (outcome, trial_runs)) in outcomes.iter().zip(runs).enumerate() {
+            let feasibility = phase1.feasibility.get(i).cloned();
+            let cycle = cycles[i].clone();
+            if outcome.pruned_infeasible {
+                obs.counters().add_cycles_pruned_infeasible(1);
+                confirmations.push(CycleConfirmation {
+                    cycle_index: i,
+                    cycle,
+                    confirmed: false,
+                    probability: ProbabilityReport::default(),
+                    error: None,
+                    feasibility,
+                });
+                continue;
+            }
+            if let Some(message) = errors[i].take() {
+                confirmations.push(CycleConfirmation {
+                    cycle_index: i,
+                    cycle,
+                    confirmed: false,
+                    probability: ProbabilityReport::default(),
+                    error: Some(message),
+                    feasibility,
+                });
+                continue;
+            }
+            // Adaptive campaigns stop at the first match, so a confirmed
+            // cycle's estimate is flagged truncated just like a
+            // stop-on-first one. A cycle the budget starved of any trial
+            // aggregates to EmptyCampaign and is recorded as an error.
+            match aggregate_trials(trial_runs, self.config.confirm_trials, true, &obs) {
+                Ok(probability) => confirmations.push(CycleConfirmation {
+                    cycle_index: i,
+                    cycle,
+                    confirmed: probability.matched > 0,
+                    probability,
+                    error: None,
+                    feasibility,
+                }),
+                Err(e) => confirmations.push(CycleConfirmation {
+                    cycle_index: i,
+                    cycle,
+                    confirmed: false,
+                    probability: ProbabilityReport::default(),
+                    error: Some(e.to_string()),
+                    feasibility,
+                }),
+            }
+        }
+        confirmations
+    }
+
     /// Confirms one cycle, converting any error or panic into a recorded
     /// [`CycleConfirmation::error`] instead of aborting the campaign.
-    fn confirm_cycle(&self, index: usize, cycle: &AbstractCycle) -> CycleConfirmation {
+    fn confirm_cycle(
+        &self,
+        index: usize,
+        cycle: &AbstractCycle,
+        feasibility: Option<df_igoodlock::CycleFeasibility>,
+    ) -> CycleConfirmation {
         let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
             self.estimate_probability(cycle, self.config.confirm_trials)
         }));
         let outcome: Result<ProbabilityReport, DfError> = match attempt {
             Ok(result) => result,
-            Err(payload) => {
-                let message = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "confirmation panicked".to_string());
-                Err(DfError::Confirmation {
-                    cycle_index: index,
-                    message,
-                })
-            }
+            Err(payload) => Err(DfError::Confirmation {
+                cycle_index: index,
+                message: panic_message(payload),
+            }),
         };
         match outcome {
             Ok(probability) => CycleConfirmation {
@@ -502,6 +695,7 @@ impl DeadlockFuzzer {
                 confirmed: probability.matched > 0,
                 probability,
                 error: None,
+                feasibility,
             },
             Err(e) => CycleConfirmation {
                 cycle_index: index,
@@ -509,6 +703,7 @@ impl DeadlockFuzzer {
                 confirmed: false,
                 probability: ProbabilityReport::default(),
                 error: Some(e.to_string()),
+                feasibility,
             },
         }
     }
@@ -625,6 +820,59 @@ mod tests {
         assert_eq!(conf.probability.matched, 10);
         let text = report.to_string();
         assert!(text.contains("CONFIRMED"), "report text: {text}");
+    }
+
+    /// Two independent opposite-order lock pairs on four threads: two
+    /// predicted cycles, and while Phase II targets one of them the other
+    /// pair keeps deadlocking on its own — the program where `matched`
+    /// and `deadlocks` (and so `probability` and `deadlock_rate`) differ.
+    fn two_cycles() -> Named<impl Program> {
+        Named::new("two_cycles", |ctx: &TCtx| {
+            let a = ctx.new_lock(site!("tc main:a"));
+            let b = ctx.new_lock(site!("tc main:b"));
+            let c = ctx.new_lock(site!("tc main:c"));
+            let d = ctx.new_lock(site!("tc main:d"));
+            let pair = |l1: LockRef, l2: LockRef| {
+                move |ctx: &TCtx| {
+                    ctx.acquire(&l1, site!("tc pair:outer"));
+                    ctx.acquire(&l2, site!("tc pair:inner"));
+                    ctx.release(&l2, site!("tc pair:rel2"));
+                    ctx.release(&l1, site!("tc pair:rel1"));
+                }
+            };
+            let t1 = ctx.spawn(site!("tc main:s1"), "t1", pair(a, b));
+            let t2 = ctx.spawn(site!("tc main:s2"), "t2", pair(b, a));
+            let t3 = ctx.spawn(site!("tc main:s3"), "t3", pair(c, d));
+            let t4 = ctx.spawn(site!("tc main:s4"), "t4", pair(d, c));
+            ctx.join(&t1, site!());
+            ctx.join(&t2, site!());
+            ctx.join(&t3, site!());
+            ctx.join(&t4, site!());
+        })
+    }
+
+    /// Opposite lock orders that can never overlap: the second thread is
+    /// spawned only after the first is joined, so iGoodlock (without the
+    /// hb filter) predicts a cycle no execution can realize.
+    fn ordered_pair() -> Named<impl Program> {
+        Named::new("ordered_pair", |ctx: &TCtx| {
+            let a = ctx.new_lock(site!("op main:a"));
+            let b = ctx.new_lock(site!("op main:b"));
+            let t1 = ctx.spawn(site!("op main:s1"), "t1", move |ctx: &TCtx| {
+                ctx.acquire(&a, site!("op t1:a"));
+                ctx.acquire(&b, site!("op t1:b"));
+                ctx.release(&b, site!("op t1:rb"));
+                ctx.release(&a, site!("op t1:ra"));
+            });
+            ctx.join(&t1, site!());
+            let t2 = ctx.spawn(site!("op main:s2"), "t2", move |ctx: &TCtx| {
+                ctx.acquire(&b, site!("op t2:b"));
+                ctx.acquire(&a, site!("op t2:a"));
+                ctx.release(&a, site!("op t2:ra"));
+                ctx.release(&b, site!("op t2:rb"));
+            });
+            ctx.join(&t2, site!());
+        })
     }
 
     #[test]
@@ -821,6 +1069,200 @@ mod tests {
             assert_eq!(prob.outcomes.total(), 1, "jobs={jobs}");
             assert!((prob.probability - 1.0).abs() < f64::EPSILON);
         }
+    }
+
+    #[test]
+    fn aggregate_of_zero_trials_is_an_empty_campaign_error() {
+        let obs = df_obs::Obs::default();
+        let result = aggregate_trials(Vec::new(), 5, false, &obs);
+        assert!(matches!(result, Err(DfError::EmptyCampaign)), "{result:?}");
+    }
+
+    #[test]
+    fn probability_counts_target_matches_not_all_deadlocks() {
+        // Regression for the historical bug where `probability` was
+        // computed as deadlocks/ran: four deadlocking trials of which two
+        // matched the target must report probability 0.5 (matched/ran)
+        // and deadlock_rate 1.0.
+        let obs = df_obs::Obs::default();
+        let trial = |matched: bool| TrialRun {
+            outcome: TrialOutcome::Deadlock,
+            deadlocked: true,
+            matched,
+            thrashes: 1,
+            pauses: 0,
+            yields: 0,
+            steps: 10,
+            duration: std::time::Duration::from_millis(1),
+            retries: 0,
+            shard: obs.fork_shard(),
+        };
+        let report = aggregate_trials(
+            vec![trial(true), trial(false), trial(true), trial(false)],
+            4,
+            false,
+            &obs,
+        )
+        .expect("non-empty campaign");
+        assert_eq!(report.matched, 2);
+        assert_eq!(report.deadlocks, 4);
+        assert!(
+            (report.probability - 0.5).abs() < f64::EPSILON,
+            "{report:?}"
+        );
+        assert!(
+            (report.deadlock_rate - 1.0).abs() < f64::EPSILON,
+            "{report:?}"
+        );
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn unmatched_deadlocks_raise_deadlock_rate_above_probability() {
+        // End-to-end version of the accounting regression on a two-cycle
+        // trace: targeting cycle 0, the untargeted pair's deadlocks count
+        // toward deadlock_rate but not probability.
+        let fuzzer = DeadlockFuzzer::new(two_cycles());
+        let p1 = fuzzer.phase1();
+        assert_eq!(p1.cycle_count(), 2);
+        let prob = fuzzer
+            .estimate_probability(&p1.abstract_cycles[0], 12)
+            .expect("trials > 0");
+        assert!(prob.matched > 0, "{prob:?}");
+        assert!(prob.deadlocks > prob.matched, "{prob:?}");
+        assert!(prob.deadlock_rate > prob.probability, "{prob:?}");
+    }
+
+    #[test]
+    fn feasibility_judgements_ride_the_report() {
+        let fuzzer = DeadlockFuzzer::with_config(
+            two_cycles(),
+            Config::default()
+                .with_feasibility(true)
+                .with_confirm_trials(3),
+        );
+        let report = fuzzer.run();
+        assert_eq!(report.phase1.feasibility.len(), 2);
+        for (conf, judgement) in report.confirmations.iter().zip(&report.phase1.feasibility) {
+            assert_eq!(
+                conf.feasibility.as_ref(),
+                Some(judgement),
+                "confirmation carries its cycle's judgement"
+            );
+            assert_eq!(
+                judgement.verdict,
+                df_igoodlock::FeasibilityVerdict::Feasible,
+                "both pairs run concurrently"
+            );
+        }
+        let metrics = report.metrics(&df_obs::Obs::default());
+        assert!(
+            metrics.extra.contains_key("feasibility_score_cycle_0"),
+            "{:?}",
+            metrics.extra.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn adaptive_campaign_matches_uniform_verdicts_with_fewer_trials() {
+        let uniform = DeadlockFuzzer::with_config(
+            two_cycles(),
+            Config::default()
+                .with_feasibility(true)
+                .with_confirm_trials(8),
+        )
+        .run();
+        let obs = df_obs::Obs::default();
+        let adaptive = DeadlockFuzzer::with_config(
+            two_cycles(),
+            Config::default()
+                .with_feasibility(true)
+                .with_adaptive_trials(true)
+                .with_confirm_trials(8)
+                .with_obs(obs.clone()),
+        )
+        .run();
+        let verdicts = |r: &Report| {
+            r.confirmations
+                .iter()
+                .map(|c| (c.cycle_index, c.confirmed))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(verdicts(&uniform), verdicts(&adaptive));
+        let spent = |r: &Report| {
+            r.confirmations
+                .iter()
+                .map(|c| c.probability.trials)
+                .sum::<u32>()
+        };
+        let (uniform_spent, adaptive_spent) = (spent(&uniform), spent(&adaptive));
+        assert!(
+            adaptive_spent < uniform_spent,
+            "adaptive must confirm with fewer trials: {adaptive_spent} vs {uniform_spent}"
+        );
+        let snap = obs.counters().snapshot();
+        assert_eq!(snap.trials_saved, u64::from(uniform_spent - adaptive_spent));
+        for c in &adaptive.confirmations {
+            if c.confirmed && c.probability.trials < 8 {
+                assert!(
+                    c.probability.truncated,
+                    "an early-stopped estimate must be flagged: {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn provably_infeasible_cycles_are_pruned_without_trials() {
+        let obs = df_obs::Obs::default();
+        let fuzzer = DeadlockFuzzer::with_config(
+            ordered_pair(),
+            Config::default()
+                .with_feasibility(true)
+                .with_adaptive_trials(true)
+                .with_obs(obs.clone()),
+        );
+        let report = fuzzer.run();
+        assert_eq!(
+            report.potential_count(),
+            1,
+            "with the hb filter off the ordered cycle is still predicted"
+        );
+        let conf = &report.confirmations[0];
+        let judgement = conf.feasibility.as_ref().expect("cycle was scored");
+        assert_eq!(
+            judgement.verdict,
+            df_igoodlock::FeasibilityVerdict::Infeasible
+        );
+        assert!(!conf.confirmed);
+        assert!(conf.error.is_none(), "pruning is not a failure: {conf:?}");
+        assert_eq!(conf.probability.trials, 0);
+        let snap = obs.counters().snapshot();
+        assert_eq!(snap.cycles_pruned_infeasible, 1);
+        assert_eq!(
+            snap.trials_saved,
+            u64::from(Config::default().confirm_trials),
+            "the whole uniform budget of the pruned cycle is saved"
+        );
+    }
+
+    #[test]
+    fn trial_budget_caps_the_adaptive_campaign() {
+        let fuzzer = DeadlockFuzzer::with_config(
+            two_cycles(),
+            Config::default()
+                .with_feasibility(true)
+                .with_adaptive_trials(true)
+                .with_confirm_trials(50)
+                .with_trial_budget(Some(6)),
+        );
+        let report = fuzzer.run();
+        let spent: u32 = report
+            .confirmations
+            .iter()
+            .map(|c| c.probability.trials)
+            .sum();
+        assert!(spent <= 6, "budget overrun: {spent}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use df_igoodlock::{AbstractCycle, Cycle, IGoodlockStats};
+use df_igoodlock::{AbstractCycle, Cycle, CycleFeasibility, IGoodlockStats};
 use df_runtime::{DeadlockWitness, Outcome};
 use serde::{Deserialize, Serialize};
 
@@ -153,6 +153,10 @@ pub struct Phase1Report {
     /// Outcome of the observation run (usually `Completed`; the paper
     /// notes Phase I may itself stumble into a deadlock).
     pub run_outcome: Outcome,
+    /// Feasibility judgement of each cycle, parallel to [`Self::cycles`],
+    /// when [`crate::Config::feasibility`] is on (empty otherwise, and
+    /// for streamed Phase I, which records no trace to judge from).
+    pub feasibility: Vec<CycleFeasibility>,
     /// The observed trace — owns the object table that the concrete
     /// [`Cycle`]s reference, so callers can re-abstract cycles under
     /// other [`df_abstraction::AbstractionMode`]s.
@@ -176,7 +180,10 @@ impl fmt::Display for Phase1Report {
             self.duration
         )?;
         for (i, c) in self.abstract_cycles.iter().enumerate() {
-            writeln!(f, "  cycle {}: {}", i + 1, c)?;
+            match self.feasibility.get(i) {
+                Some(judgement) => writeln!(f, "  cycle {}: {} — {judgement}", i + 1, c)?,
+                None => writeln!(f, "  cycle {}: {}", i + 1, c)?,
+            }
         }
         Ok(())
     }
@@ -233,9 +240,24 @@ pub struct ProbabilityReport {
     pub deadlocks: u32,
     /// Trials whose deadlock matched the target cycle.
     pub matched: u32,
-    /// Empirical probability of creating a deadlock
-    /// (`deadlocks / trials`; Table 1 column 9).
+    /// Empirical probability of reproducing the *target* cycle
+    /// (`matched / trials`) — the quantity confirmation keys on.
+    ///
+    /// Historical note: this field used to be `deadlocks / trials`, which
+    /// on multi-cycle programs could report `1.0` for a cycle that never
+    /// matched (every trial deadlocked — on a *different* cycle). That
+    /// any-deadlock rate now lives in [`Self::deadlock_rate`].
     pub probability: f64,
+    /// Empirical probability of creating *any* real deadlock
+    /// (`deadlocks / trials`; Table 1 column 9 counts deadlocks, matched
+    /// or not).
+    pub deadlock_rate: f64,
+    /// Whether the campaign was truncated by
+    /// [`crate::Config::stop_on_first`] before running every requested
+    /// trial. A truncated `probability` is a biased estimate (the
+    /// campaign stops on success), so consumers that feed estimators —
+    /// the adaptive allocator above all — must reject it.
+    pub truncated: bool,
     /// Mean thrashings per run (Table 1 column 10).
     pub avg_thrashes: f64,
     /// Mean threads paused per run.
@@ -262,6 +284,8 @@ impl Default for ProbabilityReport {
             deadlocks: 0,
             matched: 0,
             probability: 0.0,
+            deadlock_rate: 0.0,
+            truncated: false,
             avg_thrashes: 0.0,
             avg_pauses: 0.0,
             avg_yields: 0.0,
@@ -277,9 +301,18 @@ impl fmt::Display for ProbabilityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "deadlock probability {:.2} ({} of {} runs, {} matching target), avg thrashes {:.2}",
-            self.probability, self.deadlocks, self.trials, self.matched, self.avg_thrashes
+            "reproduction probability {:.2} ({} of {} runs matched target; \
+             deadlock rate {:.2}, {} deadlocked), avg thrashes {:.2}",
+            self.probability,
+            self.matched,
+            self.trials,
+            self.deadlock_rate,
+            self.deadlocks,
+            self.avg_thrashes
         )?;
+        if self.truncated {
+            write!(f, " [truncated: stopped on first match]")?;
+        }
         if self.outcomes.panics + self.outcomes.timeouts + self.outcomes.internal_errors > 0
             || self.retries > 0
         {
@@ -305,6 +338,9 @@ pub struct CycleConfirmation {
     /// Whether at least one trial reproduced this cycle (DeadlockFuzzer's
     /// "confirmed real deadlock" verdict — never a false positive).
     pub confirmed: bool,
+    /// The feasibility judgement the precision layer gave this cycle
+    /// before any trial ran, when [`crate::Config::feasibility`] is on.
+    pub feasibility: Option<CycleFeasibility>,
     /// Why confirmation could not run (invalid config or an internal
     /// panic), if it failed; the campaign records the error and moves on
     /// to the next cycle instead of aborting.
@@ -389,6 +425,12 @@ impl Report {
             "igoodlock_join_candidates_examined".to_string(),
             stats.join_candidates_examined as f64,
         );
+        for judgement in &self.phase1.feasibility {
+            m.extra.insert(
+                format!("feasibility_score_cycle_{}", judgement.cycle_index),
+                judgement.score,
+            );
+        }
         let campaigns: Vec<&ProbabilityReport> = self
             .confirmations
             .iter()
@@ -421,17 +463,32 @@ impl fmt::Display for Report {
                     "  cycle {}: confirmation FAILED — {e}",
                     c.cycle_index + 1
                 )?,
-                None => writeln!(
-                    f,
-                    "  cycle {}: {} — {}",
-                    c.cycle_index + 1,
-                    if c.confirmed {
-                        "CONFIRMED"
+                None => {
+                    let pruned = c.probability.trials == 0
+                        && matches!(
+                            c.feasibility.as_ref().map(|j| j.verdict),
+                            Some(df_igoodlock::FeasibilityVerdict::Infeasible)
+                        );
+                    if pruned {
+                        write!(f, "  cycle {}: pruned — no trials spent", c.cycle_index + 1)?;
                     } else {
-                        "not reproduced"
-                    },
-                    c.probability
-                )?,
+                        write!(
+                            f,
+                            "  cycle {}: {} — {}",
+                            c.cycle_index + 1,
+                            if c.confirmed {
+                                "CONFIRMED"
+                            } else {
+                                "not reproduced"
+                            },
+                            c.probability
+                        )?;
+                    }
+                    if let Some(judgement) = &c.feasibility {
+                        write!(f, " [predicted {judgement}]")?;
+                    }
+                    writeln!(f)?;
+                }
             }
         }
         let totals = self.trial_outcome_totals();
@@ -457,17 +514,34 @@ mod tests {
             trials: 100,
             deadlocks: 99,
             matched: 98,
-            probability: 0.99,
+            probability: 0.98,
+            deadlock_rate: 0.99,
             avg_thrashes: 0.0,
             avg_steps: 120.0,
             avg_duration: Duration::from_millis(3),
             ..ProbabilityReport::default()
         };
         let s = p.to_string();
-        assert!(s.contains("0.99"));
-        assert!(s.contains("99 of 100"));
-        // Clean campaigns do not clutter the row with the taxonomy.
+        assert!(s.contains("probability 0.98"), "{s}");
+        assert!(s.contains("98 of 100"), "{s}");
+        assert!(s.contains("deadlock rate 0.99"), "{s}");
+        // Untruncated clean campaigns do not clutter the row.
         assert!(!s.contains("retries"));
+        assert!(!s.contains("truncated"));
+    }
+
+    #[test]
+    fn probability_report_display_flags_truncated_campaigns() {
+        let p = ProbabilityReport {
+            trials: 1,
+            deadlocks: 1,
+            matched: 1,
+            probability: 1.0,
+            deadlock_rate: 1.0,
+            truncated: true,
+            ..ProbabilityReport::default()
+        };
+        assert!(p.to_string().contains("[truncated"), "{p}");
     }
 
     #[test]

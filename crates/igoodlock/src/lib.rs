@@ -45,6 +45,7 @@ mod builder;
 mod chains;
 mod cycle;
 mod dfs;
+mod feasibility;
 mod hb;
 mod index;
 mod parallel;
@@ -60,6 +61,7 @@ pub use chains::{
 };
 pub use cycle::{AbstractComponent, AbstractCycle, Cycle, CycleComponent};
 pub use dfs::{goodlock_dfs, GoodlockDfsStats};
+pub use feasibility::{CycleFeasibility, FeasibilityAnalysis, FeasibilityVerdict};
 pub use hb::{HbFilter, VectorClock};
 pub use parallel::{igoodlock_parallel, ParallelJoinStats};
 pub use relation::{modes_conflict, DepTiming, LockDep, LockDependencyRelation};

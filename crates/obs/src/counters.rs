@@ -33,6 +33,8 @@ pub struct Counters {
     lock_timeouts: AtomicU64,
     poisoned_recovered: AtomicU64,
     spill_backpressure_waits: AtomicU64,
+    cycles_pruned_infeasible: AtomicU64,
+    trials_saved: AtomicU64,
     peak_trace_bytes: AtomicU64,
 }
 
@@ -88,6 +90,13 @@ pub struct CounterSnapshot {
     /// writer could not keep up (one per stall episode, not per retry).
     /// Zero means the spill ring never applied backpressure.
     pub spill_backpressure_waits: u64,
+    /// Cycles the feasibility layer scored `Infeasible` and the adaptive
+    /// allocator therefore skipped without spending a single trial.
+    pub cycles_pruned_infeasible: u64,
+    /// Phase II trials the adaptive allocator did not run compared to a
+    /// uniform `confirm_trials`-per-cycle campaign (early confirmation
+    /// stops, infeasible pruning, and total-budget caps all contribute).
+    pub trials_saved: u64,
     /// Largest in-memory event-trace footprint (approximate bytes) any
     /// single run materialized. A fully streamed observation keeps this
     /// at zero — the assertion behind `dfz record --stream`. Unlike the
@@ -179,6 +188,10 @@ impl Counters {
             poisoned_recovered => add_poisoned_recovered;
             /// Counts `n` spill-ring backpressure stalls.
             spill_backpressure_waits => add_spill_backpressure_waits;
+            /// Counts `n` cycles pruned as infeasible before any trial.
+            cycles_pruned_infeasible => add_cycles_pruned_infeasible;
+            /// Counts `n` trials saved relative to uniform allocation.
+            trials_saved => add_trials_saved;
         }
         max {
             /// Raises the in-memory trace high-water mark to `n` bytes
@@ -291,6 +304,20 @@ mod tests {
         b.add_spill_backpressure_waits(3);
         a.merge(&b.snapshot());
         assert_eq!(a.snapshot().spill_backpressure_waits, 5);
+    }
+
+    #[test]
+    fn precision_counters_accumulate_and_merge() {
+        let a = Counters::new();
+        a.add_cycles_pruned_infeasible(1);
+        a.add_trials_saved(20);
+        let b = Counters::new();
+        b.add_cycles_pruned_infeasible(2);
+        b.add_trials_saved(15);
+        a.merge(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.cycles_pruned_infeasible, 3);
+        assert_eq!(s.trials_saved, 35);
     }
 
     #[test]

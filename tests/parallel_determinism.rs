@@ -8,12 +8,17 @@ use deadlock_fuzzer::prelude::*;
 
 /// Everything a `ProbabilityReport` asserts about an experiment, minus
 /// its wall-clock fields.
-fn logical_fields(p: &ProbabilityReport) -> (u32, u32, u32, f64, f64, f64, f64, u32, String) {
+#[allow(clippy::type_complexity)]
+fn logical_fields(
+    p: &ProbabilityReport,
+) -> (u32, u32, u32, f64, f64, bool, f64, f64, f64, u32, String) {
     (
         p.trials,
         p.deadlocks,
         p.matched,
         p.probability,
+        p.deadlock_rate,
+        p.truncated,
         p.avg_thrashes,
         p.avg_yields,
         p.avg_steps,
@@ -225,6 +230,55 @@ fn seed_driven_program_variation_is_jobs_invariant() {
             .collect::<Vec<_>>()
     };
     assert_eq!(campaign(1), campaign(4));
+}
+
+#[test]
+fn adaptive_allocation_is_jobs_invariant() {
+    // The adaptive allocator hands out trial batches from pure sequential
+    // logic, and each batch reports the deterministic sequential prefix
+    // of its trials — so which cycles run, how many trials each gets, and
+    // every per-cycle tally must be byte-identical at jobs=1 and jobs=4,
+    // with and without a campaign-wide trial budget. The synchronized-maps
+    // model is the stress case: many cycles, a ≈50/50 matched mix, and
+    // feasibility verdicts in play.
+    for trial_budget in [None, Some(10)] {
+        let campaign = |jobs: usize| {
+            let obs = df_obs::Obs::new();
+            let fuzzer = DeadlockFuzzer::from_ref(
+                df_benchmarks::maps::program(),
+                Config::default()
+                    .with_phase1_seed(3)
+                    .with_phase2_seed_base(900)
+                    .with_confirm_trials(6)
+                    .with_feasibility(true)
+                    .with_adaptive_trials(true)
+                    .with_trial_budget(trial_budget)
+                    .with_jobs(jobs)
+                    .with_obs(obs.clone()),
+            );
+            let report = fuzzer.run();
+            let cycles: Vec<_> = report
+                .confirmations
+                .iter()
+                .map(|c| {
+                    (
+                        c.cycle_index,
+                        c.confirmed,
+                        c.error.clone(),
+                        format!("{:?}", c.feasibility),
+                        logical_fields(&c.probability),
+                    )
+                })
+                .collect();
+            let snap = obs.counters().snapshot();
+            (cycles, snap.trials_saved, snap.cycles_pruned_infeasible)
+        };
+        assert_eq!(
+            campaign(1),
+            campaign(4),
+            "adaptive allocation drifted under parallelism (budget {trial_budget:?})"
+        );
+    }
 }
 
 #[test]
